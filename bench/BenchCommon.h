@@ -1,0 +1,85 @@
+//===----------------------------------------------------------------------===//
+//
+// Part of the padx project, under the Apache License v2.0.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Shared plumbing for the per-figure benchmark binaries: the program
+/// set, miss-rate helpers, and output conventions. Each binary prints
+/// the rows of one table or figure of the paper (miss rates and
+/// improvements in percent). Environment knobs:
+///   PADX_CSV=1    emit CSV instead of aligned text;
+///   PADX_STEP=n   problem-size stride for the Figure 16/17 sweeps.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PADX_BENCH_BENCHCOMMON_H
+#define PADX_BENCH_BENCHCOMMON_H
+
+#include "experiments/Experiment.h"
+#include "kernels/Kernels.h"
+#include "support/TableFormatter.h"
+
+#include <cstdlib>
+#include <iostream>
+#include <string>
+
+namespace padx {
+namespace bench {
+
+inline bool csvOutput() {
+  const char *V = std::getenv("PADX_CSV");
+  return V && V[0] == '1';
+}
+
+inline int64_t sweepStep(int64_t Default = 10) {
+  const char *V = std::getenv("PADX_STEP");
+  if (!V)
+    return Default;
+  int64_t Step = std::atoll(V);
+  return Step > 0 ? Step : Default;
+}
+
+inline void printTable(const TableFormatter &T) {
+  if (csvOutput())
+    T.printCSV(std::cout);
+  else
+    T.print(std::cout);
+}
+
+/// Miss-rate improvement in percentage points, the unit of the paper's
+/// figures: (base - optimized). Positive is better.
+inline double improvement(const expt::MissResult &Base,
+                          const expt::MissResult &Opt) {
+  return Base.percent() - Opt.percent();
+}
+
+/// The four kernels of the varying-problem-size studies (Figures 16/17).
+inline const std::vector<std::string> &sweepKernels() {
+  static const std::vector<std::string> K = {"expl", "shal", "dgefa",
+                                             "chol"};
+  return K;
+}
+
+/// Problem sizes for the Figure 16/17 sweeps: 250..520 at the chosen
+/// stride, plus every multiple of 16 in range. The paper samples densely
+/// enough to hit the column sizes whose gcd with the cache size is large
+/// (multiples of 16/32/64 elements) — those are where the linear-algebra
+/// kernels spike, so a coarse stride must not skip them.
+inline std::vector<int64_t> sweepSizes(int64_t Lo = 250, int64_t Hi = 520) {
+  const int64_t Step = sweepStep();
+  std::vector<int64_t> Sizes;
+  for (int64_t N = Lo; N <= Hi; N += Step)
+    Sizes.push_back(N);
+  for (int64_t N = ((Lo + 15) / 16) * 16; N <= Hi; N += 16)
+    Sizes.push_back(N);
+  std::sort(Sizes.begin(), Sizes.end());
+  Sizes.erase(std::unique(Sizes.begin(), Sizes.end()), Sizes.end());
+  return Sizes;
+}
+
+} // namespace bench
+} // namespace padx
+
+#endif // PADX_BENCH_BENCHCOMMON_H

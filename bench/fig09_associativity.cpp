@@ -1,0 +1,65 @@
+//===----------------------------------------------------------------------===//
+//
+// Part of the padx project, under the Apache License v2.0.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Reproduces Figure 9: is padding on a direct-mapped cache competitive
+/// with buying associativity? For every program, the miss-rate
+/// improvement (in percentage points over the original on the
+/// direct-mapped cache) of: PAD on the direct-mapped cache, and the
+/// original program on 2-way, 4-way and 16-way caches of the same size.
+///
+//===----------------------------------------------------------------------===//
+
+#include "bench/BenchCommon.h"
+
+#include <iostream>
+
+using namespace padx;
+
+int main() {
+  const CacheConfig DM = CacheConfig::base16K();
+  std::cout << "Figure 9: PAD on direct-mapped vs higher associativity "
+               "(16K, 32B lines)\nValues are miss-rate improvements "
+               "(percentage points) vs the original on direct-mapped.\n\n";
+
+  const auto &Kernels = kernels::allKernels();
+  struct Row {
+    std::string Name;
+    double Pad = 0, W2 = 0, W4 = 0, W16 = 0;
+  };
+  std::vector<Row> Rows(Kernels.size());
+
+  expt::parallelFor(Kernels.size(), [&](size_t I) {
+    ir::Program P = kernels::makeKernel(Kernels[I].Name);
+    double Orig = expt::measureOriginal(P, DM).percent();
+    Rows[I].Name = Kernels[I].Display;
+    Rows[I].Pad =
+        Orig -
+        expt::measurePadded(P, DM, pad::PaddingScheme::pad()).percent();
+    auto Assoc = [&](int Ways) {
+      return Orig - expt::measureOriginal(
+                        P, CacheConfig{16 * 1024, 32, Ways})
+                        .percent();
+    };
+    Rows[I].W2 = Assoc(2);
+    Rows[I].W4 = Assoc(4);
+    Rows[I].W16 = Assoc(16);
+  });
+
+  TableFormatter T({"Program", "Pad(DM)", "2-way", "4-way", "16-way"});
+  for (const Row &R : Rows) {
+    T.beginRow();
+    T.cell(R.Name);
+    T.cell(R.Pad, 2);
+    T.cell(R.W2, 2);
+    T.cell(R.W4, 2);
+    T.cell(R.W16, 2);
+  }
+  bench::printTable(T);
+  std::cout << "\nExpected shape: PAD beats 2- and 4-way on several "
+               "programs; 16-way is needed to match it.\n";
+  return 0;
+}

@@ -1,0 +1,106 @@
+//===----------------------------------------------------------------------===//
+//
+// Part of the padx project, under the Apache License v2.0.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Reproduces Figure 15: execution-time impact of PAD. The paper timed
+/// original vs padded binaries on an Alpha 21064, UltraSparc2 and
+/// Pentium2; here the hand-written native kernels run on the host with
+/// the original and PAD data layouts (google-benchmark pairs). Problem
+/// sizes are chosen at the conflict-heavy power-of-two points where the
+/// simulator predicts large miss-rate wins, so padded variants should
+/// run measurably faster; the percentage improvement is the figure's
+/// metric.
+///
+//===----------------------------------------------------------------------===//
+
+#include "core/Padding.h"
+#include "kernels/Kernels.h"
+#include "native/NativeKernels.h"
+
+#include "benchmark/benchmark.h"
+
+using namespace padx;
+
+namespace {
+
+// Each benchmark keeps the Program alive in its own frame: a DataLayout
+// references the Program it was built from.
+
+void BM_JacobiOriginal(benchmark::State &State) {
+  const int64_t N = 512;
+  ir::Program P = kernels::makeKernel("jacobi", N);
+  layout::DataLayout DL = layout::originalLayout(P);
+  for (auto _ : State)
+    benchmark::DoNotOptimize(native::runJacobi(DL, N, 2));
+}
+BENCHMARK(BM_JacobiOriginal)->Unit(benchmark::kMillisecond);
+
+void BM_JacobiPad(benchmark::State &State) {
+  const int64_t N = 512;
+  ir::Program P = kernels::makeKernel("jacobi", N);
+  layout::DataLayout DL = pad::runPad(P).Layout;
+  for (auto _ : State)
+    benchmark::DoNotOptimize(native::runJacobi(DL, N, 2));
+}
+BENCHMARK(BM_JacobiPad)->Unit(benchmark::kMillisecond);
+
+void BM_DotOriginal(benchmark::State &State) {
+  const int64_t N = 4096;
+  ir::Program P = kernels::makeKernel("dot", N);
+  layout::DataLayout DL = layout::originalLayout(P);
+  for (auto _ : State)
+    benchmark::DoNotOptimize(native::runDot(DL, N, 64));
+}
+BENCHMARK(BM_DotOriginal)->Unit(benchmark::kMicrosecond);
+
+void BM_DotPad(benchmark::State &State) {
+  const int64_t N = 4096;
+  ir::Program P = kernels::makeKernel("dot", N);
+  layout::DataLayout DL = pad::runPad(P).Layout;
+  for (auto _ : State)
+    benchmark::DoNotOptimize(native::runDot(DL, N, 64));
+}
+BENCHMARK(BM_DotPad)->Unit(benchmark::kMicrosecond);
+
+void BM_MultOriginal(benchmark::State &State) {
+  const int64_t N = 256;
+  ir::Program P = kernels::makeKernel("mult", N);
+  layout::DataLayout DL = layout::originalLayout(P);
+  for (auto _ : State)
+    benchmark::DoNotOptimize(native::runMult(DL, N));
+}
+BENCHMARK(BM_MultOriginal)->Unit(benchmark::kMillisecond);
+
+void BM_MultPad(benchmark::State &State) {
+  const int64_t N = 256;
+  ir::Program P = kernels::makeKernel("mult", N);
+  layout::DataLayout DL = pad::runPad(P).Layout;
+  for (auto _ : State)
+    benchmark::DoNotOptimize(native::runMult(DL, N));
+}
+BENCHMARK(BM_MultPad)->Unit(benchmark::kMillisecond);
+
+void BM_DgefaOriginal(benchmark::State &State) {
+  const int64_t N = 512;
+  ir::Program P = kernels::makeKernel("dgefa", N);
+  layout::DataLayout DL = layout::originalLayout(P);
+  for (auto _ : State)
+    benchmark::DoNotOptimize(native::runDgefa(DL, N));
+}
+BENCHMARK(BM_DgefaOriginal)->Unit(benchmark::kMillisecond);
+
+void BM_DgefaPad(benchmark::State &State) {
+  const int64_t N = 512;
+  ir::Program P = kernels::makeKernel("dgefa", N);
+  layout::DataLayout DL = pad::runPad(P).Layout;
+  for (auto _ : State)
+    benchmark::DoNotOptimize(native::runDgefa(DL, N));
+}
+BENCHMARK(BM_DgefaPad)->Unit(benchmark::kMillisecond);
+
+} // namespace
+
+BENCHMARK_MAIN();

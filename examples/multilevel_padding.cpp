@@ -1,0 +1,109 @@
+//===----------------------------------------------------------------------===//
+//
+// Part of the padx project, under the Apache License v2.0.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Multilevel scenario (the paper's sketched generalization). Two parts:
+///
+/// 1. JACOBI512 on an L1+L2 machine: its 2MB arrays are a multiple of
+///    both the 16K L1 and the 64K L2 way-span. Padding against L1 alone
+///    moves B by 40 bytes — less than the L2's 64-byte line, so the
+///    severe conflict survives at the direct-mapped L2. Padding against
+///    the whole machine clears both levels. A CacheHierarchy simulation
+///    shows per-level miss rates (L2 rates are relative to the accesses
+///    that reach it, i.e. L1 misses).
+///
+/// 2. ERLE64: rank-3 intra-variable padding. Its 32KB plane subarrays
+///    alias on the L1; one extra column element fixes the sweeps.
+///
+//===----------------------------------------------------------------------===//
+
+#include "cachesim/CacheHierarchy.h"
+#include "core/Padding.h"
+#include "exec/TraceRunner.h"
+#include "kernels/Kernels.h"
+
+#include <cstdio>
+
+using namespace padx;
+
+namespace {
+
+/// Feeds a trace into a CacheHierarchy.
+class HierarchySink : public exec::TraceSink {
+public:
+  explicit HierarchySink(sim::CacheHierarchy &H) : H(H) {}
+  void access(int64_t Addr, int32_t Size, bool IsWrite) override {
+    H.access(Addr, Size, IsWrite);
+  }
+
+private:
+  sim::CacheHierarchy &H;
+};
+
+void simulate(const char *Label, const ir::Program &P,
+              const layout::DataLayout &DL, const MachineModel &M) {
+  sim::CacheHierarchy H(M);
+  HierarchySink Sink(H);
+  exec::TraceRunner Runner(P, DL);
+  Runner.run(Sink);
+  std::printf("  %-9s L1 miss %6.2f%% (%9llu)   L2 miss %6.2f%% "
+              "(%9llu)\n",
+              Label, 100.0 * H.stats(0).missRate(),
+              static_cast<unsigned long long>(H.stats(0).Misses),
+              100.0 * H.stats(1).missRate(),
+              static_cast<unsigned long long>(H.stats(1).Misses));
+}
+
+} // namespace
+
+int main() {
+  MachineModel M;
+  M.Levels = {CacheConfig{16 * 1024, 32, 1},
+              CacheConfig{64 * 1024, 64, 1}}; // direct-mapped L2
+
+  std::printf("Machine: L1 %s; L2 %s\n\n",
+              M.Levels[0].describe().c_str(),
+              M.Levels[1].describe().c_str());
+
+  {
+    std::printf("JACOBI512: inter-variable conflicts at both levels\n");
+    ir::Program P = kernels::makeKernel("jacobi", 512);
+    simulate("original", P, layout::originalLayout(P), M);
+
+    pad::PaddingResult L1Only =
+        pad::applyPadding(P, MachineModel::singleLevel(M.Levels[0]),
+                          pad::PaddingScheme::pad());
+    simulate("pad(L1)", P, L1Only.Layout, M);
+
+    pad::PaddingResult Both =
+        pad::applyPadding(P, M, pad::PaddingScheme::pad());
+    simulate("pad(all)", P, Both.Layout, M);
+
+    unsigned B = *P.findArray("B");
+    std::printf("  B's pad: %lld bytes (L1 only) vs %lld bytes (both "
+                "levels; the L2 line is 64B)\n\n",
+                static_cast<long long>(L1Only.Layout.layout(B).BaseAddr -
+                                       512 * 512 * 8),
+                static_cast<long long>(Both.Layout.layout(B).BaseAddr -
+                                       512 * 512 * 8));
+  }
+
+  {
+    std::printf("ERLE64: rank-3 intra-variable padding (32KB planes "
+                "alias on L1)\n");
+    ir::Program P = kernels::makeKernel("erle", 64);
+    simulate("original", P, layout::originalLayout(P), M);
+    pad::PaddingResult R =
+        pad::applyPadding(P, M, pad::PaddingScheme::pad());
+    simulate("pad(all)", P, R.Layout, M);
+    unsigned X = *P.findArray("X");
+    std::printf("  X's padded column/plane: %lld x %lld elements "
+                "(declared 64 x 64)\n",
+                static_cast<long long>(R.Layout.dimSize(X, 0)),
+                static_cast<long long>(R.Layout.dimSize(X, 1)));
+  }
+  return 0;
+}

@@ -1,0 +1,209 @@
+//===----------------------------------------------------------------------===//
+//
+// Part of the padx project, under the Apache License v2.0.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// padtool — the source-to-source driver: parse a PadLang file (or a
+/// built-in kernel), apply PADLITE or PAD for a given cache, print the
+/// decision log and the transformed source, and optionally simulate
+/// before/after miss rates.
+///
+/// Usage:
+///   padtool [options] <file.pad>
+///   padtool [options] --kernel <name> [--size N]
+/// Options:
+///   --cache BYTES   cache size in bytes (default 16384)
+///   --line BYTES    line size in bytes (default 32)
+///   --assoc K       associativity, 1 = direct mapped (default 1)
+///   --scheme NAME   pad | padlite (default pad)
+///   --emit          print the transformed PadLang source
+///   --simulate      run the cache simulator on both layouts
+///   --report        print the severe-conflict pairs before and after
+///   --estimate      print the static miss-rate prediction (no simulation)
+///   --list          list built-in kernels and exit
+///
+//===----------------------------------------------------------------------===//
+
+#include "analysis/ConflictReport.h"
+#include "analysis/MissEstimate.h"
+#include "core/Padding.h"
+#include "experiments/Experiment.h"
+#include "frontend/Parser.h"
+#include "kernels/Kernels.h"
+#include "layout/TransformedSource.h"
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+
+using namespace padx;
+
+namespace {
+
+void usage() {
+  std::fprintf(stderr,
+               "usage: padtool [--cache BYTES] [--line BYTES] "
+               "[--assoc K]\n"
+               "               [--scheme pad|padlite] [--emit] "
+               "[--simulate]\n"
+               "               (<file.pad> | --kernel NAME [--size N] | "
+               "--list)\n");
+}
+
+} // namespace
+
+int main(int argc, char **argv) {
+  CacheConfig Cache = CacheConfig::base16K();
+  bool Emit = false, Simulate = false, Report = false;
+  bool Estimate = false;
+  bool UsePadLite = false;
+  std::string File, Kernel;
+  int64_t Size = 0;
+
+  for (int I = 1; I < argc; ++I) {
+    std::string Arg = argv[I];
+    auto Next = [&]() -> const char * {
+      if (I + 1 >= argc) {
+        usage();
+        std::exit(1);
+      }
+      return argv[++I];
+    };
+    if (Arg == "--cache") {
+      Cache.SizeBytes = std::atoll(Next());
+    } else if (Arg == "--line") {
+      Cache.LineBytes = std::atoll(Next());
+    } else if (Arg == "--assoc") {
+      Cache.Associativity = std::atoi(Next());
+    } else if (Arg == "--scheme") {
+      std::string S = Next();
+      if (S == "padlite") {
+        UsePadLite = true;
+      } else if (S != "pad") {
+        std::fprintf(stderr, "error: unknown scheme '%s'\n", S.c_str());
+        return 1;
+      }
+    } else if (Arg == "--emit") {
+      Emit = true;
+    } else if (Arg == "--simulate") {
+      Simulate = true;
+    } else if (Arg == "--report") {
+      Report = true;
+    } else if (Arg == "--estimate") {
+      Estimate = true;
+    } else if (Arg == "--kernel") {
+      Kernel = Next();
+    } else if (Arg == "--size") {
+      Size = std::atoll(Next());
+    } else if (Arg == "--list") {
+      for (const auto &K : kernels::allKernels())
+        std::printf("%-14s %-10s %s\n", K.Name.c_str(),
+                    K.Display.c_str(), K.Description.c_str());
+      return 0;
+    } else if (Arg == "--help" || Arg == "-h") {
+      usage();
+      return 0;
+    } else if (!Arg.empty() && Arg[0] == '-') {
+      std::fprintf(stderr, "error: unknown option '%s'\n", Arg.c_str());
+      usage();
+      return 1;
+    } else {
+      File = Arg;
+    }
+  }
+
+  if (!Cache.isValid()) {
+    std::fprintf(stderr, "error: invalid cache geometry\n");
+    return 1;
+  }
+  if (File.empty() && Kernel.empty()) {
+    usage();
+    return 1;
+  }
+
+  // Load the program.
+  std::optional<ir::Program> P;
+  DiagnosticEngine Diags;
+  if (!Kernel.empty()) {
+    if (!kernels::findKernel(Kernel)) {
+      std::fprintf(stderr, "error: unknown kernel '%s' (--list)\n",
+                   Kernel.c_str());
+      return 1;
+    }
+    P = kernels::makeKernel(Kernel, Size);
+  } else {
+    std::ifstream In(File);
+    if (!In) {
+      std::fprintf(stderr, "error: cannot open '%s'\n", File.c_str());
+      return 1;
+    }
+    std::ostringstream Buf;
+    Buf << In.rdbuf();
+    P = frontend::parseProgram(Buf.str(), Diags);
+    if (!P) {
+      std::fprintf(stderr, "%s", Diags.str().c_str());
+      return 1;
+    }
+  }
+
+  std::printf("program '%s', cache: %s, scheme: %s\n", P->name().c_str(),
+              Cache.describe().c_str(), UsePadLite ? "PADLITE" : "PAD");
+
+  if (Report) {
+    layout::DataLayout Orig = layout::originalLayout(*P);
+    std::printf("severe conflicts in the original layout:\n");
+    analysis::printConflictReport(
+        std::cout, analysis::reportConflicts(Orig, Cache));
+  }
+
+  pad::PaddingResult R = UsePadLite ? pad::runPadLite(*P, Cache)
+                                    : pad::runPad(*P, Cache);
+  const pad::PaddingStats &S = R.Stats;
+  std::printf("  arrays: %u global, %u intra-safe, %u intra-padded "
+              "(max +%lld, total +%lld elements)\n",
+              S.GlobalArrays, S.ArraysSafe, S.ArraysPadded,
+              static_cast<long long>(S.MaxIntraIncrElems),
+              static_cast<long long>(S.TotalIntraIncrElems));
+  std::printf("  inter-variable padding: %lld bytes, size increase "
+              "%.3f%%\n",
+              static_cast<long long>(S.InterPadBytes),
+              S.PercentSizeIncrease);
+  for (const std::string &Line : S.Log)
+    std::printf("  %s\n", Line.c_str());
+
+  if (Report) {
+    std::printf("severe conflicts after padding:\n");
+    analysis::printConflictReport(
+        std::cout, analysis::reportConflicts(R.Layout, Cache));
+  }
+
+  if (Estimate) {
+    double Before = analysis::estimateMisses(layout::originalLayout(*P),
+                                             Cache)
+                        .predictedMissRatePercent();
+    double After = analysis::estimateMisses(R.Layout, Cache)
+                       .predictedMissRatePercent();
+    std::printf("  predicted miss rate: %.2f%% -> %.2f%% (static "
+                "estimate)\n",
+                Before, After);
+  }
+
+  if (Simulate) {
+    expt::MissResult Before = expt::measureOriginal(*P, Cache);
+    expt::MissResult After = expt::measureMissRate(*P, R.Layout, Cache);
+    std::printf("  miss rate: %.2f%% -> %.2f%%\n", Before.percent(),
+                After.percent());
+  }
+
+  if (Emit) {
+    std::printf("\n# --- transformed source "
+                "---------------------------------\n");
+    layout::emitTransformedSource(std::cout, R.Layout);
+  }
+  return 0;
+}

@@ -1,0 +1,58 @@
+//===----------------------------------------------------------------------===//
+//
+// Part of the padx project, under the Apache License v2.0.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Quickstart: build a program with the C++ Builder API, run the paper's
+/// PAD transformation, and verify with the cache simulator that the
+/// severe conflict misses are gone.
+///
+/// This is the paper's Figure 1 scenario: two arrays whose base
+/// addresses are a multiple of the cache size apart, so every access
+/// flushes the line the other array just loaded.
+///
+//===----------------------------------------------------------------------===//
+
+#include "core/Padding.h"
+#include "experiments/Experiment.h"
+#include "ir/Builder.h"
+#include "ir/Printer.h"
+
+#include <cstdio>
+
+using namespace padx;
+
+int main() {
+  // real A(4096), B(4096); do i = 1,4096: S = S + A(i)*B(i)
+  ir::ProgramBuilder PB("dotproduct");
+  unsigned S = PB.addScalar("S");
+  unsigned A = PB.addArray1D("A", 4096); // 32KB: 2x the 16K cache
+  unsigned B = PB.addArray1D("B", 4096);
+  PB.beginLoop("i", 1, 4096);
+  PB.assign({PB.read(S), PB.read(A, {PB.idx("i")}),
+             PB.read(B, {PB.idx("i")}), PB.write(S)});
+  PB.endLoop();
+  ir::Program P = PB.take();
+
+  std::printf("Program:\n%s\n", ir::programToString(P).c_str());
+
+  const CacheConfig Cache = CacheConfig::base16K();
+  expt::MissResult Before = expt::measureOriginal(P, Cache);
+  std::printf("Original layout : %6.2f%% miss rate (%llu accesses)\n",
+              Before.percent(),
+              static_cast<unsigned long long>(Before.Accesses));
+
+  // Apply the paper's PAD heuristic: analyze uniformly generated
+  // references, then place base addresses so no pair conflicts.
+  pad::PaddingResult R = pad::runPad(P, Cache);
+  for (const std::string &Line : R.Stats.Log)
+    std::printf("  decision: %s\n", Line.c_str());
+
+  expt::MissResult After = expt::measureMissRate(P, R.Layout, Cache);
+  std::printf("PAD layout      : %6.2f%% miss rate\n", After.percent());
+  std::printf("Memory overhead : %.3f%%\n",
+              R.Stats.PercentSizeIncrease);
+  return After.percent() < Before.percent() ? 0 : 1;
+}

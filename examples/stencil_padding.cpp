@@ -1,0 +1,52 @@
+//===----------------------------------------------------------------------===//
+//
+// Part of the padx project, under the Apache License v2.0.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Stencil scenario (the paper's Figure 2 / Section 3): JACOBI across a
+/// range of problem sizes, showing where severe conflicts appear on a
+/// direct-mapped cache and how PADLITE and PAD respond — including the
+/// N = 934 case where only PAD's reference analysis finds the skewed
+/// conflict.
+///
+//===----------------------------------------------------------------------===//
+
+#include "core/Padding.h"
+#include "experiments/Experiment.h"
+#include "kernels/Kernels.h"
+
+#include <cstdio>
+
+using namespace padx;
+
+static void report(int64_t N, const CacheConfig &Cache) {
+  ir::Program P = kernels::makeKernel("jacobi", N);
+  double Orig = expt::measureOriginal(P, Cache).percent();
+  double Lite =
+      expt::measurePadded(P, Cache, pad::PaddingScheme::padLite())
+          .percent();
+  pad::PaddingResult R = pad::runPad(P, Cache);
+  double Pad = expt::measureMissRate(P, R.Layout, Cache).percent();
+  std::printf("N=%4lld  original %6.2f%%  PADLITE %6.2f%%  PAD %6.2f%%",
+              static_cast<long long>(N), Orig, Lite, Pad);
+  if (!R.Stats.Log.empty())
+    std::printf("   [%s]", R.Stats.Log.front().c_str());
+  std::printf("\n");
+}
+
+int main() {
+  CacheConfig Cache{8 * 1024, 32, 1}; // the paper's 1024-element cache
+  std::printf("JACOBI on a %s\n\n", Cache.describe().c_str());
+
+  std::printf("Benign and pathological problem sizes:\n");
+  for (int64_t N : {300, 320, 400, 448, 512, 640, 768})
+    report(N, Cache);
+
+  std::printf("\nThe adversarial N=934 case (Section 3): the base\n"
+              "addresses look fine to PADLITE, but B(j,i) and A(j,i+1)\n"
+              "collide every iteration; only PAD pads (by 6 elements):\n");
+  report(934, Cache);
+  return 0;
+}

@@ -1,0 +1,66 @@
+//===----------------------------------------------------------------------===//
+//
+// Part of the padx project, under the Apache License v2.0.
+//
+//===----------------------------------------------------------------------===//
+
+#include "analysis/ConflictDistance.h"
+
+#include "support/MathExtras.h"
+
+#include <cassert>
+
+using namespace padx;
+using namespace padx::analysis;
+
+ir::AffineExpr analysis::linearizeElems(const layout::DataLayout &DL,
+                                        const ir::ArrayRef &R) {
+  assert(R.isAffine() && "cannot linearize an indirect reference");
+  const ir::ArrayVariable &V = DL.program().array(R.ArrayId);
+  ir::AffineExpr Offset;
+  int64_t Stride = 1;
+  for (unsigned D = 0, E = static_cast<unsigned>(R.Subscripts.size());
+       D != E; ++D) {
+    Offset = Offset.plus(
+        R.Subscripts[D].plusConstant(-V.LowerBounds[D]).scaled(Stride));
+    Stride *= DL.dimSize(R.ArrayId, D);
+  }
+  return Offset;
+}
+
+std::optional<int64_t>
+analysis::iterationDistanceBytes(const layout::DataLayout &DL,
+                                 const ir::ArrayRef &R1,
+                                 const ir::ArrayRef &R2, int64_t Base1,
+                                 int64_t Base2) {
+  if (!R1.isAffine() || !R2.isAffine())
+    return std::nullopt;
+  const ir::Program &P = DL.program();
+  int64_t Se1 = P.array(R1.ArrayId).ElemSize;
+  int64_t Se2 = P.array(R2.ArrayId).ElemSize;
+  ir::AffineExpr Addr1 =
+      linearizeElems(DL, R1).scaled(Se1).plusConstant(Base1);
+  ir::AffineExpr Addr2 =
+      linearizeElems(DL, R2).scaled(Se2).plusConstant(Base2);
+  ir::AffineExpr Diff = Addr1.minus(Addr2);
+  if (!Diff.isConstant())
+    return std::nullopt;
+  return Diff.constantPart();
+}
+
+std::optional<int64_t>
+analysis::iterationDistanceBytes(const layout::DataLayout &DL,
+                                 const ir::ArrayRef &R1,
+                                 const ir::ArrayRef &R2) {
+  int64_t Base1 = DL.layout(R1.ArrayId).BaseAddr;
+  int64_t Base2 = DL.layout(R2.ArrayId).BaseAddr;
+  assert(Base1 != layout::ArrayLayout::kUnassigned &&
+         Base2 != layout::ArrayLayout::kUnassigned &&
+         "iterationDistanceBytes requires assigned bases");
+  return iterationDistanceBytes(DL, R1, R2, Base1, Base2);
+}
+
+int64_t analysis::conflictDistance(int64_t DistanceBytes,
+                                   int64_t CacheBytes) {
+  return distanceToMultiple(DistanceBytes, CacheBytes);
+}

@@ -1,0 +1,62 @@
+//===----------------------------------------------------------------------===//
+//
+// Part of the padx project, under the Apache License v2.0.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Subscript linearization and conflict distances — the paper's
+/// Expressions (1) and (2). For two references whose address difference is
+/// the same on every loop iteration, the conflict distance is that
+/// difference folded modulo the cache size; a distance below the line size
+/// means the pair contends for the same cache line every iteration (a
+/// severe conflict on a direct-mapped cache).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PADX_ANALYSIS_CONFLICTDISTANCE_H
+#define PADX_ANALYSIS_CONFLICTDISTANCE_H
+
+#include "ir/Program.h"
+#include "layout/DataLayout.h"
+
+#include <optional>
+
+namespace padx {
+namespace analysis {
+
+/// Linearizes \p R into an affine element offset from its array's first
+/// element, using the padded dimension sizes of \p DL:
+///   sum_d (subscript_d - lowerbound_d) * stride_d.
+/// The reference must be affine (no indirection).
+ir::AffineExpr linearizeElems(const layout::DataLayout &DL,
+                              const ir::ArrayRef &R);
+
+/// Byte distance (address of \p R1) - (address of \p R2) evaluated with
+/// explicit base addresses, when that distance is the same on every
+/// iteration; std::nullopt when the difference still depends on a loop
+/// variable (non-uniform pair, e.g. arrays that stopped conforming after
+/// intra-padding) or when either reference is indirect.
+///
+/// This is Expression (1) of the paper; with \p Base1 == \p Base2 == 0 and
+/// R1, R2 referencing the same array it reduces to Expression (2).
+std::optional<int64_t> iterationDistanceBytes(const layout::DataLayout &DL,
+                                              const ir::ArrayRef &R1,
+                                              const ir::ArrayRef &R2,
+                                              int64_t Base1, int64_t Base2);
+
+/// Convenience overload taking both base addresses from \p DL (they must
+/// be assigned).
+std::optional<int64_t> iterationDistanceBytes(const layout::DataLayout &DL,
+                                              const ir::ArrayRef &R1,
+                                              const ir::ArrayRef &R2);
+
+/// Conflict distance of a byte distance \p DistanceBytes with respect to a
+/// cache of \p CacheBytes: the symmetric distance to the nearest multiple
+/// of the cache size, min(d mod C, C - d mod C).
+int64_t conflictDistance(int64_t DistanceBytes, int64_t CacheBytes);
+
+} // namespace analysis
+} // namespace padx
+
+#endif // PADX_ANALYSIS_CONFLICTDISTANCE_H

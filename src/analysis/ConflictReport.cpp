@@ -1,0 +1,78 @@
+//===----------------------------------------------------------------------===//
+//
+// Part of the padx project, under the Apache License v2.0.
+//
+//===----------------------------------------------------------------------===//
+
+#include "analysis/ConflictReport.h"
+
+#include "analysis/ConflictDistance.h"
+#include "analysis/ReferenceGroups.h"
+#include "ir/Printer.h"
+
+#include <cstdlib>
+#include <sstream>
+
+using namespace padx;
+using namespace padx::analysis;
+
+static std::string renderRef(const ir::Program &P, const ir::ArrayRef &R) {
+  std::ostringstream OS;
+  ir::printRef(OS, P, R);
+  return OS.str();
+}
+
+std::vector<ConflictEntry>
+analysis::reportConflicts(const layout::DataLayout &DL,
+                          const CacheConfig &Cache, bool SevereOnly) {
+  const ir::Program &P = DL.program();
+  int64_t Cs = Cache.waySpanBytes();
+  int64_t Ls = Cache.LineBytes;
+  std::vector<ConflictEntry> Entries;
+
+  for (const LoopGroup &G : collectLoopGroups(P)) {
+    for (size_t I = 0, E = G.Refs.size(); I != E; ++I) {
+      for (size_t J = I + 1; J != E; ++J) {
+        const ir::ArrayRef &R1 = *G.Refs[I].Ref;
+        const ir::ArrayRef &R2 = *G.Refs[J].Ref;
+        std::optional<int64_t> Dist = iterationDistanceBytes(DL, R1, R2);
+        if (!Dist)
+          continue;
+        ConflictEntry CE;
+        CE.LoopVar = G.Innermost->IndexVar;
+        CE.Ref1 = renderRef(P, R1);
+        CE.Ref2 = renderRef(P, R2);
+        CE.SameArray = R1.ArrayId == R2.ArrayId;
+        CE.DistanceBytes = *Dist;
+        CE.ConflictDistance = conflictDistance(*Dist, Cs);
+        CE.Severe =
+            std::llabs(*Dist) >= Ls && CE.ConflictDistance < Ls;
+        if (SevereOnly && !CE.Severe)
+          continue;
+        Entries.push_back(std::move(CE));
+      }
+    }
+  }
+  return Entries;
+}
+
+unsigned analysis::countSevereConflicts(const layout::DataLayout &DL,
+                                        const CacheConfig &Cache) {
+  return static_cast<unsigned>(
+      reportConflicts(DL, Cache, /*SevereOnly=*/true).size());
+}
+
+void analysis::printConflictReport(
+    std::ostream &OS, const std::vector<ConflictEntry> &Entries) {
+  if (Entries.empty()) {
+    OS << "no conflicting reference pairs\n";
+    return;
+  }
+  for (const ConflictEntry &E : Entries) {
+    OS << "  loop " << E.LoopVar << ": " << E.Ref1 << " vs " << E.Ref2
+       << "  distance " << E.DistanceBytes << "B, conflict distance "
+       << E.ConflictDistance << "B"
+       << (E.SameArray ? " [same array]" : "")
+       << (E.Severe ? " [SEVERE]" : "") << '\n';
+  }
+}

@@ -1,0 +1,65 @@
+//===----------------------------------------------------------------------===//
+//
+// Part of the padx project, under the Apache License v2.0.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Diagnostic enumeration of the severe conflicts a layout exhibits: for
+/// every pair of references executed in the same loop iteration whose
+/// address difference is constant, the conflict distance against a cache
+/// configuration. This is what the padding heuristics decide on; exposing
+/// it lets tools (padtool --report), tests and users see *why* a layout
+/// is padded, in the spirit of a compiler remarks channel.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PADX_ANALYSIS_CONFLICTREPORT_H
+#define PADX_ANALYSIS_CONFLICTREPORT_H
+
+#include "layout/DataLayout.h"
+#include "machine/CacheConfig.h"
+
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace padx {
+namespace analysis {
+
+/// One potentially conflicting reference pair.
+struct ConflictEntry {
+  /// Index variable of the innermost loop both references share.
+  std::string LoopVar;
+  /// Rendered references, e.g. "B[j, i]" and "A[j, i+1]".
+  std::string Ref1, Ref2;
+  /// True if both references target the same array (IntraPad territory).
+  bool SameArray = false;
+  /// Constant per-iteration address difference in bytes.
+  int64_t DistanceBytes = 0;
+  /// distanceToMultiple(DistanceBytes, waySpan) in bytes.
+  int64_t ConflictDistance = 0;
+  /// Severe: conflict distance below the line size while the plain
+  /// distance is at least a line (same-line pairs are spatial reuse).
+  bool Severe = false;
+};
+
+/// Enumerates every constant-distance pair in every loop group of
+/// \p DL's program under \p Cache. With \p SevereOnly, only pairs below
+/// the line size are returned.
+std::vector<ConflictEntry> reportConflicts(const layout::DataLayout &DL,
+                                           const CacheConfig &Cache,
+                                           bool SevereOnly = true);
+
+/// Counts severe conflicts (convenience for tests and drivers).
+unsigned countSevereConflicts(const layout::DataLayout &DL,
+                              const CacheConfig &Cache);
+
+/// Pretty-prints a report, one pair per line.
+void printConflictReport(std::ostream &OS,
+                         const std::vector<ConflictEntry> &Entries);
+
+} // namespace analysis
+} // namespace padx
+
+#endif // PADX_ANALYSIS_CONFLICTREPORT_H

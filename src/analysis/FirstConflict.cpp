@@ -1,0 +1,46 @@
+//===----------------------------------------------------------------------===//
+//
+// Part of the padx project, under the Apache License v2.0.
+//
+//===----------------------------------------------------------------------===//
+
+#include "analysis/FirstConflict.h"
+
+#include "support/MathExtras.h"
+
+#include <algorithm>
+#include <cassert>
+
+using namespace padx;
+using namespace padx::analysis;
+
+/// The recursive kernel of the paper's Figure 4. Invariant: c' * Col is
+/// congruent to +/- r' (mod Cache), and no 0 < n < c' is conflicting.
+/// Successive r' values are the remainder sequence of the Euclidean
+/// algorithm, so the recursion depth is logarithmic.
+static int64_t firstConflictRec(int64_t R, int64_t RPrime, int64_t C,
+                                int64_t CPrime, int64_t Line) {
+  if (RPrime < Line)
+    return CPrime;
+  return firstConflictRec(RPrime, R % RPrime, CPrime,
+                          (R / RPrime) * CPrime + C, Line);
+}
+
+int64_t analysis::firstConflict(int64_t Cache, int64_t Col, int64_t Line) {
+  assert(Cache > 0 && Col > 0 && Line >= 1 && "invalid geometry");
+  return firstConflictRec(Cache, floorMod(Col, Cache), 0, 1, Line);
+}
+
+int64_t analysis::firstConflictBruteForce(int64_t Cache, int64_t Col,
+                                          int64_t Line) {
+  assert(Cache > 0 && Col > 0 && Line >= 1 && "invalid geometry");
+  for (int64_t J = 1;; ++J)
+    if (distanceToMultiple(J * Col, Cache) < Line)
+      return J;
+}
+
+int64_t analysis::linPad2Threshold(int64_t Cache, int64_t Line,
+                                   int64_t Rows) {
+  assert(Line > 0 && "invalid line size");
+  return std::min<int64_t>({129, Rows, Cache / Line});
+}

@@ -1,0 +1,46 @@
+//===----------------------------------------------------------------------===//
+//
+// Part of the padx project, under the Apache License v2.0.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The FirstConflict computation of the paper's Figure 4: the smallest
+/// positive j such that j * Col_s lands within a cache line of a multiple
+/// of the cache size, i.e. the smallest column separation at which two
+/// columns of an array conflict. Computed by a generalization of the
+/// Euclidean gcd algorithm (continued-fraction convergents), so it runs in
+/// O(log C_s) rather than scanning. All quantities are in units of array
+/// elements, matching the paper's presentation.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PADX_ANALYSIS_FIRSTCONFLICT_H
+#define PADX_ANALYSIS_FIRSTCONFLICT_H
+
+#include <cstdint>
+
+namespace padx {
+namespace analysis {
+
+/// Smallest j > 0 with min(j*Col mod Cache, Cache - j*Col mod Cache) <
+/// \p Line, via the generalized Euclidean algorithm. \p Cache and \p Line
+/// are in elements; \p Col is the column size in elements (> 0). With
+/// Line >= 1 a result always exists (j = Cache works), so this always
+/// terminates.
+int64_t firstConflict(int64_t Cache, int64_t Col, int64_t Line);
+
+/// Reference implementation by linear scan, used to cross-check the
+/// Euclidean version in tests. O(result).
+int64_t firstConflictBruteForce(int64_t Cache, int64_t Col, int64_t Line);
+
+/// The paper's j* threshold: min(129, Rows, Cache/Line), where \p Rows is
+/// the row count of the array under consideration (columns further apart
+/// than the row size are never accessed together) and Cache/Line bounds
+/// the search so that iteratively growing the column size terminates.
+int64_t linPad2Threshold(int64_t Cache, int64_t Line, int64_t Rows);
+
+} // namespace analysis
+} // namespace padx
+
+#endif // PADX_ANALYSIS_FIRSTCONFLICT_H

@@ -1,0 +1,54 @@
+//===----------------------------------------------------------------------===//
+//
+// Part of the padx project, under the Apache License v2.0.
+//
+//===----------------------------------------------------------------------===//
+
+#include "analysis/LinearAlgebra.h"
+
+#include "analysis/ReferenceGroups.h"
+
+using namespace padx;
+using namespace padx::analysis;
+
+/// True if the pair of column subscripts indicates accesses a varying
+/// number of columns apart: different index variables, or variable vs.
+/// constant.
+static bool columnSubscriptsDiverge(const ir::AffineExpr &S1,
+                                    const ir::AffineExpr &S2) {
+  std::string V1, V2;
+  bool HasVar1 = S1.isIndexPlusConstant(&V1);
+  bool HasVar2 = S2.isIndexPlusConstant(&V2);
+  if (HasVar1 && HasVar2)
+    return V1 != V2;
+  // One tracks a loop variable, the other is fixed: the column distance
+  // varies with the loop.
+  return HasVar1 != HasVar2;
+}
+
+std::vector<bool>
+analysis::detectLinearAlgebraArrays(const ir::Program &P) {
+  std::vector<bool> Result(P.arrays().size(), false);
+  for (const LoopGroup &G : collectLoopGroups(P)) {
+    for (size_t I = 0, E = G.Refs.size(); I != E; ++I) {
+      const ir::ArrayRef &R1 = *G.Refs[I].Ref;
+      if (!R1.isAffine() || R1.Subscripts.size() < 2)
+        continue;
+      if (Result[R1.ArrayId])
+        continue;
+      for (size_t J = I + 1; J != E; ++J) {
+        const ir::ArrayRef &R2 = *G.Refs[J].Ref;
+        if (R2.ArrayId != R1.ArrayId || !R2.isAffine())
+          continue;
+        unsigned Highest =
+            static_cast<unsigned>(R1.Subscripts.size()) - 1;
+        if (columnSubscriptsDiverge(R1.Subscripts[Highest],
+                                    R2.Subscripts[Highest])) {
+          Result[R1.ArrayId] = true;
+          break;
+        }
+      }
+    }
+  }
+  return Result;
+}

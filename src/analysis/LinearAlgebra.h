@@ -1,0 +1,37 @@
+//===----------------------------------------------------------------------===//
+//
+// Part of the padx project, under the Apache License v2.0.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Detection of linear-algebra access patterns (the paper's Figure 3):
+/// an array accessed in one loop through two references whose column
+/// (highest-dimension) subscripts track *different* index variables, e.g.
+/// A(i, j) together with A(i, k). Such arrays touch columns a varying
+/// distance apart, the situation LinPad2 guards against. PAD applies
+/// LinPad2 only to arrays this analysis selects, so stencil codes are not
+/// padded speculatively.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PADX_ANALYSIS_LINEARALGEBRA_H
+#define PADX_ANALYSIS_LINEARALGEBRA_H
+
+#include "ir/Program.h"
+
+#include <vector>
+
+namespace padx {
+namespace analysis {
+
+/// Returns a per-array flag (indexed by array id): true if the array of
+/// rank >= 2 has, within a single loop group, two affine references whose
+/// highest-dimension subscripts use different index variables (or one a
+/// variable and one a constant).
+std::vector<bool> detectLinearAlgebraArrays(const ir::Program &P);
+
+} // namespace analysis
+} // namespace padx
+
+#endif // PADX_ANALYSIS_LINEARALGEBRA_H

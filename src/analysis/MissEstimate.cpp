@@ -1,0 +1,158 @@
+//===----------------------------------------------------------------------===//
+//
+// Part of the padx project, under the Apache License v2.0.
+//
+//===----------------------------------------------------------------------===//
+
+#include "analysis/MissEstimate.h"
+
+#include "analysis/ConflictDistance.h"
+#include "analysis/ReferenceGroups.h"
+#include "analysis/Reuse.h"
+
+#include <algorithm>
+#include <cstdlib>
+#include <map>
+#include <string>
+
+using namespace padx;
+using namespace padx::analysis;
+
+namespace {
+
+/// Exact iteration count of a nest: enumerate the outer loops (their
+/// combined trip count is tiny compared to the traces they generate) and
+/// sum the innermost loop's trip count, which affine bounds make a
+/// closed form. Falls back to a midpoint estimate if the outer space is
+/// unexpectedly huge.
+class IterationCounter {
+public:
+  double count(const std::vector<const ir::Loop *> &Nest) {
+    if (Nest.empty())
+      return 1;
+    Env.clear();
+    Budget = 10'000'000;
+    return walk(Nest, 0);
+  }
+
+private:
+  int64_t eval(const ir::AffineExpr &E) const {
+    return E.evaluate([&](const std::string &V) { return Env.at(V); });
+  }
+
+  static int64_t trips(int64_t Lo, int64_t Hi, int64_t Step) {
+    if (Step > 0)
+      return Hi >= Lo ? (Hi - Lo) / Step + 1 : 0;
+    return Hi <= Lo ? (Lo - Hi) / -Step + 1 : 0;
+  }
+
+  double walk(const std::vector<const ir::Loop *> &Nest, size_t Depth) {
+    const ir::Loop &L = *Nest[Depth];
+    int64_t Lo = eval(L.Lower);
+    int64_t Hi = eval(L.Upper);
+    int64_t N = trips(Lo, Hi, L.Step);
+    if (Depth + 1 == Nest.size())
+      return static_cast<double>(N);
+    if (Budget <= 0 || N > Budget) {
+      // Fallback: midpoint product for the rest of the nest.
+      Env[L.IndexVar] = (Lo + Hi) / 2;
+      return static_cast<double>(N) * walk(Nest, Depth + 1);
+    }
+    Budget -= N;
+    double Sum = 0;
+    for (int64_t V = Lo; L.Step > 0 ? V <= Hi : V >= Hi; V += L.Step) {
+      Env[L.IndexVar] = V;
+      Sum += walk(Nest, Depth + 1);
+    }
+    return Sum;
+  }
+
+  std::map<std::string, int64_t> Env;
+  int64_t Budget = 0;
+};
+
+} // namespace
+
+ProgramEstimate analysis::estimateMisses(const layout::DataLayout &DL,
+                                         const CacheConfig &Cache) {
+  const ir::Program &P = DL.program();
+  int64_t Ls = Cache.LineBytes;
+  int64_t Cs = Cache.waySpanBytes();
+  ProgramEstimate Total;
+
+  for (const LoopGroup &G : collectLoopGroups(P)) {
+    // Iteration count for the whole nest.
+    IterationCounter IC;
+    double Iterations = IC.count(G.Nest);
+    if (Iterations == 0)
+      continue;
+
+    GroupReuse Reuse = analyzeReuse(DL, G, Ls);
+
+    // References charged a full miss because a severe-conflict partner
+    // flushes their line every iteration. A fully-associative cache has
+    // no conflicts.
+    std::vector<bool> Severe(G.Refs.size(), false);
+    if (Cache.Associativity != 0) {
+      for (size_t I = 0; I != G.Refs.size(); ++I) {
+        for (size_t J = I + 1; J != G.Refs.size(); ++J) {
+          std::optional<int64_t> Dist = iterationDistanceBytes(
+              DL, *G.Refs[I].Ref, *G.Refs[J].Ref);
+          if (!Dist || std::llabs(*Dist) < Ls)
+            continue;
+          if (conflictDistance(*Dist, Cs) < Ls)
+            Severe[I] = Severe[J] = true;
+        }
+      }
+    }
+
+    LoopEstimate LE;
+    LE.LoopVar = G.Innermost->IndexVar;
+    LE.Iterations = Iterations;
+    for (size_t I = 0; I != G.Refs.size(); ++I) {
+      const RefReuse &RR = Reuse.Refs[I];
+      const ir::ArrayRef &R = *G.Refs[I].Ref;
+      if (P.array(R.ArrayId).isScalar())
+        continue; // register-promoted, as in the trace generator
+      if (RR.Unanalyzable) {
+        // Indirect reference: one sequential index-array read plus one
+        // effectively random target access, which misses with
+        // probability ~ (target footprint / cache) once the target is
+        // warm (capped at 1 for targets larger than the cache).
+        double Footprint = static_cast<double>(DL.sizeBytes(R.ArrayId));
+        double TargetMiss =
+            std::min(1.0, Footprint / static_cast<double>(
+                                          Cache.SizeBytes));
+        LE.RefsPerIteration += 2;
+        LE.MissesPerIteration +=
+            TargetMiss + 4.0 / static_cast<double>(Ls);
+        continue;
+      }
+      ++LE.RefsPerIteration;
+      if (RR.Leader != I)
+        continue; // follower: its leader pays
+      if (Severe[I]) {
+        LE.MissesPerIteration += 1.0;
+        LE.HasSevereConflict = true;
+        continue;
+      }
+      switch (RR.Self) {
+      case SelfReuse::Temporal:
+        break; // one miss per loop, amortized to ~0
+      case SelfReuse::Spatial:
+        LE.MissesPerIteration +=
+            static_cast<double>(std::llabs(RR.StrideBytes)) /
+            static_cast<double>(Ls);
+        break;
+      case SelfReuse::None:
+        LE.MissesPerIteration += 1.0;
+        break;
+      }
+    }
+
+    Total.PredictedAccesses += Iterations * LE.RefsPerIteration;
+    Total.PredictedMisses += Iterations * LE.MissesPerIteration;
+    Total.Loops.push_back(std::move(LE));
+  }
+  return Total;
+}

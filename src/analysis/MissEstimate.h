@@ -1,0 +1,74 @@
+//===----------------------------------------------------------------------===//
+//
+// Part of the padx project, under the Apache License v2.0.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A static cache-miss estimator — the "simplified version of cache miss
+/// equations" the paper describes using to detect when large numbers of
+/// conflict misses occur, made explicit. For every loop group:
+///
+///   misses/iteration = sum over reuse-class leaders of
+///       0                       if self-temporal
+///       |stride| / LineBytes    if self-spatial
+///       1                       if no reuse
+///   ... except that any reference involved in a severe conflict pair
+///   (ConflictReport) is charged a full miss per iteration: the
+///   conflicting partner flushes its line before the reuse can happen.
+///
+/// Iteration counts come from trip counts with affine bounds evaluated
+/// at the midpoint of the enclosing ranges (exact for rectangular nests,
+/// a good first-order estimate for triangular ones). The estimator is
+/// intentionally cheap — O(refs^2) per loop — which is the paper's
+/// argument for padding heuristics over full cache miss equations.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PADX_ANALYSIS_MISSESTIMATE_H
+#define PADX_ANALYSIS_MISSESTIMATE_H
+
+#include "layout/DataLayout.h"
+#include "machine/CacheConfig.h"
+
+#include <cstdint>
+#include <vector>
+
+namespace padx {
+namespace analysis {
+
+struct LoopEstimate {
+  /// Index variable of the innermost loop (for reporting).
+  std::string LoopVar;
+  /// Estimated executions of the loop body.
+  double Iterations = 0;
+  /// References per body execution (after scalar promotion the trace
+  /// generator also applies).
+  unsigned RefsPerIteration = 0;
+  double MissesPerIteration = 0;
+  /// True if some reference in this loop is in a severe conflict pair.
+  bool HasSevereConflict = false;
+};
+
+struct ProgramEstimate {
+  std::vector<LoopEstimate> Loops;
+  double PredictedAccesses = 0;
+  double PredictedMisses = 0;
+
+  double predictedMissRatePercent() const {
+    return PredictedAccesses == 0
+               ? 0.0
+               : 100.0 * PredictedMisses / PredictedAccesses;
+  }
+};
+
+/// Estimates the miss rate of \p DL's program on \p Cache without
+/// simulation. Scalar references are excluded, matching the trace
+/// generator's register promotion.
+ProgramEstimate estimateMisses(const layout::DataLayout &DL,
+                               const CacheConfig &Cache);
+
+} // namespace analysis
+} // namespace padx
+
+#endif // PADX_ANALYSIS_MISSESTIMATE_H

@@ -1,0 +1,44 @@
+//===----------------------------------------------------------------------===//
+//
+// Part of the padx project, under the Apache License v2.0.
+//
+//===----------------------------------------------------------------------===//
+
+#include "analysis/ReferenceGroups.h"
+
+#include <map>
+
+using namespace padx;
+using namespace padx::analysis;
+
+std::vector<LoopGroup>
+analysis::collectLoopGroups(const ir::Program &P) {
+  // Keyed by innermost loop; iteration order of results follows first
+  // appearance to keep downstream padding decisions deterministic.
+  std::vector<LoopGroup> Groups;
+  std::map<const ir::Loop *, size_t> Index;
+
+  P.forEachAssign([&](const ir::Assign &A,
+                      const std::vector<const ir::Loop *> &Nest) {
+    if (Nest.empty())
+      return;
+    const ir::Loop *Inner = Nest.back();
+    auto It = Index.find(Inner);
+    if (It == Index.end()) {
+      It = Index.emplace(Inner, Groups.size()).first;
+      LoopGroup G;
+      G.Innermost = Inner;
+      G.Nest = Nest;
+      Groups.push_back(std::move(G));
+    }
+    LoopGroup &G = Groups[It->second];
+    for (const ir::ArrayRef &R : A.Refs) {
+      RefInstance RI;
+      RI.Ref = &R;
+      RI.Stmt = &A;
+      RI.Nest = Nest;
+      G.Refs.push_back(std::move(RI));
+    }
+  });
+  return Groups;
+}

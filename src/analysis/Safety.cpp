@@ -1,0 +1,36 @@
+//===----------------------------------------------------------------------===//
+//
+// Part of the padx project, under the Apache License v2.0.
+//
+//===----------------------------------------------------------------------===//
+
+#include "analysis/Safety.h"
+
+#include <set>
+#include <string>
+
+using namespace padx;
+using namespace padx::analysis;
+
+SafetyInfo analysis::analyzeSafety(const ir::Program &P) {
+  // A common block is frozen (cannot be split into independent variables)
+  // if any of its members has storage association.
+  std::set<std::string> FrozenBlocks;
+  for (const ir::ArrayVariable &V : P.arrays())
+    if (!V.CommonBlock.empty() && V.HasStorageAssociation)
+      FrozenBlocks.insert(V.CommonBlock);
+
+  SafetyInfo Info;
+  Info.CanPadIntra.reserve(P.arrays().size());
+  Info.CanMoveBase.reserve(P.arrays().size());
+  for (const ir::ArrayVariable &V : P.arrays()) {
+    bool InFrozenBlock =
+        !V.CommonBlock.empty() && FrozenBlocks.count(V.CommonBlock);
+    bool Intra = !V.IsParameter && !V.HasStorageAssociation &&
+                 !InFrozenBlock && !V.isScalar();
+    bool Move = !V.IsParameter && !InFrozenBlock;
+    Info.CanPadIntra.push_back(Intra);
+    Info.CanMoveBase.push_back(Move);
+  }
+  return Info;
+}

@@ -1,0 +1,53 @@
+//===----------------------------------------------------------------------===//
+//
+// Part of the padx project, under the Apache License v2.0.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Padding-safety analysis (paper Section 4.1). Intra-variable padding
+/// changes an array's internal addressing, so it is unsafe for arrays
+/// whose layout is observable elsewhere: formal parameters, arrays with
+/// storage association (EQUIVALENCE / sequence-associated common blocks).
+/// Inter-variable padding only moves base addresses, which is unsafe for
+/// parameters (the callee does not own the allocation) and for members of
+/// non-splittable common blocks (which must stay contiguous, so only the
+/// block as a whole moves).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PADX_ANALYSIS_SAFETY_H
+#define PADX_ANALYSIS_SAFETY_H
+
+#include "ir/Program.h"
+
+#include <vector>
+
+namespace padx {
+namespace analysis {
+
+struct SafetyInfo {
+  /// Per array id: dimension sizes may be changed.
+  std::vector<bool> CanPadIntra;
+  /// Per array id: the base address may be moved independently.
+  std::vector<bool> CanMoveBase;
+
+  unsigned numIntraSafe() const {
+    unsigned N = 0;
+    for (bool B : CanPadIntra)
+      N += B;
+    return N;
+  }
+};
+
+/// Computes safety flags for every variable of \p P. A common-block
+/// member is treated as non-splittable (frozen inside its block) when any
+/// member of the block has storage association; otherwise the paper's
+/// sequence-association splitting applies and members are independently
+/// movable.
+SafetyInfo analyzeSafety(const ir::Program &P);
+
+} // namespace analysis
+} // namespace padx
+
+#endif // PADX_ANALYSIS_SAFETY_H

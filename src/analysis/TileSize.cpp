@@ -1,0 +1,65 @@
+//===----------------------------------------------------------------------===//
+//
+// Part of the padx project, under the Apache License v2.0.
+//
+//===----------------------------------------------------------------------===//
+
+#include "analysis/TileSize.h"
+
+#include "support/MathExtras.h"
+
+#include <algorithm>
+#include <cassert>
+
+using namespace padx;
+using namespace padx::analysis;
+
+int64_t analysis::maxTileRows(int64_t CacheElems, int64_t ColElems,
+                              int64_t Cols) {
+  assert(CacheElems > 0 && ColElems > 0 && Cols >= 1 &&
+         "invalid tile query");
+  if (Cols == 1)
+    return std::min(CacheElems, ColElems);
+  // Offsets of the tile's columns on the cache.
+  std::vector<int64_t> Offsets;
+  Offsets.reserve(static_cast<size_t>(Cols));
+  for (int64_t K = 0; K != Cols; ++K)
+    Offsets.push_back(floorMod(K * ColElems, CacheElems));
+  std::sort(Offsets.begin(), Offsets.end());
+  // Minimum circular gap between consecutive offsets bounds the rows a
+  // column may occupy before it touches the next column's lines.
+  int64_t MinGap = CacheElems - Offsets.back() + Offsets.front();
+  for (size_t I = 1; I != Offsets.size(); ++I)
+    MinGap = std::min(MinGap, Offsets[I] - Offsets[I - 1]);
+  return std::min(MinGap, ColElems);
+}
+
+std::vector<TileCandidate>
+analysis::nonConflictingTiles(int64_t CacheElems, int64_t ColElems,
+                              int64_t MaxCols) {
+  std::vector<TileCandidate> Front;
+  int64_t LastRows = 0;
+  for (int64_t Cols = MaxCols; Cols >= 1; --Cols) {
+    int64_t Rows = maxTileRows(CacheElems, ColElems, Cols);
+    if (Rows <= 0)
+      continue;
+    if (Rows > LastRows) {
+      Front.push_back({Rows, Cols});
+      LastRows = Rows;
+    }
+  }
+  // Built narrowest-height-increasing from the wide end; report
+  // widest-first (heights increase toward the end).
+  return Front;
+}
+
+TileCandidate analysis::selectTileSize(int64_t CacheElems,
+                                       int64_t ColElems,
+                                       int64_t MaxCols) {
+  TileCandidate Best;
+  for (const TileCandidate &C :
+       nonConflictingTiles(CacheElems, ColElems, MaxCols))
+    if (C.area() > Best.area())
+      Best = C;
+  return Best;
+}

@@ -1,0 +1,59 @@
+//===----------------------------------------------------------------------===//
+//
+// Part of the padx project, under the Apache License v2.0.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Tile-size selection avoiding self-interference, after Coleman &
+/// McKinley (PLDI 1995) — the work the paper cites as the related use of
+/// the Euclidean structure: when tiling a column-major array of column
+/// size Col on a cache of size C_s (both in elements), a tile of w
+/// columns by h rows is conflict-free iff the w column intervals
+/// [k*Col mod C_s, k*Col mod C_s + h) are pairwise disjoint. The largest
+/// such h for a given w is the minimum circular gap between the first w
+/// column offsets; by the three-distance theorem it degrades in steps
+/// tied to the same remainder sequence FirstConflict walks.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PADX_ANALYSIS_TILESIZE_H
+#define PADX_ANALYSIS_TILESIZE_H
+
+#include <cstdint>
+#include <vector>
+
+namespace padx {
+namespace analysis {
+
+struct TileCandidate {
+  int64_t Rows = 0; ///< h: contiguous elements per column.
+  int64_t Cols = 0; ///< w: number of columns.
+
+  int64_t area() const { return Rows * Cols; }
+};
+
+/// Largest h such that a tile of \p Cols columns by h rows of an array
+/// with column size \p ColElems self-interferes nowhere in a cache of
+/// \p CacheElems elements (direct mapped). Returns 0 when two of the
+/// column offsets coincide (no conflict-free tile of that width).
+int64_t maxTileRows(int64_t CacheElems, int64_t ColElems, int64_t Cols);
+
+/// The Pareto front of conflict-free tiles up to \p MaxCols columns:
+/// widths at which the achievable height strictly drops, widest-first
+/// heights decreasing. Every returned candidate is conflict-free and no
+/// wider tile achieves its height.
+std::vector<TileCandidate> nonConflictingTiles(int64_t CacheElems,
+                                               int64_t ColElems,
+                                               int64_t MaxCols);
+
+/// Picks the candidate with the largest area (working set) subject to
+/// Rows <= ColElems and Cols <= MaxCols — the Coleman-McKinley
+/// selection criterion in its simplest form.
+TileCandidate selectTileSize(int64_t CacheElems, int64_t ColElems,
+                             int64_t MaxCols);
+
+} // namespace analysis
+} // namespace padx
+
+#endif // PADX_ANALYSIS_TILESIZE_H

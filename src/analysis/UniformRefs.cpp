@@ -1,0 +1,74 @@
+//===----------------------------------------------------------------------===//
+//
+// Part of the padx project, under the Apache License v2.0.
+//
+//===----------------------------------------------------------------------===//
+
+#include "analysis/UniformRefs.h"
+
+using namespace padx;
+using namespace padx::analysis;
+
+bool analysis::hasUniformShape(const ir::ArrayRef &R) {
+  if (R.IndirectDim >= 0)
+    return false;
+  for (const ir::AffineExpr &S : R.Subscripts)
+    if (!S.isConstant() && !S.isIndexPlusConstant())
+      return false;
+  return true;
+}
+
+bool analysis::arraysConform(const layout::DataLayout &DL, unsigned A,
+                             unsigned B) {
+  const ir::Program &P = DL.program();
+  if (P.array(A).ElemSize != P.array(B).ElemSize)
+    return false;
+  const auto &DimsA = DL.layout(A).Dims;
+  const auto &DimsB = DL.layout(B).Dims;
+  if (DimsA.size() != DimsB.size())
+    return false;
+  // Equal sizes in all but the highest dimension. (For rank <= 1 there is
+  // nothing to compare: 1-D arrays of different sizes conform.)
+  for (size_t D = 0; D + 1 < DimsA.size(); ++D)
+    if (DimsA[D] != DimsB[D])
+      return false;
+  return true;
+}
+
+bool analysis::areUniformlyGenerated(const layout::DataLayout &DL,
+                                     const ir::ArrayRef &R1,
+                                     const ir::ArrayRef &R2) {
+  if (!hasUniformShape(R1) || !hasUniformShape(R2))
+    return false;
+  if (R1.Subscripts.size() != R2.Subscripts.size())
+    return false;
+  // References to the *same* array are uniformly generated whenever both
+  // have uniform shape; different arrays must conform.
+  if (R1.ArrayId != R2.ArrayId && !arraysConform(DL, R1.ArrayId, R2.ArrayId))
+    return false;
+  for (size_t D = 0, E = R1.Subscripts.size(); D != E; ++D) {
+    std::string V1, V2;
+    bool HasVar1 = R1.Subscripts[D].isIndexPlusConstant(&V1);
+    bool HasVar2 = R2.Subscripts[D].isIndexPlusConstant(&V2);
+    if (HasVar1 != HasVar2)
+      return false;
+    if (HasVar1 && V1 != V2)
+      return false;
+  }
+  return true;
+}
+
+double analysis::percentUniformRefs(const ir::Program &P) {
+  unsigned Total = 0, Uniform = 0;
+  P.forEachAssign(
+      [&](const ir::Assign &A, const std::vector<const ir::Loop *> &) {
+        for (const ir::ArrayRef &R : A.Refs) {
+          ++Total;
+          if (hasUniformShape(R))
+            ++Uniform;
+        }
+      });
+  if (Total == 0)
+    return 100.0;
+  return 100.0 * static_cast<double>(Uniform) / static_cast<double>(Total);
+}

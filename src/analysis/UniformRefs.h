@@ -1,0 +1,53 @@
+//===----------------------------------------------------------------------===//
+//
+// Part of the padx project, under the Apache License v2.0.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Uniformly generated references (Gannon et al.), extended to conforming
+/// arrays as in the paper: a pair of d-dimensional references
+/// A(i1+r1, ..., id+rd) and B(i1+s1, ..., id+sd) over arrays with equal
+/// element sizes and equal dimension sizes in all but the highest
+/// dimension. Their address difference is constant on every iteration,
+/// which is what makes compile-time conflict prediction possible.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PADX_ANALYSIS_UNIFORMREFS_H
+#define PADX_ANALYSIS_UNIFORMREFS_H
+
+#include "ir/Program.h"
+#include "layout/DataLayout.h"
+
+namespace padx {
+namespace analysis {
+
+/// True if the reference has the uniformly-generated shape: every
+/// subscript is a loop index plus a constant, or a bare constant, and no
+/// subscript is indirect. Scalar references trivially qualify.
+bool hasUniformShape(const ir::ArrayRef &R);
+
+/// True if arrays \p A and \p B conform under layout \p DL: equal element
+/// sizes, equal rank, and equal (padded) sizes in every dimension except
+/// the highest. A scalar conforms only with scalars.
+bool arraysConform(const layout::DataLayout &DL, unsigned A, unsigned B);
+
+/// True if \p R1 and \p R2 form a uniformly generated pair under layout
+/// \p DL: both have uniform shape, their arrays conform, and corresponding
+/// subscripts use the same index variable (or are both constants). The
+/// references may target the same array (the IntraPad case, where the pair
+/// is uniformly generated regardless of conformity) or different arrays
+/// (the InterPad case).
+bool areUniformlyGenerated(const layout::DataLayout &DL,
+                           const ir::ArrayRef &R1, const ir::ArrayRef &R2);
+
+/// Percentage (0..100) of references in \p P with uniform shape — the
+/// paper's Table 2 "% Unif. Refs" column. Returns 100 for an empty
+/// program.
+double percentUniformRefs(const ir::Program &P);
+
+} // namespace analysis
+} // namespace padx
+
+#endif // PADX_ANALYSIS_UNIFORMREFS_H

@@ -1,0 +1,45 @@
+//===----------------------------------------------------------------------===//
+//
+// Part of the padx project, under the Apache License v2.0.
+//
+//===----------------------------------------------------------------------===//
+
+#include "cachesim/CacheHierarchy.h"
+
+#include <cassert>
+
+using namespace padx;
+using namespace padx::sim;
+
+CacheHierarchy::CacheHierarchy(const MachineModel &Machine) {
+  assert(!Machine.Levels.empty() && "hierarchy needs at least one level");
+  Levels.reserve(Machine.Levels.size());
+  for (const CacheConfig &C : Machine.Levels)
+    Levels.emplace_back(C);
+}
+
+void CacheHierarchy::access(int64_t Addr, int64_t Size, bool IsWrite) {
+  // Split at the innermost level's line granularity so per-level
+  // propagation stays line-by-line.
+  int64_t LineBytes = Levels.front().config().LineBytes;
+  int64_t First = Addr / LineBytes;
+  int64_t Last = (Addr + Size - 1) / LineBytes;
+  for (int64_t L = First; L <= Last; ++L) {
+    int64_t LineAddr = L * LineBytes;
+    bool Hit = false;
+    for (CacheSim &Level : Levels) {
+      if (Level.accessLine(LineAddr, IsWrite)) {
+        Hit = true;
+        break;
+      }
+    }
+    if (!Hit)
+      ++MemoryAccesses;
+  }
+}
+
+void CacheHierarchy::reset() {
+  for (CacheSim &Level : Levels)
+    Level.reset();
+  MemoryAccesses = 0;
+}

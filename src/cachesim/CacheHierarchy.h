@@ -1,0 +1,58 @@
+//===----------------------------------------------------------------------===//
+//
+// Part of the padx project, under the Apache License v2.0.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A simple multi-level cache: accesses probe L1; L1 misses probe L2, and
+/// so on. Write-backs from one level are sent to the next as writes.
+/// Complements the multilevel padding generalization — the experiment
+/// harness can show that padding against a MachineModel reduces misses
+/// at every level of the simulated hierarchy.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PADX_CACHESIM_CACHEHIERARCHY_H
+#define PADX_CACHESIM_CACHEHIERARCHY_H
+
+#include "cachesim/CacheSim.h"
+
+#include <vector>
+
+namespace padx {
+namespace sim {
+
+class CacheHierarchy {
+public:
+  /// Builds one CacheSim per level of \p Machine (innermost first).
+  /// Requires at least one level.
+  explicit CacheHierarchy(const MachineModel &Machine);
+
+  /// One access: stops at the first level that hits; misses propagate to
+  /// the next level. Write-backs are counted per level (dirty-eviction
+  /// traffic between levels is not re-injected — the usual simplification
+  /// for miss-rate studies, which write-back traffic does not affect).
+  void access(int64_t Addr, int64_t Size, bool IsWrite);
+
+  unsigned numLevels() const {
+    return static_cast<unsigned>(Levels.size());
+  }
+  const CacheStats &stats(unsigned Level) const {
+    return Levels[Level].stats();
+  }
+
+  /// Accesses that missed every level.
+  uint64_t memoryAccesses() const { return MemoryAccesses; }
+
+  void reset();
+
+private:
+  std::vector<CacheSim> Levels;
+  uint64_t MemoryAccesses = 0;
+};
+
+} // namespace sim
+} // namespace padx
+
+#endif // PADX_CACHESIM_CACHEHIERARCHY_H

@@ -1,0 +1,163 @@
+//===----------------------------------------------------------------------===//
+//
+// Part of the padx project, under the Apache License v2.0.
+//
+//===----------------------------------------------------------------------===//
+
+#include "cachesim/CacheSim.h"
+
+#include "support/MathExtras.h"
+
+#include <algorithm>
+#include <cassert>
+
+using namespace padx;
+using namespace padx::sim;
+
+CacheSim::CacheSim(const CacheConfig &Config) : Config(Config) {
+  assert(Config.isValid() && "invalid cache configuration");
+  LineShift = log2OfPow2(Config.LineBytes);
+  FullyAssoc = Config.Associativity == 0;
+  if (FullyAssoc) {
+    Capacity = Config.numLines();
+    Nodes.resize(static_cast<size_t>(Capacity));
+    NodeOf.reserve(static_cast<size_t>(Capacity) * 2);
+  } else {
+    Ways = Config.Associativity;
+    NumSets = Config.numSets();
+    SetShift = log2OfPow2(NumSets);
+    Entries.resize(static_cast<size_t>(NumSets) * Ways);
+    MruWay.assign(static_cast<size_t>(NumSets), 0);
+  }
+}
+
+void CacheSim::reset() {
+  Stats = CacheStats();
+  Clock = 0;
+  for (Entry &E : Entries)
+    E = Entry();
+  std::fill(MruWay.begin(), MruWay.end(), 0);
+  NodeOf.clear();
+  Head = Tail = kNull;
+  NumNodes = 0;
+}
+
+bool CacheSim::access(int64_t Addr, int64_t Size, bool IsWrite) {
+  assert(Size > 0 && "access size must be positive");
+  int64_t FirstLine = Addr >> LineShift;
+  int64_t LastLine = (Addr + Size - 1) >> LineShift;
+  bool AllHit = true;
+  for (int64_t Line = FirstLine; Line <= LastLine; ++Line)
+    AllHit &= accessLine(Line << LineShift, IsWrite);
+  return AllHit;
+}
+
+bool CacheSim::accessLine(int64_t Addr, bool IsWrite) {
+  ++Stats.Accesses;
+  if (IsWrite)
+    ++Stats.Writes;
+  else
+    ++Stats.Reads;
+  int64_t LineAddr = Addr >> LineShift;
+  bool Hit = FullyAssoc ? accessFullyAssoc(LineAddr, IsWrite)
+                        : accessSetAssoc(LineAddr, IsWrite);
+  if (!Hit)
+    ++Stats.Misses;
+  return Hit;
+}
+
+bool CacheSim::accessSetAssoc(int64_t LineAddr, bool IsWrite) {
+  // NumSets is a power of two; when NumSets == 1 the mask is zero and
+  // the tag is the full line address.
+  int64_t Set = LineAddr & (NumSets - 1);
+  int64_t Tag = LineAddr >> SetShift;
+  Entry *SetBase = &Entries[static_cast<size_t>(Set) * Ways];
+  ++Clock;
+
+  // Element-granularity traces touch the same line several times in a
+  // row, so probe the most-recently-hit way of this set first.
+  uint8_t &Mru = MruWay[static_cast<size_t>(Set)];
+  Entry &Hot = SetBase[Mru];
+  if (Hot.Valid && Hot.Tag == Tag) {
+    Hot.Stamp = Clock;
+    Hot.Dirty |= IsWrite;
+    return true;
+  }
+
+  Entry *Victim = SetBase;
+  for (int W = 0; W != Ways; ++W) {
+    Entry &E = SetBase[W];
+    if (E.Valid && E.Tag == Tag) {
+      E.Stamp = Clock;
+      E.Dirty |= IsWrite;
+      Mru = static_cast<uint8_t>(W);
+      return true;
+    }
+    if (!E.Valid) {
+      Victim = &E;
+      // Keep scanning: a later way may still hold the tag.
+    } else if (Victim->Valid && E.Stamp < Victim->Stamp) {
+      Victim = &E;
+    }
+  }
+  if (Victim->Valid && Victim->Dirty)
+    ++Stats.WriteBacks;
+  Victim->Valid = true;
+  Victim->Tag = Tag;
+  Victim->Stamp = Clock;
+  Victim->Dirty = IsWrite;
+  Mru = static_cast<uint8_t>(Victim - SetBase);
+  return false;
+}
+
+void CacheSim::listUnlink(uint32_t N) {
+  Node &Nd = Nodes[N];
+  if (Nd.Prev != kNull)
+    Nodes[Nd.Prev].Next = Nd.Next;
+  else
+    Head = Nd.Next;
+  if (Nd.Next != kNull)
+    Nodes[Nd.Next].Prev = Nd.Prev;
+  else
+    Tail = Nd.Prev;
+}
+
+void CacheSim::listPushFront(uint32_t N) {
+  Node &Nd = Nodes[N];
+  Nd.Prev = kNull;
+  Nd.Next = Head;
+  if (Head != kNull)
+    Nodes[Head].Prev = N;
+  Head = N;
+  if (Tail == kNull)
+    Tail = N;
+}
+
+bool CacheSim::accessFullyAssoc(int64_t LineAddr, bool IsWrite) {
+  auto It = NodeOf.find(LineAddr);
+  if (It != NodeOf.end()) {
+    uint32_t N = It->second;
+    Nodes[N].Dirty |= IsWrite;
+    if (Head != N) {
+      listUnlink(N);
+      listPushFront(N);
+    }
+    return true;
+  }
+  uint32_t N;
+  if (NumNodes < Capacity) {
+    N = NumNodes++;
+  } else {
+    // Evict the LRU line.
+    N = Tail;
+    if (Nodes[N].Dirty)
+      ++Stats.WriteBacks;
+    NodeOf.erase(Nodes[N].Line);
+    listUnlink(N);
+  }
+  Nodes[N].Line = LineAddr;
+  Nodes[N].Dirty = IsWrite;
+  listPushFront(N);
+  NodeOf.emplace(LineAddr, N);
+  return false;
+}

@@ -1,0 +1,114 @@
+//===----------------------------------------------------------------------===//
+//
+// Part of the padx project, under the Apache License v2.0.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Trace-driven cache simulator standing in for the paper's SHADE setup:
+/// a single-level, write-allocate, write-back cache with LRU replacement
+/// and configurable size / line size / associativity (1 = direct mapped,
+/// 0 = fully associative). Fully-associative simulation uses an O(1)
+/// hash-map LRU so that classifying misses against a
+/// same-capacity fully-associative cache stays cheap.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PADX_CACHESIM_CACHESIM_H
+#define PADX_CACHESIM_CACHESIM_H
+
+#include "machine/CacheConfig.h"
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+namespace padx {
+namespace sim {
+
+struct CacheStats {
+  uint64_t Accesses = 0;
+  uint64_t Misses = 0;
+  uint64_t Reads = 0;
+  uint64_t Writes = 0;
+  uint64_t WriteBacks = 0;
+
+  uint64_t hits() const { return Accesses - Misses; }
+  double missRate() const {
+    return Accesses == 0
+               ? 0.0
+               : static_cast<double>(Misses) /
+                     static_cast<double>(Accesses);
+  }
+};
+
+class CacheSim {
+public:
+  explicit CacheSim(const CacheConfig &Config);
+
+  const CacheConfig &config() const { return Config; }
+  const CacheStats &stats() const { return Stats; }
+
+  /// Simulates one access of \p Size bytes at byte address \p Addr
+  /// (accesses spanning multiple lines touch each line once). Returns
+  /// true if every touched line hit.
+  bool access(int64_t Addr, int64_t Size, bool IsWrite);
+
+  /// Single-line access of the line containing \p Addr. Returns true on
+  /// hit. This is the hot path used by the trace generator for
+  /// line-aligned element accesses.
+  bool accessLine(int64_t Addr, bool IsWrite);
+
+  /// Empties the cache and zeroes statistics.
+  void reset();
+
+private:
+  bool accessSetAssoc(int64_t LineAddr, bool IsWrite);
+  bool accessFullyAssoc(int64_t LineAddr, bool IsWrite);
+
+  CacheConfig Config;
+  CacheStats Stats;
+
+  // Geometry, precomputed.
+  unsigned LineShift = 0;
+  unsigned SetShift = 0;
+  int64_t NumSets = 0;
+  int Ways = 0;
+  bool FullyAssoc = false;
+
+  // Set-associative storage: per (set, way) entries, LRU by stamp.
+  struct Entry {
+    int64_t Tag = -1;
+    uint64_t Stamp = 0;
+    bool Valid = false;
+    bool Dirty = false;
+  };
+  std::vector<Entry> Entries;
+  /// Per-set most-recently-hit way, probed first.
+  std::vector<uint8_t> MruWay;
+  uint64_t Clock = 0;
+
+  // Fully-associative storage: hash-map LRU with an intrusive list over a
+  // node pool.
+  struct Node {
+    int64_t Line = 0;
+    uint32_t Prev = 0;
+    uint32_t Next = 0;
+    bool Dirty = false;
+  };
+  std::vector<Node> Nodes;
+  std::unordered_map<int64_t, uint32_t> NodeOf;
+  uint32_t Head = kNull; ///< Most recently used.
+  uint32_t Tail = kNull; ///< Least recently used.
+  uint32_t NumNodes = 0;
+  int64_t Capacity = 0; ///< Lines.
+  static constexpr uint32_t kNull = 0xffffffffu;
+
+  void listUnlink(uint32_t N);
+  void listPushFront(uint32_t N);
+};
+
+} // namespace sim
+} // namespace padx
+
+#endif // PADX_CACHESIM_CACHESIM_H

@@ -1,0 +1,43 @@
+//===----------------------------------------------------------------------===//
+//
+// Part of the padx project, under the Apache License v2.0.
+//
+//===----------------------------------------------------------------------===//
+
+#include "cachesim/MissClassifier.h"
+
+using namespace padx;
+using namespace padx::sim;
+
+void MissClassifier::accessLine(int64_t Addr, bool IsWrite) {
+  ++Breakdown.Accesses;
+  int64_t Line = Addr / Target.config().LineBytes;
+  bool FirstTouch = Touched.insert(Line).second;
+  bool TargetHit = Target.accessLine(Addr, IsWrite);
+  bool FullyHit = Fully.accessLine(Addr, IsWrite);
+  if (TargetHit) {
+    ++Breakdown.Hits;
+    return;
+  }
+  if (FirstTouch)
+    ++Breakdown.Compulsory;
+  else if (!FullyHit)
+    ++Breakdown.Capacity;
+  else
+    ++Breakdown.Conflict;
+}
+
+void MissClassifier::access(int64_t Addr, int64_t Size, bool IsWrite) {
+  int64_t LineBytes = Target.config().LineBytes;
+  int64_t First = Addr / LineBytes;
+  int64_t Last = (Addr + Size - 1) / LineBytes;
+  for (int64_t L = First; L <= Last; ++L)
+    accessLine(L * LineBytes, IsWrite);
+}
+
+void MissClassifier::reset() {
+  Target.reset();
+  Fully.reset();
+  Touched.clear();
+  Breakdown = MissBreakdown();
+}

@@ -1,0 +1,74 @@
+//===----------------------------------------------------------------------===//
+//
+// Part of the padx project, under the Apache License v2.0.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Classifies the misses of a target cache into the three Cs by running a
+/// same-capacity fully-associative LRU cache and a first-touch set in
+/// parallel:
+///   * compulsory — first access to the line ever;
+///   * capacity   — the fully-associative cache misses too;
+///   * conflict   — the target misses but full associativity would hit.
+/// The paper's claim is that padding removes specifically the conflict
+/// component; tests and the experiment harness verify that with this
+/// classifier.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PADX_CACHESIM_MISSCLASSIFIER_H
+#define PADX_CACHESIM_MISSCLASSIFIER_H
+
+#include "cachesim/CacheSim.h"
+
+#include <unordered_set>
+
+namespace padx {
+namespace sim {
+
+struct MissBreakdown {
+  uint64_t Accesses = 0;
+  uint64_t Hits = 0;
+  uint64_t Compulsory = 0;
+  uint64_t Capacity = 0;
+  uint64_t Conflict = 0;
+
+  uint64_t misses() const { return Compulsory + Capacity + Conflict; }
+  double missRate() const {
+    return Accesses == 0 ? 0.0
+                         : static_cast<double>(misses()) /
+                               static_cast<double>(Accesses);
+  }
+  double conflictRate() const {
+    return Accesses == 0 ? 0.0
+                         : static_cast<double>(Conflict) /
+                               static_cast<double>(Accesses);
+  }
+};
+
+class MissClassifier {
+public:
+  explicit MissClassifier(const CacheConfig &Config)
+      : Target(Config),
+        Fully(CacheConfig{Config.SizeBytes, Config.LineBytes,
+                          /*Associativity=*/0}) {}
+
+  void access(int64_t Addr, int64_t Size, bool IsWrite);
+  void accessLine(int64_t Addr, bool IsWrite);
+  void reset();
+
+  const MissBreakdown &breakdown() const { return Breakdown; }
+  const CacheSim &target() const { return Target; }
+
+private:
+  CacheSim Target;
+  CacheSim Fully;
+  std::unordered_set<int64_t> Touched;
+  MissBreakdown Breakdown;
+};
+
+} // namespace sim
+} // namespace padx
+
+#endif // PADX_CACHESIM_MISSCLASSIFIER_H

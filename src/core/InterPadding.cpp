@@ -1,0 +1,221 @@
+//===----------------------------------------------------------------------===//
+//
+// Part of the padx project, under the Apache License v2.0.
+//
+//===----------------------------------------------------------------------===//
+
+#include "core/InterPadding.h"
+
+#include "analysis/ConflictDistance.h"
+#include "analysis/ReferenceGroups.h"
+#include "support/MathExtras.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cstdlib>
+#include <map>
+#include <string>
+
+using namespace padx;
+using namespace padx::pad;
+
+int64_t pad::interPadLiteNeededPad(int64_t Addr, int64_t SizeA,
+                                   int64_t BaseB, int64_t SizeB,
+                                   const CacheConfig &Level,
+                                   int64_t MinSepLines) {
+  // The Lite heuristic assumes severe conflicts arise between
+  // equally-sized variables (same-size arrays walked in lockstep).
+  if (SizeA != SizeB)
+    return 0;
+  int64_t Cs = Level.waySpanBytes();
+  int64_t M = std::min(MinSepLines * Level.LineBytes, Cs / 2);
+  int64_t Rem = floorMod(Addr - BaseB, Cs);
+  if (Rem >= M && Rem <= Cs - M)
+    return 0;
+  // Advance to the nearest address whose separation is at least M.
+  return Rem < M ? M - Rem : Cs - Rem + M;
+}
+
+namespace {
+
+/// Per-loop-group index of references by array id, built once per
+/// program; base-address assignment re-scans pairs every time a tentative
+/// address moves.
+struct GroupIndex {
+  std::vector<std::map<unsigned, std::vector<const ir::ArrayRef *>>>
+      ByArray;
+
+  explicit GroupIndex(const ir::Program &P) {
+    for (const analysis::LoopGroup &G : analysis::collectLoopGroups(P)) {
+      ByArray.emplace_back();
+      for (const analysis::RefInstance &RI : G.Refs)
+        ByArray.back()[RI.Ref->ArrayId].push_back(RI.Ref);
+    }
+  }
+};
+
+class BaseAssigner {
+public:
+  BaseAssigner(layout::DataLayout &DL, const analysis::SafetyInfo &Safety,
+               const std::vector<CacheConfig> &Levels,
+               const PaddingScheme &Scheme, PaddingStats &Stats)
+      : DL(DL), Safety(Safety), Levels(Levels), Scheme(Scheme),
+        Stats(Stats), Groups(DL.program()) {}
+
+  /// Placement order: declaration order, or (ReorderBySize) movable
+  /// variables re-sorted by decreasing padded size with unmovable ones
+  /// pinned to their original slots.
+  std::vector<unsigned> placementOrder() const {
+    std::vector<unsigned> Order(DL.numArrays());
+    for (unsigned Id = 0; Id != DL.numArrays(); ++Id)
+      Order[Id] = Id;
+    if (!Scheme.ReorderBySize)
+      return Order;
+    std::vector<unsigned> Movable;
+    for (unsigned Id : Order)
+      if (Safety.CanMoveBase[Id])
+        Movable.push_back(Id);
+    std::stable_sort(Movable.begin(), Movable.end(),
+                     [&](unsigned A, unsigned B) {
+                       return DL.sizeBytes(A) > DL.sizeBytes(B);
+                     });
+    size_t NextMovable = 0;
+    for (unsigned &Slot : Order)
+      if (Safety.CanMoveBase[Slot])
+        Slot = Movable[NextMovable++];
+    return Order;
+  }
+
+  void run() {
+    const ir::Program &P = DL.program();
+    int64_t Next = 0;
+    for (unsigned Id : placementOrder()) {
+      int64_t Align = P.array(Id).ElemSize;
+      int64_t Start = ceilDiv(Next, Align) * Align;
+      int64_t Addr = Start;
+      if (Safety.CanMoveBase[Id] && Scheme.EnableInter)
+        Addr = padAddress(Id, Start);
+      DL.layout(Id).BaseAddr = Addr;
+      if (Addr != Start) {
+        Stats.InterPadBytes += Addr - Start;
+        Stats.Log.push_back("inter " + P.array(Id).Name + ": +" +
+                            std::to_string(Addr - Start) + " bytes (" +
+                            (Scheme.Inter == Precision::Lite
+                                 ? "InterPadLite"
+                                 : "InterPad") +
+                            ")");
+      }
+      Next = Addr + DL.sizeBytes(Id);
+    }
+  }
+
+private:
+  /// Largest pad any placed variable demands for array \p Id at \p Addr.
+  int64_t neededPad(unsigned Id, int64_t Addr) const {
+    int64_t Pad = 0;
+    for (unsigned B = 0, E = DL.numArrays(); B != E; ++B) {
+      if (B == Id)
+        continue;
+      if (DL.layout(B).BaseAddr == layout::ArrayLayout::kUnassigned)
+        continue;
+      int64_t P = Scheme.Inter == Precision::Lite
+                      ? neededPadLite(Id, Addr, B)
+                      : neededPadPrecise(Id, Addr, B);
+      if (P > Pad)
+        Pad = P;
+    }
+    return Pad;
+  }
+
+  int64_t neededPadLite(unsigned Id, int64_t Addr, unsigned B) const {
+    const ir::Program &P = DL.program();
+    // Scalars are register-allocated by any reasonable backend and
+    // cannot cause per-iteration conflicts; spacing them out would only
+    // waste locality.
+    if (P.array(Id).isScalar() || P.array(B).isScalar())
+      return 0;
+    int64_t Pad = 0;
+    for (const CacheConfig &L : Levels)
+      Pad = std::max(Pad, interPadLiteNeededPad(
+                              Addr, DL.sizeBytes(Id),
+                              DL.layout(B).BaseAddr, DL.sizeBytes(B), L,
+                              Scheme.MinSeparationLines));
+    return Pad;
+  }
+
+  int64_t neededPadPrecise(unsigned Id, int64_t Addr, unsigned B) const {
+    int64_t Pad = 0;
+    int64_t BaseB = DL.layout(B).BaseAddr;
+    for (const auto &Group : Groups.ByArray) {
+      auto ItA = Group.find(Id);
+      auto ItB = Group.find(B);
+      if (ItA == Group.end() || ItB == Group.end())
+        continue;
+      for (const ir::ArrayRef *RA : ItA->second) {
+        for (const ir::ArrayRef *RB : ItB->second) {
+          std::optional<int64_t> Dist = analysis::iterationDistanceBytes(
+              DL, *RA, *RB, Addr, BaseB);
+          if (!Dist)
+            continue;
+          for (const CacheConfig &L : Levels) {
+            int64_t Ls = L.LineBytes;
+            // Genuinely adjacent addresses share lines by design.
+            if (std::llabs(*Dist) < Ls)
+              continue;
+            int64_t Cs = L.waySpanBytes();
+            int64_t Rem = floorMod(*Dist, Cs);
+            if (Rem >= Ls && Rem <= Cs - Ls)
+              continue;
+            // Minimal forward move making the conflict distance >= Ls.
+            int64_t Need = Rem < Ls ? Ls - Rem : Cs - Rem + Ls;
+            if (Need > Pad)
+              Pad = Need;
+          }
+        }
+      }
+    }
+    return Pad;
+  }
+
+  /// Paper Figure 5 for one variable: advance the tentative address until
+  /// no placed variable demands a pad; give up past one cache size.
+  int64_t padAddress(unsigned Id, int64_t Start) {
+    int64_t Align = DL.program().array(Id).ElemSize;
+    int64_t Limit = 0;
+    for (const CacheConfig &L : Levels)
+      Limit = std::max(Limit, L.waySpanBytes());
+    int64_t Addr = Start;
+    while (true) {
+      int64_t Pad = neededPad(Id, Addr);
+      if (Pad == 0)
+        return Addr;
+      Addr += ceilDiv(Pad, Align) * Align;
+      if (Addr - Start > Limit) {
+        Stats.InterFallback = true;
+        Stats.Log.push_back("inter " + DL.program().array(Id).Name +
+                            ": no conflict-free address within one cache "
+                            "size, keeping packed position");
+        return Start;
+      }
+    }
+  }
+
+  layout::DataLayout &DL;
+  const analysis::SafetyInfo &Safety;
+  const std::vector<CacheConfig> &Levels;
+  const PaddingScheme &Scheme;
+  PaddingStats &Stats;
+  GroupIndex Groups;
+};
+
+} // namespace
+
+void pad::assignBasesWithPadding(layout::DataLayout &DL,
+                                 const analysis::SafetyInfo &Safety,
+                                 const std::vector<CacheConfig> &Levels,
+                                 const PaddingScheme &Scheme,
+                                 PaddingStats &Stats) {
+  assert((DL.numArrays() == 0 || !DL.allBasesAssigned()) &&
+         "bases already assigned");
+  BaseAssigner(DL, Safety, Levels, Scheme, Stats).run();
+}

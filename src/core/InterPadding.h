@@ -1,0 +1,57 @@
+//===----------------------------------------------------------------------===//
+//
+// Part of the padx project, under the Apache License v2.0.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Inter-variable padding (paper Section 2.1): assigns base addresses
+/// greedily in declaration order, advancing a variable's tentative
+/// address while a pad condition holds against any already-placed
+/// variable (paper Figure 5). InterPadLite separates equally-sized arrays
+/// by at least M cache lines; InterPad computes exact conflict distances
+/// between references executed in the same loop iteration and requires
+/// them to be at least one line apart. If a variable's address is pushed
+/// more than a cache size past its starting point, no satisfactory
+/// address exists and the original one is kept.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PADX_CORE_INTERPADDING_H
+#define PADX_CORE_INTERPADDING_H
+
+#include "analysis/Safety.h"
+#include "core/PaddingScheme.h"
+#include "core/PaddingStats.h"
+#include "layout/DataLayout.h"
+#include "machine/CacheConfig.h"
+
+#include <vector>
+
+namespace padx {
+namespace pad {
+
+/// Assigns every base address in \p DL (they must all be unassigned),
+/// padding according to \p Scheme.Inter. Variables that cannot move
+/// (parameters, frozen common-block members) are placed at their natural
+/// packed position but still act as conflict obstacles for later
+/// variables. Records skipped bytes and fallbacks in \p Stats.
+void assignBasesWithPadding(layout::DataLayout &DL,
+                            const analysis::SafetyInfo &Safety,
+                            const std::vector<CacheConfig> &Levels,
+                            const PaddingScheme &Scheme,
+                            PaddingStats &Stats);
+
+/// The InterPadLite pad amount for placing a variable of padded byte size
+/// \p SizeA at \p Addr given an already-placed variable of size \p SizeB
+/// at \p BaseB: zero if acceptable, otherwise the minimal byte increment
+/// that separates the bases by at least M lines modulo the cache size.
+/// Exposed for unit tests.
+int64_t interPadLiteNeededPad(int64_t Addr, int64_t SizeA, int64_t BaseB,
+                              int64_t SizeB, const CacheConfig &Level,
+                              int64_t MinSepLines);
+
+} // namespace pad
+} // namespace padx
+
+#endif // PADX_CORE_INTERPADDING_H

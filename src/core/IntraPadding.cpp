@@ -1,0 +1,216 @@
+//===----------------------------------------------------------------------===//
+//
+// Part of the padx project, under the Apache License v2.0.
+//
+//===----------------------------------------------------------------------===//
+
+#include "core/IntraPadding.h"
+
+#include "analysis/ConflictDistance.h"
+#include "analysis/FirstConflict.h"
+#include "analysis/ReferenceGroups.h"
+#include "analysis/UniformRefs.h"
+#include "support/MathExtras.h"
+
+#include <cstdlib>
+#include <string>
+
+using namespace padx;
+using namespace padx::pad;
+
+bool pad::intraPadLiteCondition(const layout::DataLayout &DL, unsigned Id,
+                                const CacheConfig &Level,
+                                int64_t MinSepLines) {
+  const ir::ArrayVariable &V = DL.program().array(Id);
+  if (V.rank() < 2)
+    return false;
+  int64_t Cs = Level.waySpanBytes();
+  // Clamp M so the acceptance window [M, Cs - M] is non-empty even on
+  // tiny caches.
+  int64_t M = std::min(MinSepLines * Level.LineBytes, Cs / 2);
+  for (unsigned D = 1, E = V.rank(); D != E; ++D) {
+    int64_t SubBytes = DL.strideElems(Id, D) * V.ElemSize;
+    if (distanceToMultiple(SubBytes, Cs) < M ||
+        distanceToMultiple(2 * SubBytes, Cs) < M)
+      return true;
+  }
+  return false;
+}
+
+bool pad::intraPadCondition(const layout::DataLayout &DL, unsigned Id,
+                            const CacheConfig &Level) {
+  int64_t Cs = Level.waySpanBytes();
+  int64_t Ls = Level.LineBytes;
+  for (const analysis::LoopGroup &G :
+       analysis::collectLoopGroups(DL.program())) {
+    for (size_t I = 0, E = G.Refs.size(); I != E; ++I) {
+      const ir::ArrayRef &R1 = *G.Refs[I].Ref;
+      if (R1.ArrayId != Id || !R1.isAffine())
+        continue;
+      for (size_t J = I + 1; J != E; ++J) {
+        const ir::ArrayRef &R2 = *G.Refs[J].Ref;
+        if (R2.ArrayId != Id || !R2.isAffine())
+          continue;
+        if (!analysis::areUniformlyGenerated(DL, R1, R2))
+          continue;
+        // Expression (2): base addresses cancel for same-array pairs.
+        std::optional<int64_t> Dist =
+            analysis::iterationDistanceBytes(DL, R1, R2, 0, 0);
+        if (!Dist)
+          continue;
+        // References already within one line of each other share the
+        // line by design (spatial reuse); only flag genuine far-apart
+        // addresses that collide modulo the cache size.
+        if (std::llabs(*Dist) < Ls)
+          continue;
+        if (analysis::conflictDistance(*Dist, Cs) < Ls)
+          return true;
+      }
+    }
+  }
+  return false;
+}
+
+bool pad::linPad1Condition(const layout::DataLayout &DL, unsigned Id,
+                           const CacheConfig &Level) {
+  const ir::ArrayVariable &V = DL.program().array(Id);
+  if (V.rank() < 2)
+    return false;
+  int64_t ColBytes = DL.columnElems(Id) * V.ElemSize;
+  return ColBytes % (2 * Level.LineBytes) == 0;
+}
+
+bool pad::linPad2Condition(const layout::DataLayout &DL, unsigned Id,
+                           const CacheConfig &Level, int64_t JStarCap) {
+  const ir::ArrayVariable &V = DL.program().array(Id);
+  if (V.rank() < 2)
+    return false;
+  // LinPad2 reasons in units of array elements, as in the paper.
+  int64_t CsElems = Level.waySpanBytes() / V.ElemSize;
+  int64_t LsElems = std::max<int64_t>(1, Level.LineBytes / V.ElemSize);
+  int64_t ColElems = DL.columnElems(Id);
+  int64_t Rows = DL.numElements(Id) / ColElems;
+  int64_t JStar = std::min(
+      JStarCap, analysis::linPad2Threshold(CsElems, LsElems, Rows));
+  return analysis::firstConflict(CsElems, ColElems, LsElems) < JStar;
+}
+
+namespace {
+
+/// Evaluates the combined stencil/linear-algebra pad condition for one
+/// array across all cache levels.
+class IntraConditions {
+public:
+  IntraConditions(const layout::DataLayout &DL,
+                  const std::vector<bool> &LinearAlgebraArrays,
+                  const std::vector<CacheConfig> &Levels,
+                  const PaddingScheme &Scheme)
+      : DL(DL), LinAlg(LinearAlgebraArrays), Levels(Levels),
+        Scheme(Scheme) {}
+
+  bool stencilNeedsPad(unsigned Id) const {
+    if (!Scheme.EnableStencilIntra)
+      return false;
+    for (const CacheConfig &L : Levels) {
+      bool Need = Scheme.Intra == Precision::Lite
+                      ? intraPadLiteCondition(DL, Id, L,
+                                              Scheme.MinSeparationLines)
+                      : intraPadCondition(DL, Id, L);
+      if (Need)
+        return true;
+    }
+    return false;
+  }
+
+  bool linAlgNeedsPad(unsigned Id) const {
+    if (Scheme.LinPad == LinPadKind::None)
+      return false;
+    if (Scheme.LinPad == LinPadKind::LinPad2 &&
+        Scheme.LinPadOnlyLinearAlgebra && !LinAlg[Id])
+      return false;
+    for (const CacheConfig &L : Levels) {
+      bool Need = Scheme.LinPad == LinPadKind::LinPad1
+                      ? linPad1Condition(DL, Id, L)
+                      : linPad2Condition(DL, Id, L, Scheme.JStarCap);
+      if (Need)
+        return true;
+    }
+    return false;
+  }
+
+private:
+  const layout::DataLayout &DL;
+  const std::vector<bool> &LinAlg;
+  const std::vector<CacheConfig> &Levels;
+  const PaddingScheme &Scheme;
+};
+
+} // namespace
+
+void pad::applyIntraPadding(layout::DataLayout &DL,
+                            const analysis::SafetyInfo &Safety,
+                            const std::vector<bool> &LinearAlgebraArrays,
+                            const std::vector<CacheConfig> &Levels,
+                            const PaddingScheme &Scheme,
+                            PaddingStats &Stats) {
+  IntraConditions Conds(DL, LinearAlgebraArrays, Levels, Scheme);
+  const ir::Program &P = DL.program();
+
+  for (unsigned Id = 0, E = DL.numArrays(); Id != E; ++Id) {
+    const ir::ArrayVariable &V = P.array(Id);
+    if (!Safety.CanPadIntra[Id] || V.rank() < 2)
+      continue;
+
+    // Paper Figure 6: grow lower dimensions one element at a time until
+    // no pad condition holds. Pads go to the lowest dimension first and
+    // spill into the next one only if the per-dimension bound is reached
+    // (rank-2 arrays, the common case, only ever pad the column).
+    std::vector<int64_t> Added(V.rank(), 0);
+    bool SawStencil = false, SawLinAlg = false;
+    bool HitBound = false;
+    while (true) {
+      bool NeedStencil = Conds.stencilNeedsPad(Id);
+      bool NeedLin = Conds.linAlgNeedsPad(Id);
+      if (!NeedStencil && !NeedLin)
+        break;
+      SawStencil |= NeedStencil;
+      SawLinAlg |= NeedLin;
+      unsigned Dim = 0;
+      while (Dim + 1 < V.rank() &&
+             Added[Dim] >= Scheme.MaxIntraPadPerDim)
+        ++Dim;
+      if (Added[Dim] >= Scheme.MaxIntraPadPerDim) {
+        HitBound = true;
+        break;
+      }
+      ++DL.layout(Id).Dims[Dim];
+      ++Added[Dim];
+    }
+
+    int64_t TotalAdded = 0;
+    for (int64_t A : Added)
+      TotalAdded += A;
+    if (TotalAdded == 0)
+      continue;
+
+    ++Stats.ArraysPadded;
+    Stats.TotalIntraIncrElems += TotalAdded;
+    if (TotalAdded > Stats.MaxIntraIncrElems)
+      Stats.MaxIntraIncrElems = TotalAdded;
+
+    std::string Why;
+    if (SawStencil)
+      Why += Scheme.Intra == Precision::Lite ? "IntraPadLite" : "IntraPad";
+    if (SawLinAlg) {
+      if (!Why.empty())
+        Why += "+";
+      Why += Scheme.LinPad == LinPadKind::LinPad1 ? "LinPad1" : "LinPad2";
+    }
+    std::string Entry = "intra " + V.Name + ": +" +
+                        std::to_string(TotalAdded) + " elements (" + Why +
+                        ")";
+    if (HitBound)
+      Entry += " [termination bound hit, condition may remain]";
+    Stats.Log.push_back(std::move(Entry));
+  }
+}

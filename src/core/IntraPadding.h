@@ -1,0 +1,69 @@
+//===----------------------------------------------------------------------===//
+//
+// Part of the padx project, under the Apache License v2.0.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Intra-variable padding (paper Sections 2.2 and 2.3): grows lower
+/// dimension sizes of arrays until neither the stencil pad condition
+/// (IntraPadLite / IntraPad) nor the linear-algebra pad condition
+/// (LinPad1 / LinPad2) holds, following the combined algorithm of the
+/// paper's Figure 6. Runs before inter-variable padding because it changes
+/// array sizes and hence every subsequent base address.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PADX_CORE_INTRAPADDING_H
+#define PADX_CORE_INTRAPADDING_H
+
+#include "analysis/Safety.h"
+#include "core/PaddingScheme.h"
+#include "core/PaddingStats.h"
+#include "layout/DataLayout.h"
+#include "machine/CacheConfig.h"
+
+#include <vector>
+
+namespace padx {
+namespace pad {
+
+/// Applies intra-variable padding to every safely paddable array of
+/// \p DL's program, checking pad conditions against every cache level in
+/// \p Levels (fully-associative levels cannot conflict and are ignored by
+/// the caller). \p LinearAlgebraArrays gates LinPad2 when the scheme
+/// restricts it. Updates dimension sizes in \p DL and records decisions in
+/// \p Stats.
+void applyIntraPadding(layout::DataLayout &DL,
+                       const analysis::SafetyInfo &Safety,
+                       const std::vector<bool> &LinearAlgebraArrays,
+                       const std::vector<CacheConfig> &Levels,
+                       const PaddingScheme &Scheme, PaddingStats &Stats);
+
+/// Individual pad conditions, exposed for tests and ablation studies.
+/// All return true when the array's current padded shape in \p DL
+/// violates the condition for cache \p Level.
+
+/// IntraPadLite: Col_s or 2*Col_s (any subarray size, for rank >= 3)
+/// within M lines of a multiple of the cache size.
+bool intraPadLiteCondition(const layout::DataLayout &DL, unsigned Id,
+                           const CacheConfig &Level, int64_t MinSepLines);
+
+/// IntraPad: some uniformly generated pair of references to array \p Id
+/// in one loop has a conflict distance below the line size (and is not
+/// simply reuse of the same cache line).
+bool intraPadCondition(const layout::DataLayout &DL, unsigned Id,
+                       const CacheConfig &Level);
+
+/// LinPad1: 2*L_s evenly divides the column size.
+bool linPad1Condition(const layout::DataLayout &DL, unsigned Id,
+                      const CacheConfig &Level);
+
+/// LinPad2: FirstConflict(C_s, Col_s, L_s) below j* (all in elements).
+bool linPad2Condition(const layout::DataLayout &DL, unsigned Id,
+                      const CacheConfig &Level, int64_t JStarCap);
+
+} // namespace pad
+} // namespace padx
+
+#endif // PADX_CORE_INTRAPADDING_H

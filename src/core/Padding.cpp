@@ -1,0 +1,66 @@
+//===----------------------------------------------------------------------===//
+//
+// Part of the padx project, under the Apache License v2.0.
+//
+//===----------------------------------------------------------------------===//
+
+#include "core/Padding.h"
+
+#include "analysis/LinearAlgebra.h"
+#include "analysis/Safety.h"
+#include "analysis/UniformRefs.h"
+#include "core/InterPadding.h"
+#include "core/IntraPadding.h"
+
+using namespace padx;
+using namespace padx::pad;
+
+PaddingResult pad::applyPadding(const ir::Program &P,
+                                const MachineModel &Machine,
+                                const PaddingScheme &Scheme) {
+  layout::DataLayout DL(P);
+  PaddingStats Stats;
+
+  analysis::SafetyInfo Safety = analysis::analyzeSafety(P);
+  std::vector<bool> LinAlg = analysis::detectLinearAlgebraArrays(P);
+
+  // Conflict misses cannot occur in a fully-associative level.
+  std::vector<CacheConfig> Levels;
+  for (const CacheConfig &L : Machine.Levels)
+    if (L.Associativity != 0)
+      Levels.push_back(L);
+
+  if (Scheme.EnableIntra && !Levels.empty())
+    applyIntraPadding(DL, Safety, LinAlg, Levels, Scheme, Stats);
+
+  if (Scheme.EnableInter && !Levels.empty()) {
+    assignBasesWithPadding(DL, Safety, Levels, Scheme, Stats);
+  } else {
+    layout::assignSequentialBases(DL);
+  }
+
+  // Table 2 bookkeeping.
+  for (const ir::ArrayVariable &V : P.arrays())
+    if (!V.isScalar())
+      ++Stats.GlobalArrays;
+  Stats.PercentUniformRefs = analysis::percentUniformRefs(P);
+  Stats.ArraysSafe = Safety.numIntraSafe();
+  int64_t OrigBytes = layout::originalLayout(P).totalBytes();
+  if (OrigBytes > 0)
+    Stats.PercentSizeIncrease =
+        100.0 * static_cast<double>(DL.totalBytes() - OrigBytes) /
+        static_cast<double>(OrigBytes);
+
+  return PaddingResult{std::move(DL), std::move(Stats)};
+}
+
+PaddingResult pad::runPad(const ir::Program &P, const CacheConfig &Cache) {
+  return applyPadding(P, MachineModel::singleLevel(Cache),
+                      PaddingScheme::pad());
+}
+
+PaddingResult pad::runPadLite(const ir::Program &P,
+                              const CacheConfig &Cache) {
+  return applyPadding(P, MachineModel::singleLevel(Cache),
+                      PaddingScheme::padLite());
+}

@@ -1,0 +1,69 @@
+//===----------------------------------------------------------------------===//
+//
+// Part of the padx project, under the Apache License v2.0.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The top-level padding drivers — the public entry points of the padx
+/// core library. runPad / runPadLite reproduce the paper's PAD and
+/// PADLITE transformations; applyPadding accepts an arbitrary scheme and
+/// machine model (multiple cache levels) for ablation studies and the
+/// multilevel generalization the paper sketches.
+///
+/// \code
+///   ir::Program P = ...;
+///   pad::PaddingResult R = pad::runPad(P, CacheConfig::base16K());
+///   int64_t Addr = R.Layout.addressOf(Id, Indices);
+/// \endcode
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PADX_CORE_PADDING_H
+#define PADX_CORE_PADDING_H
+
+#include "core/PaddingScheme.h"
+#include "core/PaddingStats.h"
+#include "layout/DataLayout.h"
+#include "machine/CacheConfig.h"
+
+namespace padx {
+namespace pad {
+
+struct PaddingResult {
+  layout::DataLayout Layout;
+  PaddingStats Stats;
+};
+
+/// Applies \p Scheme to \p P for machine \p Machine: intra-variable
+/// padding first (it changes array sizes and hence base addresses), then
+/// inter-variable padding / base assignment. Fully-associative cache
+/// levels cannot produce conflict misses and are skipped. \p P is not
+/// modified; the result layout carries the transformation.
+PaddingResult applyPadding(const ir::Program &P,
+                           const MachineModel &Machine,
+                           const PaddingScheme &Scheme);
+PaddingResult applyPadding(ir::Program &&, const MachineModel &,
+                           const PaddingScheme &) = delete;
+
+/// The paper's PAD on a single-level cache (default: 16K direct-mapped,
+/// 32B lines). The result layout references \p P, which must outlive it
+/// (temporaries are rejected).
+PaddingResult runPad(const ir::Program &P,
+                     const CacheConfig &Cache = CacheConfig::base16K());
+PaddingResult runPad(ir::Program &&,
+                     const CacheConfig & = CacheConfig::base16K()) =
+    delete;
+
+/// The paper's PADLITE on a single-level cache.
+PaddingResult
+runPadLite(const ir::Program &P,
+           const CacheConfig &Cache = CacheConfig::base16K());
+PaddingResult runPadLite(ir::Program &&,
+                         const CacheConfig & = CacheConfig::base16K()) =
+    delete;
+
+} // namespace pad
+} // namespace padx
+
+#endif // PADX_CORE_PADDING_H

@@ -1,0 +1,106 @@
+//===----------------------------------------------------------------------===//
+//
+// Part of the padx project, under the Apache License v2.0.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Configuration of the padding transformations. The two schemes the
+/// paper evaluates are preset: PADLITE (dimension-size-only analysis,
+/// LinPad1 applied indiscriminately) and PAD (reference analysis, LinPad2
+/// restricted to detected linear-algebra arrays). Every knob is exposed so
+/// the ablation benchmarks (Figures 12, 13, 14, 17) can vary one factor
+/// at a time.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PADX_CORE_PADDINGSCHEME_H
+#define PADX_CORE_PADDINGSCHEME_H
+
+#include <cstdint>
+
+namespace padx {
+namespace pad {
+
+/// Precision of an individual heuristic: Lite works from variable and
+/// dimension sizes alone; Precise analyzes array references.
+enum class Precision { Lite, Precise };
+
+enum class LinPadKind { None, LinPad1, LinPad2 };
+
+struct PaddingScheme {
+  bool EnableIntra = true;
+  bool EnableInter = true;
+
+  /// IntraPadLite vs IntraPad for the stencil pad condition.
+  Precision Intra = Precision::Precise;
+  /// When false, the intra-variable phase skips the stencil pad
+  /// condition and only the LinPad heuristic runs; used by the Figure 17
+  /// ablation to isolate LinPad1/LinPad2.
+  bool EnableStencilIntra = true;
+  /// InterPadLite vs InterPad.
+  Precision Inter = Precision::Precise;
+
+  /// Which linear-algebra column-size heuristic runs inside the
+  /// intra-variable phase.
+  LinPadKind LinPad = LinPadKind::LinPad2;
+  /// PAD restricts LinPad2 to arrays the linear-algebra pattern analysis
+  /// selects; PADLITE cannot recognize the pattern and applies LinPad1 to
+  /// every array.
+  bool LinPadOnlyLinearAlgebra = true;
+
+  /// The paper's M: minimum separation for the Lite heuristics, in cache
+  /// lines (Section 4.3 supports the default of 4).
+  int64_t MinSeparationLines = 4;
+
+  /// Base value of LinPad2's j* threshold (paper: 129, before the R_s and
+  /// C_s/L_s ceilings).
+  int64_t JStarCap = 129;
+
+  /// Extension (beyond the paper's evaluation, enabled by its remark
+  /// that the compiler may also reorder fields of the globalized
+  /// structure): place movable variables in decreasing size order before
+  /// assigning base addresses. Large equal-sized arrays then pack first,
+  /// which tends to reduce the bytes inter-variable padding must skip.
+  /// Unmovable variables keep their original positions.
+  bool ReorderBySize = false;
+
+  /// Termination bound for intra-variable padding: maximum elements added
+  /// per dimension of one array. The paper imposes an unspecified bound
+  /// and observes pads of at most 3 elements on a 16K cache; LinPad2
+  /// needs at most 2*L_s iterations, so 2*line-size elements is a safe
+  /// ceiling and the default caps above it.
+  int64_t MaxIntraPadPerDim = 64;
+
+  /// The paper's PADLITE configuration.
+  static PaddingScheme padLite() {
+    PaddingScheme S;
+    S.Intra = Precision::Lite;
+    S.Inter = Precision::Lite;
+    S.LinPad = LinPadKind::LinPad1;
+    S.LinPadOnlyLinearAlgebra = false;
+    return S;
+  }
+
+  /// The paper's PAD configuration.
+  static PaddingScheme pad() {
+    PaddingScheme S;
+    S.Intra = Precision::Precise;
+    S.Inter = Precision::Precise;
+    S.LinPad = LinPadKind::LinPad2;
+    S.LinPadOnlyLinearAlgebra = true;
+    return S;
+  }
+
+  /// Inter-variable padding only (the Figure 12 baseline "InterPad").
+  static PaddingScheme interPadOnly() {
+    PaddingScheme S = pad();
+    S.EnableIntra = false;
+    return S;
+  }
+};
+
+} // namespace pad
+} // namespace padx
+
+#endif // PADX_CORE_PADDINGSCHEME_H

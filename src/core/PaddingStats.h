@@ -1,0 +1,52 @@
+//===----------------------------------------------------------------------===//
+//
+// Part of the padx project, under the Apache License v2.0.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Compile-time statistics gathered while padding — the columns of the
+/// paper's Table 2 — plus a human-readable decision log.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PADX_CORE_PADDINGSTATS_H
+#define PADX_CORE_PADDINGSTATS_H
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace padx {
+namespace pad {
+
+struct PaddingStats {
+  /// Number of global (non-scalar) arrays in the program.
+  unsigned GlobalArrays = 0;
+  /// Percent of references classified as uniformly generated.
+  double PercentUniformRefs = 0.0;
+  /// Arrays that may safely be intra-padded.
+  unsigned ArraysSafe = 0;
+  /// Arrays actually intra-padded.
+  unsigned ArraysPadded = 0;
+  /// Largest per-array intra pad (total elements added over all dims).
+  int64_t MaxIntraIncrElems = 0;
+  /// Total intra pad elements over all arrays.
+  int64_t TotalIntraIncrElems = 0;
+  /// Bytes inserted between variables by inter-variable padding.
+  int64_t InterPadBytes = 0;
+  /// Percent growth of the global data segment vs. the original layout.
+  double PercentSizeIncrease = 0.0;
+  /// True if inter-variable padding failed to find a conflict-free base
+  /// for some variable and fell back to the unpadded tentative address.
+  bool InterFallback = false;
+
+  /// One line per padding decision, e.g.
+  /// "intra A: +2 elements in dim 0 (IntraPad)".
+  std::vector<std::string> Log;
+};
+
+} // namespace pad
+} // namespace padx
+
+#endif // PADX_CORE_PADDINGSTATS_H

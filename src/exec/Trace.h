@@ -1,0 +1,91 @@
+//===----------------------------------------------------------------------===//
+//
+// Part of the padx project, under the Apache License v2.0.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Consumers of the address trace produced by the TraceRunner. The
+/// runner pushes one event per memory reference; sinks feed them to the
+/// cache simulator, the miss classifier, or a buffer for tests.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PADX_EXEC_TRACE_H
+#define PADX_EXEC_TRACE_H
+
+#include "cachesim/CacheSim.h"
+#include "cachesim/MissClassifier.h"
+
+#include <cstdint>
+#include <vector>
+
+namespace padx {
+namespace exec {
+
+/// One memory access of the simulated program.
+struct TraceEvent {
+  int64_t Addr = 0;
+  int32_t Size = 0;
+  bool IsWrite = false;
+
+  bool operator==(const TraceEvent &RHS) const = default;
+};
+
+/// Receives the address stream. Implementations must tolerate tens of
+/// millions of calls.
+class TraceSink {
+public:
+  virtual ~TraceSink();
+  virtual void access(int64_t Addr, int32_t Size, bool IsWrite) = 0;
+};
+
+/// Forwards the trace to a cache simulator.
+class CacheSimSink : public TraceSink {
+public:
+  explicit CacheSimSink(sim::CacheSim &Cache) : Cache(Cache) {}
+  void access(int64_t Addr, int32_t Size, bool IsWrite) override {
+    Cache.access(Addr, Size, IsWrite);
+  }
+
+private:
+  sim::CacheSim &Cache;
+};
+
+/// Forwards the trace to a miss classifier.
+class ClassifierSink : public TraceSink {
+public:
+  explicit ClassifierSink(sim::MissClassifier &Classifier)
+      : Classifier(Classifier) {}
+  void access(int64_t Addr, int32_t Size, bool IsWrite) override {
+    Classifier.access(Addr, Size, IsWrite);
+  }
+
+private:
+  sim::MissClassifier &Classifier;
+};
+
+/// Buffers the trace for inspection in tests.
+class CollectSink : public TraceSink {
+public:
+  void access(int64_t Addr, int32_t Size, bool IsWrite) override {
+    Events.push_back({Addr, Size, IsWrite});
+  }
+  std::vector<TraceEvent> Events;
+};
+
+/// Counts events without storing them.
+class CountSink : public TraceSink {
+public:
+  void access(int64_t, int32_t, bool IsWrite) override {
+    ++Count;
+    Writes += IsWrite;
+  }
+  uint64_t Count = 0;
+  uint64_t Writes = 0;
+};
+
+} // namespace exec
+} // namespace padx
+
+#endif // PADX_EXEC_TRACE_H

@@ -1,0 +1,62 @@
+//===----------------------------------------------------------------------===//
+//
+// Part of the padx project, under the Apache License v2.0.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Generates the data reference stream of a program under a given data
+/// layout — padx's replacement for the paper's SHADE-based tracing. Loop
+/// nests are compiled once into slot-indexed affine address functions and
+/// then walked; assignments emit their reads (in order) followed by the
+/// write. Scalar references are register-promoted by default, matching
+/// what any optimizing compiler does to the paper's kernels.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PADX_EXEC_TRACERUNNER_H
+#define PADX_EXEC_TRACERUNNER_H
+
+#include "exec/Trace.h"
+#include "ir/Program.h"
+#include "layout/DataLayout.h"
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+namespace padx {
+namespace exec {
+
+struct RunOptions {
+  /// Emit accesses for rank-0 (scalar) variables. Off by default: scalars
+  /// live in registers inside loops.
+  bool EmitScalarRefs = false;
+};
+
+class TraceRunner {
+public:
+  /// Compiles \p P against \p DL (which must have all bases assigned).
+  /// Both must outlive the runner.
+  TraceRunner(const ir::Program &P, const layout::DataLayout &DL,
+              const RunOptions &Options = RunOptions());
+  ~TraceRunner();
+
+  TraceRunner(const TraceRunner &) = delete;
+  TraceRunner &operator=(const TraceRunner &) = delete;
+
+  /// Walks the whole program once, pushing every access into \p Sink.
+  void run(TraceSink &Sink);
+
+  /// Number of accesses one run() emits (computed by a counting run).
+  uint64_t countAccesses();
+
+private:
+  struct Impl;
+  std::unique_ptr<Impl> P;
+};
+
+} // namespace exec
+} // namespace padx
+
+#endif // PADX_EXEC_TRACERUNNER_H

@@ -1,0 +1,72 @@
+//===----------------------------------------------------------------------===//
+//
+// Part of the padx project, under the Apache License v2.0.
+//
+//===----------------------------------------------------------------------===//
+
+#include "experiments/Experiment.h"
+
+#include <atomic>
+#include <thread>
+#include <vector>
+
+using namespace padx;
+using namespace padx::expt;
+
+MissResult expt::measureMissRate(const ir::Program &P,
+                                 const layout::DataLayout &DL,
+                                 const CacheConfig &Cache) {
+  sim::CacheSim Sim(Cache);
+  exec::CacheSimSink Sink(Sim);
+  exec::TraceRunner Runner(P, DL);
+  Runner.run(Sink);
+  return MissResult{Sim.stats().Accesses, Sim.stats().Misses};
+}
+
+sim::MissBreakdown expt::classifyMisses(const ir::Program &P,
+                                        const layout::DataLayout &DL,
+                                        const CacheConfig &Cache) {
+  sim::MissClassifier Classifier(Cache);
+  exec::ClassifierSink Sink(Classifier);
+  exec::TraceRunner Runner(P, DL);
+  Runner.run(Sink);
+  return Classifier.breakdown();
+}
+
+MissResult expt::measureOriginal(const ir::Program &P,
+                                 const CacheConfig &Cache) {
+  return measureMissRate(P, layout::originalLayout(P), Cache);
+}
+
+MissResult expt::measurePadded(const ir::Program &P,
+                               const CacheConfig &Cache,
+                               const pad::PaddingScheme &Scheme) {
+  pad::PaddingResult R =
+      pad::applyPadding(P, MachineModel::singleLevel(Cache), Scheme);
+  return measureMissRate(P, R.Layout, Cache);
+}
+
+void expt::parallelFor(size_t Count,
+                       const std::function<void(size_t)> &Fn) {
+  unsigned HW = std::thread::hardware_concurrency();
+  size_t Threads = std::min<size_t>(HW == 0 ? 4 : HW, Count);
+  if (Threads <= 1) {
+    for (size_t I = 0; I != Count; ++I)
+      Fn(I);
+    return;
+  }
+  std::atomic<size_t> Next{0};
+  std::vector<std::thread> Pool;
+  Pool.reserve(Threads);
+  for (size_t T = 0; T != Threads; ++T)
+    Pool.emplace_back([&] {
+      while (true) {
+        size_t I = Next.fetch_add(1);
+        if (I >= Count)
+          return;
+        Fn(I);
+      }
+    });
+  for (std::thread &T : Pool)
+    T.join();
+}

@@ -1,0 +1,70 @@
+//===----------------------------------------------------------------------===//
+//
+// Part of the padx project, under the Apache License v2.0.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Shared harness for the benchmark binaries: builds layouts for the
+/// paper's program variants (original / PADLITE / PAD / custom schemes),
+/// runs the trace through the cache simulator, and reports miss rates in
+/// percent as the paper's figures do. A small parallel-for distributes
+/// independent simulations over hardware threads, since the
+/// problem-size sweeps of Figures 16-17 simulate hundreds of
+/// configurations.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PADX_EXPERIMENTS_EXPERIMENT_H
+#define PADX_EXPERIMENTS_EXPERIMENT_H
+
+#include "cachesim/MissClassifier.h"
+#include "core/Padding.h"
+#include "exec/TraceRunner.h"
+#include "ir/Program.h"
+#include "layout/DataLayout.h"
+#include "machine/CacheConfig.h"
+
+#include <functional>
+#include <string>
+
+namespace padx {
+namespace expt {
+
+struct MissResult {
+  uint64_t Accesses = 0;
+  uint64_t Misses = 0;
+
+  /// Miss rate in percent (the unit of every figure's Y axis).
+  double percent() const {
+    return Accesses == 0 ? 0.0
+                         : 100.0 * static_cast<double>(Misses) /
+                               static_cast<double>(Accesses);
+  }
+};
+
+/// Simulates \p P under \p DL on \p Cache and returns the miss rate.
+MissResult measureMissRate(const ir::Program &P,
+                           const layout::DataLayout &DL,
+                           const CacheConfig &Cache);
+
+/// Simulates and classifies misses (compulsory/capacity/conflict).
+sim::MissBreakdown classifyMisses(const ir::Program &P,
+                                  const layout::DataLayout &DL,
+                                  const CacheConfig &Cache);
+
+/// Convenience: miss rate of the original (packed, unpadded) layout.
+MissResult measureOriginal(const ir::Program &P, const CacheConfig &Cache);
+
+/// Convenience: miss rate after applying \p Scheme for \p Cache.
+MissResult measurePadded(const ir::Program &P, const CacheConfig &Cache,
+                         const pad::PaddingScheme &Scheme);
+
+/// Runs Fn(I) for I in [0, Count) on up to hardware-concurrency threads.
+/// Fn must be thread-safe for distinct I.
+void parallelFor(size_t Count, const std::function<void(size_t)> &Fn);
+
+} // namespace expt
+} // namespace padx
+
+#endif // PADX_EXPERIMENTS_EXPERIMENT_H

@@ -1,0 +1,234 @@
+//===----------------------------------------------------------------------===//
+//
+// Part of the padx project, under the Apache License v2.0.
+//
+//===----------------------------------------------------------------------===//
+
+#include "frontend/Lexer.h"
+
+#include <cctype>
+#include <cstdlib>
+#include <unordered_map>
+
+using namespace padx;
+using namespace padx::frontend;
+
+const char *frontend::tokenKindName(TokenKind Kind) {
+  switch (Kind) {
+  case TokenKind::Eof:
+    return "end of input";
+  case TokenKind::Identifier:
+    return "identifier";
+  case TokenKind::IntLiteral:
+    return "integer literal";
+  case TokenKind::FloatLiteral:
+    return "float literal";
+  case TokenKind::KwProgram:
+    return "'program'";
+  case TokenKind::KwArray:
+    return "'array'";
+  case TokenKind::KwReal:
+    return "'real'";
+  case TokenKind::KwReal4:
+    return "'real4'";
+  case TokenKind::KwInt:
+    return "'int'";
+  case TokenKind::KwParam:
+    return "'param'";
+  case TokenKind::KwStassoc:
+    return "'stassoc'";
+  case TokenKind::KwCommon:
+    return "'common'";
+  case TokenKind::KwInit:
+    return "'init'";
+  case TokenKind::KwIdentity:
+    return "'identity'";
+  case TokenKind::KwRandom:
+    return "'random'";
+  case TokenKind::KwLoop:
+    return "'loop'";
+  case TokenKind::KwStep:
+    return "'step'";
+  case TokenKind::LBracket:
+    return "'['";
+  case TokenKind::RBracket:
+    return "']'";
+  case TokenKind::LParen:
+    return "'('";
+  case TokenKind::RParen:
+    return "')'";
+  case TokenKind::LBrace:
+    return "'{'";
+  case TokenKind::RBrace:
+    return "'}'";
+  case TokenKind::Comma:
+    return "','";
+  case TokenKind::Colon:
+    return "':'";
+  case TokenKind::Equal:
+    return "'='";
+  case TokenKind::Plus:
+    return "'+'";
+  case TokenKind::Minus:
+    return "'-'";
+  case TokenKind::Star:
+    return "'*'";
+  case TokenKind::Slash:
+    return "'/'";
+  case TokenKind::Error:
+    return "invalid token";
+  }
+  return "unknown";
+}
+
+Lexer::Lexer(std::string_view Source, DiagnosticEngine &Diags)
+    : Source(Source), Diags(Diags) {}
+
+char Lexer::peek(unsigned Ahead) const {
+  return Pos + Ahead < Source.size() ? Source[Pos + Ahead] : '\0';
+}
+
+char Lexer::advance() {
+  char C = Source[Pos++];
+  if (C == '\n') {
+    ++Line;
+    Column = 1;
+  } else {
+    ++Column;
+  }
+  return C;
+}
+
+void Lexer::skipWhitespaceAndComments() {
+  while (!atEnd()) {
+    char C = peek();
+    if (C == '#') {
+      while (!atEnd() && peek() != '\n')
+        advance();
+      continue;
+    }
+    if (std::isspace(static_cast<unsigned char>(C))) {
+      advance();
+      continue;
+    }
+    break;
+  }
+}
+
+Token Lexer::lexNumber() {
+  Token Tok;
+  Tok.Loc = here();
+  std::string Text;
+  bool IsFloat = false;
+  while (!atEnd() && std::isdigit(static_cast<unsigned char>(peek())))
+    Text += advance();
+  if (peek() == '.' && std::isdigit(static_cast<unsigned char>(peek(1)))) {
+    IsFloat = true;
+    Text += advance();
+    while (!atEnd() && std::isdigit(static_cast<unsigned char>(peek())))
+      Text += advance();
+  }
+  if (peek() == 'e' || peek() == 'E') {
+    unsigned Skip = (peek(1) == '+' || peek(1) == '-') ? 2 : 1;
+    if (std::isdigit(static_cast<unsigned char>(peek(Skip)))) {
+      IsFloat = true;
+      for (unsigned I = 0; I < Skip; ++I)
+        Text += advance();
+      while (!atEnd() && std::isdigit(static_cast<unsigned char>(peek())))
+        Text += advance();
+    }
+  }
+  Tok.Text = Text;
+  if (IsFloat) {
+    Tok.Kind = TokenKind::FloatLiteral;
+  } else {
+    Tok.Kind = TokenKind::IntLiteral;
+    Tok.IntValue = std::strtoll(Text.c_str(), nullptr, 10);
+  }
+  return Tok;
+}
+
+Token Lexer::lexIdentifier() {
+  static const std::unordered_map<std::string, TokenKind> Keywords = {
+      {"program", TokenKind::KwProgram}, {"array", TokenKind::KwArray},
+      {"real", TokenKind::KwReal},       {"real4", TokenKind::KwReal4},
+      {"int", TokenKind::KwInt},         {"param", TokenKind::KwParam},
+      {"stassoc", TokenKind::KwStassoc}, {"common", TokenKind::KwCommon},
+      {"init", TokenKind::KwInit},       {"identity", TokenKind::KwIdentity},
+      {"random", TokenKind::KwRandom},   {"loop", TokenKind::KwLoop},
+      {"step", TokenKind::KwStep},
+  };
+  Token Tok;
+  Tok.Loc = here();
+  std::string Text;
+  while (!atEnd() && (std::isalnum(static_cast<unsigned char>(peek())) ||
+                      peek() == '_'))
+    Text += advance();
+  auto It = Keywords.find(Text);
+  Tok.Kind = It != Keywords.end() ? It->second : TokenKind::Identifier;
+  Tok.Text = std::move(Text);
+  return Tok;
+}
+
+Token Lexer::next() {
+  skipWhitespaceAndComments();
+  Token Tok;
+  Tok.Loc = here();
+  if (atEnd()) {
+    Tok.Kind = TokenKind::Eof;
+    return Tok;
+  }
+  char C = peek();
+  if (std::isdigit(static_cast<unsigned char>(C)))
+    return lexNumber();
+  if (std::isalpha(static_cast<unsigned char>(C)) || C == '_')
+    return lexIdentifier();
+
+  advance();
+  switch (C) {
+  case '[':
+    Tok.Kind = TokenKind::LBracket;
+    return Tok;
+  case ']':
+    Tok.Kind = TokenKind::RBracket;
+    return Tok;
+  case '(':
+    Tok.Kind = TokenKind::LParen;
+    return Tok;
+  case ')':
+    Tok.Kind = TokenKind::RParen;
+    return Tok;
+  case '{':
+    Tok.Kind = TokenKind::LBrace;
+    return Tok;
+  case '}':
+    Tok.Kind = TokenKind::RBrace;
+    return Tok;
+  case ',':
+    Tok.Kind = TokenKind::Comma;
+    return Tok;
+  case ':':
+    Tok.Kind = TokenKind::Colon;
+    return Tok;
+  case '=':
+    Tok.Kind = TokenKind::Equal;
+    return Tok;
+  case '+':
+    Tok.Kind = TokenKind::Plus;
+    return Tok;
+  case '-':
+    Tok.Kind = TokenKind::Minus;
+    return Tok;
+  case '*':
+    Tok.Kind = TokenKind::Star;
+    return Tok;
+  case '/':
+    Tok.Kind = TokenKind::Slash;
+    return Tok;
+  default:
+    Diags.error(Tok.Loc, std::string("unexpected character '") + C + "'");
+    Tok.Kind = TokenKind::Error;
+    Tok.Text = std::string(1, C);
+    return Tok;
+  }
+}

@@ -1,0 +1,54 @@
+//===----------------------------------------------------------------------===//
+//
+// Part of the padx project, under the Apache License v2.0.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The PadLang lexer. Whitespace (including newlines) separates tokens and
+/// is otherwise insignificant; '#' starts a comment running to end of line.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PADX_FRONTEND_LEXER_H
+#define PADX_FRONTEND_LEXER_H
+
+#include "frontend/Token.h"
+#include "support/Diagnostics.h"
+
+#include <string>
+#include <string_view>
+
+namespace padx {
+namespace frontend {
+
+class Lexer {
+public:
+  Lexer(std::string_view Source, DiagnosticEngine &Diags);
+
+  /// Lexes and returns the next token. At end of input returns Eof tokens
+  /// forever. Malformed input produces an Error token (and a diagnostic)
+  /// and skips the offending character.
+  Token next();
+
+private:
+  char peek(unsigned Ahead = 0) const;
+  char advance();
+  bool atEnd() const { return Pos >= Source.size(); }
+  void skipWhitespaceAndComments();
+  SourceLocation here() const { return {Line, Column}; }
+
+  Token lexNumber();
+  Token lexIdentifier();
+
+  std::string_view Source;
+  DiagnosticEngine &Diags;
+  size_t Pos = 0;
+  uint32_t Line = 1;
+  uint32_t Column = 1;
+};
+
+} // namespace frontend
+} // namespace padx
+
+#endif // PADX_FRONTEND_LEXER_H

@@ -1,0 +1,541 @@
+//===----------------------------------------------------------------------===//
+//
+// Part of the padx project, under the Apache License v2.0.
+//
+//===----------------------------------------------------------------------===//
+
+#include "frontend/Parser.h"
+
+#include "frontend/Lexer.h"
+#include "ir/Validator.h"
+
+#include <algorithm>
+#include <cassert>
+#include <vector>
+
+using namespace padx;
+using namespace padx::frontend;
+
+namespace {
+
+class Parser {
+public:
+  Parser(std::string_view Source, DiagnosticEngine &Diags)
+      : Lex(Source, Diags), Diags(Diags), Prog("") {
+    Tok = Lex.next();
+  }
+
+  std::optional<ir::Program> run();
+
+private:
+  // Token plumbing -------------------------------------------------------
+  void consume() { Tok = Lex.next(); }
+
+  bool expect(TokenKind Kind, const char *Context) {
+    if (Tok.is(Kind)) {
+      consume();
+      return true;
+    }
+    Diags.error(Tok.Loc, std::string("expected ") + tokenKindName(Kind) +
+                             " " + Context + ", found " +
+                             tokenKindName(Tok.Kind));
+    return false;
+  }
+
+  /// Skips tokens until a statement boundary: '}', 'loop', 'array' or end
+  /// of input. Used for error recovery so one bad statement does not
+  /// cascade.
+  void synchronize() {
+    while (!Tok.is(TokenKind::Eof) && !Tok.is(TokenKind::RBrace) &&
+           !Tok.is(TokenKind::KwLoop) && !Tok.is(TokenKind::KwArray))
+      consume();
+  }
+
+  // Symbol lookup --------------------------------------------------------
+  bool isLoopVar(const std::string &Name) const {
+    return std::find(LoopVars.begin(), LoopVars.end(), Name) !=
+           LoopVars.end();
+  }
+
+  // Grammar productions ---------------------------------------------------
+  bool parseIntValue(int64_t &Value, const char *Context) {
+    bool Negative = false;
+    if (Tok.is(TokenKind::Minus)) {
+      Negative = true;
+      consume();
+    }
+    if (!Tok.is(TokenKind::IntLiteral)) {
+      Diags.error(Tok.Loc, std::string("expected integer ") + Context +
+                               ", found " + tokenKindName(Tok.Kind));
+      return false;
+    }
+    Value = Negative ? -Tok.IntValue : Tok.IntValue;
+    consume();
+    return true;
+  }
+
+  bool parseDecl();
+  bool parseAffine(ir::AffineExpr &Out);
+  bool parseAffineTerm(ir::AffineExpr &Out, bool Negative);
+  bool parseSubscript(ir::ArrayRef &Ref, unsigned Dim);
+  bool parseRef(ir::ArrayRef &Ref);
+  bool parseExpr(std::vector<ir::ArrayRef> &Reads);
+  bool parseTerm(std::vector<ir::ArrayRef> &Reads);
+  bool parseFactor(std::vector<ir::ArrayRef> &Reads);
+  bool parseAssign(std::vector<ir::Stmt> &Body);
+  bool parseLoop(std::vector<ir::Stmt> &Body);
+  bool parseStmts(std::vector<ir::Stmt> &Body, bool TopLevel);
+
+  Lexer Lex;
+  DiagnosticEngine &Diags;
+  ir::Program Prog;
+  Token Tok;
+  std::vector<std::string> LoopVars;
+};
+
+} // namespace
+
+bool Parser::parseDecl() {
+  SourceLocation Loc = Tok.Loc;
+  consume(); // 'array'
+  if (!Tok.is(TokenKind::Identifier)) {
+    Diags.error(Tok.Loc, "expected array name after 'array'");
+    return false;
+  }
+  ir::ArrayVariable V;
+  V.Name = Tok.Text;
+  consume();
+  if (Prog.findArray(V.Name)) {
+    Diags.error(Loc, "redeclaration of '" + V.Name + "'");
+    return false;
+  }
+  if (!expect(TokenKind::Colon, "after array name"))
+    return false;
+
+  switch (Tok.Kind) {
+  case TokenKind::KwReal:
+    V.ElemSize = 8;
+    break;
+  case TokenKind::KwReal4:
+  case TokenKind::KwInt:
+    V.ElemSize = 4;
+    break;
+  default:
+    Diags.error(Tok.Loc, "expected element type ('real', 'real4' or "
+                         "'int')");
+    return false;
+  }
+  consume();
+
+  if (Tok.is(TokenKind::LBracket)) {
+    consume();
+    while (true) {
+      int64_t First = 0;
+      if (!parseIntValue(First, "dimension size"))
+        return false;
+      if (Tok.is(TokenKind::Colon)) {
+        consume();
+        int64_t Upper = 0;
+        if (!parseIntValue(Upper, "dimension upper bound"))
+          return false;
+        if (Upper < First) {
+          Diags.error(Loc, "dimension upper bound below lower bound in '" +
+                               V.Name + "'");
+          return false;
+        }
+        V.LowerBounds.push_back(First);
+        V.DimSizes.push_back(Upper - First + 1);
+      } else {
+        V.LowerBounds.push_back(1);
+        V.DimSizes.push_back(First);
+      }
+      if (!Tok.is(TokenKind::Comma))
+        break;
+      consume();
+    }
+    if (!expect(TokenKind::RBracket, "after dimensions"))
+      return false;
+  }
+
+  // Attributes, in any order.
+  while (true) {
+    if (Tok.is(TokenKind::KwParam)) {
+      V.IsParameter = true;
+      consume();
+      continue;
+    }
+    if (Tok.is(TokenKind::KwStassoc)) {
+      V.HasStorageAssociation = true;
+      consume();
+      continue;
+    }
+    if (Tok.is(TokenKind::KwCommon)) {
+      consume();
+      if (!expect(TokenKind::LParen, "after 'common'"))
+        return false;
+      if (!Tok.is(TokenKind::Identifier)) {
+        Diags.error(Tok.Loc, "expected common block name");
+        return false;
+      }
+      V.CommonBlock = Tok.Text;
+      consume();
+      if (!expect(TokenKind::RParen, "after common block name"))
+        return false;
+      continue;
+    }
+    if (Tok.is(TokenKind::KwInit)) {
+      consume();
+      if (Tok.is(TokenKind::KwIdentity)) {
+        V.Init = ir::ArrayInitKind::Identity;
+        consume();
+        continue;
+      }
+      if (Tok.is(TokenKind::KwRandom)) {
+        consume();
+        int64_t Min = 0, Max = 0, Seed = 0;
+        if (!expect(TokenKind::LParen, "after 'random'") ||
+            !parseIntValue(Min, "random minimum") ||
+            !expect(TokenKind::Comma, "in 'random'") ||
+            !parseIntValue(Max, "random maximum") ||
+            !expect(TokenKind::Comma, "in 'random'") ||
+            !parseIntValue(Seed, "random seed") ||
+            !expect(TokenKind::RParen, "after 'random' arguments"))
+          return false;
+        if (Max < Min) {
+          Diags.error(Loc, "random maximum below minimum in '" + V.Name +
+                               "'");
+          return false;
+        }
+        V.Init = ir::ArrayInitKind::Random;
+        V.RandomMin = Min;
+        V.RandomMax = Max;
+        V.RandomSeed = static_cast<uint64_t>(Seed);
+        continue;
+      }
+      Diags.error(Tok.Loc, "expected 'identity' or 'random' after "
+                           "'init'");
+      return false;
+    }
+    break;
+  }
+
+  Prog.addArray(std::move(V));
+  return true;
+}
+
+bool Parser::parseAffineTerm(ir::AffineExpr &Out, bool Negative) {
+  int64_t Sign = Negative ? -1 : 1;
+  if (Tok.is(TokenKind::IntLiteral)) {
+    int64_t Value = Tok.IntValue;
+    consume();
+    if (Tok.is(TokenKind::Star)) {
+      consume();
+      if (!Tok.is(TokenKind::Identifier)) {
+        Diags.error(Tok.Loc, "expected loop variable after '*'");
+        return false;
+      }
+      if (!isLoopVar(Tok.Text)) {
+        Diags.error(Tok.Loc, "'" + Tok.Text +
+                                 "' is not an enclosing loop variable");
+        return false;
+      }
+      Out.addTerm(Tok.Text, Sign * Value);
+      consume();
+      return true;
+    }
+    Out = Out.plusConstant(Sign * Value);
+    return true;
+  }
+  if (Tok.is(TokenKind::Identifier)) {
+    std::string Var = Tok.Text;
+    SourceLocation Loc = Tok.Loc;
+    if (!isLoopVar(Var)) {
+      Diags.error(Loc, "'" + Var + "' is not an enclosing loop variable");
+      return false;
+    }
+    consume();
+    if (Tok.is(TokenKind::Star)) {
+      consume();
+      if (!Tok.is(TokenKind::IntLiteral)) {
+        Diags.error(Tok.Loc, "expected integer after '*'");
+        return false;
+      }
+      Out.addTerm(Var, Sign * Tok.IntValue);
+      consume();
+      return true;
+    }
+    Out.addTerm(Var, Sign);
+    return true;
+  }
+  Diags.error(Tok.Loc, std::string("expected affine term, found ") +
+                           tokenKindName(Tok.Kind));
+  return false;
+}
+
+bool Parser::parseAffine(ir::AffineExpr &Out) {
+  bool Negative = false;
+  if (Tok.is(TokenKind::Plus)) {
+    consume();
+  } else if (Tok.is(TokenKind::Minus)) {
+    Negative = true;
+    consume();
+  }
+  if (!parseAffineTerm(Out, Negative))
+    return false;
+  while (Tok.is(TokenKind::Plus) || Tok.is(TokenKind::Minus)) {
+    Negative = Tok.is(TokenKind::Minus);
+    consume();
+    if (!parseAffineTerm(Out, Negative))
+      return false;
+  }
+  return true;
+}
+
+bool Parser::parseSubscript(ir::ArrayRef &Ref, unsigned Dim) {
+  // Indirection: an identifier that names an array and is followed by '['
+  // is an index-array access, e.g. X[IDX[j]].
+  if (Tok.is(TokenKind::Identifier) && !isLoopVar(Tok.Text)) {
+    std::optional<unsigned> IdxArray = Prog.findArray(Tok.Text);
+    if (!IdxArray) {
+      Diags.error(Tok.Loc, "unknown name '" + Tok.Text + "' in subscript");
+      return false;
+    }
+    SourceLocation Loc = Tok.Loc;
+    consume();
+    if (!expect(TokenKind::LBracket, "after index array name"))
+      return false;
+    ir::AffineExpr Inner;
+    if (!parseAffine(Inner))
+      return false;
+    if (!expect(TokenKind::RBracket, "after index array subscript"))
+      return false;
+    if (Ref.IndirectDim >= 0) {
+      Diags.error(Loc, "at most one indirect subscript per reference");
+      return false;
+    }
+    Ref.IndirectDim = static_cast<int>(Dim);
+    Ref.IndexArrayId = *IdxArray;
+    Ref.Subscripts.push_back(std::move(Inner));
+    return true;
+  }
+  ir::AffineExpr E;
+  if (!parseAffine(E))
+    return false;
+  Ref.Subscripts.push_back(std::move(E));
+  return true;
+}
+
+bool Parser::parseRef(ir::ArrayRef &Ref) {
+  assert(Tok.is(TokenKind::Identifier) && "caller checks for identifier");
+  std::optional<unsigned> Id = Prog.findArray(Tok.Text);
+  if (!Id) {
+    Diags.error(Tok.Loc, "unknown array or scalar '" + Tok.Text + "'");
+    return false;
+  }
+  Ref.ArrayId = *Id;
+  Ref.Loc = Tok.Loc;
+  const ir::ArrayVariable &V = Prog.array(*Id);
+  consume();
+  if (V.isScalar()) {
+    if (Tok.is(TokenKind::LBracket)) {
+      Diags.error(Tok.Loc, "scalar '" + V.Name + "' cannot be subscripted");
+      return false;
+    }
+    return true;
+  }
+  if (!expect(TokenKind::LBracket, "to subscript array"))
+    return false;
+  for (unsigned D = 0, E = V.rank(); D != E; ++D) {
+    if (D != 0 && !expect(TokenKind::Comma, "between subscripts"))
+      return false;
+    if (!parseSubscript(Ref, D))
+      return false;
+  }
+  if (!expect(TokenKind::RBracket, "after subscripts"))
+    return false;
+  return true;
+}
+
+bool Parser::parseFactor(std::vector<ir::ArrayRef> &Reads) {
+  if (Tok.is(TokenKind::IntLiteral) || Tok.is(TokenKind::FloatLiteral)) {
+    consume();
+    return true;
+  }
+  if (Tok.is(TokenKind::Minus)) {
+    consume();
+    return parseFactor(Reads);
+  }
+  if (Tok.is(TokenKind::LParen)) {
+    consume();
+    if (!parseExpr(Reads))
+      return false;
+    return expect(TokenKind::RParen, "to close parenthesized expression");
+  }
+  if (Tok.is(TokenKind::Identifier)) {
+    // A loop variable used as a value contributes no memory reference.
+    if (isLoopVar(Tok.Text)) {
+      consume();
+      return true;
+    }
+    ir::ArrayRef Ref;
+    if (!parseRef(Ref))
+      return false;
+    Reads.push_back(std::move(Ref));
+    return true;
+  }
+  Diags.error(Tok.Loc, std::string("expected expression, found ") +
+                           tokenKindName(Tok.Kind));
+  return false;
+}
+
+bool Parser::parseTerm(std::vector<ir::ArrayRef> &Reads) {
+  if (!parseFactor(Reads))
+    return false;
+  while (Tok.is(TokenKind::Star) || Tok.is(TokenKind::Slash)) {
+    consume();
+    if (!parseFactor(Reads))
+      return false;
+  }
+  return true;
+}
+
+bool Parser::parseExpr(std::vector<ir::ArrayRef> &Reads) {
+  if (!parseTerm(Reads))
+    return false;
+  while (Tok.is(TokenKind::Plus) || Tok.is(TokenKind::Minus)) {
+    consume();
+    if (!parseTerm(Reads))
+      return false;
+  }
+  return true;
+}
+
+bool Parser::parseAssign(std::vector<ir::Stmt> &Body) {
+  ir::Assign A;
+  A.Loc = Tok.Loc;
+  ir::ArrayRef LHS;
+  if (!parseRef(LHS))
+    return false;
+  if (!expect(TokenKind::Equal, "in assignment"))
+    return false;
+  if (!parseExpr(A.Refs))
+    return false;
+  LHS.IsWrite = true;
+  A.Refs.push_back(std::move(LHS));
+  Body.push_back(std::move(A));
+  return true;
+}
+
+bool Parser::parseLoop(std::vector<ir::Stmt> &Body) {
+  SourceLocation Loc = Tok.Loc;
+  consume(); // 'loop'
+  if (!Tok.is(TokenKind::Identifier)) {
+    Diags.error(Tok.Loc, "expected loop variable after 'loop'");
+    return false;
+  }
+  std::string Var = Tok.Text;
+  if (isLoopVar(Var)) {
+    Diags.error(Tok.Loc, "loop variable '" + Var +
+                             "' shadows an enclosing loop variable");
+    return false;
+  }
+  if (Prog.findArray(Var))
+    Diags.warning(Tok.Loc, "loop variable '" + Var +
+                               "' shadows an array declaration");
+  consume();
+  if (!expect(TokenKind::Equal, "after loop variable"))
+    return false;
+  ir::AffineExpr Lower, Upper;
+  if (!parseAffine(Lower))
+    return false;
+  if (!expect(TokenKind::Comma, "between loop bounds"))
+    return false;
+  if (!parseAffine(Upper))
+    return false;
+  int64_t Step = 1;
+  if (Tok.is(TokenKind::KwStep)) {
+    consume();
+    if (!parseIntValue(Step, "loop step"))
+      return false;
+    if (Step == 0) {
+      Diags.error(Loc, "loop step must be non-zero");
+      return false;
+    }
+  }
+  if (!expect(TokenKind::LBrace, "to open loop body"))
+    return false;
+
+  auto L = std::make_unique<ir::Loop>(Var, std::move(Lower),
+                                      std::move(Upper), Step);
+  L->Loc = Loc;
+  LoopVars.push_back(Var);
+  bool OK = parseStmts(L->Body, /*TopLevel=*/false);
+  LoopVars.pop_back();
+  if (!OK)
+    return false;
+  if (!expect(TokenKind::RBrace, "to close loop body"))
+    return false;
+  Body.push_back(std::move(L));
+  return true;
+}
+
+bool Parser::parseStmts(std::vector<ir::Stmt> &Body, bool TopLevel) {
+  while (true) {
+    if (Tok.is(TokenKind::Eof))
+      return TopLevel;
+    if (Tok.is(TokenKind::RBrace)) {
+      if (TopLevel) {
+        Diags.error(Tok.Loc, "unmatched '}'");
+        return false;
+      }
+      return true;
+    }
+    bool OK;
+    if (Tok.is(TokenKind::KwLoop)) {
+      OK = parseLoop(Body);
+    } else if (Tok.is(TokenKind::KwArray)) {
+      Diags.error(Tok.Loc,
+                  "array declarations must precede all statements");
+      // Consume the 'array' keyword so synchronize() makes progress
+      // (it stops at declaration starts).
+      consume();
+      OK = false;
+    } else if (Tok.is(TokenKind::Identifier)) {
+      OK = parseAssign(Body);
+    } else {
+      Diags.error(Tok.Loc, std::string("expected statement, found ") +
+                               tokenKindName(Tok.Kind));
+      OK = false;
+    }
+    if (!OK)
+      synchronize();
+  }
+}
+
+std::optional<ir::Program> Parser::run() {
+  if (!expect(TokenKind::KwProgram, "at start of file"))
+    return std::nullopt;
+  if (!Tok.is(TokenKind::Identifier)) {
+    Diags.error(Tok.Loc, "expected program name");
+    return std::nullopt;
+  }
+  Prog.setName(Tok.Text);
+  consume();
+
+  while (Tok.is(TokenKind::KwArray))
+    if (!parseDecl())
+      synchronize();
+
+  parseStmts(Prog.body(), /*TopLevel=*/true);
+
+  if (Diags.hasErrors())
+    return std::nullopt;
+  if (!ir::validate(Prog, Diags))
+    return std::nullopt;
+  return std::move(Prog);
+}
+
+std::optional<ir::Program>
+frontend::parseProgram(std::string_view Source, DiagnosticEngine &Diags) {
+  return Parser(Source, Diags).run();
+}

@@ -1,0 +1,62 @@
+//===----------------------------------------------------------------------===//
+//
+// Part of the padx project, under the Apache License v2.0.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The PadLang parser. PadLang is the small Fortran-like input language of
+/// padx: column-major arrays, counted loops with affine bounds, and
+/// assignments over affine (optionally one-level indirect) array
+/// references. Grammar sketch:
+///
+/// \code
+///   program    := 'program' ident decl* stmt*
+///   decl       := 'array' ident ':' type dims? attr*
+///   type       := 'real' | 'real4' | 'int'
+///   dims       := '[' dim (',' dim)* ']'
+///   dim        := sint (':' sint)?            # size, or lower:upper
+///   attr       := 'param' | 'stassoc' | 'common' '(' ident ')'
+///               | 'init' ('identity' | 'random' '(' sint ',' sint ','
+///                         sint ')')
+///   stmt       := loop | assign
+///   loop       := 'loop' ident '=' affine ',' affine ('step' sint)?
+///                 '{' stmt* '}'
+///   assign     := ref '=' expr
+///   expr       := term (('+'|'-') term)*     # arithmetic is kept only
+///   term       := factor (('*'|'/') factor)* # for its reference stream
+///   factor     := number | '-' factor | '(' expr ')' | ref | loopvar
+///   ref        := ident ('[' subscript (',' subscript)* ']')?
+///   subscript  := indexarray '[' affine ']'  # indirection
+///               | affine
+///   affine     := ('+'|'-')? aterm (('+'|'-') aterm)*
+///   aterm      := int ('*' ident)? | ident ('*' int)?
+/// \endcode
+///
+/// Semantic checks (duplicate declarations, unknown names, subscript
+/// arity, indirection through non-int arrays) run during the parse; the
+/// resulting IR additionally passes ir::validate.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PADX_FRONTEND_PARSER_H
+#define PADX_FRONTEND_PARSER_H
+
+#include "ir/Program.h"
+#include "support/Diagnostics.h"
+
+#include <optional>
+#include <string_view>
+
+namespace padx {
+namespace frontend {
+
+/// Parses PadLang source. Returns the program on success; on any error
+/// returns std::nullopt with the problems recorded in \p Diags.
+std::optional<ir::Program> parseProgram(std::string_view Source,
+                                        DiagnosticEngine &Diags);
+
+} // namespace frontend
+} // namespace padx
+
+#endif // PADX_FRONTEND_PARSER_H

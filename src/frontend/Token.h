@@ -1,0 +1,80 @@
+//===----------------------------------------------------------------------===//
+//
+// Part of the padx project, under the Apache License v2.0.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Token kinds for the PadLang front end.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PADX_FRONTEND_TOKEN_H
+#define PADX_FRONTEND_TOKEN_H
+
+#include "support/SourceLocation.h"
+
+#include <cstdint>
+#include <string>
+
+namespace padx {
+namespace frontend {
+
+enum class TokenKind {
+  Eof,
+  Identifier,
+  IntLiteral,
+  FloatLiteral,
+
+  // Keywords.
+  KwProgram,
+  KwArray,
+  KwReal,
+  KwReal4,
+  KwInt,
+  KwParam,
+  KwStassoc,
+  KwCommon,
+  KwInit,
+  KwIdentity,
+  KwRandom,
+  KwLoop,
+  KwStep,
+
+  // Punctuation.
+  LBracket,
+  RBracket,
+  LParen,
+  RParen,
+  LBrace,
+  RBrace,
+  Comma,
+  Colon,
+  Equal,
+  Plus,
+  Minus,
+  Star,
+  Slash,
+
+  Error,
+};
+
+struct Token {
+  TokenKind Kind = TokenKind::Eof;
+  SourceLocation Loc;
+  /// Identifier spelling, or the raw text of a literal.
+  std::string Text;
+  /// Value for IntLiteral tokens.
+  int64_t IntValue = 0;
+
+  bool is(TokenKind K) const { return Kind == K; }
+};
+
+/// Human-readable token kind name for diagnostics, e.g. "']'" or
+/// "identifier".
+const char *tokenKindName(TokenKind Kind);
+
+} // namespace frontend
+} // namespace padx
+
+#endif // PADX_FRONTEND_TOKEN_H

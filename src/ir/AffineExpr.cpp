@@ -1,0 +1,114 @@
+//===----------------------------------------------------------------------===//
+//
+// Part of the padx project, under the Apache License v2.0.
+//
+//===----------------------------------------------------------------------===//
+
+#include "ir/AffineExpr.h"
+
+#include <algorithm>
+#include <cassert>
+#include <sstream>
+
+using namespace padx;
+using namespace padx::ir;
+
+bool AffineExpr::isIndexPlusConstant(std::string *VarOut,
+                                     int64_t *ConstOut) const {
+  if (TermList.size() != 1 || TermList[0].Coeff != 1)
+    return false;
+  if (VarOut)
+    *VarOut = TermList[0].Var;
+  if (ConstOut)
+    *ConstOut = Const;
+  return true;
+}
+
+void AffineExpr::addTerm(const std::string &Var, int64_t Coeff) {
+  if (Coeff == 0)
+    return;
+  auto It = std::lower_bound(
+      TermList.begin(), TermList.end(), Var,
+      [](const AffineTerm &T, const std::string &V) { return T.Var < V; });
+  if (It != TermList.end() && It->Var == Var) {
+    It->Coeff += Coeff;
+    if (It->Coeff == 0)
+      TermList.erase(It);
+    return;
+  }
+  TermList.insert(It, AffineTerm{Var, Coeff});
+}
+
+AffineExpr AffineExpr::plus(const AffineExpr &RHS) const {
+  AffineExpr Result = *this;
+  Result.Const += RHS.Const;
+  for (const AffineTerm &T : RHS.TermList)
+    Result.addTerm(T.Var, T.Coeff);
+  return Result;
+}
+
+AffineExpr AffineExpr::minus(const AffineExpr &RHS) const {
+  AffineExpr Result = *this;
+  Result.Const -= RHS.Const;
+  for (const AffineTerm &T : RHS.TermList)
+    Result.addTerm(T.Var, -T.Coeff);
+  return Result;
+}
+
+AffineExpr AffineExpr::plusConstant(int64_t C) const {
+  AffineExpr Result = *this;
+  Result.Const += C;
+  return Result;
+}
+
+AffineExpr AffineExpr::scaled(int64_t Factor) const {
+  AffineExpr Result;
+  Result.Const = Const * Factor;
+  if (Factor == 0)
+    return Result;
+  Result.TermList = TermList;
+  for (AffineTerm &T : Result.TermList)
+    T.Coeff *= Factor;
+  return Result;
+}
+
+int64_t AffineExpr::evaluate(
+    const std::function<int64_t(const std::string &)> &Env) const {
+  int64_t Value = Const;
+  for (const AffineTerm &T : TermList)
+    Value += T.Coeff * Env(T.Var);
+  return Value;
+}
+
+int64_t AffineExpr::coefficientOf(const std::string &Var) const {
+  for (const AffineTerm &T : TermList)
+    if (T.Var == Var)
+      return T.Coeff;
+  return 0;
+}
+
+std::string AffineExpr::str() const {
+  std::ostringstream OS;
+  bool First = true;
+  for (const AffineTerm &T : TermList) {
+    if (First) {
+      if (T.Coeff == -1)
+        OS << '-';
+      else if (T.Coeff != 1)
+        OS << T.Coeff << '*';
+    } else {
+      OS << (T.Coeff < 0 ? '-' : '+');
+      int64_t Abs = T.Coeff < 0 ? -T.Coeff : T.Coeff;
+      if (Abs != 1)
+        OS << Abs << '*';
+    }
+    OS << T.Var;
+    First = false;
+  }
+  if (First) {
+    OS << Const;
+  } else if (Const != 0) {
+    OS << (Const < 0 ? '-' : '+') << (Const < 0 ? -Const : Const);
+  }
+  return OS.str();
+}

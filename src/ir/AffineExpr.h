@@ -1,0 +1,102 @@
+//===----------------------------------------------------------------------===//
+//
+// Part of the padx project, under the Apache License v2.0.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Affine expressions over loop index variables: c0 + sum(ci * var_i).
+/// Array subscripts and loop bounds in padx IR are affine. The paper's
+/// "uniformly generated" references are the special case where every
+/// subscript is a single index variable with coefficient one plus a
+/// constant (or a bare constant); isIndexPlusConstant() tests for it.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PADX_IR_AFFINEEXPR_H
+#define PADX_IR_AFFINEEXPR_H
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+namespace padx {
+namespace ir {
+
+/// One `Coeff * Var` term of an affine expression.
+struct AffineTerm {
+  std::string Var;
+  int64_t Coeff = 0;
+
+  bool operator==(const AffineTerm &RHS) const = default;
+};
+
+/// `Constant + sum(Terms)`, kept in canonical form: terms sorted by
+/// variable name, no zero coefficients, at most one term per variable.
+class AffineExpr {
+public:
+  AffineExpr() = default;
+
+  static AffineExpr constant(int64_t C) {
+    AffineExpr E;
+    E.Const = C;
+    return E;
+  }
+
+  static AffineExpr index(std::string Var, int64_t Coeff = 1,
+                          int64_t C = 0) {
+    AffineExpr E;
+    E.Const = C;
+    if (Coeff != 0)
+      E.TermList.push_back({std::move(Var), Coeff});
+    return E;
+  }
+
+  int64_t constantPart() const { return Const; }
+  const std::vector<AffineTerm> &terms() const { return TermList; }
+
+  bool isConstant() const { return TermList.empty(); }
+
+  /// True for the uniformly-generated subscript shape `var + c` (with
+  /// coefficient exactly one). On success stores the variable name and
+  /// constant offset.
+  bool isIndexPlusConstant(std::string *VarOut = nullptr,
+                           int64_t *ConstOut = nullptr) const;
+
+  /// Adds `Coeff * Var`, merging with an existing term and keeping
+  /// canonical form.
+  void addTerm(const std::string &Var, int64_t Coeff);
+
+  AffineExpr plus(const AffineExpr &RHS) const;
+  AffineExpr minus(const AffineExpr &RHS) const;
+  AffineExpr plusConstant(int64_t C) const;
+  AffineExpr scaled(int64_t Factor) const;
+
+  /// Evaluates with \p Env mapping variable names to values. Asserts that
+  /// every referenced variable is bound.
+  int64_t
+  evaluate(const std::function<int64_t(const std::string &)> &Env) const;
+
+  /// Coefficient of \p Var (zero if absent).
+  int64_t coefficientOf(const std::string &Var) const;
+
+  /// True if \p Var appears with a non-zero coefficient.
+  bool references(const std::string &Var) const {
+    return coefficientOf(Var) != 0;
+  }
+
+  /// Renders e.g. "i+1", "2*i-j", "5".
+  std::string str() const;
+
+  bool operator==(const AffineExpr &RHS) const = default;
+
+private:
+  int64_t Const = 0;
+  std::vector<AffineTerm> TermList;
+};
+
+} // namespace ir
+} // namespace padx
+
+#endif // PADX_IR_AFFINEEXPR_H

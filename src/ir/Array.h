@@ -1,0 +1,88 @@
+//===----------------------------------------------------------------------===//
+//
+// Part of the padx project, under the Apache License v2.0.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Array variables: name, element size, column-major dimension sizes and
+/// lower bounds, plus the safety attributes the paper's SUIF implementation
+/// derives (passed-as-parameter, Fortran common block membership, storage
+/// association). A rank-0 "array" models a scalar variable, which also
+/// participates in inter-variable padding.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PADX_IR_ARRAY_H
+#define PADX_IR_ARRAY_H
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace padx {
+namespace ir {
+
+/// How an integer array used for indirect subscripts is initialized by the
+/// trace generator.
+enum class ArrayInitKind {
+  None,     ///< Values never read through indirection.
+  Identity, ///< Element at logical index i holds i.
+  Random,   ///< Uniform values in [RandomMin, RandomMax], seeded.
+};
+
+struct ArrayVariable {
+  std::string Name;
+  /// Element size in bytes: 8 for `real`, 4 for `real4` and `int`.
+  int64_t ElemSize = 8;
+  /// Column-major: DimSizes[0] is the contiguous ("column") dimension.
+  /// Empty for scalars.
+  std::vector<int64_t> DimSizes;
+  /// Fortran-style lower bounds, one per dimension (default 1).
+  std::vector<int64_t> LowerBounds;
+
+  /// Safety attributes restricting what the compiler may do (paper
+  /// Section 4.1: arrays passed as parameters or with storage association
+  /// cannot be intra-padded; common blocks that cannot be split cannot be
+  /// inter-padded internally).
+  bool IsParameter = false;
+  bool HasStorageAssociation = false;
+  /// Non-empty if the variable lives in a Fortran common block.
+  std::string CommonBlock;
+
+  ArrayInitKind Init = ArrayInitKind::None;
+  int64_t RandomMin = 0;
+  int64_t RandomMax = 0;
+  uint64_t RandomSeed = 0;
+
+  unsigned rank() const { return static_cast<unsigned>(DimSizes.size()); }
+  bool isScalar() const { return DimSizes.empty(); }
+
+  int64_t numElements() const {
+    int64_t N = 1;
+    for (int64_t D : DimSizes)
+      N *= D;
+    return N;
+  }
+
+  int64_t sizeBytes() const { return numElements() * ElemSize; }
+
+  /// Number of elements in the subarray spanned by dimensions [0, Dim),
+  /// i.e. the element stride of dimension \p Dim. subarrayElems(0) == 1;
+  /// for a 2-D array subarrayElems(1) is the column size in elements.
+  int64_t subarrayElems(unsigned Dim) const {
+    int64_t N = 1;
+    for (unsigned I = 0; I < Dim; ++I)
+      N *= DimSizes[I];
+    return N;
+  }
+
+  /// Column size in elements (the paper's Col_s for 2-D arrays): the size
+  /// of the first dimension. Requires rank >= 1.
+  int64_t columnElems() const { return DimSizes.empty() ? 1 : DimSizes[0]; }
+};
+
+} // namespace ir
+} // namespace padx
+
+#endif // PADX_IR_ARRAY_H

@@ -1,0 +1,108 @@
+//===----------------------------------------------------------------------===//
+//
+// Part of the padx project, under the Apache License v2.0.
+//
+//===----------------------------------------------------------------------===//
+
+#include "ir/Builder.h"
+
+#include <cassert>
+
+using namespace padx;
+using namespace padx::ir;
+
+ProgramBuilder::ProgramBuilder(std::string Name) : Prog(std::move(Name)) {}
+
+unsigned ProgramBuilder::addScalar(const std::string &Name,
+                                   int64_t ElemSize) {
+  ArrayVariable V;
+  V.Name = Name;
+  V.ElemSize = ElemSize;
+  return Prog.addArray(std::move(V));
+}
+
+unsigned ProgramBuilder::addArray1D(const std::string &Name, int64_t N,
+                                    int64_t ElemSize) {
+  ArrayVariable V;
+  V.Name = Name;
+  V.ElemSize = ElemSize;
+  V.DimSizes = {N};
+  V.LowerBounds = {1};
+  return Prog.addArray(std::move(V));
+}
+
+unsigned ProgramBuilder::addArray2D(const std::string &Name, int64_t N1,
+                                    int64_t N2, int64_t ElemSize) {
+  ArrayVariable V;
+  V.Name = Name;
+  V.ElemSize = ElemSize;
+  V.DimSizes = {N1, N2};
+  V.LowerBounds = {1, 1};
+  return Prog.addArray(std::move(V));
+}
+
+unsigned ProgramBuilder::addArray3D(const std::string &Name, int64_t N1,
+                                    int64_t N2, int64_t N3,
+                                    int64_t ElemSize) {
+  ArrayVariable V;
+  V.Name = Name;
+  V.ElemSize = ElemSize;
+  V.DimSizes = {N1, N2, N3};
+  V.LowerBounds = {1, 1, 1};
+  return Prog.addArray(std::move(V));
+}
+
+ArrayRef ProgramBuilder::read(unsigned ArrayId,
+                              std::vector<AffineExpr> Subs) const {
+  assert(ArrayId < Prog.arrays().size() && "unknown array id");
+  assert(Subs.size() == Prog.array(ArrayId).rank() &&
+         "subscript count must match array rank");
+  ArrayRef R;
+  R.ArrayId = ArrayId;
+  R.Subscripts = std::move(Subs);
+  R.IsWrite = false;
+  return R;
+}
+
+ArrayRef ProgramBuilder::write(unsigned ArrayId,
+                               std::vector<AffineExpr> Subs) const {
+  ArrayRef R = read(ArrayId, std::move(Subs));
+  R.IsWrite = true;
+  return R;
+}
+
+void ProgramBuilder::beginLoop(const std::string &Var, int64_t Lower,
+                               int64_t Upper, int64_t Step) {
+  beginLoop(Var, AffineExpr::constant(Lower), AffineExpr::constant(Upper),
+            Step);
+}
+
+void ProgramBuilder::beginLoop(const std::string &Var, AffineExpr Lower,
+                               AffineExpr Upper, int64_t Step) {
+  assert(Step != 0 && "loop step must be non-zero");
+  auto L = std::make_unique<Loop>(Var, std::move(Lower), std::move(Upper),
+                                  Step);
+  Loop *Raw = L.get();
+  currentBody().push_back(std::move(L));
+  OpenLoops.push_back(Raw);
+}
+
+void ProgramBuilder::endLoop() {
+  assert(!OpenLoops.empty() && "endLoop() without beginLoop()");
+  OpenLoops.pop_back();
+}
+
+void ProgramBuilder::assign(std::vector<ArrayRef> Refs) {
+  Assign A;
+  A.Refs = std::move(Refs);
+  currentBody().push_back(std::move(A));
+}
+
+Program ProgramBuilder::take() {
+  assert(OpenLoops.empty() && "unclosed loops at take()");
+  return std::move(Prog);
+}
+
+std::vector<Stmt> &ProgramBuilder::currentBody() {
+  return OpenLoops.empty() ? Prog.body() : OpenLoops.back()->Body;
+}

@@ -1,0 +1,91 @@
+//===----------------------------------------------------------------------===//
+//
+// Part of the padx project, under the Apache License v2.0.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Programmatic construction of padx IR, used by tests and examples that
+/// build programs without going through the PadLang front end.
+///
+/// Typical usage:
+/// \code
+///   ProgramBuilder PB("jacobi");
+///   unsigned A = PB.addArray2D("A", 512, 512);
+///   unsigned B = PB.addArray2D("B", 512, 512);
+///   PB.beginLoop("i", 2, 511);
+///   PB.beginLoop("j", 2, 511);
+///   PB.assign({PB.read(A, {PB.idx("j", -1), PB.idx("i")}),
+///              PB.read(A, {PB.idx("j"), PB.idx("i", -1)}),
+///              PB.write(B, {PB.idx("j"), PB.idx("i")})});
+///   PB.endLoop();
+///   PB.endLoop();
+///   ir::Program P = PB.take();
+/// \endcode
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PADX_IR_BUILDER_H
+#define PADX_IR_BUILDER_H
+
+#include "ir/Program.h"
+
+#include <string>
+#include <vector>
+
+namespace padx {
+namespace ir {
+
+class ProgramBuilder {
+public:
+  explicit ProgramBuilder(std::string Name);
+
+  /// Declares a variable. Returns the array id.
+  unsigned addArray(ArrayVariable Array) {
+    return Prog.addArray(std::move(Array));
+  }
+  unsigned addScalar(const std::string &Name, int64_t ElemSize = 8);
+  unsigned addArray1D(const std::string &Name, int64_t N,
+                      int64_t ElemSize = 8);
+  unsigned addArray2D(const std::string &Name, int64_t N1, int64_t N2,
+                      int64_t ElemSize = 8);
+  unsigned addArray3D(const std::string &Name, int64_t N1, int64_t N2,
+                      int64_t N3, int64_t ElemSize = 8);
+
+  /// Subscript helpers: `idx("i", 2)` is the affine expression i+2.
+  AffineExpr idx(const std::string &Var, int64_t Offset = 0) const {
+    return AffineExpr::index(Var, 1, Offset);
+  }
+  AffineExpr cst(int64_t C) const { return AffineExpr::constant(C); }
+
+  /// Reference helpers (scalars take no subscripts).
+  ArrayRef read(unsigned ArrayId, std::vector<AffineExpr> Subs = {}) const;
+  ArrayRef write(unsigned ArrayId, std::vector<AffineExpr> Subs = {}) const;
+
+  /// Opens `for Var = Lower, Upper step Step` with constant bounds.
+  void beginLoop(const std::string &Var, int64_t Lower, int64_t Upper,
+                 int64_t Step = 1);
+  /// Opens a loop with affine bounds (triangular nests, etc.).
+  void beginLoop(const std::string &Var, AffineExpr Lower, AffineExpr Upper,
+                 int64_t Step = 1);
+  void endLoop();
+
+  /// Appends an assignment with the given ordered references at the
+  /// current nesting point.
+  void assign(std::vector<ArrayRef> Refs);
+
+  /// Finishes construction; all loops must be closed.
+  Program take();
+
+private:
+  std::vector<Stmt> &currentBody();
+
+  Program Prog;
+  /// Stack of open loops (owned by their parent body already).
+  std::vector<Loop *> OpenLoops;
+};
+
+} // namespace ir
+} // namespace padx
+
+#endif // PADX_IR_BUILDER_H

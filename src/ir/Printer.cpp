@@ -1,0 +1,140 @@
+//===----------------------------------------------------------------------===//
+//
+// Part of the padx project, under the Apache License v2.0.
+//
+//===----------------------------------------------------------------------===//
+
+#include "ir/Printer.h"
+
+#include <cassert>
+#include <sstream>
+
+using namespace padx;
+using namespace padx::ir;
+
+static const char *elemTypeName(int64_t ElemSize) {
+  switch (ElemSize) {
+  case 8:
+    return "real";
+  case 4:
+    return "int";
+  default:
+    return "real";
+  }
+}
+
+void ir::printArrayDecl(std::ostream &OS, const ArrayVariable &V) {
+  OS << "array " << V.Name << " : " << elemTypeName(V.ElemSize);
+  if (!V.isScalar()) {
+    OS << '[';
+    for (unsigned D = 0, E = V.rank(); D != E; ++D) {
+      if (D)
+        OS << ", ";
+      int64_t Lo = V.LowerBounds[D];
+      if (Lo == 1)
+        OS << V.DimSizes[D];
+      else
+        OS << Lo << ':' << Lo + V.DimSizes[D] - 1;
+    }
+    OS << ']';
+  }
+  if (V.IsParameter)
+    OS << " param";
+  if (V.HasStorageAssociation)
+    OS << " stassoc";
+  if (!V.CommonBlock.empty())
+    OS << " common(" << V.CommonBlock << ')';
+  switch (V.Init) {
+  case ArrayInitKind::None:
+    break;
+  case ArrayInitKind::Identity:
+    OS << " init identity";
+    break;
+  case ArrayInitKind::Random:
+    OS << " init random(" << V.RandomMin << ", " << V.RandomMax << ", "
+       << V.RandomSeed << ')';
+    break;
+  }
+  OS << '\n';
+}
+
+void ir::printRef(std::ostream &OS, const Program &P, const ArrayRef &R) {
+  OS << P.array(R.ArrayId).Name;
+  if (R.Subscripts.empty())
+    return;
+  OS << '[';
+  for (unsigned D = 0, E = static_cast<unsigned>(R.Subscripts.size());
+       D != E; ++D) {
+    if (D)
+      OS << ", ";
+    if (static_cast<int>(D) == R.IndirectDim)
+      OS << P.array(R.IndexArrayId).Name << '[' << R.Subscripts[D].str()
+         << ']';
+    else
+      OS << R.Subscripts[D].str();
+  }
+  OS << ']';
+}
+
+static void printAssign(std::ostream &OS, const Program &P, const Assign &A,
+                        unsigned Indent) {
+  OS << std::string(Indent, ' ');
+  const ArrayRef *Write = nullptr;
+  for (const ArrayRef &R : A.Refs)
+    if (R.IsWrite) {
+      Write = &R;
+      break;
+    }
+  assert(Write && "assignment without a write reference");
+  printRef(OS, P, *Write);
+  OS << " = ";
+  bool First = true;
+  for (const ArrayRef &R : A.Refs) {
+    if (R.IsWrite)
+      continue;
+    if (!First)
+      OS << " + ";
+    printRef(OS, P, R);
+    First = false;
+  }
+  if (First)
+    OS << '0';
+  OS << '\n';
+}
+
+static void printStmts(std::ostream &OS, const Program &P,
+                       const std::vector<Stmt> &Stmts, unsigned Indent) {
+  for (const Stmt &S : Stmts) {
+    if (const auto *A = std::get_if<Assign>(&S)) {
+      printAssign(OS, P, *A, Indent);
+      continue;
+    }
+    const auto &L = std::get<std::unique_ptr<Loop>>(S);
+    OS << std::string(Indent, ' ') << "loop " << L->IndexVar << " = "
+       << L->Lower.str() << ", " << L->Upper.str();
+    if (L->Step != 1)
+      OS << " step " << L->Step;
+    OS << " {\n";
+    printStmts(OS, P, L->Body, Indent + 2);
+    OS << std::string(Indent, ' ') << "}\n";
+  }
+}
+
+void ir::printStatements(std::ostream &OS, const Program &P,
+                         unsigned Indent) {
+  printStmts(OS, P, P.body(), Indent);
+}
+
+void ir::printProgram(std::ostream &OS, const Program &P) {
+  OS << "program " << P.name() << "\n\n";
+  for (const ArrayVariable &V : P.arrays())
+    printArrayDecl(OS, V);
+  OS << '\n';
+  printStmts(OS, P, P.body(), 0);
+}
+
+std::string ir::programToString(const Program &P) {
+  std::ostringstream OS;
+  printProgram(OS, P);
+  return OS.str();
+}

@@ -1,0 +1,49 @@
+//===----------------------------------------------------------------------===//
+//
+// Part of the padx project, under the Apache License v2.0.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Re-emits padx IR as PadLang source text. Printing then re-parsing a
+/// program yields identical IR (assignments are canonicalized to
+/// "write = read1 + read2 + ..."), which the front-end round-trip tests
+/// rely on. The layout-aware transformed-source emitter (padded
+/// declarations) lives in the layout library.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PADX_IR_PRINTER_H
+#define PADX_IR_PRINTER_H
+
+#include "ir/Program.h"
+
+#include <ostream>
+#include <string>
+
+namespace padx {
+namespace ir {
+
+/// Prints the full program (declarations and statements) as PadLang.
+void printProgram(std::ostream &OS, const Program &P);
+
+/// Returns printProgram output as a string.
+std::string programToString(const Program &P);
+
+/// Prints one array declaration line, e.g.
+/// "array A : real[512, 512] common(blk)".
+void printArrayDecl(std::ostream &OS, const ArrayVariable &V);
+
+/// Prints one reference, e.g. "A[j-1, i]" or "X[IDX[j]]".
+void printRef(std::ostream &OS, const Program &P, const ArrayRef &R);
+
+/// Prints only the statement list (loops and assignments), without the
+/// program header or declarations. Used by the transformed-source emitter,
+/// which prints its own declarations.
+void printStatements(std::ostream &OS, const Program &P,
+                     unsigned Indent = 0);
+
+} // namespace ir
+} // namespace padx
+
+#endif // PADX_IR_PRINTER_H

@@ -1,0 +1,64 @@
+//===----------------------------------------------------------------------===//
+//
+// Part of the padx project, under the Apache License v2.0.
+//
+//===----------------------------------------------------------------------===//
+
+#include "ir/Program.h"
+
+#include <cassert>
+
+using namespace padx;
+using namespace padx::ir;
+
+unsigned Program::addArray(ArrayVariable Array) {
+  assert(!findArray(Array.Name) && "duplicate array name");
+  Arrays.push_back(std::move(Array));
+  return static_cast<unsigned>(Arrays.size() - 1);
+}
+
+std::optional<unsigned> Program::findArray(const std::string &Name) const {
+  for (unsigned I = 0, E = static_cast<unsigned>(Arrays.size()); I != E; ++I)
+    if (Arrays[I].Name == Name)
+      return I;
+  return std::nullopt;
+}
+
+static void walkStmts(
+    const std::vector<Stmt> &Stmts, std::vector<const Loop *> &Chain,
+    const std::function<void(const Assign &,
+                             const std::vector<const Loop *> &)> &Fn) {
+  for (const Stmt &S : Stmts) {
+    if (const auto *A = std::get_if<Assign>(&S)) {
+      Fn(*A, Chain);
+      continue;
+    }
+    const auto &L = std::get<std::unique_ptr<Loop>>(S);
+    Chain.push_back(L.get());
+    walkStmts(L->Body, Chain, Fn);
+    Chain.pop_back();
+  }
+}
+
+void Program::forEachAssign(
+    const std::function<void(const Assign &,
+                             const std::vector<const Loop *> &)> &Fn) const {
+  std::vector<const Loop *> Chain;
+  walkStmts(Body, Chain, Fn);
+}
+
+unsigned Program::numAssigns() const {
+  unsigned N = 0;
+  forEachAssign([&](const Assign &, const std::vector<const Loop *> &) {
+    ++N;
+  });
+  return N;
+}
+
+unsigned Program::numRefs() const {
+  unsigned N = 0;
+  forEachAssign([&](const Assign &A, const std::vector<const Loop *> &) {
+    N += static_cast<unsigned>(A.Refs.size());
+  });
+  return N;
+}

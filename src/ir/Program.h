@@ -1,0 +1,76 @@
+//===----------------------------------------------------------------------===//
+//
+// Part of the padx project, under the Apache License v2.0.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A whole program: the (globalized) array variables plus a top-level
+/// statement list. Mirrors the paper's setup in which all local and common
+/// variables have been promoted into a single global scope so the compiler
+/// controls every base address.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PADX_IR_PROGRAM_H
+#define PADX_IR_PROGRAM_H
+
+#include "ir/Array.h"
+#include "ir/Stmt.h"
+
+#include <functional>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace padx {
+namespace ir {
+
+class Program {
+public:
+  explicit Program(std::string Name = "") : Name(std::move(Name)) {}
+
+  Program(Program &&) = default;
+  Program &operator=(Program &&) = default;
+  Program(const Program &) = delete;
+  Program &operator=(const Program &) = delete;
+
+  const std::string &name() const { return Name; }
+  void setName(std::string N) { Name = std::move(N); }
+
+  /// Adds a variable and returns its id (index into arrays()).
+  unsigned addArray(ArrayVariable Array);
+
+  const std::vector<ArrayVariable> &arrays() const { return Arrays; }
+  std::vector<ArrayVariable> &arrays() { return Arrays; }
+  const ArrayVariable &array(unsigned Id) const { return Arrays[Id]; }
+
+  std::optional<unsigned> findArray(const std::string &Name) const;
+
+  const std::vector<Stmt> &body() const { return Body; }
+  std::vector<Stmt> &body() { return Body; }
+
+  /// Invokes \p Fn for every Assign in execution order together with the
+  /// chain of enclosing loops, outermost first. This is the traversal all
+  /// reference-based analyses build on.
+  void forEachAssign(
+      const std::function<void(const Assign &,
+                               const std::vector<const Loop *> &)> &Fn)
+      const;
+
+  /// Counts Assign statements.
+  unsigned numAssigns() const;
+
+  /// Counts array references in all Assigns.
+  unsigned numRefs() const;
+
+private:
+  std::string Name;
+  std::vector<ArrayVariable> Arrays;
+  std::vector<Stmt> Body;
+};
+
+} // namespace ir
+} // namespace padx
+
+#endif // PADX_IR_PROGRAM_H

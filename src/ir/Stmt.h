@@ -1,0 +1,87 @@
+//===----------------------------------------------------------------------===//
+//
+// Part of the padx project, under the Apache License v2.0.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Statements of padx IR: array references, assignments and loops. padx
+/// models only what the padding analysis and the trace generator need — the
+/// ordered list of memory references each statement performs — so an
+/// Assign carries references (reads in evaluation order, then writes)
+/// rather than an arithmetic expression tree.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PADX_IR_STMT_H
+#define PADX_IR_STMT_H
+
+#include "ir/AffineExpr.h"
+#include "support/SourceLocation.h"
+
+#include <memory>
+#include <variant>
+#include <vector>
+
+namespace padx {
+namespace ir {
+
+/// A read or write of one array element (or scalar). Subscripts are affine
+/// in the enclosing loop index variables; an optional single level of
+/// indirection (`X[IDX[i]]`) routes one subscript through an integer index
+/// array.
+struct ArrayRef {
+  unsigned ArrayId = 0;
+  /// One affine subscript per dimension (empty for scalars).
+  std::vector<AffineExpr> Subscripts;
+  bool IsWrite = false;
+
+  /// If >= 0, the value of subscript \c IndirectDim is
+  /// IndexArray[Subscripts[IndirectDim]] instead of the affine value
+  /// itself. The read of the index array element is implicit: the trace
+  /// generator emits the index-array access followed by the indirect
+  /// access, so it never appears as a separate ArrayRef.
+  int IndirectDim = -1;
+  unsigned IndexArrayId = 0;
+
+  SourceLocation Loc;
+
+  bool isAffine() const { return IndirectDim < 0; }
+};
+
+/// An assignment statement, reduced to its ordered memory references.
+struct Assign {
+  std::vector<ArrayRef> Refs;
+  SourceLocation Loc;
+};
+
+class Loop;
+
+/// A statement is either an assignment or a nested loop.
+using Stmt = std::variant<Assign, std::unique_ptr<Loop>>;
+
+/// A counted loop `for Var = Lower, Upper step Step`, bounds inclusive and
+/// affine in outer loop variables. Step is non-zero and may be negative.
+class Loop {
+public:
+  std::string IndexVar;
+  AffineExpr Lower;
+  AffineExpr Upper;
+  int64_t Step = 1;
+  std::vector<Stmt> Body;
+  SourceLocation Loc;
+
+  Loop() = default;
+  Loop(std::string IndexVar, AffineExpr Lower, AffineExpr Upper,
+       int64_t Step = 1)
+      : IndexVar(std::move(IndexVar)), Lower(std::move(Lower)),
+        Upper(std::move(Upper)), Step(Step) {}
+
+  Loop(const Loop &) = delete;
+  Loop &operator=(const Loop &) = delete;
+};
+
+} // namespace ir
+} // namespace padx
+
+#endif // PADX_IR_STMT_H

@@ -1,0 +1,141 @@
+//===----------------------------------------------------------------------===//
+//
+// Part of the padx project, under the Apache License v2.0.
+//
+//===----------------------------------------------------------------------===//
+
+#include "ir/Validator.h"
+
+#include <algorithm>
+#include <string>
+#include <vector>
+
+using namespace padx;
+using namespace padx::ir;
+
+namespace {
+
+class ValidatorImpl {
+public:
+  ValidatorImpl(const Program &P, DiagnosticEngine &Diags)
+      : P(P), Diags(Diags) {}
+
+  bool run() {
+    checkArrays();
+    checkStmts(P.body());
+    return !Diags.hasErrors();
+  }
+
+private:
+  void checkArrays() {
+    for (const ArrayVariable &V : P.arrays()) {
+      if (V.Name.empty())
+        Diags.error({}, "array with empty name");
+      if (V.ElemSize != 4 && V.ElemSize != 8)
+        Diags.error({}, "array '" + V.Name +
+                            "' has unsupported element size " +
+                            std::to_string(V.ElemSize));
+      if (V.DimSizes.size() != V.LowerBounds.size())
+        Diags.error({}, "array '" + V.Name +
+                            "' has mismatched dim/lower-bound lists");
+      for (int64_t D : V.DimSizes)
+        if (D <= 0)
+          Diags.error({}, "array '" + V.Name +
+                              "' has non-positive dimension size");
+    }
+  }
+
+  bool isBound(const std::string &Var) const {
+    return std::find(LoopVars.begin(), LoopVars.end(), Var) !=
+           LoopVars.end();
+  }
+
+  void checkExprVars(const AffineExpr &E, SourceLocation Loc,
+                     const char *What) {
+    for (const AffineTerm &T : E.terms())
+      if (!isBound(T.Var))
+        Diags.error(Loc, std::string(What) + " references unknown loop "
+                                             "variable '" +
+                             T.Var + "'");
+  }
+
+  void checkRef(const ArrayRef &R, SourceLocation Loc) {
+    if (R.ArrayId >= P.arrays().size()) {
+      Diags.error(Loc, "reference to unknown array id");
+      return;
+    }
+    const ArrayVariable &V = P.array(R.ArrayId);
+    if (R.Subscripts.size() != V.rank()) {
+      Diags.error(Loc, "reference to '" + V.Name + "' has " +
+                           std::to_string(R.Subscripts.size()) +
+                           " subscripts, expected " +
+                           std::to_string(V.rank()));
+      return;
+    }
+    for (const AffineExpr &S : R.Subscripts)
+      checkExprVars(S, Loc, "subscript");
+    if (R.IndirectDim >= 0) {
+      if (static_cast<size_t>(R.IndirectDim) >= R.Subscripts.size()) {
+        Diags.error(Loc, "indirect dimension out of range for '" + V.Name +
+                             "'");
+        return;
+      }
+      if (R.IndexArrayId >= P.arrays().size()) {
+        Diags.error(Loc, "indirect reference names unknown index array");
+        return;
+      }
+      const ArrayVariable &Idx = P.array(R.IndexArrayId);
+      if (Idx.ElemSize != 4 || Idx.rank() != 1)
+        Diags.error(Loc, "index array '" + Idx.Name +
+                             "' must be a rank-1 int array");
+      if (Idx.Init == ArrayInitKind::None)
+        Diags.error(Loc, "index array '" + Idx.Name +
+                             "' needs an initializer (init identity or "
+                             "init random)");
+    }
+  }
+
+  void checkAssign(const Assign &A) {
+    unsigned Writes = 0;
+    for (const ArrayRef &R : A.Refs) {
+      checkRef(R, A.Loc);
+      if (R.IsWrite)
+        ++Writes;
+    }
+    if (Writes != 1)
+      Diags.error(A.Loc, "assignment must have exactly one write "
+                         "reference, found " +
+                             std::to_string(Writes));
+  }
+
+  void checkStmts(const std::vector<Stmt> &Stmts) {
+    for (const Stmt &S : Stmts) {
+      if (const auto *A = std::get_if<Assign>(&S)) {
+        checkAssign(*A);
+        continue;
+      }
+      const auto &L = std::get<std::unique_ptr<Loop>>(S);
+      if (L->Step == 0)
+        Diags.error(L->Loc, "loop '" + L->IndexVar + "' has zero step");
+      if (isBound(L->IndexVar))
+        Diags.error(L->Loc, "loop variable '" + L->IndexVar +
+                                "' shadows an enclosing loop variable");
+      // Bounds may only use *outer* loop variables.
+      checkExprVars(L->Lower, L->Loc, "loop lower bound");
+      checkExprVars(L->Upper, L->Loc, "loop upper bound");
+      LoopVars.push_back(L->IndexVar);
+      checkStmts(L->Body);
+      LoopVars.pop_back();
+    }
+  }
+
+  const Program &P;
+  DiagnosticEngine &Diags;
+  std::vector<std::string> LoopVars;
+};
+
+} // namespace
+
+bool ir::validate(const Program &P, DiagnosticEngine &Diags) {
+  return ValidatorImpl(P, Diags).run();
+}

@@ -1,0 +1,38 @@
+//===----------------------------------------------------------------------===//
+//
+// Part of the padx project, under the Apache License v2.0.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Structural checks on padx IR. Programs produced by the front end are
+/// validated before any analysis runs; programs built through the Builder
+/// API are validated by tests.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PADX_IR_VALIDATOR_H
+#define PADX_IR_VALIDATOR_H
+
+#include "ir/Program.h"
+#include "support/Diagnostics.h"
+
+namespace padx {
+namespace ir {
+
+/// Checks that:
+///  * array dims and lower-bound lists are consistent and positive;
+///  * every reference names a valid array with rank-many subscripts;
+///  * every assignment has exactly one write reference;
+///  * subscripts and loop bounds only reference enclosing loop variables;
+///  * loop index variables do not shadow one another along a nest;
+///  * loop steps are non-zero;
+///  * indirect references name an integer (4-byte) rank-1 index array with
+///    an initializer.
+/// Returns true when no errors were reported.
+bool validate(const Program &P, DiagnosticEngine &Diags);
+
+} // namespace ir
+} // namespace padx
+
+#endif // PADX_IR_VALIDATOR_H

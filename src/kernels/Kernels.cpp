@@ -1,0 +1,179 @@
+//===----------------------------------------------------------------------===//
+//
+// Part of the padx project, under the Apache License v2.0.
+//
+//===----------------------------------------------------------------------===//
+
+#include "kernels/Kernels.h"
+
+#include "frontend/Parser.h"
+#include "kernels/SourceTemplates.h"
+#include "support/Diagnostics.h"
+
+#include <cassert>
+#include <cstdio>
+
+using namespace padx;
+using namespace padx::kernels;
+
+namespace {
+
+using SourceFn = std::string (*)(int64_t);
+
+struct Registration {
+  KernelInfo Info;
+  SourceFn Fn;
+};
+
+const std::vector<Registration> &registry() {
+  using namespace detail;
+  static const std::vector<Registration> Table = {
+      // Scientific kernels (Table 2 tier 1).
+      {{"adi", "ADI128", "2D ADI integration fragment (Liv8)",
+        Suite::Kernel, 128},
+       adiSource},
+      {{"chol", "CHOL256", "Cholesky factorization", Suite::Kernel, 256},
+       cholSource},
+      {{"dgefa", "DGEFA256", "Gaussian elimination w/pivoting",
+        Suite::Kernel, 256},
+       dgefaSource},
+      {{"dot", "DOT4096", "Vector dot product (Liv3)", Suite::Kernel,
+        4096},
+       dotSource},
+      {{"erle", "ERLE64", "3D tridiagonal solver", Suite::Kernel, 64},
+       erleSource},
+      {{"expl", "EXPL128", "2D explicit hydrodynamics (Liv18)",
+        Suite::Kernel, 128},
+       explSource},
+      {{"irr", "IRR50K", "Relaxation over irregular mesh", Suite::Kernel,
+        50000},
+       irrSource},
+      {{"jacobi", "JACOBI512", "2D Jacobi iteration", Suite::Kernel, 512},
+       jacobiSource},
+      {{"linpackd", "LINPACKD", "Gaussian elimination w/pivoting + solve",
+        Suite::Kernel, 256},
+       linpackdSource},
+      {{"mult", "MULT300", "Matrix multiplication (Liv21)", Suite::Kernel,
+        300},
+       multSource},
+      {{"rb", "RB512", "2D red-black over-relaxation", Suite::Kernel,
+        512},
+       rbSource},
+      {{"shal", "SHAL512", "Shallow water model", Suite::Kernel, 512},
+       shalSource},
+      {{"simple", "SIMPLE192", "2D hydrodynamics", Suite::Kernel, 192},
+       simpleSource},
+      {{"tomcatv", "TOMCATV256", "Vectorized mesh generation",
+        Suite::Kernel, 256},
+       tomcatvSource},
+      // NAS stand-ins.
+      {{"appbt_like", "APPBT*", "Block-tridiagonal PDE solver",
+        Suite::NAS, 32},
+       appbtLikeSource},
+      {{"applu_like", "APPLU*", "Parabolic/elliptic PDE solver",
+        Suite::NAS, 32},
+       appluLikeSource},
+      {{"appsp_like", "APPSP*", "Scalar-pentadiagonal PDE solver",
+        Suite::NAS, 32},
+       appspLikeSource},
+      {{"buk_like", "BUK*", "Integer bucket sort", Suite::NAS, 65536},
+       bukLikeSource},
+      {{"cgm_like", "CGM*", "Sparse conjugate gradient", Suite::NAS,
+        16384},
+       cgmLikeSource},
+      {{"embar_like", "EMBAR*", "Monte Carlo", Suite::NAS, 65536},
+       embarLikeSource},
+      {{"fftpde_like", "FFTPDE*", "3D fast Fourier transform", Suite::NAS,
+        65536},
+       fftpdeLikeSource},
+      {{"mgrid_like", "MGRID*", "Multigrid solver", Suite::NAS, 64},
+       mgridLikeSource},
+      // SPEC95 stand-ins.
+      {{"swim", "SWIM512", "Shallow water physics", Suite::Spec95, 512},
+       swimSource},
+      {{"hydro2d_like", "HYDRO2D*", "Navier-Stokes gas dynamics",
+        Suite::Spec95, 256},
+       hydro2dLikeSource},
+      {{"su2cor_like", "SU2COR*", "Quantum physics lattice",
+        Suite::Spec95, 32},
+       su2corLikeSource},
+      {{"turb3d_like", "TURB3D*", "Isotropic turbulence", Suite::Spec95,
+        32},
+       turb3dLikeSource},
+      {{"wave5_like", "WAVE5*", "Plasma particle-in-cell", Suite::Spec95,
+        65536},
+       wave5LikeSource},
+      {{"apsi_like", "APSI*", "Pseudospectral air pollution",
+        Suite::Spec95, 64},
+       apsiLikeSource},
+      {{"fpppp_like", "FPPPP*", "2-electron integral derivative",
+        Suite::Spec95, 2048},
+       fppppLikeSource},
+      // SPEC92 stand-ins.
+      {{"nasa7_like", "NASA7*", "NASA Ames Fortran kernels",
+        Suite::Spec92, 128},
+       nasa7LikeSource},
+      {{"ora_like", "ORA*", "Ray tracing", Suite::Spec92, 100000},
+       oraLikeSource},
+      {{"mdljdp2_like", "MDLJDP2*", "Molecular dynamics (double prec)",
+        Suite::Spec92, 16384},
+       mdljdp2LikeSource},
+      {{"mdljsp2_like", "MDLJSP2*", "Molecular dynamics (single prec)",
+        Suite::Spec92, 16384},
+       mdljsp2LikeSource},
+      {{"doduc_like", "DODUC*", "Thermohydraulic modelization",
+        Suite::Spec92, 128},
+       doducLikeSource},
+  };
+  return Table;
+}
+
+const Registration *findRegistration(const std::string &Name) {
+  for (const Registration &R : registry())
+    if (R.Info.Name == Name)
+      return &R;
+  return nullptr;
+}
+
+} // namespace
+
+const std::vector<KernelInfo> &kernels::allKernels() {
+  static const std::vector<KernelInfo> Infos = [] {
+    std::vector<KernelInfo> V;
+    for (const Registration &R : registry())
+      V.push_back(R.Info);
+    return V;
+  }();
+  return Infos;
+}
+
+const KernelInfo *kernels::findKernel(const std::string &Name) {
+  const Registration *R = findRegistration(Name);
+  return R ? &R->Info : nullptr;
+}
+
+std::string kernels::kernelSource(const std::string &Name, int64_t N) {
+  const Registration *R = findRegistration(Name);
+  assert(R && "unknown kernel name");
+  return R->Fn(N == 0 ? R->Info.DefaultSize : N);
+}
+
+ir::Program kernels::makeKernel(const std::string &Name, int64_t N) {
+  std::string Source = kernelSource(Name, N);
+  DiagnosticEngine Diags;
+  std::optional<ir::Program> P = frontend::parseProgram(Source, Diags);
+  if (!P) {
+    std::fprintf(stderr, "kernel '%s' failed to parse:\n%s", Name.c_str(),
+                 Diags.str().c_str());
+    assert(false && "kernel source failed to parse");
+  }
+  return std::move(*P);
+}
+
+unsigned kernels::kernelSourceLines(const std::string &Name, int64_t N) {
+  std::string Source = kernelSource(Name, N);
+  unsigned Lines = 0;
+  for (char C : Source)
+    Lines += C == '\n';
+  return Lines;
+}

@@ -1,0 +1,66 @@
+//===----------------------------------------------------------------------===//
+//
+// Part of the padx project, under the Apache License v2.0.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The benchmark programs of the paper's evaluation, written in PadLang.
+/// Three tiers mirror Table 2:
+///   * the 14 scientific kernels (ADI, CHOL, DGEFA, DOT, ERLE, EXPL, IRR,
+///     JACOBI, LINPACKD, MULT, RB, SHAL, SIMPLE, TOMCATV) implemented
+///     faithfully from their standard sources;
+///   * NAS stand-ins ("*_like") reproducing each benchmark's array
+///     count/rank and access-pattern profile at reduced scale;
+///   * SPEC95/SPEC92 stand-ins likewise (SWIM is genuinely the SHAL code
+///     at 512, TOMCATV's full compute loops are implemented directly).
+/// See DESIGN.md for the substitution rationale. Every program is
+/// parameterized by a problem size N so the varying-problem-size
+/// experiments (Figures 16, 17) can sweep it.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PADX_KERNELS_KERNELS_H
+#define PADX_KERNELS_KERNELS_H
+
+#include "ir/Program.h"
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace padx {
+namespace kernels {
+
+enum class Suite { Kernel, NAS, Spec95, Spec92 };
+
+struct KernelInfo {
+  std::string Name;        ///< Registry key, e.g. "jacobi".
+  std::string Display;     ///< Paper-style name, e.g. "JACOBI512".
+  std::string Description;
+  Suite Tier = Suite::Kernel;
+  int64_t DefaultSize = 0;
+};
+
+/// All registered programs in a stable order (kernels, then NAS, then
+/// SPEC95, then SPEC92, matching Table 2).
+const std::vector<KernelInfo> &allKernels();
+
+/// Looks up a kernel by registry name; returns nullptr if unknown.
+const KernelInfo *findKernel(const std::string &Name);
+
+/// PadLang source of kernel \p Name at problem size \p N (0 selects the
+/// kernel's default size). Asserts the name is known.
+std::string kernelSource(const std::string &Name, int64_t N = 0);
+
+/// Parses and validates the kernel source into IR. Asserts on parse
+/// errors (kernel sources are tested).
+ir::Program makeKernel(const std::string &Name, int64_t N = 0);
+
+/// Number of text lines of the kernel's PadLang source (Table 2 "Lines").
+unsigned kernelSourceLines(const std::string &Name, int64_t N = 0);
+
+} // namespace kernels
+} // namespace padx
+
+#endif // PADX_KERNELS_KERNELS_H

@@ -1,0 +1,259 @@
+//===----------------------------------------------------------------------===//
+//
+// Part of the padx project, under the Apache License v2.0.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Reduced-scale stand-ins for the NAS benchmarks of Table 2. Each
+/// reproduces the array profile and reference patterns that drive the
+/// padding decisions of the original (rank, relative array sizes, affine
+/// vs. strided vs. indirect accesses); see DESIGN.md for the substitution
+/// argument.
+///
+//===----------------------------------------------------------------------===//
+
+#include "kernels/SourceTemplates.h"
+
+using namespace padx;
+using namespace padx::kernels;
+
+/// Block-tridiagonal PDE solver: 3-D grids updated by directional sweeps
+/// with small dense blocks (modeled by the extra RHS arrays).
+std::string detail::appbtLikeSource(int64_t N) {
+  return substitute(R"(program appbt_like@N@
+array U : real[@N@, @N@, @N@]
+array RSD : real[@N@, @N@, @N@]
+array F1 : real[@N@, @N@, @N@]
+array F2 : real[@N@, @N@, @N@]
+array F3 : real[@N@, @N@, @N@]
+
+loop t = 1, 2 {
+  loop k = 2, @N1@ {
+    loop j = 2, @N1@ {
+      loop i = 2, @N1@ {
+        RSD[i, j, k] = U[i-1, j, k] + U[i+1, j, k] + F1[i, j, k]
+      }
+    }
+  }
+  loop k = 2, @N1@ {
+    loop j = 2, @N1@ {
+      loop i = 2, @N1@ {
+        RSD[i, j, k] = RSD[i, j, k] + U[i, j-1, k] + U[i, j+1, k] + F2[i, j, k]
+      }
+    }
+  }
+  loop k = 2, @N1@ {
+    loop j = 2, @N1@ {
+      loop i = 2, @N1@ {
+        U[i, j, k] = RSD[i, j, k] + U[i, j, k-1] + U[i, j, k+1] + F3[i, j, k]
+      }
+    }
+  }
+}
+)",
+                    {{"N", N}, {"N1", N - 1}});
+}
+
+/// Parabolic/elliptic solver: lower/upper wavefront sweeps (SSOR).
+std::string detail::appluLikeSource(int64_t N) {
+  return substitute(R"(program applu_like@N@
+array V : real[@N@, @N@, @N@]
+array RSD : real[@N@, @N@, @N@]
+array FRCT : real[@N@, @N@, @N@]
+
+loop t = 1, 2 {
+  loop k = 2, @N@ {
+    loop j = 2, @N@ {
+      loop i = 2, @N@ {
+        V[i, j, k] = V[i-1, j, k] + V[i, j-1, k] + V[i, j, k-1] + RSD[i, j, k]
+      }
+    }
+  }
+  loop k = @N1@, 1 step -1 {
+    loop j = @N1@, 1 step -1 {
+      loop i = @N1@, 1 step -1 {
+        V[i, j, k] = V[i+1, j, k] + V[i, j+1, k] + V[i, j, k+1] + FRCT[i, j, k]
+      }
+    }
+  }
+}
+)",
+                    {{"N", N}, {"N1", N - 1}});
+}
+
+/// Scalar-pentadiagonal solver: five-point directional sweeps.
+std::string detail::appspLikeSource(int64_t N) {
+  return substitute(R"(program appsp_like@N@
+array U : real[@N@, @N@, @N@]
+array RHS : real[@N@, @N@, @N@]
+array FLUX : real[@N@, @N@, @N@]
+array Q : real[@N@, @N@, @N@]
+
+loop t = 1, 2 {
+  loop k = 3, @N2@ {
+    loop j = 1, @N@ {
+      loop i = 1, @N@ {
+        RHS[i, j, k] = U[i, j, k-2] + U[i, j, k-1] + U[i, j, k] + U[i, j, k+1] + U[i, j, k+2]
+      }
+    }
+  }
+  loop k = 1, @N@ {
+    loop j = 3, @N2@ {
+      loop i = 1, @N@ {
+        FLUX[i, j, k] = U[i, j-2, k] + U[i, j-1, k] + U[i, j, k] + U[i, j+1, k] + U[i, j+2, k]
+      }
+    }
+  }
+  loop k = 1, @N@ {
+    loop j = 1, @N@ {
+      loop i = 3, @N2@ {
+        Q[i, j, k] = RHS[i, j, k] + FLUX[i, j, k] + U[i-2, j, k] + U[i+2, j, k]
+      }
+    }
+  }
+}
+)",
+                    {{"N", N}, {"N2", N - 2}});
+}
+
+/// Integer bucket sort: randomized keys counted into a small table
+/// through indirection.
+std::string detail::bukLikeSource(int64_t N) {
+  return substitute(R"(program buk_like@N@
+array KEY : int[@N@] init random(1, 1024, 17)
+array COUNT : int[1024]
+array RANK : int[@N@]
+
+loop t = 1, 2 {
+  loop i = 1, @N@ {
+    COUNT[KEY[i]] = COUNT[KEY[i]] + 1
+  }
+  loop i = 1, @N@ {
+    RANK[i] = COUNT[KEY[i]]
+  }
+}
+)",
+                    {{"N", N}});
+}
+
+/// Sparse conjugate-gradient matrix-vector product: fixed row length,
+/// gathered columns. The A subscript i*16+r is affine but not uniformly
+/// generated (coefficient 16), and X is gathered, so padding analyzes
+/// almost nothing — matching CGM's blank padding row in Table 2.
+std::string detail::cgmLikeSource(int64_t N) {
+  return substitute(R"(program cgm_like@N@
+array A : real[@NNZ@]
+array COLIDX : int[@NNZ@] init random(1, @N@, 23)
+array X : real[@N@]
+array Y : real[@N@]
+array P : real[@N@]
+array R : real[@N@]
+
+loop t = 1, 2 {
+  loop i = 1, @N@ {
+    loop r = 1, 16 {
+      Y[i] = Y[i] + A[i*16 + r - 16] * X[COLIDX[i*16 + r - 16]]
+    }
+  }
+  loop i = 1, @N@ {
+    R[i] = R[i] + Y[i]
+    P[i] = P[i] + R[i]
+  }
+}
+)",
+                    {{"N", N}, {"NNZ", N * 16}});
+}
+
+/// Monte Carlo (embarrassingly parallel): dominated by scalar work with a
+/// small Gaussian-pair table and strided tallies.
+std::string detail::embarLikeSource(int64_t N) {
+  return substitute(R"(program embar_like@N@
+array XPAIR : real[@N@]
+array QTALLY : real[64]
+array S1 : real
+array S2 : real
+array TK : real
+
+loop t = 1, 4 {
+  loop i = 1, @N2@ {
+    S1 = S1 + XPAIR[i*2 - 1] * XPAIR[i*2]
+    S2 = S2 + XPAIR[i*2]
+    TK = TK + S1 * S2
+    QTALLY[1] = QTALLY[1] + S1
+  }
+}
+)",
+                    {{"N", N}, {"N2", N / 2}});
+}
+
+/// 3-D FFT PDE solver: power-of-two butterflies (strided, non-uniform)
+/// and a bit-reversal permutation (indirect).
+std::string detail::fftpdeLikeSource(int64_t N) {
+  return substitute(R"(program fftpde_like@N@
+array XRE : real[@N@]
+array XIM : real[@N@]
+array YRE : real[@N@]
+array YIM : real[@N@]
+array BREV : int[@N@] init random(1, @N@, 31)
+
+loop t = 1, 2 {
+  loop i = 1, @N@ {
+    YRE[i] = XRE[BREV[i]]
+    YIM[i] = XIM[BREV[i]]
+  }
+  loop k = 1, @N2@ {
+    YRE[k*2 - 1] = YRE[k*2 - 1] + YRE[k*2]
+    YIM[k*2 - 1] = YIM[k*2 - 1] - YIM[k*2]
+  }
+  loop k = 1, @N4@ {
+    YRE[k*4 - 3] = YRE[k*4 - 3] + YRE[k*4 - 1]
+    YIM[k*4 - 3] = YIM[k*4 - 3] - YIM[k*4 - 1]
+  }
+  loop i = 1, @N@ {
+    XRE[i] = YRE[i]
+    XIM[i] = YIM[i]
+  }
+}
+)",
+                    {{"N", N}, {"N2", N / 2}, {"N4", N / 4}});
+}
+
+/// Multigrid V-cycle fragment: 3-D relaxation plus stride-2 restriction
+/// and prolongation (non-uniform references).
+std::string detail::mgridLikeSource(int64_t N) {
+  return substitute(R"(program mgrid_like@N@
+array U : real[@N@, @N@, @N@]
+array V : real[@N@, @N@, @N@]
+array R : real[@N@, @N@, @N@]
+array UC : real[@NH@, @NH@, @NH@]
+
+loop t = 1, 2 {
+  loop k = 2, @N1@ {
+    loop j = 2, @N1@ {
+      loop i = 2, @N1@ {
+        R[i, j, k] = V[i, j, k] - U[i-1, j, k] - U[i+1, j, k] - U[i, j-1, k] - U[i, j+1, k] - U[i, j, k-1] - U[i, j, k+1] + 6.0 * U[i, j, k]
+      }
+    }
+  }
+  loop k = 2, @NH1@ {
+    loop j = 2, @NH1@ {
+      loop i = 2, @NH1@ {
+        UC[i, j, k] = R[i*2 - 1, j*2 - 1, k*2 - 1] + R[i*2, j*2, k*2]
+      }
+    }
+  }
+  loop k = 2, @N1@ {
+    loop j = 2, @N1@ {
+      loop i = 2, @N1@ {
+        U[i, j, k] = U[i, j, k] + R[i, j, k]
+      }
+    }
+  }
+}
+)",
+                    {{"N", N},
+                     {"N1", N - 1},
+                     {"NH", N / 2},
+                     {"NH1", N / 2 - 1}});
+}

@@ -1,0 +1,464 @@
+//===----------------------------------------------------------------------===//
+//
+// Part of the padx project, under the Apache License v2.0.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The 14 scientific kernels of Table 2, written in PadLang from their
+/// standard sources (Livermore loops, LINPACK, common PDE kernels). All
+/// 2-D arrays are column-major with the first subscript contiguous, as in
+/// the Fortran originals.
+///
+//===----------------------------------------------------------------------===//
+
+#include "kernels/SourceTemplates.h"
+
+#include <cassert>
+
+using namespace padx;
+using namespace padx::kernels;
+
+std::string detail::substitute(
+    std::string Template,
+    std::initializer_list<std::pair<const char *, int64_t>> Values) {
+  for (const auto &[Key, Value] : Values) {
+    std::string Needle = std::string("@") + Key + "@";
+    std::string Replacement = std::to_string(Value);
+    size_t Pos = 0;
+    while ((Pos = Template.find(Needle, Pos)) != std::string::npos) {
+      Template.replace(Pos, Needle.size(), Replacement);
+      Pos += Replacement.size();
+    }
+  }
+  assert(Template.find('@') == std::string::npos &&
+         "unsubstituted placeholder in kernel template");
+  return Template;
+}
+
+/// 2-D ADI integration fragment (Livermore loop 8 flavor): alternating
+/// implicit sweeps along each grid direction over six equal-size arrays.
+std::string detail::adiSource(int64_t N) {
+  return substitute(R"(program adi@N@
+array X : real[@N@, @N@]
+array Y : real[@N@, @N@]
+array A : real[@N@, @N@]
+array B : real[@N@, @N@]
+array C : real[@N@, @N@]
+array D : real[@N@, @N@]
+
+loop t = 1, 2 {
+  loop i = 2, @N@ {
+    loop j = 1, @N@ {
+      X[j, i] = X[j, i-1] + A[j, i] * Y[j, i] + B[j, i]
+    }
+  }
+  loop i = 1, @N@ {
+    loop j = 2, @N@ {
+      Y[j, i] = Y[j-1, i] + C[j, i] * X[j, i] + D[j, i]
+    }
+  }
+}
+)",
+                    {{"N", N}});
+}
+
+/// Cholesky factorization, right-looking KJI form.
+std::string detail::cholSource(int64_t N) {
+  return substitute(R"(program chol@N@
+array A : real[@N@, @N@]
+array DIAG : real
+
+loop k = 1, @N@ {
+  DIAG = A[k, k]
+  loop i = k+1, @N@ {
+    A[i, k] = A[i, k] / DIAG
+  }
+  loop j = k+1, @N@ {
+    loop i = j, @N@ {
+      A[i, j] = A[i, j] - A[i, k] * A[j, k]
+    }
+  }
+}
+)",
+                    {{"N", N}});
+}
+
+/// LINPACK Gaussian elimination with partial pivoting (factor only).
+std::string detail::dgefaSource(int64_t N) {
+  return substitute(R"(program dgefa@N@
+array A : real[@N@, @N@]
+array IPVT : int[@N@]
+array PMAX : real
+array T0 : real
+array T1 : real
+
+loop k = 1, @N1@ {
+  loop i = k+1, @N@ {
+    PMAX = PMAX + A[i, k]
+  }
+  IPVT[k] = PMAX
+  loop i = k+1, @N@ {
+    A[i, k] = A[i, k] * T0
+  }
+  loop j = k+1, @N@ {
+    T1 = A[k, j]
+    loop i = k+1, @N@ {
+      A[i, j] = A[i, j] + T1 * A[i, k]
+    }
+  }
+}
+)",
+                    {{"N", N}, {"N1", N - 1}});
+}
+
+/// Vector dot product (Livermore loop 3), repeated to expose steady-state
+/// behavior.
+std::string detail::dotSource(int64_t N) {
+  return substitute(R"(program dot@N@
+array S : real
+array A : real[@N@]
+array B : real[@N@]
+
+loop t = 1, 4 {
+  loop i = 1, @N@ {
+    S = S + A[i] * B[i]
+  }
+}
+)",
+                    {{"N", N}});
+}
+
+/// 3-D alternating-direction tridiagonal solver sweeps.
+std::string detail::erleSource(int64_t N) {
+  return substitute(R"(program erle@N@
+array X : real[@N@, @N@, @N@]
+array A : real[@N@, @N@, @N@]
+array B : real[@N@, @N@, @N@]
+array C : real[@N@, @N@, @N@]
+
+loop k = 2, @N@ {
+  loop j = 1, @N@ {
+    loop i = 1, @N@ {
+      X[i, j, k] = X[i, j, k-1] + A[i, j, k]
+    }
+  }
+}
+loop k = 1, @N@ {
+  loop j = 2, @N@ {
+    loop i = 1, @N@ {
+      X[i, j, k] = X[i, j-1, k] + B[i, j, k]
+    }
+  }
+}
+loop k = 1, @N@ {
+  loop j = 1, @N@ {
+    loop i = 2, @N@ {
+      X[i, j, k] = X[i-1, j, k] + C[i, j, k]
+    }
+  }
+}
+)",
+                    {{"N", N}});
+}
+
+/// 2-D explicit hydrodynamics (Livermore loop 18): three fragments over
+/// nine equal-size arrays.
+std::string detail::explSource(int64_t N) {
+  return substitute(R"(program expl@N@
+array ZA : real[@N@, @N@]
+array ZB : real[@N@, @N@]
+array ZM : real[@N@, @N@]
+array ZP : real[@N@, @N@]
+array ZQ : real[@N@, @N@]
+array ZR : real[@N@, @N@]
+array ZU : real[@N@, @N@]
+array ZV : real[@N@, @N@]
+array ZZ : real[@N@, @N@]
+
+loop t = 1, 2 {
+  loop k = 2, @N1@ {
+    loop j = 2, @N1@ {
+      ZA[j, k] = (ZP[j-1, k+1] + ZQ[j-1, k+1] - ZP[j-1, k] - ZQ[j-1, k]) * (ZR[j, k] + ZR[j-1, k]) / (ZM[j-1, k] + ZM[j-1, k+1])
+      ZB[j, k] = (ZP[j-1, k] + ZQ[j-1, k] - ZP[j, k] - ZQ[j, k]) * (ZR[j, k] + ZR[j, k-1]) / (ZM[j, k] + ZM[j-1, k])
+    }
+  }
+  loop k = 2, @N1@ {
+    loop j = 2, @N1@ {
+      ZU[j, k] = ZU[j, k] + ZZ[j, k] * (ZA[j, k] * (ZZ[j, k] - ZZ[j+1, k]) - ZA[j-1, k] * (ZZ[j, k] - ZZ[j-1, k]) - ZB[j, k] * (ZZ[j, k] - ZZ[j, k-1]))
+      ZV[j, k] = ZV[j, k] + ZZ[j, k] * (ZA[j, k] * (ZR[j, k] - ZR[j+1, k]) - ZA[j-1, k] * (ZR[j, k] - ZR[j-1, k]))
+    }
+  }
+  loop k = 2, @N1@ {
+    loop j = 2, @N1@ {
+      ZR[j, k] = ZR[j, k] + ZU[j, k]
+      ZZ[j, k] = ZZ[j, k] + ZV[j, k]
+    }
+  }
+}
+)",
+                    {{"N", N}, {"N1", N - 1}});
+}
+
+/// Relaxation over an irregular mesh: every access indirected through a
+/// randomized edge list. Nothing here is uniformly generated, so padding
+/// must leave the program alone.
+std::string detail::irrSource(int64_t N) {
+  int64_t Edges = 2 * N;
+  return substitute(R"(program irr@N@
+array X : real[@N@]
+array Y : real[@N@]
+array LEFT : int[@E@] init random(1, @N@, 101)
+array RIGHT : int[@E@] init random(1, @N@, 202)
+
+loop t = 1, 3 {
+  loop e = 1, @E@ {
+    X[LEFT[e]] = X[LEFT[e]] + Y[RIGHT[e]]
+  }
+}
+)",
+                    {{"N", N}, {"E", Edges}});
+}
+
+/// 2-D Jacobi iteration (paper Figure 7; convergence test omitted as in
+/// the paper's discussion).
+std::string detail::jacobiSource(int64_t N) {
+  return substitute(R"(program jacobi@N@
+array A : real[@N@, @N@]
+array B : real[@N@, @N@]
+
+loop t = 1, 2 {
+  loop i = 2, @N1@ {
+    loop j = 2, @N1@ {
+      B[j, i] = 0.25 * (A[j-1, i] + A[j, i-1] + A[j+1, i] + A[j, i+1])
+    }
+  }
+  loop i = 2, @N1@ {
+    loop j = 2, @N1@ {
+      A[j, i] = B[j, i]
+    }
+  }
+}
+)",
+                    {{"N", N}, {"N1", N - 1}});
+}
+
+/// LINPACK driver: factor (dgefa) plus solve (dgesl).
+std::string detail::linpackdSource(int64_t N) {
+  return substitute(R"(program linpackd@N@
+array A : real[@N@, @N@]
+array B : real[@N@]
+array IPVT : int[@N@]
+array PMAX : real
+array T0 : real
+array T1 : real
+
+loop k = 1, @N1@ {
+  loop i = k+1, @N@ {
+    PMAX = PMAX + A[i, k]
+  }
+  IPVT[k] = PMAX
+  loop i = k+1, @N@ {
+    A[i, k] = A[i, k] * T0
+  }
+  loop j = k+1, @N@ {
+    T1 = A[k, j]
+    loop i = k+1, @N@ {
+      A[i, j] = A[i, j] + T1 * A[i, k]
+    }
+  }
+}
+loop k = 1, @N1@ {
+  T1 = B[k]
+  loop i = k+1, @N@ {
+    B[i] = B[i] + T1 * A[i, k]
+  }
+}
+loop k = @N@, 1 step -1 {
+  B[k] = B[k] / A[k, k]
+  T1 = B[k]
+  loop i = 1, k-1 {
+    B[i] = B[i] - T1 * A[i, k]
+  }
+}
+)",
+                    {{"N", N}, {"N1", N - 1}});
+}
+
+/// Matrix multiplication (Livermore loop 21), JKI order.
+std::string detail::multSource(int64_t N) {
+  return substitute(R"(program mult@N@
+array C : real[@N@, @N@]
+array A : real[@N@, @N@]
+array B : real[@N@, @N@]
+
+loop j = 1, @N@ {
+  loop k = 1, @N@ {
+    loop i = 1, @N@ {
+      C[i, j] = C[i, j] + A[i, k] * B[k, j]
+    }
+  }
+}
+)",
+                    {{"N", N}});
+}
+
+/// 2-D red-black over-relaxation on a single array.
+std::string detail::rbSource(int64_t N) {
+  return substitute(R"(program rb@N@
+array U : real[@N@, @N@]
+
+loop t = 1, 2 {
+  loop i = 2, @N1@ {
+    loop j = 2, @N1@ step 2 {
+      U[j, i] = 0.25 * (U[j-1, i] + U[j+1, i] + U[j, i-1] + U[j, i+1])
+    }
+  }
+  loop i = 2, @N1@ {
+    loop j = 3, @N1@ step 2 {
+      U[j, i] = 0.25 * (U[j-1, i] + U[j+1, i] + U[j, i-1] + U[j, i+1])
+    }
+  }
+}
+)",
+                    {{"N", N}, {"N1", N - 1}});
+}
+
+/// Shallow water model (the SWIM code structure: calc1/calc2/calc3 over
+/// fourteen equal-size arrays).
+std::string detail::shalSource(int64_t N) {
+  return substitute(R"(program shal@N@
+array U : real[@N@, @N@]
+array V : real[@N@, @N@]
+array P : real[@N@, @N@]
+array UNEW : real[@N@, @N@]
+array VNEW : real[@N@, @N@]
+array PNEW : real[@N@, @N@]
+array UOLD : real[@N@, @N@]
+array VOLD : real[@N@, @N@]
+array POLD : real[@N@, @N@]
+array CU : real[@N@, @N@]
+array CV : real[@N@, @N@]
+array Z : real[@N@, @N@]
+array H : real[@N@, @N@]
+array PSI : real[@N@, @N@]
+
+loop t = 1, 2 {
+  loop j = 1, @N1@ {
+    loop i = 1, @N1@ {
+      CU[i+1, j] = 0.5 * (P[i+1, j] + P[i, j]) * U[i+1, j]
+      CV[i, j+1] = 0.5 * (P[i, j+1] + P[i, j]) * V[i, j+1]
+      Z[i+1, j+1] = (V[i+1, j+1] - V[i, j+1] - U[i+1, j+1] + U[i+1, j]) / (P[i, j] + P[i+1, j] + P[i+1, j+1] + P[i, j+1])
+      H[i, j] = P[i, j] + 0.25 * (U[i+1, j] * U[i+1, j] + U[i, j] * U[i, j] + V[i, j+1] * V[i, j+1] + V[i, j] * V[i, j])
+    }
+  }
+  loop j = 1, @N1@ {
+    loop i = 1, @N1@ {
+      UNEW[i+1, j] = UOLD[i+1, j] + CV[i+1, j+1] * (Z[i+1, j+1] + Z[i+1, j]) - H[i+1, j] + H[i, j]
+      VNEW[i, j+1] = VOLD[i, j+1] - CU[i+1, j+1] * (Z[i+1, j+1] + Z[i, j+1]) - H[i, j+1] + H[i, j]
+      PNEW[i, j] = POLD[i, j] - CU[i+1, j] + CU[i, j] - CV[i, j+1] + CV[i, j]
+    }
+  }
+  loop j = 1, @N@ {
+    loop i = 1, @N@ {
+      UOLD[i, j] = U[i, j] + PSI[i, j]
+      VOLD[i, j] = V[i, j] + PSI[i, j]
+      POLD[i, j] = P[i, j] + PSI[i, j]
+      U[i, j] = UNEW[i, j]
+      V[i, j] = VNEW[i, j]
+      P[i, j] = PNEW[i, j]
+    }
+  }
+}
+)",
+                    {{"N", N}, {"N1", N - 1}});
+}
+
+/// 2-D Lagrangian hydrodynamics fragment (SIMPLE): pressure/energy and
+/// velocity updates over ten grid arrays.
+std::string detail::simpleSource(int64_t N) {
+  return substitute(R"(program simple@N@
+array R : real[@N@, @N@]
+array Z : real[@N@, @N@]
+array RU : real[@N@, @N@]
+array RV : real[@N@, @N@]
+array P : real[@N@, @N@]
+array Q : real[@N@, @N@]
+array E : real[@N@, @N@]
+array D : real[@N@, @N@]
+array V : real[@N@, @N@]
+array W : real[@N@, @N@]
+
+loop t = 1, 2 {
+  loop k = 2, @N1@ {
+    loop l = 2, @N1@ {
+      RU[l, k] = RU[l, k] + (P[l-1, k] - P[l+1, k] + Q[l-1, k] - Q[l+1, k]) * R[l, k]
+      RV[l, k] = RV[l, k] + (P[l, k-1] - P[l, k+1] + Q[l, k-1] - Q[l, k+1]) * Z[l, k]
+    }
+  }
+  loop k = 2, @N1@ {
+    loop l = 2, @N1@ {
+      R[l, k] = R[l, k] + RU[l, k]
+      Z[l, k] = Z[l, k] + RV[l, k]
+      D[l, k] = (R[l+1, k] - R[l-1, k]) * (Z[l, k+1] - Z[l, k-1]) - (R[l, k+1] - R[l, k-1]) * (Z[l+1, k] - Z[l-1, k])
+    }
+  }
+  loop k = 2, @N1@ {
+    loop l = 2, @N1@ {
+      V[l, k] = V[l, k] * D[l, k]
+      E[l, k] = E[l, k] + P[l, k] * (V[l, k] - W[l, k])
+      P[l, k] = E[l, k] / V[l, k]
+      Q[l, k] = Q[l, k] + D[l, k] * D[l, k]
+      W[l, k] = V[l, k]
+    }
+  }
+}
+)",
+                    {{"N", N}, {"N1", N - 1}});
+}
+
+/// Vectorized mesh generation (the TOMCATV compute loops: residuals,
+/// tridiagonal forward elimination and back substitution along j, mesh
+/// update).
+std::string detail::tomcatvSource(int64_t N) {
+  return substitute(R"(program tomcatv@N@
+array X : real[@N@, @N@]
+array Y : real[@N@, @N@]
+array RX : real[@N@, @N@]
+array RY : real[@N@, @N@]
+array AA : real[@N@, @N@]
+array DD : real[@N@, @N@]
+array D : real[@N@, @N@]
+
+loop t = 1, 2 {
+  loop j = 2, @N1@ {
+    loop i = 2, @N1@ {
+      RX[i, j] = X[i+1, j] + X[i-1, j] + X[i, j+1] + X[i, j-1] - 4 * X[i, j]
+      RY[i, j] = Y[i+1, j] + Y[i-1, j] + Y[i, j+1] + Y[i, j-1] - 4 * Y[i, j]
+      AA[i, j] = 0.25 * (X[i, j+1] - X[i, j-1]) + 0.25 * (Y[i, j+1] - Y[i, j-1])
+      DD[i, j] = 1.0 + AA[i, j] * AA[i, j]
+    }
+  }
+  loop j = 3, @N1@ {
+    loop i = 2, @N1@ {
+      D[i, j] = 1.0 / (DD[i, j] - AA[i, j-1] * D[i, j-1])
+      RX[i, j] = RX[i, j] + AA[i, j-1] * RX[i, j-1]
+      RY[i, j] = RY[i, j] + AA[i, j-1] * RY[i, j-1]
+    }
+  }
+  loop j = @N2@, 2 step -1 {
+    loop i = 2, @N1@ {
+      RX[i, j] = RX[i, j] - D[i, j] * RX[i, j+1]
+      RY[i, j] = RY[i, j] - D[i, j] * RY[i, j+1]
+    }
+  }
+  loop j = 2, @N1@ {
+    loop i = 2, @N1@ {
+      X[i, j] = X[i, j] + RX[i, j]
+      Y[i, j] = Y[i, j] + RY[i, j]
+    }
+  }
+}
+)",
+                    {{"N", N}, {"N1", N - 1}, {"N2", N - 2}});
+}

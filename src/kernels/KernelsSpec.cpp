@@ -1,0 +1,324 @@
+//===----------------------------------------------------------------------===//
+//
+// Part of the padx project, under the Apache License v2.0.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// SPEC95 and SPEC92 floating-point benchmark stand-ins (see DESIGN.md).
+/// SWIM genuinely is the shallow-water code at N=512 and TOMCATV's full
+/// compute loops live in KernelsScientific.cpp; the remaining programs
+/// reproduce array profiles and reference patterns at reduced scale.
+///
+//===----------------------------------------------------------------------===//
+
+#include "kernels/SourceTemplates.h"
+
+using namespace padx;
+using namespace padx::kernels;
+
+std::string detail::swimSource(int64_t N) {
+  // SWIM is the shallow-water model; reuse the SHAL code but keep the
+  // program name distinct for reporting.
+  std::string Src = shalSource(N);
+  return "program swim" + std::to_string(N) +
+         Src.substr(Src.find('\n'));
+}
+
+/// Navier-Stokes gas dynamics on a 2-D grid: staggered velocity/density
+/// arrays with directional flux updates.
+std::string detail::hydro2dLikeSource(int64_t N) {
+  return substitute(R"(program hydro2d_like@N@
+array RO : real[@N@, @N@]
+array EN : real[@N@, @N@]
+array GR : real[@N@, @N@]
+array GZ : real[@N@, @N@]
+array FR : real[@N@, @N@]
+array FZ : real[@N@, @N@]
+array PR : real[@N@, @N@]
+array VR : real[@N@, @N@]
+array VZ : real[@N@, @N@]
+
+loop t = 1, 2 {
+  loop j = 2, @N1@ {
+    loop i = 2, @N1@ {
+      VR[i, j] = GR[i, j] / RO[i, j]
+      VZ[i, j] = GZ[i, j] / RO[i, j]
+      PR[i, j] = EN[i, j] - 0.5 * (VR[i, j] * GR[i, j] + VZ[i, j] * GZ[i, j])
+    }
+  }
+  loop j = 2, @N1@ {
+    loop i = 2, @N1@ {
+      FR[i, j] = GR[i, j] * VR[i, j] + PR[i, j]
+      FZ[i, j] = GZ[i, j] * VZ[i, j] + PR[i, j]
+      RO[i, j] = RO[i, j] - 0.5 * (FR[i+1, j] - FR[i-1, j] + FZ[i, j+1] - FZ[i, j-1])
+      EN[i, j] = EN[i, j] - 0.5 * (FR[i, j+1] - FR[i, j-1] + FZ[i+1, j] - FZ[i-1, j])
+    }
+  }
+}
+)",
+                    {{"N", N}, {"N1", N - 1}});
+}
+
+/// Quantum chromodynamics lattice update: gauge-link arrays on a 3-D
+/// lattice with neighbor shifts in each direction.
+std::string detail::su2corLikeSource(int64_t N) {
+  return substitute(R"(program su2cor_like@N@
+array U1 : real[@N@, @N@, @N@]
+array U2 : real[@N@, @N@, @N@]
+array U3 : real[@N@, @N@, @N@]
+array W : real[@N@, @N@, @N@]
+
+loop t = 1, 2 {
+  loop k = 2, @N1@ {
+    loop j = 2, @N1@ {
+      loop i = 2, @N1@ {
+        W[i, j, k] = U1[i+1, j, k] * U2[i, j+1, k] * U3[i, j, k+1] + U1[i-1, j, k] * U2[i, j-1, k] * U3[i, j, k-1]
+        U1[i, j, k] = U1[i, j, k] + W[i, j, k]
+      }
+    }
+  }
+}
+)",
+                    {{"N", N}, {"N1", N - 1}});
+}
+
+/// Isotropic turbulence: 3-D transforms with power-of-two strides along
+/// planes (non-uniform) plus pointwise updates.
+std::string detail::turb3dLikeSource(int64_t N) {
+  return substitute(R"(program turb3d_like@N@
+array UX : real[@N@, @N@, @N@]
+array UY : real[@N@, @N@, @N@]
+array UZ : real[@N@, @N@, @N@]
+
+loop t = 1, 2 {
+  loop k = 1, @N@ {
+    loop j = 1, @N@ {
+      loop i = 1, @N2@ {
+        UX[i*2 - 1, j, k] = UX[i*2 - 1, j, k] + UX[i*2, j, k]
+        UY[i*2 - 1, j, k] = UY[i*2 - 1, j, k] - UY[i*2, j, k]
+      }
+    }
+  }
+  loop k = 2, @N1@ {
+    loop j = 2, @N1@ {
+      loop i = 2, @N1@ {
+        UZ[i, j, k] = UX[i, j, k] + UY[i, j, k] + UZ[i, j, k-1]
+      }
+    }
+  }
+}
+)",
+                    {{"N", N}, {"N1", N - 1}, {"N2", N / 2}});
+}
+
+/// Plasma particle-in-cell: particle coordinates pushed through a grid
+/// via randomized cell indices (gather/scatter).
+std::string detail::wave5LikeSource(int64_t N) {
+  return substitute(R"(program wave5_like@N@
+array PX : real[@N@]
+array PV : real[@N@]
+array EFLD : real[@G@]
+array BFLD : real[@G@]
+array CELL : int[@N@] init random(1, @G@, 47)
+
+loop t = 1, 2 {
+  loop p = 1, @N@ {
+    PV[p] = PV[p] + EFLD[CELL[p]] + BFLD[CELL[p]]
+    PX[p] = PX[p] + PV[p]
+  }
+  loop p = 1, @N@ {
+    EFLD[CELL[p]] = EFLD[CELL[p]] + PX[p]
+  }
+}
+)",
+                    {{"N", N}, {"G", N / 4}});
+}
+
+/// Pseudospectral air pollution: 3-D advection-diffusion stencils over a
+/// handful of field arrays.
+std::string detail::apsiLikeSource(int64_t N) {
+  return substitute(R"(program apsi_like@N@
+array CONC : real[@N@, @N@, @N@]
+array WIND : real[@N@, @N@, @N@]
+array DIFF : real[@N@, @N@, @N@]
+array SRC : real[@N@, @N@, @N@]
+
+loop t = 1, 2 {
+  loop k = 2, @N1@ {
+    loop j = 2, @N1@ {
+      loop i = 2, @N1@ {
+        CONC[i, j, k] = CONC[i, j, k] + WIND[i, j, k] * (CONC[i+1, j, k] - CONC[i-1, j, k]) + DIFF[i, j, k] * (CONC[i, j+1, k] + CONC[i, j-1, k] + CONC[i, j, k+1] + CONC[i, j, k-1] - 4.0 * CONC[i, j, k]) + SRC[i, j, k]
+      }
+    }
+  }
+}
+)",
+                    {{"N", N}, {"N1", N - 1}});
+}
+
+/// Two-electron integral derivatives: overwhelmingly scalar computation
+/// over tiny tables accessed through computed (gathered) indices, so
+/// almost nothing is uniformly generated — matching FPPPP's 16% in
+/// Table 2.
+std::string detail::fppppLikeSource(int64_t N) {
+  return substitute(R"(program fpppp_like@N@
+array TI : real[@N@]
+array TJ : real[@N@]
+array GOUT : real[@N@]
+array MAP : int[@N@] init random(1, @N@, 53)
+array S0 : real
+array S1 : real
+array S2 : real
+
+loop t = 1, 8 {
+  loop i = 1, @N@ {
+    S0 = S0 + TI[MAP[i]] * TJ[MAP[i]]
+    S1 = S1 * S0 + S2
+    S2 = S1 - S0
+    GOUT[MAP[i]] = GOUT[MAP[i]] + S1
+  }
+}
+)",
+                    {{"N", N}});
+}
+
+/// NASA Ames kernel collection: a matrix-multiply block, a Cholesky
+/// block and an FFT-like strided pass over separate arrays.
+std::string detail::nasa7LikeSource(int64_t N) {
+  return substitute(R"(program nasa7_like@N@
+array MA : real[@N@, @N@]
+array MB : real[@N@, @N@]
+array MC : real[@N@, @N@]
+array CH : real[@N@, @N@]
+array FV : real[@NN@]
+
+loop j = 1, @N@ {
+  loop k = 1, @N@ {
+    loop i = 1, @N@ {
+      MC[i, j] = MC[i, j] + MA[i, k] * MB[k, j]
+    }
+  }
+}
+loop k = 1, @N@ {
+  loop j = k+1, @N@ {
+    loop i = j, @N@ {
+      CH[i, j] = CH[i, j] - CH[i, k] * CH[j, k]
+    }
+  }
+}
+loop t = 1, 2 {
+  loop i = 1, @NN2@ {
+    FV[i*2 - 1] = FV[i*2 - 1] + FV[i*2]
+  }
+}
+)",
+                    {{"N", N}, {"NN", N * N}, {"NN2", (N * N) / 2}});
+}
+
+/// Ray tracing: pure scalar computation, no global arrays — padding must
+/// be a no-op.
+std::string detail::oraLikeSource(int64_t N) {
+  return substitute(R"(program ora_like@N@
+array AX : real
+array AY : real
+array AZ : real
+array BX : real
+
+loop t = 1, @N@ {
+  AX = AX * AY + AZ
+  AY = AY * AZ + BX
+  AZ = AX + AY
+  BX = AX * AZ
+}
+)",
+                    {{"N", N}});
+}
+
+/// Molecular dynamics (double precision): coordinate/force arrays plus a
+/// randomized neighbor list driving gathered force accumulation.
+std::string detail::mdljdp2LikeSource(int64_t N) {
+  return substitute(R"(program mdljdp2_like@N@
+array X : real[@N@]
+array Y : real[@N@]
+array Z : real[@N@]
+array FX : real[@N@]
+array FY : real[@N@]
+array FZ : real[@N@]
+array NB : int[@M@] init random(1, @N@, 59)
+
+loop t = 1, 2 {
+  loop k = 1, @M@ {
+    FX[NB[k]] = FX[NB[k]] + X[NB[k]]
+    FY[NB[k]] = FY[NB[k]] + Y[NB[k]]
+    FZ[NB[k]] = FZ[NB[k]] + Z[NB[k]]
+  }
+  loop i = 1, @N@ {
+    X[i] = X[i] + FX[i]
+    Y[i] = Y[i] + FY[i]
+    Z[i] = Z[i] + FZ[i]
+  }
+}
+)",
+                    {{"N", N}, {"M", N * 4}});
+}
+
+/// Molecular dynamics, single precision: same structure with 4-byte
+/// elements.
+std::string detail::mdljsp2LikeSource(int64_t N) {
+  return substitute(R"(program mdljsp2_like@N@
+array X : real4[@N@]
+array Y : real4[@N@]
+array Z : real4[@N@]
+array FX : real4[@N@]
+array FY : real4[@N@]
+array FZ : real4[@N@]
+array NB : int[@M@] init random(1, @N@, 61)
+
+loop t = 1, 2 {
+  loop k = 1, @M@ {
+    FX[NB[k]] = FX[NB[k]] + X[NB[k]]
+    FY[NB[k]] = FY[NB[k]] + Y[NB[k]]
+    FZ[NB[k]] = FZ[NB[k]] + Z[NB[k]]
+  }
+  loop i = 1, @N@ {
+    X[i] = X[i] + FX[i]
+    Y[i] = Y[i] + FY[i]
+    Z[i] = Z[i] + FZ[i]
+  }
+}
+)",
+                    {{"N", N}, {"M", N * 4}});
+}
+
+/// Thermohydraulic modelization: many medium-size 2-D arrays touched by
+/// short stencil loops interleaved with scalar control work.
+std::string detail::doducLikeSource(int64_t N) {
+  return substitute(R"(program doduc_like@N@
+array T1 : real[@N@, @N@]
+array T2 : real[@N@, @N@]
+array T3 : real[@N@, @N@]
+array T4 : real[@N@, @N@]
+array T5 : real[@N@, @N@]
+array T6 : real[@N@, @N@]
+array SA : real
+array SB : real
+
+loop t = 1, 2 {
+  loop j = 2, @N1@ {
+    loop i = 2, @N1@ {
+      T1[i, j] = T2[i, j] + T3[i, j]
+      SA = SA + T1[i, j]
+    }
+  }
+  loop j = 2, @N1@ {
+    loop i = 2, @N1@ {
+      T4[i, j] = T4[i, j] + T1[i-1, j] + T1[i+1, j]
+      T5[i, j] = T5[i, j] + T2[i, j-1] + T2[i, j+1]
+      SB = SB * T6[i, j]
+    }
+  }
+}
+)",
+                    {{"N", N}, {"N1", N - 1}});
+}

@@ -1,0 +1,76 @@
+//===----------------------------------------------------------------------===//
+//
+// Part of the padx project, under the Apache License v2.0.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Internal helpers shared by the kernel source generators. Kernel
+/// sources are written as PadLang templates with @KEY@ placeholders that
+/// are substituted with concrete (size-dependent) integers.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PADX_KERNELS_SOURCETEMPLATES_H
+#define PADX_KERNELS_SOURCETEMPLATES_H
+
+#include <cstdint>
+#include <initializer_list>
+#include <string>
+#include <utility>
+
+namespace padx {
+namespace kernels {
+namespace detail {
+
+/// Replaces every "@KEY@" in \p Template with the decimal value paired
+/// with "KEY". Asserts (in debug builds) that no placeholder is left.
+std::string substitute(
+    std::string Template,
+    std::initializer_list<std::pair<const char *, int64_t>> Values);
+
+// One generator per benchmark program; N is the problem size.
+// Scientific kernels.
+std::string adiSource(int64_t N);
+std::string cholSource(int64_t N);
+std::string dgefaSource(int64_t N);
+std::string dotSource(int64_t N);
+std::string erleSource(int64_t N);
+std::string explSource(int64_t N);
+std::string irrSource(int64_t N);
+std::string jacobiSource(int64_t N);
+std::string linpackdSource(int64_t N);
+std::string multSource(int64_t N);
+std::string rbSource(int64_t N);
+std::string shalSource(int64_t N);
+std::string simpleSource(int64_t N);
+std::string tomcatvSource(int64_t N);
+// NAS stand-ins.
+std::string appbtLikeSource(int64_t N);
+std::string appluLikeSource(int64_t N);
+std::string appspLikeSource(int64_t N);
+std::string bukLikeSource(int64_t N);
+std::string cgmLikeSource(int64_t N);
+std::string embarLikeSource(int64_t N);
+std::string fftpdeLikeSource(int64_t N);
+std::string mgridLikeSource(int64_t N);
+// SPEC95 stand-ins.
+std::string swimSource(int64_t N);
+std::string hydro2dLikeSource(int64_t N);
+std::string su2corLikeSource(int64_t N);
+std::string turb3dLikeSource(int64_t N);
+std::string wave5LikeSource(int64_t N);
+std::string apsiLikeSource(int64_t N);
+std::string fppppLikeSource(int64_t N);
+// SPEC92 stand-ins.
+std::string nasa7LikeSource(int64_t N);
+std::string oraLikeSource(int64_t N);
+std::string mdljdp2LikeSource(int64_t N);
+std::string mdljsp2LikeSource(int64_t N);
+std::string doducLikeSource(int64_t N);
+
+} // namespace detail
+} // namespace kernels
+} // namespace padx
+
+#endif // PADX_KERNELS_SOURCETEMPLATES_H

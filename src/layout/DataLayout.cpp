@@ -1,0 +1,103 @@
+//===----------------------------------------------------------------------===//
+//
+// Part of the padx project, under the Apache License v2.0.
+//
+//===----------------------------------------------------------------------===//
+
+#include "layout/DataLayout.h"
+
+#include "support/MathExtras.h"
+
+#include <cassert>
+
+using namespace padx;
+using namespace padx::layout;
+
+DataLayout::DataLayout(const ir::Program &P) : Prog(&P) {
+  Layouts.reserve(P.arrays().size());
+  for (const ir::ArrayVariable &V : P.arrays()) {
+    ArrayLayout L;
+    L.Dims = V.DimSizes;
+    Layouts.push_back(std::move(L));
+  }
+}
+
+int64_t DataLayout::strideElems(unsigned Id, unsigned Dim) const {
+  const ArrayLayout &L = Layouts[Id];
+  assert(Dim < L.Dims.size() && "dimension out of range");
+  int64_t Stride = 1;
+  for (unsigned I = 0; I < Dim; ++I)
+    Stride *= L.Dims[I];
+  return Stride;
+}
+
+int64_t DataLayout::numElements(unsigned Id) const {
+  int64_t N = 1;
+  for (int64_t D : Layouts[Id].Dims)
+    N *= D;
+  return N;
+}
+
+int64_t DataLayout::sizeBytes(unsigned Id) const {
+  return numElements(Id) * Prog->array(Id).ElemSize;
+}
+
+int64_t DataLayout::addressOf(unsigned Id,
+                              std::span<const int64_t> Indices) const {
+  const ArrayLayout &L = Layouts[Id];
+  const ir::ArrayVariable &V = Prog->array(Id);
+  assert(L.BaseAddr != ArrayLayout::kUnassigned &&
+         "addressOf before base assignment");
+  assert(Indices.size() == L.Dims.size() && "index count mismatch");
+  int64_t Offset = 0;
+  int64_t Stride = 1;
+  for (unsigned D = 0, E = static_cast<unsigned>(L.Dims.size()); D != E;
+       ++D) {
+    Offset += (Indices[D] - V.LowerBounds[D]) * Stride;
+    Stride *= L.Dims[D];
+  }
+  return L.BaseAddr + Offset * V.ElemSize;
+}
+
+bool DataLayout::allBasesAssigned() const {
+  for (const ArrayLayout &L : Layouts)
+    if (L.BaseAddr == ArrayLayout::kUnassigned)
+      return false;
+  return true;
+}
+
+int64_t DataLayout::totalBytes() const {
+  int64_t End = 0;
+  for (unsigned Id = 0, E = numArrays(); Id != E; ++Id) {
+    const ArrayLayout &L = Layouts[Id];
+    if (L.BaseAddr == ArrayLayout::kUnassigned)
+      continue;
+    int64_t VarEnd = L.BaseAddr + sizeBytes(Id);
+    if (VarEnd > End)
+      End = VarEnd;
+  }
+  return End;
+}
+
+int64_t DataLayout::sumOfSizes() const {
+  int64_t Sum = 0;
+  for (unsigned Id = 0, E = numArrays(); Id != E; ++Id)
+    Sum += sizeBytes(Id);
+  return Sum;
+}
+
+void layout::assignSequentialBases(DataLayout &DL) {
+  int64_t Next = 0;
+  for (unsigned Id = 0, E = DL.numArrays(); Id != E; ++Id) {
+    int64_t Align = DL.program().array(Id).ElemSize;
+    Next = ceilDiv(Next, Align) * Align;
+    DL.layout(Id).BaseAddr = Next;
+    Next += DL.sizeBytes(Id);
+  }
+}
+
+DataLayout layout::originalLayout(const ir::Program &P) {
+  DataLayout DL(P);
+  assignSequentialBases(DL);
+  return DL;
+}

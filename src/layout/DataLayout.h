@@ -1,0 +1,109 @@
+//===----------------------------------------------------------------------===//
+//
+// Part of the padx project, under the Apache License v2.0.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The data layout of a program: one base address and one (possibly
+/// padded) dimension-size vector per variable. The padding transformations
+/// never mutate the ir::Program; they produce a DataLayout, so original
+/// and transformed layouts can be compared side by side. Address
+/// computation here is the single source of truth used by both the
+/// conflict analysis and the trace generator.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PADX_LAYOUT_DATALAYOUT_H
+#define PADX_LAYOUT_DATALAYOUT_H
+
+#include "ir/Program.h"
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+namespace padx {
+namespace layout {
+
+/// Layout of one variable.
+struct ArrayLayout {
+  /// Byte offset of the first element within the global data segment;
+  /// kUnassigned until a base-address pass runs.
+  int64_t BaseAddr = kUnassigned;
+  /// Dimension sizes in elements, including intra-variable padding.
+  /// Matches the declared sizes until an intra-padding pass grows them.
+  std::vector<int64_t> Dims;
+
+  static constexpr int64_t kUnassigned = -1;
+};
+
+class DataLayout {
+public:
+  /// Initializes every variable with its declared dimension sizes and an
+  /// unassigned base address. The layout keeps a reference to \p P, which
+  /// must outlive it (temporaries are rejected).
+  explicit DataLayout(const ir::Program &P);
+  explicit DataLayout(ir::Program &&) = delete;
+
+  const ir::Program &program() const { return *Prog; }
+
+  const ArrayLayout &layout(unsigned Id) const { return Layouts[Id]; }
+  ArrayLayout &layout(unsigned Id) { return Layouts[Id]; }
+  unsigned numArrays() const {
+    return static_cast<unsigned>(Layouts.size());
+  }
+
+  /// Padded element count of dimension \p Dim of array \p Id.
+  int64_t dimSize(unsigned Id, unsigned Dim) const {
+    return Layouts[Id].Dims[Dim];
+  }
+
+  /// Element stride of dimension \p Dim (product of padded sizes of lower
+  /// dimensions); strideElems(Id, 0) == 1.
+  int64_t strideElems(unsigned Id, unsigned Dim) const;
+
+  /// Total element count / byte size of the (padded) variable.
+  int64_t numElements(unsigned Id) const;
+  int64_t sizeBytes(unsigned Id) const;
+
+  /// Column size in elements (padded first dimension; 1 for scalars) —
+  /// the paper's Col_s.
+  int64_t columnElems(unsigned Id) const {
+    return Layouts[Id].Dims.empty() ? 1 : Layouts[Id].Dims[0];
+  }
+
+  /// Byte address of the element with the given logical (Fortran-style,
+  /// lower-bound-based) indices. Requires an assigned base address.
+  int64_t addressOf(unsigned Id, std::span<const int64_t> Indices) const;
+
+  /// True once every variable has a base address.
+  bool allBasesAssigned() const;
+
+  /// One past the highest assigned byte; the size of the global segment.
+  int64_t totalBytes() const;
+
+  /// Sum of sizeBytes over all variables (what totalBytes would be with
+  /// perfect packing); used to report inter-variable padding overhead.
+  int64_t sumOfSizes() const;
+
+private:
+  const ir::Program *Prog;
+  std::vector<ArrayLayout> Layouts;
+};
+
+/// Assigns base addresses in declaration order with no gaps (each base
+/// aligned to the variable's element size). This reproduces the paper's
+/// baseline: all globals packed into one structure. Variables sharing a
+/// common block are kept contiguous by construction since kernels declare
+/// them adjacently.
+void assignSequentialBases(DataLayout &DL);
+
+/// Builds the original (unpadded, sequentially packed) layout of \p P.
+DataLayout originalLayout(const ir::Program &P);
+DataLayout originalLayout(ir::Program &&) = delete;
+
+} // namespace layout
+} // namespace padx
+
+#endif // PADX_LAYOUT_DATALAYOUT_H

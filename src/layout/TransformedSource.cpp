@@ -1,0 +1,57 @@
+//===----------------------------------------------------------------------===//
+//
+// Part of the padx project, under the Apache License v2.0.
+//
+//===----------------------------------------------------------------------===//
+
+#include "layout/TransformedSource.h"
+
+#include "ir/Printer.h"
+
+#include <algorithm>
+#include <cassert>
+#include <numeric>
+#include <sstream>
+
+using namespace padx;
+using namespace padx::layout;
+
+void layout::emitTransformedSource(std::ostream &OS, const DataLayout &DL) {
+  const ir::Program &P = DL.program();
+  assert(DL.allBasesAssigned() && "emit requires assigned base addresses");
+
+  OS << "program " << P.name() << "\n\n";
+
+  // Emit declarations in address order so that re-parsing and packing
+  // sequentially reproduces the same base addresses.
+  std::vector<unsigned> Order(P.arrays().size());
+  std::iota(Order.begin(), Order.end(), 0u);
+  std::sort(Order.begin(), Order.end(), [&](unsigned A, unsigned B) {
+    return DL.layout(A).BaseAddr < DL.layout(B).BaseAddr;
+  });
+
+  int64_t Cursor = 0;
+  unsigned PadCount = 0;
+  for (unsigned Id : Order) {
+    int64_t Base = DL.layout(Id).BaseAddr;
+    assert(Base >= Cursor && "overlapping variables in layout");
+    if (Base > Cursor) {
+      int64_t Gap = Base - Cursor;
+      assert(Gap % 4 == 0 && "pad gap must be a multiple of 4 bytes");
+      OS << "array __pad" << PadCount++ << " : real4[" << Gap / 4 << "]\n";
+    }
+    // Print the declaration with the padded dimension sizes.
+    ir::ArrayVariable Decl = P.array(Id);
+    Decl.DimSizes = DL.layout(Id).Dims;
+    ir::printArrayDecl(OS, Decl);
+    Cursor = Base + DL.sizeBytes(Id);
+  }
+  OS << '\n';
+  ir::printStatements(OS, P);
+}
+
+std::string layout::transformedSourceToString(const DataLayout &DL) {
+  std::ostringstream OS;
+  emitTransformedSource(OS, DL);
+  return OS.str();
+}

@@ -1,0 +1,39 @@
+//===----------------------------------------------------------------------===//
+//
+// Part of the padx project, under the Apache License v2.0.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Source-to-source output: re-emits a program with a transformed layout
+/// applied, in the style of the paper's Figures 1 and 2 — grown dimension
+/// sizes for intra-variable padding and inserted dummy pad arrays for
+/// inter-variable padding.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PADX_LAYOUT_TRANSFORMEDSOURCE_H
+#define PADX_LAYOUT_TRANSFORMEDSOURCE_H
+
+#include "layout/DataLayout.h"
+
+#include <ostream>
+#include <string>
+
+namespace padx {
+namespace layout {
+
+/// Prints \p P as PadLang with the dimension sizes of \p DL and `array
+/// __padN : real4[...]` dummies inserted wherever consecutive variables
+/// (in address order) leave a gap. The emitted program parses back to IR
+/// whose original (sequential) layout equals \p DL. Requires all base
+/// addresses assigned.
+void emitTransformedSource(std::ostream &OS, const DataLayout &DL);
+
+/// emitTransformedSource into a string.
+std::string transformedSourceToString(const DataLayout &DL);
+
+} // namespace layout
+} // namespace padx
+
+#endif // PADX_LAYOUT_TRANSFORMEDSOURCE_H

@@ -1,0 +1,76 @@
+//===----------------------------------------------------------------------===//
+//
+// Part of the padx project, under the Apache License v2.0.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Cache geometry shared by the padding heuristics (which reason about
+/// conflict distances modulo the cache size) and the cache simulator. The
+/// paper's notation: C_s = cache size, L_s = line size.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PADX_MACHINE_CACHECONFIG_H
+#define PADX_MACHINE_CACHECONFIG_H
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace padx {
+
+/// One cache level. Sizes are in bytes. Associativity 0 means fully
+/// associative; 1 means direct mapped.
+struct CacheConfig {
+  int64_t SizeBytes = 16 * 1024;
+  int64_t LineBytes = 32;
+  int Associativity = 1;
+
+  /// Number of sets; for a fully associative cache this is 1.
+  int64_t numSets() const {
+    int Ways = Associativity == 0
+                   ? static_cast<int>(SizeBytes / LineBytes)
+                   : Associativity;
+    return SizeBytes / (LineBytes * Ways);
+  }
+
+  int64_t numLines() const { return SizeBytes / LineBytes; }
+
+  /// The span of addresses that maps onto one associativity "way", i.e.
+  /// the modulus used for conflict-distance computations. For a k-way
+  /// cache two addresses can only contend for the same set when their
+  /// difference mod (SizeBytes / k) is small, so the heuristics use this
+  /// as C_s. For the paper's direct-mapped base cache it equals SizeBytes.
+  int64_t waySpanBytes() const {
+    return Associativity <= 1 ? SizeBytes : SizeBytes / Associativity;
+  }
+
+  /// True if the geometry is internally consistent (power-of-two sizes,
+  /// line divides size, associativity fits).
+  bool isValid() const;
+
+  /// E.g. "16K direct-mapped, 32B lines" for report headers.
+  std::string describe() const;
+
+  /// The paper's base configuration: 16KB direct mapped with 32B lines.
+  static CacheConfig base16K() { return CacheConfig{16 * 1024, 32, 1}; }
+
+  bool operator==(const CacheConfig &RHS) const = default;
+};
+
+/// A machine is a list of cache levels, innermost first. The paper notes
+/// the heuristics generalize to multilevel caches by checking the pad
+/// condition against every level; MachineModel is what the multi-level
+/// driver consumes.
+struct MachineModel {
+  std::vector<CacheConfig> Levels;
+
+  static MachineModel singleLevel(CacheConfig Config) {
+    return MachineModel{{Config}};
+  }
+};
+
+} // namespace padx
+
+#endif // PADX_MACHINE_CACHECONFIG_H

@@ -1,0 +1,138 @@
+//===----------------------------------------------------------------------===//
+//
+// Part of the padx project, under the Apache License v2.0.
+//
+//===----------------------------------------------------------------------===//
+
+#include "native/NativeKernels.h"
+
+#include <cassert>
+#include <vector>
+
+using namespace padx;
+using namespace padx::native;
+
+namespace {
+
+/// One arena holding every variable at its DataLayout offset, with typed
+/// views per array.
+class Arena {
+public:
+  explicit Arena(const layout::DataLayout &DL) : DL(DL) {
+    Storage.assign(static_cast<size_t>(DL.totalBytes()) + 64, 0);
+    // Fill every 8-byte slot with a well-scaled double so the kernels do
+    // real, numerically stable FP work (raw byte garbage would be
+    // denormals that blow up Gaussian elimination).
+    double *D = reinterpret_cast<double *>(Storage.data());
+    size_t Slots = Storage.size() / 8;
+    for (size_t I = 0; I < Slots; ++I)
+      D[I] = 0.5 + 0.001 * static_cast<double>(I % 64);
+  }
+
+  /// Makes the N x N matrix starting at \p M (column stride \p Stride)
+  /// strongly diagonally dominant, keeping elimination-style kernels
+  /// bounded.
+  static void makeDiagonallyDominant(double *M, int64_t N,
+                                     int64_t Stride) {
+    for (int64_t I = 0; I < N; ++I)
+      M[I + I * Stride] = 4.0 * static_cast<double>(N);
+  }
+
+  /// Pointer to the first element of array \p Name.
+  double *realArray(const char *Name) {
+    auto Id = DL.program().findArray(Name);
+    assert(Id && "unknown array in native kernel");
+    return reinterpret_cast<double *>(
+        Storage.data() + DL.layout(*Id).BaseAddr);
+  }
+
+  /// Padded column stride (elements) of 2-D array \p Name.
+  int64_t colStride(const char *Name) const {
+    auto Id = DL.program().findArray(Name);
+    assert(Id && "unknown array in native kernel");
+    return DL.dimSize(*Id, 0);
+  }
+
+private:
+  const layout::DataLayout &DL;
+  std::vector<uint8_t> Storage;
+};
+
+} // namespace
+
+double native::runJacobi(const layout::DataLayout &DL, int64_t N,
+                         int Iters) {
+  Arena A(DL);
+  double *Ap = A.realArray("A");
+  double *Bp = A.realArray("B");
+  int64_t CA = A.colStride("A");
+  int64_t CB = A.colStride("B");
+  for (int T = 0; T < Iters; ++T) {
+    for (int64_t I = 1; I < N - 1; ++I)
+      for (int64_t J = 1; J < N - 1; ++J)
+        Bp[J + I * CB] = 0.25 * (Ap[J - 1 + I * CA] + Ap[J + (I - 1) * CA] +
+                                 Ap[J + 1 + I * CA] + Ap[J + (I + 1) * CA]);
+    for (int64_t I = 1; I < N - 1; ++I)
+      for (int64_t J = 1; J < N - 1; ++J)
+        Ap[J + I * CA] = Bp[J + I * CB];
+  }
+  double Sum = 0;
+  for (int64_t I = 0; I < N; ++I)
+    Sum += Ap[I + I * CA];
+  return Sum;
+}
+
+double native::runDot(const layout::DataLayout &DL, int64_t N, int Iters) {
+  Arena A(DL);
+  double *Ap = A.realArray("A");
+  double *Bp = A.realArray("B");
+  double S = 0;
+  for (int T = 0; T < Iters; ++T)
+    for (int64_t I = 0; I < N; ++I)
+      S += Ap[I] * Bp[I];
+  return S;
+}
+
+double native::runMult(const layout::DataLayout &DL, int64_t N) {
+  Arena A(DL);
+  double *Cp = A.realArray("C");
+  double *Ap = A.realArray("A");
+  double *Bp = A.realArray("B");
+  int64_t CC = A.colStride("C");
+  int64_t CA = A.colStride("A");
+  int64_t CB = A.colStride("B");
+  for (int64_t J = 0; J < N; ++J)
+    for (int64_t K = 0; K < N; ++K) {
+      double BKJ = Bp[K + J * CB];
+      for (int64_t I = 0; I < N; ++I)
+        Cp[I + J * CC] += Ap[I + K * CA] * BKJ;
+    }
+  double Sum = 0;
+  for (int64_t I = 0; I < N; ++I)
+    Sum += Cp[I + I * CC];
+  return Sum;
+}
+
+double native::runDgefa(const layout::DataLayout &DL, int64_t N) {
+  Arena Ar(DL);
+  double *Ap = Ar.realArray("A");
+  int64_t CA = Ar.colStride("A");
+  Arena::makeDiagonallyDominant(Ap, N, CA);
+  for (int64_t K = 0; K < N - 1; ++K) {
+    double Pivot = Ap[K + K * CA];
+    if (Pivot == 0.0)
+      Pivot = 1.0;
+    double T0 = -1.0 / Pivot;
+    for (int64_t I = K + 1; I < N; ++I)
+      Ap[I + K * CA] *= T0;
+    for (int64_t J = K + 1; J < N; ++J) {
+      double T1 = Ap[K + J * CA];
+      for (int64_t I = K + 1; I < N; ++I)
+        Ap[I + J * CA] += T1 * Ap[I + K * CA];
+    }
+  }
+  double Sum = 0;
+  for (int64_t I = 0; I < N; ++I)
+    Sum += Ap[I + I * CA];
+  return Sum;
+}

@@ -1,0 +1,43 @@
+//===----------------------------------------------------------------------===//
+//
+// Part of the padx project, under the Apache License v2.0.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Hand-written native versions of four kernels that execute real
+/// floating-point work inside an arena laid out exactly as a DataLayout
+/// prescribes (base offsets and padded column strides). Used by the
+/// Figure 15 benchmark to show that the simulator's miss-rate wins
+/// translate into wall-clock wins on the host. Each function returns a
+/// checksum so the compiler cannot discard the computation.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PADX_NATIVE_NATIVEKERNELS_H
+#define PADX_NATIVE_NATIVEKERNELS_H
+
+#include "layout/DataLayout.h"
+
+#include <cstdint>
+
+namespace padx {
+namespace native {
+
+/// Executes the JACOBI kernel (two sweeps per iteration) on arrays "A"
+/// and "B" of \p DL's program, \p Iters time steps.
+double runJacobi(const layout::DataLayout &DL, int64_t N, int Iters);
+
+/// Executes the DOT kernel on "A" and "B", \p Iters passes.
+double runDot(const layout::DataLayout &DL, int64_t N, int Iters);
+
+/// Executes the MULT kernel (C += A*B, JKI order) once.
+double runMult(const layout::DataLayout &DL, int64_t N);
+
+/// Executes the DGEFA elimination (no pivot row swaps) once.
+double runDgefa(const layout::DataLayout &DL, int64_t N);
+
+} // namespace native
+} // namespace padx
+
+#endif // PADX_NATIVE_NATIVEKERNELS_H

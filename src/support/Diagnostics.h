@@ -1,0 +1,65 @@
+//===----------------------------------------------------------------------===//
+//
+// Part of the padx project, under the Apache License v2.0.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Diagnostic collection for the PadLang front end and the IR validator.
+/// padx does not use exceptions; fallible phases append to a DiagnosticEngine
+/// and callers test hasErrors().
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PADX_SUPPORT_DIAGNOSTICS_H
+#define PADX_SUPPORT_DIAGNOSTICS_H
+
+#include "support/SourceLocation.h"
+
+#include <string>
+#include <vector>
+
+namespace padx {
+
+enum class DiagSeverity { Note, Warning, Error };
+
+/// One reported problem. Message style follows the convention of starting
+/// lowercase and omitting the trailing period.
+struct Diagnostic {
+  DiagSeverity Severity = DiagSeverity::Error;
+  SourceLocation Loc;
+  std::string Message;
+};
+
+/// Accumulates diagnostics across a front-end run.
+class DiagnosticEngine {
+public:
+  void error(SourceLocation Loc, std::string Message) {
+    Diags.push_back({DiagSeverity::Error, Loc, std::move(Message)});
+    ++NumErrors;
+  }
+
+  void warning(SourceLocation Loc, std::string Message) {
+    Diags.push_back({DiagSeverity::Warning, Loc, std::move(Message)});
+  }
+
+  void note(SourceLocation Loc, std::string Message) {
+    Diags.push_back({DiagSeverity::Note, Loc, std::move(Message)});
+  }
+
+  bool hasErrors() const { return NumErrors != 0; }
+  unsigned errorCount() const { return NumErrors; }
+  const std::vector<Diagnostic> &diagnostics() const { return Diags; }
+
+  /// Renders every diagnostic as "line:col: severity: message" lines,
+  /// e.g. for tool output or test failure messages.
+  std::string str() const;
+
+private:
+  std::vector<Diagnostic> Diags;
+  unsigned NumErrors = 0;
+};
+
+} // namespace padx
+
+#endif // PADX_SUPPORT_DIAGNOSTICS_H

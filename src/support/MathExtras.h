@@ -1,0 +1,84 @@
+//===----------------------------------------------------------------------===//
+//
+// Part of the padx project, under the Apache License v2.0.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Small integer helpers used throughout padx. All padding arithmetic in the
+/// paper is performed on byte or element counts that easily fit in int64_t,
+/// so every helper below works on signed 64-bit integers and asserts on the
+/// preconditions the callers rely on.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PADX_SUPPORT_MATHEXTRAS_H
+#define PADX_SUPPORT_MATHEXTRAS_H
+
+#include <cassert>
+#include <cstdint>
+
+namespace padx {
+
+/// Returns the mathematical (always non-negative) remainder of \p A mod
+/// \p B. C++'s % operator is implementation-friendly but truncates toward
+/// zero; conflict-distance computations need the representative in
+/// [0, B).
+inline int64_t floorMod(int64_t A, int64_t B) {
+  assert(B > 0 && "floorMod requires a positive modulus");
+  int64_t R = A % B;
+  return R < 0 ? R + B : R;
+}
+
+/// Returns floor(A / B) for positive \p B (rounds toward negative
+/// infinity, unlike C++ integer division).
+inline int64_t floorDiv(int64_t A, int64_t B) {
+  assert(B > 0 && "floorDiv requires a positive divisor");
+  int64_t Q = A / B;
+  return (A % B < 0) ? Q - 1 : Q;
+}
+
+/// Returns ceil(A / B) for positive \p B.
+inline int64_t ceilDiv(int64_t A, int64_t B) {
+  assert(B > 0 && "ceilDiv requires a positive divisor");
+  return floorDiv(A + B - 1, B);
+}
+
+/// Returns the greatest common divisor of \p A and \p B (non-negative
+/// inputs; gcd(0, B) == B).
+inline int64_t gcd64(int64_t A, int64_t B) {
+  assert(A >= 0 && B >= 0 && "gcd64 requires non-negative operands");
+  while (B != 0) {
+    int64_t T = A % B;
+    A = B;
+    B = T;
+  }
+  return A;
+}
+
+/// Returns true if \p V is a (positive) power of two.
+inline bool isPowerOf2(int64_t V) { return V > 0 && (V & (V - 1)) == 0; }
+
+/// Returns log2 of \p V, which must be a power of two.
+inline unsigned log2OfPow2(int64_t V) {
+  assert(isPowerOf2(V) && "log2OfPow2 requires a power of two");
+  unsigned N = 0;
+  while (V > 1) {
+    V >>= 1;
+    ++N;
+  }
+  return N;
+}
+
+/// Distance from \p A to the nearest multiple of \p Modulus, i.e.
+/// min(A mod M, M - A mod M). This is the paper's symmetric "conflict
+/// distance" between two addresses whose difference is \p A: the example in
+/// Section 3 treats 934*934 - 934 = -2 (mod C_s) as a distance of 2.
+inline int64_t distanceToMultiple(int64_t A, int64_t Modulus) {
+  int64_t M = floorMod(A, Modulus);
+  return M <= Modulus - M ? M : Modulus - M;
+}
+
+} // namespace padx
+
+#endif // PADX_SUPPORT_MATHEXTRAS_H

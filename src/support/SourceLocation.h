@@ -1,0 +1,33 @@
+//===----------------------------------------------------------------------===//
+//
+// Part of the padx project, under the Apache License v2.0.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Line/column positions inside a PadLang source buffer, used by the lexer,
+/// parser and diagnostics.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PADX_SUPPORT_SOURCELOCATION_H
+#define PADX_SUPPORT_SOURCELOCATION_H
+
+#include <cstdint>
+
+namespace padx {
+
+/// A 1-based line/column position. Line 0 means "unknown location"
+/// (e.g. IR built programmatically rather than parsed).
+struct SourceLocation {
+  uint32_t Line = 0;
+  uint32_t Column = 0;
+
+  bool isValid() const { return Line != 0; }
+
+  bool operator==(const SourceLocation &RHS) const = default;
+};
+
+} // namespace padx
+
+#endif // PADX_SUPPORT_SOURCELOCATION_H

@@ -1,0 +1,81 @@
+//===----------------------------------------------------------------------===//
+//
+// Part of the padx project, under the Apache License v2.0.
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/TableFormatter.h"
+
+#include <cassert>
+#include <cstdio>
+#include <iomanip>
+
+using namespace padx;
+
+TableFormatter::TableFormatter(std::vector<std::string> Header)
+    : Header(std::move(Header)) {}
+
+void TableFormatter::beginRow() { Rows.emplace_back(); }
+
+void TableFormatter::cell(const std::string &Text) {
+  assert(!Rows.empty() && "cell() before beginRow()");
+  Rows.back().push_back(Text);
+}
+
+void TableFormatter::cell(int64_t Value) { cell(std::to_string(Value)); }
+
+void TableFormatter::cell(double Value, int Precision) {
+  char Buf[64];
+  std::snprintf(Buf, sizeof(Buf), "%.*f", Precision, Value);
+  cell(std::string(Buf));
+}
+
+void TableFormatter::print(std::ostream &OS) const {
+  std::vector<size_t> Widths(Header.size());
+  for (size_t I = 0, E = Header.size(); I != E; ++I)
+    Widths[I] = Header[I].size();
+  for (const auto &Row : Rows)
+    for (size_t I = 0, E = Row.size(); I != E; ++I) {
+      if (I >= Widths.size())
+        Widths.resize(I + 1);
+      if (Row[I].size() > Widths[I])
+        Widths[I] = Row[I].size();
+    }
+
+  auto printRow = [&](const std::vector<std::string> &Row) {
+    for (size_t I = 0, E = Widths.size(); I != E; ++I) {
+      const std::string Text = I < Row.size() ? Row[I] : std::string();
+      // Left-align the first column (names), right-align the rest
+      // (numbers).
+      if (I == 0)
+        OS << std::left << std::setw(static_cast<int>(Widths[I])) << Text;
+      else
+        OS << std::right << std::setw(static_cast<int>(Widths[I])) << Text;
+      if (I + 1 != E)
+        OS << "  ";
+    }
+    OS << '\n';
+  };
+
+  printRow(Header);
+  size_t Total = 0;
+  for (size_t W : Widths)
+    Total += W + 2;
+  OS << std::string(Total > 2 ? Total - 2 : Total, '-') << '\n';
+  for (const auto &Row : Rows)
+    printRow(Row);
+}
+
+void TableFormatter::printCSV(std::ostream &OS) const {
+  auto printRow = [&](const std::vector<std::string> &Row) {
+    for (size_t I = 0, E = Row.size(); I != E; ++I) {
+      if (I != 0)
+        OS << ',';
+      OS << Row[I];
+    }
+    OS << '\n';
+  };
+  printRow(Header);
+  for (const auto &Row : Rows)
+    printRow(Row);
+}

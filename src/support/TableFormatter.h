@@ -1,0 +1,55 @@
+//===----------------------------------------------------------------------===//
+//
+// Part of the padx project, under the Apache License v2.0.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Fixed-width text tables for the benchmark harness. Every bench binary
+/// reproduces one table or figure of the paper as rows of text; this class
+/// keeps their formatting uniform and also supports CSV output for plotting.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PADX_SUPPORT_TABLEFORMATTER_H
+#define PADX_SUPPORT_TABLEFORMATTER_H
+
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace padx {
+
+/// Collects rows of stringified cells and prints them either as an aligned
+/// text table or as CSV. Numeric convenience overloads format doubles with
+/// a fixed precision.
+class TableFormatter {
+public:
+  explicit TableFormatter(std::vector<std::string> Header);
+
+  /// Starts a new row. Cells are appended with cell() until the next
+  /// beginRow() or print().
+  void beginRow();
+
+  void cell(const std::string &Text);
+  void cell(const char *Text) { cell(std::string(Text)); }
+  void cell(int64_t Value);
+  /// Formats \p Value with \p Precision digits after the decimal point.
+  void cell(double Value, int Precision = 2);
+
+  /// Prints an aligned table with a header rule.
+  void print(std::ostream &OS) const;
+
+  /// Prints the same data as CSV (no alignment padding).
+  void printCSV(std::ostream &OS) const;
+
+  size_t rowCount() const { return Rows.size(); }
+
+private:
+  std::vector<std::string> Header;
+  std::vector<std::vector<std::string>> Rows;
+};
+
+} // namespace padx
+
+#endif // PADX_SUPPORT_TABLEFORMATTER_H

@@ -1,0 +1,92 @@
+//===----------------------------------------------------------------------===//
+//
+// Part of the padx project, under the Apache License v2.0.
+//
+//===----------------------------------------------------------------------===//
+
+#include "analysis/ConflictReport.h"
+
+#include "core/Padding.h"
+#include "frontend/Parser.h"
+#include "kernels/Kernels.h"
+
+#include "gtest/gtest.h"
+
+#include <sstream>
+
+using namespace padx;
+using namespace padx::analysis;
+
+TEST(ConflictReport, FindsJacobiSevereConflicts) {
+  ir::Program P = kernels::makeKernel("jacobi", 512);
+  layout::DataLayout DL = layout::originalLayout(P);
+  auto Entries = reportConflicts(DL, CacheConfig::base16K());
+  ASSERT_FALSE(Entries.empty());
+  for (const ConflictEntry &E : Entries) {
+    EXPECT_TRUE(E.Severe);
+    EXPECT_LT(E.ConflictDistance, 32);
+    EXPECT_FALSE(E.SameArray); // A-vs-B conflicts only at this size
+  }
+}
+
+TEST(ConflictReport, CleanAfterPad) {
+  ir::Program P = kernels::makeKernel("jacobi", 512);
+  EXPECT_GT(countSevereConflicts(layout::originalLayout(P),
+                                 CacheConfig::base16K()),
+            0u);
+  pad::PaddingResult R = pad::runPad(P);
+  EXPECT_EQ(countSevereConflicts(R.Layout, CacheConfig::base16K()), 0u);
+}
+
+TEST(ConflictReport, NonSeverePairsListedOnRequest) {
+  ir::Program P = kernels::makeKernel("jacobi", 300);
+  layout::DataLayout DL = layout::originalLayout(P);
+  auto All = reportConflicts(DL, CacheConfig::base16K(),
+                             /*SevereOnly=*/false);
+  auto Severe = reportConflicts(DL, CacheConfig::base16K(),
+                                /*SevereOnly=*/true);
+  EXPECT_GT(All.size(), Severe.size());
+}
+
+TEST(ConflictReport, EntriesCarryRenderedRefs) {
+  DiagnosticEngine Diags;
+  auto P = frontend::parseProgram(R"(program p
+array A : real[2048]
+array B : real[2048]
+loop i = 1, 2048 {
+  B[i] = A[i]
+}
+)",
+                                  Diags);
+  ASSERT_TRUE(P) << Diags.str();
+  layout::DataLayout DL = layout::originalLayout(*P);
+  auto Entries = reportConflicts(DL, CacheConfig::base16K());
+  ASSERT_EQ(Entries.size(), 1u);
+  EXPECT_EQ(Entries[0].Ref1, "A[i]");
+  EXPECT_EQ(Entries[0].Ref2, "B[i]");
+  EXPECT_EQ(Entries[0].LoopVar, "i");
+  EXPECT_FALSE(Entries[0].SameArray);
+  EXPECT_EQ(Entries[0].DistanceBytes, -16384);
+  EXPECT_EQ(Entries[0].ConflictDistance, 0);
+}
+
+TEST(ConflictReport, PrintFormats) {
+  std::vector<ConflictEntry> Entries;
+  std::ostringstream OS;
+  printConflictReport(OS, Entries);
+  EXPECT_EQ(OS.str(), "no conflicting reference pairs\n");
+
+  ConflictEntry E;
+  E.LoopVar = "j";
+  E.Ref1 = "A[j]";
+  E.Ref2 = "A[j+512]";
+  E.SameArray = true;
+  E.DistanceBytes = -4096;
+  E.ConflictDistance = 0;
+  E.Severe = true;
+  Entries.push_back(E);
+  std::ostringstream OS2;
+  printConflictReport(OS2, Entries);
+  EXPECT_NE(OS2.str().find("[SEVERE]"), std::string::npos);
+  EXPECT_NE(OS2.str().find("[same array]"), std::string::npos);
+}

@@ -1,0 +1,106 @@
+//===----------------------------------------------------------------------===//
+//
+// Part of the padx project, under the Apache License v2.0.
+//
+//===----------------------------------------------------------------------===//
+
+#include "analysis/FirstConflict.h"
+
+#include "support/MathExtras.h"
+
+#include "gtest/gtest.h"
+
+#include <random>
+
+using namespace padx;
+using namespace padx::analysis;
+
+TEST(FirstConflict, PaperExample273) {
+  // Paper Section 2.3.2: Cs = 1024, Cols = 273, Ls = 4 gives
+  // 15 * 273 == -1 (mod 1024), so the first conflicting j is 15.
+  EXPECT_EQ(firstConflict(1024, 273, 4), 15);
+  EXPECT_EQ(distanceToMultiple(15 * 273, 1024), 1);
+}
+
+TEST(FirstConflict, PaperExample768) {
+  // Paper Section 2.3.1: Cs = 1024, Cols = 768 has gcd 256, so columns
+  // 4 apart map to identical locations.
+  EXPECT_EQ(distanceToMultiple(4 * 768, 1024), 0);
+  EXPECT_LE(firstConflict(1024, 768, 4), 4);
+}
+
+TEST(FirstConflict, MultipleOfCacheConflictsImmediately) {
+  EXPECT_EQ(firstConflict(1024, 1024, 4), 1);
+  EXPECT_EQ(firstConflict(1024, 2048, 4), 1);
+  EXPECT_EQ(firstConflict(2048, 2048 * 3, 4), 1);
+}
+
+TEST(FirstConflict, NearMultipleConflictsImmediately) {
+  EXPECT_EQ(firstConflict(1024, 1022, 4), 1); // -2 mod 1024
+  EXPECT_EQ(firstConflict(1024, 1026, 4), 1); // +2 mod 1024
+}
+
+TEST(FirstConflict, GcdOfLineSizeReachesCacheOverLine) {
+  // Any Cols with gcd(Cols, Cs) == Ls has FirstConflict == Cs/Ls (the
+  // paper's termination argument for j*).
+  // gcd(1024, 4) = 4 for Cols == 4 mod 8 and odd multiples of 4.
+  for (int64_t Col : {4, 12, 20, 148, 516}) {
+    ASSERT_EQ(gcd64(1024, Col), 4);
+    EXPECT_EQ(firstConflict(1024, Col, 4), 256) << "Col=" << Col;
+  }
+}
+
+TEST(FirstConflict, BruteForceAgreesOnSmallCases) {
+  for (int64_t Col = 1; Col <= 300; ++Col)
+    EXPECT_EQ(firstConflict(256, Col, 4),
+              firstConflictBruteForce(256, Col, 4))
+        << "Col=" << Col;
+}
+
+struct FCParams {
+  int64_t Cache;
+  int64_t Line;
+};
+
+class FirstConflictProperty : public ::testing::TestWithParam<FCParams> {};
+
+TEST_P(FirstConflictProperty, EuclidMatchesBruteForce) {
+  const auto [Cache, Line] = GetParam();
+  std::mt19937_64 Rng(Cache * 31 + Line);
+  std::uniform_int_distribution<int64_t> Dist(1, 3 * Cache);
+  for (int Trial = 0; Trial < 500; ++Trial) {
+    int64_t Col = Dist(Rng);
+    int64_t Fast = firstConflict(Cache, Col, Line);
+    int64_t Slow = firstConflictBruteForce(Cache, Col, Line);
+    ASSERT_EQ(Fast, Slow)
+        << "Cache=" << Cache << " Col=" << Col << " Line=" << Line;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Geometries, FirstConflictProperty,
+    ::testing::Values(FCParams{256, 4}, FCParams{1024, 4},
+                      FCParams{2048, 4}, FCParams{2048, 8},
+                      FCParams{4096, 16}, FCParams{512, 1},
+                      FCParams{1024, 2}),
+    [](const ::testing::TestParamInfo<FCParams> &Info) {
+      return "C" + std::to_string(Info.param.Cache) + "_L" +
+             std::to_string(Info.param.Line);
+    });
+
+TEST(FirstConflict, ResultIsPositive) {
+  std::mt19937_64 Rng(7);
+  std::uniform_int_distribution<int64_t> Dist(1, 100000);
+  for (int Trial = 0; Trial < 200; ++Trial) {
+    int64_t Col = Dist(Rng);
+    EXPECT_GE(firstConflict(2048, Col, 4), 1);
+  }
+}
+
+TEST(LinPad2Threshold, AppliesAllThreeCeilings) {
+  // min(129, Rows, Cache/Line).
+  EXPECT_EQ(linPad2Threshold(2048, 4, 1000), 129);  // base cap
+  EXPECT_EQ(linPad2Threshold(2048, 4, 100), 100);   // row ceiling
+  EXPECT_EQ(linPad2Threshold(256, 4, 1000), 64);    // cache/line ceiling
+  EXPECT_EQ(linPad2Threshold(2048, 4, 512), 129);
+}

@@ -1,0 +1,104 @@
+//===----------------------------------------------------------------------===//
+//
+// Part of the padx project, under the Apache License v2.0.
+//
+//===----------------------------------------------------------------------===//
+
+#include "analysis/LinearAlgebra.h"
+
+#include "frontend/Parser.h"
+#include "kernels/Kernels.h"
+
+#include "gtest/gtest.h"
+
+using namespace padx;
+using namespace padx::analysis;
+
+namespace {
+
+ir::Program parseOrDie(std::string_view Src) {
+  DiagnosticEngine Diags;
+  auto P = frontend::parseProgram(Src, Diags);
+  EXPECT_TRUE(P) << Diags.str();
+  return std::move(*P);
+}
+
+} // namespace
+
+TEST(LinearAlgebra, DetectsFigure3Pattern) {
+  // The paper's Figure 3: A(i,j) and A(i,k) in one nest.
+  ir::Program P = parseOrDie(R"(program p
+array A : real[16, 16]
+loop k = 1, 16 {
+  loop j = 1, 16 {
+    loop i = 1, 16 {
+      A[i, j] = A[i, j] + A[i, k]
+    }
+  }
+}
+)");
+  auto Flags = detectLinearAlgebraArrays(P);
+  EXPECT_TRUE(Flags[*P.findArray("A")]);
+}
+
+TEST(LinearAlgebra, StencilIsNotLinearAlgebra) {
+  ir::Program P = parseOrDie(R"(program p
+array A : real[16, 16]
+array B : real[16, 16]
+loop i = 2, 15 {
+  loop j = 2, 15 {
+    B[j, i] = A[j-1, i] + A[j+1, i] + A[j, i-1] + A[j, i+1]
+  }
+}
+)");
+  auto Flags = detectLinearAlgebraArrays(P);
+  EXPECT_FALSE(Flags[*P.findArray("A")]);
+  EXPECT_FALSE(Flags[*P.findArray("B")]);
+}
+
+TEST(LinearAlgebra, VariableVsConstantColumn) {
+  ir::Program P = parseOrDie(R"(program p
+array A : real[16, 16]
+loop j = 1, 16 {
+  loop i = 1, 16 {
+    A[i, j] = A[i, j] + A[i, 1]
+  }
+}
+)");
+  EXPECT_TRUE(detectLinearAlgebraArrays(P)[*P.findArray("A")]);
+}
+
+TEST(LinearAlgebra, OneDimensionalArraysNeverMatch) {
+  ir::Program P = parseOrDie(R"(program p
+array A : real[64]
+loop j = 1, 8 {
+  loop i = 1, 8 {
+    A[i] = A[i] + A[j]
+  }
+}
+)");
+  EXPECT_FALSE(detectLinearAlgebraArrays(P)[*P.findArray("A")]);
+}
+
+TEST(LinearAlgebra, KernelClassification) {
+  // DGEFA and CHOL are linear algebra; JACOBI and SHAL are stencils.
+  {
+    ir::Program P = kernels::makeKernel("dgefa", 64);
+    EXPECT_TRUE(detectLinearAlgebraArrays(P)[*P.findArray("A")]);
+  }
+  {
+    ir::Program P = kernels::makeKernel("chol", 64);
+    EXPECT_TRUE(detectLinearAlgebraArrays(P)[*P.findArray("A")]);
+  }
+  {
+    ir::Program P = kernels::makeKernel("jacobi", 64);
+    EXPECT_FALSE(detectLinearAlgebraArrays(P)[*P.findArray("A")]);
+    EXPECT_FALSE(detectLinearAlgebraArrays(P)[*P.findArray("B")]);
+  }
+  {
+    ir::Program P = kernels::makeKernel("shal", 64);
+    auto Flags = detectLinearAlgebraArrays(P);
+    for (unsigned Id = 0; Id < P.arrays().size(); ++Id)
+      EXPECT_FALSE(Flags[Id]) << P.array(Id).Name;
+  }
+}

@@ -1,0 +1,137 @@
+//===----------------------------------------------------------------------===//
+//
+// Part of the padx project, under the Apache License v2.0.
+//
+//===----------------------------------------------------------------------===//
+
+#include "analysis/MissEstimate.h"
+
+#include "core/Padding.h"
+#include "experiments/Experiment.h"
+#include "frontend/Parser.h"
+#include "kernels/Kernels.h"
+
+#include "gtest/gtest.h"
+
+using namespace padx;
+using namespace padx::analysis;
+
+namespace {
+
+ir::Program parseOrDie(std::string_view Src) {
+  DiagnosticEngine Diags;
+  auto P = frontend::parseProgram(Src, Diags);
+  EXPECT_TRUE(P) << Diags.str();
+  return std::move(*P);
+}
+
+const CacheConfig kBase = CacheConfig::base16K();
+
+} // namespace
+
+TEST(MissEstimate, DotConflictPredicted) {
+  // The motivating example: estimator must predict ~100% before padding
+  // and the 25% spatial floor after.
+  ir::Program P = kernels::makeKernel("dot", 4096);
+  layout::DataLayout Orig = layout::originalLayout(P);
+  EXPECT_NEAR(estimateMisses(Orig, kBase).predictedMissRatePercent(),
+              100.0, 1.0);
+  pad::PaddingResult R = pad::runPad(P);
+  EXPECT_NEAR(estimateMisses(R.Layout, kBase).predictedMissRatePercent(),
+              25.0, 1.0);
+}
+
+TEST(MissEstimate, AccessCountMatchesSimulator) {
+  for (const char *Name : {"jacobi", "dgefa", "shal"}) {
+    ir::Program P = kernels::makeKernel(Name, 64);
+    layout::DataLayout DL = layout::originalLayout(P);
+    expt::MissResult Sim = expt::measureMissRate(P, DL, kBase);
+    ProgramEstimate Est = estimateMisses(DL, kBase);
+    EXPECT_NEAR(Est.PredictedAccesses,
+                static_cast<double>(Sim.Accesses),
+                0.02 * static_cast<double>(Sim.Accesses) + 64)
+        << Name;
+  }
+}
+
+TEST(MissEstimate, TracksSimulatorOnJacobi) {
+  // The estimator is first-order; require agreement within a few points
+  // on both the conflicted and the padded layout.
+  ir::Program P = kernels::makeKernel("jacobi", 512);
+  layout::DataLayout Orig = layout::originalLayout(P);
+  double SimOrig = expt::measureMissRate(P, Orig, kBase).percent();
+  double EstOrig =
+      estimateMisses(Orig, kBase).predictedMissRatePercent();
+  EXPECT_NEAR(EstOrig, SimOrig, 8.0);
+
+  pad::PaddingResult R = pad::runPad(P);
+  double SimPad = expt::measureMissRate(P, R.Layout, kBase).percent();
+  double EstPad =
+      estimateMisses(R.Layout, kBase).predictedMissRatePercent();
+  EXPECT_NEAR(EstPad, SimPad, 8.0);
+  // And it must rank the layouts correctly.
+  EXPECT_LT(EstPad, EstOrig);
+}
+
+TEST(MissEstimate, FlagsSevereLoops) {
+  ir::Program P = kernels::makeKernel("jacobi", 512);
+  layout::DataLayout Orig = layout::originalLayout(P);
+  ProgramEstimate Est = estimateMisses(Orig, kBase);
+  ASSERT_EQ(Est.Loops.size(), 2u);
+  EXPECT_TRUE(Est.Loops[0].HasSevereConflict);
+  EXPECT_TRUE(Est.Loops[1].HasSevereConflict);
+
+  pad::PaddingResult R = pad::runPad(P);
+  for (const LoopEstimate &L : estimateMisses(R.Layout, kBase).Loops)
+    EXPECT_FALSE(L.HasSevereConflict);
+}
+
+TEST(MissEstimate, FullyAssociativeHasNoConflictTerm) {
+  ir::Program P = kernels::makeKernel("dot", 4096);
+  layout::DataLayout Orig = layout::originalLayout(P);
+  CacheConfig Fully{16 * 1024, 32, 0};
+  EXPECT_NEAR(estimateMisses(Orig, Fully).predictedMissRatePercent(),
+              25.0, 1.0);
+}
+
+TEST(MissEstimate, TriangularIterationEstimate) {
+  // sum_{k=1..N-1} (N-k) = N(N-1)/2; the midpoint estimate is exact for
+  // linear trip counts.
+  ir::Program P = parseOrDie(R"(program p
+array A : real[64, 64]
+loop k = 1, 63 {
+  loop i = k+1, 64 {
+    A[i, k] = A[i, k]
+  }
+}
+)");
+  layout::DataLayout DL = layout::originalLayout(P);
+  ProgramEstimate Est = estimateMisses(DL, kBase);
+  ASSERT_EQ(Est.Loops.size(), 1u);
+  EXPECT_NEAR(Est.Loops[0].Iterations, 63.0 * 64.0 / 2.0,
+              0.02 * 63.0 * 64.0 / 2.0);
+}
+
+TEST(MissEstimate, ScalarRefsExcluded) {
+  ir::Program P = parseOrDie(R"(program p
+array S : real
+array A : real[64]
+loop i = 1, 64 {
+  S = S + A[i]
+}
+)");
+  layout::DataLayout DL = layout::originalLayout(P);
+  ProgramEstimate Est = estimateMisses(DL, kBase);
+  ASSERT_EQ(Est.Loops.size(), 1u);
+  EXPECT_EQ(Est.Loops[0].RefsPerIteration, 1u);
+}
+
+TEST(MissEstimate, IndirectCountsTwoAccesses) {
+  ir::Program P = kernels::makeKernel("irr", 1000);
+  layout::DataLayout DL = layout::originalLayout(P);
+  ProgramEstimate Est = estimateMisses(DL, kBase);
+  expt::MissResult Sim = expt::measureMissRate(P, DL, kBase);
+  EXPECT_NEAR(Est.PredictedAccesses,
+              static_cast<double>(Sim.Accesses),
+              0.02 * static_cast<double>(Sim.Accesses) + 64);
+}

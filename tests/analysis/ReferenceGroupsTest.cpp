@@ -1,0 +1,91 @@
+//===----------------------------------------------------------------------===//
+//
+// Part of the padx project, under the Apache License v2.0.
+//
+//===----------------------------------------------------------------------===//
+
+#include "analysis/ReferenceGroups.h"
+
+#include "frontend/Parser.h"
+
+#include "gtest/gtest.h"
+
+using namespace padx;
+using namespace padx::analysis;
+
+namespace {
+
+ir::Program parseOrDie(std::string_view Src) {
+  DiagnosticEngine Diags;
+  auto P = frontend::parseProgram(Src, Diags);
+  EXPECT_TRUE(P) << Diags.str();
+  return std::move(*P);
+}
+
+} // namespace
+
+TEST(ReferenceGroups, OneGroupPerInnermostLoop) {
+  ir::Program P = parseOrDie(R"(program p
+array A : real[8, 8]
+array B : real[8, 8]
+loop i = 1, 8 {
+  loop j = 1, 8 {
+    B[j, i] = A[j, i]
+  }
+  loop j2 = 1, 8 {
+    A[j2, i] = B[j2, i]
+  }
+}
+)");
+  auto Groups = collectLoopGroups(P);
+  ASSERT_EQ(Groups.size(), 2u);
+  EXPECT_EQ(Groups[0].Innermost->IndexVar, "j");
+  EXPECT_EQ(Groups[1].Innermost->IndexVar, "j2");
+  EXPECT_EQ(Groups[0].Refs.size(), 2u);
+  EXPECT_EQ(Groups[1].Refs.size(), 2u);
+  ASSERT_EQ(Groups[0].Nest.size(), 2u);
+  EXPECT_EQ(Groups[0].Nest[0]->IndexVar, "i");
+}
+
+TEST(ReferenceGroups, StatementDirectlyInOuterLoop) {
+  ir::Program P = parseOrDie(R"(program p
+array A : real[8, 8]
+array S : real
+loop k = 1, 8 {
+  S = A[k, k]
+  loop i = 1, 8 {
+    A[i, k] = A[i, k] + S
+  }
+}
+)");
+  auto Groups = collectLoopGroups(P);
+  ASSERT_EQ(Groups.size(), 2u);
+  // The scalar statement's group is the k loop (2 refs: A[k,k] and S
+  // read... S and A[k,k] read plus S write = 3).
+  EXPECT_EQ(Groups[0].Innermost->IndexVar, "k");
+  EXPECT_EQ(Groups[0].Refs.size(), 2u); // A[k,k] read + S write
+  EXPECT_EQ(Groups[1].Innermost->IndexVar, "i");
+  EXPECT_EQ(Groups[1].Refs.size(), 3u); // A read, S read, A write
+}
+
+TEST(ReferenceGroups, TopLevelStatementsIgnored) {
+  ir::Program P = parseOrDie(R"(program p
+array A : real[8]
+A[1] = A[2]
+)");
+  EXPECT_TRUE(collectLoopGroups(P).empty());
+}
+
+TEST(ReferenceGroups, MultipleStatementsShareGroup) {
+  ir::Program P = parseOrDie(R"(program p
+array A : real[8]
+array B : real[8]
+loop i = 1, 8 {
+  A[i] = B[i]
+  B[i] = A[i]
+}
+)");
+  auto Groups = collectLoopGroups(P);
+  ASSERT_EQ(Groups.size(), 1u);
+  EXPECT_EQ(Groups[0].Refs.size(), 4u);
+}

@@ -1,0 +1,133 @@
+//===----------------------------------------------------------------------===//
+//
+// Part of the padx project, under the Apache License v2.0.
+//
+//===----------------------------------------------------------------------===//
+
+#include "analysis/Reuse.h"
+
+#include "frontend/Parser.h"
+
+#include "gtest/gtest.h"
+
+using namespace padx;
+using namespace padx::analysis;
+
+namespace {
+
+struct Fixture {
+  ir::Program P;
+  layout::DataLayout DL;
+  std::vector<LoopGroup> Groups;
+
+  explicit Fixture(std::string_view Src)
+      : P(parse(Src)), DL(layout::originalLayout(P)),
+        Groups(collectLoopGroups(P)) {}
+
+  static ir::Program parse(std::string_view Src) {
+    DiagnosticEngine Diags;
+    auto P = frontend::parseProgram(Src, Diags);
+    EXPECT_TRUE(P) << Diags.str();
+    return std::move(*P);
+  }
+};
+
+} // namespace
+
+TEST(Reuse, SelfClassification) {
+  Fixture F(R"(program p
+array A : real[64, 64]
+loop i = 1, 64 {
+  loop j = 1, 64 {
+    A[j, i] = A[i, j] + A[1, i]
+  }
+}
+)");
+  ASSERT_EQ(F.Groups.size(), 1u);
+  GroupReuse R = analyzeReuse(F.DL, F.Groups[0], 32);
+  ASSERT_EQ(R.Refs.size(), 3u);
+  // A[i, j] (read): innermost j strides a whole column -> no reuse.
+  EXPECT_EQ(R.Refs[0].Self, SelfReuse::None);
+  EXPECT_EQ(R.Refs[0].StrideBytes, 64 * 8);
+  // A[1, i]: invariant in j -> temporal.
+  EXPECT_EQ(R.Refs[1].Self, SelfReuse::Temporal);
+  // A[j, i] (write): unit stride -> spatial.
+  EXPECT_EQ(R.Refs[2].Self, SelfReuse::Spatial);
+  EXPECT_EQ(R.Refs[2].StrideBytes, 8);
+}
+
+TEST(Reuse, StepScalesStride) {
+  Fixture F(R"(program p
+array A : real[64]
+loop i = 1, 63 step 2 {
+  A[i] = A[i]
+}
+)");
+  GroupReuse R = analyzeReuse(F.DL, F.Groups[0], 32);
+  EXPECT_EQ(R.Refs[0].StrideBytes, 16);
+  EXPECT_EQ(R.Refs[0].Self, SelfReuse::Spatial);
+}
+
+TEST(Reuse, GroupTemporalAndSpatial) {
+  Fixture F(R"(program p
+array A : real[64, 64]
+array B : real[64, 64]
+loop i = 2, 63 {
+  loop j = 2, 63 {
+    B[j, i] = A[j-1, i] + A[j+1, i] + A[j-1, i]
+  }
+}
+)");
+  GroupReuse R = analyzeReuse(F.DL, F.Groups[0], 32);
+  ASSERT_EQ(R.Refs.size(), 4u);
+  // A[j-1, i] leads.
+  EXPECT_EQ(R.Refs[0].Leader, 0u);
+  // A[j+1, i] is 16 bytes from A[j-1, i]: group-spatial follower.
+  EXPECT_EQ(R.Refs[1].Leader, 0u);
+  EXPECT_TRUE(R.Refs[1].GroupSpatial);
+  // The duplicate A[j-1, i]: group-temporal.
+  EXPECT_EQ(R.Refs[2].Leader, 0u);
+  EXPECT_TRUE(R.Refs[2].GroupTemporal);
+  // B is its own leader.
+  EXPECT_EQ(R.Refs[3].Leader, 3u);
+}
+
+TEST(Reuse, FollowerChainsCollapseToFirstLeader) {
+  Fixture F(R"(program p
+array A : real[64]
+loop i = 2, 62 {
+  A[i] = A[i+1] + A[i+2]
+}
+)");
+  GroupReuse R = analyzeReuse(F.DL, F.Groups[0], 32);
+  EXPECT_EQ(R.Refs[0].Leader, 0u);
+  EXPECT_EQ(R.Refs[1].Leader, 0u); // A[i+2] trails A[i+1]
+  EXPECT_EQ(R.Refs[2].Leader, 0u); // the write trails them too
+}
+
+TEST(Reuse, IndirectRefsUnanalyzable) {
+  Fixture F(R"(program p
+array X : real[64]
+array IDX : int[64] init identity
+loop i = 1, 64 {
+  X[IDX[i]] = 1.0
+}
+)");
+  GroupReuse R = analyzeReuse(F.DL, F.Groups[0], 32);
+  ASSERT_EQ(R.Refs.size(), 1u);
+  EXPECT_TRUE(R.Refs[0].Unanalyzable);
+}
+
+TEST(Reuse, NonConformingPairStaysIndependent) {
+  Fixture F(R"(program p
+array A : real[64, 64]
+array B : real[48, 64]
+loop i = 1, 48 {
+  loop j = 1, 48 {
+    B[j, i] = A[j, i]
+  }
+}
+)");
+  GroupReuse R = analyzeReuse(F.DL, F.Groups[0], 32);
+  EXPECT_EQ(R.Refs[1].Leader, 1u); // distance varies with i: no group
+}

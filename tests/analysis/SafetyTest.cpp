@@ -1,0 +1,83 @@
+//===----------------------------------------------------------------------===//
+//
+// Part of the padx project, under the Apache License v2.0.
+//
+//===----------------------------------------------------------------------===//
+
+#include "analysis/Safety.h"
+
+#include "frontend/Parser.h"
+
+#include "gtest/gtest.h"
+
+using namespace padx;
+using namespace padx::analysis;
+
+namespace {
+
+ir::Program parseOrDie(std::string_view Src) {
+  DiagnosticEngine Diags;
+  auto P = frontend::parseProgram(Src, Diags);
+  EXPECT_TRUE(P) << Diags.str();
+  return std::move(*P);
+}
+
+} // namespace
+
+TEST(Safety, PlainArraysAreFullySafe) {
+  ir::Program P = parseOrDie("program p\narray A : real[8, 8]\n");
+  SafetyInfo S = analyzeSafety(P);
+  EXPECT_TRUE(S.CanPadIntra[0]);
+  EXPECT_TRUE(S.CanMoveBase[0]);
+  EXPECT_EQ(S.numIntraSafe(), 1u);
+}
+
+TEST(Safety, ParametersAreFrozen) {
+  ir::Program P = parseOrDie("program p\narray A : real[8, 8] param\n");
+  SafetyInfo S = analyzeSafety(P);
+  EXPECT_FALSE(S.CanPadIntra[0]);
+  EXPECT_FALSE(S.CanMoveBase[0]);
+}
+
+TEST(Safety, StorageAssociationBlocksIntraOnly) {
+  ir::Program P = parseOrDie("program p\narray A : real[8, 8] stassoc\n");
+  SafetyInfo S = analyzeSafety(P);
+  EXPECT_FALSE(S.CanPadIntra[0]);
+  EXPECT_TRUE(S.CanMoveBase[0]);
+}
+
+TEST(Safety, SplittableCommonBlockIsMovable) {
+  // Without storage association the paper splits common blocks into
+  // independent variables.
+  ir::Program P = parseOrDie(R"(program p
+array A : real[8] common(blk)
+array B : real[8] common(blk)
+)");
+  SafetyInfo S = analyzeSafety(P);
+  EXPECT_TRUE(S.CanPadIntra[0]);
+  EXPECT_TRUE(S.CanMoveBase[0]);
+  EXPECT_TRUE(S.CanMoveBase[1]);
+}
+
+TEST(Safety, FrozenCommonBlockFreezesAllMembers) {
+  ir::Program P = parseOrDie(R"(program p
+array A : real[8] common(blk)
+array B : real[8] common(blk) stassoc
+array C : real[8] common(other)
+)");
+  SafetyInfo S = analyzeSafety(P);
+  // A is frozen because its block-mate B has storage association.
+  EXPECT_FALSE(S.CanPadIntra[0]);
+  EXPECT_FALSE(S.CanMoveBase[0]);
+  EXPECT_FALSE(S.CanMoveBase[1]);
+  // Other blocks unaffected.
+  EXPECT_TRUE(S.CanMoveBase[2]);
+}
+
+TEST(Safety, ScalarsCannotBeIntraPadded) {
+  ir::Program P = parseOrDie("program p\narray S : real\n");
+  SafetyInfo S = analyzeSafety(P);
+  EXPECT_FALSE(S.CanPadIntra[0]);
+  EXPECT_TRUE(S.CanMoveBase[0]);
+  EXPECT_EQ(S.numIntraSafe(), 0u);
+}

@@ -1,0 +1,94 @@
+//===----------------------------------------------------------------------===//
+//
+// Part of the padx project, under the Apache License v2.0.
+//
+//===----------------------------------------------------------------------===//
+
+#include "analysis/TileSize.h"
+
+#include "support/MathExtras.h"
+
+#include "gtest/gtest.h"
+
+#include <set>
+
+using namespace padx;
+using namespace padx::analysis;
+
+namespace {
+
+/// Verifies by construction: the Cols column intervals of height Rows
+/// must be pairwise disjoint modulo the cache.
+bool tileIsConflictFree(int64_t Cache, int64_t Col, int64_t Rows,
+                        int64_t Cols) {
+  std::set<int64_t> Occupied;
+  for (int64_t K = 0; K != Cols; ++K) {
+    int64_t Base = floorMod(K * Col, Cache);
+    for (int64_t R = 0; R != Rows; ++R)
+      if (!Occupied.insert(floorMod(Base + R, Cache)).second)
+        return false;
+  }
+  return true;
+}
+
+} // namespace
+
+TEST(TileSize, SingleColumnTakesWholeCache) {
+  EXPECT_EQ(maxTileRows(1024, 300, 1), 300);  // bounded by the column
+  EXPECT_EQ(maxTileRows(256, 1000, 1), 256);  // bounded by the cache
+}
+
+TEST(TileSize, PowerOfTwoColumnsCollide) {
+  // Columns of 512 on a 1024-element cache alternate between two
+  // offsets: width 2 leaves a 512-gap, width 3 collides.
+  EXPECT_EQ(maxTileRows(1024, 512, 2), 512);
+  EXPECT_EQ(maxTileRows(1024, 512, 3), 0);
+}
+
+TEST(TileSize, MaxRowsIsExactlyConflictFree) {
+  for (int64_t Col : {273, 300, 320, 384, 500, 768}) {
+    for (int64_t Cols : {2, 3, 5, 8, 13}) {
+      int64_t Rows = maxTileRows(1024, Col, Cols);
+      if (Rows == 0)
+        continue;
+      EXPECT_TRUE(tileIsConflictFree(1024, Col, Rows, Cols))
+          << Col << "x" << Cols;
+      EXPECT_FALSE(tileIsConflictFree(1024, Col, Rows + 1, Cols))
+          << Col << "x" << Cols << " not maximal";
+    }
+  }
+}
+
+TEST(TileSize, ParetoFrontShape) {
+  auto Front = nonConflictingTiles(1024, 273, 64);
+  ASSERT_FALSE(Front.empty());
+  // Widest-first, heights strictly increasing toward narrower tiles.
+  for (size_t I = 1; I < Front.size(); ++I) {
+    EXPECT_LT(Front[I].Cols, Front[I - 1].Cols);
+    EXPECT_GT(Front[I].Rows, Front[I - 1].Rows);
+  }
+  for (const TileCandidate &C : Front)
+    EXPECT_TRUE(tileIsConflictFree(1024, 273, C.Rows, C.Cols));
+}
+
+TEST(TileSize, SelectionMaximizesArea) {
+  TileCandidate Best = selectTileSize(1024, 273, 64);
+  EXPECT_GT(Best.area(), 0);
+  EXPECT_TRUE(tileIsConflictFree(1024, 273, Best.Rows, Best.Cols));
+  for (const TileCandidate &C : nonConflictingTiles(1024, 273, 64))
+    EXPECT_LE(C.area(), Best.area());
+}
+
+TEST(TileSize, PathologicalColumnGivesTinyTiles) {
+  // A column size that is a multiple of the cache size puts every
+  // column at offset zero: only one column fits at any height.
+  EXPECT_EQ(maxTileRows(1024, 2048, 2), 0);
+  EXPECT_EQ(selectTileSize(1024, 2048, 16).Cols, 1);
+  // A column congruent to 1 is almost as bad: offsets pack 1 apart, so
+  // a 4-column tile is limited to 1 row...
+  EXPECT_EQ(maxTileRows(1024, 2049, 4), 1);
+  // ...whereas a well-placed column (offset 64) supports square-ish
+  // tiles — the column-size sensitivity tiling shares with padding.
+  EXPECT_EQ(maxTileRows(1024, 2112, 4), 64);
+  EXPECT_GE(selectTileSize(1024, 2112, 16).area(), 1024);
+}

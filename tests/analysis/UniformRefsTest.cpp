@@ -1,0 +1,130 @@
+//===----------------------------------------------------------------------===//
+//
+// Part of the padx project, under the Apache License v2.0.
+//
+//===----------------------------------------------------------------------===//
+
+#include "analysis/UniformRefs.h"
+
+#include "frontend/Parser.h"
+#include "ir/Builder.h"
+
+#include "gtest/gtest.h"
+
+using namespace padx;
+using namespace padx::analysis;
+using namespace padx::ir;
+
+namespace {
+
+ArrayRef makeRef(unsigned Id, std::vector<AffineExpr> Subs) {
+  ArrayRef R;
+  R.ArrayId = Id;
+  R.Subscripts = std::move(Subs);
+  return R;
+}
+
+} // namespace
+
+TEST(UniformShape, Accepts) {
+  EXPECT_TRUE(hasUniformShape(makeRef(0, {AffineExpr::index("i", 1, 5)})));
+  EXPECT_TRUE(hasUniformShape(makeRef(0, {AffineExpr::constant(7)})));
+  EXPECT_TRUE(hasUniformShape(makeRef(0, {}))); // scalar
+}
+
+TEST(UniformShape, Rejects) {
+  EXPECT_FALSE(
+      hasUniformShape(makeRef(0, {AffineExpr::index("i", 2, 0)})));
+  AffineExpr Sum = AffineExpr::index("i").plus(AffineExpr::index("j"));
+  EXPECT_FALSE(hasUniformShape(makeRef(0, {Sum})));
+  ArrayRef Ind = makeRef(0, {AffineExpr::index("i")});
+  Ind.IndirectDim = 0;
+  EXPECT_FALSE(hasUniformShape(Ind));
+}
+
+TEST(Conformity, EqualDimsConform) {
+  ProgramBuilder PB("p");
+  unsigned A = PB.addArray2D("A", 10, 20);
+  unsigned B = PB.addArray2D("B", 10, 30); // highest dim may differ
+  unsigned C = PB.addArray2D("C", 12, 20); // column differs
+  unsigned D = PB.addArray1D("D", 5);
+  unsigned E = PB.addArray1D("E", 500);
+  unsigned F = PB.addArray2D("F", 10, 20, /*ElemSize=*/4);
+  Program P = PB.take();
+  layout::DataLayout DL(P);
+
+  EXPECT_TRUE(arraysConform(DL, A, B));
+  EXPECT_FALSE(arraysConform(DL, A, C));
+  EXPECT_TRUE(arraysConform(DL, D, E)); // 1-D always conforms
+  EXPECT_FALSE(arraysConform(DL, A, D)); // rank mismatch
+  EXPECT_FALSE(arraysConform(DL, A, F)); // element size mismatch
+}
+
+TEST(Conformity, UsesPaddedDims) {
+  ProgramBuilder PB("p");
+  unsigned A = PB.addArray2D("A", 10, 20);
+  unsigned B = PB.addArray2D("B", 10, 20);
+  Program P = PB.take();
+  layout::DataLayout DL(P);
+  EXPECT_TRUE(arraysConform(DL, A, B));
+  DL.layout(A).Dims[0] = 12; // intra-pad A only
+  EXPECT_FALSE(arraysConform(DL, A, B));
+}
+
+TEST(UniformPair, SameVariablesRequired) {
+  ProgramBuilder PB("p");
+  unsigned A = PB.addArray2D("A", 10, 20);
+  unsigned B = PB.addArray2D("B", 10, 20);
+  Program P = PB.take();
+  layout::DataLayout DL(P);
+
+  auto I = [](int64_t Off) { return AffineExpr::index("i", 1, Off); };
+  auto J = [](int64_t Off) { return AffineExpr::index("j", 1, Off); };
+
+  EXPECT_TRUE(areUniformlyGenerated(DL, makeRef(A, {J(0), I(0)}),
+                                    makeRef(B, {J(-1), I(2)})));
+  // Swapped index variables do not match.
+  EXPECT_FALSE(areUniformlyGenerated(DL, makeRef(A, {J(0), I(0)}),
+                                     makeRef(B, {I(0), J(0)})));
+  // Variable vs constant does not match.
+  EXPECT_FALSE(areUniformlyGenerated(
+      DL, makeRef(A, {J(0), I(0)}),
+      makeRef(B, {J(0), AffineExpr::constant(3)})));
+  // Constant vs constant matches (different values allowed).
+  EXPECT_TRUE(areUniformlyGenerated(
+      DL, makeRef(A, {AffineExpr::constant(1), I(0)}),
+      makeRef(B, {AffineExpr::constant(5), I(0)})));
+}
+
+TEST(UniformPair, SameArrayIgnoresConformity) {
+  ProgramBuilder PB("p");
+  unsigned A = PB.addArray2D("A", 10, 20);
+  Program P = PB.take();
+  layout::DataLayout DL(P);
+  auto I = [](int64_t Off) { return AffineExpr::index("i", 1, Off); };
+  auto J = [](int64_t Off) { return AffineExpr::index("j", 1, Off); };
+  EXPECT_TRUE(areUniformlyGenerated(DL, makeRef(A, {J(-1), I(0)}),
+                                    makeRef(A, {J(1), I(0)})));
+}
+
+TEST(PercentUniform, CountsShapes) {
+  DiagnosticEngine Diags;
+  auto P = frontend::parseProgram(R"(program p
+array A : real[100]
+array IDX : int[100] init identity
+loop i = 1, 50 {
+  A[i] = A[i+1]
+  A[i*2] = A[IDX[i]]
+}
+)",
+                                  Diags);
+  ASSERT_TRUE(P) << Diags.str();
+  // Refs: A[i] write, A[i+1] read (uniform); A[i*2] write (coeff 2, not
+  // uniform), A[IDX[i]] read (indirect, not uniform).
+  EXPECT_DOUBLE_EQ(percentUniformRefs(*P), 50.0);
+}
+
+TEST(PercentUniform, EmptyProgramIs100) {
+  Program P("empty");
+  EXPECT_DOUBLE_EQ(percentUniformRefs(P), 100.0);
+}

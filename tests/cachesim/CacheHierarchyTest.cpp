@@ -1,0 +1,76 @@
+//===----------------------------------------------------------------------===//
+//
+// Part of the padx project, under the Apache License v2.0.
+//
+//===----------------------------------------------------------------------===//
+
+#include "cachesim/CacheHierarchy.h"
+
+#include "gtest/gtest.h"
+
+using namespace padx;
+using namespace padx::sim;
+
+namespace {
+
+MachineModel twoLevel() {
+  return MachineModel{
+      {CacheConfig{1024, 32, 1}, CacheConfig{8 * 1024, 32, 1}}};
+}
+
+} // namespace
+
+TEST(CacheHierarchy, L1HitStopsPropagation) {
+  CacheHierarchy H(twoLevel());
+  H.access(0, 8, false); // cold: misses both levels
+  H.access(0, 8, false); // L1 hit
+  EXPECT_EQ(H.stats(0).Accesses, 2u);
+  EXPECT_EQ(H.stats(0).Misses, 1u);
+  EXPECT_EQ(H.stats(1).Accesses, 1u);
+  EXPECT_EQ(H.stats(1).Misses, 1u);
+  EXPECT_EQ(H.memoryAccesses(), 1u);
+}
+
+TEST(CacheHierarchy, L2CatchesL1Conflicts) {
+  CacheHierarchy H(twoLevel());
+  // Two lines conflicting in the 1K L1 but distinct sets in the 8K L2.
+  for (int Round = 0; Round < 5; ++Round) {
+    H.access(0, 8, false);
+    H.access(1024, 8, false);
+  }
+  // L1 ping-pongs: every access misses.
+  EXPECT_EQ(H.stats(0).Misses, 10u);
+  // L2 serves everything after the two cold misses.
+  EXPECT_EQ(H.stats(1).Misses, 2u);
+  EXPECT_EQ(H.memoryAccesses(), 2u);
+}
+
+TEST(CacheHierarchy, SingleLevelBehavesLikeCacheSim) {
+  MachineModel M = MachineModel::singleLevel(CacheConfig::base16K());
+  CacheHierarchy H(M);
+  CacheSim Ref(CacheConfig::base16K());
+  for (int64_t I = 0; I < 1000; ++I) {
+    int64_t Addr = (I * 4096 + I % 7 * 8) % (1 << 20);
+    H.access(Addr, 8, I % 3 == 0);
+    Ref.access(Addr, 8, I % 3 == 0);
+  }
+  EXPECT_EQ(H.stats(0).Accesses, Ref.stats().Accesses);
+  EXPECT_EQ(H.stats(0).Misses, Ref.stats().Misses);
+  EXPECT_EQ(H.memoryAccesses(), Ref.stats().Misses);
+}
+
+TEST(CacheHierarchy, Reset) {
+  CacheHierarchy H(twoLevel());
+  H.access(0, 8, true);
+  H.reset();
+  EXPECT_EQ(H.stats(0).Accesses, 0u);
+  EXPECT_EQ(H.stats(1).Accesses, 0u);
+  EXPECT_EQ(H.memoryAccesses(), 0u);
+}
+
+TEST(CacheHierarchy, StraddlingAccessCountsPerLine) {
+  CacheHierarchy H(twoLevel());
+  H.access(28, 8, false); // two lines at L1 granularity
+  EXPECT_EQ(H.stats(0).Accesses, 2u);
+  EXPECT_EQ(H.memoryAccesses(), 2u);
+}

@@ -1,0 +1,138 @@
+//===----------------------------------------------------------------------===//
+//
+// Part of the padx project, under the Apache License v2.0.
+//
+//===----------------------------------------------------------------------===//
+
+#include "cachesim/CacheSim.h"
+
+#include "gtest/gtest.h"
+
+using namespace padx;
+using namespace padx::sim;
+
+TEST(CacheSim, ColdMissThenHit) {
+  CacheSim C(CacheConfig::base16K());
+  EXPECT_FALSE(C.accessLine(0, false));
+  EXPECT_TRUE(C.accessLine(0, false));
+  EXPECT_TRUE(C.accessLine(31, false)); // same 32-byte line
+  EXPECT_FALSE(C.accessLine(32, false));
+  EXPECT_EQ(C.stats().Accesses, 4u);
+  EXPECT_EQ(C.stats().Misses, 2u);
+  EXPECT_EQ(C.stats().hits(), 2u);
+}
+
+TEST(CacheSim, DirectMappedConflict) {
+  CacheSim C(CacheConfig::base16K());
+  C.accessLine(0, false);
+  // Same set, different tag: evicts.
+  C.accessLine(16384, false);
+  EXPECT_FALSE(C.accessLine(0, false));
+  EXPECT_EQ(C.stats().Misses, 3u);
+}
+
+TEST(CacheSim, TwoWayToleratesOneConflict) {
+  CacheSim C(CacheConfig{16 * 1024, 32, 2});
+  C.accessLine(0, false);
+  C.accessLine(8192, false); // same set (way span 8K), second way
+  EXPECT_TRUE(C.accessLine(0, false));
+  EXPECT_TRUE(C.accessLine(8192, false));
+  // Third line in the set evicts the LRU, which is line 0 (touched
+  // before 8192).
+  C.accessLine(16384, false);
+  EXPECT_TRUE(C.accessLine(8192, false));
+  EXPECT_FALSE(C.accessLine(0, false));
+}
+
+TEST(CacheSim, LRUOrderWithinSet) {
+  CacheSim C(CacheConfig{1024, 32, 4}); // 8 sets, way span 256B
+  // Four lines in set 0.
+  for (int64_t I = 0; I < 4; ++I)
+    C.accessLine(I * 256, false);
+  // Touch line 0 to make line 256 the LRU.
+  C.accessLine(0, false);
+  // Insert a fifth line: must evict 256 (the LRU).
+  C.accessLine(4 * 256, false);
+  EXPECT_TRUE(C.accessLine(0, false));
+  // 256 was evicted; re-inserting it evicts the next LRU (512).
+  EXPECT_FALSE(C.accessLine(256, false));
+  EXPECT_FALSE(C.accessLine(512, false));
+}
+
+TEST(CacheSim, WriteBackCounting) {
+  CacheSim C(CacheConfig{1024, 32, 1}); // 32 lines
+  C.accessLine(0, true);                // dirty
+  C.accessLine(1024, false);            // evicts dirty line 0
+  EXPECT_EQ(C.stats().WriteBacks, 1u);
+  C.accessLine(2048, false); // evicts clean line
+  EXPECT_EQ(C.stats().WriteBacks, 1u);
+  // Write hit marks dirty; later eviction writes back.
+  C.accessLine(2048, true);
+  C.accessLine(0, false);
+  EXPECT_EQ(C.stats().WriteBacks, 2u);
+}
+
+TEST(CacheSim, ReadsAndWritesCounted) {
+  CacheSim C(CacheConfig::base16K());
+  C.accessLine(0, false);
+  C.accessLine(0, true);
+  C.accessLine(0, true);
+  EXPECT_EQ(C.stats().Reads, 1u);
+  EXPECT_EQ(C.stats().Writes, 2u);
+}
+
+TEST(CacheSim, MultiLineAccess) {
+  CacheSim C(CacheConfig::base16K());
+  // 8 bytes straddling a line boundary touches two lines.
+  EXPECT_FALSE(C.access(28, 8, false));
+  EXPECT_EQ(C.stats().Accesses, 2u);
+  EXPECT_EQ(C.stats().Misses, 2u);
+  EXPECT_TRUE(C.access(28, 8, false));
+}
+
+TEST(CacheSim, FullyAssociativeNoConflicts) {
+  CacheSim C(CacheConfig{1024, 32, 0}); // 32 lines, any placement
+  // 32 distinct lines that would all map to one set in a direct-mapped
+  // cache of the same size.
+  for (int64_t I = 0; I < 32; ++I)
+    C.accessLine(I * 1024, false);
+  for (int64_t I = 0; I < 32; ++I)
+    EXPECT_TRUE(C.accessLine(I * 1024, false)) << I;
+}
+
+TEST(CacheSim, FullyAssociativeLRUEviction) {
+  CacheSim C(CacheConfig{128, 32, 0}); // 4 lines
+  for (int64_t I = 0; I < 4; ++I)
+    C.accessLine(I * 32, false);
+  C.accessLine(0, false);       // MRU: 0
+  C.accessLine(4 * 32, false);  // evicts line 1 (LRU)
+  EXPECT_TRUE(C.accessLine(0, false));
+  EXPECT_FALSE(C.accessLine(32, false)); // was evicted
+}
+
+TEST(CacheSim, FullyAssociativeWriteBack) {
+  CacheSim C(CacheConfig{128, 32, 0});
+  C.accessLine(0, true);
+  for (int64_t I = 1; I <= 4; ++I)
+    C.accessLine(I * 32, false); // pushes dirty line 0 out
+  EXPECT_EQ(C.stats().WriteBacks, 1u);
+}
+
+TEST(CacheSim, ResetClearsEverything) {
+  CacheSim C(CacheConfig::base16K());
+  C.accessLine(0, true);
+  C.reset();
+  EXPECT_EQ(C.stats().Accesses, 0u);
+  EXPECT_FALSE(C.accessLine(0, false)); // cold again
+}
+
+TEST(CacheSim, MissRate) {
+  CacheSim C(CacheConfig::base16K());
+  C.accessLine(0, false);
+  C.accessLine(0, false);
+  C.accessLine(0, false);
+  C.accessLine(0, false);
+  EXPECT_DOUBLE_EQ(C.stats().missRate(), 0.25);
+  CacheStats Empty;
+  EXPECT_DOUBLE_EQ(Empty.missRate(), 0.0);
+}

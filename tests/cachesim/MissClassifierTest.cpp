@@ -1,0 +1,82 @@
+//===----------------------------------------------------------------------===//
+//
+// Part of the padx project, under the Apache License v2.0.
+//
+//===----------------------------------------------------------------------===//
+
+#include "cachesim/MissClassifier.h"
+
+#include "gtest/gtest.h"
+
+using namespace padx;
+using namespace padx::sim;
+
+TEST(MissClassifier, FirstTouchIsCompulsory) {
+  MissClassifier MC(CacheConfig::base16K());
+  MC.accessLine(0, false);
+  EXPECT_EQ(MC.breakdown().Compulsory, 1u);
+  EXPECT_EQ(MC.breakdown().Capacity, 0u);
+  EXPECT_EQ(MC.breakdown().Conflict, 0u);
+}
+
+TEST(MissClassifier, ConflictMissDetected) {
+  // Two lines mapping to the same direct-mapped set ping-pong: after the
+  // compulsory pair, every miss is a conflict (a fully-associative cache
+  // of the same size would hit).
+  MissClassifier MC(CacheConfig::base16K());
+  for (int Round = 0; Round < 10; ++Round) {
+    MC.accessLine(0, false);
+    MC.accessLine(16384, false);
+  }
+  const MissBreakdown &B = MC.breakdown();
+  EXPECT_EQ(B.Compulsory, 2u);
+  EXPECT_EQ(B.Conflict, 18u);
+  EXPECT_EQ(B.Capacity, 0u);
+  EXPECT_EQ(B.Hits, 0u);
+}
+
+TEST(MissClassifier, CapacityMissDetected) {
+  // Cycling through 2x the cache's lines defeats LRU entirely: after
+  // the cold pass every miss is a capacity miss (full associativity
+  // would not help).
+  CacheConfig Small{1024, 32, 1}; // 32 lines
+  MissClassifier MC(Small);
+  for (int Round = 0; Round < 3; ++Round)
+    for (int64_t L = 0; L < 64; ++L)
+      MC.accessLine(L * 32, false);
+  const MissBreakdown &B = MC.breakdown();
+  EXPECT_EQ(B.Compulsory, 64u);
+  EXPECT_EQ(B.Capacity, 128u);
+  EXPECT_EQ(B.Conflict, 0u);
+}
+
+TEST(MissClassifier, HitsCounted) {
+  MissClassifier MC(CacheConfig::base16K());
+  MC.accessLine(0, false);
+  MC.accessLine(0, false);
+  MC.accessLine(8, true);
+  EXPECT_EQ(MC.breakdown().Hits, 2u);
+  EXPECT_EQ(MC.breakdown().Accesses, 3u);
+  EXPECT_EQ(MC.breakdown().misses(), 1u);
+}
+
+TEST(MissClassifier, RatesAndReset) {
+  MissClassifier MC(CacheConfig::base16K());
+  MC.accessLine(0, false);
+  MC.accessLine(16384, false);
+  MC.accessLine(0, false);
+  MC.accessLine(16384, false);
+  EXPECT_DOUBLE_EQ(MC.breakdown().missRate(), 1.0);
+  EXPECT_DOUBLE_EQ(MC.breakdown().conflictRate(), 0.5);
+  MC.reset();
+  EXPECT_EQ(MC.breakdown().Accesses, 0u);
+  MC.accessLine(0, false);
+  EXPECT_EQ(MC.breakdown().Compulsory, 1u);
+}
+
+TEST(MissClassifier, MultiLineAccess) {
+  MissClassifier MC(CacheConfig::base16K());
+  MC.access(28, 8, false); // straddles two lines
+  EXPECT_EQ(MC.breakdown().Accesses, 2u);
+  EXPECT_EQ(MC.breakdown().Compulsory, 2u);
+}

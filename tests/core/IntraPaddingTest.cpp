@@ -1,0 +1,201 @@
+//===----------------------------------------------------------------------===//
+//
+// Part of the padx project, under the Apache License v2.0.
+//
+//===----------------------------------------------------------------------===//
+
+#include "core/IntraPadding.h"
+
+#include "analysis/FirstConflict.h"
+#include "frontend/Parser.h"
+#include "kernels/Kernels.h"
+#include "support/MathExtras.h"
+
+#include "gtest/gtest.h"
+
+using namespace padx;
+using namespace padx::pad;
+
+namespace {
+
+ir::Program parseOrDie(std::string_view Src) {
+  DiagnosticEngine Diags;
+  auto P = frontend::parseProgram(Src, Diags);
+  EXPECT_TRUE(P) << Diags.str();
+  return std::move(*P);
+}
+
+constexpr int64_t kElem = 8;
+
+} // namespace
+
+TEST(IntraPadLiteCondition, ColumnMultipleOfCache) {
+  ir::Program P = parseOrDie("program p\narray A : real[2048, 8]\n");
+  layout::DataLayout DL(P);
+  CacheConfig Cache = CacheConfig::base16K(); // 2048 elements
+  EXPECT_TRUE(intraPadLiteCondition(DL, 0, Cache, 4));
+  DL.layout(0).Dims[0] = 2048 + 16; // 16 elements = M lines
+  EXPECT_FALSE(intraPadLiteCondition(DL, 0, Cache, 4));
+}
+
+TEST(IntraPadLiteCondition, TwiceColumnNearMultiple) {
+  // 2 * 1024 elements == cache size.
+  ir::Program P = parseOrDie("program p\narray A : real[1024, 8]\n");
+  layout::DataLayout DL(P);
+  EXPECT_TRUE(intraPadLiteCondition(DL, 0, CacheConfig::base16K(), 4));
+}
+
+TEST(IntraPadLiteCondition, Rank3ChecksPlaneSubarrays) {
+  // 64x64 plane of doubles = 32K = 2 * 16K: triggers on the second
+  // subarray even though the column (512B) is fine.
+  ir::Program P = parseOrDie("program p\narray A : real[64, 64, 8]\n");
+  layout::DataLayout DL(P);
+  EXPECT_TRUE(intraPadLiteCondition(DL, 0, CacheConfig::base16K(), 4));
+}
+
+TEST(IntraPadLiteCondition, ScalarAnd1DNeverTrigger) {
+  ir::Program P =
+      parseOrDie("program p\narray S : real\narray V : real[16384]\n");
+  layout::DataLayout DL(P);
+  EXPECT_FALSE(intraPadLiteCondition(DL, 0, CacheConfig::base16K(), 4));
+  EXPECT_FALSE(intraPadLiteCondition(DL, 1, CacheConfig::base16K(), 4));
+}
+
+TEST(IntraPadCondition, ColumnStrideConflict) {
+  // A(j,i-1) and A(j,i+1) two columns apart; with 1024-element columns
+  // on a 2048-element cache the distance is a cache multiple.
+  ir::Program P = parseOrDie(R"(program p
+array A : real[1024, 16]
+loop i = 2, 15 {
+  loop j = 1, 1024 {
+    A[j, i] = A[j, i-1] + A[j, i+1]
+  }
+}
+)");
+  layout::DataLayout DL(P);
+  CacheConfig Cache{2048 * kElem, 4 * kElem, 1};
+  EXPECT_TRUE(intraPadCondition(DL, 0, Cache));
+  DL.layout(0).Dims[0] = 1026;
+  EXPECT_FALSE(intraPadCondition(DL, 0, Cache));
+}
+
+TEST(IntraPadCondition, AdjacentElementsAreSpatialReuseNotConflict) {
+  ir::Program P = parseOrDie(R"(program p
+array A : real[2048, 4]
+loop i = 1, 4 {
+  loop j = 2, 2047 {
+    A[j, i] = A[j-1, i] + A[j+1, i]
+  }
+}
+)");
+  layout::DataLayout DL(P);
+  EXPECT_FALSE(intraPadCondition(DL, 0, CacheConfig::base16K()));
+}
+
+TEST(LinPad1Condition, DivisibilityByTwoLines) {
+  ir::Program P = parseOrDie("program p\narray A : real[512, 8]\n");
+  layout::DataLayout DL(P);
+  CacheConfig Cache = CacheConfig::base16K();
+  // 512 * 8 = 4096 bytes, divisible by 64.
+  EXPECT_TRUE(linPad1Condition(DL, 0, Cache));
+  DL.layout(0).Dims[0] = 513; // 4104 % 64 == 8
+  EXPECT_FALSE(linPad1Condition(DL, 0, Cache));
+}
+
+TEST(LinPad2Condition, PaperColumnSizes) {
+  // On a 1024-element cache with 4-element lines, column size 273
+  // first-conflicts at j = 15 < j* — rejected; a 257-element column
+  // first-conflicts at 255 (251*257 = 64507 = 63*1024 - 5 ... compute by
+  // the reference implementation) — accepted iff >= j*.
+  ir::Program P = parseOrDie("program p\narray A : real[273, 300]\n");
+  layout::DataLayout DL(P);
+  CacheConfig Cache{1024 * kElem, 4 * kElem, 1};
+  EXPECT_TRUE(linPad2Condition(DL, 0, Cache, 129));
+
+  int64_t FC257 = analysis::firstConflictBruteForce(1024, 257, 4);
+  DL.layout(0).Dims[0] = 257;
+  EXPECT_EQ(linPad2Condition(DL, 0, Cache, 129), FC257 < 129);
+}
+
+TEST(LinPad2Condition, RowCeilingDisablesSmallArrays) {
+  // With only 8 columns, j* = 8; a column conflicting first at j = 15
+  // is tolerated.
+  ir::Program P = parseOrDie("program p\narray A : real[273, 8]\n");
+  layout::DataLayout DL(P);
+  CacheConfig Cache{1024 * kElem, 4 * kElem, 1};
+  EXPECT_EQ(analysis::firstConflict(1024, 273, 4), 15);
+  EXPECT_FALSE(linPad2Condition(DL, 0, Cache, 129));
+}
+
+TEST(ApplyIntraPadding, ErlePlanePadding) {
+  // ERLE's X(i,j,k) vs X(i,j,k-1) are one 32KB plane apart == 0 mod 16K:
+  // the precise heuristic must pad some lower dimension.
+  ir::Program P = kernels::makeKernel("erle", 64);
+  layout::DataLayout DL(P);
+  analysis::SafetyInfo Safety = analysis::analyzeSafety(P);
+  std::vector<bool> LinAlg(P.arrays().size(), false);
+  std::vector<CacheConfig> Levels = {CacheConfig::base16K()};
+  PaddingScheme S = PaddingScheme::pad();
+  PaddingStats Stats;
+  applyIntraPadding(DL, Safety, LinAlg, Levels, S, Stats);
+  unsigned X = *P.findArray("X");
+  int64_t PlaneBytes = DL.dimSize(X, 0) * DL.dimSize(X, 1) * 8;
+  EXPECT_GE(distanceToMultiple(PlaneBytes, 16384), 32);
+  EXPECT_GE(Stats.ArraysPadded, 1u);
+}
+
+TEST(ApplyIntraPadding, RespectsSafety) {
+  ir::Program P = parseOrDie(R"(program p
+array A : real[2048, 8] param
+loop i = 2, 7 {
+  loop j = 1, 2048 {
+    A[j, i] = A[j, i-1] + A[j, i+1]
+  }
+}
+)");
+  layout::DataLayout DL(P);
+  analysis::SafetyInfo Safety = analysis::analyzeSafety(P);
+  std::vector<bool> LinAlg(1, false);
+  std::vector<CacheConfig> Levels = {CacheConfig::base16K()};
+  PaddingStats Stats;
+  applyIntraPadding(DL, Safety, LinAlg, Levels, PaddingScheme::pad(),
+                    Stats);
+  EXPECT_EQ(DL.dimSize(0, 0), 2048); // untouched
+  EXPECT_EQ(Stats.ArraysPadded, 0u);
+}
+
+TEST(ApplyIntraPadding, SmallPadsOnBaseCache) {
+  // The paper reports pads of at most 3 elements on the 16K cache for
+  // its kernels; check the precise heuristic stays small on JACOBI at a
+  // pathological size.
+  ir::Program P = kernels::makeKernel("jacobi", 1024);
+  layout::DataLayout DL(P);
+  analysis::SafetyInfo Safety = analysis::analyzeSafety(P);
+  std::vector<bool> LinAlg(P.arrays().size(), false);
+  std::vector<CacheConfig> Levels = {CacheConfig::base16K()};
+  PaddingStats Stats;
+  applyIntraPadding(DL, Safety, LinAlg, Levels, PaddingScheme::pad(),
+                    Stats);
+  EXPECT_LE(Stats.MaxIntraIncrElems, 3);
+}
+
+TEST(ApplyIntraPadding, TerminationBoundIsLogged) {
+  ir::Program P = parseOrDie(R"(program p
+array A : real[2048, 8]
+loop i = 2, 7 {
+  loop j = 1, 2048 {
+    A[j, i] = A[j, i-1] + A[j, i+1]
+  }
+}
+)");
+  layout::DataLayout DL(P);
+  analysis::SafetyInfo Safety = analysis::analyzeSafety(P);
+  std::vector<bool> LinAlg(1, false);
+  std::vector<CacheConfig> Levels = {CacheConfig::base16K()};
+  PaddingScheme S = PaddingScheme::pad();
+  S.MaxIntraPadPerDim = 1; // too small to clear the conflict
+  PaddingStats Stats;
+  applyIntraPadding(DL, Safety, LinAlg, Levels, S, Stats);
+  ASSERT_EQ(Stats.Log.size(), 1u);
+  EXPECT_NE(Stats.Log[0].find("termination bound"), std::string::npos);
+}

@@ -1,0 +1,90 @@
+//===----------------------------------------------------------------------===//
+//
+// Part of the padx project, under the Apache License v2.0.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The multilevel generalization the paper sketches in Section 2.1.2:
+/// "compute conflict distances with respect to each cache configuration
+/// and pad as needed if any distance is less than the corresponding
+/// cache line size."
+///
+//===----------------------------------------------------------------------===//
+
+#include "core/Padding.h"
+
+#include "frontend/Parser.h"
+#include "support/MathExtras.h"
+
+#include "gtest/gtest.h"
+
+using namespace padx;
+using namespace padx::pad;
+
+namespace {
+
+ir::Program parseOrDie(std::string_view Src) {
+  DiagnosticEngine Diags;
+  auto P = frontend::parseProgram(Src, Diags);
+  EXPECT_TRUE(P) << Diags.str();
+  return std::move(*P);
+}
+
+} // namespace
+
+TEST(MultiLevel, PadsForEveryLevel) {
+  // Two 64KB arrays: their packed separation is a multiple of both an
+  // 8K L1 and a 64K L2. Single-level padding for L1 could legally pick
+  // a base that still conflicts on L2; the multilevel driver must clear
+  // both.
+  ir::Program P = parseOrDie(R"(program p
+array A : real[8192]
+array B : real[8192]
+loop i = 1, 8192 {
+  B[i] = A[i]
+}
+)");
+  MachineModel M;
+  M.Levels = {CacheConfig{8 * 1024, 32, 1}, CacheConfig{64 * 1024, 64, 1}};
+  PaddingResult R = applyPadding(P, M, PaddingScheme::pad());
+  int64_t Dist =
+      R.Layout.layout(1).BaseAddr - R.Layout.layout(0).BaseAddr;
+  EXPECT_GE(distanceToMultiple(Dist, 8 * 1024), 32);
+  EXPECT_GE(distanceToMultiple(Dist, 64 * 1024), 64);
+}
+
+TEST(MultiLevel, SetAssociativeLevelUsesWaySpan) {
+  // For a k-way cache, addresses contend for one set when they differ by
+  // a multiple of SizeBytes / k. A 4-way 64K cache has a 16K way span;
+  // two arrays 16K apart map to the same set.
+  ir::Program P = parseOrDie(R"(program p
+array A : real[2048]
+array B : real[2048]
+loop i = 1, 2048 {
+  B[i] = A[i]
+}
+)");
+  MachineModel M;
+  M.Levels = {CacheConfig{64 * 1024, 32, 4}};
+  PaddingResult R = applyPadding(P, M, PaddingScheme::pad());
+  int64_t Dist =
+      R.Layout.layout(1).BaseAddr - R.Layout.layout(0).BaseAddr;
+  EXPECT_GE(distanceToMultiple(Dist, 16 * 1024), 32);
+}
+
+TEST(MultiLevel, FullyAssociativeLevelsIgnored) {
+  ir::Program P = parseOrDie(R"(program p
+array A : real[2048]
+array B : real[2048]
+loop i = 1, 2048 {
+  B[i] = A[i]
+}
+)");
+  MachineModel M;
+  M.Levels = {CacheConfig{16 * 1024, 32, 0},
+              CacheConfig{16 * 1024, 32, 1}};
+  PaddingResult R = applyPadding(P, M, PaddingScheme::pad());
+  // The direct-mapped level still forces a pad.
+  EXPECT_GT(R.Stats.InterPadBytes, 0);
+}

@@ -1,0 +1,143 @@
+//===----------------------------------------------------------------------===//
+//
+// Part of the padx project, under the Apache License v2.0.
+//
+//===----------------------------------------------------------------------===//
+
+#include "core/Padding.h"
+
+#include "frontend/Parser.h"
+#include "kernels/Kernels.h"
+
+#include "gtest/gtest.h"
+
+using namespace padx;
+using namespace padx::pad;
+
+namespace {
+
+ir::Program parseOrDie(std::string_view Src) {
+  DiagnosticEngine Diags;
+  auto P = frontend::parseProgram(Src, Diags);
+  EXPECT_TRUE(P) << Diags.str();
+  return std::move(*P);
+}
+
+} // namespace
+
+TEST(PaddingDriver, SchemePresetsMatchPaper) {
+  PaddingScheme Lite = PaddingScheme::padLite();
+  EXPECT_EQ(Lite.Intra, Precision::Lite);
+  EXPECT_EQ(Lite.Inter, Precision::Lite);
+  EXPECT_EQ(Lite.LinPad, LinPadKind::LinPad1);
+  EXPECT_FALSE(Lite.LinPadOnlyLinearAlgebra);
+  EXPECT_EQ(Lite.MinSeparationLines, 4);
+
+  PaddingScheme Full = PaddingScheme::pad();
+  EXPECT_EQ(Full.Intra, Precision::Precise);
+  EXPECT_EQ(Full.Inter, Precision::Precise);
+  EXPECT_EQ(Full.LinPad, LinPadKind::LinPad2);
+  EXPECT_TRUE(Full.LinPadOnlyLinearAlgebra);
+  EXPECT_EQ(Full.JStarCap, 129);
+
+  EXPECT_FALSE(PaddingScheme::interPadOnly().EnableIntra);
+}
+
+TEST(PaddingDriver, AlwaysAssignsAllBases) {
+  for (const char *Name : {"jacobi", "dgefa", "irr", "shal"}) {
+    ir::Program P = kernels::makeKernel(Name, 64);
+    PaddingResult R = runPad(P);
+    EXPECT_TRUE(R.Layout.allBasesAssigned()) << Name;
+  }
+}
+
+TEST(PaddingDriver, FullyAssociativeCacheDisablesPadding) {
+  ir::Program P = kernels::makeKernel("jacobi", 512);
+  CacheConfig Fully{16 * 1024, 32, 0};
+  PaddingResult R =
+      applyPadding(P, MachineModel::singleLevel(Fully),
+                   PaddingScheme::pad());
+  EXPECT_TRUE(R.Layout.allBasesAssigned());
+  EXPECT_EQ(R.Stats.ArraysPadded, 0u);
+  EXPECT_EQ(R.Stats.InterPadBytes, 0);
+}
+
+TEST(PaddingDriver, StatsTable2Columns) {
+  ir::Program P = kernels::makeKernel("jacobi", 512);
+  PaddingResult R = runPad(P);
+  EXPECT_EQ(R.Stats.GlobalArrays, 2u);
+  EXPECT_DOUBLE_EQ(R.Stats.PercentUniformRefs, 100.0);
+  EXPECT_EQ(R.Stats.ArraysSafe, 2u);
+  // JACOBI512 on the base cache needs only inter-variable padding.
+  EXPECT_EQ(R.Stats.ArraysPadded, 0u);
+  EXPECT_GT(R.Stats.InterPadBytes, 0);
+  EXPECT_LT(R.Stats.PercentSizeIncrease, 1.0);
+  EXPECT_FALSE(R.Stats.InterFallback);
+}
+
+TEST(PaddingDriver, MemoryOverheadStaysUnderOnePercent) {
+  // The paper reports under 1% size increase for every program.
+  for (const auto &K : kernels::allKernels()) {
+    ir::Program P = kernels::makeKernel(K.Name);
+    PaddingResult R = runPad(P);
+    EXPECT_LT(R.Stats.PercentSizeIncrease, 1.5) << K.Name;
+  }
+}
+
+TEST(PaddingDriver, PadNeverFallsBackOnBenchmarks) {
+  // "In our experiments PAD has always found a non-conflicting base
+  //  address."
+  for (const auto &K : kernels::allKernels()) {
+    ir::Program P = kernels::makeKernel(K.Name);
+    PaddingResult R = runPad(P);
+    EXPECT_FALSE(R.Stats.InterFallback) << K.Name;
+  }
+}
+
+TEST(PaddingDriver, IntraRunsBeforeInter) {
+  // If inter ran first, A's grown column would not be reflected in B's
+  // base address. The driver must produce a packed-after-padding layout:
+  // B's base equals A's padded size (plus any inter pad).
+  ir::Program P = parseOrDie(R"(program p
+array A : real[1024, 16]
+array B : real[1024, 16]
+loop i = 2, 15 {
+  loop j = 1, 1024 {
+    A[j, i] = A[j, i-1] + A[j, i+1] + B[j, i]
+  }
+}
+)");
+  CacheConfig Cache{2048 * 8, 32, 1};
+  PaddingResult R =
+      applyPadding(P, MachineModel::singleLevel(Cache),
+                   PaddingScheme::pad());
+  unsigned A = *P.findArray("A");
+  unsigned B = *P.findArray("B");
+  ASSERT_GT(R.Layout.dimSize(A, 0), 1024);
+  EXPECT_GE(R.Layout.layout(B).BaseAddr,
+            R.Layout.dimSize(A, 0) * 16 * 8);
+}
+
+TEST(PaddingDriver, DisabledInterStillAssignsSequentially) {
+  ir::Program P = kernels::makeKernel("jacobi", 512);
+  PaddingScheme S = PaddingScheme::pad();
+  S.EnableInter = false;
+  PaddingResult R = applyPadding(
+      P, MachineModel::singleLevel(CacheConfig::base16K()), S);
+  EXPECT_TRUE(R.Layout.allBasesAssigned());
+  EXPECT_EQ(R.Stats.InterPadBytes, 0);
+}
+
+TEST(PaddingDriver, LinPad2OnlyTouchesLinearAlgebraArrays) {
+  // CHOL's A is linear algebra; JACOBI's arrays are not. With a column
+  // size LinPad2 dislikes (power of two), PAD pads CHOL but leaves
+  // JACOBI's columns to the stencil conditions only.
+  ir::Program Chol = kernels::makeKernel("chol", 256);
+  PaddingResult RC = runPad(Chol);
+  EXPECT_GT(RC.Layout.dimSize(*Chol.findArray("A"), 0), 256);
+
+  ir::Program Jac = kernels::makeKernel("jacobi", 300);
+  // 300 columns on 16K: no stencil conflict, and LinPad2 must not apply.
+  PaddingResult RJ = runPad(Jac);
+  EXPECT_EQ(RJ.Layout.dimSize(*Jac.findArray("A"), 0), 300);
+}

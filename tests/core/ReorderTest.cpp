@@ -1,0 +1,89 @@
+//===----------------------------------------------------------------------===//
+//
+// Part of the padx project, under the Apache License v2.0.
+//
+//===----------------------------------------------------------------------===//
+
+#include "core/Padding.h"
+
+#include "analysis/ConflictReport.h"
+#include "frontend/Parser.h"
+
+#include "gtest/gtest.h"
+
+using namespace padx;
+using namespace padx::pad;
+
+namespace {
+
+ir::Program parseOrDie(std::string_view Src) {
+  DiagnosticEngine Diags;
+  auto P = frontend::parseProgram(Src, Diags);
+  EXPECT_TRUE(P) << Diags.str();
+  return std::move(*P);
+}
+
+} // namespace
+
+TEST(Reorder, SortsMovableVariablesBySize) {
+  ir::Program P = parseOrDie(R"(program p
+array SMALL : real[16]
+array BIG : real[4096]
+array MID : real[256]
+)");
+  PaddingScheme S = PaddingScheme::pad();
+  S.ReorderBySize = true;
+  PaddingResult R = applyPadding(
+      P, MachineModel::singleLevel(CacheConfig::base16K()), S);
+  unsigned Big = *P.findArray("BIG");
+  unsigned Mid = *P.findArray("MID");
+  unsigned Small = *P.findArray("SMALL");
+  EXPECT_LT(R.Layout.layout(Big).BaseAddr,
+            R.Layout.layout(Mid).BaseAddr);
+  EXPECT_LT(R.Layout.layout(Mid).BaseAddr,
+            R.Layout.layout(Small).BaseAddr);
+}
+
+TEST(Reorder, UnmovableVariablesKeepTheirSlots) {
+  ir::Program P = parseOrDie(R"(program p
+array SMALL : real[16]
+array PINNED : real[64] param
+array BIG : real[4096]
+)");
+  PaddingScheme S = PaddingScheme::pad();
+  S.ReorderBySize = true;
+  PaddingResult R = applyPadding(
+      P, MachineModel::singleLevel(CacheConfig::base16K()), S);
+  // PINNED stays second in memory: after whichever movable took slot 0.
+  unsigned Pinned = *P.findArray("PINNED");
+  unsigned Big = *P.findArray("BIG");
+  unsigned Small = *P.findArray("SMALL");
+  EXPECT_LT(R.Layout.layout(Big).BaseAddr,
+            R.Layout.layout(Pinned).BaseAddr);
+  EXPECT_LT(R.Layout.layout(Pinned).BaseAddr,
+            R.Layout.layout(Small).BaseAddr);
+}
+
+TEST(Reorder, StillEliminatesSevereConflicts) {
+  ir::Program P = parseOrDie(R"(program p
+array A : real[2048]
+array S : real[4]
+array B : real[2048]
+loop i = 1, 2048 {
+  B[i] = A[i]
+}
+)");
+  PaddingScheme S = PaddingScheme::pad();
+  S.ReorderBySize = true;
+  PaddingResult R = applyPadding(
+      P, MachineModel::singleLevel(CacheConfig::base16K()), S);
+  EXPECT_EQ(
+      analysis::countSevereConflicts(R.Layout, CacheConfig::base16K()),
+      0u);
+  EXPECT_TRUE(R.Layout.allBasesAssigned());
+}
+
+TEST(Reorder, OffByDefault) {
+  EXPECT_FALSE(PaddingScheme::pad().ReorderBySize);
+  EXPECT_FALSE(PaddingScheme::padLite().ReorderBySize);
+}

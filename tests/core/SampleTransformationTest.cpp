@@ -1,0 +1,149 @@
+//===----------------------------------------------------------------------===//
+//
+// Part of the padx project, under the Apache License v2.0.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The paper's Section 3 "Sample Transformations": PADLITE and PAD applied
+/// to JACOBI under three (N, cache) settings, with the paper's stated
+/// outcomes as oracles. Quantities are in 8-byte elements; the paper's
+/// element-unit cache sizes C_s = 2048 / 1024 with L_s = 4 correspond to
+/// 16K / 8K byte caches with 32-byte lines. The paper's walkthrough
+/// assumes "only stencil intra-variable padding heuristics are used", so
+/// the PADLITE cases below disable LinPad1 to match; PAD is unaffected
+/// because LinPad2 only applies to linear-algebra arrays and JACOBI is a
+/// stencil.
+///
+//===----------------------------------------------------------------------===//
+
+#include "core/Padding.h"
+
+#include "kernels/Kernels.h"
+#include "support/MathExtras.h"
+
+#include "gtest/gtest.h"
+
+using namespace padx;
+using namespace padx::pad;
+
+namespace {
+
+struct Jacobi {
+  ir::Program P;
+  unsigned A, B;
+
+  explicit Jacobi(int64_t N) : P(kernels::makeKernel("jacobi", N)) {
+    A = *P.findArray("A");
+    B = *P.findArray("B");
+  }
+};
+
+constexpr int64_t kElem = 8;
+
+PaddingResult runStencilPadLite(const ir::Program &P,
+                                const CacheConfig &Cache) {
+  PaddingScheme S = PaddingScheme::padLite();
+  S.LinPad = LinPadKind::None;
+  return applyPadding(P, MachineModel::singleLevel(Cache), S);
+}
+
+} // namespace
+
+TEST(SampleTransformations, N512_Cs2048_PadLite) {
+  // "INTRAPADLITE finds N too small to induce intra-array padding.
+  //  INTERPADLITE begins, putting A at location 0, making the tentative
+  //  location for B 512x512 == 0 mod Cs. B is therefore advanced by M."
+  Jacobi J(512);
+  CacheConfig Cache{2048 * kElem, 4 * kElem, 1};
+  PaddingResult R = runStencilPadLite(J.P, Cache);
+
+  EXPECT_EQ(R.Layout.dimSize(J.A, 0), 512); // no intra padding
+  EXPECT_EQ(R.Layout.dimSize(J.B, 0), 512);
+  EXPECT_EQ(R.Layout.layout(J.A).BaseAddr, 0);
+  int64_t Pad = R.Layout.layout(J.B).BaseAddr - 512 * 512 * kElem;
+  // Advanced by exactly M = 4 lines = 16 elements.
+  EXPECT_EQ(Pad, 4 * 4 * kElem);
+}
+
+TEST(SampleTransformations, N512_Cs2048_Pad) {
+  // "INTRAPAD finds that no A references conflict with one another...
+  //  column sizes of A and B are unchanged. INTERPAD puts A at 0 and
+  //  finds B references conflict in both loops. B's tentative location
+  //  is therefore padded by 5 [elements]."
+  Jacobi J(512);
+  CacheConfig Cache{2048 * kElem, 4 * kElem, 1};
+  PaddingResult R = runPad(J.P, Cache);
+
+  EXPECT_EQ(R.Layout.dimSize(J.A, 0), 512);
+  EXPECT_EQ(R.Layout.dimSize(J.B, 0), 512);
+  EXPECT_EQ(R.Stats.ArraysPadded, 0u);
+  int64_t Pad = R.Layout.layout(J.B).BaseAddr - 512 * 512 * kElem;
+  EXPECT_EQ(Pad, 5 * kElem);
+  // And the pad indeed clears the skewed pair: B(j,i) vs A(j+1,i).
+  EXPECT_GE(distanceToMultiple(Pad - kElem, 2048 * kElem), 4 * kElem);
+}
+
+TEST(SampleTransformations, N512_Cs1024_PadLite) {
+  // "INTRAPADLITE increments the column size of A since 2N mod Cs is 0.
+  //  8 pad elements are sufficient for M... A's column size, and thus
+  //  B's, are increased to 520." Then inter-variable padding separates
+  //  the (still conforming, equal-size) arrays by M.
+  Jacobi J(512);
+  CacheConfig Cache{1024 * kElem, 4 * kElem, 1};
+  PaddingResult R = runStencilPadLite(J.P, Cache);
+  EXPECT_EQ(R.Layout.dimSize(J.A, 0), 520);
+  EXPECT_EQ(R.Layout.dimSize(J.B, 0), 520);
+  EXPECT_EQ(R.Stats.ArraysPadded, 2u);
+}
+
+TEST(SampleTransformations, N512_Cs1024_Pad) {
+  // "INTRAPAD finds that references A(j,i-1) and A(j,i+1) have conflict
+  //  distance 0. Padding A's column size by 2 eliminates all conflicts.
+  //  INTERPAD places A at 0 and then places B immediately at 514x512,
+  //  since A and B are no longer conforming."
+  Jacobi J(512);
+  CacheConfig Cache{1024 * kElem, 4 * kElem, 1};
+  PaddingResult R = runPad(J.P, Cache);
+  EXPECT_EQ(R.Layout.dimSize(J.A, 0), 514);
+  EXPECT_EQ(R.Layout.dimSize(J.B, 0), 512);
+  EXPECT_EQ(R.Layout.layout(J.A).BaseAddr, 0);
+  EXPECT_EQ(R.Layout.layout(J.B).BaseAddr, 514 * 512 * kElem);
+  EXPECT_EQ(R.Stats.ArraysPadded, 1u);
+}
+
+TEST(SampleTransformations, N934_Cs1024_PadLiteMissesConflict) {
+  // "INTERPADLITE applies no inter-variable padding as well since B at
+  //  934x934 == 932 (mod Cs) is sufficiently spaced from A." PADLITE
+  //  therefore fails to fix the severe conflict PAD finds below.
+  Jacobi J(934);
+  CacheConfig Cache{1024 * kElem, 4 * kElem, 1};
+  PaddingResult R = runStencilPadLite(J.P, Cache);
+  EXPECT_EQ(R.Layout.dimSize(J.A, 0), 934);
+  EXPECT_EQ(R.Layout.dimSize(J.B, 0), 934);
+  EXPECT_EQ(R.Layout.layout(J.B).BaseAddr, 934 * 934 * kElem);
+  EXPECT_EQ(R.Stats.InterPadBytes, 0);
+}
+
+TEST(SampleTransformations, N934_Cs1024_PadFindsConflict) {
+  // "INTERPAD however computes a conflict distance of 2 between B(j,i)
+  //  and A(j,i+1) since 934x934 - 934 == -2 (mod Cs) and pads B by 6
+  //  elements."
+  Jacobi J(934);
+  CacheConfig Cache{1024 * kElem, 4 * kElem, 1};
+  PaddingResult R = runPad(J.P, Cache);
+  EXPECT_EQ(R.Layout.dimSize(J.A, 0), 934); // no intra conflicts
+  int64_t Pad = R.Layout.layout(J.B).BaseAddr - 934 * 934 * kElem;
+  EXPECT_EQ(Pad, 6 * kElem);
+}
+
+TEST(SampleTransformations, FullPadLiteAlsoRunsLinPad1) {
+  // Without the walkthrough's simplification, PADLITE also applies
+  // LinPad1 indiscriminately: a 512-element (4096-byte) column is
+  // divisible by 2*L_s = 64 bytes, so the real PADLITE pads columns too.
+  Jacobi J(512);
+  CacheConfig Cache{2048 * kElem, 4 * kElem, 1};
+  PaddingResult R = runPadLite(J.P, Cache);
+  EXPECT_GT(R.Layout.dimSize(J.A, 0), 512);
+  EXPECT_EQ(R.Layout.dimSize(J.A, 0) * kElem % (2 * Cache.LineBytes), 8);
+}

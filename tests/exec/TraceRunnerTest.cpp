@@ -1,0 +1,215 @@
+//===----------------------------------------------------------------------===//
+//
+// Part of the padx project, under the Apache License v2.0.
+//
+//===----------------------------------------------------------------------===//
+
+#include "exec/TraceRunner.h"
+
+#include "frontend/Parser.h"
+#include "layout/DataLayout.h"
+
+#include "gtest/gtest.h"
+
+using namespace padx;
+using namespace padx::exec;
+
+namespace {
+
+ir::Program parseOrDie(std::string_view Src) {
+  DiagnosticEngine Diags;
+  auto P = frontend::parseProgram(Src, Diags);
+  EXPECT_TRUE(P) << Diags.str();
+  return std::move(*P);
+}
+
+std::vector<TraceEvent> trace(const ir::Program &P,
+                              const RunOptions &Opts = RunOptions()) {
+  layout::DataLayout DL = layout::originalLayout(P);
+  TraceRunner Runner(P, DL, Opts);
+  CollectSink Sink;
+  Runner.run(Sink);
+  return Sink.Events;
+}
+
+} // namespace
+
+TEST(TraceRunner, SimpleLoopAddresses) {
+  ir::Program P = parseOrDie(R"(program p
+array A : real[4]
+array B : real[4]
+loop i = 1, 4 {
+  B[i] = A[i]
+}
+)");
+  auto Events = trace(P);
+  // Per iteration: read A[i], write B[i]. B starts at byte 32.
+  ASSERT_EQ(Events.size(), 8u);
+  for (int64_t I = 0; I < 4; ++I) {
+    EXPECT_EQ(Events[2 * I], (TraceEvent{I * 8, 8, false}));
+    EXPECT_EQ(Events[2 * I + 1], (TraceEvent{32 + I * 8, 8, true}));
+  }
+}
+
+TEST(TraceRunner, ColumnMajorAddressing) {
+  ir::Program P = parseOrDie(R"(program p
+array A : real[4, 4]
+loop i = 1, 2 {
+  loop j = 1, 2 {
+    A[j, i] = 1.0
+  }
+}
+)");
+  auto Events = trace(P);
+  ASSERT_EQ(Events.size(), 4u);
+  EXPECT_EQ(Events[0].Addr, 0);      // (1,1)
+  EXPECT_EQ(Events[1].Addr, 8);      // (2,1)
+  EXPECT_EQ(Events[2].Addr, 32);     // (1,2): one column of 4
+  EXPECT_EQ(Events[3].Addr, 40);     // (2,2)
+}
+
+TEST(TraceRunner, PaddedLayoutChangesAddresses) {
+  ir::Program P = parseOrDie(R"(program p
+array A : real[4, 4]
+loop i = 1, 2 {
+  A[1, i] = 1.0
+}
+)");
+  layout::DataLayout DL(P);
+  DL.layout(0).Dims[0] = 6; // padded column
+  DL.layout(0).BaseAddr = 0;
+  TraceRunner Runner(P, DL);
+  CollectSink Sink;
+  Runner.run(Sink);
+  ASSERT_EQ(Sink.Events.size(), 2u);
+  EXPECT_EQ(Sink.Events[0].Addr, 0);
+  EXPECT_EQ(Sink.Events[1].Addr, 6 * 8);
+}
+
+TEST(TraceRunner, TriangularLoopBounds) {
+  ir::Program P = parseOrDie(R"(program p
+array A : real[8]
+loop k = 1, 3 {
+  loop i = k+1, 3 {
+    A[i] = 1.0
+  }
+}
+)");
+  auto Events = trace(P);
+  // k=1: i=2,3; k=2: i=3; k=3: none.
+  ASSERT_EQ(Events.size(), 3u);
+  EXPECT_EQ(Events[0].Addr, 8);
+  EXPECT_EQ(Events[1].Addr, 16);
+  EXPECT_EQ(Events[2].Addr, 16);
+}
+
+TEST(TraceRunner, NegativeStep) {
+  ir::Program P = parseOrDie(R"(program p
+array A : real[4]
+loop i = 4, 1 step -2 {
+  A[i] = 1.0
+}
+)");
+  auto Events = trace(P);
+  ASSERT_EQ(Events.size(), 2u);
+  EXPECT_EQ(Events[0].Addr, 24);
+  EXPECT_EQ(Events[1].Addr, 8);
+}
+
+TEST(TraceRunner, ScalarsPromotedByDefault) {
+  ir::Program P = parseOrDie(R"(program p
+array S : real
+array A : real[4]
+loop i = 1, 4 {
+  S = S + A[i]
+}
+)");
+  auto Events = trace(P);
+  ASSERT_EQ(Events.size(), 4u); // only the A reads
+  RunOptions Opts;
+  Opts.EmitScalarRefs = true;
+  auto WithScalars = trace(P, Opts);
+  EXPECT_EQ(WithScalars.size(), 12u); // S read + A read + S write
+}
+
+TEST(TraceRunner, IdentityIndirection) {
+  ir::Program P = parseOrDie(R"(program p
+array X : real[8]
+array IDX : int[8] init identity
+loop i = 1, 4 {
+  X[IDX[i]] = 2.0
+}
+)");
+  auto Events = trace(P);
+  // Each iteration: 4-byte read of IDX[i], then write of X[i].
+  ASSERT_EQ(Events.size(), 8u);
+  int64_t XBase = 8 * 4; // IDX (32 bytes) precedes... X is declared
+  // first: X at 0, IDX at 64.
+  XBase = 0;
+  for (int64_t I = 0; I < 4; ++I) {
+    EXPECT_EQ(Events[2 * I].Size, 4);
+    EXPECT_FALSE(Events[2 * I].IsWrite);
+    EXPECT_EQ(Events[2 * I].Addr, 64 + I * 4);
+    EXPECT_EQ(Events[2 * I + 1],
+              (TraceEvent{XBase + I * 8, 8, true}));
+  }
+}
+
+TEST(TraceRunner, RandomIndirectionInRangeAndDeterministic) {
+  ir::Program P = parseOrDie(R"(program p
+array X : real[100]
+array IDX : int[50] init random(1, 100, 42)
+loop i = 1, 50 {
+  X[IDX[i]] = 2.0
+}
+)");
+  layout::DataLayout DL = layout::originalLayout(P);
+  TraceRunner R1(P, DL), R2(P, DL);
+  CollectSink S1, S2;
+  R1.run(S1);
+  R2.run(S2);
+  EXPECT_EQ(S1.Events, S2.Events); // seeded: deterministic
+  for (size_t I = 1; I < S1.Events.size(); I += 2) {
+    EXPECT_GE(S1.Events[I].Addr, 0);
+    EXPECT_LT(S1.Events[I].Addr, 100 * 8);
+  }
+}
+
+TEST(TraceRunner, CountAccessesMatchesRun) {
+  ir::Program P = parseOrDie(R"(program p
+array A : real[16, 16]
+loop i = 1, 16 {
+  loop j = 1, 16 {
+    A[j, i] = A[j, i] + 1.0
+  }
+}
+)");
+  layout::DataLayout DL = layout::originalLayout(P);
+  TraceRunner Runner(P, DL);
+  EXPECT_EQ(Runner.countAccesses(), 2u * 16 * 16);
+}
+
+TEST(TraceRunner, EmptyLoopEmitsNothing) {
+  ir::Program P = parseOrDie(R"(program p
+array A : real[4]
+loop i = 5, 4 {
+  A[1] = 1.0
+}
+)");
+  EXPECT_TRUE(trace(P).empty());
+}
+
+TEST(TraceRunner, ReadsPrecedeWritePerStatement) {
+  ir::Program P = parseOrDie(R"(program p
+array A : real[4]
+array B : real[4]
+loop i = 1, 1 {
+  A[i] = B[i] + A[i+1]
+}
+)");
+  auto Events = trace(P);
+  ASSERT_EQ(Events.size(), 3u);
+  EXPECT_FALSE(Events[0].IsWrite);
+  EXPECT_FALSE(Events[1].IsWrite);
+  EXPECT_TRUE(Events[2].IsWrite);
+}

@@ -1,0 +1,110 @@
+//===----------------------------------------------------------------------===//
+//
+// Part of the padx project, under the Apache License v2.0.
+//
+//===----------------------------------------------------------------------===//
+
+#include "frontend/Lexer.h"
+
+#include "gtest/gtest.h"
+
+#include <vector>
+
+using namespace padx;
+using namespace padx::frontend;
+
+namespace {
+
+std::vector<Token> lexAll(std::string_view Src) {
+  DiagnosticEngine Diags;
+  Lexer L(Src, Diags);
+  std::vector<Token> Out;
+  while (true) {
+    Token T = L.next();
+    Out.push_back(T);
+    if (T.is(TokenKind::Eof))
+      return Out;
+  }
+}
+
+} // namespace
+
+TEST(Lexer, KeywordsAndIdentifiers) {
+  auto Toks = lexAll("program array real real4 int loop step foo _bar9");
+  ASSERT_EQ(Toks.size(), 10u);
+  EXPECT_EQ(Toks[0].Kind, TokenKind::KwProgram);
+  EXPECT_EQ(Toks[1].Kind, TokenKind::KwArray);
+  EXPECT_EQ(Toks[2].Kind, TokenKind::KwReal);
+  EXPECT_EQ(Toks[3].Kind, TokenKind::KwReal4);
+  EXPECT_EQ(Toks[4].Kind, TokenKind::KwInt);
+  EXPECT_EQ(Toks[5].Kind, TokenKind::KwLoop);
+  EXPECT_EQ(Toks[6].Kind, TokenKind::KwStep);
+  EXPECT_EQ(Toks[7].Kind, TokenKind::Identifier);
+  EXPECT_EQ(Toks[7].Text, "foo");
+  EXPECT_EQ(Toks[8].Text, "_bar9");
+}
+
+TEST(Lexer, IntegerLiterals) {
+  auto Toks = lexAll("0 42 16384");
+  EXPECT_EQ(Toks[0].IntValue, 0);
+  EXPECT_EQ(Toks[1].IntValue, 42);
+  EXPECT_EQ(Toks[2].IntValue, 16384);
+  EXPECT_EQ(Toks[2].Kind, TokenKind::IntLiteral);
+}
+
+TEST(Lexer, FloatLiterals) {
+  auto Toks = lexAll("0.25 1.0 2e10 3.5e-2");
+  EXPECT_EQ(Toks[0].Kind, TokenKind::FloatLiteral);
+  EXPECT_EQ(Toks[0].Text, "0.25");
+  EXPECT_EQ(Toks[1].Kind, TokenKind::FloatLiteral);
+  EXPECT_EQ(Toks[2].Kind, TokenKind::FloatLiteral);
+  EXPECT_EQ(Toks[3].Kind, TokenKind::FloatLiteral);
+}
+
+TEST(Lexer, DotWithoutDigitsStaysInt) {
+  // "1." is lexed as int 1 (the '.' would be an error token next).
+  DiagnosticEngine Diags;
+  Lexer L("1 2", Diags);
+  EXPECT_EQ(L.next().Kind, TokenKind::IntLiteral);
+  EXPECT_EQ(L.next().Kind, TokenKind::IntLiteral);
+}
+
+TEST(Lexer, Punctuation) {
+  auto Toks = lexAll("[ ] ( ) { } , : = + - * /");
+  std::vector<TokenKind> Expected = {
+      TokenKind::LBracket, TokenKind::RBracket, TokenKind::LParen,
+      TokenKind::RParen,   TokenKind::LBrace,   TokenKind::RBrace,
+      TokenKind::Comma,    TokenKind::Colon,    TokenKind::Equal,
+      TokenKind::Plus,     TokenKind::Minus,    TokenKind::Star,
+      TokenKind::Slash,    TokenKind::Eof};
+  ASSERT_EQ(Toks.size(), Expected.size());
+  for (size_t I = 0; I != Expected.size(); ++I)
+    EXPECT_EQ(Toks[I].Kind, Expected[I]) << "token " << I;
+}
+
+TEST(Lexer, CommentsAndLocations) {
+  auto Toks = lexAll("a # comment with loop array\nb");
+  ASSERT_EQ(Toks.size(), 3u);
+  EXPECT_EQ(Toks[0].Text, "a");
+  EXPECT_EQ(Toks[1].Text, "b");
+  EXPECT_EQ(Toks[0].Loc.Line, 1u);
+  EXPECT_EQ(Toks[1].Loc.Line, 2u);
+  EXPECT_EQ(Toks[1].Loc.Column, 1u);
+}
+
+TEST(Lexer, UnexpectedCharacterProducesErrorToken) {
+  DiagnosticEngine Diags;
+  Lexer L("$", Diags);
+  Token T = L.next();
+  EXPECT_EQ(T.Kind, TokenKind::Error);
+  EXPECT_TRUE(Diags.hasErrors());
+  // Lexing continues after the bad character.
+  EXPECT_EQ(L.next().Kind, TokenKind::Eof);
+}
+
+TEST(Lexer, EofIsSticky) {
+  DiagnosticEngine Diags;
+  Lexer L("", Diags);
+  EXPECT_EQ(L.next().Kind, TokenKind::Eof);
+  EXPECT_EQ(L.next().Kind, TokenKind::Eof);
+}

@@ -1,0 +1,268 @@
+//===----------------------------------------------------------------------===//
+//
+// Part of the padx project, under the Apache License v2.0.
+//
+//===----------------------------------------------------------------------===//
+
+#include "frontend/Parser.h"
+
+#include "gtest/gtest.h"
+
+using namespace padx;
+using namespace padx::ir;
+
+namespace {
+
+std::optional<Program> parse(std::string_view Src,
+                             std::string *Errors = nullptr) {
+  DiagnosticEngine Diags;
+  auto P = frontend::parseProgram(Src, Diags);
+  if (Errors)
+    *Errors = Diags.str();
+  return P;
+}
+
+} // namespace
+
+TEST(Parser, MinimalProgram) {
+  auto P = parse("program p\n");
+  ASSERT_TRUE(P);
+  EXPECT_EQ(P->name(), "p");
+  EXPECT_TRUE(P->arrays().empty());
+  EXPECT_TRUE(P->body().empty());
+}
+
+TEST(Parser, Declarations) {
+  auto P = parse(R"(program p
+array A : real[512, 512]
+array B : real4[10]
+array C : int[0:63]
+array S : real
+array X : real[4, 4] param stassoc common(blk)
+array IDX : int[8] init random(1, 8, 3)
+array ID2 : int[8] init identity
+)");
+  ASSERT_TRUE(P);
+  ASSERT_EQ(P->arrays().size(), 7u);
+  const ArrayVariable &A = P->array(*P->findArray("A"));
+  EXPECT_EQ(A.ElemSize, 8);
+  EXPECT_EQ(A.DimSizes, (std::vector<int64_t>{512, 512}));
+  const ArrayVariable &B = P->array(*P->findArray("B"));
+  EXPECT_EQ(B.ElemSize, 4);
+  const ArrayVariable &C = P->array(*P->findArray("C"));
+  EXPECT_EQ(C.LowerBounds[0], 0);
+  EXPECT_EQ(C.DimSizes[0], 64);
+  EXPECT_TRUE(P->array(*P->findArray("S")).isScalar());
+  const ArrayVariable &X = P->array(*P->findArray("X"));
+  EXPECT_TRUE(X.IsParameter);
+  EXPECT_TRUE(X.HasStorageAssociation);
+  EXPECT_EQ(X.CommonBlock, "blk");
+  const ArrayVariable &IDX = P->array(*P->findArray("IDX"));
+  EXPECT_EQ(IDX.Init, ArrayInitKind::Random);
+  EXPECT_EQ(IDX.RandomMin, 1);
+  EXPECT_EQ(IDX.RandomMax, 8);
+  EXPECT_EQ(IDX.RandomSeed, 3u);
+  EXPECT_EQ(P->array(*P->findArray("ID2")).Init,
+            ArrayInitKind::Identity);
+}
+
+TEST(Parser, JacobiStatement) {
+  auto P = parse(R"(program p
+array A : real[8, 8]
+array B : real[8, 8]
+loop i = 2, 7 {
+  loop j = 2, 7 {
+    B[j, i] = 0.25 * (A[j-1, i] + A[j, i-1] + A[j+1, i] + A[j, i+1])
+  }
+}
+)");
+  ASSERT_TRUE(P);
+  // One assignment with 4 reads + 1 write.
+  EXPECT_EQ(P->numAssigns(), 1u);
+  EXPECT_EQ(P->numRefs(), 5u);
+  // Reads come first, write last.
+  P->forEachAssign([&](const Assign &A2,
+                       const std::vector<const Loop *> &Nest) {
+    ASSERT_EQ(Nest.size(), 2u);
+    EXPECT_EQ(Nest[0]->IndexVar, "i");
+    EXPECT_EQ(Nest[1]->IndexVar, "j");
+    ASSERT_EQ(A2.Refs.size(), 5u);
+    for (size_t I = 0; I < 4; ++I)
+      EXPECT_FALSE(A2.Refs[I].IsWrite);
+    EXPECT_TRUE(A2.Refs[4].IsWrite);
+  });
+}
+
+TEST(Parser, AffineSubscriptForms) {
+  auto P = parse(R"(program p
+array A : real[100]
+loop i = 1, 5 {
+  loop j = 1, 5 {
+    A[i*2 + j - 1] = A[2*i] + A[j] + A[7] + A[-1 + i]
+  }
+}
+)");
+  ASSERT_TRUE(P);
+  EXPECT_EQ(P->numRefs(), 5u);
+}
+
+TEST(Parser, NegativeStepAndAffineBounds) {
+  auto P = parse(R"(program p
+array A : real[10, 10]
+loop k = 1, 9 {
+  loop i = k+1, 10 {
+    A[i, k] = A[i, k]
+  }
+  loop j = 9, 1 step -1 {
+    A[j, k] = A[j, k]
+  }
+}
+)");
+  ASSERT_TRUE(P);
+}
+
+TEST(Parser, IndirectReference) {
+  auto P = parse(R"(program p
+array X : real[100]
+array IDX : int[50] init random(1, 100, 9)
+loop i = 1, 50 {
+  X[IDX[i]] = X[IDX[i]] + 1.0
+}
+)");
+  ASSERT_TRUE(P);
+  unsigned Indirect = 0;
+  P->forEachAssign(
+      [&](const Assign &A, const std::vector<const Loop *> &) {
+        for (const ArrayRef &R : A.Refs)
+          if (R.IndirectDim >= 0) {
+            ++Indirect;
+            EXPECT_EQ(R.IndexArrayId, *P->findArray("IDX"));
+          }
+      });
+  EXPECT_EQ(Indirect, 2u);
+}
+
+TEST(Parser, ScalarAssignment) {
+  auto P = parse(R"(program p
+array S : real
+array A : real[10]
+loop i = 1, 10 {
+  S = S + A[i] * A[i]
+}
+)");
+  ASSERT_TRUE(P);
+  // Refs: read S, read A[i], read A[i], write S.
+  EXPECT_EQ(P->numRefs(), 4u);
+}
+
+TEST(Parser, LoopVariableAsValue) {
+  auto P = parse(R"(program p
+array A : real[10]
+loop i = 1, 10 {
+  A[i] = A[i] * i + 2
+}
+)");
+  ASSERT_TRUE(P);
+  EXPECT_EQ(P->numRefs(), 2u);
+}
+
+// --- Error cases -------------------------------------------------------
+
+TEST(ParserErrors, MissingProgramKeyword) {
+  std::string Errors;
+  EXPECT_FALSE(parse("array A : real[4]\n", &Errors));
+  EXPECT_NE(Errors.find("expected 'program'"), std::string::npos);
+}
+
+TEST(ParserErrors, UnknownArray) {
+  std::string Errors;
+  EXPECT_FALSE(parse("program p\nloop i = 1, 2 { B[i] = 1 }\n", &Errors));
+  EXPECT_NE(Errors.find("unknown array or scalar 'B'"),
+            std::string::npos);
+}
+
+TEST(ParserErrors, Redeclaration) {
+  std::string Errors;
+  EXPECT_FALSE(parse("program p\narray A : real[4]\narray A : real[4]\n",
+                     &Errors));
+  EXPECT_NE(Errors.find("redeclaration of 'A'"), std::string::npos);
+}
+
+TEST(ParserErrors, SubscriptCountMismatch) {
+  std::string Errors;
+  EXPECT_FALSE(parse(
+      "program p\narray A : real[4, 4]\nloop i = 1, 2 { A[i] = 1 }\n",
+      &Errors));
+}
+
+TEST(ParserErrors, ScalarSubscripted) {
+  std::string Errors;
+  EXPECT_FALSE(parse(
+      "program p\narray S : real\nloop i = 1, 2 { S[i] = 1 }\n",
+      &Errors));
+  EXPECT_NE(Errors.find("cannot be subscripted"), std::string::npos);
+}
+
+TEST(ParserErrors, NonLoopVarInSubscript) {
+  std::string Errors;
+  EXPECT_FALSE(parse(
+      "program p\narray A : real[4]\nloop i = 1, 2 { A[q] = 1 }\n",
+      &Errors));
+}
+
+TEST(ParserErrors, ZeroStep) {
+  std::string Errors;
+  EXPECT_FALSE(parse("program p\narray A : real[4]\n"
+                     "loop i = 1, 2 step 0 { A[i] = 1 }\n",
+                     &Errors));
+  EXPECT_NE(Errors.find("non-zero"), std::string::npos);
+}
+
+TEST(ParserErrors, ShadowedLoopVariable) {
+  std::string Errors;
+  EXPECT_FALSE(parse("program p\narray A : real[4]\n"
+                     "loop i = 1, 2 { loop i = 1, 2 { A[i] = 1 } }\n",
+                     &Errors));
+  EXPECT_NE(Errors.find("shadows"), std::string::npos);
+}
+
+TEST(ParserErrors, DeclarationAfterStatement) {
+  std::string Errors;
+  EXPECT_FALSE(parse("program p\narray A : real[4]\n"
+                     "loop i = 1, 2 { A[i] = 1 }\narray B : real[4]\n",
+                     &Errors));
+}
+
+TEST(ParserErrors, RecoveryFindsMultipleErrors) {
+  std::string Errors;
+  EXPECT_FALSE(parse(R"(program p
+array A : real[4]
+loop i = 1, 2 { B[i] = 1 }
+loop j = 1, 2 { C[j] = 1 }
+)",
+                     &Errors));
+  // Both unknown arrays are reported thanks to statement-level recovery.
+  EXPECT_NE(Errors.find("'B'"), std::string::npos);
+  EXPECT_NE(Errors.find("'C'"), std::string::npos);
+}
+
+TEST(ParserErrors, UnmatchedBrace) {
+  std::string Errors;
+  EXPECT_FALSE(parse("program p\narray A : real[4]\n}\n", &Errors));
+  EXPECT_NE(Errors.find("unmatched '}'"), std::string::npos);
+}
+
+TEST(ParserErrors, DoubleIndirection) {
+  std::string Errors;
+  EXPECT_FALSE(parse(R"(program p
+array X : real[10, 10]
+array I1 : int[10] init identity
+array I2 : int[10] init identity
+loop i = 1, 10 {
+  X[I1[i], I2[i]] = 1
+}
+)",
+                     &Errors));
+  EXPECT_NE(Errors.find("at most one indirect subscript"),
+            std::string::npos);
+}

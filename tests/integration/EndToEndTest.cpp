@@ -1,0 +1,160 @@
+//===----------------------------------------------------------------------===//
+//
+// Part of the padx project, under the Apache License v2.0.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Whole-pipeline tests: parse -> analyze -> pad -> trace -> simulate,
+/// asserting the paper's headline behaviors (padding removes specifically
+/// the conflict misses; PADLITE <= PAD; pathological problem sizes are
+/// fixed; untouchable programs stay untouched) and the source-to-source
+/// round trip through the transformed-source emitter.
+///
+//===----------------------------------------------------------------------===//
+
+#include "core/Padding.h"
+#include "experiments/Experiment.h"
+#include "frontend/Parser.h"
+#include "kernels/Kernels.h"
+#include "layout/TransformedSource.h"
+
+#include "gtest/gtest.h"
+
+using namespace padx;
+
+namespace {
+const CacheConfig kBase = CacheConfig::base16K();
+} // namespace
+
+TEST(EndToEnd, PadEliminatesJacobiConflictMisses) {
+  ir::Program P = kernels::makeKernel("jacobi", 512);
+  sim::MissBreakdown Before =
+      expt::classifyMisses(P, layout::originalLayout(P), kBase);
+  // The packed layout of two 2MB arrays conflicts severely.
+  EXPECT_GT(Before.conflictRate(), 0.25);
+
+  pad::PaddingResult R = pad::runPad(P);
+  sim::MissBreakdown After = expt::classifyMisses(P, R.Layout, kBase);
+  // The *severe* (every-iteration) conflicts disappear. A small residue
+  // of non-severe conflicts remains — the pad condition only guarantees
+  // one line of separation, which is the paper's sufficient condition
+  // for severe conflicts, not for all conflicts.
+  EXPECT_LT(After.conflictRate(), Before.conflictRate() / 5);
+  EXPECT_LT(After.conflictRate(), 0.05);
+  EXPECT_EQ(Before.Compulsory, After.Compulsory);
+}
+
+TEST(EndToEnd, DotMotivatingExample) {
+  // Figure 1 of the paper: A and B separated by a multiple of the cache
+  // size miss on every access; padding restores spatial reuse (miss rate
+  // ~ element/line = 25%... the trace has 2 accesses per line of 4
+  // elements each -> 25% after padding, 100% before).
+  ir::Program P = kernels::makeKernel("dot", 4096);
+  expt::MissResult Before = expt::measureOriginal(P, kBase);
+  EXPECT_GT(Before.percent(), 99.0);
+  expt::MissResult After =
+      expt::measurePadded(P, kBase, pad::PaddingScheme::pad());
+  EXPECT_LT(After.percent(), 26.0);
+}
+
+TEST(EndToEnd, PadLiteAlsoFixesPowerOfTwoSizes) {
+  ir::Program P = kernels::makeKernel("jacobi", 512);
+  expt::MissResult Orig = expt::measureOriginal(P, kBase);
+  expt::MissResult Lite =
+      expt::measurePadded(P, kBase, pad::PaddingScheme::padLite());
+  expt::MissResult Full =
+      expt::measurePadded(P, kBase, pad::PaddingScheme::pad());
+  // PADLITE halves-ish the damage (its one-element LinPad1 column pad
+  // leaves a skewed B-vs-A conflict only reference analysis can see),
+  // and PAD does strictly better — the paper's precision ordering.
+  EXPECT_LT(Lite.percent(), Orig.percent() * 0.7);
+  EXPECT_LT(Full.percent(), Lite.percent());
+}
+
+TEST(EndToEnd, PadBeatsPadLiteOnAdversarialSize) {
+  // The paper's N=934 case on a 1024-element (8K) cache: PADLITE sees
+  // nothing, PAD finds the skewed conflict.
+  ir::Program P = kernels::makeKernel("jacobi", 934);
+  CacheConfig Cache{8 * 1024, 32, 1};
+  // Compare conflict misses specifically: at this problem size the 8K
+  // cache also takes heavy capacity misses that no layout change can
+  // remove.
+  sim::MissBreakdown Orig =
+      expt::classifyMisses(P, layout::originalLayout(P), Cache);
+  pad::PaddingScheme LiteScheme = pad::PaddingScheme::padLite();
+  LiteScheme.LinPad = pad::LinPadKind::None; // paper's walkthrough
+  pad::PaddingResult LiteR = pad::applyPadding(
+      P, MachineModel::singleLevel(Cache), LiteScheme);
+  sim::MissBreakdown Lite = expt::classifyMisses(P, LiteR.Layout, Cache);
+  pad::PaddingResult FullR = pad::runPad(P, Cache);
+  sim::MissBreakdown Full = expt::classifyMisses(P, FullR.Layout, Cache);
+
+  EXPECT_NEAR(Lite.conflictRate(), Orig.conflictRate(), 0.01); // no-op
+  EXPECT_LT(Full.conflictRate(), Orig.conflictRate() / 2);     // PAD wins
+}
+
+TEST(EndToEnd, IrregularProgramIsUntouched) {
+  ir::Program P = kernels::makeKernel("irr", 2000);
+  pad::PaddingResult R = pad::runPad(P);
+  EXPECT_EQ(R.Stats.ArraysPadded, 0u);
+  EXPECT_EQ(R.Stats.InterPadBytes, 0);
+  expt::MissResult Orig = expt::measureOriginal(P, kBase);
+  expt::MissResult After = expt::measureMissRate(P, R.Layout, kBase);
+  EXPECT_DOUBLE_EQ(Orig.percent(), After.percent());
+}
+
+TEST(EndToEnd, HigherAssociativityAlsoFixesConflicts) {
+  // Figure 9's premise: a 16-way cache removes the conflicts padding
+  // removes.
+  ir::Program P = kernels::makeKernel("jacobi", 512);
+  expt::MissResult DM = expt::measureOriginal(P, kBase);
+  expt::MissResult Assoc16 =
+      expt::measureOriginal(P, CacheConfig{16 * 1024, 32, 16});
+  expt::MissResult Padded =
+      expt::measurePadded(P, kBase, pad::PaddingScheme::pad());
+  EXPECT_LT(Assoc16.percent(), DM.percent() / 2);
+  EXPECT_NEAR(Padded.percent(), Assoc16.percent(), 5.0);
+}
+
+TEST(EndToEnd, TransformedSourceSimulatesIdentically) {
+  // Source-to-source check: emit the padded program as PadLang, re-parse
+  // it, and verify the packed layout of the emitted program produces the
+  // same miss rate as the padded layout of the original.
+  ir::Program P = kernels::makeKernel("jacobi", 512);
+  pad::PaddingResult R = pad::runPad(P);
+  expt::MissResult Direct = expt::measureMissRate(P, R.Layout, kBase);
+
+  std::string Source = layout::transformedSourceToString(R.Layout);
+  DiagnosticEngine Diags;
+  auto Q = frontend::parseProgram(Source, Diags);
+  ASSERT_TRUE(Q) << Diags.str();
+  expt::MissResult ViaSource = expt::measureOriginal(*Q, kBase);
+  EXPECT_DOUBLE_EQ(Direct.percent(), ViaSource.percent());
+}
+
+TEST(EndToEnd, MultiLevelPaddingHelpsBothLevels) {
+  ir::Program P = kernels::makeKernel("jacobi", 512);
+  CacheConfig L1{8 * 1024, 32, 1};
+  CacheConfig L2{64 * 1024, 64, 1};
+  MachineModel M{{L1, L2}};
+  pad::PaddingResult R =
+      pad::applyPadding(P, M, pad::PaddingScheme::pad());
+  EXPECT_LT(expt::measureMissRate(P, R.Layout, L1).percent(),
+            expt::measureOriginal(P, L1).percent() / 2);
+  EXPECT_LT(expt::measureMissRate(P, R.Layout, L2).percent(),
+            expt::measureOriginal(P, L2).percent() / 2);
+}
+
+TEST(EndToEnd, PaddingNeverHurtsMuchAcrossSuite) {
+  // Sanity property over the whole registry at reduced sizes: PAD's miss
+  // rate is at most the original's plus a small tolerance (padding can
+  // perturb alignment slightly, cf. the paper's EXPL observation).
+  for (const auto &K : kernels::allKernels()) {
+    ir::Program P = kernels::makeKernel(K.Name, 0);
+    expt::MissResult Orig = expt::measureOriginal(P, kBase);
+    expt::MissResult Padded =
+        expt::measurePadded(P, kBase, pad::PaddingScheme::pad());
+    EXPECT_LE(Padded.percent(), Orig.percent() + 2.0) << K.Name;
+  }
+}

@@ -1,0 +1,68 @@
+//===----------------------------------------------------------------------===//
+//
+// Part of the padx project, under the Apache License v2.0.
+//
+//===----------------------------------------------------------------------===//
+
+#include "experiments/Experiment.h"
+
+#include "kernels/Kernels.h"
+
+#include "gtest/gtest.h"
+
+#include <atomic>
+#include <set>
+
+using namespace padx;
+
+TEST(ExperimentHarness, MeasureMatchesManualSimulation) {
+  ir::Program P = kernels::makeKernel("jacobi", 64);
+  layout::DataLayout DL = layout::originalLayout(P);
+  CacheConfig Cache = CacheConfig::base16K();
+
+  sim::CacheSim Sim(Cache);
+  exec::CacheSimSink Sink(Sim);
+  exec::TraceRunner Runner(P, DL);
+  Runner.run(Sink);
+
+  expt::MissResult R = expt::measureMissRate(P, DL, Cache);
+  EXPECT_EQ(R.Accesses, Sim.stats().Accesses);
+  EXPECT_EQ(R.Misses, Sim.stats().Misses);
+}
+
+TEST(ExperimentHarness, ClassifierTotalsMatchSimulator) {
+  ir::Program P = kernels::makeKernel("jacobi", 64);
+  layout::DataLayout DL = layout::originalLayout(P);
+  CacheConfig Cache = CacheConfig::base16K();
+  expt::MissResult R = expt::measureMissRate(P, DL, Cache);
+  sim::MissBreakdown B = expt::classifyMisses(P, DL, Cache);
+  EXPECT_EQ(B.Accesses, R.Accesses);
+  EXPECT_EQ(B.misses(), R.Misses);
+  EXPECT_EQ(B.Hits + B.misses(), B.Accesses);
+}
+
+TEST(ExperimentHarness, MissResultPercent) {
+  expt::MissResult R{200, 50};
+  EXPECT_DOUBLE_EQ(R.percent(), 25.0);
+  expt::MissResult Zero{0, 0};
+  EXPECT_DOUBLE_EQ(Zero.percent(), 0.0);
+}
+
+TEST(ExperimentHarness, ParallelForCoversAllIndices) {
+  constexpr size_t N = 1000;
+  std::vector<std::atomic<int>> Hits(N);
+  expt::parallelFor(N, [&](size_t I) { ++Hits[I]; });
+  for (size_t I = 0; I != N; ++I)
+    EXPECT_EQ(Hits[I].load(), 1) << I;
+}
+
+TEST(ExperimentHarness, ParallelForZeroAndOne) {
+  unsigned Calls = 0;
+  expt::parallelFor(0, [&](size_t) { ++Calls; });
+  EXPECT_EQ(Calls, 0u);
+  expt::parallelFor(1, [&](size_t I) {
+    EXPECT_EQ(I, 0u);
+    ++Calls;
+  });
+  EXPECT_EQ(Calls, 1u);
+}

@@ -1,0 +1,109 @@
+//===----------------------------------------------------------------------===//
+//
+// Part of the padx project, under the Apache License v2.0.
+//
+//===----------------------------------------------------------------------===//
+
+#include "ir/AffineExpr.h"
+
+#include "gtest/gtest.h"
+
+#include <map>
+
+using namespace padx::ir;
+
+namespace {
+
+int64_t evalWith(const AffineExpr &E,
+                 const std::map<std::string, int64_t> &Env) {
+  return E.evaluate([&](const std::string &V) { return Env.at(V); });
+}
+
+} // namespace
+
+TEST(AffineExpr, ConstantBasics) {
+  AffineExpr E = AffineExpr::constant(5);
+  EXPECT_TRUE(E.isConstant());
+  EXPECT_EQ(E.constantPart(), 5);
+  EXPECT_EQ(E.str(), "5");
+  EXPECT_FALSE(E.isIndexPlusConstant());
+}
+
+TEST(AffineExpr, IndexPlusConstant) {
+  AffineExpr E = AffineExpr::index("i", 1, -1);
+  std::string Var;
+  int64_t C;
+  ASSERT_TRUE(E.isIndexPlusConstant(&Var, &C));
+  EXPECT_EQ(Var, "i");
+  EXPECT_EQ(C, -1);
+  EXPECT_EQ(E.str(), "i-1");
+}
+
+TEST(AffineExpr, CoefficientTwoIsNotUniformShape) {
+  AffineExpr E = AffineExpr::index("i", 2, 0);
+  EXPECT_FALSE(E.isIndexPlusConstant());
+  EXPECT_EQ(E.str(), "2*i");
+}
+
+TEST(AffineExpr, AddTermMergesAndCancels) {
+  AffineExpr E = AffineExpr::index("i");
+  E.addTerm("i", 2);
+  EXPECT_EQ(E.coefficientOf("i"), 3);
+  E.addTerm("i", -3);
+  EXPECT_TRUE(E.isConstant());
+}
+
+TEST(AffineExpr, TermsStaySorted) {
+  AffineExpr E;
+  E.addTerm("k", 1);
+  E.addTerm("a", 2);
+  E.addTerm("f", -1);
+  ASSERT_EQ(E.terms().size(), 3u);
+  EXPECT_EQ(E.terms()[0].Var, "a");
+  EXPECT_EQ(E.terms()[1].Var, "f");
+  EXPECT_EQ(E.terms()[2].Var, "k");
+}
+
+TEST(AffineExpr, PlusMinus) {
+  AffineExpr A = AffineExpr::index("i", 1, 3);
+  AffineExpr B = AffineExpr::index("i", 1, 1);
+  AffineExpr Diff = A.minus(B);
+  EXPECT_TRUE(Diff.isConstant());
+  EXPECT_EQ(Diff.constantPart(), 2);
+
+  AffineExpr Sum = A.plus(AffineExpr::index("j", 4, -3));
+  EXPECT_EQ(Sum.constantPart(), 0);
+  EXPECT_EQ(Sum.coefficientOf("i"), 1);
+  EXPECT_EQ(Sum.coefficientOf("j"), 4);
+}
+
+TEST(AffineExpr, Scaled) {
+  AffineExpr E = AffineExpr::index("i", 2, 3).scaled(4);
+  EXPECT_EQ(E.constantPart(), 12);
+  EXPECT_EQ(E.coefficientOf("i"), 8);
+  AffineExpr Z = E.scaled(0);
+  EXPECT_TRUE(Z.isConstant());
+  EXPECT_EQ(Z.constantPart(), 0);
+}
+
+TEST(AffineExpr, Evaluate) {
+  AffineExpr E = AffineExpr::index("i", 3, 7);
+  E.addTerm("j", -2);
+  EXPECT_EQ(evalWith(E, {{"i", 10}, {"j", 4}}), 3 * 10 + 7 - 2 * 4);
+}
+
+TEST(AffineExpr, StrRendering) {
+  AffineExpr E;
+  E.addTerm("i", -1);
+  EXPECT_EQ(E.str(), "-i");
+  E.addTerm("j", 2);
+  EXPECT_EQ(E.plusConstant(-5).str(), "-i+2*j-5");
+  EXPECT_EQ(AffineExpr::constant(0).str(), "0");
+  EXPECT_EQ(AffineExpr::constant(-3).str(), "-3");
+}
+
+TEST(AffineExpr, References) {
+  AffineExpr E = AffineExpr::index("i");
+  EXPECT_TRUE(E.references("i"));
+  EXPECT_FALSE(E.references("j"));
+}

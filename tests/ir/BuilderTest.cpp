@@ -1,0 +1,94 @@
+//===----------------------------------------------------------------------===//
+//
+// Part of the padx project, under the Apache License v2.0.
+//
+//===----------------------------------------------------------------------===//
+
+#include "ir/Builder.h"
+
+#include "ir/Validator.h"
+#include "support/Diagnostics.h"
+
+#include "gtest/gtest.h"
+
+using namespace padx;
+using namespace padx::ir;
+
+TEST(Builder, DeclaresArrays) {
+  ProgramBuilder PB("p");
+  unsigned S = PB.addScalar("s");
+  unsigned A = PB.addArray1D("a", 100);
+  unsigned B = PB.addArray2D("b", 10, 20);
+  unsigned C = PB.addArray3D("c", 2, 3, 4, 4);
+  Program P = PB.take();
+
+  EXPECT_TRUE(P.array(S).isScalar());
+  EXPECT_EQ(P.array(S).sizeBytes(), 8);
+  EXPECT_EQ(P.array(A).rank(), 1u);
+  EXPECT_EQ(P.array(A).numElements(), 100);
+  EXPECT_EQ(P.array(B).rank(), 2u);
+  EXPECT_EQ(P.array(B).numElements(), 200);
+  EXPECT_EQ(P.array(B).columnElems(), 10);
+  EXPECT_EQ(P.array(B).subarrayElems(1), 10);
+  EXPECT_EQ(P.array(C).ElemSize, 4);
+  EXPECT_EQ(P.array(C).sizeBytes(), 2 * 3 * 4 * 4);
+}
+
+TEST(Builder, FindArray) {
+  ProgramBuilder PB("p");
+  unsigned A = PB.addArray1D("a", 10);
+  Program P = PB.take();
+  EXPECT_EQ(P.findArray("a"), A);
+  EXPECT_FALSE(P.findArray("zzz").has_value());
+}
+
+TEST(Builder, NestedLoopsValidate) {
+  ProgramBuilder PB("p");
+  unsigned A = PB.addArray2D("a", 8, 8);
+  PB.beginLoop("i", 1, 8);
+  PB.beginLoop("j", 1, 8);
+  PB.assign({PB.read(A, {PB.idx("j"), PB.idx("i")}),
+             PB.write(A, {PB.idx("j"), PB.idx("i")})});
+  PB.endLoop();
+  PB.endLoop();
+  Program P = PB.take();
+
+  DiagnosticEngine Diags;
+  EXPECT_TRUE(validate(P, Diags)) << Diags.str();
+  EXPECT_EQ(P.numAssigns(), 1u);
+  EXPECT_EQ(P.numRefs(), 2u);
+}
+
+TEST(Builder, TriangularBounds) {
+  ProgramBuilder PB("p");
+  unsigned A = PB.addArray2D("a", 8, 8);
+  PB.beginLoop("k", 1, 8);
+  PB.beginLoop("i", PB.idx("k", 1), PB.cst(8));
+  PB.assign({PB.read(A, {PB.idx("i"), PB.idx("k")}),
+             PB.write(A, {PB.idx("i"), PB.idx("k")})});
+  PB.endLoop();
+  PB.endLoop();
+  Program P = PB.take();
+  DiagnosticEngine Diags;
+  EXPECT_TRUE(validate(P, Diags)) << Diags.str();
+}
+
+TEST(Builder, ForEachAssignReportsNest) {
+  ProgramBuilder PB("p");
+  unsigned A = PB.addArray1D("a", 8);
+  PB.beginLoop("i", 1, 8);
+  PB.assign({PB.write(A, {PB.idx("i")})});
+  PB.beginLoop("j", 1, 8);
+  PB.assign({PB.write(A, {PB.idx("j")})});
+  PB.endLoop();
+  PB.endLoop();
+  Program P = PB.take();
+
+  std::vector<size_t> Depths;
+  P.forEachAssign([&](const Assign &, const std::vector<const Loop *> &N) {
+    Depths.push_back(N.size());
+  });
+  ASSERT_EQ(Depths.size(), 2u);
+  EXPECT_EQ(Depths[0], 1u);
+  EXPECT_EQ(Depths[1], 2u);
+}

@@ -1,0 +1,97 @@
+//===----------------------------------------------------------------------===//
+//
+// Part of the padx project, under the Apache License v2.0.
+//
+//===----------------------------------------------------------------------===//
+
+#include "ir/Printer.h"
+
+#include "ir/Builder.h"
+
+#include "gtest/gtest.h"
+
+#include <sstream>
+
+using namespace padx;
+using namespace padx::ir;
+
+TEST(Printer, ArrayDeclForms) {
+  ArrayVariable V;
+  V.Name = "A";
+  V.ElemSize = 8;
+  V.DimSizes = {512, 512};
+  V.LowerBounds = {1, 1};
+  std::ostringstream OS;
+  printArrayDecl(OS, V);
+  EXPECT_EQ(OS.str(), "array A : real[512, 512]\n");
+}
+
+TEST(Printer, ArrayDeclLowerBoundsAndAttrs) {
+  ArrayVariable V;
+  V.Name = "B";
+  V.ElemSize = 4;
+  V.DimSizes = {64};
+  V.LowerBounds = {0};
+  V.IsParameter = true;
+  V.CommonBlock = "blk";
+  std::ostringstream OS;
+  printArrayDecl(OS, V);
+  EXPECT_EQ(OS.str(), "array B : int[0:63] param common(blk)\n");
+}
+
+TEST(Printer, ArrayDeclInit) {
+  ArrayVariable V;
+  V.Name = "IDX";
+  V.ElemSize = 4;
+  V.DimSizes = {100};
+  V.LowerBounds = {1};
+  V.Init = ArrayInitKind::Random;
+  V.RandomMin = 1;
+  V.RandomMax = 50;
+  V.RandomSeed = 7;
+  std::ostringstream OS;
+  printArrayDecl(OS, V);
+  EXPECT_EQ(OS.str(), "array IDX : int[100] init random(1, 50, 7)\n");
+}
+
+TEST(Printer, ProgramStructure) {
+  ProgramBuilder PB("demo");
+  unsigned A = PB.addArray2D("A", 8, 8);
+  unsigned B = PB.addArray2D("B", 8, 8);
+  PB.beginLoop("i", 2, 7);
+  PB.beginLoop("j", 2, 7);
+  PB.assign({PB.read(A, {PB.idx("j", -1), PB.idx("i")}),
+             PB.read(A, {PB.idx("j", 1), PB.idx("i")}),
+             PB.write(B, {PB.idx("j"), PB.idx("i")})});
+  PB.endLoop();
+  PB.endLoop();
+  Program P = PB.take();
+
+  std::string Out = programToString(P);
+  EXPECT_NE(Out.find("program demo"), std::string::npos);
+  EXPECT_NE(Out.find("array A : real[8, 8]"), std::string::npos);
+  EXPECT_NE(Out.find("loop i = 2, 7 {"), std::string::npos);
+  EXPECT_NE(Out.find("B[j, i] = A[j-1, i] + A[j+1, i]"),
+            std::string::npos);
+}
+
+TEST(Printer, NegativeStepPrinted) {
+  ProgramBuilder PB("p");
+  unsigned A = PB.addArray1D("A", 8);
+  PB.beginLoop("i", 8, 1, -1);
+  PB.assign({PB.write(A, {PB.idx("i")})});
+  PB.endLoop();
+  Program P = PB.take();
+  EXPECT_NE(programToString(P).find("loop i = 8, 1 step -1 {"),
+            std::string::npos);
+}
+
+TEST(Printer, ScalarAndEmptyRhs) {
+  ProgramBuilder PB("p");
+  unsigned S = PB.addScalar("S");
+  PB.beginLoop("i", 1, 4);
+  PB.assign({PB.write(S)});
+  PB.endLoop();
+  Program P = PB.take();
+  EXPECT_NE(programToString(P).find("S = 0"), std::string::npos);
+}

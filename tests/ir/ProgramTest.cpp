@@ -1,0 +1,57 @@
+//===----------------------------------------------------------------------===//
+//
+// Part of the padx project, under the Apache License v2.0.
+//
+//===----------------------------------------------------------------------===//
+
+#include "ir/Program.h"
+
+#include "ir/Builder.h"
+
+#include "gtest/gtest.h"
+
+using namespace padx;
+using namespace padx::ir;
+
+TEST(Program, CountsRefsAcrossNests) {
+  ProgramBuilder PB("p");
+  unsigned A = PB.addArray1D("a", 16);
+  unsigned B = PB.addArray1D("b", 16);
+  PB.assign({PB.read(A, {PB.cst(1)}), PB.write(B, {PB.cst(1)})});
+  PB.beginLoop("i", 1, 16);
+  PB.assign({PB.read(A, {PB.idx("i")}), PB.read(B, {PB.idx("i")}),
+             PB.write(B, {PB.idx("i")})});
+  PB.endLoop();
+  Program P = PB.take();
+  EXPECT_EQ(P.numAssigns(), 2u);
+  EXPECT_EQ(P.numRefs(), 5u);
+}
+
+TEST(Program, ForEachAssignVisitsInExecutionOrder) {
+  ProgramBuilder PB("p");
+  unsigned A = PB.addArray1D("a", 16);
+  PB.assign({PB.write(A, {PB.cst(1)})});
+  PB.beginLoop("i", 1, 4);
+  PB.assign({PB.write(A, {PB.idx("i")})});
+  PB.endLoop();
+  PB.assign({PB.write(A, {PB.cst(2)})});
+  Program P = PB.take();
+
+  std::vector<const Loop *> Inners;
+  P.forEachAssign([&](const Assign &, const std::vector<const Loop *> &N) {
+    Inners.push_back(N.empty() ? nullptr : N.back());
+  });
+  ASSERT_EQ(Inners.size(), 3u);
+  EXPECT_EQ(Inners[0], nullptr);
+  EXPECT_NE(Inners[1], nullptr);
+  EXPECT_EQ(Inners[2], nullptr);
+}
+
+TEST(Program, MoveOnly) {
+  ProgramBuilder PB("p");
+  PB.addArray1D("a", 16);
+  Program P = PB.take();
+  Program Q = std::move(P);
+  EXPECT_EQ(Q.name(), "p");
+  EXPECT_EQ(Q.arrays().size(), 1u);
+}

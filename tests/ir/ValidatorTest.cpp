@@ -1,0 +1,142 @@
+//===----------------------------------------------------------------------===//
+//
+// Part of the padx project, under the Apache License v2.0.
+//
+//===----------------------------------------------------------------------===//
+
+#include "ir/Validator.h"
+
+#include "ir/Builder.h"
+
+#include "gtest/gtest.h"
+
+using namespace padx;
+using namespace padx::ir;
+
+namespace {
+
+bool validateProgram(Program &P, std::string *Errors = nullptr) {
+  DiagnosticEngine Diags;
+  bool OK = validate(P, Diags);
+  if (Errors)
+    *Errors = Diags.str();
+  return OK;
+}
+
+} // namespace
+
+TEST(Validator, AcceptsWellFormedProgram) {
+  ProgramBuilder PB("p");
+  unsigned A = PB.addArray2D("a", 4, 4);
+  PB.beginLoop("i", 1, 4);
+  PB.beginLoop("j", 1, 4);
+  PB.assign({PB.read(A, {PB.idx("j"), PB.idx("i")}),
+             PB.write(A, {PB.idx("j"), PB.idx("i")})});
+  PB.endLoop();
+  PB.endLoop();
+  Program P = PB.take();
+  EXPECT_TRUE(validateProgram(P));
+}
+
+TEST(Validator, RejectsUnknownLoopVariable) {
+  ProgramBuilder PB("p");
+  unsigned A = PB.addArray1D("a", 4);
+  PB.beginLoop("i", 1, 4);
+  ArrayRef R;
+  R.ArrayId = A;
+  R.Subscripts = {AffineExpr::index("q")};
+  R.IsWrite = true;
+  Assign Asn;
+  Asn.Refs.push_back(R);
+  PB.assign(Asn.Refs);
+  PB.endLoop();
+  Program P = PB.take();
+  std::string Errors;
+  EXPECT_FALSE(validateProgram(P, &Errors));
+  EXPECT_NE(Errors.find("unknown loop variable 'q'"), std::string::npos);
+}
+
+TEST(Validator, RejectsWrongSubscriptCount) {
+  ProgramBuilder PB("p");
+  unsigned A = PB.addArray2D("a", 4, 4);
+  PB.beginLoop("i", 1, 4);
+  ArrayRef R;
+  R.ArrayId = A;
+  R.Subscripts = {AffineExpr::index("i")}; // rank 2 needs 2
+  R.IsWrite = true;
+  Assign Asn;
+  Asn.Refs.push_back(R);
+  PB.assign(Asn.Refs);
+  PB.endLoop();
+  Program P = PB.take();
+  std::string Errors;
+  EXPECT_FALSE(validateProgram(P, &Errors));
+  EXPECT_NE(Errors.find("1 subscripts, expected 2"), std::string::npos);
+}
+
+TEST(Validator, RejectsMultipleWrites) {
+  ProgramBuilder PB("p");
+  unsigned A = PB.addArray1D("a", 4);
+  PB.beginLoop("i", 1, 4);
+  PB.assign({PB.write(A, {PB.idx("i")}), PB.write(A, {PB.idx("i")})});
+  PB.endLoop();
+  Program P = PB.take();
+  std::string Errors;
+  EXPECT_FALSE(validateProgram(P, &Errors));
+  EXPECT_NE(Errors.find("exactly one write"), std::string::npos);
+}
+
+TEST(Validator, RejectsReadOnlyAssign) {
+  ProgramBuilder PB("p");
+  unsigned A = PB.addArray1D("a", 4);
+  PB.beginLoop("i", 1, 4);
+  PB.assign({PB.read(A, {PB.idx("i")})});
+  PB.endLoop();
+  Program P = PB.take();
+  EXPECT_FALSE(validateProgram(P));
+}
+
+TEST(Validator, RejectsBadIndexArray) {
+  ProgramBuilder PB("p");
+  unsigned A = PB.addArray1D("a", 4);
+  // Index array must be int (4-byte), rank 1, initialized; use a real
+  // array instead.
+  unsigned Bad = PB.addArray1D("idx", 4, /*ElemSize=*/8);
+  PB.beginLoop("i", 1, 4);
+  ArrayRef R;
+  R.ArrayId = A;
+  R.Subscripts = {AffineExpr::index("i")};
+  R.IsWrite = true;
+  R.IndirectDim = 0;
+  R.IndexArrayId = Bad;
+  Assign Asn;
+  Asn.Refs.push_back(R);
+  PB.assign(Asn.Refs);
+  PB.endLoop();
+  Program P = PB.take();
+  std::string Errors;
+  EXPECT_FALSE(validateProgram(P, &Errors));
+  EXPECT_NE(Errors.find("rank-1 int array"), std::string::npos);
+}
+
+TEST(Validator, RejectsNonPositiveDimension) {
+  Program P("p");
+  ArrayVariable V;
+  V.Name = "a";
+  V.ElemSize = 8;
+  V.DimSizes = {0};
+  V.LowerBounds = {1};
+  P.addArray(std::move(V));
+  DiagnosticEngine Diags;
+  EXPECT_FALSE(validate(P, Diags));
+}
+
+TEST(Validator, RejectsUnsupportedElementSize) {
+  Program P("p");
+  ArrayVariable V;
+  V.Name = "a";
+  V.ElemSize = 2;
+  P.addArray(std::move(V));
+  DiagnosticEngine Diags;
+  EXPECT_FALSE(validate(P, Diags));
+}

@@ -1,0 +1,152 @@
+//===----------------------------------------------------------------------===//
+//
+// Part of the padx project, under the Apache License v2.0.
+//
+//===----------------------------------------------------------------------===//
+
+#include "kernels/Kernels.h"
+
+#include "analysis/UniformRefs.h"
+#include "exec/TraceRunner.h"
+#include "ir/Validator.h"
+#include "layout/DataLayout.h"
+#include "support/Diagnostics.h"
+
+#include "gtest/gtest.h"
+
+using namespace padx;
+using namespace padx::kernels;
+
+TEST(Kernels, RegistryHas34Programs) {
+  EXPECT_EQ(allKernels().size(), 34u);
+  unsigned Kern = 0, NAS = 0, S95 = 0, S92 = 0;
+  for (const auto &K : allKernels())
+    switch (K.Tier) {
+    case Suite::Kernel:
+      ++Kern;
+      break;
+    case Suite::NAS:
+      ++NAS;
+      break;
+    case Suite::Spec95:
+      ++S95;
+      break;
+    case Suite::Spec92:
+      ++S92;
+      break;
+    }
+  EXPECT_EQ(Kern, 14u);
+  EXPECT_EQ(NAS, 8u);
+  EXPECT_EQ(S95, 7u);
+  EXPECT_EQ(S92, 5u);
+}
+
+TEST(Kernels, FindKernel) {
+  ASSERT_NE(findKernel("jacobi"), nullptr);
+  EXPECT_EQ(findKernel("jacobi")->Display, "JACOBI512");
+  EXPECT_EQ(findKernel("nope"), nullptr);
+}
+
+class KernelValidity : public ::testing::TestWithParam<std::string> {};
+
+TEST_P(KernelValidity, ParsesAndValidatesAtDefaultSize) {
+  ir::Program P = makeKernel(GetParam());
+  DiagnosticEngine Diags;
+  EXPECT_TRUE(ir::validate(P, Diags)) << Diags.str();
+  EXPECT_FALSE(P.arrays().empty());
+}
+
+TEST_P(KernelValidity, TraceStaysInsideOwnArrays) {
+  // Every affine access must fall inside the variable it names; an
+  // address outside [base, base+size) means the kernel indexes out of
+  // bounds. (Indirect targets are range-checked by the runner itself.)
+  // Run at a reduced size to keep the test fast.
+  ir::Program P = makeKernel(GetParam(), 24);
+  layout::DataLayout DL = layout::originalLayout(P);
+
+  class BoundsSink : public exec::TraceSink {
+  public:
+    explicit BoundsSink(const layout::DataLayout &DL) : DL(DL) {
+      for (unsigned Id = 0; Id < DL.numArrays(); ++Id)
+        Ends.push_back(DL.layout(Id).BaseAddr + DL.sizeBytes(Id));
+    }
+    void access(int64_t Addr, int32_t Size, bool) override {
+      for (unsigned Id = 0; Id < DL.numArrays(); ++Id)
+        if (Addr >= DL.layout(Id).BaseAddr &&
+            Addr + Size <= Ends[Id])
+          return;
+      ++Violations;
+    }
+    const layout::DataLayout &DL;
+    std::vector<int64_t> Ends;
+    unsigned Violations = 0;
+  } Sink(DL);
+
+  exec::TraceRunner Runner(P, DL);
+  Runner.run(Sink);
+  EXPECT_EQ(Sink.Violations, 0u) << GetParam();
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllKernels, KernelValidity, [] {
+      std::vector<std::string> Names;
+      for (const auto &K : allKernels())
+        Names.push_back(K.Name);
+      return ::testing::ValuesIn(Names);
+    }(),
+    [](const ::testing::TestParamInfo<std::string> &Info) {
+      return Info.param;
+    });
+
+TEST(Kernels, SizeParameterChangesArrays) {
+  ir::Program Small = makeKernel("jacobi", 64);
+  ir::Program Large = makeKernel("jacobi", 256);
+  EXPECT_EQ(Small.array(*Small.findArray("A")).DimSizes[0], 64);
+  EXPECT_EQ(Large.array(*Large.findArray("A")).DimSizes[0], 256);
+}
+
+TEST(Kernels, UniformRefProfiles) {
+  // Affine kernels are fully uniformly generated; indirection- and
+  // stride-based programs are not (Table 2's %UG column shape).
+  EXPECT_DOUBLE_EQ(
+      analysis::percentUniformRefs(makeKernel("jacobi", 64)), 100.0);
+  EXPECT_DOUBLE_EQ(
+      analysis::percentUniformRefs(makeKernel("shal", 64)), 100.0);
+  EXPECT_LT(analysis::percentUniformRefs(makeKernel("irr", 1000)), 50.0);
+  EXPECT_LT(analysis::percentUniformRefs(makeKernel("cgm_like", 256)),
+            90.0);
+  // fpppp_like is the least analyzable program: every array access is
+  // gathered, and only its scalar references count as uniform.
+  EXPECT_LT(
+      analysis::percentUniformRefs(makeKernel("fpppp_like", 256)), 80.0);
+}
+
+TEST(Kernels, SwimSharesShalStructure) {
+  ir::Program Swim = makeKernel("swim", 64);
+  ir::Program Shal = makeKernel("shal", 64);
+  EXPECT_EQ(Swim.arrays().size(), Shal.arrays().size());
+  EXPECT_EQ(Swim.numRefs(), Shal.numRefs());
+  EXPECT_EQ(Swim.name(), "swim64");
+}
+
+TEST(Kernels, OraHasNoArrays) {
+  ir::Program P = makeKernel("ora_like", 100);
+  for (const auto &V : P.arrays())
+    EXPECT_TRUE(V.isScalar());
+}
+
+TEST(Kernels, SourceLinesAreReasonable) {
+  for (const auto &K : allKernels()) {
+    unsigned Lines = kernelSourceLines(K.Name);
+    EXPECT_GT(Lines, 5u) << K.Name;
+    EXPECT_LT(Lines, 200u) << K.Name;
+  }
+}
+
+TEST(Kernels, ShalHas14Arrays) {
+  ir::Program P = makeKernel("shal", 64);
+  unsigned NonScalar = 0;
+  for (const auto &V : P.arrays())
+    NonScalar += !V.isScalar();
+  EXPECT_EQ(NonScalar, 14u);
+}

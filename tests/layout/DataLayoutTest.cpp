@@ -1,0 +1,114 @@
+//===----------------------------------------------------------------------===//
+//
+// Part of the padx project, under the Apache License v2.0.
+//
+//===----------------------------------------------------------------------===//
+
+#include "layout/DataLayout.h"
+
+#include "ir/Builder.h"
+
+#include "gtest/gtest.h"
+
+using namespace padx;
+using namespace padx::ir;
+using namespace padx::layout;
+
+namespace {
+
+Program makeTwoArrays() {
+  ProgramBuilder PB("p");
+  PB.addArray2D("A", 10, 20);
+  PB.addArray1D("B", 7);
+  PB.addScalar("S");
+  return PB.take();
+}
+
+} // namespace
+
+TEST(DataLayout, InitializesFromDeclaredDims) {
+  Program P = makeTwoArrays();
+  DataLayout DL(P);
+  EXPECT_EQ(DL.numArrays(), 3u);
+  EXPECT_EQ(DL.dimSize(0, 0), 10);
+  EXPECT_EQ(DL.dimSize(0, 1), 20);
+  EXPECT_EQ(DL.layout(0).BaseAddr, ArrayLayout::kUnassigned);
+  EXPECT_FALSE(DL.allBasesAssigned());
+}
+
+TEST(DataLayout, SequentialPacking) {
+  Program P = makeTwoArrays();
+  DataLayout DL = originalLayout(P);
+  EXPECT_TRUE(DL.allBasesAssigned());
+  EXPECT_EQ(DL.layout(0).BaseAddr, 0);
+  EXPECT_EQ(DL.layout(1).BaseAddr, 10 * 20 * 8);
+  EXPECT_EQ(DL.layout(2).BaseAddr, 10 * 20 * 8 + 7 * 8);
+  EXPECT_EQ(DL.totalBytes(), 10 * 20 * 8 + 7 * 8 + 8);
+  EXPECT_EQ(DL.sumOfSizes(), DL.totalBytes());
+}
+
+TEST(DataLayout, StridesFollowPaddedDims) {
+  Program P = makeTwoArrays();
+  DataLayout DL(P);
+  EXPECT_EQ(DL.strideElems(0, 0), 1);
+  EXPECT_EQ(DL.strideElems(0, 1), 10);
+  DL.layout(0).Dims[0] = 12; // intra-pad the column
+  EXPECT_EQ(DL.strideElems(0, 1), 12);
+  EXPECT_EQ(DL.numElements(0), 12 * 20);
+  EXPECT_EQ(DL.sizeBytes(0), 12 * 20 * 8);
+  EXPECT_EQ(DL.columnElems(0), 12);
+}
+
+TEST(DataLayout, AddressOfColumnMajor) {
+  Program P = makeTwoArrays();
+  DataLayout DL = originalLayout(P);
+  // Element (1,1) is the first element.
+  int64_t I11[] = {1, 1};
+  EXPECT_EQ(DL.addressOf(0, I11), 0);
+  // (2,1) is one element later (column-major).
+  int64_t I21[] = {2, 1};
+  EXPECT_EQ(DL.addressOf(0, I21), 8);
+  // (1,2) is one column later.
+  int64_t I12[] = {1, 2};
+  EXPECT_EQ(DL.addressOf(0, I12), 10 * 8);
+  // Scalar address is its base.
+  EXPECT_EQ(DL.addressOf(2, {}), DL.layout(2).BaseAddr);
+}
+
+TEST(DataLayout, AddressRespectsLowerBounds) {
+  ProgramBuilder PB("p");
+  ArrayVariable V;
+  V.Name = "E";
+  V.ElemSize = 8;
+  V.DimSizes = {8, 8};
+  V.LowerBounds = {0, -1};
+  PB.addArray(std::move(V));
+  Program P = PB.take();
+  DataLayout DL = originalLayout(P);
+  int64_t First[] = {0, -1};
+  EXPECT_EQ(DL.addressOf(0, First), 0);
+  int64_t Next[] = {1, -1};
+  EXPECT_EQ(DL.addressOf(0, Next), 8);
+  int64_t Col2[] = {0, 0};
+  EXPECT_EQ(DL.addressOf(0, Col2), 64);
+}
+
+TEST(DataLayout, AlignmentOfMixedElementSizes) {
+  ProgramBuilder PB("p");
+  PB.addArray1D("I", 3, /*ElemSize=*/4); // 12 bytes
+  PB.addArray1D("D", 2, /*ElemSize=*/8);
+  Program P = PB.take();
+  DataLayout DL = originalLayout(P);
+  // D must start 8-aligned: 12 rounds up to 16.
+  EXPECT_EQ(DL.layout(1).BaseAddr, 16);
+}
+
+TEST(DataLayout, TotalBytesTracksPaddedBases) {
+  Program P = makeTwoArrays();
+  DataLayout DL(P);
+  DL.layout(0).BaseAddr = 0;
+  DL.layout(1).BaseAddr = 5000;
+  DL.layout(2).BaseAddr = 4000;
+  EXPECT_EQ(DL.totalBytes(), 5000 + 7 * 8);
+  EXPECT_LT(DL.sumOfSizes(), DL.totalBytes());
+}

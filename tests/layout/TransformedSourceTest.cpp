@@ -1,0 +1,87 @@
+//===----------------------------------------------------------------------===//
+//
+// Part of the padx project, under the Apache License v2.0.
+//
+//===----------------------------------------------------------------------===//
+
+#include "layout/TransformedSource.h"
+
+#include "frontend/Parser.h"
+#include "ir/Builder.h"
+
+#include "gtest/gtest.h"
+
+using namespace padx;
+using namespace padx::ir;
+using namespace padx::layout;
+
+namespace {
+
+Program makeProgram() {
+  ProgramBuilder PB("demo");
+  unsigned A = PB.addArray2D("A", 8, 8);
+  unsigned B = PB.addArray2D("B", 8, 8);
+  PB.beginLoop("i", 1, 8);
+  PB.beginLoop("j", 1, 8);
+  PB.assign({PB.read(A, {PB.idx("j"), PB.idx("i")}),
+             PB.write(B, {PB.idx("j"), PB.idx("i")})});
+  PB.endLoop();
+  PB.endLoop();
+  return PB.take();
+}
+
+} // namespace
+
+TEST(TransformedSource, EmitsPadArraysForGaps) {
+  Program P = makeProgram();
+  DataLayout DL(P);
+  DL.layout(0).BaseAddr = 0;
+  // Leave a 128-byte gap before B.
+  DL.layout(1).BaseAddr = 8 * 8 * 8 + 128;
+  std::string Out = transformedSourceToString(DL);
+  EXPECT_NE(Out.find("array __pad0 : real4[32]"), std::string::npos);
+}
+
+TEST(TransformedSource, EmitsGrownDimensions) {
+  Program P = makeProgram();
+  DataLayout DL(P);
+  DL.layout(0).Dims[0] = 10; // intra-pad A's column 8 -> 10
+  DL.layout(0).BaseAddr = 0;
+  DL.layout(1).BaseAddr = 10 * 8 * 8;
+  std::string Out = transformedSourceToString(DL);
+  EXPECT_NE(Out.find("array A : real[10, 8]"), std::string::npos);
+  // Statements are preserved.
+  EXPECT_NE(Out.find("B[j, i] = A[j, i]"), std::string::npos);
+}
+
+TEST(TransformedSource, ReparsedProgramReproducesLayout) {
+  Program P = makeProgram();
+  DataLayout DL(P);
+  DL.layout(0).Dims[0] = 9;
+  DL.layout(0).BaseAddr = 0;
+  DL.layout(1).BaseAddr = 9 * 8 * 8 + 64; // pad of 64 bytes
+  std::string Out = transformedSourceToString(DL);
+
+  DiagnosticEngine Diags;
+  auto Q = frontend::parseProgram(Out, Diags);
+  ASSERT_TRUE(Q) << Diags.str();
+  DataLayout QL = originalLayout(*Q);
+  // The re-parsed program packs sequentially, reproducing the padded
+  // bases of the transformed layout.
+  auto AId = Q->findArray("A");
+  auto BId = Q->findArray("B");
+  ASSERT_TRUE(AId && BId);
+  EXPECT_EQ(QL.layout(*AId).BaseAddr, 0);
+  EXPECT_EQ(QL.layout(*BId).BaseAddr, 9 * 8 * 8 + 64);
+  EXPECT_EQ(QL.dimSize(*AId, 0), 9);
+}
+
+TEST(TransformedSource, DeclarationsFollowAddressOrder) {
+  Program P = makeProgram();
+  DataLayout DL(P);
+  // Reverse the order: B before A in memory.
+  DL.layout(1).BaseAddr = 0;
+  DL.layout(0).BaseAddr = 8 * 8 * 8;
+  std::string Out = transformedSourceToString(DL);
+  EXPECT_LT(Out.find("array B"), Out.find("array A"));
+}

@@ -1,0 +1,64 @@
+//===----------------------------------------------------------------------===//
+//
+// Part of the padx project, under the Apache License v2.0.
+//
+//===----------------------------------------------------------------------===//
+
+#include "native/NativeKernels.h"
+
+#include "core/Padding.h"
+#include "kernels/Kernels.h"
+
+#include "gtest/gtest.h"
+
+#include <cmath>
+
+using namespace padx;
+
+namespace {
+
+/// Runs a native kernel under both the original and the PAD layout; both
+/// must execute cleanly (the padded arena is addressed correctly) and
+/// produce finite results.
+template <typename Fn>
+void checkBothLayouts(const char *Kernel, int64_t N, Fn Run) {
+  ir::Program P = kernels::makeKernel(Kernel, N);
+  layout::DataLayout Orig = layout::originalLayout(P);
+  pad::PaddingResult R = pad::runPad(P);
+  double A = Run(Orig);
+  double B = Run(R.Layout);
+  EXPECT_TRUE(std::isfinite(A));
+  EXPECT_TRUE(std::isfinite(B));
+}
+
+} // namespace
+
+TEST(NativeKernels, JacobiRunsUnderBothLayouts) {
+  checkBothLayouts("jacobi", 128, [](const layout::DataLayout &DL) {
+    return native::runJacobi(DL, 128, 2);
+  });
+}
+
+TEST(NativeKernels, DotRunsUnderBothLayouts) {
+  checkBothLayouts("dot", 4096, [](const layout::DataLayout &DL) {
+    return native::runDot(DL, 4096, 4);
+  });
+}
+
+TEST(NativeKernels, MultRunsUnderBothLayouts) {
+  checkBothLayouts("mult", 64, [](const layout::DataLayout &DL) {
+    return native::runMult(DL, 64);
+  });
+}
+
+TEST(NativeKernels, DgefaRunsUnderBothLayouts) {
+  checkBothLayouts("dgefa", 64, [](const layout::DataLayout &DL) {
+    return native::runDgefa(DL, 64);
+  });
+}
+
+TEST(NativeKernels, DotIsDeterministicPerLayout) {
+  ir::Program P = kernels::makeKernel("dot", 1024);
+  layout::DataLayout DL = layout::originalLayout(P);
+  EXPECT_EQ(native::runDot(DL, 1024, 2), native::runDot(DL, 1024, 2));
+}

@@ -1,0 +1,32 @@
+//===----------------------------------------------------------------------===//
+//
+// Part of the padx project, under the Apache License v2.0.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Seeded random PadLang program generator for property tests. Generated
+/// programs are valid by construction: subscripts map dimension d to the
+/// d-th innermost loop variable with a small offset, loop bounds stay
+/// inside every referenced array's extent, and shapes repeat with high
+/// probability so conforming (conflict-prone) array pairs are common.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PADX_TESTS_PROPERTY_RANDOMPROGRAM_H
+#define PADX_TESTS_PROPERTY_RANDOMPROGRAM_H
+
+#include "ir/Program.h"
+
+#include <cstdint>
+
+namespace padx {
+namespace testing {
+
+/// Generates a random program from \p Seed. Same seed, same program.
+ir::Program generateRandomProgram(uint64_t Seed);
+
+} // namespace testing
+} // namespace padx
+
+#endif // PADX_TESTS_PROPERTY_RANDOMPROGRAM_H

@@ -1,0 +1,48 @@
+//===----------------------------------------------------------------------===//
+//
+// Part of the padx project, under the Apache License v2.0.
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/Diagnostics.h"
+
+#include "gtest/gtest.h"
+
+using namespace padx;
+
+TEST(Diagnostics, StartsEmpty) {
+  DiagnosticEngine Diags;
+  EXPECT_FALSE(Diags.hasErrors());
+  EXPECT_EQ(Diags.errorCount(), 0u);
+  EXPECT_TRUE(Diags.diagnostics().empty());
+  EXPECT_EQ(Diags.str(), "");
+}
+
+TEST(Diagnostics, ErrorsAreCounted) {
+  DiagnosticEngine Diags;
+  Diags.error({1, 2}, "first problem");
+  Diags.warning({3, 4}, "just a warning");
+  Diags.error({}, "second problem");
+  EXPECT_TRUE(Diags.hasErrors());
+  EXPECT_EQ(Diags.errorCount(), 2u);
+  EXPECT_EQ(Diags.diagnostics().size(), 3u);
+}
+
+TEST(Diagnostics, WarningsDoNotSetErrors) {
+  DiagnosticEngine Diags;
+  Diags.warning({1, 1}, "only a warning");
+  Diags.note({1, 1}, "and a note");
+  EXPECT_FALSE(Diags.hasErrors());
+}
+
+TEST(Diagnostics, StrFormatsLocationAndSeverity) {
+  DiagnosticEngine Diags;
+  Diags.error({4, 7}, "expected ']'");
+  Diags.note({}, "while parsing subscripts");
+  std::string Text = Diags.str();
+  EXPECT_NE(Text.find("4:7: error: expected ']'"), std::string::npos);
+  // Invalid locations are omitted.
+  EXPECT_NE(Text.find("note: while parsing subscripts"),
+            std::string::npos);
+  EXPECT_EQ(Text.find("0:0"), std::string::npos);
+}

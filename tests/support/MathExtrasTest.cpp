@@ -1,0 +1,76 @@
+//===----------------------------------------------------------------------===//
+//
+// Part of the padx project, under the Apache License v2.0.
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/MathExtras.h"
+
+#include "gtest/gtest.h"
+
+using namespace padx;
+
+TEST(MathExtras, FloorModPositive) {
+  EXPECT_EQ(floorMod(7, 4), 3);
+  EXPECT_EQ(floorMod(8, 4), 0);
+  EXPECT_EQ(floorMod(0, 4), 0);
+}
+
+TEST(MathExtras, FloorModNegative) {
+  EXPECT_EQ(floorMod(-1, 4), 3);
+  EXPECT_EQ(floorMod(-4, 4), 0);
+  EXPECT_EQ(floorMod(-7, 4), 1);
+}
+
+TEST(MathExtras, FloorDiv) {
+  EXPECT_EQ(floorDiv(7, 2), 3);
+  EXPECT_EQ(floorDiv(-7, 2), -4);
+  EXPECT_EQ(floorDiv(-8, 2), -4);
+  EXPECT_EQ(floorDiv(0, 5), 0);
+}
+
+TEST(MathExtras, CeilDiv) {
+  EXPECT_EQ(ceilDiv(7, 2), 4);
+  EXPECT_EQ(ceilDiv(8, 2), 4);
+  EXPECT_EQ(ceilDiv(0, 2), 0);
+  EXPECT_EQ(ceilDiv(-7, 2), -3);
+}
+
+TEST(MathExtras, Gcd) {
+  EXPECT_EQ(gcd64(1024, 768), 256);
+  EXPECT_EQ(gcd64(0, 7), 7);
+  EXPECT_EQ(gcd64(7, 0), 7);
+  EXPECT_EQ(gcd64(13, 13), 13);
+  EXPECT_EQ(gcd64(17, 5), 1);
+}
+
+TEST(MathExtras, PowerOf2) {
+  EXPECT_TRUE(isPowerOf2(1));
+  EXPECT_TRUE(isPowerOf2(16384));
+  EXPECT_FALSE(isPowerOf2(0));
+  EXPECT_FALSE(isPowerOf2(-8));
+  EXPECT_FALSE(isPowerOf2(768));
+  EXPECT_EQ(log2OfPow2(1), 0u);
+  EXPECT_EQ(log2OfPow2(32), 5u);
+  EXPECT_EQ(log2OfPow2(16384), 14u);
+}
+
+TEST(MathExtras, DistanceToMultipleIsSymmetric) {
+  // The paper's Section 3 example: 934*934 - 934 == -2 (mod 1024
+  // elements) is a conflict distance of 2.
+  EXPECT_EQ(distanceToMultiple(934 * 934 - 934, 1024), 2);
+  EXPECT_EQ(distanceToMultiple(2, 1024), 2);
+  EXPECT_EQ(distanceToMultiple(-2, 1024), 2);
+  EXPECT_EQ(distanceToMultiple(512, 1024), 512);
+  EXPECT_EQ(distanceToMultiple(1022, 1024), 2);
+  EXPECT_EQ(distanceToMultiple(1024, 1024), 0);
+}
+
+TEST(MathExtras, DistanceToMultipleRange) {
+  for (int64_t A = -3000; A <= 3000; A += 7) {
+    int64_t D = distanceToMultiple(A, 1024);
+    EXPECT_GE(D, 0);
+    EXPECT_LE(D, 512);
+    EXPECT_EQ(D, distanceToMultiple(-A, 1024));
+  }
+}

@@ -1,0 +1,60 @@
+//===----------------------------------------------------------------------===//
+//
+// Part of the padx project, under the Apache License v2.0.
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/TableFormatter.h"
+
+#include "gtest/gtest.h"
+
+#include <sstream>
+
+using namespace padx;
+
+TEST(TableFormatter, AlignsColumns) {
+  TableFormatter T({"Program", "Miss%"});
+  T.beginRow();
+  T.cell("jacobi");
+  T.cell(60.74, 2);
+  T.beginRow();
+  T.cell("dot");
+  T.cell(100.0, 2);
+  std::ostringstream OS;
+  T.print(OS);
+  std::string Out = OS.str();
+  EXPECT_NE(Out.find("Program"), std::string::npos);
+  EXPECT_NE(Out.find("60.74"), std::string::npos);
+  EXPECT_NE(Out.find("100.00"), std::string::npos);
+  // Header rule present.
+  EXPECT_NE(Out.find("---"), std::string::npos);
+}
+
+TEST(TableFormatter, CSVHasNoPadding) {
+  TableFormatter T({"a", "b"});
+  T.beginRow();
+  T.cell(static_cast<int64_t>(1));
+  T.cell(static_cast<int64_t>(2));
+  std::ostringstream OS;
+  T.printCSV(OS);
+  EXPECT_EQ(OS.str(), "a,b\n1,2\n");
+}
+
+TEST(TableFormatter, DoublePrecisionControl) {
+  TableFormatter T({"x"});
+  T.beginRow();
+  T.cell(1.23456, 1);
+  std::ostringstream OS;
+  T.printCSV(OS);
+  EXPECT_EQ(OS.str(), "x\n1.2\n");
+}
+
+TEST(TableFormatter, RowCount) {
+  TableFormatter T({"x"});
+  EXPECT_EQ(T.rowCount(), 0u);
+  T.beginRow();
+  T.cell("1");
+  T.beginRow();
+  T.cell("2");
+  EXPECT_EQ(T.rowCount(), 2u);
+}
