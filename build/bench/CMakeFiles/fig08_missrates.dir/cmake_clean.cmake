@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig08_missrates.dir/fig08_missrates.cpp.o"
+  "CMakeFiles/fig08_missrates.dir/fig08_missrates.cpp.o.d"
+  "fig08_missrates"
+  "fig08_missrates.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig08_missrates.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig10_assoc_padding.dir/fig10_assoc_padding.cpp.o"
+  "CMakeFiles/fig10_assoc_padding.dir/fig10_assoc_padding.cpp.o.d"
+  "fig10_assoc_padding"
+  "fig10_assoc_padding.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig10_assoc_padding.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for fig10_assoc_padding.
+# This may be replaced when dependencies are built.

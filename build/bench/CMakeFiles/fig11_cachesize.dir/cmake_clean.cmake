@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig11_cachesize.dir/fig11_cachesize.cpp.o"
+  "CMakeFiles/fig11_cachesize.dir/fig11_cachesize.cpp.o.d"
+  "fig11_cachesize"
+  "fig11_cachesize.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig11_cachesize.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig13_minsep.dir/fig13_minsep.cpp.o"
+  "CMakeFiles/fig13_minsep.dir/fig13_minsep.cpp.o.d"
+  "fig13_minsep"
+  "fig13_minsep.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig13_minsep.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig14_precision.dir/fig14_precision.cpp.o"
+  "CMakeFiles/fig14_precision.dir/fig14_precision.cpp.o.d"
+  "fig14_precision"
+  "fig14_precision.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig14_precision.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

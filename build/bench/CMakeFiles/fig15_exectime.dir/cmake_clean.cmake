@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig15_exectime.dir/fig15_exectime.cpp.o"
+  "CMakeFiles/fig15_exectime.dir/fig15_exectime.cpp.o.d"
+  "fig15_exectime"
+  "fig15_exectime.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig15_exectime.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig16_problemsize.dir/fig16_problemsize.cpp.o"
+  "CMakeFiles/fig16_problemsize.dir/fig16_problemsize.cpp.o.d"
+  "fig16_problemsize"
+  "fig16_problemsize.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig16_problemsize.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/fig17_linpad.cpp" "bench/CMakeFiles/fig17_linpad.dir/fig17_linpad.cpp.o" "gcc" "bench/CMakeFiles/fig17_linpad.dir/fig17_linpad.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/experiments/CMakeFiles/padx_experiments.dir/DependInfo.cmake"
+  "/root/repo/build/src/native/CMakeFiles/padx_native.dir/DependInfo.cmake"
+  "/root/repo/build/src/kernels/CMakeFiles/padx_kernels.dir/DependInfo.cmake"
+  "/root/repo/build/src/exec/CMakeFiles/padx_exec.dir/DependInfo.cmake"
+  "/root/repo/build/src/cachesim/CMakeFiles/padx_cachesim.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/padx_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/analysis/CMakeFiles/padx_analysis.dir/DependInfo.cmake"
+  "/root/repo/build/src/frontend/CMakeFiles/padx_frontend.dir/DependInfo.cmake"
+  "/root/repo/build/src/layout/CMakeFiles/padx_layout.dir/DependInfo.cmake"
+  "/root/repo/build/src/machine/CMakeFiles/padx_machine.dir/DependInfo.cmake"
+  "/root/repo/build/src/ir/CMakeFiles/padx_ir.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/padx_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig17_linpad.dir/fig17_linpad.cpp.o"
+  "CMakeFiles/fig17_linpad.dir/fig17_linpad.cpp.o.d"
+  "fig17_linpad"
+  "fig17_linpad.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig17_linpad.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/linalg_padding.dir/linalg_padding.cpp.o"
+  "CMakeFiles/linalg_padding.dir/linalg_padding.cpp.o.d"
+  "linalg_padding"
+  "linalg_padding.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/linalg_padding.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

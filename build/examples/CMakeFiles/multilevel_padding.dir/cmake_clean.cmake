@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/multilevel_padding.dir/multilevel_padding.cpp.o"
+  "CMakeFiles/multilevel_padding.dir/multilevel_padding.cpp.o.d"
+  "multilevel_padding"
+  "multilevel_padding.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/multilevel_padding.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/padtool.dir/padtool.cpp.o"
+  "CMakeFiles/padtool.dir/padtool.cpp.o.d"
+  "padtool"
+  "padtool.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/padtool.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

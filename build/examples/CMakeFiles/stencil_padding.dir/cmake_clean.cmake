@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/stencil_padding.dir/stencil_padding.cpp.o"
+  "CMakeFiles/stencil_padding.dir/stencil_padding.cpp.o.d"
+  "stencil_padding"
+  "stencil_padding.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/stencil_padding.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,18 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/src
+# Build directory: /root/repo/build/src
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+subdirs("support")
+subdirs("machine")
+subdirs("ir")
+subdirs("frontend")
+subdirs("layout")
+subdirs("analysis")
+subdirs("core")
+subdirs("cachesim")
+subdirs("exec")
+subdirs("kernels")
+subdirs("native")
+subdirs("experiments")

@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/analysis/ConflictDistance.cpp" "src/analysis/CMakeFiles/padx_analysis.dir/ConflictDistance.cpp.o" "gcc" "src/analysis/CMakeFiles/padx_analysis.dir/ConflictDistance.cpp.o.d"
+  "/root/repo/src/analysis/ConflictReport.cpp" "src/analysis/CMakeFiles/padx_analysis.dir/ConflictReport.cpp.o" "gcc" "src/analysis/CMakeFiles/padx_analysis.dir/ConflictReport.cpp.o.d"
+  "/root/repo/src/analysis/FirstConflict.cpp" "src/analysis/CMakeFiles/padx_analysis.dir/FirstConflict.cpp.o" "gcc" "src/analysis/CMakeFiles/padx_analysis.dir/FirstConflict.cpp.o.d"
+  "/root/repo/src/analysis/LinearAlgebra.cpp" "src/analysis/CMakeFiles/padx_analysis.dir/LinearAlgebra.cpp.o" "gcc" "src/analysis/CMakeFiles/padx_analysis.dir/LinearAlgebra.cpp.o.d"
+  "/root/repo/src/analysis/MissEstimate.cpp" "src/analysis/CMakeFiles/padx_analysis.dir/MissEstimate.cpp.o" "gcc" "src/analysis/CMakeFiles/padx_analysis.dir/MissEstimate.cpp.o.d"
+  "/root/repo/src/analysis/ReferenceGroups.cpp" "src/analysis/CMakeFiles/padx_analysis.dir/ReferenceGroups.cpp.o" "gcc" "src/analysis/CMakeFiles/padx_analysis.dir/ReferenceGroups.cpp.o.d"
+  "/root/repo/src/analysis/Reuse.cpp" "src/analysis/CMakeFiles/padx_analysis.dir/Reuse.cpp.o" "gcc" "src/analysis/CMakeFiles/padx_analysis.dir/Reuse.cpp.o.d"
+  "/root/repo/src/analysis/Safety.cpp" "src/analysis/CMakeFiles/padx_analysis.dir/Safety.cpp.o" "gcc" "src/analysis/CMakeFiles/padx_analysis.dir/Safety.cpp.o.d"
+  "/root/repo/src/analysis/TileSize.cpp" "src/analysis/CMakeFiles/padx_analysis.dir/TileSize.cpp.o" "gcc" "src/analysis/CMakeFiles/padx_analysis.dir/TileSize.cpp.o.d"
+  "/root/repo/src/analysis/UniformRefs.cpp" "src/analysis/CMakeFiles/padx_analysis.dir/UniformRefs.cpp.o" "gcc" "src/analysis/CMakeFiles/padx_analysis.dir/UniformRefs.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/layout/CMakeFiles/padx_layout.dir/DependInfo.cmake"
+  "/root/repo/build/src/ir/CMakeFiles/padx_ir.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/padx_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,29 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/padx_analysis.dir/ConflictDistance.cpp.o"
+  "CMakeFiles/padx_analysis.dir/ConflictDistance.cpp.o.d"
+  "CMakeFiles/padx_analysis.dir/ConflictReport.cpp.o"
+  "CMakeFiles/padx_analysis.dir/ConflictReport.cpp.o.d"
+  "CMakeFiles/padx_analysis.dir/FirstConflict.cpp.o"
+  "CMakeFiles/padx_analysis.dir/FirstConflict.cpp.o.d"
+  "CMakeFiles/padx_analysis.dir/LinearAlgebra.cpp.o"
+  "CMakeFiles/padx_analysis.dir/LinearAlgebra.cpp.o.d"
+  "CMakeFiles/padx_analysis.dir/MissEstimate.cpp.o"
+  "CMakeFiles/padx_analysis.dir/MissEstimate.cpp.o.d"
+  "CMakeFiles/padx_analysis.dir/ReferenceGroups.cpp.o"
+  "CMakeFiles/padx_analysis.dir/ReferenceGroups.cpp.o.d"
+  "CMakeFiles/padx_analysis.dir/Reuse.cpp.o"
+  "CMakeFiles/padx_analysis.dir/Reuse.cpp.o.d"
+  "CMakeFiles/padx_analysis.dir/Safety.cpp.o"
+  "CMakeFiles/padx_analysis.dir/Safety.cpp.o.d"
+  "CMakeFiles/padx_analysis.dir/TileSize.cpp.o"
+  "CMakeFiles/padx_analysis.dir/TileSize.cpp.o.d"
+  "CMakeFiles/padx_analysis.dir/UniformRefs.cpp.o"
+  "CMakeFiles/padx_analysis.dir/UniformRefs.cpp.o.d"
+  "libpadx_analysis.a"
+  "libpadx_analysis.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/padx_analysis.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

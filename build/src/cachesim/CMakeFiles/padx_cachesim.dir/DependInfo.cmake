@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/cachesim/CacheHierarchy.cpp" "src/cachesim/CMakeFiles/padx_cachesim.dir/CacheHierarchy.cpp.o" "gcc" "src/cachesim/CMakeFiles/padx_cachesim.dir/CacheHierarchy.cpp.o.d"
+  "/root/repo/src/cachesim/CacheSim.cpp" "src/cachesim/CMakeFiles/padx_cachesim.dir/CacheSim.cpp.o" "gcc" "src/cachesim/CMakeFiles/padx_cachesim.dir/CacheSim.cpp.o.d"
+  "/root/repo/src/cachesim/MissClassifier.cpp" "src/cachesim/CMakeFiles/padx_cachesim.dir/MissClassifier.cpp.o" "gcc" "src/cachesim/CMakeFiles/padx_cachesim.dir/MissClassifier.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/machine/CMakeFiles/padx_machine.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/padx_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

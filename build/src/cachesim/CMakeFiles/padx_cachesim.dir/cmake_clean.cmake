@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/padx_cachesim.dir/CacheHierarchy.cpp.o"
+  "CMakeFiles/padx_cachesim.dir/CacheHierarchy.cpp.o.d"
+  "CMakeFiles/padx_cachesim.dir/CacheSim.cpp.o"
+  "CMakeFiles/padx_cachesim.dir/CacheSim.cpp.o.d"
+  "CMakeFiles/padx_cachesim.dir/MissClassifier.cpp.o"
+  "CMakeFiles/padx_cachesim.dir/MissClassifier.cpp.o.d"
+  "libpadx_cachesim.a"
+  "libpadx_cachesim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/padx_cachesim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

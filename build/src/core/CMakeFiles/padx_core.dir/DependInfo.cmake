@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/InterPadding.cpp" "src/core/CMakeFiles/padx_core.dir/InterPadding.cpp.o" "gcc" "src/core/CMakeFiles/padx_core.dir/InterPadding.cpp.o.d"
+  "/root/repo/src/core/IntraPadding.cpp" "src/core/CMakeFiles/padx_core.dir/IntraPadding.cpp.o" "gcc" "src/core/CMakeFiles/padx_core.dir/IntraPadding.cpp.o.d"
+  "/root/repo/src/core/Padding.cpp" "src/core/CMakeFiles/padx_core.dir/Padding.cpp.o" "gcc" "src/core/CMakeFiles/padx_core.dir/Padding.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/analysis/CMakeFiles/padx_analysis.dir/DependInfo.cmake"
+  "/root/repo/build/src/layout/CMakeFiles/padx_layout.dir/DependInfo.cmake"
+  "/root/repo/build/src/machine/CMakeFiles/padx_machine.dir/DependInfo.cmake"
+  "/root/repo/build/src/ir/CMakeFiles/padx_ir.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/padx_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

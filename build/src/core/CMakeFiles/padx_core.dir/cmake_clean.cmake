@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/padx_core.dir/InterPadding.cpp.o"
+  "CMakeFiles/padx_core.dir/InterPadding.cpp.o.d"
+  "CMakeFiles/padx_core.dir/IntraPadding.cpp.o"
+  "CMakeFiles/padx_core.dir/IntraPadding.cpp.o.d"
+  "CMakeFiles/padx_core.dir/Padding.cpp.o"
+  "CMakeFiles/padx_core.dir/Padding.cpp.o.d"
+  "libpadx_core.a"
+  "libpadx_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/padx_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/exec/TraceRunner.cpp" "src/exec/CMakeFiles/padx_exec.dir/TraceRunner.cpp.o" "gcc" "src/exec/CMakeFiles/padx_exec.dir/TraceRunner.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/cachesim/CMakeFiles/padx_cachesim.dir/DependInfo.cmake"
+  "/root/repo/build/src/analysis/CMakeFiles/padx_analysis.dir/DependInfo.cmake"
+  "/root/repo/build/src/layout/CMakeFiles/padx_layout.dir/DependInfo.cmake"
+  "/root/repo/build/src/ir/CMakeFiles/padx_ir.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/padx_support.dir/DependInfo.cmake"
+  "/root/repo/build/src/machine/CMakeFiles/padx_machine.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/padx_exec.dir/TraceRunner.cpp.o"
+  "CMakeFiles/padx_exec.dir/TraceRunner.cpp.o.d"
+  "libpadx_exec.a"
+  "libpadx_exec.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/padx_exec.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libpadx_exec.a"
+)

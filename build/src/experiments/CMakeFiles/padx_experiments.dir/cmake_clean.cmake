@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/padx_experiments.dir/Experiment.cpp.o"
+  "CMakeFiles/padx_experiments.dir/Experiment.cpp.o.d"
+  "libpadx_experiments.a"
+  "libpadx_experiments.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/padx_experiments.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/padx_frontend.dir/Lexer.cpp.o"
+  "CMakeFiles/padx_frontend.dir/Lexer.cpp.o.d"
+  "CMakeFiles/padx_frontend.dir/Parser.cpp.o"
+  "CMakeFiles/padx_frontend.dir/Parser.cpp.o.d"
+  "libpadx_frontend.a"
+  "libpadx_frontend.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/padx_frontend.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/padx_ir.dir/AffineExpr.cpp.o"
+  "CMakeFiles/padx_ir.dir/AffineExpr.cpp.o.d"
+  "CMakeFiles/padx_ir.dir/Builder.cpp.o"
+  "CMakeFiles/padx_ir.dir/Builder.cpp.o.d"
+  "CMakeFiles/padx_ir.dir/Printer.cpp.o"
+  "CMakeFiles/padx_ir.dir/Printer.cpp.o.d"
+  "CMakeFiles/padx_ir.dir/Program.cpp.o"
+  "CMakeFiles/padx_ir.dir/Program.cpp.o.d"
+  "CMakeFiles/padx_ir.dir/Validator.cpp.o"
+  "CMakeFiles/padx_ir.dir/Validator.cpp.o.d"
+  "libpadx_ir.a"
+  "libpadx_ir.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/padx_ir.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

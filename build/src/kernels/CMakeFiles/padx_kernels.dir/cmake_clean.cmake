@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/padx_kernels.dir/Kernels.cpp.o"
+  "CMakeFiles/padx_kernels.dir/Kernels.cpp.o.d"
+  "CMakeFiles/padx_kernels.dir/KernelsNAS.cpp.o"
+  "CMakeFiles/padx_kernels.dir/KernelsNAS.cpp.o.d"
+  "CMakeFiles/padx_kernels.dir/KernelsScientific.cpp.o"
+  "CMakeFiles/padx_kernels.dir/KernelsScientific.cpp.o.d"
+  "CMakeFiles/padx_kernels.dir/KernelsSpec.cpp.o"
+  "CMakeFiles/padx_kernels.dir/KernelsSpec.cpp.o.d"
+  "libpadx_kernels.a"
+  "libpadx_kernels.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/padx_kernels.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/padx_layout.dir/DataLayout.cpp.o"
+  "CMakeFiles/padx_layout.dir/DataLayout.cpp.o.d"
+  "CMakeFiles/padx_layout.dir/TransformedSource.cpp.o"
+  "CMakeFiles/padx_layout.dir/TransformedSource.cpp.o.d"
+  "libpadx_layout.a"
+  "libpadx_layout.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/padx_layout.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/padx_machine.dir/CacheConfig.cpp.o"
+  "CMakeFiles/padx_machine.dir/CacheConfig.cpp.o.d"
+  "libpadx_machine.a"
+  "libpadx_machine.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/padx_machine.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

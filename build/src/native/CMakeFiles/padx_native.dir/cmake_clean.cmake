@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/padx_native.dir/NativeKernels.cpp.o"
+  "CMakeFiles/padx_native.dir/NativeKernels.cpp.o.d"
+  "libpadx_native.a"
+  "libpadx_native.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/padx_native.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

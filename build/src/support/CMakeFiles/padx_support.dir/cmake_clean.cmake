@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/padx_support.dir/Diagnostics.cpp.o"
+  "CMakeFiles/padx_support.dir/Diagnostics.cpp.o.d"
+  "CMakeFiles/padx_support.dir/TableFormatter.cpp.o"
+  "CMakeFiles/padx_support.dir/TableFormatter.cpp.o.d"
+  "libpadx_support.a"
+  "libpadx_support.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/padx_support.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

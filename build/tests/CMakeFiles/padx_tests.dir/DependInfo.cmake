@@ -1,0 +1,72 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/analysis/ConflictDistanceTest.cpp" "tests/CMakeFiles/padx_tests.dir/analysis/ConflictDistanceTest.cpp.o" "gcc" "tests/CMakeFiles/padx_tests.dir/analysis/ConflictDistanceTest.cpp.o.d"
+  "/root/repo/tests/analysis/ConflictReportTest.cpp" "tests/CMakeFiles/padx_tests.dir/analysis/ConflictReportTest.cpp.o" "gcc" "tests/CMakeFiles/padx_tests.dir/analysis/ConflictReportTest.cpp.o.d"
+  "/root/repo/tests/analysis/FirstConflictTest.cpp" "tests/CMakeFiles/padx_tests.dir/analysis/FirstConflictTest.cpp.o" "gcc" "tests/CMakeFiles/padx_tests.dir/analysis/FirstConflictTest.cpp.o.d"
+  "/root/repo/tests/analysis/LinearAlgebraTest.cpp" "tests/CMakeFiles/padx_tests.dir/analysis/LinearAlgebraTest.cpp.o" "gcc" "tests/CMakeFiles/padx_tests.dir/analysis/LinearAlgebraTest.cpp.o.d"
+  "/root/repo/tests/analysis/MissEstimateTest.cpp" "tests/CMakeFiles/padx_tests.dir/analysis/MissEstimateTest.cpp.o" "gcc" "tests/CMakeFiles/padx_tests.dir/analysis/MissEstimateTest.cpp.o.d"
+  "/root/repo/tests/analysis/ReferenceGroupsTest.cpp" "tests/CMakeFiles/padx_tests.dir/analysis/ReferenceGroupsTest.cpp.o" "gcc" "tests/CMakeFiles/padx_tests.dir/analysis/ReferenceGroupsTest.cpp.o.d"
+  "/root/repo/tests/analysis/ReuseTest.cpp" "tests/CMakeFiles/padx_tests.dir/analysis/ReuseTest.cpp.o" "gcc" "tests/CMakeFiles/padx_tests.dir/analysis/ReuseTest.cpp.o.d"
+  "/root/repo/tests/analysis/SafetyTest.cpp" "tests/CMakeFiles/padx_tests.dir/analysis/SafetyTest.cpp.o" "gcc" "tests/CMakeFiles/padx_tests.dir/analysis/SafetyTest.cpp.o.d"
+  "/root/repo/tests/analysis/TileSizeTest.cpp" "tests/CMakeFiles/padx_tests.dir/analysis/TileSizeTest.cpp.o" "gcc" "tests/CMakeFiles/padx_tests.dir/analysis/TileSizeTest.cpp.o.d"
+  "/root/repo/tests/analysis/UniformRefsTest.cpp" "tests/CMakeFiles/padx_tests.dir/analysis/UniformRefsTest.cpp.o" "gcc" "tests/CMakeFiles/padx_tests.dir/analysis/UniformRefsTest.cpp.o.d"
+  "/root/repo/tests/cachesim/CacheHierarchyTest.cpp" "tests/CMakeFiles/padx_tests.dir/cachesim/CacheHierarchyTest.cpp.o" "gcc" "tests/CMakeFiles/padx_tests.dir/cachesim/CacheHierarchyTest.cpp.o.d"
+  "/root/repo/tests/cachesim/CacheSimTest.cpp" "tests/CMakeFiles/padx_tests.dir/cachesim/CacheSimTest.cpp.o" "gcc" "tests/CMakeFiles/padx_tests.dir/cachesim/CacheSimTest.cpp.o.d"
+  "/root/repo/tests/cachesim/MissClassifierTest.cpp" "tests/CMakeFiles/padx_tests.dir/cachesim/MissClassifierTest.cpp.o" "gcc" "tests/CMakeFiles/padx_tests.dir/cachesim/MissClassifierTest.cpp.o.d"
+  "/root/repo/tests/core/InterPaddingTest.cpp" "tests/CMakeFiles/padx_tests.dir/core/InterPaddingTest.cpp.o" "gcc" "tests/CMakeFiles/padx_tests.dir/core/InterPaddingTest.cpp.o.d"
+  "/root/repo/tests/core/IntraPaddingTest.cpp" "tests/CMakeFiles/padx_tests.dir/core/IntraPaddingTest.cpp.o" "gcc" "tests/CMakeFiles/padx_tests.dir/core/IntraPaddingTest.cpp.o.d"
+  "/root/repo/tests/core/MultiLevelTest.cpp" "tests/CMakeFiles/padx_tests.dir/core/MultiLevelTest.cpp.o" "gcc" "tests/CMakeFiles/padx_tests.dir/core/MultiLevelTest.cpp.o.d"
+  "/root/repo/tests/core/PaddingDriverTest.cpp" "tests/CMakeFiles/padx_tests.dir/core/PaddingDriverTest.cpp.o" "gcc" "tests/CMakeFiles/padx_tests.dir/core/PaddingDriverTest.cpp.o.d"
+  "/root/repo/tests/core/ReorderTest.cpp" "tests/CMakeFiles/padx_tests.dir/core/ReorderTest.cpp.o" "gcc" "tests/CMakeFiles/padx_tests.dir/core/ReorderTest.cpp.o.d"
+  "/root/repo/tests/core/SampleTransformationTest.cpp" "tests/CMakeFiles/padx_tests.dir/core/SampleTransformationTest.cpp.o" "gcc" "tests/CMakeFiles/padx_tests.dir/core/SampleTransformationTest.cpp.o.d"
+  "/root/repo/tests/exec/SiblingLoopTest.cpp" "tests/CMakeFiles/padx_tests.dir/exec/SiblingLoopTest.cpp.o" "gcc" "tests/CMakeFiles/padx_tests.dir/exec/SiblingLoopTest.cpp.o.d"
+  "/root/repo/tests/exec/TraceRunnerTest.cpp" "tests/CMakeFiles/padx_tests.dir/exec/TraceRunnerTest.cpp.o" "gcc" "tests/CMakeFiles/padx_tests.dir/exec/TraceRunnerTest.cpp.o.d"
+  "/root/repo/tests/frontend/LexerTest.cpp" "tests/CMakeFiles/padx_tests.dir/frontend/LexerTest.cpp.o" "gcc" "tests/CMakeFiles/padx_tests.dir/frontend/LexerTest.cpp.o.d"
+  "/root/repo/tests/frontend/ParserTest.cpp" "tests/CMakeFiles/padx_tests.dir/frontend/ParserTest.cpp.o" "gcc" "tests/CMakeFiles/padx_tests.dir/frontend/ParserTest.cpp.o.d"
+  "/root/repo/tests/frontend/RoundTripTest.cpp" "tests/CMakeFiles/padx_tests.dir/frontend/RoundTripTest.cpp.o" "gcc" "tests/CMakeFiles/padx_tests.dir/frontend/RoundTripTest.cpp.o.d"
+  "/root/repo/tests/integration/EndToEndTest.cpp" "tests/CMakeFiles/padx_tests.dir/integration/EndToEndTest.cpp.o" "gcc" "tests/CMakeFiles/padx_tests.dir/integration/EndToEndTest.cpp.o.d"
+  "/root/repo/tests/integration/ExperimentHarnessTest.cpp" "tests/CMakeFiles/padx_tests.dir/integration/ExperimentHarnessTest.cpp.o" "gcc" "tests/CMakeFiles/padx_tests.dir/integration/ExperimentHarnessTest.cpp.o.d"
+  "/root/repo/tests/integration/GoldenMissRatesTest.cpp" "tests/CMakeFiles/padx_tests.dir/integration/GoldenMissRatesTest.cpp.o" "gcc" "tests/CMakeFiles/padx_tests.dir/integration/GoldenMissRatesTest.cpp.o.d"
+  "/root/repo/tests/ir/AffineExprTest.cpp" "tests/CMakeFiles/padx_tests.dir/ir/AffineExprTest.cpp.o" "gcc" "tests/CMakeFiles/padx_tests.dir/ir/AffineExprTest.cpp.o.d"
+  "/root/repo/tests/ir/BuilderTest.cpp" "tests/CMakeFiles/padx_tests.dir/ir/BuilderTest.cpp.o" "gcc" "tests/CMakeFiles/padx_tests.dir/ir/BuilderTest.cpp.o.d"
+  "/root/repo/tests/ir/PrinterTest.cpp" "tests/CMakeFiles/padx_tests.dir/ir/PrinterTest.cpp.o" "gcc" "tests/CMakeFiles/padx_tests.dir/ir/PrinterTest.cpp.o.d"
+  "/root/repo/tests/ir/ProgramTest.cpp" "tests/CMakeFiles/padx_tests.dir/ir/ProgramTest.cpp.o" "gcc" "tests/CMakeFiles/padx_tests.dir/ir/ProgramTest.cpp.o.d"
+  "/root/repo/tests/ir/ValidatorTest.cpp" "tests/CMakeFiles/padx_tests.dir/ir/ValidatorTest.cpp.o" "gcc" "tests/CMakeFiles/padx_tests.dir/ir/ValidatorTest.cpp.o.d"
+  "/root/repo/tests/kernels/KernelsTest.cpp" "tests/CMakeFiles/padx_tests.dir/kernels/KernelsTest.cpp.o" "gcc" "tests/CMakeFiles/padx_tests.dir/kernels/KernelsTest.cpp.o.d"
+  "/root/repo/tests/layout/DataLayoutTest.cpp" "tests/CMakeFiles/padx_tests.dir/layout/DataLayoutTest.cpp.o" "gcc" "tests/CMakeFiles/padx_tests.dir/layout/DataLayoutTest.cpp.o.d"
+  "/root/repo/tests/layout/TransformedSourceTest.cpp" "tests/CMakeFiles/padx_tests.dir/layout/TransformedSourceTest.cpp.o" "gcc" "tests/CMakeFiles/padx_tests.dir/layout/TransformedSourceTest.cpp.o.d"
+  "/root/repo/tests/machine/CacheConfigTest.cpp" "tests/CMakeFiles/padx_tests.dir/machine/CacheConfigTest.cpp.o" "gcc" "tests/CMakeFiles/padx_tests.dir/machine/CacheConfigTest.cpp.o.d"
+  "/root/repo/tests/native/NativeKernelsTest.cpp" "tests/CMakeFiles/padx_tests.dir/native/NativeKernelsTest.cpp.o" "gcc" "tests/CMakeFiles/padx_tests.dir/native/NativeKernelsTest.cpp.o.d"
+  "/root/repo/tests/property/PaddingPropertyTest.cpp" "tests/CMakeFiles/padx_tests.dir/property/PaddingPropertyTest.cpp.o" "gcc" "tests/CMakeFiles/padx_tests.dir/property/PaddingPropertyTest.cpp.o.d"
+  "/root/repo/tests/property/RandomProgram.cpp" "tests/CMakeFiles/padx_tests.dir/property/RandomProgram.cpp.o" "gcc" "tests/CMakeFiles/padx_tests.dir/property/RandomProgram.cpp.o.d"
+  "/root/repo/tests/support/DiagnosticsTest.cpp" "tests/CMakeFiles/padx_tests.dir/support/DiagnosticsTest.cpp.o" "gcc" "tests/CMakeFiles/padx_tests.dir/support/DiagnosticsTest.cpp.o.d"
+  "/root/repo/tests/support/MathExtrasTest.cpp" "tests/CMakeFiles/padx_tests.dir/support/MathExtrasTest.cpp.o" "gcc" "tests/CMakeFiles/padx_tests.dir/support/MathExtrasTest.cpp.o.d"
+  "/root/repo/tests/support/TableFormatterTest.cpp" "tests/CMakeFiles/padx_tests.dir/support/TableFormatterTest.cpp.o" "gcc" "tests/CMakeFiles/padx_tests.dir/support/TableFormatterTest.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/experiments/CMakeFiles/padx_experiments.dir/DependInfo.cmake"
+  "/root/repo/build/src/native/CMakeFiles/padx_native.dir/DependInfo.cmake"
+  "/root/repo/build/src/kernels/CMakeFiles/padx_kernels.dir/DependInfo.cmake"
+  "/root/repo/build/src/exec/CMakeFiles/padx_exec.dir/DependInfo.cmake"
+  "/root/repo/build/src/cachesim/CMakeFiles/padx_cachesim.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/padx_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/analysis/CMakeFiles/padx_analysis.dir/DependInfo.cmake"
+  "/root/repo/build/src/frontend/CMakeFiles/padx_frontend.dir/DependInfo.cmake"
+  "/root/repo/build/src/layout/CMakeFiles/padx_layout.dir/DependInfo.cmake"
+  "/root/repo/build/src/machine/CMakeFiles/padx_machine.dir/DependInfo.cmake"
+  "/root/repo/build/src/ir/CMakeFiles/padx_ir.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/padx_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")
