@@ -1,0 +1,30 @@
+#!/usr/bin/env bash
+#===------------------------------------------------------------------------===#
+#
+# Part of the padx project, under the Apache License v2.0.
+#
+# CI driver: the tier-1 build + test cycle, then the same suite under
+# ASan+UBSan (-DPADX_SANITIZE=ON) so heap misuse and undefined behavior
+# in the concurrent search / thread-pool code surface on every run.
+# (ASan does not detect data races; pair with a TSan build where a
+# thread-sanitizer-enabled toolchain is available.)
+#
+# Usage: ./ci.sh [jobs]
+#
+#===------------------------------------------------------------------------===#
+set -euo pipefail
+cd "$(dirname "$0")"
+
+JOBS="${1:-$(nproc)}"
+
+echo "== tier-1: release build + tests =="
+cmake -B build -S .
+cmake --build build -j "$JOBS"
+ctest --test-dir build --output-on-failure -j "$JOBS"
+
+echo "== sanitized: ASan+UBSan build + tests =="
+cmake -B build-asan -S . -DPADX_SANITIZE=ON -DCMAKE_BUILD_TYPE=RelWithDebInfo
+cmake --build build-asan -j "$JOBS"
+ctest --test-dir build-asan --output-on-failure -j "$JOBS"
+
+echo "== ci: all green =="

@@ -17,7 +17,10 @@
 ///   --cache BYTES   cache size in bytes (default 16384)
 ///   --line BYTES    line size in bytes (default 32)
 ///   --assoc K       associativity, 1 = direct mapped (default 1)
-///   --scheme NAME   pad | padlite (default pad)
+///   --scheme NAME   pad | padlite | search (default pad)
+///   --budget N      search: max exact (simulated) evaluations
+///   --threads N     search: worker threads (0 = hardware)
+///   --seed S        search: RNG seed (default 0)
 ///   --emit          print the transformed PadLang source
 ///   --simulate      run the cache simulator on both layouts
 ///   --report        print the severe-conflict pairs before and after
@@ -33,6 +36,8 @@
 #include "frontend/Parser.h"
 #include "kernels/Kernels.h"
 #include "layout/TransformedSource.h"
+#include "search/SearchEngine.h"
+#include "support/MathExtras.h"
 
 #include <cstdio>
 #include <cstdlib>
@@ -49,10 +54,51 @@ void usage() {
   std::fprintf(stderr,
                "usage: padtool [--cache BYTES] [--line BYTES] "
                "[--assoc K]\n"
-               "               [--scheme pad|padlite] [--emit] "
-               "[--simulate]\n"
+               "               [--scheme pad|padlite|search] "
+               "[--budget N] [--threads N]\n"
+               "               [--seed S] [--emit] [--simulate] "
+               "[--report] [--estimate]\n"
                "               (<file.pad> | --kernel NAME [--size N] | "
                "--list)\n");
+}
+
+/// Rejects impossible cache geometries with a diagnostic naming the
+/// offending flag, instead of letting downstream modulo arithmetic
+/// divide by zero or wrap.
+bool validateGeometry(const CacheConfig &Cache) {
+  bool OK = true;
+  auto Fail = [&](const char *Msg, long long V) {
+    std::fprintf(stderr, "error: %s (got %lld)\n", Msg, V);
+    OK = false;
+  };
+  if (!isPowerOf2(Cache.SizeBytes))
+    Fail("--cache must be a positive power of two", Cache.SizeBytes);
+  if (!isPowerOf2(Cache.LineBytes))
+    Fail("--line must be a positive power of two", Cache.LineBytes);
+  if (Cache.Associativity < 0)
+    Fail("--assoc must be >= 0 (0 = fully associative)",
+         Cache.Associativity);
+  if (!OK) // Relative checks are meaningless on garbage values.
+    return false;
+  if (Cache.LineBytes > Cache.SizeBytes) {
+    std::fprintf(stderr,
+                 "error: --line (%lld) must not exceed --cache (%lld)\n",
+                 static_cast<long long>(Cache.LineBytes),
+                 static_cast<long long>(Cache.SizeBytes));
+    OK = false;
+  }
+  if (Cache.Associativity > 1) {
+    if (!isPowerOf2(Cache.Associativity))
+      Fail("--assoc must be a power of two", Cache.Associativity);
+    else if (Cache.Associativity * Cache.LineBytes > Cache.SizeBytes)
+      Fail("--assoc * --line exceeds --cache; no such geometry exists",
+           Cache.Associativity);
+  }
+  if (OK && !Cache.isValid()) {
+    std::fprintf(stderr, "error: invalid cache geometry\n");
+    OK = false;
+  }
+  return OK;
 }
 
 } // namespace
@@ -61,7 +107,9 @@ int main(int argc, char **argv) {
   CacheConfig Cache = CacheConfig::base16K();
   bool Emit = false, Simulate = false, Report = false;
   bool Estimate = false;
-  bool UsePadLite = false;
+  enum class SchemeKind { Pad, PadLite, Search };
+  SchemeKind Scheme = SchemeKind::Pad;
+  search::SearchOptions SearchOpts;
   std::string File, Kernel;
   int64_t Size = 0;
 
@@ -83,11 +131,33 @@ int main(int argc, char **argv) {
     } else if (Arg == "--scheme") {
       std::string S = Next();
       if (S == "padlite") {
-        UsePadLite = true;
-      } else if (S != "pad") {
+        Scheme = SchemeKind::PadLite;
+      } else if (S == "search") {
+        Scheme = SchemeKind::Search;
+      } else if (S == "pad") {
+        Scheme = SchemeKind::Pad;
+      } else {
         std::fprintf(stderr, "error: unknown scheme '%s'\n", S.c_str());
         return 1;
       }
+    } else if (Arg == "--budget") {
+      long long N = std::atoll(Next());
+      if (N <= 0) {
+        std::fprintf(stderr, "error: --budget must be positive\n");
+        return 1;
+      }
+      SearchOpts.EvalBudget = static_cast<unsigned>(N);
+    } else if (Arg == "--threads") {
+      long long N = std::atoll(Next());
+      if (N < 0) {
+        std::fprintf(stderr,
+                     "error: --threads must be >= 0 (0 = hardware)\n");
+        return 1;
+      }
+      SearchOpts.Threads = static_cast<unsigned>(N);
+    } else if (Arg == "--seed") {
+      SearchOpts.Seed =
+          static_cast<uint64_t>(std::strtoull(Next(), nullptr, 10));
     } else if (Arg == "--emit") {
       Emit = true;
     } else if (Arg == "--simulate") {
@@ -117,10 +187,8 @@ int main(int argc, char **argv) {
     }
   }
 
-  if (!Cache.isValid()) {
-    std::fprintf(stderr, "error: invalid cache geometry\n");
+  if (!validateGeometry(Cache))
     return 1;
-  }
   if (File.empty() && Kernel.empty()) {
     usage();
     return 1;
@@ -151,8 +219,11 @@ int main(int argc, char **argv) {
     }
   }
 
+  const char *SchemeName = Scheme == SchemeKind::Pad       ? "PAD"
+                           : Scheme == SchemeKind::PadLite ? "PADLITE"
+                                                           : "SEARCH";
   std::printf("program '%s', cache: %s, scheme: %s\n", P->name().c_str(),
-              Cache.describe().c_str(), UsePadLite ? "PADLITE" : "PAD");
+              Cache.describe().c_str(), SchemeName);
 
   if (Report) {
     layout::DataLayout Orig = layout::originalLayout(*P);
@@ -161,32 +232,53 @@ int main(int argc, char **argv) {
         std::cout, analysis::reportConflicts(Orig, Cache));
   }
 
-  pad::PaddingResult R = UsePadLite ? pad::runPadLite(*P, Cache)
-                                    : pad::runPad(*P, Cache);
-  const pad::PaddingStats &S = R.Stats;
-  std::printf("  arrays: %u global, %u intra-safe, %u intra-padded "
-              "(max +%lld, total +%lld elements)\n",
-              S.GlobalArrays, S.ArraysSafe, S.ArraysPadded,
-              static_cast<long long>(S.MaxIntraIncrElems),
-              static_cast<long long>(S.TotalIntraIncrElems));
-  std::printf("  inter-variable padding: %lld bytes, size increase "
-              "%.3f%%\n",
-              static_cast<long long>(S.InterPadBytes),
-              S.PercentSizeIncrease);
-  for (const std::string &Line : S.Log)
-    std::printf("  %s\n", Line.c_str());
+  std::optional<layout::DataLayout> Final;
+  if (Scheme == SchemeKind::Search) {
+    SearchOpts.Cache = Cache;
+    search::SearchResult SR = search::runSearch(*P, SearchOpts);
+    std::printf("  candidates: %u generated, %u pruned by the static "
+                "model, %u duplicates\n",
+                SR.CandidatesGenerated, SR.PrunedStatic,
+                SR.DuplicatesSkipped);
+    std::printf("  simulations: %u over %u rounds (%u restarts)\n",
+                SR.ExactEvaluations, SR.Rounds, SR.Restarts);
+    for (const std::string &Line : SR.Log)
+      std::printf("  %s\n", Line.c_str());
+    std::printf("  miss rate: original %.2f%%, PAD %.2f%%, search "
+                "%.2f%%\n",
+                SR.originalPercent(), SR.padPercent(),
+                SR.bestPercent());
+    Final = std::move(SR.BestLayout);
+  } else {
+    pad::PaddingResult R = Scheme == SchemeKind::PadLite
+                               ? pad::runPadLite(*P, Cache)
+                               : pad::runPad(*P, Cache);
+    const pad::PaddingStats &S = R.Stats;
+    std::printf("  arrays: %u global, %u intra-safe, %u intra-padded "
+                "(max +%lld, total +%lld elements)\n",
+                S.GlobalArrays, S.ArraysSafe, S.ArraysPadded,
+                static_cast<long long>(S.MaxIntraIncrElems),
+                static_cast<long long>(S.TotalIntraIncrElems));
+    std::printf("  inter-variable padding: %lld bytes, size increase "
+                "%.3f%%\n",
+                static_cast<long long>(S.InterPadBytes),
+                S.PercentSizeIncrease);
+    for (const std::string &Line : S.Log)
+      std::printf("  %s\n", Line.c_str());
+    Final = std::move(R.Layout);
+  }
 
   if (Report) {
     std::printf("severe conflicts after padding:\n");
     analysis::printConflictReport(
-        std::cout, analysis::reportConflicts(R.Layout, Cache));
+        std::cout, analysis::reportConflicts(*Final, Cache));
   }
 
   if (Estimate) {
     double Before = analysis::estimateMisses(layout::originalLayout(*P),
                                              Cache)
                         .predictedMissRatePercent();
-    double After = analysis::estimateMisses(R.Layout, Cache)
+    double After = analysis::estimateMisses(*Final, Cache)
                        .predictedMissRatePercent();
     std::printf("  predicted miss rate: %.2f%% -> %.2f%% (static "
                 "estimate)\n",
@@ -195,7 +287,7 @@ int main(int argc, char **argv) {
 
   if (Simulate) {
     expt::MissResult Before = expt::measureOriginal(*P, Cache);
-    expt::MissResult After = expt::measureMissRate(*P, R.Layout, Cache);
+    expt::MissResult After = expt::measureMissRate(*P, *Final, Cache);
     std::printf("  miss rate: %.2f%% -> %.2f%%\n", Before.percent(),
                 After.percent());
   }
@@ -203,7 +295,7 @@ int main(int argc, char **argv) {
   if (Emit) {
     std::printf("\n# --- transformed source "
                 "---------------------------------\n");
-    layout::emitTransformedSource(std::cout, R.Layout);
+    layout::emitTransformedSource(std::cout, *Final);
   }
   return 0;
 }

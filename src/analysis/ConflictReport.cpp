@@ -42,6 +42,8 @@ analysis::reportConflicts(const layout::DataLayout &DL,
         CE.LoopVar = G.Innermost->IndexVar;
         CE.Ref1 = renderRef(P, R1);
         CE.Ref2 = renderRef(P, R2);
+        CE.Array1 = R1.ArrayId;
+        CE.Array2 = R2.ArrayId;
         CE.SameArray = R1.ArrayId == R2.ArrayId;
         CE.DistanceBytes = *Dist;
         CE.ConflictDistance = conflictDistance(*Dist, Cs);

@@ -33,6 +33,9 @@ struct ConflictEntry {
   std::string LoopVar;
   /// Rendered references, e.g. "B[j, i]" and "A[j, i+1]".
   std::string Ref1, Ref2;
+  /// Array ids of the two references (consumed by the search engine's
+  /// greedy-repair move to decide what to pad).
+  unsigned Array1 = 0, Array2 = 0;
   /// True if both references target the same array (IntraPad territory).
   bool SameArray = false;
   /// Constant per-iteration address difference in bytes.

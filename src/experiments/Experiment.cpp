@@ -6,9 +6,9 @@
 
 #include "experiments/Experiment.h"
 
-#include <atomic>
-#include <thread>
-#include <vector>
+#include "support/ThreadPool.h"
+
+#include <algorithm>
 
 using namespace padx;
 using namespace padx::expt;
@@ -48,25 +48,12 @@ MissResult expt::measurePadded(const ir::Program &P,
 
 void expt::parallelFor(size_t Count,
                        const std::function<void(size_t)> &Fn) {
-  unsigned HW = std::thread::hardware_concurrency();
-  size_t Threads = std::min<size_t>(HW == 0 ? 4 : HW, Count);
-  if (Threads <= 1) {
+  if (Count <= 1) {
     for (size_t I = 0; I != Count; ++I)
       Fn(I);
     return;
   }
-  std::atomic<size_t> Next{0};
-  std::vector<std::thread> Pool;
-  Pool.reserve(Threads);
-  for (size_t T = 0; T != Threads; ++T)
-    Pool.emplace_back([&] {
-      while (true) {
-        size_t I = Next.fetch_add(1);
-        if (I >= Count)
-          return;
-        Fn(I);
-      }
-    });
-  for (std::thread &T : Pool)
-    T.join();
+  ThreadPool Pool(static_cast<unsigned>(
+      std::min<size_t>(ThreadPool::defaultThreadCount(), Count)));
+  Pool.parallelFor(Count, Fn);
 }

@@ -1,0 +1,85 @@
+//===----------------------------------------------------------------------===//
+//
+// Part of the padx project, under the Apache License v2.0.
+//
+//===----------------------------------------------------------------------===//
+
+#include "search/Candidate.h"
+
+#include "support/MathExtras.h"
+
+#include <cassert>
+#include <sstream>
+
+using namespace padx;
+using namespace padx::search;
+
+std::string Candidate::key() const {
+  std::ostringstream OS;
+  for (size_t A = 0; A != DimPads.size(); ++A) {
+    OS << "d" << A << ":";
+    for (size_t D = 0; D != DimPads[A].size(); ++D)
+      OS << (D ? "," : "") << DimPads[A][D];
+    OS << ";";
+  }
+  OS << "g:";
+  for (size_t A = 0; A != GapBytes.size(); ++A)
+    OS << (A ? "," : "") << GapBytes[A];
+  return OS.str();
+}
+
+Candidate search::zeroCandidate(const ir::Program &P) {
+  Candidate C;
+  C.DimPads.reserve(P.arrays().size());
+  for (const ir::ArrayVariable &V : P.arrays())
+    C.DimPads.emplace_back(V.rank(), 0);
+  C.GapBytes.assign(P.arrays().size(), 0);
+  return C;
+}
+
+layout::DataLayout search::materialize(const ir::Program &P,
+                                       const Candidate &C) {
+  assert(C.DimPads.size() == P.arrays().size() &&
+         C.GapBytes.size() == P.arrays().size() &&
+         "candidate shaped for a different program");
+  layout::DataLayout DL(P);
+  for (unsigned Id = 0; Id != DL.numArrays(); ++Id) {
+    assert(C.DimPads[Id].size() == P.array(Id).rank());
+    for (unsigned D = 0; D != C.DimPads[Id].size(); ++D) {
+      assert(C.DimPads[Id][D] >= 0 && "negative pad");
+      DL.layout(Id).Dims[D] += C.DimPads[Id][D];
+    }
+  }
+  int64_t Next = 0;
+  for (unsigned Id = 0; Id != DL.numArrays(); ++Id) {
+    int64_t Align = P.array(Id).ElemSize;
+    assert(C.GapBytes[Id] >= 0 && "negative gap");
+    int64_t Addr =
+        ceilDiv(ceilDiv(Next, Align) * Align + C.GapBytes[Id], Align) *
+        Align;
+    DL.layout(Id).BaseAddr = Addr;
+    Next = Addr + DL.sizeBytes(Id);
+  }
+  return DL;
+}
+
+Candidate search::project(const layout::DataLayout &DL) {
+  const ir::Program &P = DL.program();
+  Candidate C = zeroCandidate(P);
+  for (unsigned Id = 0; Id != DL.numArrays(); ++Id)
+    for (unsigned D = 0; D != P.array(Id).rank(); ++D) {
+      int64_t Pad = DL.dimSize(Id, D) - P.array(Id).DimSizes[D];
+      C.DimPads[Id][D] = Pad > 0 ? Pad : 0;
+    }
+  int64_t Next = 0;
+  for (unsigned Id = 0; Id != DL.numArrays(); ++Id) {
+    int64_t Align = P.array(Id).ElemSize;
+    int64_t Packed = ceilDiv(Next, Align) * Align;
+    int64_t Gap = DL.layout(Id).BaseAddr - Packed;
+    C.GapBytes[Id] = Gap > 0 ? Gap : 0;
+    // Walk the *projected* placement so one clamped gap does not skew
+    // every later one.
+    Next = Packed + C.GapBytes[Id] + DL.sizeBytes(Id);
+  }
+  return C;
+}

@@ -1,0 +1,66 @@
+//===----------------------------------------------------------------------===//
+//
+// Part of the padx project, under the Apache License v2.0.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The search space of the simulation-guided padding optimizer. A
+/// Candidate is a full joint layout decision for a program: per-array
+/// extra elements on every dimension (intra-variable padding) plus bytes
+/// of slack inserted before every variable in declaration-order packing
+/// (inter-variable padding). The closed-form heuristics (PAD/PADLITE)
+/// produce exactly such layouts, so their results embed losslessly into
+/// this space and serve as search seeds — which is what guarantees the
+/// search never returns a layout worse than the heuristic baseline.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PADX_SEARCH_CANDIDATE_H
+#define PADX_SEARCH_CANDIDATE_H
+
+#include "ir/Program.h"
+#include "layout/DataLayout.h"
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace padx {
+namespace search {
+
+struct Candidate {
+  /// Per array id, per dimension: extra elements added to the declared
+  /// size (>= 0). Empty inner vectors for scalars.
+  std::vector<std::vector<int64_t>> DimPads;
+  /// Per array id: bytes inserted before the variable on top of aligned
+  /// declaration-order packing (>= 0, multiple of the element size).
+  std::vector<int64_t> GapBytes;
+
+  bool operator==(const Candidate &RHS) const = default;
+
+  /// Stable serialization used for dedup sets and log lines, e.g.
+  /// "d0:0,0;d1:2;g:0,64".
+  std::string key() const;
+};
+
+/// The identity candidate (declared sizes, packed bases) for \p P.
+Candidate zeroCandidate(const ir::Program &P);
+
+/// Builds the DataLayout a candidate denotes: padded dimensions, then
+/// bases assigned in declaration order with each variable's gap inserted
+/// ahead of it (bases stay aligned to the element size).
+layout::DataLayout materialize(const ir::Program &P, const Candidate &C);
+layout::DataLayout materialize(ir::Program &&, const Candidate &) = delete;
+
+/// Projects a concrete layout back into candidate coordinates. Exact
+/// (materialize(P, project(DL)) reproduces DL byte for byte) whenever
+/// \p DL assigns bases in declaration order with non-negative slack —
+/// true of every layout the padding drivers produce with the default
+/// (no-reorder) schemes. Negative slack is clamped to zero.
+Candidate project(const layout::DataLayout &DL);
+
+} // namespace search
+} // namespace padx
+
+#endif // PADX_SEARCH_CANDIDATE_H

@@ -1,0 +1,85 @@
+//===----------------------------------------------------------------------===//
+//
+// Part of the padx project, under the Apache License v2.0.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Proposes layout candidates for the search engine. Seeds come from the
+/// closed-form heuristics (original, PADLITE, PAD — projected losslessly
+/// into candidate coordinates); neighbors of a candidate come from three
+/// move kinds: nudging one array's column pad, nudging one variable's
+/// base gap by line multiples, and a greedy repair that reads the
+/// ConflictReport of the materialized layout and pushes apart the worst
+/// remaining severe pair. Every move respects the paper's safety
+/// analysis: arrays that cannot be intra-padded keep their declared
+/// dimensions, variables whose base cannot move keep gap 0.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PADX_SEARCH_CANDIDATEGENERATOR_H
+#define PADX_SEARCH_CANDIDATEGENERATOR_H
+
+#include "analysis/Safety.h"
+#include "machine/CacheConfig.h"
+#include "search/Candidate.h"
+
+#include <random>
+#include <vector>
+
+namespace padx {
+namespace search {
+
+class CandidateGenerator {
+public:
+  /// Analyzes \p P once (safety, heuristic seeds). \p P must outlive the
+  /// generator.
+  CandidateGenerator(const ir::Program &P, const CacheConfig &Cache);
+  CandidateGenerator(ir::Program &&, const CacheConfig &) = delete;
+
+  /// Deterministic seed candidates, deduplicated, PAD's projection
+  /// first: the packed original, the paper's PAD and PADLITE layouts.
+  const std::vector<Candidate> &seeds() const { return Seeds; }
+
+  /// Index into seeds() of the PAD heuristic's layout — the baseline the
+  /// search must never lose to.
+  size_t padSeedIndex() const { return PadSeed; }
+
+  /// Proposes up to \p Count neighbors of \p C: one greedy repair of the
+  /// worst severe conflict (when any remain), the rest random single
+  /// moves drawn from \p Rng. Deterministic given the Rng state. May
+  /// return duplicates of earlier proposals; the engine dedups.
+  std::vector<Candidate> neighbors(const Candidate &C,
+                                   std::mt19937_64 &Rng,
+                                   unsigned Count) const;
+
+  /// Applies \p Moves random moves to \p C (restart perturbation).
+  Candidate perturb(const Candidate &C, std::mt19937_64 &Rng,
+                    unsigned Moves) const;
+
+  const analysis::SafetyInfo &safety() const { return Safety; }
+
+private:
+  /// One random move (column-pad tweak or gap tweak) in place; returns
+  /// false if the program offers no mutable knob.
+  bool randomMove(Candidate &C, std::mt19937_64 &Rng) const;
+  /// Greedy repair of the worst severe conflict of materialize(C);
+  /// returns false if the layout has none.
+  bool repairWorstConflict(Candidate &C) const;
+  void clamp(Candidate &C) const;
+
+  const ir::Program &Prog;
+  CacheConfig Cache;
+  analysis::SafetyInfo Safety;
+  std::vector<Candidate> Seeds;
+  size_t PadSeed = 0;
+  /// Arrays eligible for column-pad moves / variables for gap moves.
+  std::vector<unsigned> PaddableArrays;
+  std::vector<unsigned> MovableVars;
+  int64_t MaxPadElems = 0; ///< Per-dimension intra-pad ceiling.
+};
+
+} // namespace search
+} // namespace padx
+
+#endif // PADX_SEARCH_CANDIDATEGENERATOR_H

@@ -1,0 +1,33 @@
+//===----------------------------------------------------------------------===//
+//
+// Part of the padx project, under the Apache License v2.0.
+//
+//===----------------------------------------------------------------------===//
+
+#include "search/CostModel.h"
+
+#include "analysis/MissEstimate.h"
+#include "cachesim/CacheSim.h"
+#include "exec/Trace.h"
+#include "exec/TraceRunner.h"
+
+using namespace padx;
+using namespace padx::search;
+
+CostModel::~CostModel() = default;
+
+CostSample SimulationCostModel::evaluate(
+    const layout::DataLayout &DL) const {
+  sim::CacheSim Sim(Cache);
+  exec::CacheSimSink Sink(Sim);
+  exec::TraceRunner Runner(DL.program(), DL);
+  Runner.run(Sink);
+  return {static_cast<double>(Sim.stats().Misses),
+          Sim.stats().Accesses};
+}
+
+CostSample StaticCostModel::evaluate(const layout::DataLayout &DL) const {
+  analysis::ProgramEstimate E = analysis::estimateMisses(DL, Cache);
+  return {E.PredictedMisses,
+          static_cast<uint64_t>(E.PredictedAccesses)};
+}

@@ -1,0 +1,85 @@
+//===----------------------------------------------------------------------===//
+//
+// Part of the padx project, under the Apache License v2.0.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Cost models the search engine ranks layout candidates with. The
+/// interface is deliberately tiny — a layout goes in, a lower-is-better
+/// score comes out — so the engine can mix a cheap model (static miss
+/// estimation, used to prune unpromising candidates) with an exact one
+/// (full trace-driven simulation, used to accept them). Evaluations must
+/// be pure: the engine calls evaluate() concurrently from a thread pool.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PADX_SEARCH_COSTMODEL_H
+#define PADX_SEARCH_COSTMODEL_H
+
+#include "layout/DataLayout.h"
+#include "machine/CacheConfig.h"
+
+#include <cstdint>
+#include <string>
+
+namespace padx {
+namespace search {
+
+/// Score of one evaluation; Cost is the ranking key (misses, estimated
+/// or simulated). Accesses is 0 when the model does not count them.
+struct CostSample {
+  double Cost = 0;
+  uint64_t Accesses = 0;
+
+  double missRatePercent() const {
+    return Accesses == 0
+               ? 0.0
+               : 100.0 * Cost / static_cast<double>(Accesses);
+  }
+};
+
+class CostModel {
+public:
+  virtual ~CostModel();
+
+  /// Scores \p DL (lower is better). Must be thread-safe: the search
+  /// engine invokes it concurrently on distinct layouts.
+  virtual CostSample evaluate(const layout::DataLayout &DL) const = 0;
+
+  virtual std::string name() const = 0;
+};
+
+/// The oracle: generates the full reference trace of the layout's
+/// program and runs it through the cache simulator. Cost = simulated
+/// misses. Exact and deterministic, but costs a whole program execution.
+class SimulationCostModel : public CostModel {
+public:
+  explicit SimulationCostModel(const CacheConfig &Cache) : Cache(Cache) {}
+
+  CostSample evaluate(const layout::DataLayout &DL) const override;
+  std::string name() const override { return "simulation"; }
+
+private:
+  CacheConfig Cache;
+};
+
+/// The pruner: the paper's simplified cache-miss-equation estimator
+/// (analysis::estimateMisses). Cost = predicted misses. Orders of
+/// magnitude cheaper than simulation and good at ranking, not at
+/// absolute accuracy — which is all pruning needs.
+class StaticCostModel : public CostModel {
+public:
+  explicit StaticCostModel(const CacheConfig &Cache) : Cache(Cache) {}
+
+  CostSample evaluate(const layout::DataLayout &DL) const override;
+  std::string name() const override { return "static-estimate"; }
+
+private:
+  CacheConfig Cache;
+};
+
+} // namespace search
+} // namespace padx
+
+#endif // PADX_SEARCH_COSTMODEL_H

@@ -1,0 +1,197 @@
+//===----------------------------------------------------------------------===//
+//
+// Part of the padx project, under the Apache License v2.0.
+//
+//===----------------------------------------------------------------------===//
+
+#include "search/SearchEngine.h"
+
+#include "search/CandidateGenerator.h"
+#include "search/CostModel.h"
+#include "support/ThreadPool.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <set>
+#include <sstream>
+
+using namespace padx;
+using namespace padx::search;
+
+namespace {
+
+/// Consecutive rounds allowed to produce no evaluable candidate (all
+/// duplicates) before the search concludes the neighborhood is
+/// exhausted. Purely a liveness guard; budget is the real bound.
+constexpr unsigned kMaxDryRounds = 16;
+
+} // namespace
+
+SearchResult search::runSearch(const ir::Program &P,
+                               const SearchOptions &Opts) {
+  CandidateGenerator Gen(P, Opts.Cache);
+  SimulationCostModel Exact(Opts.Cache);
+  StaticCostModel Static(Opts.Cache);
+  ThreadPool Pool(Opts.Threads);
+  std::mt19937_64 Rng(Opts.Seed);
+
+  const std::vector<Candidate> &Seeds = Gen.seeds();
+  SearchResult R(materialize(P, Seeds[Gen.padSeedIndex()]));
+
+  // Exact-scores a batch on the pool; results land by submission index,
+  // so reductions below are thread-count independent.
+  auto evaluateBatch = [&](const std::vector<Candidate> &Batch) {
+    std::vector<CostSample> Samples(Batch.size());
+    Pool.parallelFor(Batch.size(), [&](size_t I) {
+      Samples[I] = Exact.evaluate(materialize(P, Batch[I]));
+    });
+    R.ExactEvaluations += static_cast<unsigned>(Batch.size());
+    return Samples;
+  };
+
+  std::set<std::string> Seen;
+  for (const Candidate &S : Seeds)
+    Seen.insert(S.key());
+
+  unsigned Budget =
+      std::max<unsigned>(Opts.EvalBudget,
+                         static_cast<unsigned>(Seeds.size()));
+  std::vector<CostSample> SeedSamples = evaluateBatch(Seeds);
+  Budget -= static_cast<unsigned>(Seeds.size());
+
+  R.Accesses = SeedSamples.front().Accesses;
+  R.PadMisses = SeedSamples[Gen.padSeedIndex()].Cost;
+  {
+    Candidate Zero = zeroCandidate(P);
+    auto It = std::find(Seeds.begin(), Seeds.end(), Zero);
+    R.OriginalMisses = It == Seeds.end()
+                           ? R.PadMisses // PAD was a no-op; seeds merged.
+                           : SeedSamples[It - Seeds.begin()].Cost;
+  }
+
+  Candidate GlobalBest = Seeds.front();
+  double GlobalBestCost = SeedSamples.front().Cost;
+  for (size_t I = 1; I != Seeds.size(); ++I)
+    if (SeedSamples[I].Cost < GlobalBestCost) {
+      GlobalBest = Seeds[I];
+      GlobalBestCost = SeedSamples[I].Cost;
+    }
+  {
+    std::ostringstream OS;
+    OS << "seeds: original " << R.OriginalMisses << ", PAD "
+       << R.PadMisses << " misses; climbing from " << GlobalBestCost;
+    R.Log.push_back(OS.str());
+  }
+
+  Candidate Current = GlobalBest;
+  double CurrentCost = GlobalBestCost;
+  unsigned Stale = 0, DryRounds = 0;
+
+  while (Budget > 0 && DryRounds < kMaxDryRounds) {
+    ++R.Rounds;
+    std::vector<Candidate> Proposed =
+        Gen.neighbors(Current, Rng, Opts.NeighborsPerRound);
+    R.CandidatesGenerated += static_cast<unsigned>(Proposed.size());
+    if (Proposed.empty())
+      break; // Program has no padding-safe knobs at all.
+
+    std::vector<Candidate> Fresh;
+    Fresh.reserve(Proposed.size());
+    for (Candidate &C : Proposed) {
+      if (Seen.insert(C.key()).second)
+        Fresh.push_back(std::move(C));
+      else
+        ++R.DuplicatesSkipped;
+    }
+
+    if (Opts.PruneSlack > 0 && Fresh.size() > 1) {
+      // Rank by the cheap model first; only simulate candidates the
+      // estimator does not consider clearly worse than the incumbent.
+      double Incumbent =
+          Static.evaluate(materialize(P, Current)).Cost;
+      double Threshold = Incumbent * Opts.PruneSlack;
+      std::vector<double> Est(Fresh.size());
+      for (size_t I = 0; I != Fresh.size(); ++I)
+        Est[I] = Static.evaluate(materialize(P, Fresh[I])).Cost;
+      size_t KeepMin =
+          std::min_element(Est.begin(), Est.end()) - Est.begin();
+      std::vector<Candidate> Kept;
+      Kept.reserve(Fresh.size());
+      for (size_t I = 0; I != Fresh.size(); ++I) {
+        // Always keep the estimator's favorite so a round is never
+        // pruned empty.
+        if (I == KeepMin || Est[I] <= Threshold)
+          Kept.push_back(std::move(Fresh[I]));
+        else
+          ++R.PrunedStatic;
+      }
+      Fresh = std::move(Kept);
+    }
+
+    if (Fresh.size() > Budget)
+      Fresh.resize(Budget);
+    if (Fresh.empty()) {
+      ++DryRounds;
+      ++Stale;
+    } else {
+      DryRounds = 0;
+      std::vector<CostSample> Samples = evaluateBatch(Fresh);
+      Budget -= static_cast<unsigned>(Fresh.size());
+
+      size_t RoundBest = 0;
+      for (size_t I = 1; I != Samples.size(); ++I)
+        if (Samples[I].Cost < Samples[RoundBest].Cost)
+          RoundBest = I;
+      if (Samples[RoundBest].Cost < CurrentCost) {
+        Current = Fresh[RoundBest];
+        CurrentCost = Samples[RoundBest].Cost;
+        Stale = 0;
+        if (CurrentCost < GlobalBestCost) {
+          GlobalBest = Current;
+          GlobalBestCost = CurrentCost;
+          std::ostringstream OS;
+          OS << "round " << R.Rounds << ": improved to "
+             << GlobalBestCost << " misses (" << GlobalBest.key()
+             << ")";
+          R.Log.push_back(OS.str());
+        }
+      } else {
+        ++Stale;
+      }
+    }
+
+    if (Stale > Opts.MaxStaleRounds && Budget > 0) {
+      // Local optimum: restart the climb from a perturbed heuristic
+      // seed; the global best is kept aside.
+      ++R.Restarts;
+      Stale = 0;
+      Current = Gen.perturb(Seeds[R.Restarts % Seeds.size()], Rng,
+                            Opts.RestartPerturbMoves);
+      CurrentCost = std::numeric_limits<double>::infinity();
+      if (Seen.insert(Current.key()).second && Budget > 0) {
+        std::vector<CostSample> S = evaluateBatch({Current});
+        Budget -= 1;
+        CurrentCost = S.front().Cost;
+        if (CurrentCost < GlobalBestCost) {
+          GlobalBest = Current;
+          GlobalBestCost = CurrentCost;
+        }
+      }
+    }
+  }
+
+  R.Best = GlobalBest;
+  R.BestMisses = GlobalBestCost;
+  R.BestLayout = materialize(P, GlobalBest);
+  {
+    std::ostringstream OS;
+    OS << "done: " << R.ExactEvaluations << " simulations, "
+       << R.PrunedStatic << " pruned statically, "
+       << R.DuplicatesSkipped << " duplicates, " << R.Restarts
+       << " restarts; best " << GlobalBestCost << " vs PAD "
+       << R.PadMisses << " misses";
+    R.Log.push_back(OS.str());
+  }
+  return R;
+}

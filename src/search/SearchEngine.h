@@ -1,0 +1,105 @@
+//===----------------------------------------------------------------------===//
+//
+// Part of the padx project, under the Apache License v2.0.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Simulation-guided padding search: a greedy hill-climb with restarts
+/// over the joint space of inter-variable base gaps and intra-variable
+/// dimension pads. Candidates are seeded from the closed-form heuristics
+/// (so the result is never worse than PAD), neighbors are proposed by
+/// the CandidateGenerator, cheap static estimation prunes unpromising
+/// ones, and the survivors are scored exactly by trace-driven simulation
+/// — concurrently, on a support::ThreadPool.
+///
+/// Determinism contract: for a fixed program, options and seed the
+/// result is bit-identical for every thread count. All randomness runs
+/// on the single-threaded generation side; parallel evaluations are
+/// pure, keyed by submission index, and reduced in index order with ties
+/// broken toward the lower index.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PADX_SEARCH_SEARCHENGINE_H
+#define PADX_SEARCH_SEARCHENGINE_H
+
+#include "machine/CacheConfig.h"
+#include "search/Candidate.h"
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace padx {
+namespace search {
+
+struct SearchOptions {
+  CacheConfig Cache = CacheConfig::base16K();
+
+  /// Maximum exact (simulation) evaluations — the search's time budget.
+  /// Raised to the seed count when smaller: the baselines always run.
+  unsigned EvalBudget = 48;
+  /// Worker threads for candidate evaluation; 0 = hardware concurrency.
+  unsigned Threads = 1;
+  /// RNG seed for neighbor proposals and restart perturbations.
+  uint64_t Seed = 0;
+
+  /// Neighbors proposed per hill-climb round.
+  unsigned NeighborsPerRound = 8;
+  /// Rounds without improvement before restarting from a perturbed seed.
+  unsigned MaxStaleRounds = 2;
+  /// Random moves applied to a seed on restart.
+  unsigned RestartPerturbMoves = 3;
+
+  /// Prune candidates whose static estimate exceeds the incumbent's by
+  /// this factor before paying for simulation. <= 0 disables pruning.
+  double PruneSlack = 1.10;
+};
+
+struct SearchResult {
+  /// Winning candidate and its materialized layout.
+  Candidate Best;
+  layout::DataLayout BestLayout;
+
+  /// Exact (simulated) scores, as miss counts and percent miss rates.
+  double BestMisses = 0;
+  uint64_t Accesses = 0;
+  double OriginalMisses = 0;
+  double PadMisses = 0; ///< The PAD heuristic baseline.
+
+  double bestPercent() const { return percent(BestMisses); }
+  double originalPercent() const { return percent(OriginalMisses); }
+  double padPercent() const { return percent(PadMisses); }
+
+  // Search statistics for the report.
+  unsigned CandidatesGenerated = 0; ///< Proposed, including duplicates.
+  unsigned DuplicatesSkipped = 0;
+  unsigned PrunedStatic = 0; ///< Skipped on the static model's verdict.
+  unsigned ExactEvaluations = 0;
+  unsigned Rounds = 0;
+  unsigned Restarts = 0;
+
+  /// One line per accepted improvement, for --report style output.
+  std::vector<std::string> Log;
+
+  explicit SearchResult(layout::DataLayout Layout)
+      : BestLayout(std::move(Layout)) {}
+
+private:
+  double percent(double Misses) const {
+    return Accesses == 0
+               ? 0.0
+               : 100.0 * Misses / static_cast<double>(Accesses);
+  }
+};
+
+/// Runs the search on \p P. \p P must outlive the result (the layout
+/// references it).
+SearchResult runSearch(const ir::Program &P, const SearchOptions &Opts);
+SearchResult runSearch(ir::Program &&, const SearchOptions &) = delete;
+
+} // namespace search
+} // namespace padx
+
+#endif // PADX_SEARCH_SEARCHENGINE_H

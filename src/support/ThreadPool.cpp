@@ -1,0 +1,90 @@
+//===----------------------------------------------------------------------===//
+//
+// Part of the padx project, under the Apache License v2.0.
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/ThreadPool.h"
+
+#include <cassert>
+#include <exception>
+
+using namespace padx;
+
+unsigned ThreadPool::defaultThreadCount() {
+  unsigned HW = std::thread::hardware_concurrency();
+  return HW == 0 ? 4 : HW;
+}
+
+ThreadPool::ThreadPool(unsigned NumThreads) {
+  if (NumThreads == 0)
+    NumThreads = defaultThreadCount();
+  Workers.reserve(NumThreads);
+  for (unsigned T = 0; T != NumThreads; ++T)
+    Workers.emplace_back([this] { workerLoop(); });
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> Lock(Mutex);
+    Stopping = true;
+  }
+  Wake.notify_all();
+  for (std::thread &W : Workers)
+    W.join();
+}
+
+void ThreadPool::enqueue(std::function<void()> Task) {
+  {
+    std::lock_guard<std::mutex> Lock(Mutex);
+    assert(!Stopping && "enqueue on a stopping pool");
+    Tasks.push(std::move(Task));
+  }
+  Wake.notify_one();
+}
+
+void ThreadPool::workerLoop() {
+  while (true) {
+    std::function<void()> Task;
+    {
+      std::unique_lock<std::mutex> Lock(Mutex);
+      Wake.wait(Lock, [this] { return Stopping || !Tasks.empty(); });
+      if (Tasks.empty())
+        return; // Stopping and drained.
+      Task = std::move(Tasks.front());
+      Tasks.pop();
+    }
+    Task(); // packaged_task captures any exception in its future.
+  }
+}
+
+void ThreadPool::parallelFor(size_t Count,
+                             const std::function<void(size_t)> &Fn) {
+  if (Count == 0)
+    return;
+  if (Count == 1 || numThreads() <= 1) {
+    for (size_t I = 0; I != Count; ++I)
+      Fn(I);
+    return;
+  }
+  std::vector<std::future<void>> Done;
+  Done.reserve(Count);
+  for (size_t I = 0; I != Count; ++I)
+    Done.push_back(async([&Fn, I] { Fn(I); }));
+  // Wait for everything before rethrowing so no task still references
+  // captured state when we unwind; rethrow the lowest-index failure so
+  // the surfaced error does not depend on scheduling.
+  for (std::future<void> &F : Done)
+    F.wait();
+  std::exception_ptr First;
+  for (std::future<void> &F : Done) {
+    try {
+      F.get();
+    } catch (...) {
+      if (!First)
+        First = std::current_exception();
+    }
+  }
+  if (First)
+    std::rethrow_exception(First);
+}

@@ -1,0 +1,93 @@
+//===----------------------------------------------------------------------===//
+//
+// Part of the padx project, under the Apache License v2.0.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A fixed-size worker pool — the one parallel-execution primitive of
+/// padx. The search engine evaluates layout candidates on it, the
+/// experiment harness distributes independent simulations over it, and
+/// the benchmark drivers reuse it for their sweeps. Tasks are plain
+/// callables; async() returns a std::future so results and exceptions
+/// propagate to the submitting thread.
+///
+/// Determinism note: the pool makes no ordering promises between tasks.
+/// Callers that need thread-count-independent results (the search
+/// engine's acceptance criterion) must key every task's output by its
+/// submission index and reduce in index order, never in completion
+/// order.
+///
+/// parallelFor() must not be called from inside a pool task: a worker
+/// waiting on futures served by its own pool can deadlock.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PADX_SUPPORT_THREADPOOL_H
+#define PADX_SUPPORT_THREADPOOL_H
+
+#include <condition_variable>
+#include <cstddef>
+#include <functional>
+#include <future>
+#include <memory>
+#include <mutex>
+#include <queue>
+#include <thread>
+#include <type_traits>
+#include <vector>
+
+namespace padx {
+
+class ThreadPool {
+public:
+  /// Spawns \p NumThreads workers; 0 selects defaultThreadCount().
+  explicit ThreadPool(unsigned NumThreads = 0);
+
+  /// Blocks until every queued task has run to completion, then joins
+  /// the workers (futures obtained from async() therefore never dangle).
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool &) = delete;
+  ThreadPool &operator=(const ThreadPool &) = delete;
+
+  unsigned numThreads() const {
+    return static_cast<unsigned>(Workers.size());
+  }
+
+  /// std::thread::hardware_concurrency with a fallback of 4 for
+  /// platforms that report 0.
+  static unsigned defaultThreadCount();
+
+  /// Schedules \p F on a worker. The returned future yields F's result,
+  /// or rethrows the exception F exits with.
+  template <typename Fn>
+  auto async(Fn &&F) -> std::future<std::invoke_result_t<std::decay_t<Fn>>> {
+    using R = std::invoke_result_t<std::decay_t<Fn>>;
+    auto Task =
+        std::make_shared<std::packaged_task<R()>>(std::forward<Fn>(F));
+    std::future<R> Result = Task->get_future();
+    enqueue([Task] { (*Task)(); });
+    return Result;
+  }
+
+  /// Runs Fn(I) for I in [0, Count) on the pool and blocks until all
+  /// complete. Fn must be thread-safe for distinct I. If any iterations
+  /// throw, every iteration still runs, then the exception of the lowest
+  /// throwing index is rethrown (deterministic regardless of scheduling).
+  void parallelFor(size_t Count, const std::function<void(size_t)> &Fn);
+
+private:
+  void enqueue(std::function<void()> Task);
+  void workerLoop();
+
+  std::vector<std::thread> Workers;
+  std::queue<std::function<void()>> Tasks;
+  std::mutex Mutex;
+  std::condition_variable Wake;
+  bool Stopping = false;
+};
+
+} // namespace padx
+
+#endif // PADX_SUPPORT_THREADPOOL_H

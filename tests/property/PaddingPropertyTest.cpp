@@ -17,6 +17,8 @@
 #include "frontend/Parser.h"
 #include "ir/Printer.h"
 #include "ir/Validator.h"
+#include "search/CostModel.h"
+#include "search/SearchEngine.h"
 #include "support/MathExtras.h"
 #include "tests/property/RandomProgram.h"
 
@@ -135,6 +137,25 @@ TEST_P(PaddingProperty, TraceIdenticalUpToRelocation) {
   exec::TraceRunner(P, R.Layout).run(B);
   EXPECT_EQ(A.Count, B.Count);
   EXPECT_EQ(A.Writes, B.Writes);
+}
+
+TEST_P(PaddingProperty, SearchNeverWorseThanPad) {
+  // The search seeds from (and therefore can always fall back to) the
+  // PAD layout, so on *every* program its simulated miss count must be
+  // at most PAD's — measured independently here, not taken from the
+  // search's own report.
+  search::SearchOptions Opts;
+  Opts.EvalBudget = 8;
+  Opts.Threads = 2;
+  Opts.Seed = GetParam();
+  search::SearchResult R = search::runSearch(P, Opts);
+  pad::PaddingResult Pad = pad::runPad(P, Opts.Cache);
+  search::SimulationCostModel Exact(Opts.Cache);
+  EXPECT_LE(R.BestMisses, Exact.evaluate(Pad.Layout).Cost)
+      << "seed " << GetParam();
+  // And the layout it returns really has the cost it claims.
+  EXPECT_EQ(Exact.evaluate(R.BestLayout).Cost, R.BestMisses)
+      << "seed " << GetParam();
 }
 
 INSTANTIATE_TEST_SUITE_P(Seeds, PaddingProperty,

@@ -1,0 +1,111 @@
+//===----------------------------------------------------------------------===//
+//
+// Part of the padx project, under the Apache License v2.0.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// ThreadPool: results keyed by submission index must not depend on
+/// scheduling, worker exceptions must surface on the submitting thread,
+/// and the pool must drain arbitrarily more tasks than workers.
+///
+//===----------------------------------------------------------------------===//
+
+#include "support/ThreadPool.h"
+
+#include "gtest/gtest.h"
+
+#include <atomic>
+#include <numeric>
+#include <stdexcept>
+#include <vector>
+
+using namespace padx;
+
+TEST(ThreadPool, DefaultThreadCountIsPositive) {
+  EXPECT_GE(ThreadPool::defaultThreadCount(), 1u);
+  ThreadPool Pool;
+  EXPECT_EQ(Pool.numThreads(), ThreadPool::defaultThreadCount());
+}
+
+TEST(ThreadPool, AsyncReturnsValue) {
+  ThreadPool Pool(2);
+  std::future<int> F = Pool.async([] { return 6 * 7; });
+  EXPECT_EQ(F.get(), 42);
+}
+
+TEST(ThreadPool, AsyncPropagatesException) {
+  ThreadPool Pool(2);
+  std::future<int> F = Pool.async(
+      []() -> int { throw std::runtime_error("worker failed"); });
+  EXPECT_THROW(F.get(), std::runtime_error);
+}
+
+TEST(ThreadPool, ParallelForCoversEveryIndexOnce) {
+  for (unsigned Threads : {1u, 2u, 7u}) {
+    ThreadPool Pool(Threads);
+    std::vector<std::atomic<int>> Hits(100);
+    Pool.parallelFor(Hits.size(),
+                     [&](size_t I) { Hits[I].fetch_add(1); });
+    for (size_t I = 0; I != Hits.size(); ++I)
+      EXPECT_EQ(Hits[I].load(), 1) << "index " << I << " with "
+                                   << Threads << " threads";
+  }
+}
+
+TEST(ThreadPool, ParallelForResultsIndependentOfScheduling) {
+  // Identical output for any worker count when results are keyed by
+  // index — the property the search engine's determinism rests on.
+  auto Run = [](unsigned Threads) {
+    ThreadPool Pool(Threads);
+    std::vector<int64_t> Out(257);
+    Pool.parallelFor(Out.size(), [&](size_t I) {
+      Out[I] = static_cast<int64_t>(I) * static_cast<int64_t>(I);
+    });
+    return Out;
+  };
+  std::vector<int64_t> Serial = Run(1);
+  EXPECT_EQ(Serial, Run(3));
+  EXPECT_EQ(Serial, Run(8));
+}
+
+TEST(ThreadPool, ParallelForRethrowsLowestFailingIndex) {
+  ThreadPool Pool(4);
+  std::atomic<int> Ran{0};
+  try {
+    Pool.parallelFor(50, [&](size_t I) {
+      Ran.fetch_add(1);
+      if (I == 7)
+        throw std::out_of_range("seven");
+      if (I == 31)
+        throw std::runtime_error("thirty-one");
+    });
+    FAIL() << "expected an exception";
+  } catch (const std::out_of_range &E) {
+    EXPECT_STREQ(E.what(), "seven"); // Index 7 beats index 31.
+  }
+  // Every iteration still ran; a failure does not cancel the batch.
+  EXPECT_EQ(Ran.load(), 50);
+}
+
+TEST(ThreadPool, StressManyMoreTasksThanWorkers) {
+  ThreadPool Pool(2);
+  constexpr int kTasks = 2000;
+  std::atomic<int64_t> Sum{0};
+  std::vector<std::future<void>> Done;
+  Done.reserve(kTasks);
+  for (int I = 0; I != kTasks; ++I)
+    Done.push_back(Pool.async([&Sum, I] { Sum.fetch_add(I); }));
+  for (std::future<void> &F : Done)
+    F.get();
+  EXPECT_EQ(Sum.load(), static_cast<int64_t>(kTasks) * (kTasks - 1) / 2);
+}
+
+TEST(ThreadPool, DestructorFinishesRunningTasks) {
+  std::atomic<bool> Finished{false};
+  {
+    ThreadPool Pool(1);
+    Pool.async([&] { Finished = true; });
+  } // Destructor joins.
+  EXPECT_TRUE(Finished.load());
+}
