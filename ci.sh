@@ -9,6 +9,12 @@
 # (ASan does not detect data races; pair with a TSan build where a
 # thread-sanitizer-enabled toolchain is available.)
 #
+# Both configurations replay the fuzz corpus + crasher regressions via
+# the `fuzz_corpus_regression` ctest. When clang++ is on PATH a third
+# stage builds the libFuzzer target (-DPADX_FUZZ=ON) and runs a
+# 60-second smoke fuzz of the PadLang front door; without clang the
+# stage is skipped (gcc has no libFuzzer driver).
+#
 # Usage: ./ci.sh [jobs]
 #
 #===------------------------------------------------------------------------===#
@@ -26,5 +32,19 @@ echo "== sanitized: ASan+UBSan build + tests =="
 cmake -B build-asan -S . -DPADX_SANITIZE=ON -DCMAKE_BUILD_TYPE=RelWithDebInfo
 cmake --build build-asan -j "$JOBS"
 ctest --test-dir build-asan --output-on-failure -j "$JOBS"
+
+if command -v clang++ >/dev/null 2>&1; then
+  echo "== fuzz: 60-second libFuzzer smoke (clang) =="
+  cmake -B build-fuzz -S . -DPADX_FUZZ=ON \
+    -DCMAKE_C_COMPILER=clang -DCMAKE_CXX_COMPILER=clang++ \
+    -DCMAKE_BUILD_TYPE=RelWithDebInfo
+  cmake --build build-fuzz -j "$JOBS" --target padx_fuzz_parser
+  mkdir -p build-fuzz/fuzz-work
+  build-fuzz/tests/fuzz/padx_fuzz_parser \
+    -max_total_time=60 -print_final_stats=1 \
+    build-fuzz/fuzz-work tests/fuzz/corpus tests/fuzz/crashers
+else
+  echo "== fuzz: skipped (clang++ not found; libFuzzer needs clang) =="
+fi
 
 echo "== ci: all green =="

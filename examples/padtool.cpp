@@ -21,22 +21,30 @@
 ///   --budget N      search: max exact (simulated) evaluations
 ///   --threads N     search: worker threads (0 = hardware)
 ///   --seed S        search: RNG seed (default 0)
+///   --deadline SECS search: wall-clock limit; degrades to best-so-far
+///   --max-footprint BYTES  resource limit on the layout's byte size
+///   --max-accesses N       resource limit on simulated trace length
 ///   --emit          print the transformed PadLang source
 ///   --simulate      run the cache simulator on both layouts
 ///   --report        print the severe-conflict pairs before and after
 ///   --estimate      print the static miss-rate prediction (no simulation)
 ///   --list          list built-in kernels and exit
 ///
+/// Exit codes: 0 success; 1 usage or unknown option/kernel; 2 the input
+/// failed to parse or validate; 3 a resource limit was exceeded.
+///
 //===----------------------------------------------------------------------===//
 
 #include "analysis/ConflictReport.h"
 #include "analysis/MissEstimate.h"
 #include "core/Padding.h"
+#include "exec/TraceRunner.h"
 #include "experiments/Experiment.h"
 #include "frontend/Parser.h"
 #include "kernels/Kernels.h"
 #include "layout/TransformedSource.h"
 #include "search/SearchEngine.h"
+#include "support/Guard.h"
 #include "support/MathExtras.h"
 
 #include <cstdio>
@@ -50,26 +58,47 @@ using namespace padx;
 
 namespace {
 
+/// Exit codes, also documented in --help: scripts driving padtool over
+/// benchmark suites distinguish "bad input" from "input too big".
+enum ExitCode {
+  ExitSuccess = 0,
+  ExitUsage = 1,         ///< Bad flags, unknown option or kernel.
+  ExitBadInput = 2,      ///< Parse or validation failure.
+  ExitResourceLimit = 3, ///< Footprint or trace limit exceeded.
+};
+
 void usage() {
   std::fprintf(stderr,
                "usage: padtool [--cache BYTES] [--line BYTES] "
                "[--assoc K]\n"
                "               [--scheme pad|padlite|search] "
                "[--budget N] [--threads N]\n"
-               "               [--seed S] [--emit] [--simulate] "
-               "[--report] [--estimate]\n"
+               "               [--seed S] [--deadline SECS]\n"
+               "               [--max-footprint BYTES] "
+               "[--max-accesses N]\n"
+               "               [--emit] [--simulate] [--report] "
+               "[--estimate]\n"
                "               (<file.pad> | --kernel NAME [--size N] | "
-               "--list)\n");
+               "--list)\n"
+               "exit codes: 0 success, 1 usage error, 2 parse/validate "
+               "error,\n"
+               "            3 resource limit exceeded\n");
+}
+
+/// Prints accumulated diagnostics to stderr, with source snippets and
+/// carets when the source buffer is available.
+void printDiags(const DiagnosticEngine &Diags, std::string_view Source,
+                std::string_view Filename) {
+  std::fprintf(stderr, "%s", Diags.render(Source, Filename).c_str());
 }
 
 /// Rejects impossible cache geometries with a diagnostic naming the
 /// offending flag, instead of letting downstream modulo arithmetic
 /// divide by zero or wrap.
-bool validateGeometry(const CacheConfig &Cache) {
-  bool OK = true;
+bool validateGeometry(const CacheConfig &Cache, DiagnosticEngine &Diags) {
   auto Fail = [&](const char *Msg, long long V) {
-    std::fprintf(stderr, "error: %s (got %lld)\n", Msg, V);
-    OK = false;
+    Diags.error({}, std::string(Msg) + " (got " + std::to_string(V) +
+                        ")");
   };
   if (!isPowerOf2(Cache.SizeBytes))
     Fail("--cache must be a positive power of two", Cache.SizeBytes);
@@ -78,15 +107,10 @@ bool validateGeometry(const CacheConfig &Cache) {
   if (Cache.Associativity < 0)
     Fail("--assoc must be >= 0 (0 = fully associative)",
          Cache.Associativity);
-  if (!OK) // Relative checks are meaningless on garbage values.
+  if (Diags.hasErrors()) // Relative checks are meaningless on garbage.
     return false;
-  if (Cache.LineBytes > Cache.SizeBytes) {
-    std::fprintf(stderr,
-                 "error: --line (%lld) must not exceed --cache (%lld)\n",
-                 static_cast<long long>(Cache.LineBytes),
-                 static_cast<long long>(Cache.SizeBytes));
-    OK = false;
-  }
+  if (Cache.LineBytes > Cache.SizeBytes)
+    Fail("--line must not exceed --cache", Cache.LineBytes);
   if (Cache.Associativity > 1) {
     if (!isPowerOf2(Cache.Associativity))
       Fail("--assoc must be a power of two", Cache.Associativity);
@@ -94,11 +118,9 @@ bool validateGeometry(const CacheConfig &Cache) {
       Fail("--assoc * --line exceeds --cache; no such geometry exists",
            Cache.Associativity);
   }
-  if (OK && !Cache.isValid()) {
-    std::fprintf(stderr, "error: invalid cache geometry\n");
-    OK = false;
-  }
-  return OK;
+  if (!Diags.hasErrors() && !Cache.isValid())
+    Diags.error({}, "invalid cache geometry");
+  return !Diags.hasErrors();
 }
 
 } // namespace
@@ -110,6 +132,7 @@ int main(int argc, char **argv) {
   enum class SchemeKind { Pad, PadLite, Search };
   SchemeKind Scheme = SchemeKind::Pad;
   search::SearchOptions SearchOpts;
+  ResourceLimits Limits;
   std::string File, Kernel;
   int64_t Size = 0;
 
@@ -118,7 +141,7 @@ int main(int argc, char **argv) {
     auto Next = [&]() -> const char * {
       if (I + 1 >= argc) {
         usage();
-        std::exit(1);
+        std::exit(ExitUsage);
       }
       return argv[++I];
     };
@@ -138,13 +161,13 @@ int main(int argc, char **argv) {
         Scheme = SchemeKind::Pad;
       } else {
         std::fprintf(stderr, "error: unknown scheme '%s'\n", S.c_str());
-        return 1;
+        return ExitUsage;
       }
     } else if (Arg == "--budget") {
       long long N = std::atoll(Next());
       if (N <= 0) {
         std::fprintf(stderr, "error: --budget must be positive\n");
-        return 1;
+        return ExitUsage;
       }
       SearchOpts.EvalBudget = static_cast<unsigned>(N);
     } else if (Arg == "--threads") {
@@ -152,12 +175,34 @@ int main(int argc, char **argv) {
       if (N < 0) {
         std::fprintf(stderr,
                      "error: --threads must be >= 0 (0 = hardware)\n");
-        return 1;
+        return ExitUsage;
       }
       SearchOpts.Threads = static_cast<unsigned>(N);
     } else if (Arg == "--seed") {
       SearchOpts.Seed =
           static_cast<uint64_t>(std::strtoull(Next(), nullptr, 10));
+    } else if (Arg == "--deadline") {
+      double Secs = std::atof(Next());
+      if (Secs <= 0) {
+        std::fprintf(stderr, "error: --deadline must be positive\n");
+        return ExitUsage;
+      }
+      SearchOpts.DeadlineSeconds = Secs;
+    } else if (Arg == "--max-footprint") {
+      long long N = std::atoll(Next());
+      if (N <= 0) {
+        std::fprintf(stderr,
+                     "error: --max-footprint must be positive\n");
+        return ExitUsage;
+      }
+      Limits.MaxFootprintBytes = N;
+    } else if (Arg == "--max-accesses") {
+      long long N = std::atoll(Next());
+      if (N <= 0) {
+        std::fprintf(stderr, "error: --max-accesses must be positive\n");
+        return ExitUsage;
+      }
+      Limits.MaxTraceAccesses = static_cast<uint64_t>(N);
     } else if (Arg == "--emit") {
       Emit = true;
     } else if (Arg == "--simulate") {
@@ -174,48 +219,87 @@ int main(int argc, char **argv) {
       for (const auto &K : kernels::allKernels())
         std::printf("%-14s %-10s %s\n", K.Name.c_str(),
                     K.Display.c_str(), K.Description.c_str());
-      return 0;
+      return ExitSuccess;
     } else if (Arg == "--help" || Arg == "-h") {
       usage();
-      return 0;
+      return ExitSuccess;
     } else if (!Arg.empty() && Arg[0] == '-') {
       std::fprintf(stderr, "error: unknown option '%s'\n", Arg.c_str());
       usage();
-      return 1;
+      return ExitUsage;
     } else {
       File = Arg;
     }
   }
 
-  if (!validateGeometry(Cache))
-    return 1;
+  {
+    DiagnosticEngine GeomDiags;
+    if (!validateGeometry(Cache, GeomDiags)) {
+      printDiags(GeomDiags, {}, {});
+      return ExitUsage;
+    }
+  }
   if (File.empty() && Kernel.empty()) {
     usage();
-    return 1;
+    return ExitUsage;
   }
 
   // Load the program.
   std::optional<ir::Program> P;
   DiagnosticEngine Diags;
+  std::string Source;
   if (!Kernel.empty()) {
     if (!kernels::findKernel(Kernel)) {
       std::fprintf(stderr, "error: unknown kernel '%s' (--list)\n",
                    Kernel.c_str());
-      return 1;
+      return ExitUsage;
     }
     P = kernels::makeKernel(Kernel, Size);
   } else {
     std::ifstream In(File);
     if (!In) {
       std::fprintf(stderr, "error: cannot open '%s'\n", File.c_str());
-      return 1;
+      return ExitUsage;
     }
     std::ostringstream Buf;
     Buf << In.rdbuf();
-    P = frontend::parseProgram(Buf.str(), Diags);
+    Source = Buf.str();
+    P = frontend::parseProgram(Source, Diags);
     if (!P) {
-      std::fprintf(stderr, "%s", Diags.str().c_str());
-      return 1;
+      printDiags(Diags, Source, File);
+      return ExitBadInput;
+    }
+    if (!Diags.diagnostics().empty()) // Surviving warnings/notes.
+      printDiags(Diags, Source, File);
+  }
+
+  // Resource guard: the original layout's footprint bounds every padded
+  // layout within a few percent, so check it up front and refuse inputs
+  // that would make downstream passes allocate or simulate absurdly.
+  {
+    layout::DataLayout Orig = layout::originalLayout(*P);
+    if (std::optional<std::string> Err =
+            layout::checkFootprint(Orig, Limits.MaxFootprintBytes)) {
+      DiagnosticEngine LimitDiags;
+      LimitDiags.error({}, *Err);
+      printDiags(LimitDiags, Source, File.empty() ? Kernel : File);
+      return ExitResourceLimit;
+    }
+    // Same idea for the trace length: a truncated simulation would
+    // print misleading miss rates, so refuse before any report output.
+    if (Simulate && Limits.MaxTraceAccesses != 0) {
+      exec::RunOptions RO;
+      RO.MaxAccesses = Limits.MaxTraceAccesses;
+      exec::TraceRunner Probe(*P, Orig, RO);
+      exec::CountSink Count;
+      if (Probe.run(Count) == exec::RunStatus::TraceLimitReached) {
+        DiagnosticEngine LimitDiags;
+        LimitDiags.error({}, "simulated trace exceeds the limit of " +
+                                 std::to_string(Limits.MaxTraceAccesses) +
+                                 " accesses");
+        printDiags(LimitDiags, Source, File.empty() ? Kernel : File);
+        return ExitResourceLimit;
+      }
     }
   }
 
@@ -244,6 +328,10 @@ int main(int argc, char **argv) {
                 SR.ExactEvaluations, SR.Rounds, SR.Restarts);
     for (const std::string &Line : SR.Log)
       std::printf("  %s\n", Line.c_str());
+    std::printf("  outcome: %s%s%s\n",
+                search::outcomeName(SR.Outcome),
+                SR.OutcomeDetail.empty() ? "" : " — ",
+                SR.OutcomeDetail.c_str());
     std::printf("  miss rate: original %.2f%%, PAD %.2f%%, search "
                 "%.2f%%\n",
                 SR.originalPercent(), SR.padPercent(),
@@ -297,5 +385,5 @@ int main(int argc, char **argv) {
                 "---------------------------------\n");
     layout::emitTransformedSource(std::cout, *Final);
   }
-  return 0;
+  return ExitSuccess;
 }

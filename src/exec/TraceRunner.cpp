@@ -79,6 +79,11 @@ struct TraceRunner::Impl {
 
   std::vector<CompiledStmt> Body;
   std::vector<int64_t> Env;
+  // Per-run() trace accounting for RunOptions::MaxAccesses.
+  uint64_t AccessLimit = 0;
+  uint64_t Emitted = 0;
+  bool Truncated = false;
+  bool IndirectOOR = false;
   /// Materialized contents of initialized int arrays, keyed by value
   /// table index stored in CompiledRef::ValueTable.
   std::vector<std::vector<int32_t>> ValueTables;
@@ -209,29 +214,53 @@ struct TraceRunner::Impl {
     return Out;
   }
 
+  /// Counts one access against the limit; returns false once the trace
+  /// budget is exhausted.
+  bool countOne() {
+    if (++Emitted > AccessLimit) {
+      Truncated = true;
+      return false;
+    }
+    return true;
+  }
+
   void execAssign(const CompiledAssign &A, TraceSink &Sink) {
     for (const CompiledRef &R : A.Refs) {
       if (!R.Indirect) {
+        if (!countOne())
+          return;
         Sink.access(R.Addr.eval(Env), R.Size, R.IsWrite);
         continue;
       }
       // Read the index element, then access the indirected target.
+      if (!countOne())
+        return;
       Sink.access(R.IndexAddr.eval(Env), 4, /*IsWrite=*/false);
       int64_t Offset = R.IndexOffset.eval(Env);
       const std::vector<int32_t> &Table =
           ValueTables[static_cast<size_t>(R.ValueTable)];
-      assert(Offset >= 0 &&
-             Offset < static_cast<int64_t>(Table.size()) &&
-             "index array subscript out of range");
+      if (Offset < 0 || Offset >= static_cast<int64_t>(Table.size())) {
+        // A subscript that leaves the index array would be an OOB read
+        // of the value table; end the walk with a structured status
+        // instead (asserting would make release behavior input-dependent
+        // UB).
+        IndirectOOR = true;
+        Truncated = true;
+        return;
+      }
       int64_t Value = Table[static_cast<size_t>(Offset)];
       int64_t Addr = R.Addr.eval(Env) +
                      (Value - R.IndirectLower) * R.IndirectStrideBytes;
+      if (!countOne())
+        return;
       Sink.access(Addr, R.Size, R.IsWrite);
     }
   }
 
   void execStmts(const std::vector<CompiledStmt> &Stmts, TraceSink &Sink) {
     for (const CompiledStmt &S : Stmts) {
+      if (Truncated)
+        return;
       if (const auto *A = std::get_if<CompiledAssign>(&S)) {
         execAssign(*A, Sink);
         continue;
@@ -240,12 +269,12 @@ struct TraceRunner::Impl {
       int64_t Lo = L.Lower.eval(Env);
       int64_t Hi = L.Upper.eval(Env);
       if (L.Step > 0) {
-        for (int64_t V = Lo; V <= Hi; V += L.Step) {
+        for (int64_t V = Lo; V <= Hi && !Truncated; V += L.Step) {
           Env[L.Slot] = V;
           execStmts(L.Body, Sink);
         }
       } else {
-        for (int64_t V = Lo; V >= Hi; V += L.Step) {
+        for (int64_t V = Lo; V >= Hi && !Truncated; V += L.Step) {
           Env[L.Slot] = V;
           execStmts(L.Body, Sink);
         }
@@ -261,7 +290,17 @@ TraceRunner::TraceRunner(const ir::Program &Prog,
 
 TraceRunner::~TraceRunner() = default;
 
-void TraceRunner::run(TraceSink &Sink) { P->execStmts(P->Body, Sink); }
+RunStatus TraceRunner::run(TraceSink &Sink) {
+  P->AccessLimit =
+      P->Options.MaxAccesses ? P->Options.MaxAccesses : UINT64_MAX;
+  P->Emitted = 0;
+  P->Truncated = false;
+  P->IndirectOOR = false;
+  P->execStmts(P->Body, Sink);
+  if (P->IndirectOOR)
+    return RunStatus::IndirectOutOfRange;
+  return P->Truncated ? RunStatus::TraceLimitReached : RunStatus::Ok;
+}
 
 uint64_t TraceRunner::countAccesses() {
   CountSink Counter;

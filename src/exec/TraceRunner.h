@@ -32,6 +32,17 @@ struct RunOptions {
   /// Emit accesses for rank-0 (scalar) variables. Off by default: scalars
   /// live in registers inside loops.
   bool EmitScalarRefs = false;
+  /// Stop after this many accesses (0 = unlimited). A runaway loop nest
+  /// then ends in a clean TraceLimitReached status instead of pinning a
+  /// worker for hours.
+  uint64_t MaxAccesses = 0;
+};
+
+/// How a trace walk ended.
+enum class RunStatus {
+  Ok,                 ///< The whole program was walked.
+  TraceLimitReached,  ///< Stopped early at RunOptions::MaxAccesses.
+  IndirectOutOfRange, ///< An index-array subscript left the array.
 };
 
 class TraceRunner {
@@ -46,9 +57,12 @@ public:
   TraceRunner &operator=(const TraceRunner &) = delete;
 
   /// Walks the whole program once, pushing every access into \p Sink.
-  void run(TraceSink &Sink);
+  /// Returns TraceLimitReached when the walk was cut short by
+  /// RunOptions::MaxAccesses.
+  RunStatus run(TraceSink &Sink);
 
-  /// Number of accesses one run() emits (computed by a counting run).
+  /// Number of accesses one run() emits (computed by a counting run;
+  /// saturates at RunOptions::MaxAccesses when a limit is set).
   uint64_t countAccesses();
 
 private:

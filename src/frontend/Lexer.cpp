@@ -7,6 +7,7 @@
 #include "frontend/Lexer.h"
 
 #include <cctype>
+#include <cerrno>
 #include <cstdlib>
 #include <unordered_map>
 
@@ -142,8 +143,18 @@ Token Lexer::lexNumber() {
   if (IsFloat) {
     Tok.Kind = TokenKind::FloatLiteral;
   } else {
+    errno = 0;
+    int64_t Value = std::strtoll(Text.c_str(), nullptr, 10);
+    if (errno == ERANGE) {
+      // A clamped literal would silently change the program's layout
+      // arithmetic; reject it instead.
+      Diags.error(Tok.Loc,
+                  "integer literal '" + Text + "' does not fit in 64 bits");
+      Tok.Kind = TokenKind::Error;
+      return Tok;
+    }
     Tok.Kind = TokenKind::IntLiteral;
-    Tok.IntValue = std::strtoll(Text.c_str(), nullptr, 10);
+    Tok.IntValue = Value;
   }
   return Tok;
 }

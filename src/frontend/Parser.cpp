@@ -8,6 +8,7 @@
 
 #include "frontend/Lexer.h"
 #include "ir/Validator.h"
+#include "support/Guard.h"
 
 #include <algorithm>
 #include <cassert>
@@ -17,6 +18,16 @@ using namespace padx;
 using namespace padx::frontend;
 
 namespace {
+
+/// Errors stored before the parser abandons a pathological input. Real
+/// files rarely exceed a handful; fuzzer output can produce one per
+/// byte, and the cap bounds both the diagnostic buffer and parse time.
+constexpr unsigned kMaxParseErrors = 50;
+/// Loop-nest and expression-nesting ceilings: recursive-descent depth is
+/// attacker-controlled, and without a cap a few kilobytes of '(' or
+/// 'loop i=1,2{' overflow the stack.
+constexpr unsigned kMaxLoopDepth = 64;
+constexpr unsigned kMaxExprDepth = 64;
 
 class Parser {
 public:
@@ -42,13 +53,19 @@ private:
     return false;
   }
 
-  /// Skips tokens until a statement boundary: '}', 'loop', 'array' or end
-  /// of input. Used for error recovery so one bad statement does not
-  /// cascade.
+  /// Skips tokens until a statement boundary: '}', 'loop', 'array', end
+  /// of input, or an identifier that starts a later line (assignments
+  /// have no leading keyword, so a fresh line is the only cue that a new
+  /// statement begins). Used for error recovery so one bad statement
+  /// does not swallow the diagnostics of everything after it.
   void synchronize() {
+    uint32_t StartLine = Tok.Loc.Line;
     while (!Tok.is(TokenKind::Eof) && !Tok.is(TokenKind::RBrace) &&
-           !Tok.is(TokenKind::KwLoop) && !Tok.is(TokenKind::KwArray))
+           !Tok.is(TokenKind::KwLoop) && !Tok.is(TokenKind::KwArray)) {
+      if (Tok.is(TokenKind::Identifier) && Tok.Loc.Line > StartLine)
+        return;
       consume();
+    }
   }
 
   // Symbol lookup --------------------------------------------------------
@@ -91,6 +108,7 @@ private:
   ir::Program Prog;
   Token Tok;
   std::vector<std::string> LoopVars;
+  unsigned ExprDepth = 0;
 };
 
 } // namespace
@@ -143,8 +161,14 @@ bool Parser::parseDecl() {
                                V.Name + "'");
           return false;
         }
+        int64_t Size = 0;
+        if (subOverflow(Upper, First, Size) || addOverflow(Size, 1, Size)) {
+          Diags.error(Loc, "dimension bounds of '" + V.Name +
+                               "' overflow 64-bit size arithmetic");
+          return false;
+        }
         V.LowerBounds.push_back(First);
-        V.DimSizes.push_back(Upper - First + 1);
+        V.DimSizes.push_back(Size);
       } else {
         V.LowerBounds.push_back(1);
         V.DimSizes.push_back(First);
@@ -357,17 +381,28 @@ bool Parser::parseRef(ir::ArrayRef &Ref) {
 }
 
 bool Parser::parseFactor(std::vector<ir::ArrayRef> &Reads) {
+  if (ExprDepth >= kMaxExprDepth) {
+    Diags.error(Tok.Loc, "expression nesting exceeds the limit of " +
+                             std::to_string(kMaxExprDepth));
+    return false;
+  }
   if (Tok.is(TokenKind::IntLiteral) || Tok.is(TokenKind::FloatLiteral)) {
     consume();
     return true;
   }
   if (Tok.is(TokenKind::Minus)) {
     consume();
-    return parseFactor(Reads);
+    ++ExprDepth;
+    bool OK = parseFactor(Reads);
+    --ExprDepth;
+    return OK;
   }
   if (Tok.is(TokenKind::LParen)) {
     consume();
-    if (!parseExpr(Reads))
+    ++ExprDepth;
+    bool OK = parseExpr(Reads);
+    --ExprDepth;
+    if (!OK)
       return false;
     return expect(TokenKind::RParen, "to close parenthesized expression");
   }
@@ -429,6 +464,11 @@ bool Parser::parseAssign(std::vector<ir::Stmt> &Body) {
 bool Parser::parseLoop(std::vector<ir::Stmt> &Body) {
   SourceLocation Loc = Tok.Loc;
   consume(); // 'loop'
+  if (LoopVars.size() >= kMaxLoopDepth) {
+    Diags.error(Loc, "loop nesting exceeds the limit of " +
+                         std::to_string(kMaxLoopDepth));
+    return false;
+  }
   if (!Tok.is(TokenKind::Identifier)) {
     Diags.error(Tok.Loc, "expected loop variable after 'loop'");
     return false;
@@ -481,8 +521,13 @@ bool Parser::parseLoop(std::vector<ir::Stmt> &Body) {
 
 bool Parser::parseStmts(std::vector<ir::Stmt> &Body, bool TopLevel) {
   while (true) {
+    if (Diags.errorLimitReached())
+      return TopLevel; // Give up on pathological input; errors are set.
     if (Tok.is(TokenKind::Eof))
-      return TopLevel;
+      // In a nested body, report success so parseLoop reaches its
+      // expect('}') and diagnoses the unterminated loop instead of
+      // silently dropping it.
+      return true;
     if (Tok.is(TokenKind::RBrace)) {
       if (TopLevel) {
         Diags.error(Tok.Loc, "unmatched '}'");
@@ -513,16 +558,22 @@ bool Parser::parseStmts(std::vector<ir::Stmt> &Body, bool TopLevel) {
 }
 
 std::optional<ir::Program> Parser::run() {
-  if (!expect(TokenKind::KwProgram, "at start of file"))
-    return std::nullopt;
-  if (!Tok.is(TokenKind::Identifier)) {
+  // Header errors do not abort the parse: a missing or malformed header
+  // still leaves declarations and statements worth diagnosing in one
+  // pass, so recover with a placeholder name and keep going.
+  if (!expect(TokenKind::KwProgram, "at start of file")) {
+    Prog.setName("<error>");
+    synchronize();
+  } else if (!Tok.is(TokenKind::Identifier)) {
     Diags.error(Tok.Loc, "expected program name");
-    return std::nullopt;
+    Prog.setName("<error>");
+    synchronize();
+  } else {
+    Prog.setName(Tok.Text);
+    consume();
   }
-  Prog.setName(Tok.Text);
-  consume();
 
-  while (Tok.is(TokenKind::KwArray))
+  while (Tok.is(TokenKind::KwArray) && !Diags.errorLimitReached())
     if (!parseDecl())
       synchronize();
 
@@ -537,5 +588,9 @@ std::optional<ir::Program> Parser::run() {
 
 std::optional<ir::Program>
 frontend::parseProgram(std::string_view Source, DiagnosticEngine &Diags) {
+  // Bound the diagnostics of pathological inputs unless the caller chose
+  // a cap (or explicitly disabled one before handing the engine over).
+  if (Diags.errorLimit() == 0)
+    Diags.setErrorLimit(kMaxParseErrors);
   return Parser(Source, Diags).run();
 }

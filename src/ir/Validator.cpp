@@ -6,6 +6,8 @@
 
 #include "ir/Validator.h"
 
+#include "support/Guard.h"
+
 #include <algorithm>
 #include <string>
 #include <vector>
@@ -38,11 +40,39 @@ private:
       if (V.DimSizes.size() != V.LowerBounds.size())
         Diags.error({}, "array '" + V.Name +
                             "' has mismatched dim/lower-bound lists");
+      bool DimsOK = true;
       for (int64_t D : V.DimSizes)
-        if (D <= 0)
+        if (D <= 0) {
           Diags.error({}, "array '" + V.Name +
                               "' has non-positive dimension size");
+          DimsOK = false;
+        }
+      // Every address computation downstream linearizes the dims with
+      // plain int64 multiplies; reject arrays where that product wraps
+      // so an "optimized" layout can never be silently wrong.
+      if (DimsOK && (V.ElemSize == 4 || V.ElemSize == 8) &&
+          !checkedLinearExtentBytes(V.DimSizes, V.ElemSize))
+        Diags.error({}, "array '" + V.Name +
+                            "' has a linearized extent that overflows "
+                            "the 64-bit address space");
     }
+  }
+
+  /// Rejects affine quantities (subscript/bound constants and
+  /// coefficients, steps) whose magnitude would let later stride
+  /// products overflow; see kMaxAffineMagnitude.
+  void checkAffineMagnitude(const AffineExpr &E, SourceLocation Loc,
+                            const char *What) {
+    auto TooBig = [](int64_t V) {
+      return V < -kMaxAffineMagnitude || V > kMaxAffineMagnitude;
+    };
+    bool Bad = TooBig(E.constantPart());
+    for (const AffineTerm &T : E.terms())
+      Bad = Bad || TooBig(T.Coeff);
+    if (Bad)
+      Diags.error(Loc, std::string(What) +
+                           " has a coefficient or constant beyond the "
+                           "supported magnitude (2^40)");
   }
 
   bool isBound(const std::string &Var) const {
@@ -72,8 +102,10 @@ private:
                            std::to_string(V.rank()));
       return;
     }
-    for (const AffineExpr &S : R.Subscripts)
+    for (const AffineExpr &S : R.Subscripts) {
       checkExprVars(S, Loc, "subscript");
+      checkAffineMagnitude(S, Loc, "subscript");
+    }
     if (R.IndirectDim >= 0) {
       if (static_cast<size_t>(R.IndirectDim) >= R.Subscripts.size()) {
         Diags.error(Loc, "indirect dimension out of range for '" + V.Name +
@@ -117,12 +149,18 @@ private:
       const auto &L = std::get<std::unique_ptr<Loop>>(S);
       if (L->Step == 0)
         Diags.error(L->Loc, "loop '" + L->IndexVar + "' has zero step");
+      if (L->Step < -kMaxAffineMagnitude || L->Step > kMaxAffineMagnitude)
+        Diags.error(L->Loc, "loop '" + L->IndexVar +
+                                "' has a step beyond the supported "
+                                "magnitude (2^40)");
       if (isBound(L->IndexVar))
         Diags.error(L->Loc, "loop variable '" + L->IndexVar +
                                 "' shadows an enclosing loop variable");
       // Bounds may only use *outer* loop variables.
       checkExprVars(L->Lower, L->Loc, "loop lower bound");
       checkExprVars(L->Upper, L->Loc, "loop upper bound");
+      checkAffineMagnitude(L->Lower, L->Loc, "loop lower bound");
+      checkAffineMagnitude(L->Upper, L->Loc, "loop upper bound");
       LoopVars.push_back(L->IndexVar);
       checkStmts(L->Body);
       LoopVars.pop_back();

@@ -6,9 +6,11 @@
 
 #include "layout/DataLayout.h"
 
+#include "support/Guard.h"
 #include "support/MathExtras.h"
 
 #include <cassert>
+#include <sstream>
 
 using namespace padx;
 using namespace padx::layout;
@@ -40,6 +42,27 @@ int64_t DataLayout::numElements(unsigned Id) const {
 
 int64_t DataLayout::sizeBytes(unsigned Id) const {
   return numElements(Id) * Prog->array(Id).ElemSize;
+}
+
+std::optional<int64_t> DataLayout::checkedSizeBytes(unsigned Id) const {
+  return checkedLinearExtentBytes(Layouts[Id].Dims,
+                                  Prog->array(Id).ElemSize);
+}
+
+std::optional<int64_t> DataLayout::checkedTotalBytes() const {
+  int64_t End = 0;
+  for (unsigned Id = 0, E = numArrays(); Id != E; ++Id) {
+    const ArrayLayout &L = Layouts[Id];
+    if (L.BaseAddr == ArrayLayout::kUnassigned)
+      continue;
+    std::optional<int64_t> Size = checkedSizeBytes(Id);
+    int64_t VarEnd = 0;
+    if (!Size || addOverflow(L.BaseAddr, *Size, VarEnd))
+      return std::nullopt;
+    if (VarEnd > End)
+      End = VarEnd;
+  }
+  return End;
 }
 
 int64_t DataLayout::addressOf(unsigned Id,
@@ -100,4 +123,20 @@ DataLayout layout::originalLayout(const ir::Program &P) {
   DataLayout DL(P);
   assignSequentialBases(DL);
   return DL;
+}
+
+std::optional<std::string> layout::checkFootprint(const DataLayout &DL,
+                                                  int64_t MaxBytes) {
+  std::optional<int64_t> Total = DL.checkedTotalBytes();
+  if (!Total) {
+    return std::string("layout footprint overflows 64-bit address "
+                       "arithmetic");
+  }
+  if (*Total > MaxBytes) {
+    std::ostringstream OS;
+    OS << "layout footprint of " << *Total
+       << " bytes exceeds the limit of " << MaxBytes << " bytes";
+    return OS.str();
+  }
+  return std::nullopt;
 }

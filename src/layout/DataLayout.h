@@ -20,7 +20,9 @@
 #include "ir/Program.h"
 
 #include <cstdint>
+#include <optional>
 #include <span>
+#include <string>
 #include <vector>
 
 namespace padx {
@@ -67,6 +69,15 @@ public:
   int64_t numElements(unsigned Id) const;
   int64_t sizeBytes(unsigned Id) const;
 
+  /// Overflow-checked variant of sizeBytes: nullopt when the padded
+  /// dimension product wraps int64 (adversarial shapes the validator
+  /// rejects at the front door, but padding passes can also grow dims).
+  std::optional<int64_t> checkedSizeBytes(unsigned Id) const;
+
+  /// Overflow-checked end of the global segment: nullopt when any
+  /// variable's extent or base+size sum wraps int64.
+  std::optional<int64_t> checkedTotalBytes() const;
+
   /// Column size in elements (padded first dimension; 1 for scalars) —
   /// the paper's Col_s.
   int64_t columnElems(unsigned Id) const {
@@ -102,6 +113,13 @@ void assignSequentialBases(DataLayout &DL);
 /// Builds the original (unpadded, sequentially packed) layout of \p P.
 DataLayout originalLayout(const ir::Program &P);
 DataLayout originalLayout(ir::Program &&) = delete;
+
+/// Checks \p DL against a byte-footprint ceiling with overflow-checked
+/// arithmetic. Returns nullopt when the layout fits, otherwise a
+/// human-readable reason ("layout footprint ... exceeds the limit ...")
+/// suitable for a resource-limit diagnostic.
+std::optional<std::string> checkFootprint(const DataLayout &DL,
+                                          int64_t MaxBytes);
 
 } // namespace layout
 } // namespace padx

@@ -11,7 +11,9 @@
 #include "support/ThreadPool.h"
 
 #include <algorithm>
+#include <chrono>
 #include <cmath>
+#include <exception>
 #include <limits>
 #include <set>
 #include <sstream>
@@ -27,6 +29,22 @@ namespace {
 constexpr unsigned kMaxDryRounds = 16;
 
 } // namespace
+
+const char *search::outcomeName(SearchOutcome O) {
+  switch (O) {
+  case SearchOutcome::Completed:
+    return "completed";
+  case SearchOutcome::BudgetExhausted:
+    return "budget exhausted";
+  case SearchOutcome::DeadlineExpired:
+    return "deadline expired";
+  case SearchOutcome::Cancelled:
+    return "cancelled";
+  case SearchOutcome::EvaluationFailed:
+    return "evaluation failed";
+  }
+  return "unknown";
+}
 
 SearchResult search::runSearch(const ir::Program &P,
                                const SearchOptions &Opts) {
@@ -88,13 +106,61 @@ SearchResult search::runSearch(const ir::Program &P,
   double CurrentCost = GlobalBestCost;
   unsigned Stale = 0, DryRounds = 0;
 
-  while (Budget > 0 && DryRounds < kMaxDryRounds) {
+  // Degradation machinery: the climb below may stop for reasons other
+  // than convergence (deadline, cancellation, a throwing evaluation).
+  // Every stop path keeps the best-so-far candidate — which includes the
+  // already-evaluated PAD seed — so the result is always valid.
+  using Clock = std::chrono::steady_clock;
+  const bool HasDeadline = Opts.DeadlineSeconds > 0;
+  const Clock::time_point Deadline =
+      Clock::now() + std::chrono::duration_cast<Clock::duration>(
+                         std::chrono::duration<double>(
+                             HasDeadline ? Opts.DeadlineSeconds : 0));
+  auto Stop = [&](SearchOutcome O, std::string Detail) {
+    R.Outcome = O;
+    R.OutcomeDetail = std::move(Detail);
+    std::ostringstream OS;
+    OS << "stopped (" << outcomeName(O) << "): " << R.OutcomeDetail;
+    R.Log.push_back(OS.str());
+  };
+
+  bool Running = true;
+  while (Running) {
+    if (Budget == 0) {
+      Stop(SearchOutcome::BudgetExhausted,
+           "used all " + std::to_string(R.ExactEvaluations) +
+               " exact evaluations");
+      break;
+    }
+    if (DryRounds >= kMaxDryRounds) {
+      Stop(SearchOutcome::Completed,
+           "neighborhood exhausted after " +
+               std::to_string(R.Rounds) + " rounds");
+      break;
+    }
+    if (Opts.Cancel && Opts.Cancel->load(std::memory_order_relaxed)) {
+      Stop(SearchOutcome::Cancelled,
+           "cancellation requested after " +
+               std::to_string(R.ExactEvaluations) + " evaluations");
+      break;
+    }
+    if (HasDeadline && Clock::now() >= Deadline) {
+      std::ostringstream OS;
+      OS << "deadline of " << Opts.DeadlineSeconds << "s expired after "
+         << R.ExactEvaluations << " evaluations";
+      Stop(SearchOutcome::DeadlineExpired, OS.str());
+      break;
+    }
+    try {
     ++R.Rounds;
     std::vector<Candidate> Proposed =
         Gen.neighbors(Current, Rng, Opts.NeighborsPerRound);
     R.CandidatesGenerated += static_cast<unsigned>(Proposed.size());
-    if (Proposed.empty())
-      break; // Program has no padding-safe knobs at all.
+    if (Proposed.empty()) {
+      // Program has no padding-safe knobs at all.
+      Stop(SearchOutcome::Completed, "no padding-safe knobs to explore");
+      break;
+    }
 
     std::vector<Candidate> Fresh;
     Fresh.reserve(Proposed.size());
@@ -178,6 +244,13 @@ SearchResult search::runSearch(const ir::Program &P,
           GlobalBestCost = CurrentCost;
         }
       }
+    }
+    } catch (const std::exception &E) {
+      // A cost-model task died (bad_alloc, a sanitizer-adjacent logic
+      // error surfaced as an exception, ...). Degrade to the best
+      // candidate evaluated so far instead of tearing the caller down.
+      Stop(SearchOutcome::EvaluationFailed, E.what());
+      Running = false;
     }
   }
 

@@ -27,6 +27,7 @@
 #include "machine/CacheConfig.h"
 #include "search/Candidate.h"
 
+#include <atomic>
 #include <cstdint>
 #include <string>
 #include <vector>
@@ -55,12 +56,43 @@ struct SearchOptions {
   /// Prune candidates whose static estimate exceeds the incumbent's by
   /// this factor before paying for simulation. <= 0 disables pruning.
   double PruneSlack = 1.10;
+
+  /// Wall-clock deadline in seconds (0 = none). The seed evaluations
+  /// always run — they carry the "never worse than PAD" guarantee — but
+  /// the climb stops at the deadline and the best-so-far candidate is
+  /// returned with a DeadlineExpired outcome.
+  double DeadlineSeconds = 0;
+
+  /// Optional cancellation token polled between evaluation batches. Set
+  /// it to true from another thread (a signal handler, a serving
+  /// front end shedding load) to stop the climb at the next batch
+  /// boundary with a Cancelled outcome.
+  const std::atomic<bool> *Cancel = nullptr;
 };
+
+/// Why the search stopped. Everything except Completed is a degraded
+/// stop: the result is still valid (never worse than the PAD seed), the
+/// climb just did not run to convergence.
+enum class SearchOutcome {
+  Completed,        ///< Converged: neighborhood exhausted or no knobs.
+  BudgetExhausted,  ///< Used every exact evaluation the budget allowed.
+  DeadlineExpired,  ///< Hit SearchOptions::DeadlineSeconds.
+  Cancelled,        ///< The cancellation token was set.
+  EvaluationFailed, ///< A cost-model task threw (e.g. out of memory).
+};
+
+const char *outcomeName(SearchOutcome O);
 
 struct SearchResult {
   /// Winning candidate and its materialized layout.
   Candidate Best;
   layout::DataLayout BestLayout;
+
+  /// Why the search stopped, with a human-readable reason in
+  /// OutcomeDetail (e.g. "deadline of 0.5s expired after 12
+  /// evaluations").
+  SearchOutcome Outcome = SearchOutcome::Completed;
+  std::string OutcomeDetail;
 
   /// Exact (simulated) scores, as miss counts and percent miss rates.
   double BestMisses = 0;

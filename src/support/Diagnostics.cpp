@@ -31,3 +31,49 @@ std::string DiagnosticEngine::str() const {
   }
   return OS.str();
 }
+
+/// Returns the 1-based line \p Line of \p Source without its terminator,
+/// or an empty view when the buffer has fewer lines.
+static std::string_view sourceLine(std::string_view Source, uint32_t Line) {
+  size_t Begin = 0;
+  for (uint32_t L = 1; L < Line; ++L) {
+    size_t NL = Source.find('\n', Begin);
+    if (NL == std::string_view::npos)
+      return {};
+    Begin = NL + 1;
+  }
+  size_t End = Source.find('\n', Begin);
+  if (End == std::string_view::npos)
+    End = Source.size();
+  return Source.substr(Begin, End - Begin);
+}
+
+std::string DiagnosticEngine::render(std::string_view Source,
+                                     std::string_view Filename) const {
+  std::ostringstream OS;
+  for (const Diagnostic &D : Diags) {
+    if (D.Loc.isValid()) {
+      if (!Filename.empty())
+        OS << Filename << ':';
+      OS << D.Loc.Line << ':' << D.Loc.Column << ": ";
+    } else if (!Filename.empty()) {
+      OS << Filename << ": ";
+    }
+    OS << severityName(D.Severity) << ": " << D.Message << '\n';
+    if (!D.Loc.isValid())
+      continue;
+    std::string_view Line = sourceLine(Source, D.Loc.Line);
+    if (Line.empty() && D.Loc.Column > 1)
+      continue; // Location past the buffer (e.g. EOF on the last line).
+    OS << "  " << Line << '\n' << "  ";
+    // The caret column is clamped into the line; tabs keep their width so
+    // the caret stays under the token on tab-indented sources.
+    size_t Col = D.Loc.Column == 0 ? 0 : D.Loc.Column - 1;
+    if (Col > Line.size())
+      Col = Line.size();
+    for (size_t I = 0; I != Col; ++I)
+      OS << (Line[I] == '\t' ? '\t' : ' ');
+    OS << "^\n";
+  }
+  return OS.str();
+}

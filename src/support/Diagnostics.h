@@ -9,6 +9,12 @@
 /// padx does not use exceptions; fallible phases append to a DiagnosticEngine
 /// and callers test hasErrors().
 ///
+/// The engine supports an error cap: once \c errorCount() reaches the
+/// configured limit, further errors are counted but not stored, and a
+/// single "too many errors" note marks the truncation. The parser uses
+/// this to bound the diagnostics of pathological (e.g. fuzzer-generated)
+/// inputs while still reporting every problem of a merely buggy file.
+///
 //===----------------------------------------------------------------------===//
 
 #ifndef PADX_SUPPORT_DIAGNOSTICS_H
@@ -17,6 +23,7 @@
 #include "support/SourceLocation.h"
 
 #include <string>
+#include <string_view>
 #include <vector>
 
 namespace padx {
@@ -35,8 +42,13 @@ struct Diagnostic {
 class DiagnosticEngine {
 public:
   void error(SourceLocation Loc, std::string Message) {
-    Diags.push_back({DiagSeverity::Error, Loc, std::move(Message)});
     ++NumErrors;
+    if (ErrorLimit != 0 && NumErrors > ErrorLimit)
+      return; // Counted, not stored: the cap bounds output, not truth.
+    Diags.push_back({DiagSeverity::Error, Loc, std::move(Message)});
+    if (NumErrors == ErrorLimit)
+      Diags.push_back({DiagSeverity::Note, Loc,
+                       "too many errors, further diagnostics suppressed"});
   }
 
   void warning(SourceLocation Loc, std::string Message) {
@@ -47,6 +59,15 @@ public:
     Diags.push_back({DiagSeverity::Note, Loc, std::move(Message)});
   }
 
+  /// Caps the number of errors that are stored (0 = unlimited). Callers
+  /// that stream untrusted input (the parser) set this before parsing and
+  /// poll errorLimitReached() to abandon hopeless files.
+  void setErrorLimit(unsigned Limit) { ErrorLimit = Limit; }
+  unsigned errorLimit() const { return ErrorLimit; }
+  bool errorLimitReached() const {
+    return ErrorLimit != 0 && NumErrors >= ErrorLimit;
+  }
+
   bool hasErrors() const { return NumErrors != 0; }
   unsigned errorCount() const { return NumErrors; }
   const std::vector<Diagnostic> &diagnostics() const { return Diags; }
@@ -55,9 +76,23 @@ public:
   /// e.g. for tool output or test failure messages.
   std::string str() const;
 
+  /// Renders every diagnostic with the offending source line and a caret
+  /// marking the column:
+  ///
+  ///   file.pad:3:12: error: expected ']' after dimensions
+  ///     array A : real[512, 512
+  ///                ^
+  ///
+  /// \p Source is the buffer the locations refer to; \p Filename prefixes
+  /// each location when non-empty. Diagnostics without a location render
+  /// without the snippet.
+  std::string render(std::string_view Source,
+                     std::string_view Filename = {}) const;
+
 private:
   std::vector<Diagnostic> Diags;
   unsigned NumErrors = 0;
+  unsigned ErrorLimit = 0;
 };
 
 } // namespace padx

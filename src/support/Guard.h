@@ -1,0 +1,80 @@
+//===----------------------------------------------------------------------===//
+//
+// Part of the padx project, under the Apache License v2.0.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Checked integer arithmetic and resource limits — the guard rails that
+/// keep adversarial inputs from turning padx's address arithmetic into
+/// undefined behavior or a runaway simulation into an OOM. The paper's
+/// layout math (Rivera & Tseng) and the constraint-style optimizers it
+/// inspired all assume exact int64 arithmetic; on inputs where that
+/// assumption breaks (dims whose product exceeds the address space,
+/// subscripts with astronomical constants) the front door must produce a
+/// clean diagnostic, never a wrong layout.
+///
+/// All helpers are header-only and branch-cheap; hot paths that have
+/// already been validated keep using plain operators.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PADX_SUPPORT_GUARD_H
+#define PADX_SUPPORT_GUARD_H
+
+#include <cstdint>
+#include <optional>
+#include <span>
+
+namespace padx {
+
+/// Computes A + B into Out; returns true iff the result wrapped.
+inline bool addOverflow(int64_t A, int64_t B, int64_t &Out) {
+  return __builtin_add_overflow(A, B, &Out);
+}
+
+/// Computes A - B into Out; returns true iff the result wrapped.
+inline bool subOverflow(int64_t A, int64_t B, int64_t &Out) {
+  return __builtin_sub_overflow(A, B, &Out);
+}
+
+/// Computes A * B into Out; returns true iff the result wrapped.
+inline bool mulOverflow(int64_t A, int64_t B, int64_t &Out) {
+  return __builtin_mul_overflow(A, B, &Out);
+}
+
+/// Linearized size in bytes of an array with the given (positive)
+/// dimension sizes and element size, or nullopt when the product
+/// overflows int64 — i.e. when no flat address computation over the
+/// array can be trusted.
+inline std::optional<int64_t>
+checkedLinearExtentBytes(std::span<const int64_t> Dims, int64_t ElemSize) {
+  int64_t Bytes = ElemSize;
+  for (int64_t D : Dims)
+    if (D <= 0 || mulOverflow(Bytes, D, Bytes))
+      return std::nullopt;
+  return Bytes;
+}
+
+/// Largest magnitude accepted for any single affine quantity the
+/// validator lets through: subscript constants and coefficients, loop
+/// bounds, loop steps. 2^40 leaves ~23 bits of headroom before any
+/// product with an in-limit stride can reach int64 overflow, so
+/// downstream affine evaluation stays exact.
+inline constexpr int64_t kMaxAffineMagnitude = int64_t(1) << 40;
+
+/// Configurable ceilings for a padx run. Zero means "no limit" for the
+/// trace bound; the footprint bound always applies (the default is far
+/// above any benchmark but small enough that address arithmetic keeps
+/// dozens of headroom bits).
+struct ResourceLimits {
+  /// Ceiling on the total byte footprint of a layout (1 TiB default).
+  int64_t MaxFootprintBytes = int64_t(1) << 40;
+  /// Ceiling on the number of trace accesses a simulation may emit;
+  /// 0 = unlimited.
+  uint64_t MaxTraceAccesses = 0;
+};
+
+} // namespace padx
+
+#endif // PADX_SUPPORT_GUARD_H

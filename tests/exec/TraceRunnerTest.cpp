@@ -213,3 +213,72 @@ loop i = 1, 1 {
   EXPECT_FALSE(Events[1].IsWrite);
   EXPECT_TRUE(Events[2].IsWrite);
 }
+
+//===----------------------------------------------------------------------===//
+// Resource limits
+//===----------------------------------------------------------------------===//
+
+TEST(TraceRunner, MaxAccessesTruncatesTrace) {
+  ir::Program P = parseOrDie(R"(program p
+array A : real[64]
+loop i = 1, 64 {
+  A[i] = A[i] + 1.0
+}
+)");
+  layout::DataLayout DL = layout::originalLayout(P);
+  RunOptions Opts;
+  Opts.MaxAccesses = 10;
+  TraceRunner Runner(P, DL, Opts);
+  CollectSink Sink;
+  EXPECT_EQ(Runner.run(Sink), RunStatus::TraceLimitReached);
+  // The sink saw exactly the cap, not one event more.
+  EXPECT_EQ(Sink.Events.size(), 10u);
+}
+
+TEST(TraceRunner, ZeroMaxAccessesMeansUnlimited) {
+  ir::Program P = parseOrDie(R"(program p
+array A : real[8]
+loop i = 1, 8 {
+  A[i] = 1.0
+}
+)");
+  layout::DataLayout DL = layout::originalLayout(P);
+  TraceRunner Runner(P, DL); // Default RunOptions: MaxAccesses = 0.
+  CollectSink Sink;
+  EXPECT_EQ(Runner.run(Sink), RunStatus::Ok);
+  EXPECT_EQ(Sink.Events.size(), 8u);
+}
+
+TEST(TraceRunner, IndirectTableOverrunIsACleanStop) {
+  // The subscript into the index array walks past its 8 entries; the
+  // runner must stop with a status instead of reading out of range.
+  ir::Program P = parseOrDie(R"(program p
+array X : real[64]
+array IDX : int[8] init identity
+loop i = 1, 8 {
+  X[IDX[i+7]] = 2.0
+}
+)");
+  layout::DataLayout DL = layout::originalLayout(P);
+  TraceRunner Runner(P, DL);
+  CollectSink Sink;
+  EXPECT_EQ(Runner.run(Sink), RunStatus::IndirectOutOfRange);
+}
+
+TEST(TraceRunner, RunnerIsReusableAfterTruncation) {
+  // A capped run must not poison a later run of the same runner.
+  ir::Program P = parseOrDie(R"(program p
+array A : real[16]
+loop i = 1, 16 {
+  A[i] = 1.0
+}
+)");
+  layout::DataLayout DL = layout::originalLayout(P);
+  RunOptions Opts;
+  Opts.MaxAccesses = 4;
+  TraceRunner Runner(P, DL, Opts);
+  CollectSink First, Second;
+  EXPECT_EQ(Runner.run(First), RunStatus::TraceLimitReached);
+  EXPECT_EQ(Runner.run(Second), RunStatus::TraceLimitReached);
+  EXPECT_EQ(First.Events.size(), Second.Events.size());
+}

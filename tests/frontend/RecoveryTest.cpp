@@ -1,0 +1,253 @@
+//===----------------------------------------------------------------------===//
+//
+// Part of the padx project, under the Apache License v2.0.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Parser error recovery and diagnostic quality on malformed input: one
+/// pass must report every independent problem (panic-mode recovery at
+/// statement boundaries), bound pathological inputs with the error cap,
+/// and render caret-marked snippets — the contract padtool and the fuzz
+/// harness build on.
+///
+//===----------------------------------------------------------------------===//
+
+#include "frontend/Parser.h"
+
+#include "gtest/gtest.h"
+
+using namespace padx;
+
+namespace {
+
+/// Parses and returns the diagnostics; asserts the parse failed.
+DiagnosticEngine parseBad(std::string_view Src) {
+  DiagnosticEngine Diags;
+  auto P = frontend::parseProgram(Src, Diags);
+  EXPECT_FALSE(P) << "expected a parse failure";
+  EXPECT_TRUE(Diags.hasErrors());
+  return Diags;
+}
+
+bool contains(const std::string &Haystack, std::string_view Needle) {
+  return Haystack.find(Needle) != std::string::npos;
+}
+
+//===----------------------------------------------------------------------===//
+// Multi-error recovery
+//===----------------------------------------------------------------------===//
+
+TEST(Recovery, TwoDistinctSyntaxErrorsBothReported) {
+  // Acceptance criterion: a file with 2+ independent syntax errors must
+  // surface at least 2 diagnostics in a single pass.
+  DiagnosticEngine Diags = parseBad(R"(program p
+array A : real[8]
+A[1 = 2
+A[2] ] 3
+)");
+  EXPECT_GE(Diags.errorCount(), 2u) << Diags.str();
+}
+
+TEST(Recovery, ErrorsAcrossDeclsAndStatements) {
+  DiagnosticEngine Diags = parseBad(R"(program p
+array A : bogus[8]
+array B : real[8]
+loop i = 1, 8 {
+  B[i] = C[i]
+}
+B[1] =
+)");
+  // Bad element type, unknown array C, missing RHS: three independent
+  // problems, three errors.
+  EXPECT_GE(Diags.errorCount(), 3u) << Diags.str();
+  std::string Out = Diags.str();
+  EXPECT_TRUE(contains(Out, "element type")) << Out;
+  EXPECT_TRUE(contains(Out, "'C'")) << Out;
+}
+
+TEST(Recovery, DuplicateArrayDeclIsReportedAndParsingContinues) {
+  DiagnosticEngine Diags = parseBad(R"(program p
+array A : real[8]
+array A : real[16]
+loop i = 1, 8 ]
+)");
+  std::string Out = Diags.str();
+  EXPECT_TRUE(contains(Out, "redeclaration of 'A'")) << Out;
+  // The malformed loop after the duplicate decl is still diagnosed.
+  EXPECT_GE(Diags.errorCount(), 2u) << Out;
+}
+
+TEST(Recovery, UnterminatedLoopDiagnosed) {
+  DiagnosticEngine Diags = parseBad(R"(program p
+array A : real[8]
+loop i = 1, 8 {
+  A[i] = 1
+)");
+  EXPECT_TRUE(contains(Diags.str(), "to close loop body"))
+      << Diags.str();
+}
+
+TEST(Recovery, BadSubscriptsDiagnosed) {
+  DiagnosticEngine Diags = parseBad(R"(program p
+array A : real[8, 8]
+array S : real
+loop i = 1, 8 {
+  A[i] = 1
+  A[i, i, i] = 2
+  S[3] = 4
+}
+)");
+  std::string Out = Diags.str();
+  // Wrong arity is caught (the parser consumes rank subscripts, so the
+  // missing/extra comma surfaces as an expect error), and subscripting a
+  // scalar names the scalar.
+  EXPECT_GE(Diags.errorCount(), 2u) << Out;
+  EXPECT_TRUE(contains(Out, "scalar 'S' cannot be subscripted")) << Out;
+}
+
+TEST(Recovery, MissingProgramHeaderStillDiagnosesBody) {
+  // Header recovery: the file never says 'program', yet the unknown
+  // array reference inside the loop is still reported.
+  DiagnosticEngine Diags = parseBad(R"(array A : real[8]
+loop i = 1, 8 {
+  B[i] = 1
+}
+)");
+  std::string Out = Diags.str();
+  EXPECT_TRUE(contains(Out, "expected 'program'")) << Out;
+  EXPECT_TRUE(contains(Out, "'B'")) << Out;
+}
+
+//===----------------------------------------------------------------------===//
+// Error cap
+//===----------------------------------------------------------------------===//
+
+TEST(Recovery, ErrorCapBoundsPathologicalInput) {
+  std::string Src = "program p\n";
+  for (int I = 0; I != 500; ++I)
+    Src += "? ";
+  DiagnosticEngine Diags;
+  auto P = frontend::parseProgram(Src, Diags);
+  EXPECT_FALSE(P);
+  // Stored diagnostics are bounded by the cap (50 errors + the
+  // truncation note + any warnings), even though the input has hundreds
+  // of problems.
+  EXPECT_TRUE(Diags.errorLimitReached());
+  EXPECT_LE(Diags.diagnostics().size(), 52u);
+  EXPECT_TRUE(contains(Diags.str(), "too many errors"));
+}
+
+TEST(Recovery, CallerErrorLimitIsRespected) {
+  DiagnosticEngine Diags;
+  Diags.setErrorLimit(2);
+  std::string Src = "program p\n? ? ? ? ?\n";
+  auto P = frontend::parseProgram(Src, Diags);
+  EXPECT_FALSE(P);
+  EXPECT_TRUE(Diags.errorLimitReached());
+  // 2 stored errors + 1 truncation note.
+  EXPECT_EQ(Diags.diagnostics().size(), 3u) << Diags.str();
+}
+
+//===----------------------------------------------------------------------===//
+// Nesting limits
+//===----------------------------------------------------------------------===//
+
+TEST(Recovery, LoopNestingDepthIsBounded) {
+  std::string Src = "program p\narray A : real[4]\n";
+  for (int I = 0; I != 100; ++I)
+    Src += "loop v" + std::to_string(I) + " = 1, 2 {\n";
+  Src += "A[1] = 1\n";
+  for (int I = 0; I != 100; ++I)
+    Src += "}\n";
+  DiagnosticEngine Diags;
+  EXPECT_FALSE(frontend::parseProgram(Src, Diags));
+  EXPECT_TRUE(contains(Diags.str(), "loop nesting exceeds the limit"))
+      << Diags.str();
+}
+
+TEST(Recovery, ExpressionNestingDepthIsBounded) {
+  std::string Src = "program p\narray A : real[4]\nA[1] = ";
+  for (int I = 0; I != 200; ++I)
+    Src += "(";
+  Src += "1";
+  for (int I = 0; I != 200; ++I)
+    Src += ")";
+  Src += "\n";
+  DiagnosticEngine Diags;
+  EXPECT_FALSE(frontend::parseProgram(Src, Diags));
+  EXPECT_TRUE(
+      contains(Diags.str(), "expression nesting exceeds the limit"))
+      << Diags.str();
+}
+
+//===----------------------------------------------------------------------===//
+// Overflow guards at the front door
+//===----------------------------------------------------------------------===//
+
+TEST(Recovery, DimensionRangeOverflowIsACleanError) {
+  DiagnosticEngine Diags = parseBad(
+      "program p\n"
+      "array A : real[-9223372036854775807:9223372036854775807]\n");
+  EXPECT_TRUE(contains(Diags.str(), "overflow")) << Diags.str();
+}
+
+TEST(Recovery, LinearizedExtentOverflowIsACleanError) {
+  DiagnosticEngine Diags = parseBad(
+      "program p\n"
+      "array B : real[3037000500, 3037000500, 3037000500]\n");
+  EXPECT_TRUE(contains(Diags.str(), "linearized extent")) << Diags.str();
+}
+
+TEST(Recovery, IntegerLiteralOverflowIsACleanError) {
+  DiagnosticEngine Diags = parseBad(
+      "program p\narray A : real[99999999999999999999999999]\n");
+  EXPECT_TRUE(contains(Diags.str(), "does not fit in 64 bits"))
+      << Diags.str();
+}
+
+TEST(Recovery, HugeAffineCoefficientsRejected) {
+  DiagnosticEngine Diags = parseBad(R"(program p
+array A : real[16]
+loop i = 1, 2 {
+  A[1099511627777*i] = 1
+}
+)");
+  EXPECT_TRUE(contains(Diags.str(), "magnitude")) << Diags.str();
+}
+
+//===----------------------------------------------------------------------===//
+// Caret rendering
+//===----------------------------------------------------------------------===//
+
+TEST(Recovery, RenderPointsCaretAtColumn) {
+  std::string_view Src = "program p\narray A : real[8\nA[1] = 2\n";
+  DiagnosticEngine Diags;
+  EXPECT_FALSE(frontend::parseProgram(Src, Diags));
+  std::string Out = Diags.render(Src, "test.pad");
+  // Location prefix with the file name, the source line where the
+  // parser noticed the unclosed '[', and a caret line underneath.
+  EXPECT_TRUE(contains(Out, "test.pad:3:1:")) << Out;
+  EXPECT_TRUE(contains(Out, "A[1] = 2")) << Out;
+  EXPECT_TRUE(contains(Out, "^")) << Out;
+}
+
+TEST(Recovery, RenderHandlesLocationsPastTheBuffer) {
+  // EOF diagnostics point one past the last character; rendering must
+  // clamp, not read out of range.
+  std::string_view Src = "program p\narray A : real[8";
+  DiagnosticEngine Diags;
+  EXPECT_FALSE(frontend::parseProgram(Src, Diags));
+  std::string Out = Diags.render(Src);
+  EXPECT_FALSE(Out.empty());
+}
+
+TEST(Recovery, RenderWithoutLocationOmitsSnippet) {
+  DiagnosticEngine Diags;
+  Diags.error({}, "no location here");
+  std::string Out = Diags.render("some source", "f.pad");
+  EXPECT_TRUE(contains(Out, "f.pad: error: no location here")) << Out;
+  EXPECT_FALSE(contains(Out, "^")) << Out;
+}
+
+} // namespace

@@ -112,3 +112,44 @@ TEST(DataLayout, TotalBytesTracksPaddedBases) {
   EXPECT_EQ(DL.totalBytes(), 5000 + 7 * 8);
   EXPECT_LT(DL.sumOfSizes(), DL.totalBytes());
 }
+
+//===----------------------------------------------------------------------===//
+// Overflow-checked sizing
+//===----------------------------------------------------------------------===//
+
+TEST(DataLayout, CheckedSizeMatchesSizeBytesWhenInRange) {
+  Program P = makeTwoArrays();
+  DataLayout DL(P);
+  ASSERT_TRUE(DL.checkedSizeBytes(0));
+  EXPECT_EQ(*DL.checkedSizeBytes(0), 10 * 20 * 8);
+}
+
+TEST(DataLayout, CheckedSizeRejectsWrappingDims) {
+  Program P = makeTwoArrays();
+  // Bases must be assigned: checkedTotalBytes skips unplaced variables.
+  DataLayout DL = originalLayout(P);
+  // An intra-padding pass gone mad: dims whose product wraps int64.
+  DL.layout(0).Dims = {int64_t(1) << 31, int64_t(1) << 31};
+  EXPECT_FALSE(DL.checkedSizeBytes(0));
+  EXPECT_FALSE(DL.checkedTotalBytes());
+}
+
+TEST(DataLayout, CheckFootprintEnforcesTheLimit) {
+  Program P = makeTwoArrays();
+  DataLayout DL = originalLayout(P);
+  // Fits easily in a megabyte; no complaint.
+  EXPECT_FALSE(checkFootprint(DL, int64_t(1) << 20));
+  // 10*20*8 + 7*8 + 8 bytes does not fit in 1000 bytes.
+  auto Err = checkFootprint(DL, 1000);
+  ASSERT_TRUE(Err);
+  EXPECT_NE(Err->find("exceeds the limit"), std::string::npos) << *Err;
+}
+
+TEST(DataLayout, CheckFootprintReportsOverflowDistinctly) {
+  Program P = makeTwoArrays();
+  DataLayout DL = originalLayout(P);
+  DL.layout(1).Dims = {int64_t(1) << 62};
+  auto Err = checkFootprint(DL, int64_t(1) << 20);
+  ASSERT_TRUE(Err);
+  EXPECT_NE(Err->find("overflows"), std::string::npos) << *Err;
+}

@@ -16,12 +16,15 @@
 #include "search/SearchEngine.h"
 
 #include "core/Padding.h"
+#include "frontend/Parser.h"
 #include "kernels/Kernels.h"
 #include "search/Candidate.h"
 #include "search/CandidateGenerator.h"
 #include "search/CostModel.h"
 
 #include "gtest/gtest.h"
+
+#include <atomic>
 
 using namespace padx;
 
@@ -235,4 +238,84 @@ TEST(SearchEngine, BestLayoutMatchesReportedCost) {
   EXPECT_EQ(Exact.evaluate(R.BestLayout).Cost, R.BestMisses);
   EXPECT_EQ(Exact.evaluate(search::materialize(P, R.Best)).Cost,
             R.BestMisses);
+}
+
+//===----------------------------------------------------------------------===//
+// Graceful degradation
+//===----------------------------------------------------------------------===//
+
+TEST(SearchEngine, ExpiredDeadlineStillBeatsOrMatchesPad) {
+  // Acceptance criterion: a deadline that expires immediately must
+  // degrade to best-so-far — never worse than the PAD seed — and say
+  // why it stopped.
+  ir::Program P = smallKernel("expl");
+  search::SearchOptions Opts;
+  Opts.EvalBudget = 64;
+  Opts.DeadlineSeconds = 1e-9;
+  search::SearchResult R = search::runSearch(P, Opts);
+  EXPECT_LE(R.BestMisses, R.PadMisses);
+  EXPECT_NE(R.Outcome, search::SearchOutcome::Completed);
+  EXPECT_EQ(R.Outcome, search::SearchOutcome::DeadlineExpired);
+  EXPECT_FALSE(R.OutcomeDetail.empty());
+  // The returned layout is still coherent with the reported cost.
+  search::SimulationCostModel Exact(Opts.Cache);
+  EXPECT_EQ(Exact.evaluate(R.BestLayout).Cost, R.BestMisses);
+}
+
+TEST(SearchEngine, CancellationTokenStopsTheSearch) {
+  ir::Program P = smallKernel("expl");
+  std::atomic<bool> Cancel{true}; // Pre-cancelled: stop at first check.
+  search::SearchOptions Opts;
+  Opts.EvalBudget = 64;
+  Opts.Cancel = &Cancel;
+  search::SearchResult R = search::runSearch(P, Opts);
+  EXPECT_EQ(R.Outcome, search::SearchOutcome::Cancelled);
+  EXPECT_LE(R.BestMisses, R.PadMisses); // Seeds are evaluated regardless.
+}
+
+TEST(SearchEngine, BudgetExhaustionIsReportedAsOutcome) {
+  ir::Program P = smallKernel("expl");
+  search::SearchOptions Opts;
+  Opts.EvalBudget = 4; // Seeds alone nearly consume this.
+  search::SearchResult R = search::runSearch(P, Opts);
+  EXPECT_EQ(R.Outcome, search::SearchOutcome::BudgetExhausted);
+  EXPECT_LE(R.BestMisses, R.PadMisses);
+}
+
+TEST(SearchEngine, OutcomeNamesAreStable) {
+  // padtool prints these; keep the spelling pinned.
+  EXPECT_STREQ(search::outcomeName(search::SearchOutcome::Completed),
+               "completed");
+  EXPECT_STREQ(
+      search::outcomeName(search::SearchOutcome::BudgetExhausted),
+      "budget exhausted");
+  EXPECT_STREQ(
+      search::outcomeName(search::SearchOutcome::DeadlineExpired),
+      "deadline expired");
+  EXPECT_STREQ(search::outcomeName(search::SearchOutcome::Cancelled),
+               "cancelled");
+  EXPECT_STREQ(
+      search::outcomeName(search::SearchOutcome::EvaluationFailed),
+      "evaluation failed");
+}
+
+TEST(SearchEngine, CompletedRunsReportCompletion) {
+  // One tiny array: no padding can beat the compulsory misses, so every
+  // round is dry and the search finishes with Completed — either by
+  // exhausting the neighborhood or by running out of fresh candidates —
+  // well before the generous budget runs out.
+  DiagnosticEngine Diags;
+  auto P = frontend::parseProgram(R"(program t
+array A : real[4]
+loop i = 1, 4 {
+  A[i] = 1.0
+}
+)",
+                                  Diags);
+  ASSERT_TRUE(P) << Diags.str();
+  search::SearchOptions Opts;
+  Opts.EvalBudget = 100000;
+  search::SearchResult Res = search::runSearch(*P, Opts);
+  EXPECT_EQ(Res.Outcome, search::SearchOutcome::Completed);
+  EXPECT_FALSE(Res.OutcomeDetail.empty());
 }

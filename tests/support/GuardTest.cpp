@@ -1,0 +1,77 @@
+//===----------------------------------------------------------------------===//
+//
+// Part of the padx project, under the Apache License v2.0.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The checked-arithmetic guard rails: overflow detection must be exact
+/// at the int64 boundaries, because the validator and the layout
+/// footprint checks build directly on it.
+///
+//===----------------------------------------------------------------------===//
+
+#include "support/Guard.h"
+
+#include "gtest/gtest.h"
+
+#include <limits>
+
+using namespace padx;
+
+namespace {
+
+constexpr int64_t kMax = std::numeric_limits<int64_t>::max();
+constexpr int64_t kMin = std::numeric_limits<int64_t>::min();
+
+TEST(Guard, AddOverflow) {
+  int64_t Out = 0;
+  EXPECT_FALSE(addOverflow(1, 2, Out));
+  EXPECT_EQ(Out, 3);
+  EXPECT_FALSE(addOverflow(kMax - 1, 1, Out));
+  EXPECT_EQ(Out, kMax);
+  EXPECT_TRUE(addOverflow(kMax, 1, Out));
+  EXPECT_TRUE(addOverflow(kMin, -1, Out));
+  EXPECT_FALSE(addOverflow(kMax, kMin, Out));
+  EXPECT_EQ(Out, -1);
+}
+
+TEST(Guard, SubOverflow) {
+  int64_t Out = 0;
+  EXPECT_FALSE(subOverflow(5, 7, Out));
+  EXPECT_EQ(Out, -2);
+  EXPECT_TRUE(subOverflow(kMax, -1, Out));
+  EXPECT_TRUE(subOverflow(kMin, 1, Out));
+  EXPECT_TRUE(subOverflow(0, kMin, Out)); // -kMin does not exist.
+}
+
+TEST(Guard, MulOverflow) {
+  int64_t Out = 0;
+  EXPECT_FALSE(mulOverflow(1 << 20, 1 << 20, Out));
+  EXPECT_EQ(Out, int64_t(1) << 40);
+  EXPECT_TRUE(mulOverflow(int64_t(1) << 32, int64_t(1) << 32, Out));
+  EXPECT_TRUE(mulOverflow(kMin, -1, Out));
+  EXPECT_FALSE(mulOverflow(kMax, 1, Out));
+  EXPECT_EQ(Out, kMax);
+}
+
+TEST(Guard, CheckedLinearExtentBytes) {
+  std::vector<int64_t> Dims = {512, 512};
+  auto Bytes = checkedLinearExtentBytes(Dims, 8);
+  ASSERT_TRUE(Bytes);
+  EXPECT_EQ(*Bytes, 512 * 512 * 8);
+
+  // A dim vector whose product wraps must come back empty, not huge.
+  std::vector<int64_t> Huge = {int64_t(1) << 31, int64_t(1) << 31,
+                               int64_t(1) << 31};
+  EXPECT_FALSE(checkedLinearExtentBytes(Huge, 8));
+
+  // Non-positive dims are rejected rather than multiplied through.
+  std::vector<int64_t> Zero = {16, 0};
+  EXPECT_FALSE(checkedLinearExtentBytes(Zero, 8));
+
+  // Scalars (no dims) are one element.
+  EXPECT_EQ(*checkedLinearExtentBytes({}, 8), 8);
+}
+
+} // namespace
