@@ -1,0 +1,271 @@
+//===----------------------------------------------------------------------===//
+//
+// Part of the padx project, under the Apache License v2.0.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Measures the record-once / replay-many trace engine against direct
+/// per-candidate tracing on one program: a deterministic sweep of
+/// padding candidates is scored both ways, the per-candidate statistics
+/// are checked for bit-identity, and the wall-clock ratio is reported.
+/// The replay total includes the one-time recording cost, so the number
+/// printed is the end-to-end speedup a search run sees.
+///
+/// Usage: replay_speedup [--file F.pad | --kernel NAME [--size N]]
+///                       [--candidates N] [--cache BYTES] [--line BYTES]
+///                       [--assoc K] [--guard X] [--json PATH]
+///
+/// Exit codes: 0 success; 1 usage error, recording declined, or the
+/// measured speedup fell below --guard; 2 replayed statistics diverged
+/// from direct simulation (a correctness bug, never acceptable).
+///
+//===----------------------------------------------------------------------===//
+
+#include "bench/BenchCommon.h"
+#include "exec/RecordedTrace.h"
+#include "exec/TraceRunner.h"
+#include "frontend/Parser.h"
+#include "search/Candidate.h"
+#include "support/JsonWriter.h"
+
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+using namespace padx;
+
+namespace {
+
+struct CandidateStats {
+  uint64_t Accesses = 0;
+  uint64_t Misses = 0;
+  uint64_t WriteBacks = 0;
+
+  bool operator==(const CandidateStats &RHS) const = default;
+};
+
+CandidateStats statsOf(const sim::CacheSim &Sim) {
+  return {Sim.stats().Accesses, Sim.stats().Misses,
+          Sim.stats().WriteBacks};
+}
+
+void usage() {
+  std::fprintf(stderr,
+               "usage: replay_speedup [--file F.pad | --kernel NAME "
+               "[--size N]]\n"
+               "                      [--candidates N] [--cache BYTES] "
+               "[--line BYTES]\n"
+               "                      [--assoc K] [--guard X] "
+               "[--json PATH]\n");
+  std::exit(1);
+}
+
+/// A deterministic spread of intra pads (0..8 elements on every
+/// dimension) and inter gaps (multiples of the element size), varied per
+/// array so consecutive candidates exercise both the stride-rebuild and
+/// the base-only fast path of the replayer.
+std::vector<search::Candidate> makeCandidates(const ir::Program &P,
+                                              unsigned Count) {
+  std::vector<search::Candidate> Out;
+  Out.reserve(Count);
+  for (unsigned I = 0; I != Count; ++I) {
+    search::Candidate C = search::zeroCandidate(P);
+    for (unsigned A = 0; A != C.DimPads.size(); ++A) {
+      for (unsigned D = 0; D != C.DimPads[A].size(); ++D)
+        C.DimPads[A][D] =
+            static_cast<int64_t>((I * (A + 2) + D) % 9);
+      const int64_t Elem = P.array(A).ElemSize;
+      C.GapBytes[A] = static_cast<int64_t>((I + A) % 4) * Elem * 8;
+    }
+    Out.push_back(std::move(C));
+  }
+  return Out;
+}
+
+} // namespace
+
+int main(int argc, char **argv) {
+  std::string File, Kernel, JsonPath;
+  int64_t Size = 0;
+  unsigned Candidates = 32;
+  CacheConfig Cache = CacheConfig::base16K();
+  double Guard = 0;
+
+  for (int I = 1; I < argc; ++I) {
+    std::string Arg = argv[I];
+    auto Next = [&]() -> const char * {
+      if (I + 1 >= argc)
+        usage();
+      return argv[++I];
+    };
+    if (Arg == "--file")
+      File = Next();
+    else if (Arg == "--kernel")
+      Kernel = Next();
+    else if (Arg == "--size")
+      Size = std::atoll(Next());
+    else if (Arg == "--candidates")
+      Candidates = static_cast<unsigned>(std::atoi(Next()));
+    else if (Arg == "--cache")
+      Cache.SizeBytes = std::atoll(Next());
+    else if (Arg == "--line")
+      Cache.LineBytes = std::atoll(Next());
+    else if (Arg == "--assoc")
+      Cache.Associativity = std::atoi(Next());
+    else if (Arg == "--guard")
+      Guard = std::atof(Next());
+    else if (Arg == "--json")
+      JsonPath = Next();
+    else
+      usage();
+  }
+  if (File.empty() == Kernel.empty() || Candidates == 0)
+    usage();
+  if (!Cache.isValid()) {
+    std::fprintf(stderr, "error: invalid cache geometry\n");
+    return 1;
+  }
+
+  std::optional<ir::Program> P;
+  std::string Name;
+  if (!File.empty()) {
+    std::ifstream In(File);
+    if (!In) {
+      std::fprintf(stderr, "error: cannot read '%s'\n", File.c_str());
+      return 1;
+    }
+    std::ostringstream Buf;
+    Buf << In.rdbuf();
+    DiagnosticEngine Diags;
+    P = frontend::parseProgram(Buf.str(), Diags);
+    if (!P) {
+      std::fprintf(stderr, "%s",
+                   Diags.render(Buf.str(), File).c_str());
+      return 1;
+    }
+    Name = File;
+  } else {
+    if (!kernels::findKernel(Kernel)) {
+      std::fprintf(stderr, "error: unknown kernel '%s'\n",
+                   Kernel.c_str());
+      return 1;
+    }
+    P = kernels::makeKernel(Kernel, Size);
+    Name = Kernel;
+  }
+
+  const std::vector<search::Candidate> Cands =
+      makeCandidates(*P, Candidates);
+
+  // Direct: a fresh IR walk per candidate, the pre-replay cost model.
+  std::vector<CandidateStats> Direct;
+  Direct.reserve(Cands.size());
+  auto DirectStart = std::chrono::steady_clock::now();
+  for (const search::Candidate &C : Cands) {
+    layout::DataLayout DL = search::materialize(*P, C);
+    sim::CacheSim Sim(Cache);
+    exec::CacheSimSink Sink(Sim);
+    exec::TraceRunner Runner(*P, DL);
+    Runner.run(Sink);
+    Direct.push_back(statsOf(Sim));
+  }
+  auto DirectEnd = std::chrono::steady_clock::now();
+  double DirectSecs =
+      std::chrono::duration<double>(DirectEnd - DirectStart).count();
+
+  // Replay: record once (timed — the search pays it too), then stream.
+  auto ReplayStart = std::chrono::steady_clock::now();
+  std::string WhyNot;
+  std::unique_ptr<exec::RecordedTrace> Trace =
+      exec::RecordedTrace::record(*P, {}, &WhyNot);
+  if (!Trace) {
+    std::fprintf(stderr, "error: recording declined: %s\n",
+                 WhyNot.c_str());
+    return 1;
+  }
+  exec::TraceReplayer Replayer(*Trace);
+  sim::CacheSim Sim(Cache);
+  std::vector<CandidateStats> Replayed;
+  Replayed.reserve(Cands.size());
+  for (const search::Candidate &C : Cands) {
+    layout::DataLayout DL = search::materialize(*P, C);
+    Sim.reset();
+    Replayer.replay(DL, Sim);
+    Replayed.push_back(statsOf(Sim));
+  }
+  auto ReplayEnd = std::chrono::steady_clock::now();
+  double ReplaySecs =
+      std::chrono::duration<double>(ReplayEnd - ReplayStart).count();
+
+  for (size_t I = 0; I != Cands.size(); ++I)
+    if (!(Direct[I] == Replayed[I])) {
+      std::fprintf(stderr,
+                   "error: candidate %zu diverged: direct "
+                   "%llu/%llu/%llu vs replay %llu/%llu/%llu "
+                   "(accesses/misses/writebacks)\n",
+                   I,
+                   static_cast<unsigned long long>(Direct[I].Accesses),
+                   static_cast<unsigned long long>(Direct[I].Misses),
+                   static_cast<unsigned long long>(
+                       Direct[I].WriteBacks),
+                   static_cast<unsigned long long>(
+                       Replayed[I].Accesses),
+                   static_cast<unsigned long long>(Replayed[I].Misses),
+                   static_cast<unsigned long long>(
+                       Replayed[I].WriteBacks));
+      return 2;
+    }
+
+  double Speedup = ReplaySecs > 0 ? DirectSecs / ReplaySecs : 0.0;
+  std::printf("replay speedup: %s, %u candidates, %s\n", Name.c_str(),
+              Candidates, Cache.describe().c_str());
+  std::printf("  trace: %llu accesses in %zu blocks / %zu patterns "
+              "(%zu KiB)\n",
+              static_cast<unsigned long long>(Trace->numAccesses()),
+              Trace->numBlocks(), Trace->numPatterns(),
+              Trace->storageBytes() >> 10);
+  std::printf("  direct: %.3fs   replay: %.3fs (record included)   "
+              "speedup: %.2fx\n",
+              DirectSecs, ReplaySecs, Speedup);
+  std::printf("  statistics bit-identical across all %zu candidates\n",
+              Cands.size());
+
+  if (!JsonPath.empty()) {
+    std::ofstream OS(JsonPath);
+    if (!OS) {
+      std::fprintf(stderr, "error: cannot write '%s'\n",
+                   JsonPath.c_str());
+      return 1;
+    }
+    support::JsonWriter J(OS);
+    J.beginObject();
+    J.field("bench", "replay_speedup");
+    J.field("program", Name);
+    J.field("cache", Cache.describe());
+    J.field("candidates", Candidates);
+    J.field("trace_accesses", Trace->numAccesses());
+    J.field("trace_blocks", static_cast<uint64_t>(Trace->numBlocks()));
+    J.field("trace_storage_bytes",
+            static_cast<uint64_t>(Trace->storageBytes()));
+    J.field("direct_seconds", DirectSecs);
+    J.field("replay_seconds", ReplaySecs);
+    J.field("speedup", Speedup);
+    J.field("stats_identical", true);
+    J.endObject();
+    OS << '\n';
+  }
+
+  if (Guard > 0 && Speedup < Guard) {
+    std::fprintf(stderr,
+                 "error: speedup %.2fx below the %.2fx guard\n",
+                 Speedup, Guard);
+    return 1;
+  }
+  return 0;
+}

@@ -11,39 +11,59 @@
 /// rerun with a different --threads to see the parallel evaluation
 /// speedup.
 ///
-/// Usage: search_vs_pad [--threads N] [--budget N] [--seed S] [--all]
+/// Usage: search_vs_pad [--threads N] [--budget N] [--seed S]
+///                      [--replay on|off] [--json PATH] [--all]
 ///                      [kernel...]
 /// Default kernel set: the Figure 16/17 sweep kernels; --all runs every
-/// registered program. PADX_CSV=1 emits CSV like the other benches.
+/// registered program. PADX_CSV=1 emits CSV like the other benches;
+/// --json additionally writes a machine-readable summary (wall time,
+/// candidates per second, per-kernel miss rates) for CI trend tracking.
 ///
 //===----------------------------------------------------------------------===//
 
 #include "bench/BenchCommon.h"
 #include "search/SearchEngine.h"
+#include "support/JsonWriter.h"
 
 #include <chrono>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <fstream>
 #include <iostream>
 
 using namespace padx;
+
+namespace {
+
+struct KernelRow {
+  std::string Name;
+  double OrigPct = 0, PadPct = 0, SearchPct = 0;
+  unsigned Sims = 0, Pruned = 0;
+};
+
+void usage() {
+  std::fprintf(stderr,
+               "usage: search_vs_pad [--threads N] [--budget N] "
+               "[--seed S] [--replay on|off] [--json PATH] [--all] "
+               "[kernel...]\n");
+  std::exit(1);
+}
+
+} // namespace
 
 int main(int argc, char **argv) {
   search::SearchOptions Opts;
   Opts.Threads = 0; // Hardware concurrency unless overridden.
   bool All = false;
+  std::string JsonPath;
   std::vector<std::string> Selected;
 
   for (int I = 1; I < argc; ++I) {
     std::string Arg = argv[I];
     auto Next = [&]() -> const char * {
-      if (I + 1 >= argc) {
-        std::fprintf(stderr,
-                     "usage: search_vs_pad [--threads N] [--budget N] "
-                     "[--seed S] [--all] [kernel...]\n");
-        std::exit(1);
-      }
+      if (I + 1 >= argc)
+        usage();
       return argv[++I];
     };
     if (Arg == "--threads")
@@ -52,6 +72,14 @@ int main(int argc, char **argv) {
       Opts.EvalBudget = static_cast<unsigned>(std::atoi(Next()));
     else if (Arg == "--seed")
       Opts.Seed = static_cast<uint64_t>(std::atoll(Next()));
+    else if (Arg == "--replay" || Arg.rfind("--replay=", 0) == 0) {
+      std::string V =
+          Arg == "--replay" ? std::string(Next()) : Arg.substr(9);
+      if (V != "on" && V != "off")
+        usage();
+      Opts.UseReplay = V == "on";
+    } else if (Arg == "--json")
+      JsonPath = Next();
     else if (Arg == "--all")
       All = true;
     else if (!Arg.empty() && Arg[0] == '-') {
@@ -82,11 +110,14 @@ int main(int argc, char **argv) {
             << ", threads "
             << (Opts.Threads == 0 ? std::string("hw")
                                   : std::to_string(Opts.Threads))
-            << ", seed " << Opts.Seed << ")\n\n";
+            << ", seed " << Opts.Seed << ", replay "
+            << (Opts.UseReplay ? "on" : "off") << ")\n\n";
 
   TableFormatter T(
       {"Program", "Orig%", "Pad%", "Search%", "vsPad", "Sims", "Pruned"});
   double SumPad = 0, SumSearch = 0;
+  uint64_t TotalSims = 0;
+  std::vector<KernelRow> Rows;
   auto Start = std::chrono::steady_clock::now();
   for (const std::string &Name : Names) {
     ir::Program P = kernels::makeKernel(Name);
@@ -101,6 +132,9 @@ int main(int argc, char **argv) {
     T.cell(static_cast<int64_t>(R.PrunedStatic));
     SumPad += R.padPercent();
     SumSearch += R.bestPercent();
+    TotalSims += R.ExactEvaluations;
+    Rows.push_back({Name, R.originalPercent(), R.padPercent(),
+                    R.bestPercent(), R.ExactEvaluations, R.PrunedStatic});
   }
   auto End = std::chrono::steady_clock::now();
   double N = static_cast<double>(Names.size());
@@ -122,5 +156,44 @@ int main(int argc, char **argv) {
   std::printf("vsPad is percentage points of miss rate the search "
               "recovers beyond the PAD heuristic;\nby construction it "
               "is never negative (PAD seeds the search).\n");
+
+  if (!JsonPath.empty()) {
+    std::ofstream OS(JsonPath);
+    if (!OS) {
+      std::fprintf(stderr, "error: cannot write '%s'\n",
+                   JsonPath.c_str());
+      return 1;
+    }
+    support::JsonWriter J(OS);
+    J.beginObject();
+    J.field("bench", "search_vs_pad");
+    J.field("cache", Opts.Cache.describe());
+    J.field("budget", Opts.EvalBudget);
+    J.field("threads", Opts.Threads);
+    J.field("seed", Opts.Seed);
+    J.field("replay", Opts.UseReplay);
+    J.field("wall_seconds", Secs);
+    J.field("exact_evaluations", TotalSims);
+    J.field("candidates_per_second",
+            Secs > 0 ? static_cast<double>(TotalSims) / Secs : 0.0);
+    J.field("avg_pad_miss_pct", SumPad / N);
+    J.field("avg_search_miss_pct", SumSearch / N);
+    J.key("kernels");
+    J.beginArray();
+    for (const KernelRow &R : Rows) {
+      J.beginObject();
+      J.field("name", R.Name);
+      J.field("orig_miss_pct", R.OrigPct);
+      J.field("pad_miss_pct", R.PadPct);
+      J.field("best_miss_pct", R.SearchPct);
+      J.field("exact_evaluations", R.Sims);
+      J.field("pruned_static", R.Pruned);
+      J.endObject();
+    }
+    J.endArray();
+    J.endObject();
+    OS << '\n';
+    std::printf("json summary written to %s\n", JsonPath.c_str());
+  }
   return 0;
 }

@@ -28,6 +28,17 @@ cmake -B build -S .
 cmake --build build -j "$JOBS"
 ctest --test-dir build --output-on-failure -j "$JOBS"
 
+echo "== perf smoke: trace replay must not lose to the direct walk =="
+# Bit-identity is covered by the test suite; this guards the *point* of
+# the replay engine — speed. --guard 1.0 only fails if replay is slower
+# than re-walking the program, a deliberately loose bound so CI noise
+# does not flake the build. The JSON artifacts double as the benchmark
+# record for the run.
+build/bench/replay_speedup --file tests/fuzz/corpus/jacobi512.pad \
+  --candidates 8 --guard 1.0 --json build/BENCH_replay.json
+build/bench/search_vs_pad --budget 24 --threads 2 --seed 1 jacobi \
+  --json build/BENCH_search.json
+
 echo "== sanitized: ASan+UBSan build + tests =="
 cmake -B build-asan -S . -DPADX_SANITIZE=ON -DCMAKE_BUILD_TYPE=RelWithDebInfo
 cmake --build build-asan -j "$JOBS"

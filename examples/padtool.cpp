@@ -22,6 +22,8 @@
 ///   --threads N     search: worker threads (0 = hardware)
 ///   --seed S        search: RNG seed (default 0)
 ///   --deadline SECS search: wall-clock limit; degrades to best-so-far
+///   --replay on|off search: record-once/replay-many evaluation
+///                   (default on; off re-walks the IR per candidate)
 ///   --max-footprint BYTES  resource limit on the layout's byte size
 ///   --max-accesses N       resource limit on simulated trace length
 ///   --emit          print the transformed PadLang source
@@ -73,7 +75,8 @@ void usage() {
                "[--assoc K]\n"
                "               [--scheme pad|padlite|search] "
                "[--budget N] [--threads N]\n"
-               "               [--seed S] [--deadline SECS]\n"
+               "               [--seed S] [--deadline SECS] "
+               "[--replay on|off]\n"
                "               [--max-footprint BYTES] "
                "[--max-accesses N]\n"
                "               [--emit] [--simulate] [--report] "
@@ -188,6 +191,17 @@ int main(int argc, char **argv) {
         return ExitUsage;
       }
       SearchOpts.DeadlineSeconds = Secs;
+    } else if (Arg == "--replay" || Arg.rfind("--replay=", 0) == 0) {
+      std::string V =
+          Arg == "--replay" ? std::string(Next()) : Arg.substr(9);
+      if (V == "on") {
+        SearchOpts.UseReplay = true;
+      } else if (V == "off") {
+        SearchOpts.UseReplay = false;
+      } else {
+        std::fprintf(stderr, "error: --replay takes 'on' or 'off'\n");
+        return ExitUsage;
+      }
     } else if (Arg == "--max-footprint") {
       long long N = std::atoll(Next());
       if (N <= 0) {

@@ -26,8 +26,12 @@ CacheSim::CacheSim(const CacheConfig &Config) : Config(Config) {
     Ways = Config.Associativity;
     NumSets = Config.numSets();
     SetShift = log2OfPow2(NumSets);
-    Entries.resize(static_cast<size_t>(NumSets) * Ways);
-    MruWay.assign(static_cast<size_t>(NumSets), 0);
+    if (Ways == 1) {
+      DirectLine.assign(static_cast<size_t>(NumSets), 0);
+    } else {
+      Entries.resize(static_cast<size_t>(NumSets) * Ways);
+      MruWay.assign(static_cast<size_t>(NumSets), 0);
+    }
   }
 }
 
@@ -37,6 +41,7 @@ void CacheSim::reset() {
   for (Entry &E : Entries)
     E = Entry();
   std::fill(MruWay.begin(), MruWay.end(), 0);
+  std::fill(DirectLine.begin(), DirectLine.end(), 0);
   NodeOf.clear();
   Head = Tail = kNull;
   NumNodes = 0;
@@ -52,63 +57,8 @@ bool CacheSim::access(int64_t Addr, int64_t Size, bool IsWrite) {
   return AllHit;
 }
 
-bool CacheSim::accessLine(int64_t Addr, bool IsWrite) {
-  ++Stats.Accesses;
-  if (IsWrite)
-    ++Stats.Writes;
-  else
-    ++Stats.Reads;
-  int64_t LineAddr = Addr >> LineShift;
-  bool Hit = FullyAssoc ? accessFullyAssoc(LineAddr, IsWrite)
-                        : accessSetAssoc(LineAddr, IsWrite);
-  if (!Hit)
-    ++Stats.Misses;
-  return Hit;
-}
-
-bool CacheSim::accessSetAssoc(int64_t LineAddr, bool IsWrite) {
-  // NumSets is a power of two; when NumSets == 1 the mask is zero and
-  // the tag is the full line address.
-  int64_t Set = LineAddr & (NumSets - 1);
-  int64_t Tag = LineAddr >> SetShift;
-  Entry *SetBase = &Entries[static_cast<size_t>(Set) * Ways];
-  ++Clock;
-
-  // Element-granularity traces touch the same line several times in a
-  // row, so probe the most-recently-hit way of this set first.
-  uint8_t &Mru = MruWay[static_cast<size_t>(Set)];
-  Entry &Hot = SetBase[Mru];
-  if (Hot.Valid && Hot.Tag == Tag) {
-    Hot.Stamp = Clock;
-    Hot.Dirty |= IsWrite;
-    return true;
-  }
-
-  Entry *Victim = SetBase;
-  for (int W = 0; W != Ways; ++W) {
-    Entry &E = SetBase[W];
-    if (E.Valid && E.Tag == Tag) {
-      E.Stamp = Clock;
-      E.Dirty |= IsWrite;
-      Mru = static_cast<uint8_t>(W);
-      return true;
-    }
-    if (!E.Valid) {
-      Victim = &E;
-      // Keep scanning: a later way may still hold the tag.
-    } else if (Victim->Valid && E.Stamp < Victim->Stamp) {
-      Victim = &E;
-    }
-  }
-  if (Victim->Valid && Victim->Dirty)
-    ++Stats.WriteBacks;
-  Victim->Valid = true;
-  Victim->Tag = Tag;
-  Victim->Stamp = Clock;
-  Victim->Dirty = IsWrite;
-  Mru = static_cast<uint8_t>(Victim - SetBase);
-  return false;
-}
+// accessLine and accessSetAssoc live in the header so the trace
+// generator's and replayer's probe loops inline them.
 
 void CacheSim::listUnlink(uint32_t N) {
   Node &Nd = Nodes[N];

@@ -55,15 +55,130 @@ public:
   bool access(int64_t Addr, int64_t Size, bool IsWrite);
 
   /// Single-line access of the line containing \p Addr. Returns true on
-  /// hit. This is the hot path used by the trace generator for
-  /// line-aligned element accesses.
-  bool accessLine(int64_t Addr, bool IsWrite);
+  /// hit. This is the hot path used by the trace generator and the
+  /// trace replayer for line-aligned element accesses; it is defined
+  /// inline (below) so replay loops compile down to the probe itself.
+  bool accessLine(int64_t Addr, bool IsWrite) {
+    ++Stats.Accesses;
+    if (IsWrite)
+      ++Stats.Writes;
+    else
+      ++Stats.Reads;
+    bool Hit = probeLine(Addr, IsWrite);
+    Stats.Misses += !Hit;
+    return Hit;
+  }
+
+  /// accessLine without any per-access tallies except write-backs
+  /// (those depend on cache state at eviction time). The trace replayer
+  /// knows every block's access and write counts up front and keeps its
+  /// own hit/miss count in a register, so it probes with this and
+  /// settles the statistics in bulk via addAccessCounts/addMisses.
+  /// Using probeLine without those calls leaves stats() inconsistent.
+  bool probeLine(int64_t Addr, bool IsWrite) {
+    int64_t LineAddr = Addr >> LineShift;
+    return FullyAssoc ? accessFullyAssoc(LineAddr, IsWrite)
+                      : accessSetAssoc(LineAddr, IsWrite);
+  }
+
+  /// Bulk side of probeLine: credits \p Reads + \p Writes accesses.
+  void addAccessCounts(uint64_t Reads, uint64_t Writes) {
+    Stats.Accesses += Reads + Writes;
+    Stats.Reads += Reads;
+    Stats.Writes += Writes;
+  }
+  void addMisses(uint64_t N) { Stats.Misses += N; }
+  void addWriteBacks(uint64_t N) { Stats.WriteBacks += N; }
+
+  /// True when the geometry runs on the packed one-word-per-set
+  /// direct-mapped state below.
+  bool isDirectMapped() const { return !FullyAssoc && Ways == 1; }
+
+  /// Raw plumbing for the trace replayer's register-resident probe loop
+  /// (valid only when isDirectMapped()). Going through probeLine, every
+  /// store to the set array forces the compiler to reload the geometry
+  /// members — an int64 store may alias them as far as TBAA knows — so
+  /// the replayer copies these into locals and probes the array
+  /// directly, settling statistics afterwards through addAccessCounts /
+  /// addMisses / addWriteBacks. The packing invariant lives in
+  /// accessSetAssoc; keep the two in sync.
+  int64_t *directLines() { return DirectLine.data(); }
+  int64_t directSetMask() const { return NumSets - 1; }
+  unsigned lineShiftLog2() const { return LineShift; }
+  unsigned setShiftLog2() const { return SetShift; }
 
   /// Empties the cache and zeroes statistics.
   void reset();
 
 private:
-  bool accessSetAssoc(int64_t LineAddr, bool IsWrite);
+  bool accessSetAssoc(int64_t LineAddr, bool IsWrite) {
+    // NumSets is a power of two; when NumSets == 1 the mask is zero and
+    // the tag is the full line address.
+    int64_t Set = LineAddr & (NumSets - 1);
+    int64_t Tag = LineAddr >> SetShift;
+
+    // Direct mapped (the paper's base configuration): one way means no
+    // replacement decision, so the whole set state packs into a single
+    // word — (tag << 2) | (dirty << 1) | valid — and the probe is one
+    // load and one compare. Tags may be negative (traces can address
+    // below a base), which is why valid gets an explicit bit instead of
+    // a sentinel tag.
+    if (Ways == 1) {
+      int64_t &P = DirectLine[static_cast<size_t>(Set)];
+      const int64_t Key = (Tag << 2) | 1;
+      if ((P | 2) == (Key | 2)) {
+        // Store only when the dirty bit actually changes: read hits are
+        // the bulk of every trace, and skipping their read-modify-write
+        // keeps repeated probes of a hot set from serializing on
+        // store-to-load forwarding.
+        if (IsWrite)
+          P |= 2;
+        return true;
+      }
+      Stats.WriteBacks += (P >> 1) & 1;
+      P = Key | (static_cast<int64_t>(IsWrite) << 1);
+      return false;
+    }
+
+    Entry *SetBase = &Entries[static_cast<size_t>(Set) * Ways];
+    ++Clock;
+
+    // Element-granularity traces touch the same line several times in a
+    // row, so probe the most-recently-hit way of this set first.
+    uint32_t &Mru = MruWay[static_cast<size_t>(Set)];
+    Entry &Hot = SetBase[Mru];
+    if (Hot.Valid && Hot.Tag == Tag) {
+      Hot.Stamp = Clock;
+      Hot.Dirty |= IsWrite;
+      return true;
+    }
+
+    Entry *Victim = SetBase;
+    for (int W = 0; W != Ways; ++W) {
+      Entry &E = SetBase[W];
+      if (E.Valid && E.Tag == Tag) {
+        E.Stamp = Clock;
+        E.Dirty |= IsWrite;
+        Mru = static_cast<uint32_t>(W);
+        return true;
+      }
+      if (!E.Valid) {
+        Victim = &E;
+        // Keep scanning: a later way may still hold the tag.
+      } else if (Victim->Valid && E.Stamp < Victim->Stamp) {
+        Victim = &E;
+      }
+    }
+    if (Victim->Valid && Victim->Dirty)
+      ++Stats.WriteBacks;
+    Victim->Valid = true;
+    Victim->Tag = Tag;
+    Victim->Stamp = Clock;
+    Victim->Dirty = IsWrite;
+    Mru = static_cast<uint32_t>(Victim - SetBase);
+    return false;
+  }
+
   bool accessFullyAssoc(int64_t LineAddr, bool IsWrite);
 
   CacheConfig Config;
@@ -84,8 +199,14 @@ private:
     bool Dirty = false;
   };
   std::vector<Entry> Entries;
-  /// Per-set most-recently-hit way, probed first.
-  std::vector<uint8_t> MruWay;
+  /// Per-set most-recently-hit way, probed first. Deliberately a full
+  /// uint32_t: a narrower type silently truncates way indices once the
+  /// associativity exceeds its range, making the MRU probe alias the
+  /// wrong way (regression-tested against fully-associative LRU).
+  std::vector<uint32_t> MruWay;
+  /// Direct-mapped storage: one packed word per set, see accessSetAssoc.
+  /// Zero (valid bit clear) is the empty state.
+  std::vector<int64_t> DirectLine;
   uint64_t Clock = 0;
 
   // Fully-associative storage: hash-map LRU with an intrusive list over a

@@ -1,0 +1,626 @@
+//===----------------------------------------------------------------------===//
+//
+// Part of the padx project, under the Apache License v2.0.
+//
+//===----------------------------------------------------------------------===//
+
+#include "exec/RecordedTrace.h"
+
+#include "support/Guard.h"
+
+#include <algorithm>
+#include <atomic>
+#include <cassert>
+#include <map>
+#include <string>
+#include <variant>
+
+using namespace padx;
+using namespace padx::exec;
+
+namespace {
+
+/// Compressed stream storage ceiling. A trace that cannot be expressed
+/// under this in block form (straight-line megaprograms, loops nested
+/// inside data-dependent control) is recorded poorly anyway, so the
+/// recorder declines and callers keep direct tracing.
+constexpr size_t kMaxStorageBytes = size_t(256) << 20;
+
+/// An affine expression compiled to environment slots (same shape as the
+/// TraceRunner's compiled form).
+struct CAffine {
+  int64_t Const = 0;
+  std::vector<std::pair<int, int64_t>> Terms;
+
+  int64_t eval(const std::vector<int64_t> &Env) const {
+    int64_t V = Const;
+    for (const auto &[Slot, Coeff] : Terms)
+      V += Env[Slot] * Coeff;
+    return V;
+  }
+
+  int64_t coeffOf(int Slot) const {
+    for (const auto &[S, Coeff] : Terms)
+      if (S == Slot)
+        return Coeff;
+    return 0;
+  }
+
+  bool uses(int Slot) const { return coeffOf(Slot) != 0; }
+};
+
+/// One reference, decomposed per dimension: DimIndex[k] evaluates to the
+/// zero-based logical index of dimension k (subscript minus the declared
+/// lower bound). The decomposition is what makes the recording
+/// layout-independent: any layout's address is
+///   base + sum_k DimIndex[k] * padded_stride_bytes[k].
+struct CRef {
+  uint32_t ArrayId = 0;
+  int32_t ElemSize = 0;
+  bool IsWrite = false;
+  std::vector<CAffine> DimIndex;
+};
+
+struct CLoop;
+struct CAssign {
+  std::vector<CRef> Refs;
+  /// Pattern used when this assign is emitted outside an innermost loop
+  /// (one block per execution, zero deltas).
+  uint32_t LoosePattern = 0;
+};
+using CStmt = std::variant<CAssign, CLoop>;
+
+struct CLoop {
+  int Slot = -1;
+  CAffine Lower;
+  CAffine Upper;
+  int64_t Step = 1;
+  std::vector<CStmt> Body;
+  /// True when the body is pure straight-line assignments, so the whole
+  /// loop compresses to one block per execution of the loop itself.
+  bool Innermost = false;
+  uint32_t Pattern = 0; ///< Only meaningful when Innermost.
+};
+
+uint64_t nextTraceId() {
+  static std::atomic<uint64_t> Counter{0};
+  return ++Counter;
+}
+
+} // namespace
+
+//===----------------------------------------------------------------------===//
+// Recording
+//===----------------------------------------------------------------------===//
+
+namespace padx {
+namespace exec {
+
+/// Builds a RecordedTrace: compiles the program into the decomposed
+/// form above, derives the static patterns, then walks the loop nest
+/// once emitting blocks.
+class TraceRecorder {
+public:
+  TraceRecorder(const ir::Program &P, const RunOptions &Options,
+                RecordedTrace &Out)
+      : Prog(P), Options(Options), RT(Out) {}
+
+  bool run(std::string &WhyNot) {
+    if (Options.EmitScalarRefs) {
+      WhyNot = "scalar-ref emission is not layout-invariant per slot; "
+               "replay disabled";
+      return false;
+    }
+    Body = compileStmts(Prog.body());
+    if (Aborted) {
+      WhyNot = AbortReason;
+      return false;
+    }
+    buildPatterns(Body, /*InInnermost=*/false);
+    Env.assign(NumSlots, 0);
+    Limit = Options.MaxAccesses ? Options.MaxAccesses : UINT64_MAX;
+    execStmts(Body);
+    if (Aborted) {
+      WhyNot = AbortReason;
+      return false;
+    }
+    RT.NumAccesses = Emitted;
+    RT.Status = Truncated ? RunStatus::TraceLimitReached : RunStatus::Ok;
+    return true;
+  }
+
+private:
+  const ir::Program &Prog;
+  RunOptions Options;
+  RecordedTrace &RT;
+
+  std::vector<CStmt> Body;
+  std::vector<int64_t> Env;
+  std::map<std::string, int> SlotOfVar;
+  int NumSlots = 0;
+
+  /// Per pattern, the compiled refs whose DimIndex functions produce the
+  /// block start values (compile-side only; not stored in the trace).
+  std::vector<std::vector<const CRef *>> PatternSources;
+
+  uint64_t Limit = UINT64_MAX;
+  uint64_t Emitted = 0;
+  bool Truncated = false;
+  bool Aborted = false;
+  std::string AbortReason;
+
+  void abort(std::string Reason) {
+    if (!Aborted) {
+      Aborted = true;
+      AbortReason = std::move(Reason);
+    }
+  }
+
+  CAffine compileAffine(const ir::AffineExpr &E) const {
+    CAffine C;
+    C.Const = E.constantPart();
+    for (const ir::AffineTerm &T : E.terms()) {
+      auto It = SlotOfVar.find(T.Var);
+      assert(It != SlotOfVar.end() && "unbound loop variable");
+      C.Terms.emplace_back(It->second, T.Coeff);
+    }
+    return C;
+  }
+
+  std::vector<CStmt> compileStmts(const std::vector<ir::Stmt> &In) {
+    std::vector<CStmt> Out;
+    for (const ir::Stmt &S : In) {
+      if (Aborted)
+        return Out;
+      if (const auto *A = std::get_if<ir::Assign>(&S)) {
+        CAssign CA;
+        for (const ir::ArrayRef &R : A->Refs) {
+          const ir::ArrayVariable &V = Prog.array(R.ArrayId);
+          if (V.isScalar())
+            continue; // Register-promoted, same as the TraceRunner.
+          if (R.IndirectDim >= 0) {
+            abort("indirect subscript through '" +
+                  Prog.array(R.IndexArrayId).Name +
+                  "' makes the stream layout-dependent");
+            return Out;
+          }
+          CRef C;
+          C.ArrayId = R.ArrayId;
+          C.ElemSize = static_cast<int32_t>(V.ElemSize);
+          C.IsWrite = R.IsWrite;
+          C.DimIndex.reserve(R.Subscripts.size());
+          for (unsigned D = 0,
+                        E = static_cast<unsigned>(R.Subscripts.size());
+               D != E; ++D)
+            C.DimIndex.push_back(compileAffine(
+                R.Subscripts[D].plusConstant(-V.LowerBounds[D])));
+          CA.Refs.push_back(std::move(C));
+        }
+        if (!CA.Refs.empty())
+          Out.emplace_back(std::move(CA));
+        continue;
+      }
+      const auto &L = std::get<std::unique_ptr<ir::Loop>>(S);
+      CLoop CL;
+      CL.Lower = compileAffine(L->Lower);
+      CL.Upper = compileAffine(L->Upper);
+      CL.Step = L->Step;
+      assert(!SlotOfVar.count(L->IndexVar) && "shadowed loop variable");
+      CL.Slot = NumSlots++;
+      SlotOfVar.emplace(L->IndexVar, CL.Slot);
+      CL.Body = compileStmts(L->Body);
+      SlotOfVar.erase(L->IndexVar);
+      if (CL.Body.empty())
+        continue; // Nothing inside ever touches memory.
+      CL.Innermost = true;
+      for (const CStmt &B : CL.Body)
+        CL.Innermost &= std::holds_alternative<CAssign>(B);
+      Out.emplace_back(std::move(CL));
+    }
+    return Out;
+  }
+
+  /// Appends one ref (with its per-iteration deltas for loop slot
+  /// \p Slot scaled by \p Step; slot -1 means zero deltas) to the trace's
+  /// flat ref table.
+  void appendRef(const CRef &R, int Slot, int64_t Step) {
+    RecordedTrace::Ref Out;
+    Out.ArrayId = R.ArrayId;
+    Out.Rank = static_cast<uint32_t>(R.DimIndex.size());
+    Out.DeltaIndex = static_cast<uint32_t>(RT.Deltas.size());
+    Out.ElemSize = R.ElemSize;
+    Out.IsWrite = R.IsWrite;
+    for (const CAffine &Dim : R.DimIndex)
+      RT.Deltas.push_back(Slot < 0 ? 0 : Dim.coeffOf(Slot) * Step);
+    RT.Refs.push_back(Out);
+  }
+
+  uint32_t beginPattern() {
+    RecordedTrace::Pattern Pat;
+    Pat.RefBegin = static_cast<uint32_t>(RT.Refs.size());
+    RT.Patterns.push_back(Pat);
+    PatternSources.emplace_back();
+    return static_cast<uint32_t>(RT.Patterns.size() - 1);
+  }
+
+  void finishPattern(uint32_t Index) {
+    RecordedTrace::Pattern &Pat = RT.Patterns[Index];
+    Pat.RefEnd = static_cast<uint32_t>(RT.Refs.size());
+    uint32_t Starts = 0;
+    for (uint32_t R = Pat.RefBegin; R != Pat.RefEnd; ++R)
+      Starts += RT.Refs[R].Rank;
+    Pat.StartsPerIter = Starts;
+  }
+
+  /// Derives the static patterns: one per innermost loop (per-iteration
+  /// deltas from the loop variable's coefficients), one per assignment
+  /// that executes outside any innermost loop (zero deltas, one block
+  /// per execution).
+  void buildPatterns(std::vector<CStmt> &Stmts, bool InInnermost) {
+    for (CStmt &S : Stmts) {
+      if (auto *A = std::get_if<CAssign>(&S)) {
+        if (InInnermost)
+          continue; // Covered by the enclosing loop's pattern.
+        A->LoosePattern = beginPattern();
+        for (const CRef &R : A->Refs) {
+          appendRef(R, /*Slot=*/-1, /*Step=*/0);
+          PatternSources.back().push_back(&R);
+        }
+        finishPattern(A->LoosePattern);
+        continue;
+      }
+      CLoop &L = std::get<CLoop>(S);
+      if (!L.Innermost) {
+        buildPatterns(L.Body, /*InInnermost=*/false);
+        continue;
+      }
+      L.Pattern = beginPattern();
+      for (const CStmt &B : L.Body)
+        for (const CRef &R : std::get<CAssign>(B).Refs) {
+          appendRef(R, L.Slot, L.Step);
+          PatternSources.back().push_back(&R);
+        }
+      finishPattern(L.Pattern);
+    }
+  }
+
+  /// Trip count of a loop with the given evaluated bounds; 0 when the
+  /// loop body never runs. Aborts recording on overflowing spans.
+  uint64_t tripCount(int64_t Lo, int64_t Hi, int64_t Step) {
+    int64_t Span;
+    if (Step > 0) {
+      if (Lo > Hi)
+        return 0;
+      if (subOverflow(Hi, Lo, Span)) {
+        abort("loop span overflows int64");
+        return 0;
+      }
+      return static_cast<uint64_t>(Span / Step) + 1;
+    }
+    if (Lo < Hi)
+      return 0;
+    if (subOverflow(Lo, Hi, Span)) {
+      abort("loop span overflows int64");
+      return 0;
+    }
+    // -Step would overflow only for INT64_MIN, which the validator's
+    // magnitude cap excludes; guard anyway.
+    int64_t NegStep;
+    if (subOverflow(0, Step, NegStep)) {
+      abort("loop step overflows int64");
+      return 0;
+    }
+    return static_cast<uint64_t>(Span / NegStep) + 1;
+  }
+
+  /// Emits the block(s) for \p Count executions of \p PatternIndex with
+  /// start indices evaluated under the current environment. Applies the
+  /// access limit exactly like the TraceRunner: a full-iteration prefix,
+  /// then a partial iteration covering the leading refs of the pattern.
+  void emitBlock(uint32_t PatternIndex, uint64_t Count) {
+    const uint32_t RefBegin = RT.Patterns[PatternIndex].RefBegin;
+    const uint64_t RefsPerIter =
+        RT.Patterns[PatternIndex].RefEnd - RefBegin;
+    assert(RefsPerIter > 0 && "patterns always carry refs");
+
+    uint64_t Total;
+    if (mulOverflowU64(Count, RefsPerIter, Total)) {
+      if (Limit == UINT64_MAX) {
+        // No limit was set and the true total overflows uint64; such a
+        // trace cannot be recorded (nor directly simulated) anyway.
+        abort("trace exceeds 2^64 accesses");
+        return;
+      }
+      Total = UINT64_MAX;
+    }
+    const uint64_t Remaining = Limit - Emitted;
+    uint64_t Iters = Count, TailRefs = 0;
+    if (Total > Remaining) {
+      Iters = Remaining / RefsPerIter;
+      TailRefs = Remaining % RefsPerIter;
+      Total = Remaining;
+      Truncated = true;
+    }
+
+    if (Iters > 0)
+      pushBlock(PatternIndex, Iters, /*AdvanceIters=*/0);
+    if (TailRefs > 0) {
+      // Ad-hoc pattern for the leading TailRefs refs of the truncated
+      // iteration, starting where the full prefix left off.
+      uint32_t Tail = beginPattern();
+      for (uint64_t R = 0; R != TailRefs; ++R) {
+        const uint32_t Src = RefBegin + static_cast<uint32_t>(R);
+        RecordedTrace::Ref Copy = RT.Refs[Src];
+        uint32_t OldDelta = Copy.DeltaIndex;
+        Copy.DeltaIndex = static_cast<uint32_t>(RT.Deltas.size());
+        for (uint32_t K = 0; K != Copy.Rank; ++K)
+          RT.Deltas.push_back(RT.Deltas[OldDelta + K]);
+        RT.Refs.push_back(Copy);
+        PatternSources[Tail].push_back(PatternSources[PatternIndex][R]);
+      }
+      finishPattern(Tail);
+      pushBlock(Tail, 1, /*AdvanceIters=*/Iters);
+    }
+    Emitted = satAddU64(Emitted, Total);
+  }
+
+  void pushBlock(uint32_t PatternIndex, uint64_t Count,
+                 uint64_t AdvanceIters) {
+    RecordedTrace::Block B;
+    B.PatternIndex = PatternIndex;
+    B.Count = Count;
+    B.StartIndex = RT.Starts.size();
+    const int64_t Advance = static_cast<int64_t>(AdvanceIters);
+    const std::vector<const CRef *> &Sources =
+        PatternSources[PatternIndex];
+    const uint32_t RefBegin = RT.Patterns[PatternIndex].RefBegin;
+    for (size_t I = 0; I != Sources.size(); ++I) {
+      const RecordedTrace::Ref &Shape =
+          RT.Refs[RefBegin + static_cast<uint32_t>(I)];
+      for (uint32_t K = 0; K != Shape.Rank; ++K)
+        RT.Starts.push_back(Sources[I]->DimIndex[K].eval(Env) +
+                            Advance * RT.Deltas[Shape.DeltaIndex + K]);
+    }
+    RT.Blocks.push_back(B);
+    if (RT.storageBytes() > kMaxStorageBytes)
+      abort("compressed trace exceeds " +
+            std::to_string(kMaxStorageBytes >> 20) +
+            " MiB; stream too block-heavy to replay profitably");
+  }
+
+  void execStmts(const std::vector<CStmt> &Stmts) {
+    for (const CStmt &S : Stmts) {
+      if (Truncated || Aborted)
+        return;
+      if (const auto *A = std::get_if<CAssign>(&S)) {
+        emitBlock(A->LoosePattern, 1);
+        continue;
+      }
+      const CLoop &L = std::get<CLoop>(S);
+      int64_t Lo = L.Lower.eval(Env);
+      int64_t Hi = L.Upper.eval(Env);
+      uint64_t Trips = tripCount(Lo, Hi, L.Step);
+      if (Trips == 0 || Aborted)
+        continue;
+      if (L.Innermost) {
+        // Start indices are the first iteration's; deltas carry the
+        // rest of the loop.
+        Env[L.Slot] = Lo;
+        emitBlock(L.Pattern, Trips);
+        continue;
+      }
+      int64_t V = Lo;
+      for (uint64_t I = 0; I != Trips && !Truncated && !Aborted;
+           ++I, V += L.Step) {
+        Env[L.Slot] = V;
+        execStmts(L.Body);
+      }
+    }
+  }
+};
+
+} // namespace exec
+} // namespace padx
+
+std::unique_ptr<RecordedTrace>
+RecordedTrace::record(const ir::Program &P, const RunOptions &Options,
+                      std::string *WhyNot) {
+  std::unique_ptr<RecordedTrace> T(new RecordedTrace());
+  T->Prog = &P;
+  T->Id = nextTraceId();
+  std::string Reason;
+  TraceRecorder R(P, Options, *T);
+  if (!R.run(Reason)) {
+    if (WhyNot)
+      *WhyNot = Reason;
+    return nullptr;
+  }
+  return T;
+}
+
+size_t RecordedTrace::storageBytes() const {
+  return Refs.size() * sizeof(Ref) + Deltas.size() * sizeof(int64_t) +
+         Patterns.size() * sizeof(Pattern) +
+         Blocks.size() * sizeof(Block) +
+         Starts.size() * sizeof(int64_t);
+}
+
+//===----------------------------------------------------------------------===//
+// Replay
+//===----------------------------------------------------------------------===//
+
+TraceReplayer::TraceReplayer(const RecordedTrace &Trace) : T(Trace) {
+  size_t MaxRefs = 0;
+  for (const RecordedTrace::Pattern &P : T.Patterns)
+    MaxRefs = std::max<size_t>(MaxRefs, P.RefEnd - P.RefBegin);
+  AddrScratch.resize(MaxRefs);
+  RefDeltaBytes.assign(T.Refs.size(), 0);
+  RefWrite.resize(T.Refs.size());
+  for (size_t R = 0; R != T.Refs.size(); ++R)
+    RefWrite[R] = T.Refs[R].IsWrite;
+  PatternWrites.assign(T.Patterns.size(), 0);
+  for (size_t P = 0; P != T.Patterns.size(); ++P)
+    for (uint32_t R = T.Patterns[P].RefBegin; R != T.Patterns[P].RefEnd;
+         ++R)
+      PatternWrites[P] += T.Refs[R].IsWrite;
+}
+
+void TraceReplayer::updateRemaps(const layout::DataLayout &DL) {
+  assert(&DL.program() == &T.program() &&
+         "layout must belong to the recorded program");
+  assert(DL.allBasesAssigned() && "layout must be complete");
+  const unsigned N = DL.numArrays();
+  Slots.resize(N);
+  bool AnyDirty = false;
+  for (unsigned Id = 0; Id != N; ++Id) {
+    SlotRemap &S = Slots[Id];
+    const layout::ArrayLayout &L = DL.layout(Id);
+    S.Base = L.BaseAddr;
+    // Padded byte strides: stride_0 = elemsize, stride_k = stride_{k-1}
+    // * padded dim_{k-1}. When they match the cached remap, every
+    // derived per-ref delta is still valid and only the base moved — the
+    // common case across inter-padding candidates.
+    const int64_t Elem = DL.program().array(Id).ElemSize;
+    const size_t Rank = L.Dims.size();
+    bool Same = S.Cached && S.StrideBytes.size() == Rank &&
+                (Rank == 0 || S.StrideBytes[0] == Elem);
+    int64_t Stride = Elem;
+    for (size_t K = 0; Same && K != Rank; ++K) {
+      if (S.StrideBytes[K] != Stride)
+        Same = false;
+      Stride *= L.Dims[K];
+    }
+    if (Same)
+      continue;
+    S.StrideBytes.resize(Rank);
+    Stride = Elem;
+    for (size_t K = 0; K != Rank; ++K) {
+      S.StrideBytes[K] = Stride;
+      Stride *= L.Dims[K];
+    }
+    S.Cached = false; // Mark dirty for the delta rebuild below.
+    AnyDirty = true;
+  }
+  if (!AnyDirty)
+    return;
+  for (size_t R = 0; R != T.Refs.size(); ++R) {
+    const RecordedTrace::Ref &Rf = T.Refs[R];
+    const SlotRemap &S = Slots[Rf.ArrayId];
+    if (S.Cached)
+      continue;
+    int64_t Delta = 0;
+    for (uint32_t K = 0; K != Rf.Rank; ++K)
+      Delta += T.Deltas[Rf.DeltaIndex + K] * S.StrideBytes[K];
+    RefDeltaBytes[R] = Delta;
+  }
+  for (SlotRemap &S : Slots)
+    S.Cached = true;
+}
+
+template <typename ProbeFn, typename BlockFn>
+void TraceReplayer::replayImpl(ProbeFn &&Probe, BlockFn &&PerBlock) {
+  const int64_t *Starts = T.Starts.data();
+  int64_t *Addr = AddrScratch.data();
+  for (const RecordedTrace::Block &B : T.Blocks) {
+    const RecordedTrace::Pattern &Pat = T.Patterns[B.PatternIndex];
+    const uint32_t NumRefs = Pat.RefEnd - Pat.RefBegin;
+    const int64_t *St = Starts + B.StartIndex;
+    for (uint32_t R = 0; R != NumRefs; ++R) {
+      const RecordedTrace::Ref &Rf = T.Refs[Pat.RefBegin + R];
+      const SlotRemap &S = Slots[Rf.ArrayId];
+      int64_t A = S.Base;
+      for (uint32_t K = 0; K != Rf.Rank; ++K)
+        A += St[K] * S.StrideBytes[K];
+      Addr[R] = A;
+      St += Rf.Rank;
+    }
+    PerBlock(B.PatternIndex, B.Count);
+    const int64_t *Delta = RefDeltaBytes.data() + Pat.RefBegin;
+    for (uint64_t It = 0; It != B.Count; ++It)
+      for (uint32_t R = 0; R != NumRefs; ++R) {
+        Probe(Addr[R], Pat.RefBegin + R);
+        Addr[R] += Delta[R];
+      }
+  }
+}
+
+RunStatus TraceReplayer::replay(const layout::DataLayout &DL,
+                                sim::CacheSim &Sim) {
+  updateRemaps(DL);
+  // Bases are element-aligned, so an element access can only straddle a
+  // line boundary when its element is wider than a line; take the
+  // general multi-line path in that (degenerate) geometry.
+  bool MaySpan = false;
+  for (const RecordedTrace::Ref &R : T.Refs)
+    MaySpan |= R.ElemSize > Sim.config().LineBytes;
+  if (MaySpan) {
+    replayImpl(
+        [&](int64_t Addr, uint32_t RefIndex) {
+          const RecordedTrace::Ref &R = T.Refs[RefIndex];
+          Sim.access(Addr, R.ElemSize, R.IsWrite);
+        },
+        [](uint32_t, uint64_t) {});
+    return T.recordStatus();
+  }
+  // Hot path: probe without per-access tallies; each block's access,
+  // read and write counts are known up front from its pattern, and
+  // hits accumulate in a register, so the statistics are settled in
+  // bulk instead of through per-access memory traffic.
+  const uint8_t *Write = RefWrite.data();
+  uint64_t Hits = 0;
+  auto PerBlock = [&](uint32_t PatternIndex, uint64_t Count) {
+    const RecordedTrace::Pattern &Pat = T.Patterns[PatternIndex];
+    const uint64_t Writes = Count * PatternWrites[PatternIndex];
+    const uint64_t Total = Count * (Pat.RefEnd - Pat.RefBegin);
+    Sim.addAccessCounts(Total - Writes, Writes);
+  };
+  if (Sim.isDirectMapped()) {
+    // Direct-mapped (the paper's base configuration): inline the packed
+    // probe with the geometry held in locals, so nothing is reloaded
+    // across set-array stores. Mirrors CacheSim::accessSetAssoc's
+    // one-way branch exactly, write-backs included.
+    int64_t *Lines = Sim.directLines();
+    const int64_t SetMask = Sim.directSetMask();
+    const unsigned LineShift = Sim.lineShiftLog2();
+    const unsigned SetShift = Sim.setShiftLog2();
+    uint64_t WriteBacks = 0;
+    replayImpl(
+        [&](int64_t Addr, uint32_t RefIndex) {
+          const int64_t LineAddr = Addr >> LineShift;
+          const int64_t Set = LineAddr & SetMask;
+          const int64_t Key = ((LineAddr >> SetShift) << 2) | 1;
+          const int64_t P = Lines[Set];
+          if ((P | 2) == (Key | 2)) {
+            if (Write[RefIndex])
+              Lines[Set] = P | 2;
+            ++Hits;
+          } else {
+            WriteBacks += (P >> 1) & 1;
+            Lines[Set] =
+                Key | (static_cast<int64_t>(Write[RefIndex]) << 1);
+          }
+        },
+        PerBlock);
+    Sim.addWriteBacks(WriteBacks);
+  } else {
+    replayImpl(
+        [&](int64_t Addr, uint32_t RefIndex) {
+          Hits += Sim.probeLine(Addr, Write[RefIndex]);
+        },
+        PerBlock);
+  }
+  Sim.addMisses(T.numAccesses() - Hits);
+  return T.recordStatus();
+}
+
+RunStatus TraceReplayer::replay(const layout::DataLayout &DL,
+                               TraceSink &Sink) {
+  updateRemaps(DL);
+  replayImpl(
+      [&](int64_t Addr, uint32_t RefIndex) {
+        const RecordedTrace::Ref &R = T.Refs[RefIndex];
+        Sink.access(Addr, R.ElemSize, R.IsWrite);
+      },
+      [](uint32_t, uint64_t) {});
+  return T.recordStatus();
+}

@@ -7,7 +7,9 @@
 #include "exec/TraceRunner.h"
 
 #include "analysis/ConflictDistance.h"
+#include "support/Guard.h"
 
+#include <algorithm>
 #include <cassert>
 #include <map>
 #include <random>
@@ -68,7 +70,31 @@ struct CompiledLoop {
   CompiledAffine Upper;
   int64_t Step = 1;
   std::vector<CompiledStmt> Body;
+  /// True when some loop bound inside the body references this loop's
+  /// variable (a triangular nest): analytic access counting must then
+  /// iterate this level instead of multiplying by the trip count.
+  bool IterateForCount = false;
 };
+
+/// Does any loop bound within \p Stmts reference environment slot
+/// \p Slot?
+bool boundsUseSlot(const std::vector<CompiledStmt> &Stmts, int Slot) {
+  auto AffineUses = [Slot](const CompiledAffine &A) {
+    for (const auto &[S, Coeff] : A.Terms)
+      if (S == Slot && Coeff != 0)
+        return true;
+    return false;
+  };
+  for (const CompiledStmt &S : Stmts) {
+    const auto *L = std::get_if<CompiledLoop>(&S);
+    if (!L)
+      continue;
+    if (AffineUses(L->Lower) || AffineUses(L->Upper) ||
+        boundsUseSlot(L->Body, Slot))
+      return true;
+  }
+  return false;
+}
 
 } // namespace
 
@@ -92,6 +118,9 @@ struct TraceRunner::Impl {
   // Compile-time state.
   std::map<std::string, int> SlotOfVar;
   int NumSlots = 0;
+  /// Any indirect ref anywhere: analytic counting is then unsound (an
+  /// out-of-range index ends the walk early) and falls back to walking.
+  bool HasIndirect = false;
 
   Impl(const ir::Program &P, const layout::DataLayout &DL,
        const RunOptions &Options)
@@ -152,6 +181,7 @@ struct TraceRunner::Impl {
     CompiledRef C;
     C.Size = static_cast<int32_t>(V.ElemSize);
     C.IsWrite = R.IsWrite;
+    HasIndirect |= R.IndirectDim >= 0;
 
     int64_t Base = DL.layout(R.ArrayId).BaseAddr;
     ir::AffineExpr Elems; // element offset, excluding any indirect dim
@@ -209,6 +239,7 @@ struct TraceRunner::Impl {
       SlotOfVar.emplace(L->IndexVar, CL.Slot);
       CL.Body = compileStmts(L->Body);
       SlotOfVar.erase(L->IndexVar);
+      CL.IterateForCount = boundsUseSlot(CL.Body, CL.Slot);
       Out.emplace_back(std::move(CL));
     }
     return Out;
@@ -257,6 +288,67 @@ struct TraceRunner::Impl {
     }
   }
 
+  /// Trip count of a loop with evaluated bounds; 0 when it never runs.
+  /// Saturates on (adversarial) spans that overflow int64.
+  static uint64_t tripCount(int64_t Lo, int64_t Hi, int64_t Step) {
+    int64_t Span;
+    if (Step > 0) {
+      if (Lo > Hi)
+        return 0;
+      if (subOverflow(Hi, Lo, Span))
+        return UINT64_MAX;
+      return static_cast<uint64_t>(Span / Step) + 1;
+    }
+    if (Lo < Hi)
+      return 0;
+    if (subOverflow(Lo, Hi, Span))
+      return UINT64_MAX;
+    int64_t NegStep;
+    if (subOverflow(0, Step, NegStep))
+      return UINT64_MAX;
+    return static_cast<uint64_t>(Span / NegStep) + 1;
+  }
+
+  /// Analytic access count: per statement, the reference count times the
+  /// product of enclosing trip counts, with saturating arithmetic.
+  /// Rectangular levels multiply; a level whose inner bounds depend on
+  /// its variable is iterated (but only that level — its rectangular
+  /// children still multiply). \p Ceiling lets deep recursion stop as
+  /// soon as the running total can no longer matter.
+  uint64_t countStmts(const std::vector<CompiledStmt> &Stmts,
+                      uint64_t Ceiling) {
+    uint64_t Total = 0;
+    for (const CompiledStmt &S : Stmts) {
+      if (Total >= Ceiling)
+        return Total;
+      if (const auto *A = std::get_if<CompiledAssign>(&S)) {
+        uint64_t PerExec = 0;
+        for (const CompiledRef &R : A->Refs)
+          PerExec += R.Indirect ? 2 : 1;
+        Total = satAddU64(Total, PerExec);
+        continue;
+      }
+      const CompiledLoop &L = std::get<CompiledLoop>(S);
+      int64_t Lo = L.Lower.eval(Env);
+      int64_t Hi = L.Upper.eval(Env);
+      uint64_t Trips = tripCount(Lo, Hi, L.Step);
+      if (Trips == 0)
+        continue;
+      if (!L.IterateForCount) {
+        Total = satAddU64(
+            Total, satMulU64(Trips, countStmts(L.Body, Ceiling)));
+        continue;
+      }
+      int64_t V = Lo;
+      for (uint64_t I = 0; I != Trips && Total < Ceiling;
+           ++I, V += L.Step) {
+        Env[L.Slot] = V;
+        Total = satAddU64(Total, countStmts(L.Body, Ceiling - Total));
+      }
+    }
+    return Total;
+  }
+
   void execStmts(const std::vector<CompiledStmt> &Stmts, TraceSink &Sink) {
     for (const CompiledStmt &S : Stmts) {
       if (Truncated)
@@ -303,6 +395,18 @@ RunStatus TraceRunner::run(TraceSink &Sink) {
 }
 
 uint64_t TraceRunner::countAccesses() {
+  // Indirect subscripts can end the walk early (IndirectOutOfRange), so
+  // only the walk itself knows the emitted count.
+  if (P->HasIndirect)
+    return countAccessesByWalking();
+  uint64_t Limit =
+      P->Options.MaxAccesses ? P->Options.MaxAccesses : UINT64_MAX;
+  P->Env.assign(P->Env.size(), 0);
+  uint64_t Total = P->countStmts(P->Body, Limit);
+  return std::min(Total, Limit);
+}
+
+uint64_t TraceRunner::countAccessesByWalking() {
   CountSink Counter;
   run(Counter);
   return Counter.Count;

@@ -61,9 +61,20 @@ public:
   /// RunOptions::MaxAccesses.
   RunStatus run(TraceSink &Sink);
 
-  /// Number of accesses one run() emits (computed by a counting run;
-  /// saturates at RunOptions::MaxAccesses when a limit is set).
+  /// Number of accesses one run() emits (saturates at
+  /// RunOptions::MaxAccesses when a limit is set). Computed
+  /// analytically — per statement, references times the product of
+  /// enclosing trip counts, with saturating arithmetic — so it costs
+  /// O(loop structure) instead of a second full walk. Loops whose inner
+  /// bounds depend on their variable (triangular nests) iterate only
+  /// that level; programs with indirect subscripts fall back to a
+  /// counting walk, because an out-of-range index truncates the trace
+  /// in a way no closed form predicts.
   uint64_t countAccesses();
+
+  /// The pre-analytic implementation: a full counting run(). Kept as the
+  /// debug cross-check countAccesses() is tested against.
+  uint64_t countAccessesByWalking();
 
 private:
   struct Impl;

@@ -11,13 +11,53 @@
 #include "exec/Trace.h"
 #include "exec/TraceRunner.h"
 
+#include <optional>
+
 using namespace padx;
 using namespace padx::search;
 
 CostModel::~CostModel() = default;
 
+namespace {
+
+/// Per-thread replay state. The recorded trace is shared read-only; the
+/// replayer (whose stride-delta caches are mutable) and the cache
+/// simulator are per worker. Keyed by the trace's process-unique id so
+/// pool threads that outlive one search re-initialize cleanly for the
+/// next; the shared_ptr keeps the keyed trace alive for as long as the
+/// worker holds it.
+struct ReplayWorkerState {
+  std::shared_ptr<const exec::RecordedTrace> Trace;
+  std::optional<exec::TraceReplayer> Replayer;
+  std::optional<sim::CacheSim> Sim;
+  CacheConfig SimConfig;
+};
+
+thread_local ReplayWorkerState Worker;
+
+} // namespace
+
+void SimulationCostModel::prepareReplay(const ir::Program &P) {
+  Trace = exec::RecordedTrace::record(P);
+}
+
 CostSample SimulationCostModel::evaluate(
     const layout::DataLayout &DL) const {
+  if (Trace && &DL.program() == &Trace->program()) {
+    if (!Worker.Trace || Worker.Trace->id() != Trace->id()) {
+      Worker.Trace = Trace;
+      Worker.Replayer.emplace(*Trace);
+    }
+    if (!Worker.Sim || Worker.SimConfig != Cache) {
+      Worker.Sim.emplace(Cache);
+      Worker.SimConfig = Cache;
+    } else {
+      Worker.Sim->reset();
+    }
+    Worker.Replayer->replay(DL, *Worker.Sim);
+    return {static_cast<double>(Worker.Sim->stats().Misses),
+            Worker.Sim->stats().Accesses};
+  }
   sim::CacheSim Sim(Cache);
   exec::CacheSimSink Sink(Sim);
   exec::TraceRunner Runner(DL.program(), DL);

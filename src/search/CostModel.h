@@ -17,10 +17,12 @@
 #ifndef PADX_SEARCH_COSTMODEL_H
 #define PADX_SEARCH_COSTMODEL_H
 
+#include "exec/RecordedTrace.h"
 #include "layout/DataLayout.h"
 #include "machine/CacheConfig.h"
 
 #include <cstdint>
+#include <memory>
 #include <string>
 
 namespace padx {
@@ -50,18 +52,35 @@ public:
   virtual std::string name() const = 0;
 };
 
-/// The oracle: generates the full reference trace of the layout's
-/// program and runs it through the cache simulator. Cost = simulated
-/// misses. Exact and deterministic, but costs a whole program execution.
+/// The oracle: simulates the layout's full reference trace. Cost =
+/// simulated misses. Exact and deterministic.
+///
+/// By default every evaluation re-walks the IR (a whole program
+/// execution). prepareReplay() records the program's layout-independent
+/// access stream once; evaluations of that program's layouts then
+/// replay the recorded stream through a per-worker cache simulator — a
+/// tight remap-and-probe loop instead of the walk — with bit-identical
+/// statistics. Programs the recorder declines (indirect subscripts)
+/// keep the direct path transparently.
 class SimulationCostModel : public CostModel {
 public:
   explicit SimulationCostModel(const CacheConfig &Cache) : Cache(Cache) {}
+
+  /// Records \p P's access stream for replay-based evaluation. \p P
+  /// must outlive the model. No-op (direct tracing stays) when the
+  /// stream cannot be recorded; usingReplay() tells which happened.
+  void prepareReplay(const ir::Program &P);
+  void prepareReplay(ir::Program &&) = delete;
+  bool usingReplay() const { return Trace != nullptr; }
 
   CostSample evaluate(const layout::DataLayout &DL) const override;
   std::string name() const override { return "simulation"; }
 
 private:
   CacheConfig Cache;
+  /// Shared read-only across the thread pool's workers; each worker
+  /// keeps its own TraceReplayer and CacheSim (thread-local).
+  std::shared_ptr<const exec::RecordedTrace> Trace;
 };
 
 /// The pruner: the paper's simplified cache-miss-equation estimator

@@ -50,6 +50,8 @@ SearchResult search::runSearch(const ir::Program &P,
                                const SearchOptions &Opts) {
   CandidateGenerator Gen(P, Opts.Cache);
   SimulationCostModel Exact(Opts.Cache);
+  if (Opts.UseReplay)
+    Exact.prepareReplay(P);
   StaticCostModel Static(Opts.Cache);
   ThreadPool Pool(Opts.Threads);
   std::mt19937_64 Rng(Opts.Seed);

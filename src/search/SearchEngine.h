@@ -68,6 +68,14 @@ struct SearchOptions {
   /// front end shedding load) to stop the climb at the next batch
   /// boundary with a Cancelled outcome.
   const std::atomic<bool> *Cancel = nullptr;
+
+  /// Record the program's access stream once and replay it per candidate
+  /// instead of re-walking the IR for every exact evaluation. Results
+  /// are bit-identical either way; this is purely a speed knob (and the
+  /// escape hatch when the recorder misbehaves: --replay off). Programs
+  /// the recorder declines (indirect subscripts) fall back to direct
+  /// tracing automatically.
+  bool UseReplay = true;
 };
 
 /// Why the search stopped. Everything except Completed is a degraded

@@ -43,6 +43,27 @@ inline bool mulOverflow(int64_t A, int64_t B, int64_t &Out) {
   return __builtin_mul_overflow(A, B, &Out);
 }
 
+/// Computes A * B into Out; returns true iff the unsigned result
+/// wrapped. Used by trace-length accounting, which counts in uint64.
+inline bool mulOverflowU64(uint64_t A, uint64_t B, uint64_t &Out) {
+  return __builtin_mul_overflow(A, B, &Out);
+}
+
+/// Saturating unsigned addition: UINT64_MAX on wrap-around. Analytic
+/// access counting multiplies loop trip counts per statement; on
+/// adversarial nests the product exceeds uint64, and "more accesses
+/// than anyone can simulate" is the honest saturated answer.
+inline uint64_t satAddU64(uint64_t A, uint64_t B) {
+  uint64_t Out;
+  return __builtin_add_overflow(A, B, &Out) ? UINT64_MAX : Out;
+}
+
+/// Saturating unsigned multiplication: UINT64_MAX on wrap-around.
+inline uint64_t satMulU64(uint64_t A, uint64_t B) {
+  uint64_t Out;
+  return __builtin_mul_overflow(A, B, &Out) ? UINT64_MAX : Out;
+}
+
 /// Linearized size in bytes of an array with the given (positive)
 /// dimension sizes and element size, or nullopt when the product
 /// overflows int64 — i.e. when no flat address computation over the

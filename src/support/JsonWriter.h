@@ -1,0 +1,153 @@
+//===----------------------------------------------------------------------===//
+//
+// Part of the padx project, under the Apache License v2.0.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A minimal streaming JSON emitter for the benchmark binaries'
+/// machine-readable output (BENCH_*.json). Deliberately tiny: objects,
+/// arrays, strings, integers and doubles — no parsing, no DOM. The
+/// writer tracks the open container stack and inserts commas itself, so
+/// call sites read like the document they produce. Doubles are emitted
+/// round-trippably (%.17g); NaN and infinities, which JSON cannot
+/// represent, become null.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PADX_SUPPORT_JSONWRITER_H
+#define PADX_SUPPORT_JSONWRITER_H
+
+#include <cmath>
+#include <cstdint>
+#include <cstdio>
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace padx {
+namespace support {
+
+class JsonWriter {
+public:
+  explicit JsonWriter(std::ostream &OS) : OS(OS) {}
+
+  void beginObject() { beginContainer('{'); }
+  void endObject() { endContainer('}'); }
+  void beginArray() { beginContainer('['); }
+  void endArray() { endContainer(']'); }
+
+  /// Starts a "key": ... pair; follow with exactly one value or
+  /// container call.
+  void key(const std::string &Name) {
+    comma();
+    writeString(Name);
+    OS << ':';
+    HavePendingKey = true;
+  }
+
+  void value(const std::string &S) {
+    comma();
+    writeString(S);
+  }
+  void value(const char *S) { value(std::string(S)); }
+  void value(bool B) {
+    comma();
+    OS << (B ? "true" : "false");
+  }
+  void value(int64_t V) {
+    comma();
+    OS << V;
+  }
+  void value(uint64_t V) {
+    comma();
+    OS << V;
+  }
+  void value(int V) { value(static_cast<int64_t>(V)); }
+  void value(unsigned V) { value(static_cast<uint64_t>(V)); }
+  void value(double D) {
+    comma();
+    if (!std::isfinite(D)) {
+      OS << "null";
+      return;
+    }
+    char Buf[32];
+    std::snprintf(Buf, sizeof(Buf), "%.17g", D);
+    OS << Buf;
+  }
+
+  /// key() + value() in one call, the common case.
+  template <typename T> void field(const std::string &Name, T V) {
+    key(Name);
+    value(V);
+  }
+
+private:
+  void beginContainer(char Open) {
+    comma();
+    OS << Open;
+    Stack.push_back(Open);
+    FirstInContainer = true;
+  }
+
+  void endContainer(char Close) {
+    Stack.pop_back();
+    OS << Close;
+    FirstInContainer = false;
+  }
+
+  /// Emits the separating comma where one is due. A value right after
+  /// key() or at the head of a container takes none.
+  void comma() {
+    if (HavePendingKey) {
+      HavePendingKey = false;
+      return;
+    }
+    if (!Stack.empty() && !FirstInContainer)
+      OS << ',';
+    FirstInContainer = false;
+  }
+
+  void writeString(const std::string &S) {
+    OS << '"';
+    for (char C : S) {
+      switch (C) {
+      case '"':
+        OS << "\\\"";
+        break;
+      case '\\':
+        OS << "\\\\";
+        break;
+      case '\n':
+        OS << "\\n";
+        break;
+      case '\t':
+        OS << "\\t";
+        break;
+      case '\r':
+        OS << "\\r";
+        break;
+      default:
+        if (static_cast<unsigned char>(C) < 0x20) {
+          char Buf[8];
+          std::snprintf(Buf, sizeof(Buf), "\\u%04x",
+                        static_cast<unsigned>(C));
+          OS << Buf;
+        } else {
+          OS << C;
+        }
+      }
+    }
+    OS << '"';
+  }
+
+  std::ostream &OS;
+  std::vector<char> Stack;
+  bool FirstInContainer = true;
+  bool HavePendingKey = false;
+};
+
+} // namespace support
+} // namespace padx
+
+#endif // PADX_SUPPORT_JSONWRITER_H

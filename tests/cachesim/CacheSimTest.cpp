@@ -136,3 +136,59 @@ TEST(CacheSim, MissRate) {
   CacheStats Empty;
   EXPECT_DOUBLE_EQ(Empty.missRate(), 0.0);
 }
+
+TEST(CacheSim, HighAssociativityMatchesFullyAssociativeLRU) {
+  // A 512-way single-set cache is LRU over one set, i.e. exactly the
+  // fully-associative simulator. Regression for the per-set MRU index:
+  // a narrower type (it was once uint8_t) truncates way indices past
+  // 255 and silently corrupts the probe order.
+  CacheSim Ways(CacheConfig{512 * 32, 32, 512}); // one set of 512 ways
+  CacheSim Full(CacheConfig{512 * 32, 32, 0});
+  // A mixed stream: sequential sweeps past capacity (forcing evictions
+  // deep in the way array), strided revisits, and writes for dirty
+  // write-back traffic.
+  for (int64_t I = 0; I < 700; ++I) {
+    Ways.accessLine(I * 32, I % 3 == 0);
+    Full.accessLine(I * 32, I % 3 == 0);
+  }
+  for (int64_t I = 699; I >= 0; I -= 7) {
+    Ways.accessLine(I * 32, false);
+    Full.accessLine(I * 32, false);
+  }
+  for (int64_t I = 0; I < 700; I += 2) {
+    Ways.accessLine(I * 32, true);
+    Full.accessLine(I * 32, true);
+  }
+  EXPECT_EQ(Ways.stats().Accesses, Full.stats().Accesses);
+  EXPECT_EQ(Ways.stats().Misses, Full.stats().Misses);
+  EXPECT_EQ(Ways.stats().WriteBacks, Full.stats().WriteBacks);
+}
+
+TEST(CacheSim, DirectMappedNegativeAddresses) {
+  // Negative addresses arise when a subscript runs below an array's
+  // base; the packed direct-mapped state must treat their (negative)
+  // tags as ordinary values, not as an empty-way sentinel.
+  CacheSim C(CacheConfig::base16K());
+  EXPECT_FALSE(C.accessLine(-64, true)); // cold miss, dirty
+  EXPECT_TRUE(C.accessLine(-64, false)); // now resident
+  EXPECT_TRUE(C.accessLine(-40, false)); // same line
+  // A conflicting line in the same set evicts the dirty negative line.
+  EXPECT_FALSE(C.accessLine(-64 + 16 * 1024, false));
+  EXPECT_EQ(C.stats().WriteBacks, 1u);
+  EXPECT_FALSE(C.accessLine(-64, false)); // and back: conflict miss
+}
+
+TEST(CacheSim, DirectMappedResetClearsLinesAndDirtyBits) {
+  CacheSim C(CacheConfig::base16K());
+  C.accessLine(0, true);
+  C.accessLine(128, true);
+  C.reset();
+  EXPECT_EQ(C.stats().Accesses, 0u);
+  EXPECT_FALSE(C.accessLine(0, false));   // cold again
+  EXPECT_FALSE(C.accessLine(128, false)); // cold again
+  // The dirty bits died with the reset: evicting these lines after only
+  // reads must not write back.
+  C.accessLine(16 * 1024, false);
+  C.accessLine(128 + 16 * 1024, false);
+  EXPECT_EQ(C.stats().WriteBacks, 0u);
+}

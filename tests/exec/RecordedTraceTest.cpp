@@ -1,0 +1,362 @@
+//===----------------------------------------------------------------------===//
+//
+// Part of the padx project, under the Apache License v2.0.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The recorded-trace contract: replaying a recording under any layout
+/// produces the exact event stream a fresh TraceRunner walk would, the
+/// compression is block-per-innermost-loop, and programs the format
+/// cannot express (indirect subscripts, scalar emission) are declined
+/// with a reason instead of recorded wrongly.
+///
+//===----------------------------------------------------------------------===//
+
+#include "exec/RecordedTrace.h"
+
+#include "frontend/Parser.h"
+#include "layout/DataLayout.h"
+#include "search/Candidate.h"
+
+#include "gtest/gtest.h"
+
+using namespace padx;
+using namespace padx::exec;
+
+namespace {
+
+ir::Program parseOrDie(std::string_view Src) {
+  DiagnosticEngine Diags;
+  auto P = frontend::parseProgram(Src, Diags);
+  EXPECT_TRUE(P) << Diags.str();
+  return std::move(*P);
+}
+
+std::vector<TraceEvent> directTrace(const ir::Program &P,
+                                    const layout::DataLayout &DL,
+                                    const RunOptions &Opts = {}) {
+  TraceRunner Runner(P, DL, Opts);
+  CollectSink Sink;
+  Runner.run(Sink);
+  return Sink.Events;
+}
+
+std::vector<TraceEvent> replayTrace(const RecordedTrace &T,
+                                    const layout::DataLayout &DL) {
+  TraceReplayer Replayer(T);
+  CollectSink Sink;
+  Replayer.replay(DL, Sink);
+  return Sink.Events;
+}
+
+/// The layouts the equivalence checks sweep: original, intra-padded
+/// columns, inter gaps, and both combined.
+std::vector<layout::DataLayout> layoutSweep(const ir::Program &P) {
+  std::vector<layout::DataLayout> Out;
+  Out.push_back(layout::originalLayout(P));
+  for (int64_t ColPad : {1, 7}) {
+    search::Candidate C = search::zeroCandidate(P);
+    for (unsigned A = 0; A != C.DimPads.size(); ++A) {
+      if (!C.DimPads[A].empty())
+        C.DimPads[A][0] = ColPad + A;
+      C.GapBytes[A] =
+          static_cast<int64_t>(A) * P.array(A).ElemSize * 4;
+    }
+    Out.push_back(search::materialize(P, C));
+  }
+  return Out;
+}
+
+} // namespace
+
+//===----------------------------------------------------------------------===//
+// Stream equivalence
+//===----------------------------------------------------------------------===//
+
+TEST(RecordedTrace, ReplayMatchesDirectTraceAcrossLayouts) {
+  ir::Program P = parseOrDie(R"(program p
+array A : real[16, 16]
+array B : real[16, 16]
+loop i = 2, 15 {
+  loop j = 2, 15 {
+    B[j, i] = A[j-1, i] + A[j+1, i] + A[j, i]
+  }
+}
+)");
+  auto T = RecordedTrace::record(P);
+  ASSERT_NE(T, nullptr);
+  for (const layout::DataLayout &DL : layoutSweep(P))
+    EXPECT_EQ(replayTrace(*T, DL), directTrace(P, DL));
+}
+
+TEST(RecordedTrace, TriangularNest) {
+  ir::Program P = parseOrDie(R"(program p
+array A : real[24, 24]
+loop k = 1, 24 {
+  loop i = k, 24 {
+    A[i, k] = A[i, k] * 2.0
+  }
+}
+)");
+  auto T = RecordedTrace::record(P);
+  ASSERT_NE(T, nullptr);
+  for (const layout::DataLayout &DL : layoutSweep(P))
+    EXPECT_EQ(replayTrace(*T, DL), directTrace(P, DL));
+}
+
+TEST(RecordedTrace, NegativeStepAndLowerBoundZero) {
+  ir::Program P = parseOrDie(R"(program p
+array X : real4[0:63]
+loop i = 63, 0 step -1 {
+  X[i] = X[i] + 1
+}
+)");
+  auto T = RecordedTrace::record(P);
+  ASSERT_NE(T, nullptr);
+  for (const layout::DataLayout &DL : layoutSweep(P))
+    EXPECT_EQ(replayTrace(*T, DL), directTrace(P, DL));
+}
+
+TEST(RecordedTrace, SiblingLoopsAndLooseAssigns) {
+  // A straight-line assign between two loop nests exercises the
+  // one-shot (zero-delta) pattern path.
+  ir::Program P = parseOrDie(R"(program p
+array A : real[8]
+array B : real[8]
+loop i = 1, 8 {
+  A[i] = 1.0
+}
+A[1] = B[2]
+loop i = 1, 8 {
+  B[i] = A[i]
+}
+)");
+  auto T = RecordedTrace::record(P);
+  ASSERT_NE(T, nullptr);
+  for (const layout::DataLayout &DL : layoutSweep(P))
+    EXPECT_EQ(replayTrace(*T, DL), directTrace(P, DL));
+}
+
+TEST(RecordedTrace, MixedBodyLoopFallsBackToLoosePatterns) {
+  // The outer loop's own assign is not inside any innermost loop, so it
+  // becomes a per-execution block next to its sibling loop's blocks.
+  ir::Program P = parseOrDie(R"(program p
+array A : real[8, 8]
+array D : real[8]
+loop i = 1, 8 {
+  D[i] = A[1, i]
+  loop j = 1, 8 {
+    A[j, i] = A[j, i] + D[i]
+  }
+}
+)");
+  auto T = RecordedTrace::record(P);
+  ASSERT_NE(T, nullptr);
+  for (const layout::DataLayout &DL : layoutSweep(P))
+    EXPECT_EQ(replayTrace(*T, DL), directTrace(P, DL));
+}
+
+TEST(RecordedTrace, OutOfDeclaredBoundsSubscriptsReplayExactly) {
+  // Affine subscripts may leave the declared box (the analysis pads for
+  // conflicts, not bounds); the recorded per-dimension indices must
+  // reproduce the same out-of-box addresses under every layout.
+  ir::Program P = parseOrDie(R"(program p
+array A : real[8, 8]
+loop i = 1, 8 {
+  A[i+4, i] = A[i, i] + 1.0
+}
+)");
+  auto T = RecordedTrace::record(P);
+  ASSERT_NE(T, nullptr);
+  for (const layout::DataLayout &DL : layoutSweep(P))
+    EXPECT_EQ(replayTrace(*T, DL), directTrace(P, DL));
+}
+
+//===----------------------------------------------------------------------===//
+// Simulation equivalence (the fast CacheSim path, not the sink path)
+//===----------------------------------------------------------------------===//
+
+TEST(RecordedTrace, CacheStatsMatchDirectSimulation) {
+  ir::Program P = parseOrDie(R"(program p
+array A : real[64, 64]
+array B : real[64, 64]
+loop i = 2, 63 {
+  loop j = 2, 63 {
+    B[j, i] = A[j-1, i] + A[j+1, i]
+  }
+}
+)");
+  auto T = RecordedTrace::record(P);
+  ASSERT_NE(T, nullptr);
+  for (const CacheConfig &Cfg :
+       {CacheConfig{4096, 32, 1}, CacheConfig{4096, 32, 2},
+        CacheConfig{4096, 32, 0}}) {
+    TraceReplayer Replayer(*T);
+    for (const layout::DataLayout &DL : layoutSweep(P)) {
+      sim::CacheSim Direct(Cfg), Replay(Cfg);
+      CacheSimSink Sink(Direct);
+      TraceRunner Runner(P, DL);
+      Runner.run(Sink);
+      Replayer.replay(DL, Replay);
+      EXPECT_EQ(Replay.stats().Accesses, Direct.stats().Accesses);
+      EXPECT_EQ(Replay.stats().Misses, Direct.stats().Misses);
+      EXPECT_EQ(Replay.stats().Reads, Direct.stats().Reads);
+      EXPECT_EQ(Replay.stats().Writes, Direct.stats().Writes);
+      EXPECT_EQ(Replay.stats().WriteBacks, Direct.stats().WriteBacks);
+    }
+  }
+}
+
+TEST(RecordedTrace, ElementWiderThanLineTakesSpanningPath) {
+  // real = 8 bytes, 4-byte lines: every element touches two lines. The
+  // replayer must match the general access() path, not accessLine.
+  ir::Program P = parseOrDie(R"(program p
+array A : real[32]
+loop i = 1, 32 {
+  A[i] = A[i] + 1.0
+}
+)");
+  auto T = RecordedTrace::record(P);
+  ASSERT_NE(T, nullptr);
+  CacheConfig Cfg{512, 4, 1};
+  ASSERT_TRUE(Cfg.isValid());
+  layout::DataLayout DL = layout::originalLayout(P);
+  sim::CacheSim Direct(Cfg), Replay(Cfg);
+  CacheSimSink Sink(Direct);
+  TraceRunner Runner(P, DL);
+  Runner.run(Sink);
+  TraceReplayer Replayer(*T);
+  Replayer.replay(DL, Replay);
+  EXPECT_EQ(Replay.stats().Accesses, Direct.stats().Accesses);
+  EXPECT_EQ(Replay.stats().Misses, Direct.stats().Misses);
+  EXPECT_EQ(Replay.stats().WriteBacks, Direct.stats().WriteBacks);
+}
+
+//===----------------------------------------------------------------------===//
+// Compression shape
+//===----------------------------------------------------------------------===//
+
+TEST(RecordedTrace, OneBlockPerInnermostLoopExecution) {
+  ir::Program P = parseOrDie(R"(program p
+array A : real[16, 16]
+loop i = 1, 16 {
+  loop j = 1, 16 {
+    A[j, i] = A[j, i] + 1.0
+  }
+}
+)");
+  auto T = RecordedTrace::record(P);
+  ASSERT_NE(T, nullptr);
+  EXPECT_EQ(T->numAccesses(), 2u * 16 * 16);
+  EXPECT_EQ(T->numBlocks(), 16u); // One per inner-loop execution.
+  EXPECT_EQ(T->numPatterns(), 1u);
+  EXPECT_LT(T->storageBytes(), size_t(16) * 1024);
+}
+
+//===----------------------------------------------------------------------===//
+// Truncation
+//===----------------------------------------------------------------------===//
+
+TEST(RecordedTrace, MaxAccessesTruncatesMidIteration) {
+  // 10 is not a multiple of the 2 refs per iteration times anything
+  // aligned with the loop, so the cut lands mid-pattern: the prefix
+  // blocks plus a tail block must reproduce the runner's stream.
+  ir::Program P = parseOrDie(R"(program p
+array A : real[16]
+array B : real[16]
+loop i = 1, 16 {
+  B[i] = A[i] + A[1]
+}
+)");
+  RunOptions Opts;
+  Opts.MaxAccesses = 10;
+  auto T = RecordedTrace::record(P, Opts);
+  ASSERT_NE(T, nullptr);
+  EXPECT_EQ(T->recordStatus(), RunStatus::TraceLimitReached);
+  EXPECT_EQ(T->numAccesses(), 10u);
+  layout::DataLayout DL = layout::originalLayout(P);
+  EXPECT_EQ(replayTrace(*T, DL), directTrace(P, DL, Opts));
+}
+
+TEST(RecordedTrace, LimitLandingOnIterationBoundaryIsOk) {
+  // Ending exactly at the limit is not a truncation — mirror the
+  // TraceRunner's convention.
+  ir::Program P = parseOrDie(R"(program p
+array A : real[8]
+loop i = 1, 8 {
+  A[i] = 1.0
+}
+)");
+  RunOptions Opts;
+  Opts.MaxAccesses = 8;
+  auto T = RecordedTrace::record(P, Opts);
+  ASSERT_NE(T, nullptr);
+  EXPECT_EQ(T->recordStatus(), RunStatus::Ok);
+  EXPECT_EQ(T->numAccesses(), 8u);
+}
+
+//===----------------------------------------------------------------------===//
+// Declined programs
+//===----------------------------------------------------------------------===//
+
+TEST(RecordedTrace, IndirectSubscriptsAreDeclined) {
+  ir::Program P = parseOrDie(R"(program p
+array X : real[8]
+array IDX : int[8] init identity
+loop i = 1, 8 {
+  X[IDX[i]] = 2.0
+}
+)");
+  std::string WhyNot;
+  EXPECT_EQ(RecordedTrace::record(P, {}, &WhyNot), nullptr);
+  EXPECT_NE(WhyNot.find("IDX"), std::string::npos) << WhyNot;
+}
+
+TEST(RecordedTrace, ScalarEmissionIsDeclined) {
+  ir::Program P = parseOrDie(R"(program p
+array S : real
+array A : real[4]
+loop i = 1, 4 {
+  S = S + A[i]
+}
+)");
+  RunOptions Opts;
+  Opts.EmitScalarRefs = true;
+  std::string WhyNot;
+  EXPECT_EQ(RecordedTrace::record(P, Opts, &WhyNot), nullptr);
+  EXPECT_FALSE(WhyNot.empty());
+  // Without scalar emission the same program records fine (the scalar
+  // is register-promoted out of the stream).
+  EXPECT_NE(RecordedTrace::record(P), nullptr);
+}
+
+//===----------------------------------------------------------------------===//
+// Replayer reuse
+//===----------------------------------------------------------------------===//
+
+TEST(RecordedTrace, ReplayerReusableAcrossLayoutsAndIds) {
+  ir::Program P = parseOrDie(R"(program p
+array A : real[16, 16]
+array B : real[16, 16]
+loop i = 1, 16 {
+  loop j = 1, 16 {
+    B[j, i] = A[j, i]
+  }
+}
+)");
+  auto T = RecordedTrace::record(P);
+  ASSERT_NE(T, nullptr);
+  TraceReplayer Replayer(*T);
+  // Same replayer, many layouts — including inter-only moves that reuse
+  // the cached stride deltas — must keep matching the fresh walk.
+  for (int Round = 0; Round != 2; ++Round)
+    for (const layout::DataLayout &DL : layoutSweep(P)) {
+      CollectSink Sink;
+      Replayer.replay(DL, Sink);
+      EXPECT_EQ(Sink.Events, directTrace(P, DL));
+    }
+  auto T2 = RecordedTrace::record(P);
+  ASSERT_NE(T2, nullptr);
+  EXPECT_NE(T->id(), T2->id());
+}

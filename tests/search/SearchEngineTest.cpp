@@ -195,6 +195,27 @@ TEST(SearchEngine, ResultIndependentOfThreadCount) {
   }
 }
 
+TEST(SearchEngine, ReplayAndDirectEvaluationAgreeExactly) {
+  // --replay off is an escape hatch, not a different search: with the
+  // same seed and budget both modes must visit the same candidates and
+  // report bit-identical results, including under worker threads.
+  for (const char *Name : {"expl", "jacobi", "dgefa"}) {
+    ir::Program P = smallKernel(Name);
+    search::SearchOptions Opts;
+    Opts.EvalBudget = 16;
+    Opts.Seed = 7;
+    Opts.Threads = 2;
+    Opts.UseReplay = true;
+    search::SearchResult Replay = search::runSearch(P, Opts);
+    Opts.UseReplay = false;
+    search::SearchResult Direct = search::runSearch(P, Opts);
+    EXPECT_EQ(Replay.Best, Direct.Best) << Name;
+    EXPECT_EQ(Replay.BestMisses, Direct.BestMisses) << Name;
+    EXPECT_EQ(Replay.ExactEvaluations, Direct.ExactEvaluations) << Name;
+    EXPECT_EQ(Replay.Log, Direct.Log) << Name;
+  }
+}
+
 TEST(SearchEngine, NeverWorseThanPadBaseline) {
   for (const char *Name : {"expl", "jacobi", "dgefa", "chol"}) {
     ir::Program P = smallKernel(Name);
