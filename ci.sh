@@ -3,11 +3,13 @@
 #
 # Part of the padx project, under the Apache License v2.0.
 #
-# CI driver: the tier-1 build + test cycle, then the same suite under
-# ASan+UBSan (-DPADX_SANITIZE=ON) so heap misuse and undefined behavior
-# in the concurrent search / thread-pool code surface on every run.
-# (ASan does not detect data races; pair with a TSan build where a
-# thread-sanitizer-enabled toolchain is available.)
+# CI driver: the tier-1 build + test cycle, the padlint exit-code /
+# SARIF / crash-robustness stages, then the same suite under ASan+UBSan
+# (-DPADX_SANITIZE=ON) so heap misuse and undefined behavior in the
+# concurrent search / thread-pool code surface on every run. A TSan
+# stage (-DPADX_SANITIZE_THREAD=ON) covers the data races ASan cannot
+# see, gated on a runtime probe of the toolchain; a clang-tidy stage
+# (advisory, see .clang-tidy) runs when the tool is on PATH.
 #
 # Both configurations replay the fuzz corpus + crasher regressions via
 # the `fuzz_corpus_regression` ctest. When clang++ is on PATH a third
@@ -39,10 +41,109 @@ build/bench/replay_speedup --file tests/fuzz/corpus/jacobi512.pad \
 build/bench/search_vs_pad --budget 24 --threads 2 --seed 1 jacobi \
   --json build/BENCH_search.json
 
+echo "== padlint: exit-code contract + SARIF artifact =="
+# The CI artifact: one SARIF run over every example program, for code
+# scanning ingestion. --fail-on never so the artifact step itself never
+# gates; the contract checks below do the gating.
+build/examples/padlint --format sarif --output build/LINT_examples.sarif \
+  --fail-on never examples/programs/*.pad
+# Exit-code contract (also unit-tested): 0 clean, 1 findings, 2 bad input.
+build/examples/padlint examples/programs/gather.pad > /dev/null
+rc=0; build/examples/padlint examples/programs/jacobi512.pad \
+  > /dev/null || rc=$?
+[ "$rc" -eq 1 ] || { echo "expected exit 1 on findings, got $rc"; exit 1; }
+rc=0; build/examples/padlint no-such-file.pad 2> /dev/null || rc=$?
+[ "$rc" -eq 2 ] || { echo "expected exit 2 on bad input, got $rc"; exit 1; }
+# A baseline recorded from the same tree must suppress everything.
+build/examples/padlint --write-baseline build/LINT_examples.baseline \
+  --fail-on never examples/programs/*.pad > /dev/null
+build/examples/padlint --baseline build/LINT_examples.baseline \
+  examples/programs/*.pad > /dev/null
+
+if command -v jq > /dev/null 2>&1; then
+  echo "== padlint: SARIF structural validation (jq) =="
+  test "$(jq -r '.version' build/LINT_examples.sarif)" = "2.1.0"
+  test "$(jq -r '.runs[0].tool.driver.name' build/LINT_examples.sarif)" \
+    = "padlint"
+  test "$(jq '.runs[0].tool.driver.rules | length' \
+    build/LINT_examples.sarif)" -eq 5
+  test "$(jq '.runs[0].results | length' build/LINT_examples.sarif)" -gt 0
+  # Every result must reference a registered rule and carry a message
+  # and a fingerprint.
+  jq -e '.runs[0].results | all(.ruleId != null and
+         .message.text != null and
+         .partialFingerprints["padlintFingerprint/v1"] != null)' \
+    build/LINT_examples.sarif > /dev/null
+else
+  echo "== padlint: SARIF validation skipped (no jq) =="
+fi
+
+echo "== padlint: corpus + crasher sweep (must never crash) =="
+# Parse rejections (exit 2) are fine; signals (>= 126) are not. The
+# library-level twin of this sweep is tests/lint/LintCorpusTest.cpp.
+for f in tests/fuzz/corpus/*.pad tests/fuzz/crashers/*.pad; do
+  rc=0
+  build/examples/padlint --fail-on never "$f" > /dev/null 2>&1 || rc=$?
+  if [ "$rc" -ge 126 ]; then
+    echo "padlint crashed on $f (rc=$rc)"
+    exit 1
+  fi
+done
+
 echo "== sanitized: ASan+UBSan build + tests =="
 cmake -B build-asan -S . -DPADX_SANITIZE=ON -DCMAKE_BUILD_TYPE=RelWithDebInfo
 cmake --build build-asan -j "$JOBS"
 ctest --test-dir build-asan --output-on-failure -j "$JOBS"
+
+# TSan needs a working compiler/libtsan pairing, which not every image
+# has (and ASan cannot share a build with it). Probe with a real
+# two-thread program before committing to the build: compiling alone is
+# not enough, some glibc/libtsan combinations only fail at runtime.
+TSAN_CXX=""
+for cxx in clang++ c++; do
+  command -v "$cxx" > /dev/null 2>&1 || continue
+  cat > /tmp/padx_tsan_probe.cc <<'EOF'
+#include <thread>
+int main() {
+  int x = 0;
+  std::thread t([&] { x = 1; });
+  t.join();
+  return x - 1;
+}
+EOF
+  if "$cxx" -fsanitize=thread -o /tmp/padx_tsan_probe \
+       /tmp/padx_tsan_probe.cc 2> /dev/null \
+     && /tmp/padx_tsan_probe 2> /dev/null; then
+    TSAN_CXX="$cxx"
+    break
+  fi
+done
+if [ -n "$TSAN_CXX" ]; then
+  echo "== sanitized: TSan build + concurrency tests ($TSAN_CXX) =="
+  # Scoped to the concurrent components: the thread pool and the
+  # parallel candidate search. Running the whole suite under TSan
+  # triples CI time for code that never spawns a thread.
+  cmake -B build-tsan -S . -DPADX_SANITIZE_THREAD=ON \
+    -DCMAKE_CXX_COMPILER="$TSAN_CXX" -DCMAKE_BUILD_TYPE=RelWithDebInfo
+  cmake --build build-tsan -j "$JOBS"
+  ctest --test-dir build-tsan --output-on-failure -j "$JOBS" \
+    -R 'ThreadPool|Search'
+else
+  echo "== sanitized: TSan skipped (no working -fsanitize=thread) =="
+fi
+
+if command -v clang-tidy > /dev/null 2>&1; then
+  echo "== clang-tidy: bugprone/performance/concurrency (advisory) =="
+  cmake -B build -S . -DCMAKE_EXPORT_COMPILE_COMMANDS=ON > /dev/null
+  # Advisory by configuration (.clang-tidy sets no WarningsAsErrors):
+  # surfaces findings in the log without gating on clang-tidy's
+  # version-to-version check drift. The lint library and driver are the
+  # new code this profile primarily watches.
+  clang-tidy -p build --quiet \
+    src/lint/*.cpp examples/padlint.cpp || true
+else
+  echo "== clang-tidy: skipped (not on PATH) =="
+fi
 
 if command -v clang++ >/dev/null 2>&1; then
   echo "== fuzz: 60-second libFuzzer smoke (clang) =="

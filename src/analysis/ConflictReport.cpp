@@ -42,6 +42,8 @@ analysis::reportConflicts(const layout::DataLayout &DL,
         CE.LoopVar = G.Innermost->IndexVar;
         CE.Ref1 = renderRef(P, R1);
         CE.Ref2 = renderRef(P, R2);
+        CE.Loc1 = R1.Loc;
+        CE.Loc2 = R2.Loc;
         CE.Array1 = R1.ArrayId;
         CE.Array2 = R2.ArrayId;
         CE.SameArray = R1.ArrayId == R2.ArrayId;
@@ -71,8 +73,13 @@ void analysis::printConflictReport(
     return;
   }
   for (const ConflictEntry &E : Entries) {
-    OS << "  loop " << E.LoopVar << ": " << E.Ref1 << " vs " << E.Ref2
-       << "  distance " << E.DistanceBytes << "B, conflict distance "
+    OS << "  loop " << E.LoopVar << ": " << E.Ref1;
+    if (E.Loc1.isValid())
+      OS << " (" << E.Loc1.Line << ':' << E.Loc1.Column << ')';
+    OS << " vs " << E.Ref2;
+    if (E.Loc2.isValid())
+      OS << " (" << E.Loc2.Line << ':' << E.Loc2.Column << ')';
+    OS << "  distance " << E.DistanceBytes << "B, conflict distance "
        << E.ConflictDistance << "B"
        << (E.SameArray ? " [same array]" : "")
        << (E.Severe ? " [SEVERE]" : "") << '\n';

@@ -19,6 +19,7 @@
 
 #include "layout/DataLayout.h"
 #include "machine/CacheConfig.h"
+#include "support/SourceLocation.h"
 
 #include <ostream>
 #include <string>
@@ -33,6 +34,10 @@ struct ConflictEntry {
   std::string LoopVar;
   /// Rendered references, e.g. "B[j, i]" and "A[j, i+1]".
   std::string Ref1, Ref2;
+  /// Source anchors of the two references (invalid for programmatic
+  /// IR): padtool --report and the lint rules point at the offending
+  /// subscripts instead of naming unanchored strings.
+  SourceLocation Loc1, Loc2;
   /// Array ids of the two references (consumed by the search engine's
   /// greedy-repair move to decide what to pad).
   unsigned Array1 = 0, Array2 = 0;

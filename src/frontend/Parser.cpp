@@ -122,6 +122,7 @@ bool Parser::parseDecl() {
   }
   ir::ArrayVariable V;
   V.Name = Tok.Text;
+  V.Loc = Tok.Loc; // Anchor shape diagnostics at the declared name.
   consume();
   if (Prog.findArray(V.Name)) {
     Diags.error(Loc, "redeclaration of '" + V.Name + "'");

@@ -16,6 +16,8 @@
 #ifndef PADX_IR_ARRAY_H
 #define PADX_IR_ARRAY_H
 
+#include "support/SourceLocation.h"
+
 #include <cstdint>
 #include <string>
 #include <vector>
@@ -54,6 +56,10 @@ struct ArrayVariable {
   int64_t RandomMin = 0;
   int64_t RandomMax = 0;
   uint64_t RandomSeed = 0;
+
+  /// Where the variable is declared (invalid for programmatic IR); the
+  /// anchor for shape-based diagnostics (lint and --report output).
+  SourceLocation Loc;
 
   unsigned rank() const { return static_cast<unsigned>(DimSizes.size()); }
   bool isScalar() const { return DimSizes.empty(); }

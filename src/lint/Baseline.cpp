@@ -1,0 +1,65 @@
+//===----------------------------------------------------------------------===//
+//
+// Part of the padx project, under the Apache License v2.0.
+//
+//===----------------------------------------------------------------------===//
+
+#include "lint/Baseline.h"
+
+#include "lint/Linter.h"
+
+#include <istream>
+#include <ostream>
+
+using namespace padx;
+using namespace padx::lint;
+
+Baseline Baseline::parse(std::istream &In,
+                         std::vector<std::string> *Errors) {
+  Baseline B;
+  std::string Line;
+  unsigned LineNo = 0;
+  while (std::getline(In, Line)) {
+    ++LineNo;
+    if (Line.empty() || Line[0] == '#')
+      continue;
+    // A fingerprint has exactly two tabs: rule, program, key (the key
+    // itself may contain further tabs only if a reference did, which
+    // the renderer never produces).
+    size_t T1 = Line.find('\t');
+    size_t T2 = T1 == std::string::npos ? std::string::npos
+                                        : Line.find('\t', T1 + 1);
+    if (T2 == std::string::npos) {
+      if (Errors)
+        Errors->push_back("line " + std::to_string(LineNo) +
+                          ": expected rule<TAB>program<TAB>key");
+      continue;
+    }
+    B.Entries.insert(Line);
+  }
+  return B;
+}
+
+std::string Baseline::fingerprint(const Finding &F,
+                                  const std::string &ProgramName) {
+  return F.RuleId + '\t' + ProgramName + '\t' + F.Key;
+}
+
+unsigned Baseline::apply(LintResult &Result,
+                         const std::string &ProgramName) const {
+  unsigned N = 0;
+  for (Finding &F : Result.Findings)
+    if (contains(fingerprint(F, ProgramName))) {
+      F.Suppressed = true;
+      ++N;
+    }
+  return N;
+}
+
+void Baseline::write(std::ostream &OS, const LintResult &Result,
+                     const std::string &ProgramName) {
+  OS << "# padlint baseline v1\n";
+  for (const Finding &F : Result.Findings)
+    if (!F.Suppressed)
+      OS << fingerprint(F, ProgramName) << '\n';
+}

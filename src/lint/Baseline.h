@@ -1,0 +1,78 @@
+//===----------------------------------------------------------------------===//
+//
+// Part of the padx project, under the Apache License v2.0.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Baseline (suppression) files for padlint: adopting the linter on an
+/// existing codebase records today's findings once, CI then fails only
+/// on regressions. A baseline is a plain text file of fingerprints, one
+/// per line:
+///
+///   # padlint baseline v1
+///   conflict-pair<TAB>jacobi512<TAB>loop j: B[j, i] ~ A[j-1, i]
+///
+/// Fingerprints are built from rule id, program name and the rule's
+/// stable key (array names, rendered references, loop variables) —
+/// never from line numbers — so baselines survive unrelated edits.
+/// Matching findings are marked suppressed: they still render into
+/// SARIF (as suppressions) but do not count toward the exit code.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PADX_LINT_BASELINE_H
+#define PADX_LINT_BASELINE_H
+
+#include "lint/Finding.h"
+
+#include <iosfwd>
+#include <set>
+#include <string>
+#include <vector>
+
+namespace padx {
+namespace lint {
+
+struct LintResult;
+
+/// The set of suppressed fingerprints.
+class Baseline {
+public:
+  /// Parses baseline text. Blank lines and '#' comments are skipped;
+  /// malformed lines (fewer than three tab-separated fields) are
+  /// reported in \p Errors ("line N: ...") and ignored.
+  static Baseline parse(std::istream &In,
+                        std::vector<std::string> *Errors = nullptr);
+
+  /// The fingerprint of one finding of \p ProgramName.
+  static std::string fingerprint(const Finding &F,
+                                 const std::string &ProgramName);
+
+  bool contains(const std::string &Fingerprint) const {
+    return Entries.count(Fingerprint) != 0;
+  }
+  size_t size() const { return Entries.size(); }
+
+  void insert(std::string Fingerprint) {
+    Entries.insert(std::move(Fingerprint));
+  }
+
+  /// Marks every finding of \p Result whose fingerprint the baseline
+  /// contains as suppressed; returns how many were.
+  unsigned apply(LintResult &Result,
+                 const std::string &ProgramName) const;
+
+  /// Writes the baseline of \p Result's (unsuppressed) findings, with
+  /// the version header.
+  static void write(std::ostream &OS, const LintResult &Result,
+                    const std::string &ProgramName);
+
+private:
+  std::set<std::string> Entries;
+};
+
+} // namespace lint
+} // namespace padx
+
+#endif // PADX_LINT_BASELINE_H

@@ -1,0 +1,102 @@
+//===----------------------------------------------------------------------===//
+//
+// Part of the padx project, under the Apache License v2.0.
+//
+//===----------------------------------------------------------------------===//
+
+#include "lint/Linter.h"
+
+#include "analysis/LinearAlgebra.h"
+#include "analysis/MissEstimate.h"
+#include "analysis/ReferenceGroups.h"
+#include "analysis/Safety.h"
+#include "lint/Rule.h"
+#include "support/MathExtras.h"
+
+#include <algorithm>
+#include <cassert>
+
+using namespace padx;
+using namespace padx::lint;
+
+Severity LintResult::maxSeverity() const {
+  Severity Max = Severity::Info;
+  for (const Finding &F : Findings)
+    if (!F.Suppressed && F.Sev > Max)
+      Max = F.Sev;
+  return Max;
+}
+
+unsigned LintResult::count(Severity S) const {
+  unsigned N = 0;
+  for (const Finding &F : Findings)
+    N += !F.Suppressed && F.Sev == S;
+  return N;
+}
+
+unsigned LintResult::numSuppressed() const {
+  unsigned N = 0;
+  for (const Finding &F : Findings)
+    N += F.Suppressed;
+  return N;
+}
+
+LintResult Linter::run(const ir::Program &P) const {
+  return run(layout::originalLayout(P));
+}
+
+LintResult Linter::run(const layout::DataLayout &DL) const {
+  assert(DL.allBasesAssigned() &&
+         "lint needs a layout with assigned base addresses");
+  LintResult Result;
+  // A fully associative cache replaces nothing by address conflict;
+  // every rule below reasons modulo the way span, which is meaningless
+  // there.
+  if (Options.Cache.Associativity == 0)
+    return Result;
+
+  const ir::Program &P = DL.program();
+  analysis::SafetyInfo Safety = analysis::analyzeSafety(P);
+  std::vector<bool> LinAlg = analysis::detectLinearAlgebraArrays(P);
+  std::vector<analysis::LoopGroup> Groups = analysis::collectLoopGroups(P);
+  analysis::ProgramEstimate Estimate =
+      analysis::estimateMisses(DL, Options.Cache);
+
+  LintContext Ctx{DL, Options.Cache, Safety, LinAlg, Groups, Estimate};
+  for (const Rule *R : allRules())
+    R->check(Ctx, Result.Findings);
+
+  // Rank most severe first; stable, so each rule's source order is kept.
+  std::stable_sort(Result.Findings.begin(), Result.Findings.end(),
+                   [](const Finding &A, const Finding &B) {
+                     return A.Sev > B.Sev;
+                   });
+  return Result;
+}
+
+layout::DataLayout lint::applyFix(const layout::DataLayout &DL,
+                                  const FixIt &Fix) {
+  layout::DataLayout Fixed = DL;
+  switch (Fix.K) {
+  case FixIt::Kind::None:
+    break;
+  case FixIt::Kind::IntraPad: {
+    Fixed.layout(Fix.ArrayId).Dims[Fix.Dim] += Fix.PadElems;
+    // Dimension growth moves every later base; re-pack like the
+    // original layout does. Pre-existing inter gaps (none on packed
+    // layouts, the documented input) do not survive this.
+    layout::assignSequentialBases(Fixed);
+    break;
+  }
+  case FixIt::Kind::InterGap: {
+    int64_t Target = Fixed.layout(Fix.ArrayId).BaseAddr;
+    assert(Target != layout::ArrayLayout::kUnassigned &&
+           "fix on a layout without bases");
+    for (unsigned Id = 0, E = Fixed.numArrays(); Id != E; ++Id)
+      if (Fixed.layout(Id).BaseAddr >= Target)
+        Fixed.layout(Id).BaseAddr += Fix.GapBytes;
+    break;
+  }
+  }
+  return Fixed;
+}

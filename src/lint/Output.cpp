@@ -1,0 +1,284 @@
+//===----------------------------------------------------------------------===//
+//
+// Part of the padx project, under the Apache License v2.0.
+//
+//===----------------------------------------------------------------------===//
+
+#include "lint/Output.h"
+
+#include "lint/Baseline.h"
+#include "lint/Rule.h"
+#include "support/Diagnostics.h"
+#include "support/JsonWriter.h"
+
+#include <ostream>
+#include <sstream>
+
+using namespace padx;
+using namespace padx::lint;
+
+/// Fix-its render with the dimension size the finding saw, so the
+/// suggested "from X to Y" matches the source the user is looking at.
+static std::string describeFix(const Finding &F,
+                               const layout::DataLayout &DL) {
+  int64_t Current = F.Fix.K == FixIt::Kind::IntraPad
+                        ? DL.dimSize(F.Fix.ArrayId, F.Fix.Dim)
+                        : 0;
+  return F.Fix.describe(DL.program(), Current);
+}
+
+std::string lint::renderText(const LintResult &Result,
+                             const layout::DataLayout &DL,
+                             std::string_view Source,
+                             std::string_view Filename) {
+  DiagnosticEngine Engine;
+  for (const Finding &F : Result.Findings) {
+    if (F.Suppressed)
+      continue;
+    std::string Message = "[" + F.RuleId + "] " + F.Message;
+    switch (F.Sev) {
+    case Severity::Error:
+      Engine.error(F.Loc, std::move(Message));
+      break;
+    case Severity::Warning:
+      Engine.warning(F.Loc, std::move(Message));
+      break;
+    case Severity::Info:
+      Engine.note(F.Loc, std::move(Message));
+      break;
+    }
+    if (F.RelatedLoc.isValid() && !(F.RelatedLoc == F.Loc))
+      Engine.note(F.RelatedLoc, "conflicting reference or declaration "
+                                "is here");
+    if (F.Fix.isValid())
+      Engine.note(F.Loc, "fix-it: " + describeFix(F, DL));
+    else if (F.FixBlockedBySafety)
+      Engine.note(F.Loc, "no safe fix: the layout is observable "
+                         "elsewhere (see unsafe-to-fix)");
+  }
+
+  std::ostringstream OS;
+  OS << Engine.render(Source, Filename);
+  unsigned NumErrors = Result.count(Severity::Error);
+  unsigned NumWarnings = Result.count(Severity::Warning);
+  unsigned NumInfo = Result.count(Severity::Info);
+  if (NumErrors + NumWarnings + NumInfo == 0)
+    OS << (Filename.empty() ? "" : std::string(Filename) + ": ")
+       << "no layout defects found";
+  else
+    OS << NumErrors << " error(s), " << NumWarnings << " warning(s), "
+       << NumInfo << " note(s)";
+  if (unsigned S = Result.numSuppressed())
+    OS << " (" << S << " suppressed by baseline)";
+  OS << '\n';
+  return OS.str();
+}
+
+static const char *severityJson(Severity S) { return severityName(S); }
+
+static void writeFinding(support::JsonWriter &J, const Finding &F,
+                         const layout::DataLayout &DL) {
+  const ir::Program &P = DL.program();
+  J.beginObject();
+  J.field("rule", F.RuleId);
+  J.field("severity", std::string(severityJson(F.Sev)));
+  if (F.Loc.isValid()) {
+    J.field("line", static_cast<int64_t>(F.Loc.Line));
+    J.field("column", static_cast<int64_t>(F.Loc.Column));
+  }
+  if (F.RelatedLoc.isValid()) {
+    J.field("relatedLine", static_cast<int64_t>(F.RelatedLoc.Line));
+    J.field("relatedColumn", static_cast<int64_t>(F.RelatedLoc.Column));
+  }
+  J.field("message", F.Message);
+  J.field("key", F.Key);
+  J.field("array", P.array(F.ArrayId).Name);
+  J.field("suppressed", F.Suppressed);
+  if (F.Fix.isValid()) {
+    J.key("fix");
+    J.beginObject();
+    J.field("kind", std::string(F.Fix.K == FixIt::Kind::IntraPad
+                                    ? "intraPad"
+                                    : "interGap"));
+    J.field("array", P.array(F.Fix.ArrayId).Name);
+    if (F.Fix.K == FixIt::Kind::IntraPad) {
+      J.field("dimension", static_cast<int64_t>(F.Fix.Dim));
+      J.field("padElements", F.Fix.PadElems);
+    } else {
+      J.field("gapBytes", F.Fix.GapBytes);
+    }
+    J.field("description", describeFix(F, DL));
+    J.endObject();
+  }
+  J.field("fixBlockedBySafety", F.FixBlockedBySafety);
+  J.endObject();
+}
+
+void lint::writeJson(std::ostream &OS, const LintResult &Result,
+                     const layout::DataLayout &DL,
+                     const CacheConfig &Cache,
+                     const std::string &Filename) {
+  support::JsonWriter J(OS);
+  J.beginObject();
+  J.field("tool", std::string("padlint"));
+  J.field("schemaVersion", static_cast<int64_t>(1));
+  J.field("file", Filename);
+  J.field("program", DL.program().name());
+  J.key("cache");
+  J.beginObject();
+  J.field("sizeBytes", Cache.SizeBytes);
+  J.field("lineBytes", Cache.LineBytes);
+  J.field("associativity", static_cast<int64_t>(Cache.Associativity));
+  J.endObject();
+  J.key("summary");
+  J.beginObject();
+  J.field("error", Result.count(Severity::Error));
+  J.field("warning", Result.count(Severity::Warning));
+  J.field("info", Result.count(Severity::Info));
+  J.field("suppressed", Result.numSuppressed());
+  J.endObject();
+  J.key("findings");
+  J.beginArray();
+  for (const Finding &F : Result.Findings)
+    writeFinding(J, F, DL);
+  J.endArray();
+  J.endObject();
+  OS << '\n';
+}
+
+static const char *sarifLevel(Severity S) {
+  switch (S) {
+  case Severity::Error:
+    return "error";
+  case Severity::Warning:
+    return "warning";
+  case Severity::Info:
+    return "note";
+  }
+  return "none";
+}
+
+static void writeSarifLocation(support::JsonWriter &J,
+                               const std::string &Uri, size_t ArtIndex,
+                               const SourceLocation &Loc) {
+  J.beginObject();
+  J.key("physicalLocation");
+  J.beginObject();
+  J.key("artifactLocation");
+  J.beginObject();
+  J.field("uri", Uri);
+  J.field("index", static_cast<int64_t>(ArtIndex));
+  J.endObject();
+  if (Loc.isValid()) {
+    J.key("region");
+    J.beginObject();
+    J.field("startLine", static_cast<int64_t>(Loc.Line));
+    J.field("startColumn", static_cast<int64_t>(Loc.Column));
+    J.endObject();
+  }
+  J.endObject();
+  J.endObject();
+}
+
+void lint::writeSarif(std::ostream &OS,
+                      const std::vector<SarifFileResult> &Files) {
+  const std::vector<const Rule *> &Rules = allRules();
+  support::JsonWriter J(OS);
+  J.beginObject();
+  J.field("$schema",
+          std::string("https://json.schemastore.org/sarif-2.1.0.json"));
+  J.field("version", std::string("2.1.0"));
+  J.key("runs");
+  J.beginArray();
+  J.beginObject();
+
+  J.key("tool");
+  J.beginObject();
+  J.key("driver");
+  J.beginObject();
+  J.field("name", std::string("padlint"));
+  J.field("version", std::string("1.0.0"));
+  J.key("rules");
+  J.beginArray();
+  for (const Rule *R : Rules) {
+    J.beginObject();
+    J.field("id", std::string(R->id()));
+    J.key("shortDescription");
+    J.beginObject();
+    J.field("text", std::string(R->summary()));
+    J.endObject();
+    J.key("fullDescription");
+    J.beginObject();
+    J.field("text", std::string(R->paperCondition()));
+    J.endObject();
+    J.endObject();
+  }
+  J.endArray();
+  J.endObject();
+  J.endObject();
+
+  J.key("artifacts");
+  J.beginArray();
+  for (const SarifFileResult &F : Files) {
+    J.beginObject();
+    J.key("location");
+    J.beginObject();
+    J.field("uri", F.Filename);
+    J.endObject();
+    J.endObject();
+  }
+  J.endArray();
+
+  J.key("results");
+  J.beginArray();
+  for (size_t FI = 0; FI != Files.size(); ++FI) {
+    const SarifFileResult &File = Files[FI];
+    for (const Finding &F : File.Result->Findings) {
+      size_t RuleIndex = 0;
+      for (size_t R = 0; R != Rules.size(); ++R)
+        if (Rules[R]->id() == F.RuleId)
+          RuleIndex = R;
+      J.beginObject();
+      J.field("ruleId", F.RuleId);
+      J.field("ruleIndex", static_cast<int64_t>(RuleIndex));
+      J.field("level", std::string(sarifLevel(F.Sev)));
+      J.key("message");
+      J.beginObject();
+      std::string Text = F.Message;
+      if (F.Fix.isValid())
+        Text += "; fix: " + describeFix(F, *File.DL);
+      J.field("text", Text);
+      J.endObject();
+      J.key("locations");
+      J.beginArray();
+      writeSarifLocation(J, File.Filename, FI, F.Loc);
+      J.endArray();
+      if (F.RelatedLoc.isValid()) {
+        J.key("relatedLocations");
+        J.beginArray();
+        writeSarifLocation(J, File.Filename, FI, F.RelatedLoc);
+        J.endArray();
+      }
+      J.key("partialFingerprints");
+      J.beginObject();
+      J.field("padlintFingerprint/v1",
+              Baseline::fingerprint(F, File.ProgramName));
+      J.endObject();
+      if (F.Suppressed) {
+        J.key("suppressions");
+        J.beginArray();
+        J.beginObject();
+        J.field("kind", std::string("external"));
+        J.endObject();
+        J.endArray();
+      }
+      J.endObject();
+    }
+  }
+  J.endArray();
+
+  J.endObject(); // run
+  J.endArray();  // runs
+  J.endObject();
+  OS << '\n';
+}

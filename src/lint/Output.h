@@ -1,0 +1,67 @@
+//===----------------------------------------------------------------------===//
+//
+// Part of the padx project, under the Apache License v2.0.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Rendering back ends for lint results:
+///
+///   * text  — DiagnosticEngine carets with fix-it and related-location
+///             notes, for humans at a terminal;
+///   * JSON  — one self-contained object per linted file, for scripts
+///             (schema in DESIGN.md section 10);
+///   * SARIF — Static Analysis Results Interchange Format 2.1.0, one
+///             run over all linted files, for CI ingestion (GitHub code
+///             scanning and friends).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PADX_LINT_OUTPUT_H
+#define PADX_LINT_OUTPUT_H
+
+#include "layout/DataLayout.h"
+#include "lint/Linter.h"
+#include "machine/CacheConfig.h"
+
+#include <iosfwd>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace padx {
+namespace lint {
+
+/// Renders \p Result human-readably: one caret diagnostic per
+/// unsuppressed finding (ranked most severe first), fix-it and related
+/// locations as notes, and a closing summary line. \p DL is the layout
+/// the findings were produced from (fix-its render current dimension
+/// sizes); \p Source is the PadLang buffer for snippets.
+std::string renderText(const LintResult &Result,
+                       const layout::DataLayout &DL,
+                       std::string_view Source,
+                       std::string_view Filename);
+
+/// Writes the JSON report for one linted file.
+void writeJson(std::ostream &OS, const LintResult &Result,
+               const layout::DataLayout &DL, const CacheConfig &Cache,
+               const std::string &Filename);
+
+/// One linted file's contribution to a SARIF run.
+struct SarifFileResult {
+  std::string Filename;
+  std::string ProgramName;
+  const LintResult *Result = nullptr;
+  const layout::DataLayout *DL = nullptr;
+};
+
+/// Writes one SARIF 2.1.0 log with a single run covering \p Files.
+/// Suppressed findings appear with an external suppression; findings
+/// without a source location carry only the artifact reference.
+void writeSarif(std::ostream &OS,
+                const std::vector<SarifFileResult> &Files);
+
+} // namespace lint
+} // namespace padx
+
+#endif // PADX_LINT_OUTPUT_H

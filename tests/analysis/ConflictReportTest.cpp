@@ -8,6 +8,7 @@
 
 #include "core/Padding.h"
 #include "frontend/Parser.h"
+#include "ir/Builder.h"
 #include "kernels/Kernels.h"
 
 #include "gtest/gtest.h"
@@ -89,4 +90,69 @@ TEST(ConflictReport, PrintFormats) {
   printConflictReport(OS2, Entries);
   EXPECT_NE(OS2.str().find("[SEVERE]"), std::string::npos);
   EXPECT_NE(OS2.str().find("[same array]"), std::string::npos);
+}
+
+TEST(ConflictReport, EntriesCarrySourceAnchorsFromParsedPrograms) {
+  DiagnosticEngine Diags;
+  auto P = frontend::parseProgram(R"(program p
+array A : real[2048]
+array B : real[2048]
+loop i = 1, 2048 {
+  B[i] = A[i]
+}
+)",
+                                  Diags);
+  ASSERT_TRUE(P) << Diags.str();
+  layout::DataLayout DL = layout::originalLayout(*P);
+  auto Entries = reportConflicts(DL, CacheConfig::base16K());
+  ASSERT_EQ(Entries.size(), 1u);
+  // Refs are reported in group order (reads before the write): A[i] at
+  // line 5 column 10, B[i] at line 5 column 3.
+  ASSERT_TRUE(Entries[0].Loc1.isValid());
+  ASSERT_TRUE(Entries[0].Loc2.isValid());
+  EXPECT_EQ(Entries[0].Loc1.Line, 5u);
+  EXPECT_EQ(Entries[0].Loc1.Column, 10u);
+  EXPECT_EQ(Entries[0].Loc2.Line, 5u);
+  EXPECT_EQ(Entries[0].Loc2.Column, 3u);
+
+  std::ostringstream OS;
+  printConflictReport(OS, Entries);
+  EXPECT_NE(OS.str().find("A[i] (5:10)"), std::string::npos)
+      << OS.str();
+  EXPECT_NE(OS.str().find("B[i] (5:3)"), std::string::npos) << OS.str();
+}
+
+TEST(ConflictReport, ProgrammaticIRHasInvalidAnchorsAndPlainPrint) {
+  // Builder-built IR (unlike makeKernel, which parses PadLang source
+  // internally) has no source locations to anchor.
+  ir::ProgramBuilder PB("p");
+  unsigned A = PB.addArray1D("a", 2048);
+  unsigned B = PB.addArray1D("b", 2048);
+  PB.beginLoop("i", 1, 2048);
+  PB.assign({PB.read(A, {PB.idx("i")}), PB.write(B, {PB.idx("i")})});
+  PB.endLoop();
+  ir::Program P = PB.take();
+  auto Entries =
+      reportConflicts(layout::originalLayout(P), CacheConfig::base16K());
+  ASSERT_FALSE(Entries.empty());
+  for (const ConflictEntry &E : Entries) {
+    EXPECT_FALSE(E.Loc1.isValid());
+    EXPECT_FALSE(E.Loc2.isValid());
+  }
+  std::ostringstream OS;
+  printConflictReport(OS, Entries);
+  EXPECT_EQ(OS.str().find("(0:0)"), std::string::npos)
+      << "invalid anchors must not print";
+}
+
+TEST(ConflictReport, ParsedDeclarationsCarryTheirLocation) {
+  DiagnosticEngine Diags;
+  auto P = frontend::parseProgram(R"(program p
+array A : real[8]
+)",
+                                  Diags);
+  ASSERT_TRUE(P) << Diags.str();
+  ASSERT_TRUE(P->array(0).Loc.isValid());
+  EXPECT_EQ(P->array(0).Loc.Line, 2u);
+  EXPECT_EQ(P->array(0).Loc.Column, 7u);
 }

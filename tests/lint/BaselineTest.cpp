@@ -1,0 +1,131 @@
+//===----------------------------------------------------------------------===//
+//
+// Part of the padx project, under the Apache License v2.0.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Baseline (suppression) file tests: fingerprint stability, parse
+/// tolerance for comments and malformed lines, suppression marking, and
+/// the write → parse → apply round trip a CI adoption workflow relies on.
+///
+//===----------------------------------------------------------------------===//
+
+#include "lint/Baseline.h"
+#include "lint/Linter.h"
+
+#include "frontend/Parser.h"
+
+#include "gtest/gtest.h"
+
+#include <sstream>
+
+using namespace padx;
+using namespace padx::lint;
+
+namespace {
+
+Finding makeFinding(std::string RuleId, std::string Key,
+                    Severity Sev = Severity::Warning) {
+  Finding F;
+  F.RuleId = std::move(RuleId);
+  F.Key = std::move(Key);
+  F.Sev = Sev;
+  return F;
+}
+
+LintResult lintJacobiLike() {
+  DiagnosticEngine Diags;
+  auto P = frontend::parseProgram(R"(program base
+array A : real[512, 512]
+array B : real[512, 512]
+loop i = 1, 512 {
+  loop j = 1, 512 {
+    B[j, i] = A[j, i]
+  }
+}
+)",
+                                  Diags);
+  EXPECT_TRUE(P) << Diags.str();
+  return Linter().run(*P);
+}
+
+} // namespace
+
+TEST(Baseline, FingerprintIsTabSeparatedAndLineFree) {
+  Finding F = makeFinding("conflict-pair", "loop j: B[j, i] ~ A[j, i]");
+  F.Loc = SourceLocation{7, 3}; // Must not leak into the fingerprint.
+  std::string FP = Baseline::fingerprint(F, "jacobi");
+  EXPECT_EQ(FP, "conflict-pair\tjacobi\tloop j: B[j, i] ~ A[j, i]");
+}
+
+TEST(Baseline, ParseSkipsCommentsAndBlankLines) {
+  std::istringstream In("# padlint baseline v1\n"
+                        "\n"
+                        "conflict-pair\tp\tkey one\n"
+                        "# trailing comment\n"
+                        "base-proximity\tp\t'A' ~ 'B'\n");
+  std::vector<std::string> Errors;
+  Baseline B = Baseline::parse(In, &Errors);
+  EXPECT_TRUE(Errors.empty());
+  EXPECT_EQ(B.size(), 2u);
+  EXPECT_TRUE(B.contains("conflict-pair\tp\tkey one"));
+  EXPECT_TRUE(B.contains("base-proximity\tp\t'A' ~ 'B'"));
+}
+
+TEST(Baseline, ParseReportsMalformedLinesAndKeepsGoing) {
+  std::istringstream In("this line has no tabs\n"
+                        "only\tone-tab\n"
+                        "rule\tprog\tgood key\n");
+  std::vector<std::string> Errors;
+  Baseline B = Baseline::parse(In, &Errors);
+  EXPECT_EQ(Errors.size(), 2u);
+  EXPECT_EQ(B.size(), 1u);
+  EXPECT_TRUE(B.contains("rule\tprog\tgood key"));
+}
+
+TEST(Baseline, ApplyMarksMatchesSuppressed) {
+  LintResult R;
+  R.Findings.push_back(makeFinding("conflict-pair", "k1"));
+  R.Findings.push_back(makeFinding("conflict-pair", "k2"));
+  Baseline B;
+  B.insert("conflict-pair\tp\tk1");
+  EXPECT_EQ(B.apply(R, "p"), 1u);
+  EXPECT_TRUE(R.Findings[0].Suppressed);
+  EXPECT_FALSE(R.Findings[1].Suppressed);
+  EXPECT_EQ(R.numSuppressed(), 1u);
+  // Suppressed findings no longer count toward severity or totals.
+  EXPECT_EQ(R.count(Severity::Warning), 1u);
+}
+
+TEST(Baseline, ApplyIsProgramScoped) {
+  LintResult R;
+  R.Findings.push_back(makeFinding("conflict-pair", "k1"));
+  Baseline B;
+  B.insert("conflict-pair\tother-program\tk1");
+  EXPECT_EQ(B.apply(R, "p"), 0u);
+  EXPECT_FALSE(R.Findings[0].Suppressed);
+}
+
+TEST(Baseline, WriteParseApplyRoundTripSuppressesEverything) {
+  LintResult R = lintJacobiLike();
+  ASSERT_FALSE(R.Findings.empty());
+
+  std::ostringstream Out;
+  Baseline::write(Out, R, "base");
+  EXPECT_EQ(Out.str().rfind("# padlint baseline v1\n", 0), 0u)
+      << "baseline files carry the version header";
+
+  std::istringstream In(Out.str());
+  std::vector<std::string> Errors;
+  Baseline B = Baseline::parse(In, &Errors);
+  EXPECT_TRUE(Errors.empty());
+  EXPECT_EQ(B.size(), R.Findings.size());
+
+  LintResult Again = lintJacobiLike();
+  EXPECT_EQ(B.apply(Again, "base"), Again.Findings.size());
+  EXPECT_EQ(Again.count(Severity::Error) +
+                Again.count(Severity::Warning) +
+                Again.count(Severity::Info),
+            0u);
+}

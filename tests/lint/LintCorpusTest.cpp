@@ -1,0 +1,110 @@
+//===----------------------------------------------------------------------===//
+//
+// Part of the padx project, under the Apache License v2.0.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Robustness sweep: padlint's library pipeline (parse → lint → render
+/// text, JSON and SARIF) must never crash or throw on any input in the
+/// fuzz corpus or in the collection of past parser crashers — across
+/// several cache geometries, including degenerate ones. Inputs that fail
+/// to parse are fine; dying on them is not. The binary-level twin of
+/// this sweep runs in ci.sh.
+///
+//===----------------------------------------------------------------------===//
+
+#include "lint/Baseline.h"
+#include "lint/Linter.h"
+#include "lint/Output.h"
+
+#include "frontend/Parser.h"
+
+#include "gtest/gtest.h"
+
+#include <algorithm>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <vector>
+
+using namespace padx;
+using namespace padx::lint;
+
+namespace {
+
+std::vector<std::filesystem::path> padFiles(const char *Dir) {
+  std::vector<std::filesystem::path> Files;
+  for (const auto &Entry : std::filesystem::directory_iterator(Dir))
+    if (Entry.path().extension() == ".pad")
+      Files.push_back(Entry.path());
+  std::sort(Files.begin(), Files.end());
+  EXPECT_FALSE(Files.empty()) << "no .pad files under " << Dir;
+  return Files;
+}
+
+std::string slurp(const std::filesystem::path &File) {
+  std::ifstream In(File);
+  std::ostringstream Buf;
+  Buf << In.rdbuf();
+  return Buf.str();
+}
+
+/// Lints one source under one geometry and drives every back end.
+void lintAndRenderAll(const std::string &Source,
+                      const std::string &Name, CacheConfig Cache) {
+  DiagnosticEngine Diags;
+  auto P = frontend::parseProgram(Source, Diags);
+  if (!P)
+    return; // Rejecting the input is a valid outcome; crashing is not.
+  layout::DataLayout DL = layout::originalLayout(*P);
+  LintResult R = Linter(LintOptions{Cache}).run(DL);
+
+  // Severity ordering is an invariant of every run.
+  for (size_t I = 1; I < R.Findings.size(); ++I)
+    ASSERT_GE(R.Findings[I - 1].Sev, R.Findings[I].Sev) << Name;
+
+  std::string Text = renderText(R, DL, Source, Name);
+  EXPECT_FALSE(Text.empty()) << Name;
+  std::ostringstream Json;
+  writeJson(Json, R, DL, Cache, Name);
+  EXPECT_FALSE(Json.str().empty()) << Name;
+  std::ostringstream Sarif;
+  writeSarif(Sarif, {{Name, P->name(), &R, &DL}});
+  EXPECT_FALSE(Sarif.str().empty()) << Name;
+
+  // The baseline round trip must also hold for arbitrary findings.
+  std::ostringstream BaseOut;
+  Baseline::write(BaseOut, R, P->name());
+  std::istringstream BaseIn(BaseOut.str());
+  std::vector<std::string> Errors;
+  Baseline B = Baseline::parse(BaseIn, &Errors);
+  EXPECT_TRUE(Errors.empty()) << Name;
+  EXPECT_EQ(B.apply(R, P->name()), R.Findings.size()) << Name;
+}
+
+const CacheConfig kGeometries[] = {
+    CacheConfig::base16K(),
+    {16384, 32, 2},  // 2-way
+    {16384, 32, 0},  // fully associative
+    {1024, 32, 1},   // tiny
+    {1 << 20, 64, 4} // L2-ish
+};
+
+} // namespace
+
+TEST(LintCorpus, NeverCrashesOnFuzzCorpus) {
+  for (const auto &File : padFiles(PADX_CORPUS_DIR)) {
+    std::string Source = slurp(File);
+    for (const CacheConfig &C : kGeometries)
+      lintAndRenderAll(Source, File.filename().string(), C);
+  }
+}
+
+TEST(LintCorpus, NeverCrashesOnPastCrashers) {
+  for (const auto &File : padFiles(PADX_CRASHERS_DIR)) {
+    std::string Source = slurp(File);
+    for (const CacheConfig &C : kGeometries)
+      lintAndRenderAll(Source, File.filename().string(), C);
+  }
+}

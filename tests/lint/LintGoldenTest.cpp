@@ -1,0 +1,74 @@
+//===----------------------------------------------------------------------===//
+//
+// Part of the padx project, under the Apache License v2.0.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Golden-file tests for padlint's rendered text diagnostics over the
+/// example programs: the full caret output — severities, messages,
+/// related locations, fix-it notes and the summary line — is pinned
+/// byte-for-byte. A change here is a user-visible diagnostics change and
+/// should be reviewed as one.
+///
+/// To regenerate after an intentional change:
+///   cd examples/programs
+///   for f in *.pad; do
+///     ../../build/examples/padlint --fail-on never "$f" \
+///       > ../../tests/lint/golden/"${f%.pad}".txt
+///   done
+///
+//===----------------------------------------------------------------------===//
+
+#include "lint/Linter.h"
+#include "lint/Output.h"
+
+#include "frontend/Parser.h"
+
+#include "gtest/gtest.h"
+
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+
+using namespace padx;
+using namespace padx::lint;
+
+namespace {
+
+std::string slurp(const std::filesystem::path &File) {
+  std::ifstream In(File);
+  EXPECT_TRUE(In) << "missing " << File;
+  std::ostringstream Buf;
+  Buf << In.rdbuf();
+  return Buf.str();
+}
+
+/// Lints one example program and compares the rendered text against
+/// tests/lint/golden/<stem>.txt. The filename passed to the renderer is
+/// the bare basename so goldens stay path-independent.
+void checkGolden(const std::string &Stem) {
+  std::filesystem::path Source =
+      std::filesystem::path(PADX_EXAMPLES_DIR) / (Stem + ".pad");
+  std::filesystem::path Golden =
+      std::filesystem::path(PADX_LINT_GOLDEN_DIR) / (Stem + ".txt");
+
+  std::string Text = slurp(Source);
+  DiagnosticEngine Diags;
+  auto P = frontend::parseProgram(Text, Diags);
+  ASSERT_TRUE(P) << Diags.str();
+  layout::DataLayout DL = layout::originalLayout(*P);
+  LintResult R = Linter().run(DL);
+  std::string Actual = renderText(R, DL, Text, Stem + ".pad");
+
+  EXPECT_EQ(Actual, slurp(Golden))
+      << "rendered diagnostics for " << Stem
+      << " changed; regenerate the golden if intentional (see file "
+         "header)";
+}
+
+} // namespace
+
+TEST(LintGolden, Jacobi512) { checkGolden("jacobi512"); }
+TEST(LintGolden, Cholesky384) { checkGolden("cholesky384"); }
+TEST(LintGolden, Gather) { checkGolden("gather"); }
