@@ -41,6 +41,44 @@ build/bench/replay_speedup --file tests/fuzz/corpus/jacobi512.pad \
 build/bench/search_vs_pad --budget 24 --threads 2 --seed 1 jacobi \
   --json build/BENCH_search.json
 
+echo "== pipeline: --stats-json contract + analysis-cache speedup =="
+# The instrumented pass pipeline must report what it ran. Two corpus
+# programs cover both planning modes; jq validates the shape the tools
+# promise: named passes, nonnegative timings, cache-hit counters.
+build/examples/padtool --scheme pad --stats-json build/STATS_jacobi.json \
+  tests/fuzz/corpus/jacobi512.pad > /dev/null
+build/examples/padtool --scheme padlite \
+  --stats-json build/STATS_cholesky.json \
+  tests/fuzz/corpus/cholesky384.pad > /dev/null
+if command -v jq > /dev/null 2>&1; then
+  for s in build/STATS_jacobi.json build/STATS_cholesky.json; do
+    # Every pass has a name, a positive run count, and a nonnegative
+    # wall-clock; the pad driver's fixed stages must all appear.
+    jq -e '.pipeline.passes | length > 0 and
+           all(.name != null and .runs >= 1 and .seconds >= 0)' \
+      "$s" > /dev/null
+    for pass in safety base-assignment; do
+      jq -e --arg p "$pass" \
+        '.pipeline.passes | any(.name == $p)' "$s" > /dev/null
+    done
+    # Cache counters: enabled by default, and nothing was recomputed
+    # behind the manager's back (counts are nonnegative integers).
+    jq -e '.pipeline.analysis_cache.enabled == true' "$s" > /dev/null
+    jq -e '.pipeline.analysis_cache |
+           .hits >= 0 and .misses >= 0 and .invalidated >= 0 and
+           (.kinds | all(.hits >= 0 and .misses >= 0))' \
+      "$s" > /dev/null
+  done
+else
+  echo "  (jq not found: shape validation skipped)"
+fi
+# The point of the manager — candidate evaluation throughput. The bench
+# exits 2 if cached and uncached candidate streams ever diverge, so this
+# doubles as a bit-identity gate; --guard 1.2 is the acceptance floor
+# (measured ~3.5x aggregate locally, so the bound has real headroom).
+build/bench/analysis_cache --candidates 192 --guard 1.2 \
+  --json build/BENCH_pipeline.json
+
 echo "== padlint: exit-code contract + SARIF artifact =="
 # The CI artifact: one SARIF run over every example program, for code
 # scanning ingestion. --fail-on never so the artifact step itself never

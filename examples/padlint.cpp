@@ -23,6 +23,11 @@
 ///   --write-baseline FILE  record current findings and exit clean
 ///   --fail-on SEV        info | warning | error | never: lowest
 ///                        severity that fails the run (default warning)
+///   --stats              print per-rule timings and analysis-cache
+///                        counters to stderr (aggregated over all files,
+///                        kept off stdout so reports stay parseable)
+///   --stats-json FILE    write the aggregated pipeline stats as JSON
+///                        to FILE ('-' = stdout)
 ///   --list-rules         print the rule catalog and exit
 ///
 /// Exit codes (the CI contract, also checked by tests/ci.sh):
@@ -39,6 +44,7 @@
 #include "lint/Linter.h"
 #include "lint/Output.h"
 #include "lint/Rule.h"
+#include "pipeline/PadPipeline.h"
 #include "support/MathExtras.h"
 
 #include <cstdio>
@@ -69,6 +75,7 @@ void usage() {
       "               [--format text|json|sarif] [--output FILE]\n"
       "               [--baseline FILE] [--write-baseline FILE]\n"
       "               [--fail-on info|warning|error|never]\n"
+      "               [--stats] [--stats-json FILE]\n"
       "               [--list-rules] <file.pad>...\n"
       "exit codes: 0 clean, 1 findings, 2 usage/input error, "
       "3 internal error\n");
@@ -102,6 +109,8 @@ int main(int argc, char **argv) {
   std::string Format = "text";
   std::string OutputFile, BaselineFile, WriteBaselineFile;
   std::string FailOn = "warning";
+  bool Stats = false;
+  std::string StatsJsonFile;
   std::vector<std::string> Files;
 
   for (int I = 1; I < argc; ++I) {
@@ -140,6 +149,10 @@ int main(int argc, char **argv) {
                              "error or never\n");
         return ExitUsage;
       }
+    } else if (Arg == "--stats") {
+      Stats = true;
+    } else if (Arg == "--stats-json") {
+      StatsJsonFile = Next();
     } else if (Arg == "--list-rules") {
       for (const lint::Rule *R : lint::allRules())
         std::printf("%-26s %s\n    paper: %s\n",
@@ -190,6 +203,9 @@ int main(int argc, char **argv) {
   bool AnyInputError = false;
   std::vector<LintedFile> Linted;
   lint::Linter Linter(lint::LintOptions{Cache});
+  // One pipeline per file (a manager is bound to one program); the
+  // snapshots merge so --stats aggregates over the whole invocation.
+  pipeline::PipelineStats MergedStats;
 
   for (const std::string &File : Files) {
     std::ifstream In(File);
@@ -218,7 +234,9 @@ int main(int argc, char **argv) {
     try {
       LF.Layout = std::make_unique<layout::DataLayout>(
           layout::originalLayout(*LF.Program));
-      LF.Result = Linter.run(*LF.Layout);
+      pipeline::PadPipeline PP(*LF.Program);
+      LF.Result = Linter.run(*LF.Layout, PP);
+      MergedStats.merge(PP.stats());
     } catch (const std::exception &E) {
       std::fprintf(stderr, "internal error: %s: %s\n", File.c_str(),
                    E.what());
@@ -281,6 +299,22 @@ int main(int argc, char **argv) {
       Runs.push_back({LF.Filename, LF.Program->name(), &LF.Result,
                       LF.Layout.get()});
     lint::writeSarif(*OS, Runs);
+  }
+
+  if (Stats)
+    MergedStats.printText(std::cerr);
+  if (!StatsJsonFile.empty()) {
+    if (StatsJsonFile == "-") {
+      MergedStats.writeJson(std::cout);
+    } else {
+      std::ofstream StatsOut(StatsJsonFile);
+      if (!StatsOut) {
+        std::fprintf(stderr, "error: cannot write '%s'\n",
+                     StatsJsonFile.c_str());
+        return ExitUsage;
+      }
+      MergedStats.writeJson(StatsOut);
+    }
   }
 
   if (AnyInputError)

@@ -24,12 +24,16 @@
 ///   --deadline SECS search: wall-clock limit; degrades to best-so-far
 ///   --replay on|off search: record-once/replay-many evaluation
 ///                   (default on; off re-walks the IR per candidate)
+///   --analysis-cache on|off  memoize analysis results across passes
+///                   (default on; off recomputes every query)
 ///   --max-footprint BYTES  resource limit on the layout's byte size
 ///   --max-accesses N       resource limit on simulated trace length
 ///   --emit          print the transformed PadLang source
 ///   --simulate      run the cache simulator on both layouts
 ///   --report        print the severe-conflict pairs before and after
 ///   --estimate      print the static miss-rate prediction (no simulation)
+///   --stats         print per-pass timings and analysis-cache counters
+///   --stats-json F  write the pipeline stats as JSON to F ('-' = stdout)
 ///   --list          list built-in kernels and exit
 ///
 /// Exit codes: 0 success; 1 usage or unknown option/kernel; 2 the input
@@ -45,6 +49,7 @@
 #include "frontend/Parser.h"
 #include "kernels/Kernels.h"
 #include "layout/TransformedSource.h"
+#include "pipeline/PadPipeline.h"
 #include "search/SearchEngine.h"
 #include "support/Guard.h"
 #include "support/MathExtras.h"
@@ -77,10 +82,12 @@ void usage() {
                "[--budget N] [--threads N]\n"
                "               [--seed S] [--deadline SECS] "
                "[--replay on|off]\n"
+               "               [--analysis-cache on|off]\n"
                "               [--max-footprint BYTES] "
                "[--max-accesses N]\n"
                "               [--emit] [--simulate] [--report] "
                "[--estimate]\n"
+               "               [--stats] [--stats-json FILE]\n"
                "               (<file.pad> | --kernel NAME [--size N] | "
                "--list)\n"
                "exit codes: 0 success, 1 usage error, 2 parse/validate "
@@ -131,7 +138,9 @@ bool validateGeometry(const CacheConfig &Cache, DiagnosticEngine &Diags) {
 int main(int argc, char **argv) {
   CacheConfig Cache = CacheConfig::base16K();
   bool Emit = false, Simulate = false, Report = false;
-  bool Estimate = false;
+  bool Estimate = false, Stats = false;
+  bool AnalysisCache = true;
+  std::string StatsJsonFile;
   enum class SchemeKind { Pad, PadLite, Search };
   SchemeKind Scheme = SchemeKind::Pad;
   search::SearchOptions SearchOpts;
@@ -202,6 +211,19 @@ int main(int argc, char **argv) {
         std::fprintf(stderr, "error: --replay takes 'on' or 'off'\n");
         return ExitUsage;
       }
+    } else if (Arg == "--analysis-cache" ||
+               Arg.rfind("--analysis-cache=", 0) == 0) {
+      std::string V = Arg == "--analysis-cache" ? std::string(Next())
+                                                : Arg.substr(17);
+      if (V == "on") {
+        AnalysisCache = true;
+      } else if (V == "off") {
+        AnalysisCache = false;
+      } else {
+        std::fprintf(stderr,
+                     "error: --analysis-cache takes 'on' or 'off'\n");
+        return ExitUsage;
+      }
     } else if (Arg == "--max-footprint") {
       long long N = std::atoll(Next());
       if (N <= 0) {
@@ -225,6 +247,10 @@ int main(int argc, char **argv) {
       Report = true;
     } else if (Arg == "--estimate") {
       Estimate = true;
+    } else if (Arg == "--stats") {
+      Stats = true;
+    } else if (Arg == "--stats-json") {
+      StatsJsonFile = Next();
     } else if (Arg == "--kernel") {
       Kernel = Next();
     } else if (Arg == "--size") {
@@ -323,6 +349,10 @@ int main(int argc, char **argv) {
   std::printf("program '%s', cache: %s, scheme: %s\n", P->name().c_str(),
               Cache.describe().c_str(), SchemeName);
 
+  // One instrumented pipeline per run: the scheme below, --estimate and
+  // --stats all share its analysis manager.
+  pipeline::PadPipeline PP(*P, AnalysisCache);
+
   if (Report) {
     layout::DataLayout Orig = layout::originalLayout(*P);
     std::printf("severe conflicts in the original layout:\n");
@@ -333,7 +363,7 @@ int main(int argc, char **argv) {
   std::optional<layout::DataLayout> Final;
   if (Scheme == SchemeKind::Search) {
     SearchOpts.Cache = Cache;
-    search::SearchResult SR = search::runSearch(*P, SearchOpts);
+    search::SearchResult SR = search::runSearch(*P, SearchOpts, PP);
     std::printf("  candidates: %u generated, %u pruned by the static "
                 "model, %u duplicates\n",
                 SR.CandidatesGenerated, SR.PrunedStatic,
@@ -353,8 +383,8 @@ int main(int argc, char **argv) {
     Final = std::move(SR.BestLayout);
   } else {
     pad::PaddingResult R = Scheme == SchemeKind::PadLite
-                               ? pad::runPadLite(*P, Cache)
-                               : pad::runPad(*P, Cache);
+                               ? pad::runPadLite(*P, Cache, PP)
+                               : pad::runPad(*P, Cache, PP);
     const pad::PaddingStats &S = R.Stats;
     std::printf("  arrays: %u global, %u intra-safe, %u intra-padded "
                 "(max +%lld, total +%lld elements)\n",
@@ -377,10 +407,14 @@ int main(int argc, char **argv) {
   }
 
   if (Estimate) {
-    double Before = analysis::estimateMisses(layout::originalLayout(*P),
-                                             Cache)
-                        .predictedMissRatePercent();
-    double After = analysis::estimateMisses(*Final, Cache)
+    // Through the manager: on a PAD run the padded layout's estimate is
+    // often a cache hit (the heuristics already asked for it).
+    double Before =
+        PP.analysis()
+            .missEstimate(layout::originalLayout(*P), Cache)
+            .predictedMissRatePercent();
+    double After = PP.analysis()
+                       .missEstimate(*Final, Cache)
                        .predictedMissRatePercent();
     std::printf("  predicted miss rate: %.2f%% -> %.2f%% (static "
                 "estimate)\n",
@@ -398,6 +432,25 @@ int main(int argc, char **argv) {
     std::printf("\n# --- transformed source "
                 "---------------------------------\n");
     layout::emitTransformedSource(std::cout, *Final);
+  }
+
+  if (Stats || !StatsJsonFile.empty()) {
+    pipeline::PipelineStats PS = PP.stats();
+    if (Stats)
+      PS.printText(std::cout);
+    if (!StatsJsonFile.empty()) {
+      if (StatsJsonFile == "-") {
+        PS.writeJson(std::cout);
+      } else {
+        std::ofstream Out(StatsJsonFile);
+        if (!Out) {
+          std::fprintf(stderr, "error: cannot write '%s'\n",
+                       StatsJsonFile.c_str());
+          return ExitUsage;
+        }
+        PS.writeJson(Out);
+      }
+    }
   }
   return ExitSuccess;
 }

@@ -25,12 +25,21 @@ static std::string renderRef(const ir::Program &P, const ir::ArrayRef &R) {
 std::vector<ConflictEntry>
 analysis::reportConflicts(const layout::DataLayout &DL,
                           const CacheConfig &Cache, bool SevereOnly) {
+  return reportConflicts(DL, Cache, collectLoopGroups(DL.program()),
+                         SevereOnly);
+}
+
+std::vector<ConflictEntry>
+analysis::reportConflicts(const layout::DataLayout &DL,
+                          const CacheConfig &Cache,
+                          const std::vector<LoopGroup> &Groups,
+                          bool SevereOnly) {
   const ir::Program &P = DL.program();
   int64_t Cs = Cache.waySpanBytes();
   int64_t Ls = Cache.LineBytes;
   std::vector<ConflictEntry> Entries;
 
-  for (const LoopGroup &G : collectLoopGroups(P)) {
+  for (const LoopGroup &G : Groups) {
     for (size_t I = 0, E = G.Refs.size(); I != E; ++I) {
       for (size_t J = I + 1; J != E; ++J) {
         const ir::ArrayRef &R1 = *G.Refs[I].Ref;

@@ -17,6 +17,7 @@
 #ifndef PADX_ANALYSIS_CONFLICTREPORT_H
 #define PADX_ANALYSIS_CONFLICTREPORT_H
 
+#include "analysis/ReferenceGroups.h"
 #include "layout/DataLayout.h"
 #include "machine/CacheConfig.h"
 #include "support/SourceLocation.h"
@@ -58,6 +59,14 @@ struct ConflictEntry {
 std::vector<ConflictEntry> reportConflicts(const layout::DataLayout &DL,
                                            const CacheConfig &Cache,
                                            bool SevereOnly = true);
+
+/// As above with the loop groups precomputed, so per-candidate callers
+/// (the search engine's repair move, the AnalysisManager) skip the
+/// layout-independent group collection. Bit-identical to the overload
+/// above, which forwards here.
+std::vector<ConflictEntry>
+reportConflicts(const layout::DataLayout &DL, const CacheConfig &Cache,
+                const std::vector<LoopGroup> &Groups, bool SevereOnly);
 
 /// Counts severe conflicts (convenience for tests and drivers).
 unsigned countSevereConflicts(const layout::DataLayout &DL,

@@ -7,7 +7,7 @@
 #include "analysis/MissEstimate.h"
 
 #include "analysis/ConflictDistance.h"
-#include "analysis/ReferenceGroups.h"
+#include "analysis/PadConditions.h"
 #include "analysis/Reuse.h"
 
 #include <algorithm>
@@ -73,18 +73,36 @@ private:
 
 } // namespace
 
+std::vector<double>
+analysis::countGroupIterations(const std::vector<LoopGroup> &Groups) {
+  std::vector<double> Counts;
+  Counts.reserve(Groups.size());
+  IterationCounter IC;
+  for (const LoopGroup &G : Groups)
+    Counts.push_back(IC.count(G.Nest));
+  return Counts;
+}
+
 ProgramEstimate analysis::estimateMisses(const layout::DataLayout &DL,
                                          const CacheConfig &Cache) {
+  std::vector<LoopGroup> Groups = collectLoopGroups(DL.program());
+  return estimateMisses(DL, Cache, Groups, countGroupIterations(Groups));
+}
+
+ProgramEstimate
+analysis::estimateMisses(const layout::DataLayout &DL,
+                         const CacheConfig &Cache,
+                         const std::vector<LoopGroup> &Groups,
+                         const std::vector<double> &Iterations) {
   const ir::Program &P = DL.program();
   int64_t Ls = Cache.LineBytes;
   int64_t Cs = Cache.waySpanBytes();
   ProgramEstimate Total;
 
-  for (const LoopGroup &G : collectLoopGroups(P)) {
-    // Iteration count for the whole nest.
-    IterationCounter IC;
-    double Iterations = IC.count(G.Nest);
-    if (Iterations == 0)
+  for (size_t GI = 0, GE = Groups.size(); GI != GE; ++GI) {
+    const LoopGroup &G = Groups[GI];
+    double GroupIterations = Iterations[GI];
+    if (GroupIterations == 0)
       continue;
 
     GroupReuse Reuse = analyzeReuse(DL, G, Ls);
@@ -98,9 +116,7 @@ ProgramEstimate analysis::estimateMisses(const layout::DataLayout &DL,
         for (size_t J = I + 1; J != G.Refs.size(); ++J) {
           std::optional<int64_t> Dist = iterationDistanceBytes(
               DL, *G.Refs[I].Ref, *G.Refs[J].Ref);
-          if (!Dist || std::llabs(*Dist) < Ls)
-            continue;
-          if (conflictDistance(*Dist, Cs) < Ls)
+          if (Dist && isSevereDistance(*Dist, Cs, Ls))
             Severe[I] = Severe[J] = true;
         }
       }
@@ -108,7 +124,7 @@ ProgramEstimate analysis::estimateMisses(const layout::DataLayout &DL,
 
     LoopEstimate LE;
     LE.LoopVar = G.Innermost->IndexVar;
-    LE.Iterations = Iterations;
+    LE.Iterations = GroupIterations;
     for (size_t I = 0; I != G.Refs.size(); ++I) {
       const RefReuse &RR = Reuse.Refs[I];
       const ir::ArrayRef &R = *G.Refs[I].Ref;
@@ -150,8 +166,8 @@ ProgramEstimate analysis::estimateMisses(const layout::DataLayout &DL,
       }
     }
 
-    Total.PredictedAccesses += Iterations * LE.RefsPerIteration;
-    Total.PredictedMisses += Iterations * LE.MissesPerIteration;
+    Total.PredictedAccesses += GroupIterations * LE.RefsPerIteration;
+    Total.PredictedMisses += GroupIterations * LE.MissesPerIteration;
     Total.Loops.push_back(std::move(LE));
   }
   return Total;

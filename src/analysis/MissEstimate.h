@@ -28,6 +28,7 @@
 #ifndef PADX_ANALYSIS_MISSESTIMATE_H
 #define PADX_ANALYSIS_MISSESTIMATE_H
 
+#include "analysis/ReferenceGroups.h"
 #include "layout/DataLayout.h"
 #include "machine/CacheConfig.h"
 
@@ -62,11 +63,27 @@ struct ProgramEstimate {
   }
 };
 
+/// Iteration counts of every loop group's nest, aligned with \p Groups.
+/// Depends only on the program (trip counts never involve a base address
+/// or a padded dimension), so a pipeline::AnalysisManager computes this
+/// once per program and reuses it across candidate layouts.
+std::vector<double>
+countGroupIterations(const std::vector<LoopGroup> &Groups);
+
 /// Estimates the miss rate of \p DL's program on \p Cache without
 /// simulation. Scalar references are excluded, matching the trace
 /// generator's register promotion.
 ProgramEstimate estimateMisses(const layout::DataLayout &DL,
                                const CacheConfig &Cache);
+
+/// As above, with the layout-independent inputs precomputed: \p Groups
+/// from collectLoopGroups(DL.program()) and \p Iterations from
+/// countGroupIterations(Groups). The result is bit-identical to the
+/// two-argument overload, which forwards here.
+ProgramEstimate estimateMisses(const layout::DataLayout &DL,
+                               const CacheConfig &Cache,
+                               const std::vector<LoopGroup> &Groups,
+                               const std::vector<double> &Iterations);
 
 } // namespace analysis
 } // namespace padx

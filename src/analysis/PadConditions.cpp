@@ -1,0 +1,154 @@
+//===----------------------------------------------------------------------===//
+//
+// Part of the padx project, under the Apache License v2.0.
+//
+//===----------------------------------------------------------------------===//
+
+#include "analysis/PadConditions.h"
+
+#include "analysis/ConflictDistance.h"
+#include "analysis/FirstConflict.h"
+#include "analysis/UniformRefs.h"
+#include "support/MathExtras.h"
+
+#include <algorithm>
+#include <cstdlib>
+
+using namespace padx;
+using namespace padx::analysis;
+
+bool analysis::isSevereDistance(int64_t DistanceBytes, int64_t CacheBytes,
+                                int64_t LineBytes) {
+  // References within one line of each other share the line by design
+  // (spatial reuse); only far-apart addresses that collide modulo the
+  // cache size contend for it.
+  if (std::llabs(DistanceBytes) < LineBytes)
+    return false;
+  return conflictDistance(DistanceBytes, CacheBytes) < LineBytes;
+}
+
+std::optional<int64_t>
+analysis::severePairDistance(const layout::DataLayout &DL,
+                             const ir::ArrayRef &R1, const ir::ArrayRef &R2,
+                             const CacheConfig &Level) {
+  if (!R1.isAffine() || !R2.isAffine())
+    return std::nullopt;
+  if (!areUniformlyGenerated(DL, R1, R2))
+    return std::nullopt;
+  std::optional<int64_t> Dist = iterationDistanceBytes(DL, R1, R2);
+  if (!Dist ||
+      !isSevereDistance(*Dist, Level.waySpanBytes(), Level.LineBytes))
+    return std::nullopt;
+  return Dist;
+}
+
+int64_t analysis::interPadNeededForDistance(int64_t DistanceBytes,
+                                            const CacheConfig &Level) {
+  int64_t Ls = Level.LineBytes;
+  // Genuinely adjacent addresses share lines by design.
+  if (std::llabs(DistanceBytes) < Ls)
+    return 0;
+  int64_t Cs = Level.waySpanBytes();
+  int64_t Rem = floorMod(DistanceBytes, Cs);
+  if (Rem >= Ls && Rem <= Cs - Ls)
+    return 0;
+  // Minimal forward move making the conflict distance >= Ls.
+  return Rem < Ls ? Ls - Rem : Cs - Rem + Ls;
+}
+
+int64_t analysis::interPadLiteNeededPad(int64_t Addr, int64_t SizeA,
+                                        int64_t BaseB, int64_t SizeB,
+                                        const CacheConfig &Level,
+                                        int64_t MinSepLines) {
+  // The Lite heuristic assumes severe conflicts arise between
+  // equally-sized variables (same-size arrays walked in lockstep).
+  if (SizeA != SizeB)
+    return 0;
+  int64_t Cs = Level.waySpanBytes();
+  int64_t M = std::min(MinSepLines * Level.LineBytes, Cs / 2);
+  int64_t Rem = floorMod(Addr - BaseB, Cs);
+  if (Rem >= M && Rem <= Cs - M)
+    return 0;
+  // Advance to the nearest address whose separation is at least M.
+  return Rem < M ? M - Rem : Cs - Rem + M;
+}
+
+bool analysis::intraPadLiteCondition(const layout::DataLayout &DL,
+                                     unsigned Id, const CacheConfig &Level,
+                                     int64_t MinSepLines) {
+  const ir::ArrayVariable &V = DL.program().array(Id);
+  if (V.rank() < 2)
+    return false;
+  int64_t Cs = Level.waySpanBytes();
+  // Clamp M so the acceptance window [M, Cs - M] is non-empty even on
+  // tiny caches.
+  int64_t M = std::min(MinSepLines * Level.LineBytes, Cs / 2);
+  for (unsigned D = 1, E = V.rank(); D != E; ++D) {
+    int64_t SubBytes = DL.strideElems(Id, D) * V.ElemSize;
+    if (distanceToMultiple(SubBytes, Cs) < M ||
+        distanceToMultiple(2 * SubBytes, Cs) < M)
+      return true;
+  }
+  return false;
+}
+
+bool analysis::intraPadCondition(const layout::DataLayout &DL, unsigned Id,
+                                 const CacheConfig &Level,
+                                 const std::vector<LoopGroup> &Groups) {
+  int64_t Cs = Level.waySpanBytes();
+  int64_t Ls = Level.LineBytes;
+  for (const LoopGroup &G : Groups) {
+    for (size_t I = 0, E = G.Refs.size(); I != E; ++I) {
+      const ir::ArrayRef &R1 = *G.Refs[I].Ref;
+      if (R1.ArrayId != Id || !R1.isAffine())
+        continue;
+      for (size_t J = I + 1; J != E; ++J) {
+        const ir::ArrayRef &R2 = *G.Refs[J].Ref;
+        if (R2.ArrayId != Id || !R2.isAffine())
+          continue;
+        if (!areUniformlyGenerated(DL, R1, R2))
+          continue;
+        // Expression (2): base addresses cancel for same-array pairs.
+        std::optional<int64_t> Dist =
+            iterationDistanceBytes(DL, R1, R2, 0, 0);
+        if (Dist && isSevereDistance(*Dist, Cs, Ls))
+          return true;
+      }
+    }
+  }
+  return false;
+}
+
+bool analysis::linPad1Condition(const layout::DataLayout &DL, unsigned Id,
+                                const CacheConfig &Level) {
+  const ir::ArrayVariable &V = DL.program().array(Id);
+  if (V.rank() < 2)
+    return false;
+  int64_t ColBytes = DL.columnElems(Id) * V.ElemSize;
+  return ColBytes % (2 * Level.LineBytes) == 0;
+}
+
+LinPad2Eval analysis::evalLinPad2(const layout::DataLayout &DL,
+                                  unsigned Id, const CacheConfig &Level,
+                                  int64_t JStarCap) {
+  LinPad2Eval E;
+  const ir::ArrayVariable &V = DL.program().array(Id);
+  if (V.rank() < 2)
+    return E;
+  // LinPad2 reasons in units of array elements, as in the paper.
+  int64_t CsElems = Level.waySpanBytes() / V.ElemSize;
+  int64_t LsElems = std::max<int64_t>(1, Level.LineBytes / V.ElemSize);
+  E.ColElems = DL.columnElems(Id);
+  int64_t Rows = DL.numElements(Id) / E.ColElems;
+  E.JStar =
+      std::min(JStarCap, linPad2Threshold(CsElems, LsElems, Rows));
+  E.FirstConflict = firstConflict(CsElems, E.ColElems, LsElems);
+  E.Fires = E.FirstConflict < E.JStar;
+  return E;
+}
+
+bool analysis::linPad2Condition(const layout::DataLayout &DL, unsigned Id,
+                                const CacheConfig &Level,
+                                int64_t JStarCap) {
+  return evalLinPad2(DL, Id, Level, JStarCap).Fires;
+}

@@ -1,0 +1,108 @@
+//===----------------------------------------------------------------------===//
+//
+// Part of the padx project, under the Apache License v2.0.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The paper's pad conditions as a single set of predicate implementations
+/// shared by the core padding heuristics (core/IntraPadding,
+/// core/InterPadding) and the lint rules (lint/Rules). Before this file
+/// the InterPad distance test and the LinPad conditions were implemented
+/// twice — once in core/ and once, slightly differently, in lint/ — and
+/// could drift; now a lint finding fires exactly when the corresponding
+/// heuristic would pad (tests/pipeline/ConsistencyTest.cpp pins this).
+///
+/// Conditions that scan reference pairs take the loop groups as a
+/// parameter so callers holding a pipeline::AnalysisManager reuse the
+/// memoized groups instead of re-collecting them per query.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PADX_ANALYSIS_PADCONDITIONS_H
+#define PADX_ANALYSIS_PADCONDITIONS_H
+
+#include "analysis/ReferenceGroups.h"
+#include "layout/DataLayout.h"
+#include "machine/CacheConfig.h"
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+namespace padx {
+namespace analysis {
+
+/// The severe-conflict test on a constant per-iteration byte distance
+/// (Expressions (1)/(2)): true when the distance spans at least one line
+/// (same-line pairs are spatial reuse, not conflict) yet folds below one
+/// line modulo the way span \p CacheBytes.
+bool isSevereDistance(int64_t DistanceBytes, int64_t CacheBytes,
+                      int64_t LineBytes);
+
+/// The conflict-pair condition for two affine references under \p DL's
+/// base addresses: the constant per-iteration distance when the pair is
+/// uniformly generated and severe under \p Level, std::nullopt otherwise.
+/// This is the predicate behind both core's InterPad placement test and
+/// lint's conflict-pair rule.
+std::optional<int64_t> severePairDistance(const layout::DataLayout &DL,
+                                          const ir::ArrayRef &R1,
+                                          const ir::ArrayRef &R2,
+                                          const CacheConfig &Level);
+
+/// Minimal forward move of the later reference's array that lifts a
+/// severe constant distance \p DistanceBytes to at least one line modulo
+/// the way span; 0 when the distance is already acceptable.
+int64_t interPadNeededForDistance(int64_t DistanceBytes,
+                                  const CacheConfig &Level);
+
+/// InterPadLite (paper Figure 5, Lite condition): the pad needed to place
+/// a variable of padded byte size \p SizeA at \p Addr given an
+/// already-placed variable of size \p SizeB at \p BaseB — zero if the
+/// bases are at least M lines apart modulo the way span, otherwise the
+/// minimal byte increment that separates them. The Lite heuristic only
+/// constrains equally-sized variables.
+int64_t interPadLiteNeededPad(int64_t Addr, int64_t SizeA, int64_t BaseB,
+                              int64_t SizeB, const CacheConfig &Level,
+                              int64_t MinSepLines);
+
+/// IntraPadLite: Col_s or 2*Col_s (any subarray size, for rank >= 3)
+/// within M lines of a multiple of the way span.
+bool intraPadLiteCondition(const layout::DataLayout &DL, unsigned Id,
+                           const CacheConfig &Level, int64_t MinSepLines);
+
+/// IntraPad: some uniformly generated pair of references to array \p Id
+/// within one of \p Groups has a severe conflict distance (Expression
+/// (2): base addresses cancel for same-array pairs, so \p DL needs no
+/// assigned bases).
+bool intraPadCondition(const layout::DataLayout &DL, unsigned Id,
+                       const CacheConfig &Level,
+                       const std::vector<LoopGroup> &Groups);
+
+/// LinPad1: 2*L_s evenly divides the column size.
+bool linPad1Condition(const layout::DataLayout &DL, unsigned Id,
+                      const CacheConfig &Level);
+
+/// One LinPad2 evaluation with its intermediate quantities, which the
+/// lint self-interference rule reports in its message. All values are in
+/// elements of the array, as in the paper's Figure 4.
+struct LinPad2Eval {
+  int64_t ColElems = 0;      ///< Padded column size.
+  int64_t FirstConflict = 0; ///< FirstConflict(C_s, Col_s, L_s).
+  int64_t JStar = 0;         ///< min(JStarCap, linPad2Threshold(...)).
+  bool Fires = false;        ///< FirstConflict < j*.
+};
+
+/// Evaluates LinPad2 for array \p Id (rank >= 2; Fires is false below).
+LinPad2Eval evalLinPad2(const layout::DataLayout &DL, unsigned Id,
+                        const CacheConfig &Level, int64_t JStarCap);
+
+/// LinPad2: FirstConflict(C_s, Col_s, L_s) below j* (convenience wrapper
+/// over evalLinPad2).
+bool linPad2Condition(const layout::DataLayout &DL, unsigned Id,
+                      const CacheConfig &Level, int64_t JStarCap);
+
+} // namespace analysis
+} // namespace padx
+
+#endif // PADX_ANALYSIS_PADCONDITIONS_H

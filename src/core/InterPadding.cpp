@@ -7,7 +7,7 @@
 #include "core/InterPadding.h"
 
 #include "analysis/ConflictDistance.h"
-#include "analysis/ReferenceGroups.h"
+#include "analysis/PadConditions.h"
 #include "support/MathExtras.h"
 
 #include <algorithm>
@@ -23,17 +23,8 @@ int64_t pad::interPadLiteNeededPad(int64_t Addr, int64_t SizeA,
                                    int64_t BaseB, int64_t SizeB,
                                    const CacheConfig &Level,
                                    int64_t MinSepLines) {
-  // The Lite heuristic assumes severe conflicts arise between
-  // equally-sized variables (same-size arrays walked in lockstep).
-  if (SizeA != SizeB)
-    return 0;
-  int64_t Cs = Level.waySpanBytes();
-  int64_t M = std::min(MinSepLines * Level.LineBytes, Cs / 2);
-  int64_t Rem = floorMod(Addr - BaseB, Cs);
-  if (Rem >= M && Rem <= Cs - M)
-    return 0;
-  // Advance to the nearest address whose separation is at least M.
-  return Rem < M ? M - Rem : Cs - Rem + M;
+  return analysis::interPadLiteNeededPad(Addr, SizeA, BaseB, SizeB, Level,
+                                         MinSepLines);
 }
 
 namespace {
@@ -45,8 +36,8 @@ struct GroupIndex {
   std::vector<std::map<unsigned, std::vector<const ir::ArrayRef *>>>
       ByArray;
 
-  explicit GroupIndex(const ir::Program &P) {
-    for (const analysis::LoopGroup &G : analysis::collectLoopGroups(P)) {
+  explicit GroupIndex(const std::vector<analysis::LoopGroup> &Groups) {
+    for (const analysis::LoopGroup &G : Groups) {
       ByArray.emplace_back();
       for (const analysis::RefInstance &RI : G.Refs)
         ByArray.back()[RI.Ref->ArrayId].push_back(RI.Ref);
@@ -58,9 +49,11 @@ class BaseAssigner {
 public:
   BaseAssigner(layout::DataLayout &DL, const analysis::SafetyInfo &Safety,
                const std::vector<CacheConfig> &Levels,
-               const PaddingScheme &Scheme, PaddingStats &Stats)
+               const PaddingScheme &Scheme,
+               const std::vector<analysis::LoopGroup> &LoopGroups,
+               PaddingStats &Stats)
       : DL(DL), Safety(Safety), Levels(Levels), Scheme(Scheme),
-        Stats(Stats), Groups(DL.program()) {}
+        Stats(Stats), Groups(LoopGroups) {}
 
   /// Placement order: declaration order, or (ReorderBySize) movable
   /// variables re-sorted by decreasing padded size with unmovable ones
@@ -157,20 +150,9 @@ private:
               DL, *RA, *RB, Addr, BaseB);
           if (!Dist)
             continue;
-          for (const CacheConfig &L : Levels) {
-            int64_t Ls = L.LineBytes;
-            // Genuinely adjacent addresses share lines by design.
-            if (std::llabs(*Dist) < Ls)
-              continue;
-            int64_t Cs = L.waySpanBytes();
-            int64_t Rem = floorMod(*Dist, Cs);
-            if (Rem >= Ls && Rem <= Cs - Ls)
-              continue;
-            // Minimal forward move making the conflict distance >= Ls.
-            int64_t Need = Rem < Ls ? Ls - Rem : Cs - Rem + Ls;
-            if (Need > Pad)
-              Pad = Need;
-          }
+          for (const CacheConfig &L : Levels)
+            Pad = std::max(Pad,
+                           analysis::interPadNeededForDistance(*Dist, L));
         }
       }
     }
@@ -215,7 +197,15 @@ void pad::assignBasesWithPadding(layout::DataLayout &DL,
                                  const std::vector<CacheConfig> &Levels,
                                  const PaddingScheme &Scheme,
                                  PaddingStats &Stats) {
+  assignBasesWithPadding(DL, Safety, Levels, Scheme,
+                         analysis::collectLoopGroups(DL.program()), Stats);
+}
+
+void pad::assignBasesWithPadding(
+    layout::DataLayout &DL, const analysis::SafetyInfo &Safety,
+    const std::vector<CacheConfig> &Levels, const PaddingScheme &Scheme,
+    const std::vector<analysis::LoopGroup> &Groups, PaddingStats &Stats) {
   assert((DL.numArrays() == 0 || !DL.allBasesAssigned()) &&
          "bases already assigned");
-  BaseAssigner(DL, Safety, Levels, Scheme, Stats).run();
+  BaseAssigner(DL, Safety, Levels, Scheme, Groups, Stats).run();
 }

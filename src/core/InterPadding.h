@@ -20,6 +20,7 @@
 #ifndef PADX_CORE_INTERPADDING_H
 #define PADX_CORE_INTERPADDING_H
 
+#include "analysis/ReferenceGroups.h"
 #include "analysis/Safety.h"
 #include "core/PaddingScheme.h"
 #include "core/PaddingStats.h"
@@ -42,11 +43,22 @@ void assignBasesWithPadding(layout::DataLayout &DL,
                             const PaddingScheme &Scheme,
                             PaddingStats &Stats);
 
+/// As above with the loop groups precomputed (the pipeline path: a
+/// PadPipeline's AnalysisManager computed them once for the program).
+void assignBasesWithPadding(layout::DataLayout &DL,
+                            const analysis::SafetyInfo &Safety,
+                            const std::vector<CacheConfig> &Levels,
+                            const PaddingScheme &Scheme,
+                            const std::vector<analysis::LoopGroup> &Groups,
+                            PaddingStats &Stats);
+
 /// The InterPadLite pad amount for placing a variable of padded byte size
 /// \p SizeA at \p Addr given an already-placed variable of size \p SizeB
 /// at \p BaseB: zero if acceptable, otherwise the minimal byte increment
 /// that separates the bases by at least M lines modulo the cache size.
-/// Exposed for unit tests.
+/// Forwards to analysis::interPadLiteNeededPad (the shared predicate the
+/// lint base-proximity rule also evaluates); kept for the existing unit
+/// tests and callers.
 int64_t interPadLiteNeededPad(int64_t Addr, int64_t SizeA, int64_t BaseB,
                               int64_t SizeB, const CacheConfig &Level,
                               int64_t MinSepLines);

@@ -6,13 +6,8 @@
 
 #include "core/IntraPadding.h"
 
-#include "analysis/ConflictDistance.h"
-#include "analysis/FirstConflict.h"
-#include "analysis/ReferenceGroups.h"
-#include "analysis/UniformRefs.h"
-#include "support/MathExtras.h"
+#include "analysis/PadConditions.h"
 
-#include <cstdlib>
 #include <string>
 
 using namespace padx;
@@ -21,78 +16,23 @@ using namespace padx::pad;
 bool pad::intraPadLiteCondition(const layout::DataLayout &DL, unsigned Id,
                                 const CacheConfig &Level,
                                 int64_t MinSepLines) {
-  const ir::ArrayVariable &V = DL.program().array(Id);
-  if (V.rank() < 2)
-    return false;
-  int64_t Cs = Level.waySpanBytes();
-  // Clamp M so the acceptance window [M, Cs - M] is non-empty even on
-  // tiny caches.
-  int64_t M = std::min(MinSepLines * Level.LineBytes, Cs / 2);
-  for (unsigned D = 1, E = V.rank(); D != E; ++D) {
-    int64_t SubBytes = DL.strideElems(Id, D) * V.ElemSize;
-    if (distanceToMultiple(SubBytes, Cs) < M ||
-        distanceToMultiple(2 * SubBytes, Cs) < M)
-      return true;
-  }
-  return false;
+  return analysis::intraPadLiteCondition(DL, Id, Level, MinSepLines);
 }
 
 bool pad::intraPadCondition(const layout::DataLayout &DL, unsigned Id,
                             const CacheConfig &Level) {
-  int64_t Cs = Level.waySpanBytes();
-  int64_t Ls = Level.LineBytes;
-  for (const analysis::LoopGroup &G :
-       analysis::collectLoopGroups(DL.program())) {
-    for (size_t I = 0, E = G.Refs.size(); I != E; ++I) {
-      const ir::ArrayRef &R1 = *G.Refs[I].Ref;
-      if (R1.ArrayId != Id || !R1.isAffine())
-        continue;
-      for (size_t J = I + 1; J != E; ++J) {
-        const ir::ArrayRef &R2 = *G.Refs[J].Ref;
-        if (R2.ArrayId != Id || !R2.isAffine())
-          continue;
-        if (!analysis::areUniformlyGenerated(DL, R1, R2))
-          continue;
-        // Expression (2): base addresses cancel for same-array pairs.
-        std::optional<int64_t> Dist =
-            analysis::iterationDistanceBytes(DL, R1, R2, 0, 0);
-        if (!Dist)
-          continue;
-        // References already within one line of each other share the
-        // line by design (spatial reuse); only flag genuine far-apart
-        // addresses that collide modulo the cache size.
-        if (std::llabs(*Dist) < Ls)
-          continue;
-        if (analysis::conflictDistance(*Dist, Cs) < Ls)
-          return true;
-      }
-    }
-  }
-  return false;
+  return analysis::intraPadCondition(
+      DL, Id, Level, analysis::collectLoopGroups(DL.program()));
 }
 
 bool pad::linPad1Condition(const layout::DataLayout &DL, unsigned Id,
                            const CacheConfig &Level) {
-  const ir::ArrayVariable &V = DL.program().array(Id);
-  if (V.rank() < 2)
-    return false;
-  int64_t ColBytes = DL.columnElems(Id) * V.ElemSize;
-  return ColBytes % (2 * Level.LineBytes) == 0;
+  return analysis::linPad1Condition(DL, Id, Level);
 }
 
 bool pad::linPad2Condition(const layout::DataLayout &DL, unsigned Id,
                            const CacheConfig &Level, int64_t JStarCap) {
-  const ir::ArrayVariable &V = DL.program().array(Id);
-  if (V.rank() < 2)
-    return false;
-  // LinPad2 reasons in units of array elements, as in the paper.
-  int64_t CsElems = Level.waySpanBytes() / V.ElemSize;
-  int64_t LsElems = std::max<int64_t>(1, Level.LineBytes / V.ElemSize);
-  int64_t ColElems = DL.columnElems(Id);
-  int64_t Rows = DL.numElements(Id) / ColElems;
-  int64_t JStar = std::min(
-      JStarCap, analysis::linPad2Threshold(CsElems, LsElems, Rows));
-  return analysis::firstConflict(CsElems, ColElems, LsElems) < JStar;
+  return analysis::linPad2Condition(DL, Id, Level, JStarCap);
 }
 
 namespace {
@@ -104,18 +44,19 @@ public:
   IntraConditions(const layout::DataLayout &DL,
                   const std::vector<bool> &LinearAlgebraArrays,
                   const std::vector<CacheConfig> &Levels,
-                  const PaddingScheme &Scheme)
+                  const PaddingScheme &Scheme,
+                  const std::vector<analysis::LoopGroup> &Groups)
       : DL(DL), LinAlg(LinearAlgebraArrays), Levels(Levels),
-        Scheme(Scheme) {}
+        Scheme(Scheme), Groups(Groups) {}
 
   bool stencilNeedsPad(unsigned Id) const {
     if (!Scheme.EnableStencilIntra)
       return false;
     for (const CacheConfig &L : Levels) {
       bool Need = Scheme.Intra == Precision::Lite
-                      ? intraPadLiteCondition(DL, Id, L,
-                                              Scheme.MinSeparationLines)
-                      : intraPadCondition(DL, Id, L);
+                      ? analysis::intraPadLiteCondition(
+                            DL, Id, L, Scheme.MinSeparationLines)
+                      : analysis::intraPadCondition(DL, Id, L, Groups);
       if (Need)
         return true;
     }
@@ -129,9 +70,10 @@ public:
         Scheme.LinPadOnlyLinearAlgebra && !LinAlg[Id])
       return false;
     for (const CacheConfig &L : Levels) {
-      bool Need = Scheme.LinPad == LinPadKind::LinPad1
-                      ? linPad1Condition(DL, Id, L)
-                      : linPad2Condition(DL, Id, L, Scheme.JStarCap);
+      bool Need =
+          Scheme.LinPad == LinPadKind::LinPad1
+              ? analysis::linPad1Condition(DL, Id, L)
+              : analysis::linPad2Condition(DL, Id, L, Scheme.JStarCap);
       if (Need)
         return true;
     }
@@ -143,6 +85,7 @@ private:
   const std::vector<bool> &LinAlg;
   const std::vector<CacheConfig> &Levels;
   const PaddingScheme &Scheme;
+  const std::vector<analysis::LoopGroup> &Groups;
 };
 
 } // namespace
@@ -153,7 +96,18 @@ void pad::applyIntraPadding(layout::DataLayout &DL,
                             const std::vector<CacheConfig> &Levels,
                             const PaddingScheme &Scheme,
                             PaddingStats &Stats) {
-  IntraConditions Conds(DL, LinearAlgebraArrays, Levels, Scheme);
+  applyIntraPadding(DL, Safety, LinearAlgebraArrays, Levels, Scheme,
+                    analysis::collectLoopGroups(DL.program()), Stats);
+}
+
+void pad::applyIntraPadding(layout::DataLayout &DL,
+                            const analysis::SafetyInfo &Safety,
+                            const std::vector<bool> &LinearAlgebraArrays,
+                            const std::vector<CacheConfig> &Levels,
+                            const PaddingScheme &Scheme,
+                            const std::vector<analysis::LoopGroup> &Groups,
+                            PaddingStats &Stats) {
+  IntraConditions Conds(DL, LinearAlgebraArrays, Levels, Scheme, Groups);
   const ir::Program &P = DL.program();
 
   for (unsigned Id = 0, E = DL.numArrays(); Id != E; ++Id) {

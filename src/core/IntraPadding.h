@@ -17,6 +17,7 @@
 #ifndef PADX_CORE_INTRAPADDING_H
 #define PADX_CORE_INTRAPADDING_H
 
+#include "analysis/ReferenceGroups.h"
 #include "analysis/Safety.h"
 #include "core/PaddingScheme.h"
 #include "core/PaddingStats.h"
@@ -40,9 +41,21 @@ void applyIntraPadding(layout::DataLayout &DL,
                        const std::vector<CacheConfig> &Levels,
                        const PaddingScheme &Scheme, PaddingStats &Stats);
 
+/// As above with the loop groups precomputed (the pipeline path). The
+/// precise IntraPad condition re-evaluates per grow step; reusing the
+/// groups avoids re-collecting them every iteration.
+void applyIntraPadding(layout::DataLayout &DL,
+                       const analysis::SafetyInfo &Safety,
+                       const std::vector<bool> &LinearAlgebraArrays,
+                       const std::vector<CacheConfig> &Levels,
+                       const PaddingScheme &Scheme,
+                       const std::vector<analysis::LoopGroup> &Groups,
+                       PaddingStats &Stats);
+
 /// Individual pad conditions, exposed for tests and ablation studies.
-/// All return true when the array's current padded shape in \p DL
-/// violates the condition for cache \p Level.
+/// All forward to the shared analysis::PadConditions implementations the
+/// lint rules also evaluate, and return true when the array's current
+/// padded shape in \p DL violates the condition for cache \p Level.
 
 /// IntraPadLite: Col_s or 2*Col_s (any subarray size, for rank >= 3)
 /// within M lines of a multiple of the cache size.

@@ -6,9 +6,6 @@
 
 #include "core/Padding.h"
 
-#include "analysis/LinearAlgebra.h"
-#include "analysis/Safety.h"
-#include "analysis/UniformRefs.h"
 #include "core/InterPadding.h"
 #include "core/IntraPadding.h"
 
@@ -18,11 +15,26 @@ using namespace padx::pad;
 PaddingResult pad::applyPadding(const ir::Program &P,
                                 const MachineModel &Machine,
                                 const PaddingScheme &Scheme) {
+  pipeline::PadPipeline PP(P);
+  return applyPadding(P, Machine, Scheme, PP);
+}
+
+PaddingResult pad::applyPadding(const ir::Program &P,
+                                const MachineModel &Machine,
+                                const PaddingScheme &Scheme,
+                                pipeline::PadPipeline &PP) {
   layout::DataLayout DL(P);
   PaddingStats Stats;
+  pipeline::AnalysisManager &AM = PP.analysis();
 
-  analysis::SafetyInfo Safety = analysis::analyzeSafety(P);
-  std::vector<bool> LinAlg = analysis::detectLinearAlgebraArrays(P);
+  const analysis::SafetyInfo &Safety =
+      PP.run("safety", [&]() -> const analysis::SafetyInfo & {
+        return AM.safety();
+      });
+  const std::vector<bool> &LinAlg =
+      PP.run("linear-algebra", [&]() -> const std::vector<bool> & {
+        return AM.linearAlgebraArrays();
+      });
 
   // Conflict misses cannot occur in a fully-associative level.
   std::vector<CacheConfig> Levels;
@@ -31,19 +43,26 @@ PaddingResult pad::applyPadding(const ir::Program &P,
       Levels.push_back(L);
 
   if (Scheme.EnableIntra && !Levels.empty())
-    applyIntraPadding(DL, Safety, LinAlg, Levels, Scheme, Stats);
+    PP.run("intra-padding", [&] {
+      applyIntraPadding(DL, Safety, LinAlg, Levels, Scheme,
+                        AM.referenceGroups(), Stats);
+    });
 
   if (Scheme.EnableInter && !Levels.empty()) {
-    assignBasesWithPadding(DL, Safety, Levels, Scheme, Stats);
+    PP.run("base-assignment", [&] {
+      assignBasesWithPadding(DL, Safety, Levels, Scheme,
+                             AM.referenceGroups(), Stats);
+    });
   } else {
-    layout::assignSequentialBases(DL);
+    PP.run("base-assignment",
+           [&] { layout::assignSequentialBases(DL); });
   }
 
   // Table 2 bookkeeping.
   for (const ir::ArrayVariable &V : P.arrays())
     if (!V.isScalar())
       ++Stats.GlobalArrays;
-  Stats.PercentUniformRefs = analysis::percentUniformRefs(P);
+  Stats.PercentUniformRefs = AM.percentUniformRefs();
   Stats.ArraysSafe = Safety.numIntraSafe();
   int64_t OrigBytes = layout::originalLayout(P).totalBytes();
   if (OrigBytes > 0)
@@ -59,8 +78,21 @@ PaddingResult pad::runPad(const ir::Program &P, const CacheConfig &Cache) {
                       PaddingScheme::pad());
 }
 
+PaddingResult pad::runPad(const ir::Program &P, const CacheConfig &Cache,
+                          pipeline::PadPipeline &PP) {
+  return applyPadding(P, MachineModel::singleLevel(Cache),
+                      PaddingScheme::pad(), PP);
+}
+
 PaddingResult pad::runPadLite(const ir::Program &P,
                               const CacheConfig &Cache) {
   return applyPadding(P, MachineModel::singleLevel(Cache),
                       PaddingScheme::padLite());
+}
+
+PaddingResult pad::runPadLite(const ir::Program &P,
+                              const CacheConfig &Cache,
+                              pipeline::PadPipeline &PP) {
+  return applyPadding(P, MachineModel::singleLevel(Cache),
+                      PaddingScheme::padLite(), PP);
 }

@@ -26,6 +26,7 @@
 #include "core/PaddingStats.h"
 #include "layout/DataLayout.h"
 #include "machine/CacheConfig.h"
+#include "pipeline/PadPipeline.h"
 
 namespace padx {
 namespace pad {
@@ -46,6 +47,17 @@ PaddingResult applyPadding(const ir::Program &P,
 PaddingResult applyPadding(ir::Program &&, const MachineModel &,
                            const PaddingScheme &) = delete;
 
+/// As above through an instrumented pipeline: analyses come from
+/// \p PP.analysis() (memoized — a caller that already linted or searched
+/// this program pays nothing for safety/linear-algebra/groups), and the
+/// intra/inter phases are recorded as timed passes. \p PP must have been
+/// constructed over the same program \p P. The no-pipeline overload
+/// builds a throwaway pipeline and forwards here.
+PaddingResult applyPadding(const ir::Program &P,
+                           const MachineModel &Machine,
+                           const PaddingScheme &Scheme,
+                           pipeline::PadPipeline &PP);
+
 /// The paper's PAD on a single-level cache (default: 16K direct-mapped,
 /// 32B lines). The result layout references \p P, which must outlive it
 /// (temporaries are rejected).
@@ -54,6 +66,8 @@ PaddingResult runPad(const ir::Program &P,
 PaddingResult runPad(ir::Program &&,
                      const CacheConfig & = CacheConfig::base16K()) =
     delete;
+PaddingResult runPad(const ir::Program &P, const CacheConfig &Cache,
+                     pipeline::PadPipeline &PP);
 
 /// The paper's PADLITE on a single-level cache.
 PaddingResult
@@ -62,6 +76,8 @@ runPadLite(const ir::Program &P,
 PaddingResult runPadLite(ir::Program &&,
                          const CacheConfig & = CacheConfig::base16K()) =
     delete;
+PaddingResult runPadLite(const ir::Program &P, const CacheConfig &Cache,
+                         pipeline::PadPipeline &PP);
 
 } // namespace pad
 } // namespace padx

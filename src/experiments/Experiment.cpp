@@ -41,9 +41,18 @@ MissResult expt::measureOriginal(const ir::Program &P,
 MissResult expt::measurePadded(const ir::Program &P,
                                const CacheConfig &Cache,
                                const pad::PaddingScheme &Scheme) {
+  pipeline::PadPipeline PP(P);
+  return measurePadded(P, Cache, Scheme, PP);
+}
+
+MissResult expt::measurePadded(const ir::Program &P,
+                               const CacheConfig &Cache,
+                               const pad::PaddingScheme &Scheme,
+                               pipeline::PadPipeline &PP) {
   pad::PaddingResult R =
-      pad::applyPadding(P, MachineModel::singleLevel(Cache), Scheme);
-  return measureMissRate(P, R.Layout, Cache);
+      pad::applyPadding(P, MachineModel::singleLevel(Cache), Scheme, PP);
+  return PP.run("simulate",
+                [&] { return measureMissRate(P, R.Layout, Cache); });
 }
 
 void expt::parallelFor(size_t Count,

@@ -24,6 +24,7 @@
 #include "ir/Program.h"
 #include "layout/DataLayout.h"
 #include "machine/CacheConfig.h"
+#include "pipeline/PadPipeline.h"
 
 #include <functional>
 #include <string>
@@ -56,9 +57,18 @@ sim::MissBreakdown classifyMisses(const ir::Program &P,
 /// Convenience: miss rate of the original (packed, unpadded) layout.
 MissResult measureOriginal(const ir::Program &P, const CacheConfig &Cache);
 
-/// Convenience: miss rate after applying \p Scheme for \p Cache.
+/// Convenience: miss rate after applying \p Scheme for \p Cache. Builds
+/// a throwaway pipeline and forwards to the overload below.
 MissResult measurePadded(const ir::Program &P, const CacheConfig &Cache,
                          const pad::PaddingScheme &Scheme);
+
+/// As above through an instrumented pipeline over the same program: the
+/// padding passes share \p PP.analysis() — so sweeping many schemes or
+/// cache levels over one program reuses its reference groups and safety
+/// analysis — and the trace simulation is recorded as a "simulate" pass.
+MissResult measurePadded(const ir::Program &P, const CacheConfig &Cache,
+                         const pad::PaddingScheme &Scheme,
+                         pipeline::PadPipeline &PP);
 
 /// Runs Fn(I) for I in [0, Count) on up to hardware-concurrency threads.
 /// Fn must be thread-safe for distinct I.

@@ -46,6 +46,12 @@ LintResult Linter::run(const ir::Program &P) const {
 }
 
 LintResult Linter::run(const layout::DataLayout &DL) const {
+  pipeline::PadPipeline PP(DL.program());
+  return run(DL, PP);
+}
+
+LintResult Linter::run(const layout::DataLayout &DL,
+                       pipeline::PadPipeline &PP) const {
   assert(DL.allBasesAssigned() &&
          "lint needs a layout with assigned base addresses");
   LintResult Result;
@@ -55,16 +61,17 @@ LintResult Linter::run(const layout::DataLayout &DL) const {
   if (Options.Cache.Associativity == 0)
     return Result;
 
-  const ir::Program &P = DL.program();
-  analysis::SafetyInfo Safety = analysis::analyzeSafety(P);
-  std::vector<bool> LinAlg = analysis::detectLinearAlgebraArrays(P);
-  std::vector<analysis::LoopGroup> Groups = analysis::collectLoopGroups(P);
-  analysis::ProgramEstimate Estimate =
-      analysis::estimateMisses(DL, Options.Cache);
+  pipeline::AnalysisManager &AM = PP.analysis();
+  const analysis::SafetyInfo &Safety = AM.safety();
+  const std::vector<bool> &LinAlg = AM.linearAlgebraArrays();
+  const std::vector<analysis::LoopGroup> &Groups = AM.referenceGroups();
+  const analysis::ProgramEstimate &Estimate =
+      AM.missEstimate(DL, Options.Cache);
 
   LintContext Ctx{DL, Options.Cache, Safety, LinAlg, Groups, Estimate};
   for (const Rule *R : allRules())
-    R->check(Ctx, Result.Findings);
+    PP.run("lint:" + std::string(R->id()),
+           [&] { R->check(Ctx, Result.Findings); });
 
   // Rank most severe first; stable, so each rule's source order is kept.
   std::stable_sort(Result.Findings.begin(), Result.Findings.end(),

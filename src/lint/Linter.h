@@ -24,6 +24,7 @@
 #include "layout/DataLayout.h"
 #include "lint/Finding.h"
 #include "machine/CacheConfig.h"
+#include "pipeline/PadPipeline.h"
 
 #include <vector>
 
@@ -56,6 +57,14 @@ public:
   /// Lints an explicit layout (all bases assigned). Used to re-lint
   /// fixed or already-padded layouts.
   LintResult run(const layout::DataLayout &DL) const;
+
+  /// As above through an instrumented pipeline over the same program:
+  /// the shared context comes from \p PP.analysis() (free when the
+  /// program was already padded or searched through \p PP), and every
+  /// rule runs as a timed "lint:<rule-id>" pass. The no-pipeline
+  /// overload builds a throwaway pipeline and forwards here.
+  LintResult run(const layout::DataLayout &DL,
+                 pipeline::PadPipeline &PP) const;
 
 private:
   LintOptions Options;

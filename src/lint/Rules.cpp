@@ -25,15 +25,11 @@
 #include "lint/Rule.h"
 
 #include "analysis/ConflictDistance.h"
-#include "analysis/FirstConflict.h"
-#include "analysis/UniformRefs.h"
-#include "core/InterPadding.h"
-#include "core/IntraPadding.h"
+#include "analysis/PadConditions.h"
 #include "ir/Printer.h"
 #include "support/MathExtras.h"
 
 #include <algorithm>
-#include <cstdlib>
 #include <set>
 #include <sstream>
 
@@ -176,7 +172,7 @@ public:
         unsigned Early = A, Late = B;
         if (Ctx.DL.layout(Early).BaseAddr > Ctx.DL.layout(Late).BaseAddr)
           std::swap(Early, Late);
-        int64_t Need = pad::interPadLiteNeededPad(
+        int64_t Need = analysis::interPadLiteNeededPad(
             Ctx.DL.layout(Late).BaseAddr, Ctx.DL.sizeBytes(Late),
             Ctx.DL.layout(Early).BaseAddr, Ctx.DL.sizeBytes(Early), C,
             MinSepLines);
@@ -260,7 +256,7 @@ public:
     for (unsigned Id = 0, E = Ctx.DL.numArrays(); Id != E; ++Id) {
       if (P.array(Id).rank() < 2)
         continue;
-      if (!pad::linPad1Condition(Ctx.DL, Id, Ctx.Cache))
+      if (!analysis::linPad1Condition(Ctx.DL, Id, Ctx.Cache))
         continue;
       Finding F;
       F.RuleId = std::string(id());
@@ -286,7 +282,7 @@ public:
       int64_t K = minIntraPadClearing(
           Ctx.DL, Id, 0, kMaxIntraPad,
           [&](const layout::DataLayout &Trial) {
-            return pad::linPad1Condition(Trial, Id, Ctx.Cache);
+            return analysis::linPad1Condition(Trial, Id, Ctx.Cache);
           });
       if (K != 0 && Ctx.Safety.CanPadIntra[Id]) {
         F.Fix.K = FixIt::Kind::IntraPad;
@@ -324,18 +320,12 @@ public:
     for (const analysis::LoopGroup &G : Ctx.Groups) {
       for (size_t I = 0, E = G.Refs.size(); I != E; ++I) {
         const ir::ArrayRef &R1 = *G.Refs[I].Ref;
-        if (!R1.isAffine())
-          continue;
         for (size_t J = I + 1; J != E; ++J) {
           const ir::ArrayRef &R2 = *G.Refs[J].Ref;
-          if (!R2.isAffine())
-            continue;
-          if (!analysis::areUniformlyGenerated(Ctx.DL, R1, R2))
-            continue;
+          // The exact predicate core's InterPad placement pads on.
           std::optional<int64_t> Dist =
-              analysis::iterationDistanceBytes(Ctx.DL, R1, R2);
-          if (!Dist || std::llabs(*Dist) < Ls ||
-              analysis::conflictDistance(*Dist, Cs) >= Ls)
+              analysis::severePairDistance(Ctx.DL, R1, R2, Ctx.Cache);
+          if (!Dist)
             continue;
           Findings.push_back(
               makeFinding(Ctx, G, R1, R2, *Dist, Cs, Ls));
@@ -377,8 +367,7 @@ private:
           [&](const layout::DataLayout &Trial) {
             std::optional<int64_t> D =
                 analysis::iterationDistanceBytes(Trial, R1, R2, 0, 0);
-            return D && std::llabs(*D) >= Ls &&
-                   analysis::conflictDistance(*D, Cs) < Ls;
+            return D && analysis::isSevereDistance(*D, Cs, Ls);
           });
       if (K != 0 && Ctx.Safety.CanPadIntra[Id]) {
         F.Fix.K = FixIt::Kind::IntraPad;
@@ -401,8 +390,7 @@ private:
     int64_t Sign = R1.ArrayId == Late ? 1 : -1;
     for (int64_t Gap = Align; Gap <= Cs; Gap += Align) {
       int64_t Moved = Dist + Sign * Gap;
-      if (std::llabs(Moved) < Ls ||
-          analysis::conflictDistance(Moved, Cs) >= Ls) {
+      if (!analysis::isSevereDistance(Moved, Cs, Ls)) {
         if (Ctx.Safety.CanMoveBase[Late]) {
           F.Fix.K = FixIt::Kind::InterGap;
           F.Fix.ArrayId = Late;
@@ -440,16 +428,13 @@ public:
       const ir::ArrayVariable &V = P.array(Id);
       if (V.rank() < 2 || !Ctx.LinAlgArrays[Id])
         continue;
-      if (!pad::linPad2Condition(Ctx.DL, Id, Ctx.Cache, JStarCap))
+      // One evaluation supplies both the verdict and the quantities the
+      // message reports — the rule can no longer drift from core's
+      // LinPad2 decision.
+      analysis::LinPad2Eval Ev =
+          analysis::evalLinPad2(Ctx.DL, Id, Ctx.Cache, JStarCap);
+      if (!Ev.Fires)
         continue;
-      int64_t CsE = Ctx.Cache.waySpanBytes() / V.ElemSize;
-      int64_t LsE =
-          std::max<int64_t>(1, Ctx.Cache.LineBytes / V.ElemSize);
-      int64_t Col = Ctx.DL.columnElems(Id);
-      int64_t Rows = Ctx.DL.numElements(Id) / Col;
-      int64_t FC = analysis::firstConflict(CsE, Col, LsE);
-      int64_t JStar = std::min(
-          JStarCap, analysis::linPad2Threshold(CsE, LsE, Rows));
 
       Finding F;
       F.RuleId = std::string(id());
@@ -460,16 +445,17 @@ public:
       F.Key = "'" + V.Name + "'";
       std::ostringstream OS;
       OS << "'" << V.Name << "' is accessed across varying column "
-         << "distances and columns only " << FC
-         << " apart already collide (FirstConflict " << FC << " < j* "
-         << JStar << " at column size " << Col << " elements)";
+         << "distances and columns only " << Ev.FirstConflict
+         << " apart already collide (FirstConflict " << Ev.FirstConflict
+         << " < j* " << Ev.JStar << " at column size " << Ev.ColElems
+         << " elements)";
       F.Message = OS.str();
 
       int64_t K = minIntraPadClearing(
           Ctx.DL, Id, 0, kMaxIntraPad,
           [&](const layout::DataLayout &Trial) {
-            return pad::linPad2Condition(Trial, Id, Ctx.Cache,
-                                         JStarCap);
+            return analysis::linPad2Condition(Trial, Id, Ctx.Cache,
+                                              JStarCap);
           });
       if (K != 0 && Ctx.Safety.CanPadIntra[Id]) {
         F.Fix.K = FixIt::Kind::IntraPad;

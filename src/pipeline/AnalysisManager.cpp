@@ -1,0 +1,255 @@
+//===----------------------------------------------------------------------===//
+//
+// Part of the padx project, under the Apache License v2.0.
+//
+//===----------------------------------------------------------------------===//
+
+#include "pipeline/AnalysisManager.h"
+
+#include "analysis/LinearAlgebra.h"
+#include "analysis/UniformRefs.h"
+
+#include <chrono>
+
+using namespace padx;
+using namespace padx::pipeline;
+
+namespace {
+
+/// Accumulates wall time into a kind's Seconds for the duration of one
+/// computation.
+class ComputeTimer {
+public:
+  explicit ComputeTimer(AnalysisCounters &C)
+      : C(C), Start(std::chrono::steady_clock::now()) {}
+  ~ComputeTimer() {
+    C.Seconds += std::chrono::duration<double>(
+                     std::chrono::steady_clock::now() - Start)
+                     .count();
+  }
+
+private:
+  AnalysisCounters &C;
+  std::chrono::steady_clock::time_point Start;
+};
+
+} // namespace
+
+const char *pipeline::analysisKindName(AnalysisKind K) {
+  switch (K) {
+  case AnalysisKind::ReferenceGroups:
+    return "reference-groups";
+  case AnalysisKind::IterationCounts:
+    return "iteration-counts";
+  case AnalysisKind::Safety:
+    return "safety";
+  case AnalysisKind::LinearAlgebra:
+    return "linear-algebra";
+  case AnalysisKind::UniformRefs:
+    return "uniform-refs";
+  case AnalysisKind::Reuse:
+    return "reuse";
+  case AnalysisKind::ConflictReport:
+    return "conflict-report";
+  case AnalysisKind::MissEstimate:
+    return "miss-estimate";
+  }
+  return "unknown";
+}
+
+uint64_t AnalysisStats::totalHits() const {
+  uint64_t N = 0;
+  for (const AnalysisCounters &C : Kinds)
+    N += C.Hits;
+  return N;
+}
+
+uint64_t AnalysisStats::totalMisses() const {
+  uint64_t N = 0;
+  for (const AnalysisCounters &C : Kinds)
+    N += C.Misses;
+  return N;
+}
+
+uint64_t AnalysisStats::totalInvalidated() const {
+  uint64_t N = 0;
+  for (const AnalysisCounters &C : Kinds)
+    N += C.Invalidated;
+  return N;
+}
+
+double AnalysisStats::totalSeconds() const {
+  double S = 0;
+  for (const AnalysisCounters &C : Kinds)
+    S += C.Seconds;
+  return S;
+}
+
+void AnalysisStats::merge(const AnalysisStats &Other) {
+  for (unsigned I = 0; I != kNumAnalysisKinds; ++I) {
+    Kinds[I].Hits += Other.Kinds[I].Hits;
+    Kinds[I].Misses += Other.Kinds[I].Misses;
+    Kinds[I].Invalidated += Other.Kinds[I].Invalidated;
+    Kinds[I].Seconds += Other.Kinds[I].Seconds;
+  }
+}
+
+AnalysisManager::AnalysisManager(const ir::Program &P, bool EnableCache)
+    : Prog(&P), EnableCache(EnableCache) {}
+
+const std::vector<analysis::LoopGroup> &
+AnalysisManager::referenceGroups() {
+  AnalysisCounters &C = counters(AnalysisKind::ReferenceGroups);
+  if (EnableCache && Groups) {
+    ++C.Hits;
+    return *Groups;
+  }
+  ++C.Misses;
+  ComputeTimer T(C);
+  Groups = analysis::collectLoopGroups(*Prog);
+  return *Groups;
+}
+
+const std::vector<double> &AnalysisManager::iterationCounts() {
+  AnalysisCounters &C = counters(AnalysisKind::IterationCounts);
+  if (EnableCache && Iterations) {
+    ++C.Hits;
+    return *Iterations;
+  }
+  // Resolve the dependency before the timer so nested group collection
+  // is charged to its own kind, not double-counted here.
+  const std::vector<analysis::LoopGroup> &G = referenceGroups();
+  ++C.Misses;
+  ComputeTimer T(C);
+  Iterations = analysis::countGroupIterations(G);
+  return *Iterations;
+}
+
+const analysis::SafetyInfo &AnalysisManager::safety() {
+  AnalysisCounters &C = counters(AnalysisKind::Safety);
+  if (EnableCache && Safety) {
+    ++C.Hits;
+    return *Safety;
+  }
+  ++C.Misses;
+  ComputeTimer T(C);
+  Safety = analysis::analyzeSafety(*Prog);
+  return *Safety;
+}
+
+const std::vector<bool> &AnalysisManager::linearAlgebraArrays() {
+  AnalysisCounters &C = counters(AnalysisKind::LinearAlgebra);
+  if (EnableCache && LinAlg) {
+    ++C.Hits;
+    return *LinAlg;
+  }
+  ++C.Misses;
+  ComputeTimer T(C);
+  LinAlg = analysis::detectLinearAlgebraArrays(*Prog);
+  return *LinAlg;
+}
+
+double AnalysisManager::percentUniformRefs() {
+  AnalysisCounters &C = counters(AnalysisKind::UniformRefs);
+  if (EnableCache && UniformPct) {
+    ++C.Hits;
+    return *UniformPct;
+  }
+  ++C.Misses;
+  ComputeTimer T(C);
+  UniformPct = analysis::percentUniformRefs(*Prog);
+  return *UniformPct;
+}
+
+AnalysisManager::LayoutKey
+AnalysisManager::makeKey(const layout::DataLayout &DL,
+                         const CacheConfig &Cache) {
+  LayoutKey Key;
+  Key.reserve(3 + 2 * DL.numArrays());
+  Key.push_back(Cache.SizeBytes);
+  Key.push_back(Cache.LineBytes);
+  Key.push_back(Cache.Associativity);
+  for (unsigned Id = 0, E = DL.numArrays(); Id != E; ++Id) {
+    const layout::ArrayLayout &L = DL.layout(Id);
+    Key.push_back(L.BaseAddr);
+    for (int64_t D : L.Dims)
+      Key.push_back(D);
+  }
+  return Key;
+}
+
+AnalysisManager::LayoutEntry &
+AnalysisManager::layoutEntry(const layout::DataLayout &DL,
+                             const CacheConfig &Cache) {
+  if (!EnableCache)
+    return Scratch;
+  LayoutKey Key = makeKey(DL, Cache);
+  if (LayoutCache.size() >= kMaxLayoutEntries && !LayoutCache.count(Key))
+    invalidateLayoutResults();
+  return LayoutCache[Key];
+}
+
+const analysis::ProgramEstimate &
+AnalysisManager::missEstimate(const layout::DataLayout &DL,
+                              const CacheConfig &Cache) {
+  AnalysisCounters &C = counters(AnalysisKind::MissEstimate);
+  LayoutEntry &E = layoutEntry(DL, Cache);
+  if (EnableCache && E.Estimate) {
+    ++C.Hits;
+    return *E.Estimate;
+  }
+  const std::vector<analysis::LoopGroup> &G = referenceGroups();
+  const std::vector<double> &I = iterationCounts();
+  ++C.Misses;
+  ComputeTimer T(C);
+  E.Estimate = analysis::estimateMisses(DL, Cache, G, I);
+  return *E.Estimate;
+}
+
+const std::vector<analysis::ConflictEntry> &
+AnalysisManager::severeConflicts(const layout::DataLayout &DL,
+                                 const CacheConfig &Cache) {
+  AnalysisCounters &C = counters(AnalysisKind::ConflictReport);
+  LayoutEntry &E = layoutEntry(DL, Cache);
+  if (EnableCache && E.Severe) {
+    ++C.Hits;
+    return *E.Severe;
+  }
+  const std::vector<analysis::LoopGroup> &G = referenceGroups();
+  ++C.Misses;
+  ComputeTimer T(C);
+  E.Severe = analysis::reportConflicts(DL, Cache, G, /*SevereOnly=*/true);
+  return *E.Severe;
+}
+
+const std::vector<analysis::GroupReuse> &
+AnalysisManager::reuse(const layout::DataLayout &DL,
+                       const CacheConfig &Cache) {
+  AnalysisCounters &C = counters(AnalysisKind::Reuse);
+  LayoutEntry &E = layoutEntry(DL, Cache);
+  if (EnableCache && E.Reuse) {
+    ++C.Hits;
+    return *E.Reuse;
+  }
+  const std::vector<analysis::LoopGroup> &G = referenceGroups();
+  ++C.Misses;
+  ComputeTimer T(C);
+  std::vector<analysis::GroupReuse> R;
+  R.reserve(G.size());
+  for (const analysis::LoopGroup &Group : G)
+    R.push_back(analysis::analyzeReuse(DL, Group, Cache.LineBytes));
+  E.Reuse = std::move(R);
+  return *E.Reuse;
+}
+
+void AnalysisManager::invalidateLayoutResults() {
+  for (const auto &[Key, E] : LayoutCache) {
+    if (E.Estimate)
+      ++counters(AnalysisKind::MissEstimate).Invalidated;
+    if (E.Severe)
+      ++counters(AnalysisKind::ConflictReport).Invalidated;
+    if (E.Reuse)
+      ++counters(AnalysisKind::Reuse).Invalidated;
+  }
+  LayoutCache.clear();
+}

@@ -1,0 +1,193 @@
+//===----------------------------------------------------------------------===//
+//
+// Part of the padx project, under the Apache License v2.0.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A memoizing manager for the analyses every padx consumer runs. Before
+/// it existed, core/Padding, lint/Linter, search/CostModel and the
+/// experiment harness each re-derived reference groups, safety flags and
+/// miss estimates from scratch per call — the search engine recomputed
+/// layout-independent analyses once per *candidate*. The manager caches:
+///
+///  - program-level results (reference groups, iteration counts, safety,
+///    linear-algebra flags, uniform-reference percentage), computed once
+///    per program — no layout or cache geometry involved;
+///  - layout-dependent results (miss estimate, severe-conflict report,
+///    reuse classes), keyed by a fingerprint of (base addresses, padded
+///    dimensions, cache geometry).
+///
+/// Invalidation contract (DESIGN.md section 11): the manager never
+/// observes layout mutation. A caller that mutates a DataLayout in place
+/// and re-queries under the same fingerprint would read stale results —
+/// call invalidateLayoutResults() after mutating. Callers that only ever
+/// query fresh DataLayout objects (the search engine: one object per
+/// candidate) need no invalidation; distinct layouts have distinct
+/// fingerprints. Program-level results survive invalidation by design —
+/// that asymmetry is the point of the split.
+///
+/// Returned references are valid until the next invalidateLayoutResults()
+/// or, for layout-keyed results, until the entry cap forces an eviction
+/// sweep. With caching disabled (the benchmark baseline), every query
+/// recomputes and a returned reference is only valid until the next query
+/// of the same kind. The manager is not thread-safe; concurrent cost
+/// models (SimulationCostModel) deliberately do not use it.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PADX_PIPELINE_ANALYSISMANAGER_H
+#define PADX_PIPELINE_ANALYSISMANAGER_H
+
+#include "analysis/ConflictReport.h"
+#include "analysis/MissEstimate.h"
+#include "analysis/ReferenceGroups.h"
+#include "analysis/Reuse.h"
+#include "analysis/Safety.h"
+#include "layout/DataLayout.h"
+#include "machine/CacheConfig.h"
+
+#include <array>
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <vector>
+
+namespace padx {
+namespace pipeline {
+
+/// Every analysis the manager knows how to cache.
+enum class AnalysisKind : unsigned {
+  ReferenceGroups,
+  IterationCounts,
+  Safety,
+  LinearAlgebra,
+  UniformRefs,
+  Reuse,
+  ConflictReport,
+  MissEstimate,
+};
+inline constexpr unsigned kNumAnalysisKinds = 8;
+
+/// Stable lowercase-hyphen name, e.g. "reference-groups" (stats output).
+const char *analysisKindName(AnalysisKind K);
+
+/// Hit/miss accounting for one analysis kind. Seconds accumulates only
+/// over actual computations (misses), so Seconds / Misses is the mean
+/// cost of the analysis and Hits * (Seconds / Misses) estimates the time
+/// the cache saved.
+struct AnalysisCounters {
+  uint64_t Hits = 0;
+  uint64_t Misses = 0;
+  uint64_t Invalidated = 0;
+  double Seconds = 0;
+};
+
+struct AnalysisStats {
+  std::array<AnalysisCounters, kNumAnalysisKinds> Kinds;
+
+  const AnalysisCounters &of(AnalysisKind K) const {
+    return Kinds[static_cast<unsigned>(K)];
+  }
+  uint64_t totalHits() const;
+  uint64_t totalMisses() const;
+  uint64_t totalInvalidated() const;
+  double totalSeconds() const;
+
+  /// Pointwise sum (padlint aggregates per-file pipelines).
+  void merge(const AnalysisStats &Other);
+};
+
+class AnalysisManager {
+public:
+  /// The manager keeps a reference to \p P, which must outlive it. With
+  /// \p EnableCache false every query recomputes — the measured baseline
+  /// for bench/analysis_cache and the reference result for the
+  /// consistency tests.
+  explicit AnalysisManager(const ir::Program &P, bool EnableCache = true);
+  AnalysisManager(ir::Program &&, bool = true) = delete;
+
+  const ir::Program &program() const { return *Prog; }
+  bool cacheEnabled() const { return EnableCache; }
+
+  /// \name Program-level analyses (layout-independent)
+  /// @{
+  const std::vector<analysis::LoopGroup> &referenceGroups();
+  /// Aligned with referenceGroups().
+  const std::vector<double> &iterationCounts();
+  const analysis::SafetyInfo &safety();
+  const std::vector<bool> &linearAlgebraArrays();
+  double percentUniformRefs();
+  /// @}
+
+  /// \name Layout-dependent analyses
+  /// Keyed by (base addresses, padded dims, cache geometry). \p DL must
+  /// view the manager's program.
+  /// @{
+  const analysis::ProgramEstimate &
+  missEstimate(const layout::DataLayout &DL, const CacheConfig &Cache);
+  /// Severe entries only (SevereOnly=true), which is what the padding
+  /// repair move and the lint rules consume.
+  const std::vector<analysis::ConflictEntry> &
+  severeConflicts(const layout::DataLayout &DL, const CacheConfig &Cache);
+  /// Reuse classes per loop group, aligned with referenceGroups().
+  const std::vector<analysis::GroupReuse> &
+  reuse(const layout::DataLayout &DL, const CacheConfig &Cache);
+  /// @}
+
+  /// Drops every layout-keyed result; program-level results stay. Call
+  /// after mutating a DataLayout in place (lint --fix, manual base
+  /// edits). Counts each dropped result as Invalidated.
+  void invalidateLayoutResults();
+
+  const AnalysisStats &stats() const { return Stats; }
+  void resetStats() { Stats = AnalysisStats(); }
+
+  /// Cap on distinct layout fingerprints held at once. A hill-climbing
+  /// search re-visits recent layouts but never needs an unbounded
+  /// history; on overflow the whole layout cache is swept (counted as
+  /// Invalidated), which is simpler than LRU and just as good for the
+  /// access pattern.
+  static constexpr size_t kMaxLayoutEntries = 128;
+
+private:
+  /// Results cached per layout fingerprint. Each slot is filled lazily
+  /// on first query of that kind under that fingerprint.
+  struct LayoutEntry {
+    std::optional<analysis::ProgramEstimate> Estimate;
+    std::optional<std::vector<analysis::ConflictEntry>> Severe;
+    std::optional<std::vector<analysis::GroupReuse>> Reuse;
+  };
+
+  using LayoutKey = std::vector<int64_t>;
+  static LayoutKey makeKey(const layout::DataLayout &DL,
+                           const CacheConfig &Cache);
+
+  AnalysisCounters &counters(AnalysisKind K) {
+    return Stats.Kinds[static_cast<unsigned>(K)];
+  }
+  /// Entry for the fingerprint of (DL, Cache), sweeping on overflow;
+  /// scratch entry when caching is disabled.
+  LayoutEntry &layoutEntry(const layout::DataLayout &DL,
+                           const CacheConfig &Cache);
+
+  const ir::Program *Prog;
+  bool EnableCache;
+  AnalysisStats Stats;
+
+  // Program-level slots. With caching disabled these are recomputed and
+  // overwritten per query (distinct kinds never alias).
+  std::optional<std::vector<analysis::LoopGroup>> Groups;
+  std::optional<std::vector<double>> Iterations;
+  std::optional<analysis::SafetyInfo> Safety;
+  std::optional<std::vector<bool>> LinAlg;
+  std::optional<double> UniformPct;
+
+  std::map<LayoutKey, LayoutEntry> LayoutCache;
+  LayoutEntry Scratch; // EnableCache == false
+};
+
+} // namespace pipeline
+} // namespace padx
+
+#endif // PADX_PIPELINE_ANALYSISMANAGER_H

@@ -1,0 +1,122 @@
+//===----------------------------------------------------------------------===//
+//
+// Part of the padx project, under the Apache License v2.0.
+//
+//===----------------------------------------------------------------------===//
+
+#include "pipeline/PadPipeline.h"
+
+#include "support/JsonWriter.h"
+
+#include <algorithm>
+#include <iomanip>
+
+using namespace padx;
+using namespace padx::pipeline;
+
+void PadPipeline::recordPass(const std::string &Name, double Seconds) {
+  auto It = std::find_if(
+      Passes.begin(), Passes.end(),
+      [&](const PassRecord &R) { return R.Name == Name; });
+  if (It == Passes.end()) {
+    Passes.push_back(PassRecord{Name, 0, 0});
+    It = std::prev(Passes.end());
+  }
+  ++It->Runs;
+  It->Seconds += Seconds;
+}
+
+PipelineStats PadPipeline::stats() const {
+  PipelineStats S;
+  S.Passes = Passes;
+  S.Analysis = AM.stats();
+  S.CacheEnabled = AM.cacheEnabled();
+  return S;
+}
+
+void PipelineStats::merge(const PipelineStats &Other) {
+  for (const PassRecord &R : Other.Passes) {
+    auto It = std::find_if(
+        Passes.begin(), Passes.end(),
+        [&](const PassRecord &P) { return P.Name == R.Name; });
+    if (It == Passes.end()) {
+      Passes.push_back(R);
+    } else {
+      It->Runs += R.Runs;
+      It->Seconds += R.Seconds;
+    }
+  }
+  Analysis.merge(Other.Analysis);
+  CacheEnabled = CacheEnabled && Other.CacheEnabled;
+}
+
+void PipelineStats::printText(std::ostream &OS) const {
+  OS << "pipeline passes:\n";
+  if (Passes.empty())
+    OS << "  (none)\n";
+  for (const PassRecord &R : Passes) {
+    OS << "  " << std::left << std::setw(28) << R.Name << std::right
+       << std::setw(6) << R.Runs << " run" << (R.Runs == 1 ? " " : "s")
+       << std::fixed << std::setprecision(3) << std::setw(10)
+       << R.Seconds * 1e3 << " ms\n";
+  }
+  OS << "analysis cache (" << (CacheEnabled ? "enabled" : "disabled")
+     << "): " << Analysis.totalHits() << " hits, "
+     << Analysis.totalMisses() << " misses, "
+     << Analysis.totalInvalidated() << " invalidated\n";
+  for (unsigned I = 0; I != kNumAnalysisKinds; ++I) {
+    const AnalysisCounters &C = Analysis.Kinds[I];
+    if (C.Hits == 0 && C.Misses == 0 && C.Invalidated == 0)
+      continue;
+    OS << "  " << std::left << std::setw(28)
+       << analysisKindName(static_cast<AnalysisKind>(I)) << std::right
+       << std::setw(6) << C.Hits << " hit" << (C.Hits == 1 ? " " : "s")
+       << std::setw(6) << C.Misses << " miss"
+       << (C.Misses == 1 ? "  " : "es") << std::fixed
+       << std::setprecision(3) << std::setw(10) << C.Seconds * 1e3
+       << " ms\n";
+  }
+  // Undo the float formatting side effects for later writers.
+  OS << std::defaultfloat;
+}
+
+void PipelineStats::writeJson(std::ostream &OS) const {
+  support::JsonWriter JW(OS);
+  JW.beginObject();
+  JW.key("pipeline");
+  JW.beginObject();
+  JW.key("passes");
+  JW.beginArray();
+  for (const PassRecord &R : Passes) {
+    JW.beginObject();
+    JW.field("name", R.Name);
+    JW.field("runs", R.Runs);
+    JW.field("seconds", R.Seconds);
+    JW.endObject();
+  }
+  JW.endArray();
+  JW.key("analysis_cache");
+  JW.beginObject();
+  JW.field("enabled", CacheEnabled);
+  JW.field("hits", Analysis.totalHits());
+  JW.field("misses", Analysis.totalMisses());
+  JW.field("invalidated", Analysis.totalInvalidated());
+  JW.key("kinds");
+  JW.beginArray();
+  for (unsigned I = 0; I != kNumAnalysisKinds; ++I) {
+    const AnalysisCounters &C = Analysis.Kinds[I];
+    JW.beginObject();
+    JW.field("name",
+             analysisKindName(static_cast<AnalysisKind>(I)));
+    JW.field("hits", C.Hits);
+    JW.field("misses", C.Misses);
+    JW.field("invalidated", C.Invalidated);
+    JW.field("seconds", C.Seconds);
+    JW.endObject();
+  }
+  JW.endArray();
+  JW.endObject();
+  JW.endObject();
+  JW.endObject();
+  OS << '\n';
+}

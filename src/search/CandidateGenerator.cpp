@@ -8,10 +8,13 @@
 
 #include "analysis/ConflictReport.h"
 #include "core/Padding.h"
+#include "pipeline/AnalysisManager.h"
+#include "pipeline/PadPipeline.h"
 #include "support/MathExtras.h"
 
 #include <algorithm>
 #include <cassert>
+#include <tuple>
 
 using namespace padx;
 using namespace padx::search;
@@ -29,8 +32,26 @@ CandidateGenerator::CandidateGenerator(const ir::Program &P,
                                        const CacheConfig &Cache)
     : Prog(P), Cache(Cache), Safety(analysis::analyzeSafety(P)),
       MaxPadElems(kMaxPadElems) {
-  for (unsigned Id = 0; Id != P.arrays().size(); ++Id) {
-    const ir::ArrayVariable &V = P.array(Id);
+  initKnobs();
+  initSeeds(pad::runPad(P, Cache).Layout,
+            pad::runPadLite(P, Cache).Layout);
+}
+
+CandidateGenerator::CandidateGenerator(const ir::Program &P,
+                                       const CacheConfig &Cache,
+                                       pipeline::PadPipeline &PP)
+    : Prog(P), Cache(Cache), AM(&PP.analysis()),
+      Safety(PP.analysis().safety()), MaxPadElems(kMaxPadElems) {
+  assert(&PP.analysis().program() == &P &&
+         "pipeline built over a different program");
+  initKnobs();
+  initSeeds(pad::runPad(P, Cache, PP).Layout,
+            pad::runPadLite(P, Cache, PP).Layout);
+}
+
+void CandidateGenerator::initKnobs() {
+  for (unsigned Id = 0; Id != Prog.arrays().size(); ++Id) {
+    const ir::ArrayVariable &V = Prog.array(Id);
     if (!V.isScalar() && Safety.CanPadIntra[Id])
       PaddableArrays.push_back(Id);
     // Gap moves on scalars are pointless: scalar references are
@@ -39,15 +60,18 @@ CandidateGenerator::CandidateGenerator(const ir::Program &P,
     if (!V.isScalar() && Safety.CanMoveBase[Id])
       MovableVars.push_back(Id);
   }
+}
 
+void CandidateGenerator::initSeeds(const layout::DataLayout &PadLayout,
+                                   const layout::DataLayout &LiteLayout) {
   // Seed order matters: the engine breaks cost ties by lowest candidate
   // index, and the PAD baseline goes first so "no worse than PAD" holds
   // even when the search finds nothing better.
-  Seeds.push_back(project(pad::runPad(P, Cache).Layout));
+  Seeds.push_back(project(PadLayout));
   PadSeed = 0;
   std::vector<Candidate> Extra;
-  Extra.push_back(zeroCandidate(P));
-  Extra.push_back(project(pad::runPadLite(P, Cache).Layout));
+  Extra.push_back(zeroCandidate(Prog));
+  Extra.push_back(project(LiteLayout));
   for (Candidate &C : Extra)
     if (std::find(Seeds.begin(), Seeds.end(), C) == Seeds.end())
       Seeds.push_back(std::move(C));
@@ -107,15 +131,25 @@ bool CandidateGenerator::randomMove(Candidate &C,
 
 bool CandidateGenerator::repairWorstConflict(Candidate &C) const {
   layout::DataLayout DL = materialize(Prog, C);
-  std::vector<analysis::ConflictEntry> Entries =
-      analysis::reportConflicts(DL, Cache, /*SevereOnly=*/true);
+  std::vector<analysis::ConflictEntry> Local;
+  if (!AM)
+    Local = analysis::reportConflicts(DL, Cache, /*SevereOnly=*/true);
+  const std::vector<analysis::ConflictEntry> &Entries =
+      AM ? AM->severeConflicts(DL, Cache) : Local;
   if (Entries.empty())
     return false;
-  // Worst pair: smallest conflict distance (ties: report order, which is
-  // deterministic program order).
+  // Worst pair: smallest conflict distance, ties broken by array id so
+  // the chosen repair — and with it the whole candidate stream — is
+  // stable regardless of report order. (Keying on ConflictDistance alone
+  // left the winner to whichever tied entry the report listed first.)
+  auto TieKey = [](const analysis::ConflictEntry &E) {
+    return std::make_tuple(E.ConflictDistance,
+                           std::min(E.Array1, E.Array2),
+                           std::max(E.Array1, E.Array2));
+  };
   const analysis::ConflictEntry *Worst = &Entries.front();
   for (const analysis::ConflictEntry &E : Entries)
-    if (E.ConflictDistance < Worst->ConflictDistance)
+    if (TieKey(E) < TieKey(*Worst))
       Worst = &E;
 
   if (Worst->SameArray) {

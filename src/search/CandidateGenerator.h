@@ -28,6 +28,11 @@
 #include <vector>
 
 namespace padx {
+namespace pipeline {
+class PadPipeline;
+class AnalysisManager;
+} // namespace pipeline
+
 namespace search {
 
 class CandidateGenerator {
@@ -36,6 +41,18 @@ public:
   /// generator.
   CandidateGenerator(const ir::Program &P, const CacheConfig &Cache);
   CandidateGenerator(ir::Program &&, const CacheConfig &) = delete;
+
+  /// As above through an instrumented pipeline over the same program:
+  /// safety comes from \p PP.analysis(), the heuristic seeds run through
+  /// \p PP (their passes show up in its stats), and the greedy repair
+  /// reads memoized conflict reports instead of recomputing reference
+  /// groups per candidate. \p PP must outlive the generator and is only
+  /// touched from the thread calling neighbors()/perturb() — the manager
+  /// is not thread-safe.
+  CandidateGenerator(const ir::Program &P, const CacheConfig &Cache,
+                     pipeline::PadPipeline &PP);
+  CandidateGenerator(ir::Program &&, const CacheConfig &,
+                     pipeline::PadPipeline &) = delete;
 
   /// Deterministic seed candidates, deduplicated, PAD's projection
   /// first: the packed original, the paper's PAD and PADLITE layouts.
@@ -60,6 +77,11 @@ public:
   const analysis::SafetyInfo &safety() const { return Safety; }
 
 private:
+  /// Shared constructor tail: the knob lists, then the deduplicated
+  /// heuristic seeds (PAD's projection first).
+  void initKnobs();
+  void initSeeds(const layout::DataLayout &PadLayout,
+                 const layout::DataLayout &LiteLayout);
   /// One random move (column-pad tweak or gap tweak) in place; returns
   /// false if the program offers no mutable knob.
   bool randomMove(Candidate &C, std::mt19937_64 &Rng) const;
@@ -70,6 +92,8 @@ private:
 
   const ir::Program &Prog;
   CacheConfig Cache;
+  /// Memoizing manager when pipeline-constructed, else null.
+  pipeline::AnalysisManager *AM = nullptr;
   analysis::SafetyInfo Safety;
   std::vector<Candidate> Seeds;
   size_t PadSeed = 0;

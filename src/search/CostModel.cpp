@@ -10,6 +10,7 @@
 #include "cachesim/CacheSim.h"
 #include "exec/Trace.h"
 #include "exec/TraceRunner.h"
+#include "pipeline/AnalysisManager.h"
 
 #include <optional>
 
@@ -67,6 +68,11 @@ CostSample SimulationCostModel::evaluate(
 }
 
 CostSample StaticCostModel::evaluate(const layout::DataLayout &DL) const {
+  if (AM && &DL.program() == &AM->program()) {
+    const analysis::ProgramEstimate &E = AM->missEstimate(DL, Cache);
+    return {E.PredictedMisses,
+            static_cast<uint64_t>(E.PredictedAccesses)};
+  }
   analysis::ProgramEstimate E = analysis::estimateMisses(DL, Cache);
   return {E.PredictedMisses,
           static_cast<uint64_t>(E.PredictedAccesses)};

@@ -26,6 +26,10 @@
 #include <string>
 
 namespace padx {
+namespace pipeline {
+class AnalysisManager;
+} // namespace pipeline
+
 namespace search {
 
 /// Score of one evaluation; Cost is the ranking key (misses, estimated
@@ -87,15 +91,27 @@ private:
 /// (analysis::estimateMisses). Cost = predicted misses. Orders of
 /// magnitude cheaper than simulation and good at ranking, not at
 /// absolute accuracy — which is all pruning needs.
+///
+/// With an AnalysisManager attached, estimates route through it: the
+/// layout-independent inputs (reference groups, iteration counts) are
+/// computed once per search instead of once per candidate, and repeated
+/// estimates of the same layout hit the manager's cache outright. The
+/// manager is not thread-safe, so an attached model loses the base
+/// interface's thread-safety — the search engine only ever calls it from
+/// the single-threaded generation side, never from the pool.
 class StaticCostModel : public CostModel {
 public:
-  explicit StaticCostModel(const CacheConfig &Cache) : Cache(Cache) {}
+  explicit StaticCostModel(const CacheConfig &Cache,
+                           pipeline::AnalysisManager *AM = nullptr)
+      : Cache(Cache), AM(AM) {}
 
   CostSample evaluate(const layout::DataLayout &DL) const override;
   std::string name() const override { return "static-estimate"; }
 
 private:
   CacheConfig Cache;
+  /// Optional memoization; used only when it manages DL's program.
+  pipeline::AnalysisManager *AM;
 };
 
 } // namespace search

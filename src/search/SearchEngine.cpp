@@ -6,6 +6,7 @@
 
 #include "search/SearchEngine.h"
 
+#include "pipeline/PadPipeline.h"
 #include "search/CandidateGenerator.h"
 #include "search/CostModel.h"
 #include "support/ThreadPool.h"
@@ -46,13 +47,19 @@ const char *search::outcomeName(SearchOutcome O) {
   return "unknown";
 }
 
-SearchResult search::runSearch(const ir::Program &P,
-                               const SearchOptions &Opts) {
-  CandidateGenerator Gen(P, Opts.Cache);
+namespace {
+
+/// The climb itself. Callers wrap this in a "search" pipeline pass; the
+/// generator's seeds and the static pruner share \p PP's analysis
+/// manager, while the simulation model (the only thing the pool touches)
+/// stays manager-free.
+SearchResult runSearchImpl(const ir::Program &P, const SearchOptions &Opts,
+                           pipeline::PadPipeline &PP) {
+  CandidateGenerator Gen(P, Opts.Cache, PP);
   SimulationCostModel Exact(Opts.Cache);
   if (Opts.UseReplay)
     Exact.prepareReplay(P);
-  StaticCostModel Static(Opts.Cache);
+  StaticCostModel Static(Opts.Cache, &PP.analysis());
   ThreadPool Pool(Opts.Threads);
   std::mt19937_64 Rng(Opts.Seed);
 
@@ -269,4 +276,18 @@ SearchResult search::runSearch(const ir::Program &P,
     R.Log.push_back(OS.str());
   }
   return R;
+}
+
+} // namespace
+
+SearchResult search::runSearch(const ir::Program &P,
+                               const SearchOptions &Opts) {
+  pipeline::PadPipeline PP(P, Opts.AnalysisCache);
+  return runSearch(P, Opts, PP);
+}
+
+SearchResult search::runSearch(const ir::Program &P,
+                               const SearchOptions &Opts,
+                               pipeline::PadPipeline &PP) {
+  return PP.run("search", [&] { return runSearchImpl(P, Opts, PP); });
 }

@@ -33,6 +33,10 @@
 #include <vector>
 
 namespace padx {
+namespace pipeline {
+class PadPipeline;
+} // namespace pipeline
+
 namespace search {
 
 struct SearchOptions {
@@ -76,6 +80,15 @@ struct SearchOptions {
   /// the recorder declines (indirect subscripts) fall back to direct
   /// tracing automatically.
   bool UseReplay = true;
+
+  /// Memoize analysis results (reference groups, iteration counts,
+  /// static estimates, conflict reports) in the pipeline's
+  /// AnalysisManager across candidate evaluations. Results are
+  /// bit-identical either way; like UseReplay this is purely a speed
+  /// knob (--analysis-cache off is the escape hatch and the benchmark
+  /// baseline). Ignored by the pipeline overload of runSearch, which
+  /// uses the caller's pipeline as built.
+  bool AnalysisCache = true;
 };
 
 /// Why the search stopped. Everything except Completed is a degraded
@@ -135,9 +148,21 @@ private:
 };
 
 /// Runs the search on \p P. \p P must outlive the result (the layout
-/// references it).
+/// references it). Builds a private pipeline honoring
+/// SearchOptions::AnalysisCache and forwards to the overload below.
 SearchResult runSearch(const ir::Program &P, const SearchOptions &Opts);
 SearchResult runSearch(ir::Program &&, const SearchOptions &) = delete;
+
+/// As above through an instrumented pipeline over the same program: the
+/// heuristic seeds, static pruning, and greedy repair all route through
+/// \p PP.analysis(), and the climb is recorded as a "search" pass in
+/// \p PP's stats. The manager is only ever touched from the calling
+/// thread — the pool workers run the simulation model, which never uses
+/// it — so the engine's determinism contract is unchanged.
+SearchResult runSearch(const ir::Program &P, const SearchOptions &Opts,
+                       pipeline::PadPipeline &PP);
+SearchResult runSearch(ir::Program &&, const SearchOptions &,
+                       pipeline::PadPipeline &) = delete;
 
 } // namespace search
 } // namespace padx

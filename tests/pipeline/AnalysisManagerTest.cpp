@@ -1,0 +1,189 @@
+//===----------------------------------------------------------------------===//
+//
+// Part of the padx project, under the Apache License v2.0.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// AnalysisManager unit tests: program-level results are computed once
+/// and then hit; layout-dependent results are keyed by the layout's
+/// fingerprint, so mutating a layout mid-session recomputes exactly the
+/// stale results while the layout-independent analyses stay cached;
+/// explicit invalidation drops only the layout side; with the cache
+/// disabled every query recomputes. Every cached answer is checked
+/// bit-identical to the direct analysis call it memoizes.
+///
+//===----------------------------------------------------------------------===//
+
+#include "pipeline/AnalysisManager.h"
+
+#include "analysis/ConflictReport.h"
+#include "analysis/MissEstimate.h"
+#include "kernels/Kernels.h"
+#include "layout/DataLayout.h"
+
+#include "gtest/gtest.h"
+
+using namespace padx;
+using namespace padx::pipeline;
+
+namespace {
+
+const CacheConfig kCache = CacheConfig::base16K();
+
+void expectSameEstimate(const analysis::ProgramEstimate &A,
+                        const analysis::ProgramEstimate &B) {
+  EXPECT_EQ(A.PredictedMisses, B.PredictedMisses);
+  EXPECT_EQ(A.PredictedAccesses, B.PredictedAccesses);
+}
+
+} // namespace
+
+TEST(AnalysisManager, ProgramLevelResultsHitAfterFirstQuery) {
+  ir::Program P = kernels::makeKernel("jacobi");
+  AnalysisManager AM(P);
+
+  const std::vector<analysis::LoopGroup> &G1 = AM.referenceGroups();
+  const std::vector<analysis::LoopGroup> &G2 = AM.referenceGroups();
+  EXPECT_EQ(&G1, &G2); // Same cached object, not a recompute.
+  EXPECT_EQ(AM.stats().of(AnalysisKind::ReferenceGroups).Misses, 1u);
+  EXPECT_EQ(AM.stats().of(AnalysisKind::ReferenceGroups).Hits, 1u);
+
+  AM.safety();
+  AM.safety();
+  EXPECT_EQ(AM.stats().of(AnalysisKind::Safety).Misses, 1u);
+  EXPECT_EQ(AM.stats().of(AnalysisKind::Safety).Hits, 1u);
+
+  // iterationCounts depends on referenceGroups: the dependency resolves
+  // as a hit on the groups, not a recompute.
+  AM.iterationCounts();
+  EXPECT_EQ(AM.stats().of(AnalysisKind::IterationCounts).Misses, 1u);
+  EXPECT_EQ(AM.stats().of(AnalysisKind::ReferenceGroups).Misses, 1u);
+}
+
+TEST(AnalysisManager, CachedResultsMatchDirectAnalysisCalls) {
+  ir::Program P = kernels::makeKernel("chol");
+  AnalysisManager AM(P);
+  layout::DataLayout DL = layout::originalLayout(P);
+
+  expectSameEstimate(AM.missEstimate(DL, kCache),
+                     analysis::estimateMisses(DL, kCache));
+
+  std::vector<analysis::ConflictEntry> Direct =
+      analysis::reportConflicts(DL, kCache, /*SevereOnly=*/true);
+  const std::vector<analysis::ConflictEntry> &Cached =
+      AM.severeConflicts(DL, kCache);
+  ASSERT_EQ(Cached.size(), Direct.size());
+  for (size_t I = 0; I != Direct.size(); ++I) {
+    EXPECT_EQ(Cached[I].DistanceBytes, Direct[I].DistanceBytes);
+    EXPECT_EQ(Cached[I].ConflictDistance, Direct[I].ConflictDistance);
+    EXPECT_EQ(Cached[I].Array1, Direct[I].Array1);
+    EXPECT_EQ(Cached[I].Array2, Direct[I].Array2);
+  }
+}
+
+// The satellite scenario: a session mutates a layout in place. The
+// mutated layout has a new fingerprint, so its results are recomputed —
+// and the layout-independent analyses must not be, which the hit
+// counters prove.
+TEST(AnalysisManager, LayoutMutationRecomputesOnlyLayoutResults) {
+  ir::Program P = kernels::makeKernel("jacobi");
+  AnalysisManager AM(P);
+  layout::DataLayout DL = layout::originalLayout(P);
+
+  AM.missEstimate(DL, kCache);
+  AM.missEstimate(DL, kCache);
+  const AnalysisStats &S = AM.stats();
+  EXPECT_EQ(S.of(AnalysisKind::MissEstimate).Misses, 1u);
+  EXPECT_EQ(S.of(AnalysisKind::MissEstimate).Hits, 1u);
+  uint64_t GroupMisses = S.of(AnalysisKind::ReferenceGroups).Misses;
+
+  // Mutate mid-session: grow a dimension, as lint's intra-pad fix does.
+  DL.layout(0).Dims[0] += 3;
+  layout::assignSequentialBases(DL);
+  expectSameEstimate(AM.missEstimate(DL, kCache),
+                     analysis::estimateMisses(DL, kCache));
+  EXPECT_EQ(S.of(AnalysisKind::MissEstimate).Misses, 2u)
+      << "mutated layout must be recomputed, not served stale";
+  EXPECT_EQ(S.of(AnalysisKind::ReferenceGroups).Misses, GroupMisses)
+      << "layout-independent analyses must stay cached across mutation";
+  EXPECT_GT(S.of(AnalysisKind::ReferenceGroups).Hits, 0u);
+
+  // Mutating back restores the original fingerprint: still cached.
+  DL.layout(0).Dims[0] -= 3;
+  layout::assignSequentialBases(DL);
+  AM.missEstimate(DL, kCache);
+  EXPECT_EQ(S.of(AnalysisKind::MissEstimate).Misses, 2u);
+  EXPECT_EQ(S.of(AnalysisKind::MissEstimate).Hits, 2u);
+}
+
+TEST(AnalysisManager, ExplicitInvalidationDropsOnlyLayoutResults) {
+  ir::Program P = kernels::makeKernel("jacobi");
+  AnalysisManager AM(P);
+  layout::DataLayout DL = layout::originalLayout(P);
+
+  AM.referenceGroups();
+  AM.missEstimate(DL, kCache);
+  AM.severeConflicts(DL, kCache);
+  AM.invalidateLayoutResults();
+
+  const AnalysisStats &S = AM.stats();
+  EXPECT_EQ(S.of(AnalysisKind::MissEstimate).Invalidated, 1u);
+  EXPECT_EQ(S.of(AnalysisKind::ConflictReport).Invalidated, 1u);
+  EXPECT_EQ(S.of(AnalysisKind::ReferenceGroups).Invalidated, 0u);
+
+  AM.missEstimate(DL, kCache);
+  EXPECT_EQ(S.of(AnalysisKind::MissEstimate).Misses, 2u)
+      << "invalidated layout result must recompute";
+  EXPECT_EQ(S.of(AnalysisKind::ReferenceGroups).Misses, 1u)
+      << "program-level results survive layout invalidation";
+}
+
+TEST(AnalysisManager, CacheKeyCoversCacheGeometry) {
+  ir::Program P = kernels::makeKernel("jacobi");
+  AnalysisManager AM(P);
+  layout::DataLayout DL = layout::originalLayout(P);
+
+  CacheConfig TwoWay = kCache;
+  TwoWay.Associativity = 2;
+  AM.missEstimate(DL, kCache);
+  AM.missEstimate(DL, TwoWay);
+  EXPECT_EQ(AM.stats().of(AnalysisKind::MissEstimate).Misses, 2u)
+      << "same layout under a different geometry is a different result";
+  expectSameEstimate(AM.missEstimate(DL, TwoWay),
+                     analysis::estimateMisses(DL, TwoWay));
+}
+
+TEST(AnalysisManager, DisabledCacheRecomputesEveryQuery) {
+  ir::Program P = kernels::makeKernel("jacobi");
+  AnalysisManager AM(P, /*EnableCache=*/false);
+  layout::DataLayout DL = layout::originalLayout(P);
+
+  AM.referenceGroups();
+  AM.referenceGroups();
+  AM.missEstimate(DL, kCache);
+  expectSameEstimate(AM.missEstimate(DL, kCache),
+                     analysis::estimateMisses(DL, kCache));
+
+  const AnalysisStats &S = AM.stats();
+  EXPECT_EQ(S.of(AnalysisKind::ReferenceGroups).Hits, 0u);
+  EXPECT_GE(S.of(AnalysisKind::ReferenceGroups).Misses, 2u);
+  EXPECT_EQ(S.of(AnalysisKind::MissEstimate).Hits, 0u);
+  EXPECT_EQ(S.totalHits(), 0u);
+}
+
+TEST(AnalysisManager, LayoutCacheOverflowSweepsAndStaysCorrect) {
+  ir::Program P = kernels::makeKernel("jacobi");
+  AnalysisManager AM(P);
+
+  // More distinct fingerprints than the cap: the cache must sweep (and
+  // count it) rather than grow without bound — and still answer right.
+  for (size_t I = 0; I != AnalysisManager::kMaxLayoutEntries + 8; ++I) {
+    layout::DataLayout DL = layout::originalLayout(P);
+    DL.layout(1).BaseAddr += static_cast<int64_t>(I) * 64;
+    expectSameEstimate(AM.missEstimate(DL, kCache),
+                       analysis::estimateMisses(DL, kCache));
+  }
+  EXPECT_GT(AM.stats().of(AnalysisKind::MissEstimate).Invalidated, 0u);
+  EXPECT_EQ(AM.stats().of(AnalysisKind::ReferenceGroups).Misses, 1u);
+}

@@ -1,0 +1,187 @@
+//===----------------------------------------------------------------------===//
+//
+// Part of the padx project, under the Apache License v2.0.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Corpus-wide consistency: the AnalysisManager is a speed knob, never an
+/// answer knob. For every parseable program in the fuzz corpus and every
+/// built-in kernel, PAD/PADLITE decisions and lint findings must be
+/// bit-identical across the legacy entry points, a caching pipeline, and
+/// a cache-disabled pipeline. A second family of checks pins the
+/// core/lint dedup: each lint rule that encodes a pad condition must
+/// agree, program by program, with the shared analysis::PadConditions
+/// predicate that core pads on.
+///
+//===----------------------------------------------------------------------===//
+
+#include "pipeline/PadPipeline.h"
+
+#include "analysis/LinearAlgebra.h"
+#include "analysis/PadConditions.h"
+#include "analysis/ReferenceGroups.h"
+#include "core/Padding.h"
+#include "frontend/Parser.h"
+#include "kernels/Kernels.h"
+#include "layout/DataLayout.h"
+#include "lint/Linter.h"
+#include "lint/Output.h"
+
+#include "gtest/gtest.h"
+
+#include <algorithm>
+#include <filesystem>
+#include <fstream>
+#include <optional>
+#include <sstream>
+#include <vector>
+
+using namespace padx;
+
+namespace {
+
+const CacheConfig kCache = CacheConfig::base16K();
+
+std::vector<std::filesystem::path> corpusFiles() {
+  std::vector<std::filesystem::path> Files;
+  for (const auto &Entry :
+       std::filesystem::directory_iterator(PADX_CORPUS_DIR))
+    if (Entry.path().extension() == ".pad")
+      Files.push_back(Entry.path());
+  std::sort(Files.begin(), Files.end());
+  EXPECT_FALSE(Files.empty());
+  return Files;
+}
+
+std::optional<ir::Program> parseFile(const std::filesystem::path &File) {
+  std::ifstream In(File);
+  std::ostringstream Buf;
+  Buf << In.rdbuf();
+  DiagnosticEngine Diags;
+  return frontend::parseProgram(Buf.str(), Diags);
+}
+
+/// Every program the consistency sweep covers: the corpus plus the
+/// registered kernels (the corpus exercises the parser's corner cases,
+/// the kernels the paper's actual access patterns).
+std::vector<std::pair<std::string, ir::Program>> allPrograms() {
+  std::vector<std::pair<std::string, ir::Program>> Out;
+  for (const auto &File : corpusFiles())
+    if (std::optional<ir::Program> P = parseFile(File))
+      Out.emplace_back(File.filename().string(), std::move(*P));
+  for (const auto &K : kernels::allKernels())
+    Out.emplace_back(K.Name, kernels::makeKernel(K.Name));
+  return Out;
+}
+
+void expectSameLayout(const layout::DataLayout &A,
+                      const layout::DataLayout &B,
+                      const std::string &Name) {
+  ASSERT_EQ(A.numArrays(), B.numArrays()) << Name;
+  for (unsigned Id = 0; Id != A.numArrays(); ++Id) {
+    EXPECT_EQ(A.layout(Id).BaseAddr, B.layout(Id).BaseAddr)
+        << Name << " array " << Id;
+    EXPECT_EQ(A.layout(Id).Dims, B.layout(Id).Dims)
+        << Name << " array " << Id;
+  }
+}
+
+/// Canonical serialization of a lint run for bit-identity comparison.
+std::string findingsJson(const lint::LintResult &R,
+                         const layout::DataLayout &DL,
+                         const std::string &Name) {
+  std::ostringstream OS;
+  lint::writeJson(OS, R, DL, kCache, Name);
+  return OS.str();
+}
+
+} // namespace
+
+TEST(PipelineConsistency, PadDecisionsIdenticalWithAndWithoutCache) {
+  for (auto &[Name, P] : allPrograms()) {
+    pad::PaddingResult Legacy = pad::runPad(P, kCache);
+    pipeline::PadPipeline Cached(P);
+    pad::PaddingResult WithCache = pad::runPad(P, kCache, Cached);
+    pipeline::PadPipeline Uncached(P, /*EnableAnalysisCache=*/false);
+    pad::PaddingResult NoCache = pad::runPad(P, kCache, Uncached);
+
+    expectSameLayout(Legacy.Layout, WithCache.Layout, Name);
+    expectSameLayout(Legacy.Layout, NoCache.Layout, Name);
+    EXPECT_EQ(Legacy.Stats.Log, WithCache.Stats.Log) << Name;
+    EXPECT_EQ(Legacy.Stats.Log, NoCache.Stats.Log) << Name;
+  }
+}
+
+TEST(PipelineConsistency, PadLiteDecisionsIdenticalWithAndWithoutCache) {
+  for (auto &[Name, P] : allPrograms()) {
+    pad::PaddingResult Legacy = pad::runPadLite(P, kCache);
+    pipeline::PadPipeline Cached(P);
+    pad::PaddingResult WithCache = pad::runPadLite(P, kCache, Cached);
+    pipeline::PadPipeline Uncached(P, /*EnableAnalysisCache=*/false);
+    pad::PaddingResult NoCache = pad::runPadLite(P, kCache, Uncached);
+
+    expectSameLayout(Legacy.Layout, WithCache.Layout, Name);
+    expectSameLayout(Legacy.Layout, NoCache.Layout, Name);
+    EXPECT_EQ(Legacy.Stats.Log, WithCache.Stats.Log) << Name;
+    EXPECT_EQ(Legacy.Stats.Log, NoCache.Stats.Log) << Name;
+  }
+}
+
+TEST(PipelineConsistency, LintFindingsIdenticalWithAndWithoutCache) {
+  lint::Linter Linter(lint::LintOptions{kCache});
+  for (auto &[Name, P] : allPrograms()) {
+    layout::DataLayout DL = layout::originalLayout(P);
+    std::string Legacy = findingsJson(Linter.run(DL), DL, Name);
+
+    pipeline::PadPipeline Cached(P);
+    EXPECT_EQ(findingsJson(Linter.run(DL, Cached), DL, Name), Legacy)
+        << Name;
+    pipeline::PadPipeline Uncached(P, /*EnableAnalysisCache=*/false);
+    EXPECT_EQ(findingsJson(Linter.run(DL, Uncached), DL, Name), Legacy)
+        << Name;
+
+    // Re-linting through the now-warm pipeline is all cache hits on the
+    // analysis side and still the same findings.
+    EXPECT_EQ(findingsJson(Linter.run(DL, Cached), DL, Name), Legacy)
+        << Name;
+    EXPECT_GT(Cached.stats().Analysis.totalHits(), 0u) << Name;
+  }
+}
+
+// The dedup regression (core and lint share analysis::PadConditions):
+// the conflict-pair rule must fire exactly where severePairDistance —
+// the predicate core's InterPad placement pads on — fires, and
+// self-interference exactly where core's LinPad2 condition fires.
+TEST(PipelineConsistency, LintRulesAgreeWithCorePadConditions) {
+  lint::Linter Linter(lint::LintOptions{kCache});
+  for (auto &[Name, P] : allPrograms()) {
+    layout::DataLayout DL = layout::originalLayout(P);
+    lint::LintResult R = Linter.run(DL);
+
+    size_t ExpectedPairs = 0;
+    for (const analysis::LoopGroup &G :
+         analysis::collectLoopGroups(P))
+      for (size_t I = 0, E = G.Refs.size(); I != E; ++I)
+        for (size_t J = I + 1; J != E; ++J)
+          if (analysis::severePairDistance(DL, *G.Refs[I].Ref,
+                                           *G.Refs[J].Ref, kCache))
+            ++ExpectedPairs;
+
+    const int64_t JStarCap = 129; // The rule's (and paper's) base j*.
+    size_t ExpectedSelf = 0;
+    std::vector<bool> LinAlg = analysis::detectLinearAlgebraArrays(P);
+    for (unsigned Id = 0; Id != DL.numArrays(); ++Id)
+      if (P.array(Id).rank() >= 2 && LinAlg[Id] &&
+          analysis::linPad2Condition(DL, Id, kCache, JStarCap))
+        ++ExpectedSelf;
+
+    size_t GotPairs = 0, GotSelf = 0;
+    for (const lint::Finding &F : R.Findings) {
+      GotPairs += F.RuleId == "conflict-pair";
+      GotSelf += F.RuleId == "self-interference";
+    }
+    EXPECT_EQ(GotPairs, ExpectedPairs) << Name;
+    EXPECT_EQ(GotSelf, ExpectedSelf) << Name;
+  }
+}
