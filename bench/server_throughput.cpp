@@ -1,0 +1,312 @@
+//===----------------------------------------------------------------------===//
+//
+// Part of the padx project, under the Apache License v2.0.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Measures the padd daemon end to end: an in-process PaddServer on a
+/// private unix socket, N concurrent closed-loop clients each sending
+/// request/response round trips over the wire, per-request latency
+/// recorded client-side. Reports requests/second, p50/p99 latency and
+/// the cross-request shared-cache hit rate (from the daemon's own stats
+/// op), and can enforce both as CI guards: --guard sets a hit-rate
+/// floor, --baseline compares p99 against a previously written
+/// BENCH_server.json.
+///
+/// Usage: server_throughput [--clients N] [--requests N] [--op OP]
+///                          [--json PATH] [--guard RATE]
+///                          [--baseline PATH] [--p99-slack X]
+///                          [kernel...]
+/// Default kernel set: the Figure 16/17 sweep kernels, round-robined
+/// across requests so repeats hit warm analyses.
+///
+/// Exit codes: 0 success; 1 usage error, hit rate below --guard, or p99
+/// regressed past --baseline * slack; 2 a request failed or a
+/// connection broke (a correctness bug, never acceptable).
+///
+//===----------------------------------------------------------------------===//
+
+#include "bench/BenchCommon.h"
+#include "ir/Printer.h"
+#include "server/Server.h"
+#include "support/Json.h"
+#include "support/JsonWriter.h"
+#include "support/Socket.h"
+
+#include <unistd.h>
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <mutex>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+using namespace padx;
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+void usage() {
+  std::fprintf(stderr,
+               "usage: server_throughput [--clients N] [--requests N] "
+               "[--op OP]\n"
+               "                         [--json PATH] [--guard RATE]\n"
+               "                         [--baseline PATH] "
+               "[--p99-slack X] [kernel...]\n");
+  std::exit(1);
+}
+
+std::string quantile(std::vector<double> &Sorted, double Q,
+                     double *Out) {
+  if (Sorted.empty()) {
+    *Out = 0;
+    return "0";
+  }
+  size_t I = std::min(Sorted.size() - 1,
+                      static_cast<size_t>(Q * Sorted.size()));
+  *Out = Sorted[I];
+  char Buf[32];
+  std::snprintf(Buf, sizeof(Buf), "%.3f", *Out);
+  return Buf;
+}
+
+/// One closed-loop client: request, wait, record, repeat. Closed loops
+/// measure honest per-request latency — the daemon is never asked for
+/// more concurrency than the client count.
+void runClient(const std::string &SocketPath,
+               const std::vector<std::string> &Frames, unsigned Requests,
+               unsigned Offset, std::vector<double> &LatenciesMs,
+               std::atomic<unsigned> &Errors) {
+  std::string Err;
+  support::FileDescriptor Fd = support::connectUnix(SocketPath, &Err);
+  if (!Fd.valid()) {
+    Errors.fetch_add(Requests);
+    return;
+  }
+  support::LineReader Reader(Fd.get(), 64u << 20);
+  std::string Line;
+  LatenciesMs.reserve(Requests);
+  for (unsigned I = 0; I != Requests; ++I) {
+    const std::string &Frame = Frames[(Offset + I) % Frames.size()];
+    auto Start = Clock::now();
+    if (!support::sendAll(Fd.get(), Frame, &Err) ||
+        Reader.readLine(Line, &Err) !=
+            support::LineReader::Status::Line) {
+      Errors.fetch_add(1);
+      return;
+    }
+    LatenciesMs.push_back(
+        std::chrono::duration<double, std::milli>(Clock::now() - Start)
+            .count());
+    if (Line.find("\"ok\":true") == std::string::npos)
+      Errors.fetch_add(1);
+  }
+}
+
+} // namespace
+
+int main(int argc, char **argv) {
+  unsigned Clients = 4;
+  unsigned Requests = 64;
+  std::string OpName = "padlite";
+  std::string JsonPath, BaselinePath;
+  double Guard = 0;
+  double P99Slack = 5.0;
+  std::vector<std::string> Selected;
+
+  for (int I = 1; I < argc; ++I) {
+    std::string Arg = argv[I];
+    auto Next = [&]() -> const char * {
+      if (I + 1 >= argc)
+        usage();
+      return argv[++I];
+    };
+    if (Arg == "--clients")
+      Clients = static_cast<unsigned>(std::atoi(Next()));
+    else if (Arg == "--requests")
+      Requests = static_cast<unsigned>(std::atoi(Next()));
+    else if (Arg == "--op")
+      OpName = Next();
+    else if (Arg == "--json")
+      JsonPath = Next();
+    else if (Arg == "--guard")
+      Guard = std::atof(Next());
+    else if (Arg == "--baseline")
+      BaselinePath = Next();
+    else if (Arg == "--p99-slack")
+      P99Slack = std::atof(Next());
+    else if (!Arg.empty() && Arg[0] == '-') {
+      std::fprintf(stderr, "error: unknown option '%s'\n", Arg.c_str());
+      return 1;
+    } else
+      Selected.push_back(Arg);
+  }
+  if (Clients == 0 || Requests == 0 || P99Slack <= 0)
+    usage();
+  if (OpName != "pad" && OpName != "padlite" && OpName != "lint" &&
+      OpName != "ping") {
+    std::fprintf(stderr, "error: unsupported op '%s'\n", OpName.c_str());
+    return 1;
+  }
+
+  std::vector<std::string> Names =
+      Selected.empty() ? bench::sweepKernels() : Selected;
+
+  // Pre-render one frame per kernel; clients round-robin through them,
+  // so after the first lap every analysis is a shared-cache hit.
+  std::vector<std::string> Frames;
+  for (const std::string &Name : Names) {
+    if (!kernels::findKernel(Name)) {
+      std::fprintf(stderr, "error: unknown kernel '%s'\n", Name.c_str());
+      return 1;
+    }
+    std::string Source =
+        ir::programToString(kernels::makeKernel(Name));
+    std::ostringstream OS;
+    support::JsonWriter JW(OS);
+    JW.beginObject();
+    JW.field("id", static_cast<int64_t>(Frames.size()));
+    JW.field("op", OpName);
+    if (OpName != "ping") {
+      JW.field("source", Source);
+      JW.field("filename", Name + ".pad");
+      JW.field("emit", false);
+    }
+    JW.endObject();
+    Frames.push_back(OS.str() + "\n");
+  }
+
+  char SockBuf[96];
+  std::snprintf(SockBuf, sizeof(SockBuf),
+                "/tmp/padx_bench_%ld.sock", static_cast<long>(::getpid()));
+  server::ServerOptions Opts;
+  Opts.SocketPath = SockBuf;
+  server::PaddServer Srv(std::move(Opts));
+  std::string Err;
+  if (!Srv.start(&Err)) {
+    std::fprintf(stderr, "error: %s\n", Err.c_str());
+    return 1;
+  }
+
+  std::vector<std::vector<double>> PerClient(Clients);
+  std::atomic<unsigned> Errors{0};
+  auto Start = Clock::now();
+  std::vector<std::thread> Threads;
+  for (unsigned C = 0; C != Clients; ++C)
+    Threads.emplace_back([&, C] {
+      runClient(Srv.options().SocketPath, Frames, Requests,
+                C * Requests, PerClient[C], Errors);
+    });
+  for (std::thread &T : Threads)
+    T.join();
+  double Secs =
+      std::chrono::duration<double>(Clock::now() - Start).count();
+
+  pipeline::SharedCacheStats S = Srv.sharedCache().snapshot();
+  Srv.stop();
+
+  std::vector<double> All;
+  for (const std::vector<double> &L : PerClient)
+    All.insert(All.end(), L.begin(), L.end());
+  std::sort(All.begin(), All.end());
+
+  uint64_t Total = All.size();
+  double Rps = Secs > 0 ? static_cast<double>(Total) / Secs : 0;
+  double P50 = 0, P99 = 0;
+  quantile(All, 0.50, &P50);
+  quantile(All, 0.99, &P99);
+  double HitRate = S.hitRate();
+
+  std::printf("server throughput: op=%s, %u clients x %u requests over "
+              "%zu kernels\n\n",
+              OpName.c_str(), Clients, Requests, Names.size());
+  TableFormatter T({"Metric", "Value"});
+  T.beginRow();
+  T.cell("requests completed");
+  T.cell(static_cast<int64_t>(Total));
+  T.beginRow();
+  T.cell("wall seconds");
+  T.cell(Secs, 3);
+  T.beginRow();
+  T.cell("requests/sec");
+  T.cell(Rps, 1);
+  T.beginRow();
+  T.cell("p50 latency (ms)");
+  T.cell(P50, 3);
+  T.beginRow();
+  T.cell("p99 latency (ms)");
+  T.cell(P99, 3);
+  T.beginRow();
+  T.cell("shared-cache hit rate");
+  T.cell(HitRate, 3);
+  bench::printTable(T);
+
+  if (!JsonPath.empty()) {
+    std::ofstream OS(JsonPath);
+    if (!OS) {
+      std::fprintf(stderr, "error: cannot write '%s'\n",
+                   JsonPath.c_str());
+      return 1;
+    }
+    support::JsonWriter J(OS);
+    J.beginObject();
+    J.field("bench", "server_throughput");
+    J.field("op", OpName);
+    J.field("clients", static_cast<int64_t>(Clients));
+    J.field("requests_per_client", static_cast<int64_t>(Requests));
+    J.field("total_requests", Total);
+    J.field("seconds", Secs);
+    J.field("requests_per_second", Rps);
+    J.field("p50_ms", P50);
+    J.field("p99_ms", P99);
+    J.field("shared_cache_hit_rate", HitRate);
+    J.field("shared_cache_hits", S.totalHits());
+    J.field("shared_cache_misses", S.totalMisses());
+    J.field("errors", static_cast<uint64_t>(Errors.load()));
+    J.endObject();
+    OS << '\n';
+    std::printf("\njson summary written to %s\n", JsonPath.c_str());
+  }
+
+  if (Errors.load() != 0) {
+    std::fprintf(stderr, "error: %u requests failed\n", Errors.load());
+    return 2;
+  }
+  if (Guard > 0 && HitRate < Guard) {
+    std::fprintf(stderr,
+                 "error: shared-cache hit rate %.3f below the %.3f "
+                 "guard\n",
+                 HitRate, Guard);
+    return 1;
+  }
+  if (!BaselinePath.empty()) {
+    std::ifstream In(BaselinePath);
+    std::ostringstream Buf;
+    Buf << In.rdbuf();
+    std::optional<support::JsonValue> B = support::parseJson(Buf.str());
+    if (!In || !B || !B->isObject()) {
+      std::fprintf(stderr, "error: cannot parse baseline '%s'\n",
+                   BaselinePath.c_str());
+      return 1;
+    }
+    double BaseP99 = B->getDouble("p99_ms", 0);
+    if (BaseP99 > 0 && P99 > BaseP99 * P99Slack) {
+      std::fprintf(stderr,
+                   "error: p99 %.3f ms regressed past baseline "
+                   "%.3f ms x %.1f slack\n",
+                   P99, BaseP99, P99Slack);
+      return 1;
+    }
+    std::printf("p99 %.3f ms within baseline %.3f ms x %.1f slack\n",
+                P99, BaseP99, P99Slack);
+  }
+  return 0;
+}

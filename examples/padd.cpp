@@ -1,0 +1,155 @@
+//===----------------------------------------------------------------------===//
+//
+// Part of the padx project, under the Apache License v2.0.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// padd — the long-lived padx daemon. Serves pad, padlite, lint and
+/// search requests as newline-delimited JSON over a unix-domain socket
+/// (protocol in src/server/Protocol.h, architecture in DESIGN.md
+/// section 12), sharing analysis results across requests through one
+/// SharedAnalysisCache and bounding each request with a memory budget,
+/// footprint/trace quotas and an optional deadline.
+///
+/// Usage:
+///   padd --socket PATH [options]
+/// Options:
+///   --socket PATH          unix socket path (required)
+///   --threads N            worker threads (default 0 = hardware)
+///   --max-frame BYTES      inbound frame cap (default 4 MiB)
+///   --memory-budget BYTES  default per-request arena budget
+///                          (default 256 MiB)
+///   --max-footprint BYTES  default footprint quota (default 1 TiB)
+///   --max-accesses N       default trace quota (default unlimited)
+///
+/// The daemon prints one "padd listening on PATH (N workers)" line to
+/// stdout once ready (scripts wait for it), then serves until SIGINT,
+/// SIGTERM, or a {"op":"shutdown"} request.
+///
+/// Exit codes: 0 clean shutdown; 1 usage or startup failure.
+///
+//===----------------------------------------------------------------------===//
+
+#include "server/Server.h"
+
+#include <atomic>
+#include <csignal>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+
+using namespace padx;
+
+namespace {
+
+std::atomic<bool> SignalStop{false};
+
+void onSignal(int) { SignalStop.store(true, std::memory_order_release); }
+
+void usage() {
+  std::fprintf(stderr,
+               "usage: padd --socket PATH [--threads N] "
+               "[--max-frame BYTES]\n"
+               "            [--memory-budget BYTES] "
+               "[--max-footprint BYTES]\n"
+               "            [--max-accesses N]\n");
+}
+
+} // namespace
+
+int main(int argc, char **argv) {
+  server::ServerOptions Opts;
+  Opts.SocketPath.clear();
+
+  for (int I = 1; I < argc; ++I) {
+    std::string Arg = argv[I];
+    auto Next = [&]() -> const char * {
+      if (I + 1 >= argc) {
+        usage();
+        std::exit(1);
+      }
+      return argv[++I];
+    };
+    if (Arg == "--socket") {
+      Opts.SocketPath = Next();
+    } else if (Arg == "--threads") {
+      long long N = std::atoll(Next());
+      if (N < 0) {
+        std::fprintf(stderr, "error: --threads must be >= 0\n");
+        return 1;
+      }
+      Opts.Threads = static_cast<unsigned>(N);
+    } else if (Arg == "--max-frame") {
+      long long N = std::atoll(Next());
+      if (N <= 0) {
+        std::fprintf(stderr, "error: --max-frame must be positive\n");
+        return 1;
+      }
+      Opts.MaxFrameBytes = static_cast<size_t>(N);
+    } else if (Arg == "--memory-budget") {
+      long long N = std::atoll(Next());
+      if (N <= 0) {
+        std::fprintf(stderr,
+                     "error: --memory-budget must be positive\n");
+        return 1;
+      }
+      Opts.RequestMemoryBudget = static_cast<size_t>(N);
+    } else if (Arg == "--max-footprint") {
+      long long N = std::atoll(Next());
+      if (N <= 0) {
+        std::fprintf(stderr,
+                     "error: --max-footprint must be positive\n");
+        return 1;
+      }
+      Opts.Limits.MaxFootprintBytes = N;
+    } else if (Arg == "--max-accesses") {
+      long long N = std::atoll(Next());
+      if (N < 0) {
+        std::fprintf(stderr, "error: --max-accesses must be >= 0\n");
+        return 1;
+      }
+      Opts.Limits.MaxTraceAccesses = static_cast<uint64_t>(N);
+    } else if (Arg == "--help" || Arg == "-h") {
+      usage();
+      return 0;
+    } else {
+      std::fprintf(stderr, "error: unknown option '%s'\n", Arg.c_str());
+      usage();
+      return 1;
+    }
+  }
+  if (Opts.SocketPath.empty()) {
+    usage();
+    return 1;
+  }
+
+  server::PaddServer Srv(std::move(Opts));
+  std::string Err;
+  if (!Srv.start(&Err)) {
+    std::fprintf(stderr, "error: %s\n", Err.c_str());
+    return 1;
+  }
+
+  std::signal(SIGINT, onSignal);
+  std::signal(SIGTERM, onSignal);
+  std::signal(SIGPIPE, SIG_IGN);
+
+  std::printf("padd listening on %s (%u workers)\n",
+              Srv.options().SocketPath.c_str(), Srv.numWorkers());
+  std::fflush(stdout);
+
+  Srv.wait(&SignalStop);
+  Srv.stop();
+
+  pipeline::SharedCacheStats S = Srv.sharedCache().snapshot();
+  std::printf("padd stopped: %llu requests (%llu failed), shared cache "
+              "%.0f%% hit rate\n",
+              static_cast<unsigned long long>(
+                  Srv.handler().requestsServed()),
+              static_cast<unsigned long long>(
+                  Srv.handler().requestsFailed()),
+              100.0 * S.hitRate());
+  return 0;
+}

@@ -1,0 +1,251 @@
+//===----------------------------------------------------------------------===//
+//
+// Part of the padx project, under the Apache License v2.0.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// paddctl — command-line client for the padd daemon. Builds one
+/// request per input file (or a single fileless request for ping /
+/// stats / shutdown), pipelines all of them over one connection, and
+/// prints each raw NDJSON response on its own line — jq-friendly by
+/// construction.
+///
+/// Usage:
+///   paddctl --socket PATH [options] [file.pad...]
+/// Options:
+///   --socket PATH     daemon socket (required)
+///   --op OP           ping|pad|padlite|lint|search|stats|shutdown
+///                     (default pad)
+///   --format FMT      lint report format: text|json|sarif
+///   --cache BYTES --line BYTES --assoc K   cache geometry
+///   --deadline-ms MS  per-request deadline
+///   --budget N        search evaluation budget
+///   --seed S          search seed
+///   --memory-budget BYTES --max-footprint BYTES --max-accesses N
+///                     per-request quotas
+///   --no-emit         omit the transformed source from responses
+///   --repeat N        send the file list N times (warm-cache demos)
+///
+/// Exit codes: 0 every response ok; 1 any response carried an error;
+/// 2 usage error or the daemon was unreachable.
+///
+//===----------------------------------------------------------------------===//
+
+#include "support/Json.h"
+#include "support/JsonWriter.h"
+#include "support/Socket.h"
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+using namespace padx;
+
+namespace {
+
+enum ExitCode {
+  ExitAllOk = 0,
+  ExitRequestFailed = 1,
+  ExitUsage = 2,
+};
+
+void usage() {
+  std::fprintf(
+      stderr,
+      "usage: paddctl --socket PATH [--op OP] [--format FMT]\n"
+      "               [--cache BYTES] [--line BYTES] [--assoc K]\n"
+      "               [--deadline-ms MS] [--budget N] [--seed S]\n"
+      "               [--memory-budget BYTES] [--max-footprint BYTES]\n"
+      "               [--max-accesses N] [--no-emit] [--repeat N]\n"
+      "               [file.pad...]\n"
+      "ops: ping pad padlite lint search stats shutdown\n"
+      "exit codes: 0 all ok, 1 request failed, 2 usage/connect error\n");
+}
+
+bool opNeedsSource(const std::string &Op) {
+  return Op == "pad" || Op == "padlite" || Op == "lint" ||
+         Op == "search";
+}
+
+struct RequestParams {
+  std::string Op = "pad";
+  std::string Format;
+  long long CacheBytes = 0, LineBytes = 0, Assoc = -1;
+  double DeadlineMs = 0;
+  long long Budget = 0, Seed = -1;
+  long long MemoryBudget = 0, MaxFootprint = 0, MaxAccesses = 0;
+  bool NoEmit = false;
+};
+
+std::string buildRequest(int64_t Id, const RequestParams &P,
+                         const std::string &Source,
+                         const std::string &Filename) {
+  std::ostringstream OS;
+  support::JsonWriter JW(OS);
+  JW.beginObject();
+  JW.field("id", Id);
+  JW.field("op", P.Op);
+  if (opNeedsSource(P.Op)) {
+    JW.field("source", Source);
+    JW.field("filename", Filename);
+  }
+  if (P.CacheBytes > 0)
+    JW.field("cache", static_cast<int64_t>(P.CacheBytes));
+  if (P.LineBytes > 0)
+    JW.field("line", static_cast<int64_t>(P.LineBytes));
+  if (P.Assoc >= 0)
+    JW.field("assoc", static_cast<int64_t>(P.Assoc));
+  if (!P.Format.empty())
+    JW.field("format", P.Format);
+  if (P.DeadlineMs > 0)
+    JW.field("deadline_ms", P.DeadlineMs);
+  if (P.Budget > 0)
+    JW.field("budget", static_cast<int64_t>(P.Budget));
+  if (P.Seed >= 0)
+    JW.field("seed", static_cast<int64_t>(P.Seed));
+  if (P.MemoryBudget > 0)
+    JW.field("memory_budget", static_cast<int64_t>(P.MemoryBudget));
+  if (P.MaxFootprint > 0)
+    JW.field("max_footprint", static_cast<int64_t>(P.MaxFootprint));
+  if (P.MaxAccesses > 0)
+    JW.field("max_accesses", static_cast<int64_t>(P.MaxAccesses));
+  if (P.NoEmit)
+    JW.field("emit", false);
+  JW.endObject();
+  return OS.str();
+}
+
+} // namespace
+
+int main(int argc, char **argv) {
+  std::string SocketPath;
+  RequestParams P;
+  long long Repeat = 1;
+  std::vector<std::string> Files;
+
+  for (int I = 1; I < argc; ++I) {
+    std::string Arg = argv[I];
+    auto Next = [&]() -> const char * {
+      if (I + 1 >= argc) {
+        usage();
+        std::exit(ExitUsage);
+      }
+      return argv[++I];
+    };
+    if (Arg == "--socket")
+      SocketPath = Next();
+    else if (Arg == "--op")
+      P.Op = Next();
+    else if (Arg == "--format")
+      P.Format = Next();
+    else if (Arg == "--cache")
+      P.CacheBytes = std::atoll(Next());
+    else if (Arg == "--line")
+      P.LineBytes = std::atoll(Next());
+    else if (Arg == "--assoc")
+      P.Assoc = std::atoll(Next());
+    else if (Arg == "--deadline-ms")
+      P.DeadlineMs = std::atof(Next());
+    else if (Arg == "--budget")
+      P.Budget = std::atoll(Next());
+    else if (Arg == "--seed")
+      P.Seed = std::atoll(Next());
+    else if (Arg == "--memory-budget")
+      P.MemoryBudget = std::atoll(Next());
+    else if (Arg == "--max-footprint")
+      P.MaxFootprint = std::atoll(Next());
+    else if (Arg == "--max-accesses")
+      P.MaxAccesses = std::atoll(Next());
+    else if (Arg == "--no-emit")
+      P.NoEmit = true;
+    else if (Arg == "--repeat")
+      Repeat = std::atoll(Next());
+    else if (Arg == "--help" || Arg == "-h") {
+      usage();
+      return ExitAllOk;
+    } else if (!Arg.empty() && Arg[0] == '-') {
+      std::fprintf(stderr, "error: unknown option '%s'\n", Arg.c_str());
+      usage();
+      return ExitUsage;
+    } else {
+      Files.push_back(Arg);
+    }
+  }
+
+  if (SocketPath.empty() || Repeat < 1) {
+    usage();
+    return ExitUsage;
+  }
+  if (opNeedsSource(P.Op) && Files.empty()) {
+    std::fprintf(stderr, "error: op '%s' needs at least one file\n",
+                 P.Op.c_str());
+    return ExitUsage;
+  }
+
+  // Build every request line up front; an unreadable file is a usage
+  // error before anything touches the daemon.
+  std::vector<std::string> Requests;
+  int64_t Id = 0;
+  if (opNeedsSource(P.Op)) {
+    std::vector<std::pair<std::string, std::string>> Sources;
+    for (const std::string &File : Files) {
+      std::ifstream In(File);
+      if (!In) {
+        std::fprintf(stderr, "error: cannot open '%s'\n", File.c_str());
+        return ExitUsage;
+      }
+      std::ostringstream Buf;
+      Buf << In.rdbuf();
+      Sources.emplace_back(File, Buf.str());
+    }
+    for (long long Round = 0; Round != Repeat; ++Round)
+      for (const auto &[File, Source] : Sources)
+        Requests.push_back(buildRequest(Id++, P, Source, File));
+  } else {
+    for (long long Round = 0; Round != Repeat; ++Round)
+      Requests.push_back(buildRequest(Id++, P, "", ""));
+  }
+
+  std::string Err;
+  support::FileDescriptor Fd = support::connectUnix(SocketPath, &Err);
+  if (!Fd.valid()) {
+    std::fprintf(stderr, "error: cannot connect to '%s': %s\n",
+                 SocketPath.c_str(), Err.c_str());
+    return ExitUsage;
+  }
+
+  // Pipeline: write every request, then collect every response. The
+  // daemon answers in completion order; ids reconcile.
+  for (const std::string &R : Requests) {
+    if (!support::sendAll(Fd.get(), R + "\n", &Err)) {
+      std::fprintf(stderr, "error: send failed: %s\n", Err.c_str());
+      return ExitUsage;
+    }
+  }
+
+  support::LineReader Reader(Fd.get(), 64u << 20);
+  size_t Received = 0;
+  bool AnyFailed = false;
+  std::string Line;
+  while (Received != Requests.size()) {
+    auto St = Reader.readLine(Line, &Err);
+    if (St != support::LineReader::Status::Line) {
+      std::fprintf(stderr,
+                   "error: connection ended after %zu of %zu "
+                   "responses\n",
+                   Received, Requests.size());
+      return ExitUsage;
+    }
+    std::printf("%s\n", Line.c_str());
+    ++Received;
+    std::optional<support::JsonValue> Doc = support::parseJson(Line);
+    if (!Doc || !Doc->isObject() || !Doc->getBool("ok", false))
+      AnyFailed = true;
+  }
+  return AnyFailed ? ExitRequestFailed : ExitAllOk;
+}

@@ -8,6 +8,7 @@
 
 #include "analysis/LinearAlgebra.h"
 #include "analysis/UniformRefs.h"
+#include "pipeline/SharedAnalysisCache.h"
 
 #include <chrono>
 
@@ -64,6 +65,13 @@ uint64_t AnalysisStats::totalHits() const {
   return N;
 }
 
+uint64_t AnalysisStats::totalSharedHits() const {
+  uint64_t N = 0;
+  for (const AnalysisCounters &C : Kinds)
+    N += C.SharedHits;
+  return N;
+}
+
 uint64_t AnalysisStats::totalMisses() const {
   uint64_t N = 0;
   for (const AnalysisCounters &C : Kinds)
@@ -88,6 +96,7 @@ double AnalysisStats::totalSeconds() const {
 void AnalysisStats::merge(const AnalysisStats &Other) {
   for (unsigned I = 0; I != kNumAnalysisKinds; ++I) {
     Kinds[I].Hits += Other.Kinds[I].Hits;
+    Kinds[I].SharedHits += Other.Kinds[I].SharedHits;
     Kinds[I].Misses += Other.Kinds[I].Misses;
     Kinds[I].Invalidated += Other.Kinds[I].Invalidated;
     Kinds[I].Seconds += Other.Kinds[I].Seconds;
@@ -97,67 +106,154 @@ void AnalysisStats::merge(const AnalysisStats &Other) {
 AnalysisManager::AnalysisManager(const ir::Program &P, bool EnableCache)
     : Prog(&P), EnableCache(EnableCache) {}
 
+void AnalysisManager::attachSharedCache(SharedAnalysisCache *S) {
+  std::lock_guard<std::mutex> L(M);
+  Shared = S;
+  SharedFP = S ? fingerprintProgram(*Prog) : 0;
+}
+
+AnalysisStats AnalysisManager::statsSnapshot() const {
+  std::lock_guard<std::mutex> L(M);
+  return Stats;
+}
+
+void AnalysisManager::resetStats() {
+  std::lock_guard<std::mutex> L(M);
+  Stats = AnalysisStats();
+}
+
 const std::vector<analysis::LoopGroup> &
-AnalysisManager::referenceGroups() {
+AnalysisManager::referenceGroupsLocked() {
   AnalysisCounters &C = counters(AnalysisKind::ReferenceGroups);
   if (EnableCache && Groups) {
     ++C.Hits;
     return *Groups;
   }
+  // Never consult or publish the shared cache: LoopGroup holds raw
+  // pointers into *this* manager's ir::Program, which another request's
+  // manager (a different Program instance, possibly already destroyed)
+  // must never observe.
   ++C.Misses;
   ComputeTimer T(C);
   Groups = analysis::collectLoopGroups(*Prog);
   return *Groups;
 }
 
-const std::vector<double> &AnalysisManager::iterationCounts() {
+const std::vector<analysis::LoopGroup> &
+AnalysisManager::referenceGroups() {
+  std::lock_guard<std::mutex> L(M);
+  return referenceGroupsLocked();
+}
+
+const std::vector<double> &AnalysisManager::iterationCountsLocked() {
   AnalysisCounters &C = counters(AnalysisKind::IterationCounts);
   if (EnableCache && Iterations) {
     ++C.Hits;
     return *Iterations;
   }
+  if (EnableCache && Shared) {
+    if (auto P = Shared->getProgram(
+            SharedFP, &SharedAnalysisCache::ProgramSlots::Iterations,
+            static_cast<unsigned>(AnalysisKind::IterationCounts))) {
+      ++C.SharedHits;
+      Iterations = *P;
+      return *Iterations;
+    }
+  }
   // Resolve the dependency before the timer so nested group collection
   // is charged to its own kind, not double-counted here.
-  const std::vector<analysis::LoopGroup> &G = referenceGroups();
+  const std::vector<analysis::LoopGroup> &G = referenceGroupsLocked();
   ++C.Misses;
   ComputeTimer T(C);
   Iterations = analysis::countGroupIterations(G);
+  if (EnableCache && Shared)
+    Shared->putProgram(SharedFP,
+                       &SharedAnalysisCache::ProgramSlots::Iterations,
+                       std::make_shared<const std::vector<double>>(
+                           *Iterations));
   return *Iterations;
 }
 
+const std::vector<double> &AnalysisManager::iterationCounts() {
+  std::lock_guard<std::mutex> L(M);
+  return iterationCountsLocked();
+}
+
 const analysis::SafetyInfo &AnalysisManager::safety() {
+  std::lock_guard<std::mutex> L(M);
   AnalysisCounters &C = counters(AnalysisKind::Safety);
   if (EnableCache && Safety) {
     ++C.Hits;
     return *Safety;
   }
+  if (EnableCache && Shared) {
+    if (auto P = Shared->getProgram(
+            SharedFP, &SharedAnalysisCache::ProgramSlots::Safety,
+            static_cast<unsigned>(AnalysisKind::Safety))) {
+      ++C.SharedHits;
+      Safety = *P;
+      return *Safety;
+    }
+  }
   ++C.Misses;
   ComputeTimer T(C);
   Safety = analysis::analyzeSafety(*Prog);
+  if (EnableCache && Shared)
+    Shared->putProgram(
+        SharedFP, &SharedAnalysisCache::ProgramSlots::Safety,
+        std::make_shared<const analysis::SafetyInfo>(*Safety));
   return *Safety;
 }
 
 const std::vector<bool> &AnalysisManager::linearAlgebraArrays() {
+  std::lock_guard<std::mutex> L(M);
   AnalysisCounters &C = counters(AnalysisKind::LinearAlgebra);
   if (EnableCache && LinAlg) {
     ++C.Hits;
     return *LinAlg;
   }
+  if (EnableCache && Shared) {
+    if (auto P = Shared->getProgram(
+            SharedFP, &SharedAnalysisCache::ProgramSlots::LinAlg,
+            static_cast<unsigned>(AnalysisKind::LinearAlgebra))) {
+      ++C.SharedHits;
+      LinAlg = *P;
+      return *LinAlg;
+    }
+  }
   ++C.Misses;
   ComputeTimer T(C);
   LinAlg = analysis::detectLinearAlgebraArrays(*Prog);
+  if (EnableCache && Shared)
+    Shared->putProgram(
+        SharedFP, &SharedAnalysisCache::ProgramSlots::LinAlg,
+        std::make_shared<const std::vector<bool>>(*LinAlg));
   return *LinAlg;
 }
 
 double AnalysisManager::percentUniformRefs() {
+  std::lock_guard<std::mutex> L(M);
   AnalysisCounters &C = counters(AnalysisKind::UniformRefs);
   if (EnableCache && UniformPct) {
     ++C.Hits;
     return *UniformPct;
   }
+  if (EnableCache && Shared) {
+    if (auto P = Shared->getProgram(
+            SharedFP, &SharedAnalysisCache::ProgramSlots::UniformPct,
+            static_cast<unsigned>(AnalysisKind::UniformRefs))) {
+      ++C.SharedHits;
+      UniformPct = *P;
+      return *UniformPct;
+    }
+  }
   ++C.Misses;
   ComputeTimer T(C);
   UniformPct = analysis::percentUniformRefs(*Prog);
+  if (EnableCache && Shared)
+    Shared->putProgram(SharedFP,
+                       &SharedAnalysisCache::ProgramSlots::UniformPct,
+                       std::make_shared<const double>(*UniformPct));
   return *UniformPct;
 }
 
@@ -179,59 +275,97 @@ AnalysisManager::makeKey(const layout::DataLayout &DL,
 }
 
 AnalysisManager::LayoutEntry &
-AnalysisManager::layoutEntry(const layout::DataLayout &DL,
-                             const CacheConfig &Cache) {
+AnalysisManager::layoutEntryLocked(const LayoutKey &Key) {
   if (!EnableCache)
     return Scratch;
-  LayoutKey Key = makeKey(DL, Cache);
   if (LayoutCache.size() >= kMaxLayoutEntries && !LayoutCache.count(Key))
-    invalidateLayoutResults();
+    invalidateLayoutResultsLocked();
   return LayoutCache[Key];
 }
 
 const analysis::ProgramEstimate &
 AnalysisManager::missEstimate(const layout::DataLayout &DL,
                               const CacheConfig &Cache) {
+  std::lock_guard<std::mutex> L(M);
   AnalysisCounters &C = counters(AnalysisKind::MissEstimate);
-  LayoutEntry &E = layoutEntry(DL, Cache);
+  LayoutKey Key = makeKey(DL, Cache);
+  LayoutEntry &E = layoutEntryLocked(Key);
   if (EnableCache && E.Estimate) {
     ++C.Hits;
     return *E.Estimate;
   }
-  const std::vector<analysis::LoopGroup> &G = referenceGroups();
-  const std::vector<double> &I = iterationCounts();
+  if (EnableCache && Shared) {
+    if (auto P = Shared->getLayout(
+            SharedFP, Key, &SharedAnalysisCache::LayoutSlots::Estimate,
+            static_cast<unsigned>(AnalysisKind::MissEstimate))) {
+      ++C.SharedHits;
+      E.Estimate = *P;
+      return *E.Estimate;
+    }
+  }
+  // Resolve dependencies before touching E: with caching disabled the
+  // recursive queries overwrite the program-level slots in place, and
+  // the references stay valid because optional storage is stable.
+  const std::vector<analysis::LoopGroup> &G = referenceGroupsLocked();
+  const std::vector<double> &I = iterationCountsLocked();
   ++C.Misses;
   ComputeTimer T(C);
   E.Estimate = analysis::estimateMisses(DL, Cache, G, I);
+  if (EnableCache && Shared)
+    Shared->putLayout(SharedFP, Key,
+                      &SharedAnalysisCache::LayoutSlots::Estimate,
+                      std::make_shared<const analysis::ProgramEstimate>(
+                          *E.Estimate));
   return *E.Estimate;
 }
 
 const std::vector<analysis::ConflictEntry> &
 AnalysisManager::severeConflicts(const layout::DataLayout &DL,
                                  const CacheConfig &Cache) {
+  std::lock_guard<std::mutex> L(M);
   AnalysisCounters &C = counters(AnalysisKind::ConflictReport);
-  LayoutEntry &E = layoutEntry(DL, Cache);
+  LayoutKey Key = makeKey(DL, Cache);
+  LayoutEntry &E = layoutEntryLocked(Key);
   if (EnableCache && E.Severe) {
     ++C.Hits;
     return *E.Severe;
   }
-  const std::vector<analysis::LoopGroup> &G = referenceGroups();
+  if (EnableCache && Shared) {
+    if (auto P = Shared->getLayout(
+            SharedFP, Key, &SharedAnalysisCache::LayoutSlots::Severe,
+            static_cast<unsigned>(AnalysisKind::ConflictReport))) {
+      ++C.SharedHits;
+      E.Severe = *P;
+      return *E.Severe;
+    }
+  }
+  const std::vector<analysis::LoopGroup> &G = referenceGroupsLocked();
   ++C.Misses;
   ComputeTimer T(C);
   E.Severe = analysis::reportConflicts(DL, Cache, G, /*SevereOnly=*/true);
+  if (EnableCache && Shared)
+    Shared->putLayout(
+        SharedFP, Key, &SharedAnalysisCache::LayoutSlots::Severe,
+        std::make_shared<const std::vector<analysis::ConflictEntry>>(
+            *E.Severe));
   return *E.Severe;
 }
 
 const std::vector<analysis::GroupReuse> &
 AnalysisManager::reuse(const layout::DataLayout &DL,
                        const CacheConfig &Cache) {
+  std::lock_guard<std::mutex> L(M);
   AnalysisCounters &C = counters(AnalysisKind::Reuse);
-  LayoutEntry &E = layoutEntry(DL, Cache);
+  LayoutKey Key = makeKey(DL, Cache);
+  LayoutEntry &E = layoutEntryLocked(Key);
   if (EnableCache && E.Reuse) {
     ++C.Hits;
     return *E.Reuse;
   }
-  const std::vector<analysis::LoopGroup> &G = referenceGroups();
+  // Reuse results point back into this manager's loop groups (and
+  // through them into the Program), so like ReferenceGroups they are
+  // never shared across managers.
+  const std::vector<analysis::LoopGroup> &G = referenceGroupsLocked();
   ++C.Misses;
   ComputeTimer T(C);
   std::vector<analysis::GroupReuse> R;
@@ -242,8 +376,8 @@ AnalysisManager::reuse(const layout::DataLayout &DL,
   return *E.Reuse;
 }
 
-void AnalysisManager::invalidateLayoutResults() {
-  for (const auto &[Key, E] : LayoutCache) {
+void AnalysisManager::invalidateLayoutResultsLocked() {
+  for (auto &[Key, E] : LayoutCache) {
     if (E.Estimate)
       ++counters(AnalysisKind::MissEstimate).Invalidated;
     if (E.Severe)
@@ -252,4 +386,9 @@ void AnalysisManager::invalidateLayoutResults() {
       ++counters(AnalysisKind::Reuse).Invalidated;
   }
   LayoutCache.clear();
+}
+
+void AnalysisManager::invalidateLayoutResults() {
+  std::lock_guard<std::mutex> L(M);
+  invalidateLayoutResultsLocked();
 }

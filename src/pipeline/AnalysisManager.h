@@ -27,12 +27,36 @@
 /// fingerprints. Program-level results survive invalidation by design —
 /// that asymmetry is the point of the split.
 ///
+/// Locking model (DESIGN.md section 12): one internal mutex guards the
+/// result slots, the layout map with its kMaxLayoutEntries overflow
+/// sweep, and every hit/miss/invalidated counter, so concurrent queries
+/// against one manager cannot corrupt the cache, lose the sweep, or
+/// drop counter updates. Public accessors take the lock once;
+/// dependencies resolve through private *Locked helpers. What the lock
+/// does NOT extend is reference lifetime: the validity rules below are
+/// unchanged, so a thread must not hold a returned reference across
+/// another thread's sweep or invalidation. The *intended* concurrency
+/// model is therefore still one manager per request/thread — the padd
+/// daemon gives every request its own manager and shares work through
+/// an attached SharedAnalysisCache (immutable results behind
+/// shared_ptr, sharded mutexes), which is where cross-request reuse
+/// actually pays. stats() returns a live reference for the owning
+/// thread; cross-thread observers use statsSnapshot(), which copies
+/// under the lock.
+///
+/// With an attached SharedAnalysisCache, a local miss consults the
+/// shared cache before computing (counted as SharedHits when it
+/// delivers — the result is copied out, never aliased), and every
+/// locally computed result is published back as an immutable copy. The
+/// shared cache is only consulted when this manager's own caching is
+/// enabled — EnableCache=false stays a true recompute-everything
+/// baseline.
+///
 /// Returned references are valid until the next invalidateLayoutResults()
 /// or, for layout-keyed results, until the entry cap forces an eviction
 /// sweep. With caching disabled (the benchmark baseline), every query
 /// recomputes and a returned reference is only valid until the next query
-/// of the same kind. The manager is not thread-safe; concurrent cost
-/// models (SimulationCostModel) deliberately do not use it.
+/// of the same kind.
 ///
 //===----------------------------------------------------------------------===//
 
@@ -50,11 +74,14 @@
 #include <array>
 #include <cstdint>
 #include <map>
+#include <mutex>
 #include <optional>
 #include <vector>
 
 namespace padx {
 namespace pipeline {
+
+class SharedAnalysisCache;
 
 /// Every analysis the manager knows how to cache.
 enum class AnalysisKind : unsigned {
@@ -75,9 +102,12 @@ const char *analysisKindName(AnalysisKind K);
 /// Hit/miss accounting for one analysis kind. Seconds accumulates only
 /// over actual computations (misses), so Seconds / Misses is the mean
 /// cost of the analysis and Hits * (Seconds / Misses) estimates the time
-/// the cache saved.
+/// the cache saved. SharedHits counts results served from an attached
+/// SharedAnalysisCache — cross-request reuse, distinct from both local
+/// hits and misses.
 struct AnalysisCounters {
   uint64_t Hits = 0;
+  uint64_t SharedHits = 0;
   uint64_t Misses = 0;
   uint64_t Invalidated = 0;
   double Seconds = 0;
@@ -90,6 +120,7 @@ struct AnalysisStats {
     return Kinds[static_cast<unsigned>(K)];
   }
   uint64_t totalHits() const;
+  uint64_t totalSharedHits() const;
   uint64_t totalMisses() const;
   uint64_t totalInvalidated() const;
   double totalSeconds() const;
@@ -109,6 +140,13 @@ public:
 
   const ir::Program &program() const { return *Prog; }
   bool cacheEnabled() const { return EnableCache; }
+
+  /// Attaches the cross-request cache: local misses consult \p Shared
+  /// (keyed by this program's fingerprint) and local computations are
+  /// published back. \p Shared must outlive the manager. Fingerprinting
+  /// prints the program once; attach before the first query.
+  void attachSharedCache(SharedAnalysisCache *Shared);
+  bool hasSharedCache() const { return Shared != nullptr; }
 
   /// \name Program-level analyses (layout-independent)
   /// @{
@@ -140,8 +178,13 @@ public:
   /// edits). Counts each dropped result as Invalidated.
   void invalidateLayoutResults();
 
+  /// Live counters, for the owning thread (tests watch these update
+  /// across queries). Cross-thread observers use statsSnapshot().
   const AnalysisStats &stats() const { return Stats; }
-  void resetStats() { Stats = AnalysisStats(); }
+  /// Copy of the counters taken under the manager's lock — safe while
+  /// other threads query this manager.
+  AnalysisStats statsSnapshot() const;
+  void resetStats();
 
   /// Cap on distinct layout fingerprints held at once. A hill-climbing
   /// search re-visits recent layouts but never needs an unbounded
@@ -166,14 +209,24 @@ private:
   AnalysisCounters &counters(AnalysisKind K) {
     return Stats.Kinds[static_cast<unsigned>(K)];
   }
-  /// Entry for the fingerprint of (DL, Cache), sweeping on overflow;
-  /// scratch entry when caching is disabled.
-  LayoutEntry &layoutEntry(const layout::DataLayout &DL,
-                           const CacheConfig &Cache);
+
+  /// \name Lock-held implementations.
+  /// Public accessors take the lock once and forward here; the Impl
+  /// functions may call each other (dependencies) without re-locking.
+  /// @{
+  const std::vector<analysis::LoopGroup> &referenceGroupsLocked();
+  const std::vector<double> &iterationCountsLocked();
+  LayoutEntry &layoutEntryLocked(const LayoutKey &Key);
+  void invalidateLayoutResultsLocked();
+  /// @}
 
   const ir::Program *Prog;
   bool EnableCache;
   AnalysisStats Stats;
+
+  /// Guards everything below plus Stats. See the locking model in the
+  /// file comment.
+  mutable std::mutex M;
 
   // Program-level slots. With caching disabled these are recomputed and
   // overwritten per query (distinct kinds never alias).
@@ -185,6 +238,9 @@ private:
 
   std::map<LayoutKey, LayoutEntry> LayoutCache;
   LayoutEntry Scratch; // EnableCache == false
+
+  SharedAnalysisCache *Shared = nullptr;
+  uint64_t SharedFP = 0;
 };
 
 } // namespace pipeline

@@ -29,7 +29,9 @@ void PadPipeline::recordPass(const std::string &Name, double Seconds) {
 PipelineStats PadPipeline::stats() const {
   PipelineStats S;
   S.Passes = Passes;
-  S.Analysis = AM.stats();
+  // Snapshot under the manager's lock: a daemon stats request may
+  // observe a pipeline that another worker thread is still driving.
+  S.Analysis = AM.statsSnapshot();
   S.CacheEnabled = AM.cacheEnabled();
   return S;
 }
@@ -63,7 +65,10 @@ void PipelineStats::printText(std::ostream &OS) const {
   OS << "analysis cache (" << (CacheEnabled ? "enabled" : "disabled")
      << "): " << Analysis.totalHits() << " hits, "
      << Analysis.totalMisses() << " misses, "
-     << Analysis.totalInvalidated() << " invalidated\n";
+     << Analysis.totalInvalidated() << " invalidated";
+  if (Analysis.totalSharedHits() != 0)
+    OS << ", " << Analysis.totalSharedHits() << " shared hits";
+  OS << "\n";
   for (unsigned I = 0; I != kNumAnalysisKinds; ++I) {
     const AnalysisCounters &C = Analysis.Kinds[I];
     if (C.Hits == 0 && C.Misses == 0 && C.Invalidated == 0)
@@ -99,6 +104,7 @@ void PipelineStats::writeJson(std::ostream &OS) const {
   JW.beginObject();
   JW.field("enabled", CacheEnabled);
   JW.field("hits", Analysis.totalHits());
+  JW.field("shared_hits", Analysis.totalSharedHits());
   JW.field("misses", Analysis.totalMisses());
   JW.field("invalidated", Analysis.totalInvalidated());
   JW.key("kinds");
@@ -109,6 +115,7 @@ void PipelineStats::writeJson(std::ostream &OS) const {
     JW.field("name",
              analysisKindName(static_cast<AnalysisKind>(I)));
     JW.field("hits", C.Hits);
+    JW.field("shared_hits", C.SharedHits);
     JW.field("misses", C.Misses);
     JW.field("invalidated", C.Invalidated);
     JW.field("seconds", C.Seconds);

@@ -74,6 +74,19 @@ public:
       : AM(P, EnableAnalysisCache) {}
   PadPipeline(ir::Program &&, bool = true) = delete;
 
+  /// As above with a cross-request SharedAnalysisCache attached: local
+  /// misses consult \p Shared and local computations are published
+  /// back. The padd daemon builds every request pipeline this way.
+  /// \p Shared must outlive the pipeline; nullptr degrades to the
+  /// plain constructor.
+  PadPipeline(const ir::Program &P, bool EnableAnalysisCache,
+              SharedAnalysisCache *Shared)
+      : AM(P, EnableAnalysisCache) {
+    if (Shared)
+      AM.attachSharedCache(Shared);
+  }
+  PadPipeline(ir::Program &&, bool, SharedAnalysisCache *) = delete;
+
   AnalysisManager &analysis() { return AM; }
   const ir::Program &program() const { return AM.program(); }
 

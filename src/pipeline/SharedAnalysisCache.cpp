@@ -1,0 +1,68 @@
+//===----------------------------------------------------------------------===//
+//
+// Part of the padx project, under the Apache License v2.0.
+//
+//===----------------------------------------------------------------------===//
+
+#include "pipeline/SharedAnalysisCache.h"
+
+#include "ir/Printer.h"
+#include "ir/Program.h"
+
+using namespace padx;
+using namespace padx::pipeline;
+
+uint64_t pipeline::fingerprintProgram(const ir::Program &P) {
+  std::string Text = ir::programToString(P);
+  uint64_t H = 1469598103934665603ULL; // FNV-1a offset basis.
+  for (unsigned char C : Text) {
+    H ^= C;
+    H *= 1099511628211ULL; // FNV prime.
+  }
+  return H;
+}
+
+uint64_t SharedCacheStats::totalHits() const {
+  uint64_t N = 0;
+  for (const SharedCacheCounters &C : Kinds)
+    N += C.Hits;
+  return N;
+}
+
+uint64_t SharedCacheStats::totalMisses() const {
+  uint64_t N = 0;
+  for (const SharedCacheCounters &C : Kinds)
+    N += C.Misses;
+  return N;
+}
+
+double SharedCacheStats::hitRate() const {
+  uint64_t H = totalHits(), M = totalMisses();
+  return H + M == 0 ? 0.0
+                    : static_cast<double>(H) /
+                          static_cast<double>(H + M);
+}
+
+SharedCacheStats SharedAnalysisCache::snapshot() const {
+  SharedCacheStats S;
+  for (size_t I = 0; I != Counters.size(); ++I) {
+    S.Kinds[I].Hits = Counters[I].Hits.load(std::memory_order_relaxed);
+    S.Kinds[I].Misses =
+        Counters[I].Misses.load(std::memory_order_relaxed);
+  }
+  S.Evicted = Evictions.load(std::memory_order_relaxed);
+  for (const Shard &Sh : Shards) {
+    std::lock_guard<std::mutex> L(Sh.M);
+    S.ProgramEntries += Sh.Programs.size();
+    S.LayoutEntries += Sh.Layouts.size();
+  }
+  return S;
+}
+
+void SharedAnalysisCache::clear() {
+  for (Shard &Sh : Shards) {
+    std::lock_guard<std::mutex> L(Sh.M);
+    Sh.Programs.clear();
+    Sh.Layouts.clear();
+  }
+}

@@ -1,0 +1,185 @@
+//===----------------------------------------------------------------------===//
+//
+// Part of the padx project, under the Apache License v2.0.
+//
+//===----------------------------------------------------------------------===//
+
+#include "server/Protocol.h"
+
+#include "support/JsonWriter.h"
+#include "support/MathExtras.h"
+
+#include <sstream>
+
+using namespace padx;
+using namespace padx::server;
+
+const char *server::opName(Op O) {
+  switch (O) {
+  case Op::Ping:
+    return "ping";
+  case Op::Pad:
+    return "pad";
+  case Op::PadLite:
+    return "padlite";
+  case Op::Lint:
+    return "lint";
+  case Op::Search:
+    return "search";
+  case Op::Stats:
+    return "stats";
+  case Op::Shutdown:
+    return "shutdown";
+  }
+  return "unknown";
+}
+
+namespace {
+
+bool parseOp(const std::string &Name, Op &O) {
+  if (Name == "ping")
+    O = Op::Ping;
+  else if (Name == "pad")
+    O = Op::Pad;
+  else if (Name == "padlite")
+    O = Op::PadLite;
+  else if (Name == "lint")
+    O = Op::Lint;
+  else if (Name == "search")
+    O = Op::Search;
+  else if (Name == "stats")
+    O = Op::Stats;
+  else if (Name == "shutdown")
+    O = Op::Shutdown;
+  else
+    return false;
+  return true;
+}
+
+bool needsSource(Op O) {
+  return O == Op::Pad || O == Op::PadLite || O == Op::Lint ||
+         O == Op::Search;
+}
+
+/// The same geometry rules padtool enforces on its flags, phrased for
+/// the protocol fields.
+bool validGeometry(const CacheConfig &C, std::string &Error) {
+  if (!isPowerOf2(C.SizeBytes) || !isPowerOf2(C.LineBytes) ||
+      C.Associativity < 0 || C.LineBytes > C.SizeBytes ||
+      (C.Associativity > 1 &&
+       (!isPowerOf2(C.Associativity) ||
+        C.Associativity * C.LineBytes > C.SizeBytes)) ||
+      !C.isValid()) {
+    Error = "invalid cache geometry: cache=" +
+            std::to_string(C.SizeBytes) +
+            " line=" + std::to_string(C.LineBytes) +
+            " assoc=" + std::to_string(C.Associativity);
+    return false;
+  }
+  return true;
+}
+
+bool nonNegative(const support::JsonValue &Doc, const char *Field,
+                 int64_t &Out, std::string &Error) {
+  Out = Doc.getInt(Field, Out);
+  if (Out < 0) {
+    Error = std::string("field '") + Field + "' must be >= 0";
+    return false;
+  }
+  return true;
+}
+
+} // namespace
+
+bool server::parseRequest(const support::JsonValue &Doc, Request &R,
+                          std::string &Error) {
+  if (!Doc.isObject()) {
+    Error = "request must be a JSON object";
+    return false;
+  }
+
+  // Fill the id first so even a rejected request gets it echoed.
+  const support::JsonValue *IdV = Doc.find("id");
+  if (!IdV || !IdV->isNumber()) {
+    Error = "missing or non-numeric 'id'";
+    return false;
+  }
+  R.Id = IdV->asInt64();
+  if (R.Id < 0) {
+    Error = "'id' must be >= 0";
+    return false;
+  }
+
+  const support::JsonValue *OpV = Doc.find("op");
+  if (!OpV || !OpV->isString()) {
+    Error = "missing or non-string 'op'";
+    return false;
+  }
+  if (!parseOp(OpV->asString(), R.Operation)) {
+    Error = "unknown op '" + OpV->asString() + "'";
+    return false;
+  }
+
+  if (needsSource(R.Operation)) {
+    const support::JsonValue *SrcV = Doc.find("source");
+    if (!SrcV || !SrcV->isString()) {
+      Error = std::string("op '") + opName(R.Operation) +
+              "' requires a string 'source'";
+      return false;
+    }
+    R.Source = SrcV->asString();
+  }
+  R.Filename = Doc.getString("filename", "<request>");
+
+  R.Cache.SizeBytes = Doc.getInt("cache", R.Cache.SizeBytes);
+  R.Cache.LineBytes = Doc.getInt("line", R.Cache.LineBytes);
+  R.Cache.Associativity =
+      static_cast<int>(Doc.getInt("assoc", R.Cache.Associativity));
+  if (needsSource(R.Operation) && !validGeometry(R.Cache, Error))
+    return false;
+
+  R.Format = Doc.getString("format", R.Format);
+  if (R.Operation == Op::Lint && R.Format != "text" &&
+      R.Format != "json" && R.Format != "sarif") {
+    Error = "unknown format '" + R.Format +
+            "' (expected text, json or sarif)";
+    return false;
+  }
+
+  R.Emit = Doc.getBool("emit", R.Emit);
+  R.UseReplay = Doc.getBool("replay", R.UseReplay);
+
+  R.DeadlineMs = Doc.getDouble("deadline_ms", 0);
+  if (R.DeadlineMs < 0) {
+    Error = "field 'deadline_ms' must be >= 0";
+    return false;
+  }
+  if (!nonNegative(Doc, "max_footprint", R.MaxFootprintBytes, Error) ||
+      !nonNegative(Doc, "max_accesses", R.MaxAccesses, Error) ||
+      !nonNegative(Doc, "memory_budget", R.MemoryBudgetBytes, Error))
+    return false;
+
+  R.SearchBudget = Doc.getInt("budget", R.SearchBudget);
+  if (R.SearchBudget <= 0) {
+    Error = "field 'budget' must be positive";
+    return false;
+  }
+  R.SearchSeed = Doc.getInt("seed", R.SearchSeed);
+  return true;
+}
+
+std::string server::errorResponse(int64_t Id, std::string_view Code,
+                                  std::string_view Message) {
+  std::ostringstream OS;
+  support::JsonWriter JW(OS);
+  JW.beginObject();
+  JW.field("id", Id);
+  JW.field("ok", false);
+  JW.key("error");
+  JW.beginObject();
+  JW.field("code", std::string(Code));
+  JW.field("message", std::string(Message));
+  JW.endObject();
+  JW.endObject();
+  return OS.str();
+}

@@ -1,0 +1,106 @@
+//===----------------------------------------------------------------------===//
+//
+// Part of the padx project, under the Apache License v2.0.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The padd wire protocol (DESIGN.md section 12): newline-delimited JSON
+/// over a unix-domain socket. Every request is one line carrying an id,
+/// an operation, and the operation's parameters; every response is one
+/// line echoing the id. Requests on one connection may be pipelined and
+/// are answered in completion order — the id, not the position, pairs a
+/// response with its request.
+///
+/// Operations: ping, pad, padlite, lint, search, stats, shutdown.
+///
+/// Error responses are structured, never a dropped connection:
+///
+///   {"id":7,"ok":false,"error":{"code":"resource_exhausted",
+///                               "message":"..."}}
+///
+/// with codes: parse_error (unparseable frame), invalid_request (bad or
+/// missing fields), invalid_program (PadLang parse/validation failure,
+/// diagnostics in the message), resource_exhausted (footprint, trace or
+/// memory quota), deadline_exceeded (the deadline passed before any
+/// result existed), frame_too_large (oversized frame; the only error
+/// after which the server closes the connection, since the stream can
+/// no longer be framed), internal (a handler bug).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PADX_SERVER_PROTOCOL_H
+#define PADX_SERVER_PROTOCOL_H
+
+#include "machine/CacheConfig.h"
+#include "support/Json.h"
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+namespace padx {
+namespace server {
+
+enum class Op {
+  Ping,     ///< Liveness probe; echoes server identity.
+  Pad,      ///< The paper's PAD over `source`.
+  PadLite,  ///< The paper's PADLITE over `source`.
+  Lint,     ///< Rule catalog over `source`; report in `format`.
+  Search,   ///< Simulation-guided search; honors deadline/cancel.
+  Stats,    ///< Server + shared-cache counters.
+  Shutdown, ///< Ask the daemon to stop after answering.
+};
+
+const char *opName(Op O);
+
+/// \name Protocol error codes (the `error.code` values).
+/// @{
+inline constexpr const char *kErrParse = "parse_error";
+inline constexpr const char *kErrInvalidRequest = "invalid_request";
+inline constexpr const char *kErrInvalidProgram = "invalid_program";
+inline constexpr const char *kErrResourceExhausted = "resource_exhausted";
+inline constexpr const char *kErrDeadlineExceeded = "deadline_exceeded";
+inline constexpr const char *kErrFrameTooLarge = "frame_too_large";
+inline constexpr const char *kErrInternal = "internal";
+/// @}
+
+/// One parsed request. Numeric fields default to 0 = "server default /
+/// unlimited"; the handler substitutes its configured ceilings.
+struct Request {
+  int64_t Id = -1;
+  Op Operation = Op::Ping;
+
+  std::string Source;   ///< PadLang text (pad/padlite/lint/search).
+  std::string Filename; ///< Report label; default "<request>".
+
+  CacheConfig Cache = CacheConfig::base16K();
+  std::string Format = "text"; ///< lint: text | json | sarif.
+  bool Emit = true;            ///< Include the transformed source.
+
+  double DeadlineMs = 0;         ///< 0 = no deadline.
+  int64_t MaxFootprintBytes = 0; ///< 0 = server default.
+  int64_t MaxAccesses = 0;       ///< 0 = server default.
+  int64_t MemoryBudgetBytes = 0; ///< 0 = server default.
+
+  // Search knobs (search op only).
+  int64_t SearchBudget = 48;
+  int64_t SearchSeed = 0;
+  bool UseReplay = true;
+};
+
+/// Validates \p Doc (one parsed frame) into \p R. On failure returns
+/// false with a human-readable reason in \p Error; \p R.Id is still
+/// filled when the frame carried one, so the error response can echo
+/// it.
+bool parseRequest(const support::JsonValue &Doc, Request &R,
+                  std::string &Error);
+
+/// One-line error response (no trailing newline).
+std::string errorResponse(int64_t Id, std::string_view Code,
+                          std::string_view Message);
+
+} // namespace server
+} // namespace padx
+
+#endif // PADX_SERVER_PROTOCOL_H

@@ -1,0 +1,114 @@
+//===----------------------------------------------------------------------===//
+//
+// Part of the padx project, under the Apache License v2.0.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Executes one padd request against the shared server state. The
+/// handler is the protocol-independent core of the daemon: the socket
+/// layer (Server.h) hands it frames, tests and the throughput benchmark
+/// call it in-process, and both get byte-identical responses.
+///
+/// Per-request discipline (the daemon's quota story):
+///
+///  - every request runs inside its own support::Arena, budgeted by the
+///    request's `memory_budget` (or the server default); the parsed
+///    program and pipeline live in the arena and an overrun surfaces as
+///    a structured resource_exhausted error, never an OOM;
+///  - footprint and trace-length quotas reuse the ResourceLimits
+///    semantics of the CLI tools;
+///  - a `deadline_ms` is checked between phases for the cheap ops and
+///    wired into SearchOptions::DeadlineSeconds for the search op,
+///    which degrades to a `partial` response carrying the best-so-far
+///    layout (SearchOutcome semantics), not an error;
+///  - the server's stop flag doubles as the searches' cancel token, so
+///    shutdown sheds in-flight climbs at the next batch boundary.
+///
+/// Result payloads embed the exact strings the CLI tools print — the
+/// transformed source (padtool --emit) and the lint report in the
+/// requested format (padlint --format) — so "daemon equals CLI" is a
+/// string comparison, which the equivalence tests and ci.sh perform.
+///
+/// Thread safety: handle() may be called concurrently from any number
+/// of pool workers. All shared state is the SharedAnalysisCache (safe,
+/// sharded) and the atomic request counters.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PADX_SERVER_REQUESTHANDLER_H
+#define PADX_SERVER_REQUESTHANDLER_H
+
+#include "pipeline/SharedAnalysisCache.h"
+#include "server/Protocol.h"
+#include "support/Guard.h"
+
+#include <atomic>
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+namespace padx {
+namespace server {
+
+struct ServerOptions {
+  std::string SocketPath = "padd.sock";
+  /// Worker threads; 0 = ThreadPool::defaultThreadCount().
+  unsigned Threads = 0;
+  /// Frame cap for the newline-delimited protocol (both directions are
+  /// lines; only inbound is enforced here).
+  size_t MaxFrameBytes = 4u << 20;
+  /// Default per-request arena budget when the request names none.
+  size_t RequestMemoryBudget = size_t(256) << 20;
+  /// Default footprint / trace quotas (request fields override).
+  ResourceLimits Limits;
+};
+
+class RequestHandler {
+public:
+  /// \p Shared and (if non-null) \p Cancel must outlive the handler.
+  /// \p Cancel is polled by in-flight searches — the server passes its
+  /// stop flag.
+  RequestHandler(const ServerOptions &Opts,
+                 pipeline::SharedAnalysisCache &Shared,
+                 const std::atomic<bool> *Cancel = nullptr)
+      : Opts(Opts), Shared(Shared), Cancel(Cancel) {}
+
+  /// Parses and executes one frame; returns the response line (no
+  /// trailing newline). Never throws.
+  std::string handleLine(std::string_view Line);
+
+  /// Executes an already-parsed request. Never throws.
+  std::string handle(const Request &R);
+
+  /// True once a shutdown request was served; the socket layer watches
+  /// this to stop the daemon.
+  bool shutdownRequested() const {
+    return Shutdown.load(std::memory_order_acquire);
+  }
+
+  uint64_t requestsServed() const {
+    return Served.load(std::memory_order_relaxed);
+  }
+  uint64_t requestsFailed() const {
+    return Failed.load(std::memory_order_relaxed);
+  }
+
+  const ServerOptions &options() const { return Opts; }
+  pipeline::SharedAnalysisCache &sharedCache() { return Shared; }
+
+private:
+  std::string dispatch(const Request &R);
+
+  ServerOptions Opts;
+  pipeline::SharedAnalysisCache &Shared;
+  const std::atomic<bool> *Cancel;
+  std::atomic<bool> Shutdown{false};
+  std::atomic<uint64_t> Served{0};
+  std::atomic<uint64_t> Failed{0};
+};
+
+} // namespace server
+} // namespace padx
+
+#endif // PADX_SERVER_REQUESTHANDLER_H

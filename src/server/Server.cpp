@@ -1,0 +1,195 @@
+//===----------------------------------------------------------------------===//
+//
+// Part of the padx project, under the Apache License v2.0.
+//
+//===----------------------------------------------------------------------===//
+
+#include "server/Server.h"
+
+#include <chrono>
+#include <fcntl.h>
+#include <poll.h>
+#include <unistd.h>
+
+using namespace padx;
+using namespace padx::server;
+
+PaddServer::PaddServer(ServerOptions Opts) : Opts(std::move(Opts)) {
+  Handler = std::make_unique<RequestHandler>(this->Opts, Shared,
+                                             &Stopping);
+}
+
+PaddServer::~PaddServer() { stop(); }
+
+bool PaddServer::start(std::string *Error) {
+  if (Running.load(std::memory_order_acquire)) {
+    if (Error)
+      *Error = "server already running";
+    return false;
+  }
+  Listener = support::listenUnix(Opts.SocketPath, Error);
+  if (!Listener.valid())
+    return false;
+  Pool = std::make_unique<ThreadPool>(Opts.Threads);
+  Stopping.store(false, std::memory_order_release);
+  Running.store(true, std::memory_order_release);
+  Acceptor = std::thread([this] { acceptLoop(); });
+  return true;
+}
+
+void PaddServer::wait(const std::atomic<bool> *ExternalStop) {
+  std::unique_lock<std::mutex> L(WaitM);
+  // Polling keeps the wait signal-safe: a SIGTERM handler can only set
+  // a flag, not notify a condition variable.
+  WaitCv.wait_for(L, std::chrono::milliseconds(50), [&] {
+    return Handler->shutdownRequested() ||
+           Stopping.load(std::memory_order_acquire) ||
+           (ExternalStop &&
+            ExternalStop->load(std::memory_order_acquire));
+  });
+  while (!Handler->shutdownRequested() &&
+         !Stopping.load(std::memory_order_acquire) &&
+         !(ExternalStop &&
+           ExternalStop->load(std::memory_order_acquire)))
+    WaitCv.wait_for(L, std::chrono::milliseconds(50));
+}
+
+void PaddServer::stop() {
+  if (!Running.exchange(false, std::memory_order_acq_rel))
+    return;
+  Stopping.store(true, std::memory_order_release);
+
+  // The acceptor polls Stopping between timed poll() waits, so it needs
+  // no wake; join it before touching the listener so the descriptor is
+  // never closed under a concurrent accept (a data race on the fd slot,
+  // and an fd-recycling hazard if the number were reused mid-accept).
+  if (Acceptor.joinable())
+    Acceptor.join();
+  Listener.close();
+
+  // Unblock every reader; each drains its in-flight requests and
+  // exits. Move the slots out so no lock is held while joining.
+  std::vector<ConnSlot> Slots;
+  {
+    std::lock_guard<std::mutex> L(ConnsM);
+    Slots = std::move(Conns);
+    Conns.clear();
+  }
+  for (ConnSlot &S : Slots)
+    S.C->Fd.shutdownBoth();
+  for (ConnSlot &S : Slots)
+    if (S.Reader.joinable())
+      S.Reader.join();
+
+  // Destroying the pool waits for queued work (responses to shut-down
+  // sockets fail silently in sendAll).
+  Pool.reset();
+  ::unlink(Opts.SocketPath.c_str());
+  WaitCv.notify_all();
+}
+
+void PaddServer::acceptLoop() {
+  // Non-blocking listener + timed poll(): accept can never park this
+  // thread past a stop request, so stop() simply joins — the listener
+  // is closed only after this loop exits, never under it.
+  int Flags = ::fcntl(Listener.get(), F_GETFL, 0);
+  if (Flags >= 0)
+    ::fcntl(Listener.get(), F_SETFL, Flags | O_NONBLOCK);
+  while (!Stopping.load(std::memory_order_acquire)) {
+    pollfd P{Listener.get(), POLLIN, 0};
+    if (::poll(&P, 1, 100) <= 0)
+      continue; // Timeout or EINTR: re-check Stopping.
+    std::string Err;
+    support::FileDescriptor Fd =
+        support::acceptConnection(Listener.get(), &Err);
+    if (!Fd.valid()) {
+      if (Stopping.load(std::memory_order_acquire))
+        break;
+      // Transient accept failure (EMFILE under load): back off rather
+      // than spinning.
+      std::this_thread::sleep_for(std::chrono::milliseconds(10));
+      continue;
+    }
+    auto C = std::make_shared<Connection>();
+    C->Fd = std::move(Fd);
+    std::thread Reader([this, C] { serveConnection(C); });
+    {
+      std::lock_guard<std::mutex> L(ConnsM);
+      // Reap finished connections so a long-lived daemon's slot list
+      // tracks live clients, not history.
+      for (auto It = Conns.begin(); It != Conns.end();) {
+        if (It->C->Done.load(std::memory_order_acquire)) {
+          if (It->Reader.joinable())
+            It->Reader.join();
+          It = Conns.erase(It);
+        } else {
+          ++It;
+        }
+      }
+      Conns.push_back(ConnSlot{C, std::move(Reader)});
+    }
+  }
+}
+
+void PaddServer::writeResponse(Connection &C, std::string Line) {
+  Line += '\n';
+  std::lock_guard<std::mutex> L(C.WriteM);
+  // A vanished peer is not an error worth more than dropping the line;
+  // the reader will observe EOF and tear the connection down.
+  support::sendAll(C.Fd.get(), Line, nullptr);
+}
+
+void PaddServer::serveConnection(std::shared_ptr<Connection> C) {
+  support::LineReader Reader(C->Fd.get(), Opts.MaxFrameBytes);
+  std::string Line, Err;
+  bool Open = true;
+  while (Open && !Stopping.load(std::memory_order_acquire)) {
+    switch (Reader.readLine(Line, &Err)) {
+    case support::LineReader::Status::Line: {
+      if (Line.empty())
+        continue; // Blank keep-alive lines are ignored.
+      {
+        std::lock_guard<std::mutex> L(C->FlightM);
+        ++C->InFlight;
+      }
+      std::string Frame = std::move(Line);
+      Line.clear();
+      Pool->async([this, C, Frame = std::move(Frame)] {
+        std::string Response = Handler->handleLine(Frame);
+        writeResponse(*C, std::move(Response));
+        if (Handler->shutdownRequested())
+          WaitCv.notify_all();
+        {
+          std::lock_guard<std::mutex> L(C->FlightM);
+          --C->InFlight;
+        }
+        C->FlightCv.notify_all();
+      });
+      break;
+    }
+    case support::LineReader::Status::FrameTooLarge:
+      // Structured refusal, then close: without the frame boundary the
+      // rest of the stream cannot be parsed.
+      writeResponse(*C,
+                    errorResponse(-1, kErrFrameTooLarge,
+                                  "frame exceeds the " +
+                                      std::to_string(Opts.MaxFrameBytes) +
+                                      " byte limit"));
+      Open = false;
+      break;
+    case support::LineReader::Status::Eof:
+    case support::LineReader::Status::Error:
+      Open = false;
+      break;
+    }
+  }
+
+  // Half-close contract: drain in-flight requests so a client that
+  // shut down its write side still receives every response.
+  {
+    std::unique_lock<std::mutex> L(C->FlightM);
+    C->FlightCv.wait(L, [&] { return C->InFlight == 0; });
+  }
+  C->Fd.shutdownBoth();
+  C->Done.store(true, std::memory_order_release);
+}

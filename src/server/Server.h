@@ -1,0 +1,123 @@
+//===----------------------------------------------------------------------===//
+//
+// Part of the padx project, under the Apache License v2.0.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The padd daemon's socket layer: listens on a unix-domain socket,
+/// accepts any number of concurrent clients, reads newline-delimited
+/// JSON frames, and dispatches each request onto one shared
+/// support::ThreadPool. Architecture (DESIGN.md section 12):
+///
+///   accept thread ── one reader thread per connection ── shared pool
+///
+/// The reader thread only frames lines and enqueues work; the pool
+/// workers execute requests through the shared RequestHandler and write
+/// responses back under the connection's write mutex, so pipelined
+/// requests from one client run concurrently and responses interleave
+/// whole-line-atomically in completion order (ids pair them up).
+///
+/// Connection teardown is graceful under half-close: when a client
+/// shuts down its write side (or disconnects), the reader drains every
+/// in-flight request for that connection — the client still receives
+/// all responses — before closing. An oversized frame is answered with
+/// a frame_too_large error and then the connection is closed, since a
+/// byte stream without a frame boundary cannot be resynchronized.
+///
+/// stop() is idempotent and safe from any non-worker thread: it closes
+/// the listener (unblocking accept), shuts down every live connection
+/// (unblocking reads), joins all threads, and drains the pool. The
+/// server's stop flag is also the cancel token for in-flight searches,
+/// so shutdown sheds long climbs at their next batch boundary.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PADX_SERVER_SERVER_H
+#define PADX_SERVER_SERVER_H
+
+#include "pipeline/SharedAnalysisCache.h"
+#include "server/RequestHandler.h"
+#include "support/Socket.h"
+#include "support/ThreadPool.h"
+
+#include <atomic>
+#include <condition_variable>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+namespace padx {
+namespace server {
+
+class PaddServer {
+public:
+  explicit PaddServer(ServerOptions Opts);
+  ~PaddServer();
+
+  PaddServer(const PaddServer &) = delete;
+  PaddServer &operator=(const PaddServer &) = delete;
+
+  /// Binds the socket and starts the accept thread and worker pool.
+  /// False + message on failure (socket path unusable, typically).
+  bool start(std::string *Error);
+
+  /// Blocks until a shutdown request is served or \p ExternalStop (the
+  /// daemon's signal flag; may be null) becomes true. Does not stop the
+  /// server — call stop() after.
+  void wait(const std::atomic<bool> *ExternalStop = nullptr);
+
+  /// Stops accepting, unblocks and joins every connection, drains the
+  /// pool. Idempotent; must not be called from a pool worker.
+  void stop();
+
+  bool running() const { return Running.load(std::memory_order_acquire); }
+
+  RequestHandler &handler() { return *Handler; }
+  pipeline::SharedAnalysisCache &sharedCache() { return Shared; }
+  const ServerOptions &options() const { return Opts; }
+  unsigned numWorkers() const { return Pool ? Pool->numThreads() : 0; }
+
+private:
+  /// Per-connection shared state; the reader thread and any number of
+  /// pool tasks hold it via shared_ptr, so it outlives both ends.
+  struct Connection {
+    support::FileDescriptor Fd;
+    std::mutex WriteM;          ///< Whole-line-atomic response writes.
+    std::mutex FlightM;
+    std::condition_variable FlightCv;
+    unsigned InFlight = 0;      ///< Guarded by FlightM.
+    std::atomic<bool> Done{false};
+  };
+
+  void acceptLoop();
+  void serveConnection(std::shared_ptr<Connection> C);
+  void writeResponse(Connection &C, std::string Line);
+
+  ServerOptions Opts;
+  pipeline::SharedAnalysisCache Shared;
+  std::atomic<bool> Stopping{false};
+  std::atomic<bool> Running{false};
+  std::unique_ptr<RequestHandler> Handler;
+  std::unique_ptr<ThreadPool> Pool;
+
+  support::FileDescriptor Listener;
+  std::thread Acceptor;
+
+  std::mutex ConnsM;
+  struct ConnSlot {
+    std::shared_ptr<Connection> C;
+    std::thread Reader;
+  };
+  std::vector<ConnSlot> Conns;
+
+  std::mutex WaitM;
+  std::condition_variable WaitCv;
+};
+
+} // namespace server
+} // namespace padx
+
+#endif // PADX_SERVER_SERVER_H

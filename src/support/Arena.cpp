@@ -1,0 +1,73 @@
+//===----------------------------------------------------------------------===//
+//
+// Part of the padx project, under the Apache License v2.0.
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/Arena.h"
+
+using namespace padx;
+using namespace padx::support;
+
+void *Arena::allocate(size_t Size, size_t Align) {
+  if (Size == 0)
+    Size = 1;
+  checkBudget(Size);
+
+  // Dedicated block for oversize requests: bumping them through normal
+  // blocks would strand most of a block per allocation.
+  if (Size > kBlockBytes / 2) {
+    Block B;
+    B.Mem.reset(new char[Size + Align]);
+    B.Size = Size + Align;
+    uintptr_t Raw = reinterpret_cast<uintptr_t>(B.Mem.get());
+    uintptr_t Aligned = (Raw + Align - 1) & ~(uintptr_t(Align) - 1);
+    B.Bump = B.Size;
+    Reserved += B.Size;
+    Used += Size;
+    // Keep the current tail block current: insert the dedicated block
+    // below the top so small allocations keep bumping the same block.
+    Blocks.insert(Blocks.empty() ? Blocks.end() : Blocks.end() - 1,
+                  std::move(B));
+    return reinterpret_cast<void *>(Aligned);
+  }
+
+  if (!Blocks.empty()) {
+    Block &B = Blocks.back();
+    uintptr_t Raw = reinterpret_cast<uintptr_t>(B.Mem.get()) + B.Bump;
+    uintptr_t Aligned = (Raw + Align - 1) & ~(uintptr_t(Align) - 1);
+    size_t NewBump = Aligned - reinterpret_cast<uintptr_t>(B.Mem.get()) + Size;
+    if (NewBump <= B.Size) {
+      B.Bump = NewBump;
+      Used += Size;
+      return reinterpret_cast<void *>(Aligned);
+    }
+  }
+
+  Block B;
+  B.Mem.reset(new char[kBlockBytes]);
+  B.Size = kBlockBytes;
+  Reserved += kBlockBytes;
+  Blocks.push_back(std::move(B));
+
+  Block &NB = Blocks.back();
+  uintptr_t Raw = reinterpret_cast<uintptr_t>(NB.Mem.get());
+  uintptr_t Aligned = (Raw + Align - 1) & ~(uintptr_t(Align) - 1);
+  NB.Bump = Aligned - Raw + Size;
+  Used += Size;
+  return reinterpret_cast<void *>(Aligned);
+}
+
+void Arena::charge(size_t Bytes) {
+  checkBudget(Bytes);
+  Used += Bytes;
+}
+
+void Arena::reset() {
+  for (auto It = Dtors.rbegin(); It != Dtors.rend(); ++It)
+    It->Fn(It->Obj);
+  Dtors.clear();
+  Blocks.clear();
+  Used = 0;
+  Reserved = 0;
+}

@@ -1,0 +1,141 @@
+//===----------------------------------------------------------------------===//
+//
+// Part of the padx project, under the Apache License v2.0.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A bump allocator with a byte budget — the padd daemon's per-request
+/// memory discipline. Each request owns one Arena; the parsed request
+/// document, the IR program, the pipeline and every other request-scoped
+/// object are created in it and freed wholesale when the request ends,
+/// so a long-lived server never accumulates per-request heap churn and a
+/// hostile or oversized request hits a clean ArenaBudgetExceeded instead
+/// of taking the process down.
+///
+/// Two kinds of accounting meet the budget:
+///
+///  - allocate()/create<T>() count the bytes the arena itself hands out;
+///  - charge() counts bytes an arena-owned object allocates *internally*
+///    (a std::string's buffer, a vector's storage). The arena cannot see
+///    those, so the request handler charges the dominant ones — source
+///    buffers, trace storage estimates — explicitly.
+///
+/// create<T>() registers T's destructor (skipped for trivially
+/// destructible types) and the arena runs them in reverse construction
+/// order on reset()/destruction, so arena-owned objects may hold heap
+/// resources and still clean up correctly.
+///
+/// Not thread-safe: one arena belongs to one request, which runs on one
+/// worker thread at a time (the server's dispatch invariant).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PADX_SUPPORT_ARENA_H
+#define PADX_SUPPORT_ARENA_H
+
+#include <cstddef>
+#include <memory>
+#include <new>
+#include <stdexcept>
+#include <string>
+#include <type_traits>
+#include <utility>
+#include <vector>
+
+namespace padx {
+namespace support {
+
+/// Thrown when an allocation or charge would push an arena past its
+/// budget. Derives from bad_alloc so generic out-of-memory handling
+/// catches it, and carries a message naming the budget for the
+/// resource_exhausted protocol error.
+class ArenaBudgetExceeded : public std::bad_alloc {
+public:
+  ArenaBudgetExceeded(size_t Requested, size_t Used, size_t Budget)
+      : Msg("request memory budget exceeded: " + std::to_string(Used) +
+            " bytes in use + " + std::to_string(Requested) +
+            " requested > budget of " + std::to_string(Budget)) {}
+  const char *what() const noexcept override { return Msg.c_str(); }
+
+private:
+  std::string Msg;
+};
+
+class Arena {
+public:
+  /// \p BudgetBytes caps allocate() + charge() combined; 0 = unlimited.
+  explicit Arena(size_t BudgetBytes = 0) : Budget(BudgetBytes) {}
+  ~Arena() { reset(); }
+
+  Arena(const Arena &) = delete;
+  Arena &operator=(const Arena &) = delete;
+
+  /// Bump-allocates \p Size bytes at \p Align (power of two). Large
+  /// requests (> kBlockBytes / 2) get a dedicated block so they never
+  /// strand half a normal block. Throws ArenaBudgetExceeded over
+  /// budget, std::bad_alloc if the underlying allocation fails.
+  void *allocate(size_t Size, size_t Align = alignof(std::max_align_t));
+
+  /// Constructs a T from \p Args in arena storage and registers its
+  /// destructor unless trivially destructible. The arena owns the
+  /// object; never delete the pointer.
+  template <typename T, typename... Args> T *create(Args &&...Args_) {
+    void *Mem = allocate(sizeof(T), alignof(T));
+    T *Obj = new (Mem) T(std::forward<Args>(Args_)...);
+    if constexpr (!std::is_trivially_destructible_v<T>)
+      Dtors.push_back({&destroyObject<T>, Obj});
+    return Obj;
+  }
+
+  /// Accounts \p Bytes of externally held memory (a source buffer, a
+  /// recorded trace) against the budget without allocating.
+  void charge(size_t Bytes);
+
+  /// Bytes handed out by allocate() plus bytes charge()d.
+  size_t bytesUsed() const { return Used; }
+  /// Bytes obtained from the heap for blocks (>= bytesUsed's allocate
+  /// share; the difference is per-block slack).
+  size_t bytesReserved() const { return Reserved; }
+  size_t budget() const { return Budget; }
+  size_t numBlocks() const { return Blocks.size(); }
+
+  /// Runs registered destructors in reverse order and releases every
+  /// block. The arena is reusable afterwards with the same budget.
+  void reset();
+
+  /// Default block size. Requests touch a few dozen KB; one or two
+  /// blocks cover a typical request with no retail allocation at all.
+  static constexpr size_t kBlockBytes = 64 * 1024;
+
+private:
+  template <typename T> static void destroyObject(void *P) {
+    static_cast<T *>(P)->~T();
+  }
+
+  struct Block {
+    std::unique_ptr<char[]> Mem;
+    size_t Size = 0;
+    size_t Bump = 0;
+  };
+  struct DtorEntry {
+    void (*Fn)(void *);
+    void *Obj;
+  };
+
+  void checkBudget(size_t Requested) const {
+    if (Budget != 0 && Used + Requested > Budget)
+      throw ArenaBudgetExceeded(Requested, Used, Budget);
+  }
+
+  size_t Budget;
+  size_t Used = 0;
+  size_t Reserved = 0;
+  std::vector<Block> Blocks;
+  std::vector<DtorEntry> Dtors;
+};
+
+} // namespace support
+} // namespace padx
+
+#endif // PADX_SUPPORT_ARENA_H

@@ -1,0 +1,303 @@
+//===----------------------------------------------------------------------===//
+//
+// Part of the padx project, under the Apache License v2.0.
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/Json.h"
+
+#include <cctype>
+#include <cerrno>
+#include <cmath>
+#include <cstdlib>
+
+using namespace padx;
+using namespace padx::support;
+
+namespace {
+
+class Parser {
+public:
+  Parser(std::string_view Text, std::string *Error)
+      : Text(Text), Error(Error) {}
+
+  std::optional<JsonValue> parse() {
+    skipSpace();
+    JsonValue V;
+    if (!parseValue(V, 0))
+      return std::nullopt;
+    skipSpace();
+    if (Pos != Text.size())
+      return fail("trailing characters after document");
+    return V;
+  }
+
+private:
+  std::optional<JsonValue> fail(const std::string &Msg) {
+    if (Error && Error->empty())
+      *Error = Msg + " at offset " + std::to_string(Pos);
+    return std::nullopt;
+  }
+  bool failBool(const std::string &Msg) {
+    fail(Msg);
+    return false;
+  }
+
+  void skipSpace() {
+    while (Pos < Text.size() &&
+           (Text[Pos] == ' ' || Text[Pos] == '\t' || Text[Pos] == '\n' ||
+            Text[Pos] == '\r'))
+      ++Pos;
+  }
+
+  bool atEnd() const { return Pos >= Text.size(); }
+  char peek() const { return Text[Pos]; }
+
+  bool consume(char C) {
+    if (atEnd() || Text[Pos] != C)
+      return false;
+    ++Pos;
+    return true;
+  }
+
+  bool literal(std::string_view Lit) {
+    if (Text.substr(Pos, Lit.size()) != Lit)
+      return false;
+    Pos += Lit.size();
+    return true;
+  }
+
+  bool parseValue(JsonValue &Out, unsigned Depth) {
+    if (Depth > kJsonMaxDepth)
+      return failBool("nesting deeper than " +
+                      std::to_string(kJsonMaxDepth) + " levels");
+    skipSpace();
+    if (atEnd())
+      return failBool("unexpected end of input");
+    switch (peek()) {
+    case '{':
+      return parseObject(Out, Depth);
+    case '[':
+      return parseArray(Out, Depth);
+    case '"': {
+      std::string S;
+      if (!parseString(S))
+        return false;
+      Out = JsonValue::string(std::move(S));
+      return true;
+    }
+    case 't':
+      if (!literal("true"))
+        return failBool("invalid literal");
+      Out = JsonValue::boolean(true);
+      return true;
+    case 'f':
+      if (!literal("false"))
+        return failBool("invalid literal");
+      Out = JsonValue::boolean(false);
+      return true;
+    case 'n':
+      if (!literal("null"))
+        return failBool("invalid literal");
+      Out = JsonValue::null();
+      return true;
+    default:
+      return parseNumber(Out);
+    }
+  }
+
+  bool parseObject(JsonValue &Out, unsigned Depth) {
+    ++Pos; // '{'
+    Out = JsonValue::object();
+    skipSpace();
+    if (consume('}'))
+      return true;
+    for (;;) {
+      skipSpace();
+      if (atEnd() || peek() != '"')
+        return failBool("expected object key");
+      std::string Key;
+      if (!parseString(Key))
+        return false;
+      skipSpace();
+      if (!consume(':'))
+        return failBool("expected ':' after object key");
+      JsonValue V;
+      if (!parseValue(V, Depth + 1))
+        return false;
+      Out.members().emplace_back(std::move(Key), std::move(V));
+      skipSpace();
+      if (consume(','))
+        continue;
+      if (consume('}'))
+        return true;
+      return failBool("expected ',' or '}' in object");
+    }
+  }
+
+  bool parseArray(JsonValue &Out, unsigned Depth) {
+    ++Pos; // '['
+    Out = JsonValue::array();
+    skipSpace();
+    if (consume(']'))
+      return true;
+    for (;;) {
+      JsonValue V;
+      if (!parseValue(V, Depth + 1))
+        return false;
+      Out.elements().push_back(std::move(V));
+      skipSpace();
+      if (consume(','))
+        continue;
+      if (consume(']'))
+        return true;
+      return failBool("expected ',' or ']' in array");
+    }
+  }
+
+  bool parseString(std::string &Out) {
+    ++Pos; // opening quote
+    Out.clear();
+    while (!atEnd()) {
+      char C = Text[Pos];
+      if (C == '"') {
+        ++Pos;
+        return true;
+      }
+      if (static_cast<unsigned char>(C) < 0x20)
+        return failBool("unescaped control character in string");
+      if (C != '\\') {
+        Out.push_back(C);
+        ++Pos;
+        continue;
+      }
+      ++Pos;
+      if (atEnd())
+        return failBool("unterminated escape sequence");
+      char E = Text[Pos++];
+      switch (E) {
+      case '"':
+        Out.push_back('"');
+        break;
+      case '\\':
+        Out.push_back('\\');
+        break;
+      case '/':
+        Out.push_back('/');
+        break;
+      case 'b':
+        Out.push_back('\b');
+        break;
+      case 'f':
+        Out.push_back('\f');
+        break;
+      case 'n':
+        Out.push_back('\n');
+        break;
+      case 'r':
+        Out.push_back('\r');
+        break;
+      case 't':
+        Out.push_back('\t');
+        break;
+      case 'u': {
+        if (Pos + 4 > Text.size())
+          return failBool("truncated \\u escape");
+        unsigned Code = 0;
+        for (int I = 0; I != 4; ++I) {
+          char H = Text[Pos + I];
+          Code <<= 4;
+          if (H >= '0' && H <= '9')
+            Code |= static_cast<unsigned>(H - '0');
+          else if (H >= 'a' && H <= 'f')
+            Code |= static_cast<unsigned>(H - 'a' + 10);
+          else if (H >= 'A' && H <= 'F')
+            Code |= static_cast<unsigned>(H - 'A' + 10);
+          else
+            return failBool("invalid \\u escape");
+        }
+        Pos += 4;
+        if (Code < 0x80) {
+          Out.push_back(static_cast<char>(Code));
+        } else if (Code < 0x800) {
+          Out.push_back(static_cast<char>(0xC0 | (Code >> 6)));
+          Out.push_back(static_cast<char>(0x80 | (Code & 0x3F)));
+        } else {
+          // Basic-multilingual-plane code point as 3-byte UTF-8.
+          // Surrogate halves pass through as-is; padx never emits them.
+          Out.push_back(static_cast<char>(0xE0 | (Code >> 12)));
+          Out.push_back(
+              static_cast<char>(0x80 | ((Code >> 6) & 0x3F)));
+          Out.push_back(static_cast<char>(0x80 | (Code & 0x3F)));
+        }
+        break;
+      }
+      default:
+        return failBool("invalid escape character");
+      }
+    }
+    return failBool("unterminated string");
+  }
+
+  bool parseNumber(JsonValue &Out) {
+    size_t Start = Pos;
+    if (consume('-')) {
+    }
+    if (atEnd() || !std::isdigit(static_cast<unsigned char>(peek())))
+      return failBool("invalid value");
+    while (!atEnd() && std::isdigit(static_cast<unsigned char>(peek())))
+      ++Pos;
+    bool Integral = true;
+    if (!atEnd() && peek() == '.') {
+      Integral = false;
+      ++Pos;
+      if (atEnd() || !std::isdigit(static_cast<unsigned char>(peek())))
+        return failBool("digit expected after decimal point");
+      while (!atEnd() &&
+             std::isdigit(static_cast<unsigned char>(peek())))
+        ++Pos;
+    }
+    if (!atEnd() && (peek() == 'e' || peek() == 'E')) {
+      Integral = false;
+      ++Pos;
+      if (!atEnd() && (peek() == '+' || peek() == '-'))
+        ++Pos;
+      if (atEnd() || !std::isdigit(static_cast<unsigned char>(peek())))
+        return failBool("digit expected in exponent");
+      while (!atEnd() &&
+             std::isdigit(static_cast<unsigned char>(peek())))
+        ++Pos;
+    }
+    std::string Token(Text.substr(Start, Pos - Start));
+    if (Integral) {
+      errno = 0;
+      char *End = nullptr;
+      long long I = std::strtoll(Token.c_str(), &End, 10);
+      if (errno == 0 && End && *End == '\0') {
+        Out = JsonValue::integer(static_cast<int64_t>(I));
+        return true;
+      }
+      // Out-of-int64-range integer: fall through to double.
+    }
+    errno = 0;
+    char *End = nullptr;
+    double D = std::strtod(Token.c_str(), &End);
+    if (!End || *End != '\0' || !std::isfinite(D))
+      return failBool("invalid number");
+    Out = JsonValue::number(D);
+    return true;
+  }
+
+  std::string_view Text;
+  std::string *Error;
+  size_t Pos = 0;
+};
+
+} // namespace
+
+std::optional<JsonValue> support::parseJson(std::string_view Text,
+                                            std::string *Error) {
+  if (Error)
+    Error->clear();
+  return Parser(Text, Error).parse();
+}

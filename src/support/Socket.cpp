@@ -1,0 +1,178 @@
+//===----------------------------------------------------------------------===//
+//
+// Part of the padx project, under the Apache License v2.0.
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/Socket.h"
+
+#include <cerrno>
+#include <cstring>
+
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+using namespace padx;
+using namespace padx::support;
+
+namespace {
+
+std::string errnoMessage(const char *What) {
+  return std::string(What) + ": " + std::strerror(errno);
+}
+
+/// Fills a sockaddr_un for \p Path; false if the path does not fit
+/// (sun_path is ~108 bytes).
+bool fillAddress(const std::string &Path, sockaddr_un &Addr,
+                 std::string *Error) {
+  if (Path.size() >= sizeof(Addr.sun_path)) {
+    if (Error)
+      *Error = "socket path too long (" + std::to_string(Path.size()) +
+               " bytes, max " +
+               std::to_string(sizeof(Addr.sun_path) - 1) + "): " + Path;
+    return false;
+  }
+  std::memset(&Addr, 0, sizeof(Addr));
+  Addr.sun_family = AF_UNIX;
+  std::memcpy(Addr.sun_path, Path.c_str(), Path.size() + 1);
+  return true;
+}
+
+} // namespace
+
+void FileDescriptor::close() {
+  if (Fd >= 0) {
+    ::close(Fd);
+    Fd = -1;
+  }
+}
+
+void FileDescriptor::shutdownBoth() {
+  if (Fd >= 0)
+    ::shutdown(Fd, SHUT_RDWR);
+}
+
+FileDescriptor support::listenUnix(const std::string &Path,
+                                   std::string *Error, int Backlog) {
+  sockaddr_un Addr;
+  if (!fillAddress(Path, Addr, Error))
+    return FileDescriptor();
+
+  FileDescriptor Fd(::socket(AF_UNIX, SOCK_STREAM, 0));
+  if (!Fd.valid()) {
+    if (Error)
+      *Error = errnoMessage("socket");
+    return FileDescriptor();
+  }
+  // A stale socket file from a crashed daemon blocks bind(); unlink it.
+  // A *live* daemon also loses its file this way — padd documents that
+  // two daemons must not share a path.
+  ::unlink(Path.c_str());
+  if (::bind(Fd.get(), reinterpret_cast<sockaddr *>(&Addr),
+             sizeof(Addr)) != 0) {
+    if (Error)
+      *Error = errnoMessage("bind") + " (" + Path + ")";
+    return FileDescriptor();
+  }
+  if (::listen(Fd.get(), Backlog) != 0) {
+    if (Error)
+      *Error = errnoMessage("listen");
+    return FileDescriptor();
+  }
+  return Fd;
+}
+
+FileDescriptor support::acceptConnection(int ListenFd,
+                                         std::string *Error) {
+  for (;;) {
+    int Fd = ::accept(ListenFd, nullptr, nullptr);
+    if (Fd >= 0)
+      return FileDescriptor(Fd);
+    if (errno == EINTR)
+      continue;
+    if (Error)
+      *Error = errnoMessage("accept");
+    return FileDescriptor();
+  }
+}
+
+FileDescriptor support::connectUnix(const std::string &Path,
+                                    std::string *Error) {
+  sockaddr_un Addr;
+  if (!fillAddress(Path, Addr, Error))
+    return FileDescriptor();
+
+  FileDescriptor Fd(::socket(AF_UNIX, SOCK_STREAM, 0));
+  if (!Fd.valid()) {
+    if (Error)
+      *Error = errnoMessage("socket");
+    return FileDescriptor();
+  }
+  if (::connect(Fd.get(), reinterpret_cast<sockaddr *>(&Addr),
+                sizeof(Addr)) != 0) {
+    if (Error)
+      *Error = errnoMessage("connect") + " (" + Path + ")";
+    return FileDescriptor();
+  }
+  return Fd;
+}
+
+bool support::sendAll(int Fd, std::string_view Data,
+                      std::string *Error) {
+  size_t Sent = 0;
+  while (Sent < Data.size()) {
+    ssize_t N = ::send(Fd, Data.data() + Sent, Data.size() - Sent,
+                       MSG_NOSIGNAL);
+    if (N < 0) {
+      if (errno == EINTR)
+        continue;
+      if (Error)
+        *Error = errnoMessage("send");
+      return false;
+    }
+    Sent += static_cast<size_t>(N);
+  }
+  return true;
+}
+
+LineReader::Status LineReader::readLine(std::string &LineOut,
+                                        std::string *Error) {
+  for (;;) {
+    size_t NL = Buffer.find('\n');
+    if (NL != std::string::npos) {
+      if (NL > MaxFrameBytes)
+        return Status::FrameTooLarge;
+      LineOut.assign(Buffer, 0, NL);
+      if (!LineOut.empty() && LineOut.back() == '\r')
+        LineOut.pop_back();
+      Buffer.erase(0, NL + 1);
+      return Status::Line;
+    }
+    if (SawEof) {
+      if (Buffer.empty())
+        return Status::Eof;
+      // Final unterminated line: hand it over, then report Eof.
+      LineOut = std::move(Buffer);
+      Buffer.clear();
+      return Status::Line;
+    }
+    if (Buffer.size() > MaxFrameBytes)
+      return Status::FrameTooLarge;
+
+    char Chunk[4096];
+    ssize_t N = ::read(Fd, Chunk, sizeof(Chunk));
+    if (N < 0) {
+      if (errno == EINTR)
+        continue;
+      if (Error)
+        *Error = errnoMessage("read");
+      return Status::Error;
+    }
+    if (N == 0) {
+      SawEof = true;
+      continue;
+    }
+    Buffer.append(Chunk, static_cast<size_t>(N));
+  }
+}

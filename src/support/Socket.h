@@ -1,0 +1,121 @@
+//===----------------------------------------------------------------------===//
+//
+// Part of the padx project, under the Apache License v2.0.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Unix-domain socket primitives for the padd daemon and its clients:
+/// an RAII file descriptor, listen/accept/connect helpers that return
+/// errno-derived messages instead of printing, full-buffer send, and a
+/// newline-delimited frame reader with a hard frame-size cap (the
+/// protocol's first line of defense — an attacker cannot make the
+/// server buffer an unbounded "line").
+///
+/// Everything here is blocking I/O. The server gets concurrency from
+/// one reader thread per connection plus the shared worker pool, not
+/// from readiness multiplexing — at the daemon's target scale (tens of
+/// local clients) threads are simpler and TSan-checkable.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PADX_SUPPORT_SOCKET_H
+#define PADX_SUPPORT_SOCKET_H
+
+#include <cstddef>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <utility>
+
+namespace padx {
+namespace support {
+
+/// Owns one file descriptor; closes on destruction. Move-only.
+class FileDescriptor {
+public:
+  FileDescriptor() = default;
+  explicit FileDescriptor(int Fd) : Fd(Fd) {}
+  ~FileDescriptor() { close(); }
+
+  FileDescriptor(FileDescriptor &&Other) noexcept : Fd(Other.Fd) {
+    Other.Fd = -1;
+  }
+  FileDescriptor &operator=(FileDescriptor &&Other) noexcept {
+    if (this != &Other) {
+      close();
+      Fd = Other.Fd;
+      Other.Fd = -1;
+    }
+    return *this;
+  }
+  FileDescriptor(const FileDescriptor &) = delete;
+  FileDescriptor &operator=(const FileDescriptor &) = delete;
+
+  bool valid() const { return Fd >= 0; }
+  int get() const { return Fd; }
+  int release() {
+    int F = Fd;
+    Fd = -1;
+    return F;
+  }
+  void close();
+
+  /// shutdown(2) both directions — unblocks a thread parked in read()
+  /// on this descriptor (the server's stop path).
+  void shutdownBoth();
+
+private:
+  int Fd = -1;
+};
+
+/// Binds and listens on \p Path, unlinking a stale socket file first.
+/// On failure returns an invalid descriptor with the reason in
+/// \p Error.
+FileDescriptor listenUnix(const std::string &Path, std::string *Error,
+                          int Backlog = 64);
+
+/// Accepts one connection; invalid + message on failure (including the
+/// listener being closed by another thread, the normal stop path).
+FileDescriptor acceptConnection(int ListenFd, std::string *Error);
+
+/// Connects to the daemon at \p Path.
+FileDescriptor connectUnix(const std::string &Path, std::string *Error);
+
+/// Writes all of \p Data, retrying on short writes and EINTR. False +
+/// message on a hard error (EPIPE when the peer vanished, typically).
+/// SIGPIPE is suppressed per-call (MSG_NOSIGNAL).
+bool sendAll(int Fd, std::string_view Data, std::string *Error);
+
+/// Reads newline-delimited frames. Lines longer than \p MaxFrameBytes
+/// are a protocol violation: readLine() returns FrameTooLarge and the
+/// stream is unrecoverable (the reader cannot know where the next
+/// frame starts).
+class LineReader {
+public:
+  enum class Status {
+    Line,          ///< A complete frame is in the out-parameter.
+    Eof,           ///< Orderly end of stream at a frame boundary.
+    FrameTooLarge, ///< Line exceeded the cap; stream unusable.
+    Error,         ///< read(2) failed; message in the out-parameter.
+  };
+
+  LineReader(int Fd, size_t MaxFrameBytes)
+      : Fd(Fd), MaxFrameBytes(MaxFrameBytes) {}
+
+  /// Blocks for the next frame. The returned line excludes the
+  /// terminating '\n' (and a preceding '\r' if present). A final
+  /// unterminated line before EOF is returned as a Line, then Eof.
+  Status readLine(std::string &LineOut, std::string *Error);
+
+private:
+  int Fd;
+  size_t MaxFrameBytes;
+  std::string Buffer;
+  bool SawEof = false;
+};
+
+} // namespace support
+} // namespace padx
+
+#endif // PADX_SUPPORT_SOCKET_H

@@ -1,0 +1,200 @@
+//===----------------------------------------------------------------------===//
+//
+// Part of the padx project, under the Apache License v2.0.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The daemon's central contract: a padd response embeds the exact
+/// byte sequence the CLI tools produce. Sweeps the fuzz corpus and
+/// compares, per file, the daemon's transformed source against a direct
+/// pad::runPad, and the daemon's lint report in every format against
+/// direct lint::renderText / writeJson / writeSarif. Also pins down the
+/// cross-request economics: repeating the corpus through one handler
+/// must be mostly shared-cache hits the second time around.
+///
+//===----------------------------------------------------------------------===//
+
+#include "server/RequestHandler.h"
+
+#include "core/Padding.h"
+#include "frontend/Parser.h"
+#include "layout/DataLayout.h"
+#include "layout/TransformedSource.h"
+#include "lint/Linter.h"
+#include "lint/Output.h"
+#include "pipeline/PadPipeline.h"
+#include "pipeline/SharedAnalysisCache.h"
+#include "support/Diagnostics.h"
+#include "support/Json.h"
+#include "support/JsonWriter.h"
+
+#include "gtest/gtest.h"
+
+#include <algorithm>
+#include <filesystem>
+#include <fstream>
+#include <optional>
+#include <sstream>
+#include <string>
+#include <vector>
+
+using namespace padx;
+using namespace padx::server;
+
+namespace {
+
+std::vector<std::filesystem::path> corpusFiles() {
+  std::vector<std::filesystem::path> Files;
+  for (const auto &Entry :
+       std::filesystem::directory_iterator(PADX_CORPUS_DIR))
+    if (Entry.path().extension() == ".pad")
+      Files.push_back(Entry.path());
+  std::sort(Files.begin(), Files.end());
+  EXPECT_FALSE(Files.empty()) << "corpus missing at " PADX_CORPUS_DIR;
+  return Files;
+}
+
+std::string slurp(const std::filesystem::path &File) {
+  std::ifstream In(File);
+  std::ostringstream Buf;
+  Buf << In.rdbuf();
+  return Buf.str();
+}
+
+/// Builds a request frame the way paddctl does — through JsonWriter, so
+/// arbitrary corpus bytes survive escaping.
+std::string buildFrame(int64_t Id, const std::string &Op,
+                       const std::string &Source,
+                       const std::string &Filename,
+                       const std::string &Format = std::string()) {
+  std::ostringstream OS;
+  support::JsonWriter JW(OS);
+  JW.beginObject();
+  JW.field("id", Id);
+  JW.field("op", Op);
+  JW.field("source", Source);
+  JW.field("filename", Filename);
+  if (!Format.empty())
+    JW.field("format", Format);
+  JW.endObject();
+  return OS.str();
+}
+
+support::JsonValue respond(RequestHandler &H, const std::string &Frame) {
+  std::string Response = H.handleLine(Frame);
+  auto Doc = support::parseJson(Response);
+  EXPECT_TRUE(Doc.has_value()) << "unparseable response: " << Response;
+  return Doc ? *Doc : support::JsonValue();
+}
+
+std::string resultString(const support::JsonValue &R,
+                         const char *Field) {
+  const support::JsonValue *Res = R.find("result");
+  return Res ? Res->getString(Field, "") : "";
+}
+
+std::optional<ir::Program> tryParse(const std::string &Source) {
+  DiagnosticEngine Diags;
+  return frontend::parseProgram(Source, Diags);
+}
+
+} // namespace
+
+// Daemon pad responses carry byte-identical transformed sources to a
+// direct pad::runPad — what `padtool --emit` prints.
+TEST(DaemonEquivalence, PadMatchesDirectRunPadAcrossCorpus) {
+  pipeline::SharedAnalysisCache Shared;
+  RequestHandler H(ServerOptions{}, Shared);
+  const CacheConfig Cache = CacheConfig::base16K();
+
+  int64_t Id = 0;
+  size_t Checked = 0;
+  for (const auto &File : corpusFiles()) {
+    std::string Source = slurp(File);
+    std::optional<ir::Program> P = tryParse(Source);
+    support::JsonValue R = respond(
+        H, buildFrame(Id++, "pad", Source, File.filename().string()));
+    if (!P) {
+      // The daemon must agree that this corpus entry is unparseable.
+      EXPECT_FALSE(R.getBool("ok", true)) << File;
+      continue;
+    }
+    ASSERT_TRUE(R.getBool("ok", false)) << File;
+    pipeline::PadPipeline PP(*P);
+    pad::PaddingResult Direct = pad::runPad(*P, Cache, PP);
+    EXPECT_EQ(resultString(R, "transformed_source"),
+              layout::transformedSourceToString(Direct.Layout))
+        << File;
+    ++Checked;
+  }
+  EXPECT_GT(Checked, 0u);
+}
+
+// Daemon lint responses embed byte-identical reports to padlint in all
+// three output formats.
+TEST(DaemonEquivalence, LintReportsMatchCliInEveryFormat) {
+  pipeline::SharedAnalysisCache Shared;
+  RequestHandler H(ServerOptions{}, Shared);
+  const CacheConfig Cache = CacheConfig::base16K();
+
+  int64_t Id = 0;
+  size_t Checked = 0;
+  for (const auto &File : corpusFiles()) {
+    std::string Source = slurp(File);
+    std::optional<ir::Program> P = tryParse(Source);
+    if (!P)
+      continue;
+    std::string Filename = File.filename().string();
+    layout::DataLayout DL = layout::originalLayout(*P);
+    pipeline::PadPipeline PP(*P);
+    lint::Linter L(lint::LintOptions{Cache});
+    lint::LintResult Res = L.run(DL, PP);
+
+    for (const char *Format : {"text", "json", "sarif"}) {
+      support::JsonValue R = respond(
+          H, buildFrame(Id++, "lint", Source, Filename, Format));
+      ASSERT_TRUE(R.getBool("ok", false)) << File << " " << Format;
+
+      std::string Expected;
+      if (std::string(Format) == "text") {
+        Expected = lint::renderText(Res, DL, Source, Filename);
+      } else if (std::string(Format) == "json") {
+        std::ostringstream OS;
+        lint::writeJson(OS, Res, DL, Cache, Filename);
+        Expected = OS.str();
+      } else {
+        std::ostringstream OS;
+        lint::SarifFileResult F;
+        F.Filename = Filename;
+        F.ProgramName = P->name();
+        F.Result = &Res;
+        F.DL = &DL;
+        lint::writeSarif(OS, {F});
+        Expected = OS.str();
+      }
+      EXPECT_EQ(resultString(R, "report"), Expected)
+          << File << " format=" << Format;
+    }
+    ++Checked;
+  }
+  EXPECT_GT(Checked, 0u);
+}
+
+// Repeating the corpus through one handler: the second sweep's analyses
+// are served from the shared cache — the >50% hit-rate acceptance bar.
+TEST(DaemonEquivalence, RepeatedCorpusSweepIsMostlySharedHits) {
+  pipeline::SharedAnalysisCache Shared;
+  RequestHandler H(ServerOptions{}, Shared);
+
+  int64_t Id = 0;
+  for (int Round = 0; Round != 3; ++Round)
+    for (const auto &File : corpusFiles())
+      respond(H, buildFrame(Id++, "padlite", slurp(File),
+                            File.filename().string()));
+
+  pipeline::SharedCacheStats S = Shared.snapshot();
+  EXPECT_GT(S.totalHits(), 0u);
+  EXPECT_GT(S.hitRate(), 0.5)
+      << "hits=" << S.totalHits() << " misses=" << S.totalMisses();
+}

@@ -1,0 +1,228 @@
+//===----------------------------------------------------------------------===//
+//
+// Part of the padx project, under the Apache License v2.0.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Protocol-layer tests, no sockets involved: request parsing rejects
+/// malformed and ill-typed frames with the right error codes, the
+/// handler answers garbage with structured parse errors instead of
+/// dying, quotas surface as resource_exhausted, deadlines as
+/// deadline_exceeded or a partial search result, and every response is
+/// itself one well-formed JSON line.
+///
+//===----------------------------------------------------------------------===//
+
+#include "server/RequestHandler.h"
+
+#include "pipeline/SharedAnalysisCache.h"
+#include "server/Protocol.h"
+#include "support/Json.h"
+
+#include "gtest/gtest.h"
+
+#include <string>
+
+using namespace padx;
+using namespace padx::server;
+
+namespace {
+
+const char *kTinyProgram = "program p\n"
+                           "array A : real[64, 64]\n"
+                           "array B : real[64, 64]\n"
+                           "loop i = 1, 62 {\n"
+                           "  loop j = 1, 62 {\n"
+                           "    A[j, i] = B[j, i] + B[j+1, i+1]\n"
+                           "  }\n"
+                           "}\n";
+
+/// Builds a handler over fresh state; tests share nothing.
+struct HandlerFixture {
+  ServerOptions Opts;
+  pipeline::SharedAnalysisCache Shared;
+  RequestHandler Handler{Opts, Shared};
+
+  support::JsonValue respond(const std::string &Line) {
+    std::string Response = Handler.handleLine(Line);
+    auto Doc = support::parseJson(Response);
+    EXPECT_TRUE(Doc.has_value())
+        << "unparseable response: " << Response;
+    return Doc ? *Doc : support::JsonValue();
+  }
+};
+
+std::string errorCode(const support::JsonValue &Doc) {
+  const support::JsonValue *E = Doc.find("error");
+  return E ? E->getString("code", "") : "";
+}
+
+/// A minimal JSON string escape for embedding sources in request
+/// literals.
+std::string quoted(const std::string &S) {
+  std::string Out = "\"";
+  for (char C : S) {
+    if (C == '"' || C == '\\')
+      Out += '\\';
+    if (C == '\n') {
+      Out += "\\n";
+      continue;
+    }
+    Out += C;
+  }
+  Out += '"';
+  return Out;
+}
+
+} // namespace
+
+TEST(Protocol, MalformedJsonGetsStructuredParseError) {
+  HandlerFixture F;
+  for (const char *Bad :
+       {"", "{", "not json at all", "{\"id\":}", "[1,2,3", "\x01\x02"}) {
+    support::JsonValue R = F.respond(Bad);
+    EXPECT_FALSE(R.getBool("ok", true)) << Bad;
+    EXPECT_EQ(errorCode(R), kErrParse) << Bad;
+  }
+}
+
+TEST(Protocol, NonObjectAndMissingFieldsAreInvalidRequests) {
+  HandlerFixture F;
+  for (const char *Bad :
+       {"[]", "42", "\"hello\"", "{}", "{\"id\":1}",
+        "{\"id\":-3,\"op\":\"ping\"}", "{\"id\":\"x\",\"op\":\"ping\"}",
+        "{\"id\":1,\"op\":\"frobnicate\"}",
+        "{\"id\":1,\"op\":\"pad\"}",
+        "{\"id\":1,\"op\":\"lint\",\"source\":\"\",\"format\":\"xml\"}",
+        "{\"id\":1,\"op\":\"pad\",\"source\":\"\",\"cache\":1000}",
+        "{\"id\":1,\"op\":\"pad\",\"source\":\"\",\"deadline_ms\":-1}"}) {
+    support::JsonValue R = F.respond(Bad);
+    EXPECT_FALSE(R.getBool("ok", true)) << Bad;
+    EXPECT_EQ(errorCode(R), kErrInvalidRequest) << Bad;
+  }
+}
+
+TEST(Protocol, RequestIdIsEchoedOnErrors) {
+  HandlerFixture F;
+  support::JsonValue R =
+      F.respond("{\"id\":77,\"op\":\"frobnicate\"}");
+  EXPECT_EQ(R.getInt("id", -1), 77);
+  // Unparseable frames cannot carry an id; -1 marks that.
+  EXPECT_EQ(F.respond("###").getInt("id", 0), -1);
+}
+
+TEST(Protocol, PingAndStatsRoundTrip) {
+  HandlerFixture F;
+  support::JsonValue R = F.respond("{\"id\":1,\"op\":\"ping\"}");
+  EXPECT_TRUE(R.getBool("ok", false));
+  EXPECT_EQ(R.getString("op", ""), "ping");
+  const support::JsonValue *Res = R.find("result");
+  ASSERT_NE(Res, nullptr);
+  EXPECT_EQ(Res->getString("server", ""), "padd");
+
+  support::JsonValue S = F.respond("{\"id\":2,\"op\":\"stats\"}");
+  ASSERT_TRUE(S.getBool("ok", false));
+  const support::JsonValue *SR = S.find("result");
+  ASSERT_NE(SR, nullptr);
+  const support::JsonValue *Req = SR->find("requests");
+  ASSERT_NE(Req, nullptr);
+  EXPECT_GE(Req->getInt("served", 0), 2);
+  ASSERT_NE(SR->find("shared_cache"), nullptr);
+}
+
+TEST(Protocol, UnparseableProgramIsInvalidProgram) {
+  HandlerFixture F;
+  support::JsonValue R = F.respond(
+      "{\"id\":5,\"op\":\"pad\",\"source\":\"this is not padlang\"}");
+  EXPECT_FALSE(R.getBool("ok", true));
+  EXPECT_EQ(errorCode(R), kErrInvalidProgram);
+}
+
+TEST(Protocol, PadRequestSucceedsWithStats) {
+  HandlerFixture F;
+  support::JsonValue R = F.respond(
+      "{\"id\":9,\"op\":\"pad\",\"source\":" + quoted(kTinyProgram) +
+      "}");
+  ASSERT_TRUE(R.getBool("ok", false)) << "pad request failed";
+  EXPECT_EQ(R.getString("status", ""), "complete");
+  const support::JsonValue *Res = R.find("result");
+  ASSERT_NE(Res, nullptr);
+  EXPECT_FALSE(Res->getString("transformed_source", "").empty());
+  // The per-request pipeline stats ride along, in the exact shape the
+  // CLI's --stats-json emits.
+  const support::JsonValue *Stats = R.find("stats");
+  ASSERT_NE(Stats, nullptr);
+  EXPECT_NE(Stats->find("pipeline"), nullptr);
+}
+
+TEST(Protocol, FootprintQuotaIsResourceExhausted) {
+  HandlerFixture F;
+  support::JsonValue R = F.respond(
+      "{\"id\":3,\"op\":\"pad\",\"source\":" + quoted(kTinyProgram) +
+      ",\"max_footprint\":64}");
+  EXPECT_FALSE(R.getBool("ok", true));
+  EXPECT_EQ(errorCode(R), kErrResourceExhausted);
+}
+
+TEST(Protocol, MemoryBudgetIsResourceExhausted) {
+  HandlerFixture F;
+  support::JsonValue R = F.respond(
+      "{\"id\":4,\"op\":\"lint\",\"source\":" + quoted(kTinyProgram) +
+      ",\"memory_budget\":32}");
+  EXPECT_FALSE(R.getBool("ok", true));
+  EXPECT_EQ(errorCode(R), kErrResourceExhausted);
+}
+
+TEST(Protocol, TraceQuotaOnSearchIsResourceExhausted) {
+  HandlerFixture F;
+  support::JsonValue R = F.respond(
+      "{\"id\":6,\"op\":\"search\",\"source\":" + quoted(kTinyProgram) +
+      ",\"max_accesses\":10,\"budget\":4}");
+  EXPECT_FALSE(R.getBool("ok", true));
+  EXPECT_EQ(errorCode(R), kErrResourceExhausted);
+}
+
+TEST(Protocol, ExpiredDeadlineOnCheapOpIsDeadlineExceeded) {
+  HandlerFixture F;
+  // A deadline this small has always passed by the first phase check.
+  support::JsonValue R = F.respond(
+      "{\"id\":8,\"op\":\"lint\",\"source\":" + quoted(kTinyProgram) +
+      ",\"deadline_ms\":0.000001}");
+  EXPECT_FALSE(R.getBool("ok", true));
+  EXPECT_EQ(errorCode(R), kErrDeadlineExceeded);
+}
+
+TEST(Protocol, SearchDeadlineDegradesToPartialBestSoFar) {
+  HandlerFixture F;
+  // The seed evaluations always run (the "never worse than PAD"
+  // guarantee), then the climb stops at the microscopic deadline.
+  support::JsonValue R = F.respond(
+      "{\"id\":10,\"op\":\"search\",\"source\":" +
+      quoted(kTinyProgram) +
+      ",\"deadline_ms\":0.001,\"budget\":4096,\"seed\":1}");
+  ASSERT_TRUE(R.getBool("ok", false))
+      << "a search deadline must degrade, not fail";
+  EXPECT_EQ(R.getString("status", ""), "partial");
+  const support::JsonValue *Res = R.find("result");
+  ASSERT_NE(Res, nullptr);
+  EXPECT_EQ(Res->getString("outcome", ""), "deadline expired");
+  EXPECT_FALSE(Res->getString("transformed_source", "").empty());
+}
+
+TEST(Protocol, ShutdownSetsTheFlagAndAnswers) {
+  HandlerFixture F;
+  EXPECT_FALSE(F.Handler.shutdownRequested());
+  support::JsonValue R = F.respond("{\"id\":11,\"op\":\"shutdown\"}");
+  EXPECT_TRUE(R.getBool("ok", false));
+  EXPECT_TRUE(F.Handler.shutdownRequested());
+}
+
+TEST(Protocol, FailureCounterTracksErrorResponses) {
+  HandlerFixture F;
+  F.respond("{\"id\":1,\"op\":\"ping\"}");
+  F.respond("garbage");
+  F.respond("{\"id\":2,\"op\":\"frobnicate\"}");
+  EXPECT_EQ(F.Handler.requestsServed(), 3u);
+  EXPECT_EQ(F.Handler.requestsFailed(), 2u);
+}

@@ -1,0 +1,294 @@
+//===----------------------------------------------------------------------===//
+//
+// Part of the padx project, under the Apache License v2.0.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Socket-level tests for the padd daemon: real unix-domain sockets,
+/// real reader threads, real pool dispatch. Covers concurrent clients,
+/// pipelining, half-closed connections that still receive every
+/// response, the oversized-frame error path, the shutdown op waking
+/// wait(), and search deadlines degrading to partial responses over the
+/// wire.
+///
+//===----------------------------------------------------------------------===//
+
+#include "server/Server.h"
+
+#include "support/Json.h"
+#include "support/Socket.h"
+
+#include "gtest/gtest.h"
+
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <atomic>
+#include <cstdio>
+#include <string>
+#include <thread>
+#include <vector>
+
+using namespace padx;
+using namespace padx::server;
+
+namespace {
+
+const char *kTinyProgram = "program p\n"
+                           "array A : real[64, 64]\n"
+                           "array B : real[64, 64]\n"
+                           "loop i = 1, 62 {\n"
+                           "  loop j = 1, 62 {\n"
+                           "    A[j, i] = B[j, i] + B[j+1, i+1]\n"
+                           "  }\n"
+                           "}\n";
+
+std::string uniqueSocketPath() {
+  static std::atomic<unsigned> Counter{0};
+  char Buf[96];
+  std::snprintf(Buf, sizeof(Buf), "/tmp/padx_srv_%ld_%u.sock",
+                static_cast<long>(::getpid()),
+                Counter.fetch_add(1));
+  return Buf;
+}
+
+std::string escapeSource(const std::string &S) {
+  std::string Out;
+  for (char C : S) {
+    if (C == '"' || C == '\\')
+      Out += '\\';
+    if (C == '\n') {
+      Out += "\\n";
+      continue;
+    }
+    Out += C;
+  }
+  return Out;
+}
+
+/// A server bound to a fresh socket path; stopped on destruction.
+struct ServerFixture {
+  std::string Path = uniqueSocketPath();
+  PaddServer Srv;
+
+  ServerFixture(ServerOptions Opts = {}) : Srv(withPath(std::move(Opts))) {
+    std::string Err;
+    if (!Srv.start(&Err))
+      ADD_FAILURE() << "server start failed: " << Err;
+  }
+  ~ServerFixture() { Srv.stop(); }
+
+  ServerOptions withPath(ServerOptions Opts) {
+    Opts.SocketPath = Path;
+    return Opts;
+  }
+};
+
+/// One blocking client connection with line-level send/recv.
+struct Client {
+  support::FileDescriptor Fd;
+  support::LineReader Reader;
+
+  explicit Client(const std::string &Path, std::string *Err = nullptr)
+      : Fd(support::connectUnix(Path, Err ? Err : &OwnErr)),
+        Reader(Fd.get(), 64u << 20) {}
+
+  bool send(const std::string &Line) {
+    return support::sendAll(Fd.get(), Line + "\n", &OwnErr);
+  }
+
+  std::optional<support::JsonValue> recv() {
+    std::string Line;
+    if (Reader.readLine(Line, &OwnErr) != support::LineReader::Status::Line)
+      return std::nullopt;
+    return support::parseJson(Line);
+  }
+
+  /// Closes our write side only; the daemon must still answer
+  /// everything already sent.
+  void halfClose() { ::shutdown(Fd.get(), SHUT_WR); }
+
+  std::string OwnErr;
+};
+
+} // namespace
+
+TEST(Server, PingOverTheWire) {
+  ServerFixture F;
+  Client C(F.Path);
+  ASSERT_TRUE(C.Fd.valid()) << C.OwnErr;
+  ASSERT_TRUE(C.send("{\"id\":1,\"op\":\"ping\"}"));
+  auto R = C.recv();
+  ASSERT_TRUE(R.has_value());
+  EXPECT_TRUE(R->getBool("ok", false));
+  EXPECT_EQ(R->getInt("id", -1), 1);
+}
+
+TEST(Server, PipelinedRequestsAllAnswered) {
+  ServerFixture F;
+  Client C(F.Path);
+  ASSERT_TRUE(C.Fd.valid()) << C.OwnErr;
+
+  const int N = 16;
+  std::string Source = escapeSource(kTinyProgram);
+  for (int I = 0; I != N; ++I) {
+    std::string Op = (I % 2) ? "lint" : "padlite";
+    ASSERT_TRUE(C.send("{\"id\":" + std::to_string(I) + ",\"op\":\"" +
+                       Op + "\",\"source\":\"" + Source + "\"}"));
+  }
+  // Responses arrive in completion order; collect ids and reconcile.
+  std::vector<bool> Seen(N, false);
+  for (int I = 0; I != N; ++I) {
+    auto R = C.recv();
+    ASSERT_TRUE(R.has_value()) << "response " << I << ": " << C.OwnErr;
+    EXPECT_TRUE(R->getBool("ok", false));
+    int64_t Id = R->getInt("id", -1);
+    ASSERT_GE(Id, 0);
+    ASSERT_LT(Id, N);
+    EXPECT_FALSE(Seen[Id]) << "duplicate response id " << Id;
+    Seen[Id] = true;
+  }
+}
+
+TEST(Server, FourConcurrentClients) {
+  ServerFixture F;
+  const unsigned kClients = 4;
+  const int kPerClient = 8;
+  std::string Source = escapeSource(kTinyProgram);
+  std::atomic<unsigned> Failures{0};
+
+  std::vector<std::thread> Threads;
+  for (unsigned T = 0; T != kClients; ++T) {
+    Threads.emplace_back([&, T] {
+      Client C(F.Path);
+      if (!C.Fd.valid()) {
+        Failures.fetch_add(1);
+        return;
+      }
+      for (int I = 0; I != kPerClient; ++I) {
+        int64_t Id = T * 1000 + I;
+        if (!C.send("{\"id\":" + std::to_string(Id) +
+                    ",\"op\":\"pad\",\"source\":\"" + Source + "\"}")) {
+          Failures.fetch_add(1);
+          return;
+        }
+      }
+      for (int I = 0; I != kPerClient; ++I) {
+        auto R = C.recv();
+        if (!R || !R->getBool("ok", false))
+          Failures.fetch_add(1);
+      }
+    });
+  }
+  for (std::thread &T : Threads)
+    T.join();
+  EXPECT_EQ(Failures.load(), 0u);
+  EXPECT_GE(F.Srv.handler().requestsServed(), kClients * kPerClient);
+  // The same program from every client: the shared cache must have
+  // served most of the repeat analyses.
+  EXPECT_GT(F.Srv.sharedCache().snapshot().hitRate(), 0.5);
+}
+
+TEST(Server, HalfClosedClientStillGetsAllResponses) {
+  ServerFixture F;
+  Client C(F.Path);
+  ASSERT_TRUE(C.Fd.valid()) << C.OwnErr;
+
+  const int N = 6;
+  std::string Source = escapeSource(kTinyProgram);
+  for (int I = 0; I != N; ++I)
+    ASSERT_TRUE(C.send("{\"id\":" + std::to_string(I) +
+                       ",\"op\":\"lint\",\"source\":\"" + Source +
+                       "\"}"));
+  // Declare "no more requests" before reading anything: the daemon must
+  // drain all in-flight work for this connection, not drop it.
+  C.halfClose();
+  for (int I = 0; I != N; ++I) {
+    auto R = C.recv();
+    ASSERT_TRUE(R.has_value()) << "response " << I << " after half-close";
+    EXPECT_TRUE(R->getBool("ok", false));
+  }
+  // Then orderly EOF.
+  EXPECT_FALSE(C.recv().has_value());
+}
+
+TEST(Server, OversizedFrameAnsweredThenClosed) {
+  ServerOptions Opts;
+  Opts.MaxFrameBytes = 1024;
+  ServerFixture F(Opts);
+  Client C(F.Path);
+  ASSERT_TRUE(C.Fd.valid()) << C.OwnErr;
+
+  std::string Huge(4096, 'x');
+  ASSERT_TRUE(C.send("{\"id\":1,\"op\":\"ping\",\"pad\":\"" + Huge +
+                     "\"}"));
+  auto R = C.recv();
+  ASSERT_TRUE(R.has_value());
+  EXPECT_FALSE(R->getBool("ok", true));
+  const support::JsonValue *E = R->find("error");
+  ASSERT_NE(E, nullptr);
+  EXPECT_EQ(E->getString("code", ""), "frame_too_large");
+  // The stream cannot be resynchronized; the daemon closes it.
+  EXPECT_FALSE(C.recv().has_value());
+}
+
+TEST(Server, SearchDeadlineIsPartialOverTheWire) {
+  ServerFixture F;
+  Client C(F.Path);
+  ASSERT_TRUE(C.Fd.valid()) << C.OwnErr;
+  ASSERT_TRUE(C.send("{\"id\":1,\"op\":\"search\",\"source\":\"" +
+                     escapeSource(kTinyProgram) +
+                     "\",\"deadline_ms\":0.001,\"budget\":4096}"));
+  auto R = C.recv();
+  ASSERT_TRUE(R.has_value());
+  EXPECT_TRUE(R->getBool("ok", false));
+  EXPECT_EQ(R->getString("status", ""), "partial");
+}
+
+TEST(Server, ShutdownOpWakesWait) {
+  ServerFixture F;
+
+  std::thread Waiter([&] { F.Srv.wait(); });
+  Client C(F.Path);
+  ASSERT_TRUE(C.Fd.valid()) << C.OwnErr;
+  ASSERT_TRUE(C.send("{\"id\":1,\"op\":\"shutdown\"}"));
+  auto R = C.recv();
+  ASSERT_TRUE(R.has_value());
+  EXPECT_TRUE(R->getBool("ok", false));
+  Waiter.join(); // Hangs forever if the shutdown op doesn't wake wait().
+  F.Srv.stop();
+  EXPECT_FALSE(F.Srv.running());
+}
+
+TEST(Server, StopIsIdempotentAndUnblocksClients) {
+  auto F = std::make_unique<ServerFixture>();
+  Client C(F->Path);
+  ASSERT_TRUE(C.Fd.valid()) << C.OwnErr;
+  F->Srv.stop();
+  F->Srv.stop(); // Second stop must be a no-op, not a crash.
+  // The client's read unblocks with EOF or an error, not a hang.
+  EXPECT_FALSE(C.recv().has_value());
+}
+
+TEST(Server, StatsReportSharedCacheActivity) {
+  ServerFixture F;
+  Client C(F.Path);
+  ASSERT_TRUE(C.Fd.valid()) << C.OwnErr;
+  std::string Source = escapeSource(kTinyProgram);
+  for (int I = 0; I != 3; ++I)
+    ASSERT_TRUE(C.send("{\"id\":" + std::to_string(I) +
+                       ",\"op\":\"padlite\",\"source\":\"" + Source +
+                       "\",\"emit\":false}"));
+  for (int I = 0; I != 3; ++I)
+    ASSERT_TRUE(C.recv().has_value());
+
+  ASSERT_TRUE(C.send("{\"id\":9,\"op\":\"stats\"}"));
+  auto R = C.recv();
+  ASSERT_TRUE(R.has_value());
+  const support::JsonValue *Res = R->find("result");
+  ASSERT_NE(Res, nullptr);
+  const support::JsonValue *SC = Res->find("shared_cache");
+  ASSERT_NE(SC, nullptr);
+  EXPECT_GT(SC->getInt("hits", 0), 0);
+}

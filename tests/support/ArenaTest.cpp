@@ -1,0 +1,129 @@
+//===----------------------------------------------------------------------===//
+//
+// Part of the padx project, under the Apache License v2.0.
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/Arena.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <cstring>
+#include <string>
+#include <vector>
+
+using namespace padx;
+using namespace padx::support;
+
+namespace {
+
+TEST(Arena, AllocationsAreAlignedAndDisjoint) {
+  Arena A;
+  void *P1 = A.allocate(13, 1);
+  void *P2 = A.allocate(16, 16);
+  void *P3 = A.allocate(1, 64);
+  EXPECT_EQ(reinterpret_cast<uintptr_t>(P2) % 16, 0u);
+  EXPECT_EQ(reinterpret_cast<uintptr_t>(P3) % 64, 0u);
+  // Write through each to let ASan catch overlap or OOB.
+  std::memset(P1, 0xAA, 13);
+  std::memset(P2, 0xBB, 16);
+  std::memset(P3, 0xCC, 1);
+  EXPECT_EQ(*static_cast<unsigned char *>(P1), 0xAA);
+  EXPECT_EQ(*static_cast<unsigned char *>(P2), 0xBB);
+  EXPECT_GE(A.bytesUsed(), 13u + 16u + 1u);
+}
+
+TEST(Arena, ZeroSizeAllocationYieldsDistinctPointers) {
+  Arena A;
+  void *P1 = A.allocate(0);
+  void *P2 = A.allocate(0);
+  EXPECT_NE(P1, nullptr);
+  EXPECT_NE(P1, P2);
+}
+
+TEST(Arena, OversizeAllocationGetsDedicatedBlock) {
+  Arena A;
+  // Fill part of a normal block first so the oversize path must not
+  // disturb the bump pointer.
+  void *Small1 = A.allocate(100);
+  void *Big = A.allocate(Arena::kBlockBytes);
+  void *Small2 = A.allocate(100);
+  std::memset(Big, 0x11, Arena::kBlockBytes);
+  std::memset(Small1, 0x22, 100);
+  std::memset(Small2, 0x33, 100);
+  EXPECT_GE(A.numBlocks(), 2u);
+  EXPECT_GE(A.bytesUsed(), Arena::kBlockBytes + 200);
+}
+
+TEST(Arena, CreateRunsDestructorsInReverseOrder) {
+  std::vector<int> Order;
+  struct Tracker {
+    std::vector<int> *Order;
+    int Id;
+    Tracker(std::vector<int> *Order, int Id) : Order(Order), Id(Id) {}
+    ~Tracker() { Order->push_back(Id); }
+  };
+  {
+    Arena A;
+    A.create<Tracker>(&Order, 1);
+    A.create<Tracker>(&Order, 2);
+    A.create<Tracker>(&Order, 3);
+  }
+  ASSERT_EQ(Order.size(), 3u);
+  EXPECT_EQ(Order[0], 3);
+  EXPECT_EQ(Order[1], 2);
+  EXPECT_EQ(Order[2], 1);
+}
+
+TEST(Arena, CreateOwnsHeapHoldingObjects) {
+  Arena A;
+  auto *S = A.create<std::string>(10000, 'x');
+  EXPECT_EQ(S->size(), 10000u);
+  auto *V = A.create<std::vector<int>>(1000, 7);
+  EXPECT_EQ(V->at(999), 7);
+  A.reset(); // ASan verifies the string/vector buffers are freed.
+  EXPECT_EQ(A.bytesUsed(), 0u);
+  EXPECT_EQ(A.numBlocks(), 0u);
+}
+
+TEST(Arena, BudgetEnforcedOnAllocate) {
+  Arena A(1024);
+  A.allocate(512);
+  EXPECT_THROW(A.allocate(1024), ArenaBudgetExceeded);
+  // The failed allocation must not be counted.
+  EXPECT_EQ(A.bytesUsed(), 512u);
+  A.allocate(256); // Still under budget.
+}
+
+TEST(Arena, BudgetEnforcedOnCharge) {
+  Arena A(1000);
+  A.charge(900);
+  EXPECT_THROW(A.charge(200), ArenaBudgetExceeded);
+  EXPECT_EQ(A.bytesUsed(), 900u);
+  try {
+    A.charge(200);
+    FAIL() << "expected ArenaBudgetExceeded";
+  } catch (const ArenaBudgetExceeded &E) {
+    EXPECT_NE(std::string(E.what()).find("budget of 1000"),
+              std::string::npos);
+  }
+}
+
+TEST(Arena, ZeroBudgetMeansUnlimited) {
+  Arena A(0);
+  A.charge(size_t(1) << 40);
+  A.allocate(1 << 20);
+  SUCCEED();
+}
+
+TEST(Arena, ResetMakesArenaReusable) {
+  Arena A(4096);
+  A.allocate(4000);
+  EXPECT_THROW(A.allocate(200), ArenaBudgetExceeded);
+  A.reset();
+  void *P = A.allocate(4000);
+  EXPECT_NE(P, nullptr);
+}
+
+} // namespace
