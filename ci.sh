@@ -6,13 +6,21 @@
 # CI driver: the tier-1 build + test cycle, the padlint exit-code /
 # SARIF / crash-robustness stages, a padd daemon stage (4 concurrent
 # paddctl clients over the corpus, streamed-SARIF validation, protocol
-# shutdown, then the server_throughput hit-rate/p99 guard), then the
-# same suite under ASan+UBSan
+# shutdown, a drain-under-load smoke — SIGTERM mid-sweep, no lost
+# replies — then the server_throughput hit-rate/p99 guard and an
+# open-loop overload run at 2x the measured saturation, guarding that
+# the daemon sheds with structured errors while accepted-request p99
+# stays bounded), then the same suite under ASan+UBSan
 # (-DPADX_SANITIZE=ON) so heap misuse and undefined behavior in the
 # concurrent search / thread-pool code surface on every run. A TSan
 # stage (-DPADX_SANITIZE_THREAD=ON) covers the data races ASan cannot
 # see, gated on a runtime probe of the toolchain; a clang-tidy stage
 # (advisory, see .clang-tidy) runs when the tool is on PATH.
+#
+# Both sanitizer builds compile with -DPADX_FAULT_INJECTION=ON and
+# replay the ChaosTest corpus sweep under three fixed fault seeds, so
+# every injected-fault code path runs under ASan and TSan on every CI
+# cycle (the hooks stay disabled for all other tests).
 #
 # Both configurations replay the fuzz corpus + crasher regressions via
 # the `fuzz_corpus_regression` ctest. When clang++ is on PATH a third
@@ -183,6 +191,39 @@ wait "$PADD_PID" || { echo "padd exited nonzero"; cat "$PADD_LOG"; exit 1; }
 grep -q "padd stopped" "$PADD_LOG" || {
   echo "padd did not report a clean stop"; cat "$PADD_LOG"; exit 1; }
 
+echo "== padd: drain under load (SIGTERM mid-sweep, no lost replies) =="
+# A fresh daemon, a paddctl corpus sweep in flight, SIGTERM in the
+# middle: the daemon must drain (serve the connected client to
+# completion, exit 0) and the client must come away with every reply.
+DRAIN_SOCK="build/padd_drain.sock"
+DRAIN_LOG="build/padd_drain.log"
+rm -f "$DRAIN_SOCK"
+build/examples/padd --socket "$DRAIN_SOCK" > "$DRAIN_LOG" 2>&1 &
+DRAIN_PID=$!
+for _ in $(seq 1 100); do
+  grep -q "padd listening" "$DRAIN_LOG" 2> /dev/null && break
+  sleep 0.1
+done
+grep -q "padd listening" "$DRAIN_LOG" || {
+  echo "padd failed to start"; cat "$DRAIN_LOG"; exit 1; }
+build/examples/paddctl --socket "$DRAIN_SOCK" --op pad --no-emit \
+  --repeat 40 tests/fuzz/corpus/*.pad \
+  > build/padd_drain_replies.ndjson &
+SWEEP_PID=$!
+sleep 0.1
+kill -TERM "$DRAIN_PID"
+wait "$SWEEP_PID" || {
+  echo "paddctl lost replies during drain"; cat "$DRAIN_LOG"; exit 1; }
+wait "$DRAIN_PID" || {
+  echo "padd drain exited nonzero"; cat "$DRAIN_LOG"; exit 1; }
+grep -q "padd stopped" "$DRAIN_LOG" || {
+  echo "padd did not report a clean stop after drain"
+  cat "$DRAIN_LOG"; exit 1; }
+EXPECT_REPLIES=$(( $(ls tests/fuzz/corpus/*.pad | wc -l) * 40 ))
+GOT_REPLIES=$(wc -l < build/padd_drain_replies.ndjson)
+[ "$GOT_REPLIES" -eq "$EXPECT_REPLIES" ] || {
+  echo "drain lost replies: $GOT_REPLIES of $EXPECT_REPLIES"; exit 1; }
+
 echo "== padd: throughput + shared-cache hit-rate guard =="
 # Four concurrent closed-loop clients over the sweep kernels; exit 2 on
 # any failed request (correctness), exit 1 below the 0.5 hit-rate floor
@@ -197,10 +238,46 @@ fi
 build/bench/server_throughput --clients 4 --requests 32 --guard 0.5 \
   $SERVER_BASELINE --json build/BENCH_server.json
 
+echo "== padd: open-loop overload at 2x saturation =="
+# Offer twice the closed-loop rate just measured with a small admission
+# queue: the daemon must shed with structured `overloaded` errors
+# (exactly one reply per request, exit 2 on any drop — enforced by the
+# bench itself), and the p99 of *accepted* requests must stay bounded
+# relative to the unloaded baseline. The x50 slack covers the
+# queue-drain ratio (queue 32 / 4 workers ~ 8x service time, measured
+# ~20x at p99) plus CI-noise headroom; it is deliberately generous
+# because the correctness gates (shed-not-drop, min-shed) are the
+# teeth — an unshed 2x overload would queue for seconds, far past it.
+if command -v jq > /dev/null 2>&1; then
+  SAT_RPS=$(jq -r '.requests_per_second' build/BENCH_server.json)
+  OVERLOAD_RPS=$(awk -v r="$SAT_RPS" 'BEGIN { printf "%.0f", r * 2 }')
+else
+  OVERLOAD_RPS=4000 # No jq to read the measured rate: a fixed push.
+fi
+build/bench/server_throughput --open-loop "$OVERLOAD_RPS" \
+  --clients 4 --requests 400 --queue 32 --min-shed 1 \
+  --baseline build/BENCH_server.json --p99-slack 50 \
+  --json build/BENCH_server_overload.json
+if command -v jq > /dev/null 2>&1; then
+  jq -e '.shed > 0 and .errors == 0 and
+         .accepted + .shed == .total_requests' \
+    build/BENCH_server_overload.json > /dev/null
+fi
+
 echo "== sanitized: ASan+UBSan build + tests =="
-cmake -B build-asan -S . -DPADX_SANITIZE=ON -DCMAKE_BUILD_TYPE=RelWithDebInfo
+cmake -B build-asan -S . -DPADX_SANITIZE=ON -DPADX_FAULT_INJECTION=ON \
+  -DCMAKE_BUILD_TYPE=RelWithDebInfo
 cmake --build build-asan -j "$JOBS"
 ctest --test-dir build-asan --output-on-failure -j "$JOBS"
+
+echo "== chaos: corpus sweep under injected faults, 3 seeds (ASan) =="
+# The seeds are fixed so a failure replays exactly; the test logs the
+# seed it ran with. Faults stay disabled for every other test — the
+# hooks only arm when ChaosTest installs a config.
+for seed in 1 2 3; do
+  PADX_FAULT_SEED="$seed" ctest --test-dir build-asan \
+    --output-on-failure -R 'Chaos'
+done
 
 # TSan needs a working compiler/libtsan pairing, which not every image
 # has (and ASan cannot share a build with it). Probe with a real
@@ -232,10 +309,16 @@ if [ -n "$TSAN_CXX" ]; then
   # handler, shared analysis cache). Running the whole suite under TSan
   # triples CI time for code that never spawns a thread.
   cmake -B build-tsan -S . -DPADX_SANITIZE_THREAD=ON \
+    -DPADX_FAULT_INJECTION=ON \
     -DCMAKE_CXX_COMPILER="$TSAN_CXX" -DCMAKE_BUILD_TYPE=RelWithDebInfo
   cmake --build build-tsan -j "$JOBS"
   ctest --test-dir build-tsan --output-on-failure -j "$JOBS" \
-    -R 'ThreadPool|Search|Server|Protocol|SharedCache|Arena|Daemon'
+    -R 'ThreadPool|Search|Server|Protocol|SharedCache|Arena|Daemon|Chaos|Client|SocketFault|Robustness|FaultInjection'
+  echo "== chaos: corpus sweep under injected faults, 3 seeds (TSan) =="
+  for seed in 1 2 3; do
+    PADX_FAULT_SEED="$seed" ctest --test-dir build-tsan \
+      --output-on-failure -R 'Chaos'
+  done
 else
   echo "== sanitized: TSan skipped (no working -fsanitize=thread) =="
 fi

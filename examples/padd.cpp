@@ -22,16 +22,31 @@
 ///                          (default 256 MiB)
 ///   --max-footprint BYTES  default footprint quota (default 1 TiB)
 ///   --max-accesses N       default trace quota (default unlimited)
+///   --max-queue N          shed requests past N queued across all
+///                          connections (default 512, 0 = unlimited)
+///   --max-inflight N       per-connection in-flight cap
+///                          (default 64, 0 = unlimited)
+///   --drain-ms MS          default graceful-drain deadline
+///                          (default 5000)
 ///
 /// The daemon prints one "padd listening on PATH (N workers)" line to
-/// stdout once ready (scripts wait for it), then serves until SIGINT,
-/// SIGTERM, or a {"op":"shutdown"} request.
+/// stdout once ready (scripts wait for it), then serves until SIGINT
+/// (immediate stop), SIGTERM (graceful drain: stop accepting, finish
+/// in-flight work, flush responses), or a {"op":"shutdown"} request
+/// ({"mode":"drain","drain_ms":MS} selects the graceful path).
 ///
-/// Exit codes: 0 clean shutdown; 1 usage or startup failure.
+/// Fault injection (chaos builds only): when the binary was compiled
+/// with PADX_FAULT_INJECTION=1 and PADX_FAULT_SPEC is set in the
+/// environment, deterministic seeded faults fire inside the arena,
+/// socket and deadline layers (support/FaultInjection.h).
+///
+/// Exit codes: 0 clean shutdown (including forced-but-flushed drains);
+/// 1 usage or startup failure.
 ///
 //===----------------------------------------------------------------------===//
 
 #include "server/Server.h"
+#include "support/FaultInjection.h"
 
 #include <atomic>
 #include <csignal>
@@ -45,8 +60,12 @@ using namespace padx;
 namespace {
 
 std::atomic<bool> SignalStop{false};
+std::atomic<int> SignalNo{0};
 
-void onSignal(int) { SignalStop.store(true, std::memory_order_release); }
+void onSignal(int Sig) {
+  SignalNo.store(Sig, std::memory_order_release);
+  SignalStop.store(true, std::memory_order_release);
+}
 
 void usage() {
   std::fprintf(stderr,
@@ -54,7 +73,8 @@ void usage() {
                "[--max-frame BYTES]\n"
                "            [--memory-budget BYTES] "
                "[--max-footprint BYTES]\n"
-               "            [--max-accesses N]\n");
+               "            [--max-accesses N] [--max-queue N]\n"
+               "            [--max-inflight N] [--drain-ms MS]\n");
 }
 
 } // namespace
@@ -111,6 +131,27 @@ int main(int argc, char **argv) {
         return 1;
       }
       Opts.Limits.MaxTraceAccesses = static_cast<uint64_t>(N);
+    } else if (Arg == "--max-queue") {
+      long long N = std::atoll(Next());
+      if (N < 0) {
+        std::fprintf(stderr, "error: --max-queue must be >= 0\n");
+        return 1;
+      }
+      Opts.MaxQueueDepth = static_cast<size_t>(N);
+    } else if (Arg == "--max-inflight") {
+      long long N = std::atoll(Next());
+      if (N < 0) {
+        std::fprintf(stderr, "error: --max-inflight must be >= 0\n");
+        return 1;
+      }
+      Opts.MaxConnInFlight = static_cast<unsigned>(N);
+    } else if (Arg == "--drain-ms") {
+      double Ms = std::atof(Next());
+      if (Ms <= 0) {
+        std::fprintf(stderr, "error: --drain-ms must be positive\n");
+        return 1;
+      }
+      Opts.DrainDeadlineMs = Ms;
     } else if (Arg == "--help" || Arg == "-h") {
       usage();
       return 0;
@@ -125,6 +166,27 @@ int main(int argc, char **argv) {
     return 1;
   }
 
+  // Signals before start(): a SIGTERM in the listen/accept startup
+  // window must already hit the drain path, and SIGPIPE must be
+  // ignored before the first client can hang up mid-response.
+  std::signal(SIGINT, onSignal);
+  std::signal(SIGTERM, onSignal);
+  std::signal(SIGPIPE, SIG_IGN);
+
+#if PADX_FAULT_INJECTION
+  {
+    std::string FaultDesc, FaultErr;
+    if (support::fault::configureFromEnv(&FaultDesc, &FaultErr)) {
+      std::fprintf(stderr, "padd fault injection active: %s\n",
+                   FaultDesc.c_str());
+    } else if (!FaultErr.empty()) {
+      std::fprintf(stderr, "error: PADX_FAULT_SPEC: %s\n",
+                   FaultErr.c_str());
+      return 1;
+    }
+  }
+#endif
+
   server::PaddServer Srv(std::move(Opts));
   std::string Err;
   if (!Srv.start(&Err)) {
@@ -132,24 +194,41 @@ int main(int argc, char **argv) {
     return 1;
   }
 
-  std::signal(SIGINT, onSignal);
-  std::signal(SIGTERM, onSignal);
-  std::signal(SIGPIPE, SIG_IGN);
-
   std::printf("padd listening on %s (%u workers)\n",
               Srv.options().SocketPath.c_str(), Srv.numWorkers());
   std::fflush(stdout);
 
   Srv.wait(&SignalStop);
+
+  // SIGTERM and {"op":"shutdown","mode":"drain"} take the graceful
+  // path: finish what is in flight and flush every response before
+  // tearing the connections down. SIGINT and mode "now" stop hard.
+  bool WantDrain = SignalNo.load(std::memory_order_acquire) == SIGTERM ||
+                   Srv.handler().drainRequested();
+  if (WantDrain) {
+    double DrainMs = Srv.handler().requestedDrainMs();
+    if (DrainMs <= 0)
+      DrainMs = Srv.options().DrainDeadlineMs;
+    std::printf("padd draining (deadline %.0f ms)\n", DrainMs);
+    std::fflush(stdout);
+    bool Clean = Srv.drain(DrainMs);
+    std::printf("padd drain %s\n",
+                Clean ? "complete" : "deadline reached, forcing close");
+    std::fflush(stdout);
+  }
   Srv.stop();
 
+  const server::ServerLoadStats &Load = Srv.loadStats();
   pipeline::SharedCacheStats S = Srv.sharedCache().snapshot();
-  std::printf("padd stopped: %llu requests (%llu failed), shared cache "
-              "%.0f%% hit rate\n",
+  std::printf("padd stopped: %llu requests (%llu failed, %llu shed), "
+              "shared cache %.0f%% hit rate\n",
               static_cast<unsigned long long>(
                   Srv.handler().requestsServed()),
               static_cast<unsigned long long>(
                   Srv.handler().requestsFailed()),
+              static_cast<unsigned long long>(
+                  Load.ShedQueueFull.load(std::memory_order_relaxed) +
+                  Load.ShedConnCap.load(std::memory_order_relaxed)),
               100.0 * S.hitRate());
   return 0;
 }

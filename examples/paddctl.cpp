@@ -7,16 +7,18 @@
 /// \file
 /// paddctl — command-line client for the padd daemon. Builds one
 /// request per input file (or a single fileless request for ping /
-/// stats / shutdown), pipelines all of them over one connection, and
-/// prints each raw NDJSON response on its own line — jq-friendly by
-/// construction.
+/// stats / health / shutdown), runs them through server::Client — which
+/// pipelines over one connection and transparently retries `overloaded`
+/// sheds, reconnects after drops, and resends unanswered requests —
+/// and prints each raw NDJSON response on its own line, in input
+/// order. jq-friendly by construction.
 ///
 /// Usage:
 ///   paddctl --socket PATH [options] [file.pad...]
 /// Options:
 ///   --socket PATH     daemon socket (required)
-///   --op OP           ping|pad|padlite|lint|search|stats|shutdown
-///                     (default pad)
+///   --op OP           ping|pad|padlite|lint|search|stats|health|
+///                     shutdown (default pad)
 ///   --format FMT      lint report format: text|json|sarif
 ///   --cache BYTES --line BYTES --assoc K   cache geometry
 ///   --deadline-ms MS  per-request deadline
@@ -26,15 +28,21 @@
 ///                     per-request quotas
 ///   --no-emit         omit the transformed source from responses
 ///   --repeat N        send the file list N times (warm-cache demos)
+///   --mode MODE       shutdown mode: now|drain
+///   --drain-ms MS     drain deadline for --mode drain
+///   --retries N       send attempts per request (default 12)
+///   --timeout-ms MS   reconnect+resend after this long with no
+///                     response (default 0 = wait forever)
+///   --no-retry        one attempt, no overloaded backoff
 ///
 /// Exit codes: 0 every response ok; 1 any response carried an error;
-/// 2 usage error or the daemon was unreachable.
+/// 2 usage error, the daemon was unreachable, or a request got no
+/// reply within the retry budget.
 ///
 //===----------------------------------------------------------------------===//
 
-#include "support/Json.h"
+#include "server/Client.h"
 #include "support/JsonWriter.h"
-#include "support/Socket.h"
 
 #include <cstdio>
 #include <cstdlib>
@@ -62,8 +70,10 @@ void usage() {
       "               [--deadline-ms MS] [--budget N] [--seed S]\n"
       "               [--memory-budget BYTES] [--max-footprint BYTES]\n"
       "               [--max-accesses N] [--no-emit] [--repeat N]\n"
+      "               [--mode now|drain] [--drain-ms MS]\n"
+      "               [--retries N] [--timeout-ms MS] [--no-retry]\n"
       "               [file.pad...]\n"
-      "ops: ping pad padlite lint search stats shutdown\n"
+      "ops: ping pad padlite lint search stats health shutdown\n"
       "exit codes: 0 all ok, 1 request failed, 2 usage/connect error\n");
 }
 
@@ -80,6 +90,8 @@ struct RequestParams {
   long long Budget = 0, Seed = -1;
   long long MemoryBudget = 0, MaxFootprint = 0, MaxAccesses = 0;
   bool NoEmit = false;
+  std::string ShutdownMode;
+  double DrainMs = 0;
 };
 
 std::string buildRequest(int64_t Id, const RequestParams &P,
@@ -116,6 +128,10 @@ std::string buildRequest(int64_t Id, const RequestParams &P,
     JW.field("max_accesses", static_cast<int64_t>(P.MaxAccesses));
   if (P.NoEmit)
     JW.field("emit", false);
+  if (!P.ShutdownMode.empty())
+    JW.field("mode", P.ShutdownMode);
+  if (P.DrainMs > 0)
+    JW.field("drain_ms", P.DrainMs);
   JW.endObject();
   return OS.str();
 }
@@ -123,7 +139,9 @@ std::string buildRequest(int64_t Id, const RequestParams &P,
 } // namespace
 
 int main(int argc, char **argv) {
-  std::string SocketPath;
+  server::ClientOptions CO;
+  CO.SocketPath.clear();
+  CO.MaxAttempts = 12;
   RequestParams P;
   long long Repeat = 1;
   std::vector<std::string> Files;
@@ -138,7 +156,7 @@ int main(int argc, char **argv) {
       return argv[++I];
     };
     if (Arg == "--socket")
-      SocketPath = Next();
+      CO.SocketPath = Next();
     else if (Arg == "--op")
       P.Op = Next();
     else if (Arg == "--format")
@@ -165,7 +183,23 @@ int main(int argc, char **argv) {
       P.NoEmit = true;
     else if (Arg == "--repeat")
       Repeat = std::atoll(Next());
-    else if (Arg == "--help" || Arg == "-h") {
+    else if (Arg == "--mode")
+      P.ShutdownMode = Next();
+    else if (Arg == "--drain-ms")
+      P.DrainMs = std::atof(Next());
+    else if (Arg == "--retries") {
+      long long N = std::atoll(Next());
+      if (N < 1) {
+        std::fprintf(stderr, "error: --retries must be >= 1\n");
+        return ExitUsage;
+      }
+      CO.MaxAttempts = static_cast<unsigned>(N);
+    } else if (Arg == "--timeout-ms")
+      CO.ResponseTimeoutMs = std::atof(Next());
+    else if (Arg == "--no-retry") {
+      CO.MaxAttempts = 1;
+      CO.HonorRetryAfter = false;
+    } else if (Arg == "--help" || Arg == "-h") {
       usage();
       return ExitAllOk;
     } else if (!Arg.empty() && Arg[0] == '-') {
@@ -177,7 +211,7 @@ int main(int argc, char **argv) {
     }
   }
 
-  if (SocketPath.empty() || Repeat < 1) {
+  if (CO.SocketPath.empty() || Repeat < 1) {
     usage();
     return ExitUsage;
   }
@@ -211,41 +245,31 @@ int main(int argc, char **argv) {
       Requests.push_back(buildRequest(Id++, P, "", ""));
   }
 
+  server::Client Client(CO);
+  std::vector<server::ClientReply> Replies;
   std::string Err;
-  support::FileDescriptor Fd = support::connectUnix(SocketPath, &Err);
-  if (!Fd.valid()) {
-    std::fprintf(stderr, "error: cannot connect to '%s': %s\n",
-                 SocketPath.c_str(), Err.c_str());
+  Client.run(Requests, Replies, &Err);
+  if (Replies.empty()) {
+    std::fprintf(stderr, "error: %s\n", Err.c_str());
     return ExitUsage;
   }
 
-  // Pipeline: write every request, then collect every response. The
-  // daemon answers in completion order; ids reconcile.
-  for (const std::string &R : Requests) {
-    if (!support::sendAll(Fd.get(), R + "\n", &Err)) {
-      std::fprintf(stderr, "error: send failed: %s\n", Err.c_str());
-      return ExitUsage;
+  // Print in input order (ids are sequential): stable for scripts even
+  // though the daemon answered in completion order.
+  bool AnyFailed = false, AnyUnanswered = false;
+  for (const server::ClientReply &R : Replies) {
+    if (R.Answered) {
+      std::printf("%s\n", R.Line.c_str());
+      if (!R.Ok)
+        AnyFailed = true;
+    } else {
+      AnyUnanswered = true;
+      std::fprintf(stderr, "error: request %lld got no reply: %s\n",
+                   static_cast<long long>(R.Id),
+                   R.TransportError.c_str());
     }
   }
-
-  support::LineReader Reader(Fd.get(), 64u << 20);
-  size_t Received = 0;
-  bool AnyFailed = false;
-  std::string Line;
-  while (Received != Requests.size()) {
-    auto St = Reader.readLine(Line, &Err);
-    if (St != support::LineReader::Status::Line) {
-      std::fprintf(stderr,
-                   "error: connection ended after %zu of %zu "
-                   "responses\n",
-                   Received, Requests.size());
-      return ExitUsage;
-    }
-    std::printf("%s\n", Line.c_str());
-    ++Received;
-    std::optional<support::JsonValue> Doc = support::parseJson(Line);
-    if (!Doc || !Doc->isObject() || !Doc->getBool("ok", false))
-      AnyFailed = true;
-  }
+  if (AnyUnanswered)
+    return ExitUsage;
   return AnyFailed ? ExitRequestFailed : ExitAllOk;
 }

@@ -1,0 +1,145 @@
+//===----------------------------------------------------------------------===//
+//
+// Part of the padx project, under the Apache License v2.0.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A resilient padd client: connects to the daemon, pipelines request
+/// frames, and pairs responses by id — surviving the failures a
+/// long-lived daemon deployment actually produces:
+///
+///  - connect failures and dropped connections: reconnect with
+///    exponential backoff + full jitter, then resend every request
+///    that has no reply yet. Requests are idempotent (pure functions
+///    of the frame), so resending the same id after a lost response
+///    is safe by protocol contract;
+///  - `overloaded` sheds: honor the server's retry_after_ms hint
+///    (plus jitter) and resend the same id;
+///  - corrupt response lines (a torn write from a dying server):
+///    treated as a broken connection, never as an answer;
+///  - a stuck server: an optional response timeout bounds how long a
+///    connection with outstanding requests may stay silent before the
+///    client reconnects and resends.
+///
+/// The retry schedule is driven by a seedable deterministic RNG so
+/// chaos tests replay exactly from a seed. Every request ends in
+/// exactly one of: a final response line (Answered), or a transport
+/// error after the retry budget (TransportError) — never both, never
+/// neither.
+///
+/// paddctl is a thin wrapper over this class; ChaosTest drives it
+/// against a fault-injected server.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PADX_SERVER_CLIENT_H
+#define PADX_SERVER_CLIENT_H
+
+#include "support/Socket.h"
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace padx {
+namespace server {
+
+struct ClientOptions {
+  std::string SocketPath = "padd.sock";
+
+  /// Send attempts per request (first try included). An `overloaded`
+  /// reply on the final attempt becomes the final answer.
+  unsigned MaxAttempts = 8;
+  /// Consecutive connect failures before giving up entirely.
+  unsigned MaxConnectAttempts = 8;
+
+  /// Backoff: attempt k waits uniform(0, min(Base * 2^k, Max)) — full
+  /// jitter, so a thundering herd of retrying clients decorrelates.
+  double BaseBackoffMs = 5;
+  double MaxBackoffMs = 1000;
+
+  /// Reconnect (and resend unanswered requests) when a connection
+  /// with outstanding requests produces no response line for this
+  /// long. 0 = wait forever.
+  double ResponseTimeoutMs = 0;
+
+  /// Honor the retry_after_ms hint in `overloaded` errors (waiting at
+  /// least that long before the resend). When false, an overloaded
+  /// reply is final like any other error.
+  bool HonorRetryAfter = true;
+
+  /// Seed for the jitter/backoff RNG: same seed, same schedule.
+  std::uint64_t JitterSeed = 1;
+
+  /// Response frame cap (transformed sources dominate; generous).
+  size_t MaxResponseBytes = 64u << 20;
+};
+
+/// The outcome of one request.
+struct ClientReply {
+  int64_t Id = -1;
+  bool Answered = false; ///< A final response line arrived.
+  bool Ok = false;       ///< Answered with "ok":true.
+  std::string Line;      ///< The raw response line when Answered.
+  std::string TransportError; ///< Why the request died otherwise.
+  unsigned Attempts = 0; ///< Send attempts consumed.
+};
+
+class Client {
+public:
+  explicit Client(ClientOptions Opts) : Opts(std::move(Opts)) {}
+  ~Client() = default;
+
+  Client(const Client &) = delete;
+  Client &operator=(const Client &) = delete;
+
+  /// Pipelines every frame (one request per line, no trailing '\n' in
+  /// the input strings) and runs the retry loop until each request is
+  /// final. \p Replies is resized to match \p Frames index-for-index.
+  ///
+  /// Every frame must be a JSON object with a unique non-negative
+  /// numeric "id" — that is what pairs responses (and makes retries
+  /// idempotent); violations fail fast with *Error and no I/O.
+  ///
+  /// Returns true iff every request was Answered (transport survived;
+  /// individual replies may still be ok:false errors).
+  bool run(const std::vector<std::string> &Frames,
+           std::vector<ClientReply> &Replies,
+           std::string *Error = nullptr);
+
+  /// One-frame convenience wrapper. nullopt only on the fail-fast
+  /// validation path; transport failures come back as a ClientReply
+  /// with Answered == false.
+  std::optional<ClientReply> call(const std::string &Frame,
+                                  std::string *Error = nullptr);
+
+  std::uint64_t reconnects() const { return Reconnects; }
+  std::uint64_t retries() const { return Retries; }
+  std::uint64_t overloadedReplies() const { return Overloaded; }
+  std::uint64_t unexpectedResponses() const { return Unexpected; }
+
+private:
+  bool ensureConnected(std::string *Error);
+  void dropConnection();
+  double backoffMs(unsigned Attempt);
+  std::uint64_t nextRand();
+
+  ClientOptions Opts;
+  support::FileDescriptor Fd;
+  std::unique_ptr<support::LineReader> Reader;
+  std::uint64_t RngState = 0;
+  bool RngSeeded = false;
+
+  std::uint64_t Reconnects = 0;
+  std::uint64_t Retries = 0;
+  std::uint64_t Overloaded = 0;
+  std::uint64_t Unexpected = 0;
+};
+
+} // namespace server
+} // namespace padx
+
+#endif // PADX_SERVER_CLIENT_H

@@ -28,6 +28,8 @@ const char *server::opName(Op O) {
     return "search";
   case Op::Stats:
     return "stats";
+  case Op::Health:
+    return "health";
   case Op::Shutdown:
     return "shutdown";
   }
@@ -49,6 +51,8 @@ bool parseOp(const std::string &Name, Op &O) {
     O = Op::Search;
   else if (Name == "stats")
     O = Op::Stats;
+  else if (Name == "health")
+    O = Op::Health;
   else if (Name == "shutdown")
     O = Op::Shutdown;
   else
@@ -165,11 +169,32 @@ bool server::parseRequest(const support::JsonValue &Doc, Request &R,
     return false;
   }
   R.SearchSeed = Doc.getInt("seed", R.SearchSeed);
+
+  if (R.Operation == Op::Shutdown) {
+    if (const support::JsonValue *ModeV = Doc.find("mode")) {
+      if (!ModeV->isString()) {
+        Error = "field 'mode' must be a string";
+        return false;
+      }
+      R.ShutdownMode = ModeV->asString();
+    }
+    if (R.ShutdownMode != "now" && R.ShutdownMode != "drain") {
+      Error = "unknown shutdown mode '" + R.ShutdownMode +
+              "' (expected now or drain)";
+      return false;
+    }
+    R.DrainMs = Doc.getDouble("drain_ms", 0);
+    if (R.DrainMs < 0) {
+      Error = "field 'drain_ms' must be >= 0";
+      return false;
+    }
+  }
   return true;
 }
 
 std::string server::errorResponse(int64_t Id, std::string_view Code,
-                                  std::string_view Message) {
+                                  std::string_view Message,
+                                  double RetryAfterMs) {
   std::ostringstream OS;
   support::JsonWriter JW(OS);
   JW.beginObject();
@@ -179,6 +204,8 @@ std::string server::errorResponse(int64_t Id, std::string_view Code,
   JW.beginObject();
   JW.field("code", std::string(Code));
   JW.field("message", std::string(Message));
+  if (RetryAfterMs > 0)
+    JW.field("retry_after_ms", RetryAfterMs);
   JW.endObject();
   JW.endObject();
   return OS.str();

@@ -12,7 +12,8 @@
 /// are answered in completion order — the id, not the position, pairs a
 /// response with its request.
 ///
-/// Operations: ping, pad, padlite, lint, search, stats, shutdown.
+/// Operations: ping, pad, padlite, lint, search, stats, health,
+/// shutdown.
 ///
 /// Error responses are structured, never a dropped connection:
 ///
@@ -25,7 +26,9 @@
 /// memory quota), deadline_exceeded (the deadline passed before any
 /// result existed), frame_too_large (oversized frame; the only error
 /// after which the server closes the connection, since the stream can
-/// no longer be framed), internal (a handler bug).
+/// no longer be framed), overloaded (admission control shed the request
+/// — the error object carries a "retry_after_ms" hint and the
+/// connection stays open), internal (a handler bug).
 ///
 //===----------------------------------------------------------------------===//
 
@@ -49,6 +52,7 @@ enum class Op {
   Lint,     ///< Rule catalog over `source`; report in `format`.
   Search,   ///< Simulation-guided search; honors deadline/cancel.
   Stats,    ///< Server + shared-cache counters.
+  Health,   ///< Cheap liveness/load probe (load-balancer safe).
   Shutdown, ///< Ask the daemon to stop after answering.
 };
 
@@ -62,6 +66,7 @@ inline constexpr const char *kErrInvalidProgram = "invalid_program";
 inline constexpr const char *kErrResourceExhausted = "resource_exhausted";
 inline constexpr const char *kErrDeadlineExceeded = "deadline_exceeded";
 inline constexpr const char *kErrFrameTooLarge = "frame_too_large";
+inline constexpr const char *kErrOverloaded = "overloaded";
 inline constexpr const char *kErrInternal = "internal";
 /// @}
 
@@ -87,6 +92,12 @@ struct Request {
   int64_t SearchBudget = 48;
   int64_t SearchSeed = 0;
   bool UseReplay = true;
+
+  // Shutdown knobs (shutdown op only). "now" answers and stops
+  // immediately; "drain" stops accepting and finishes in-flight work
+  // under the drain deadline (DrainMs, 0 = server default).
+  std::string ShutdownMode = "now";
+  double DrainMs = 0;
 };
 
 /// Validates \p Doc (one parsed frame) into \p R. On failure returns
@@ -96,9 +107,13 @@ struct Request {
 bool parseRequest(const support::JsonValue &Doc, Request &R,
                   std::string &Error);
 
-/// One-line error response (no trailing newline).
+/// One-line error response (no trailing newline). A positive
+/// \p RetryAfterMs adds a "retry_after_ms" hint to the error object
+/// (the overloaded contract: clients should back off at least that
+/// long before resending the same request id).
 std::string errorResponse(int64_t Id, std::string_view Code,
-                          std::string_view Message);
+                          std::string_view Message,
+                          double RetryAfterMs = 0);
 
 } // namespace server
 } // namespace padx

@@ -17,6 +17,7 @@
 #include "search/SearchEngine.h"
 #include "support/Arena.h"
 #include "support/Diagnostics.h"
+#include "support/FaultInjection.h"
 #include "support/JsonWriter.h"
 
 #include <chrono>
@@ -40,16 +41,24 @@ struct RequestCtx {
   const Request &R;
   const ServerOptions &Opts;
   Clock::time_point Start;
+  /// Chaos hook: injected deadline jitter shrinks the request's budget
+  /// by up to 100 ms, forcing the deadline paths to fire under chaos
+  /// runs. Always 0 outside fault-injection builds.
+  double JitterMs;
 
   explicit RequestCtx(const Request &R, const ServerOptions &Opts)
-      : R(R), Opts(Opts), Start(Clock::now()) {}
+      : R(R), Opts(Opts), Start(Clock::now()),
+        JitterMs(R.DeadlineMs > 0
+                     ? static_cast<double>(support::fault::value(
+                           support::fault::Site::DeadlineJitter, 100))
+                     : 0) {}
 
   double elapsedSecs() const {
     return std::chrono::duration<double>(Clock::now() - Start).count();
   }
   bool hasDeadline() const { return R.DeadlineMs > 0; }
   double remainingSecs() const {
-    return R.DeadlineMs / 1000.0 - elapsedSecs();
+    return (R.DeadlineMs - JitterMs) / 1000.0 - elapsedSecs();
   }
   /// Phase-boundary check for the cheap ops.
   void checkDeadline() const {
@@ -168,19 +177,41 @@ void writePaddingResult(support::JsonWriter &JW, const ir::Program &P,
 
 } // namespace
 
+void RequestHandler::noteError(std::string_view Code) {
+  for (unsigned I = 0; I < kNumCountedCodes; ++I) {
+    if (Code == kCountedCodes[I]) {
+      ErrorCounts[I].fetch_add(1, std::memory_order_relaxed);
+      return;
+    }
+  }
+}
+
+uint64_t RequestHandler::errorCount(std::string_view Code) const {
+  for (unsigned I = 0; I < kNumCountedCodes; ++I)
+    if (Code == kCountedCodes[I])
+      return ErrorCounts[I].load(std::memory_order_relaxed);
+  return 0;
+}
+
+std::string RequestHandler::countedError(int64_t Id, const char *Code,
+                                         const std::string &Message) {
+  noteError(Code);
+  return errorResponse(Id, Code, Message);
+}
+
 std::string RequestHandler::handleLine(std::string_view Line) {
   std::string Err;
   std::optional<support::JsonValue> Doc = support::parseJson(Line, &Err);
   if (!Doc) {
     Failed.fetch_add(1, std::memory_order_relaxed);
     Served.fetch_add(1, std::memory_order_relaxed);
-    return errorResponse(-1, kErrParse, Err);
+    return countedError(-1, kErrParse, Err);
   }
   Request R;
   if (!parseRequest(*Doc, R, Err)) {
     Failed.fetch_add(1, std::memory_order_relaxed);
     Served.fetch_add(1, std::memory_order_relaxed);
-    return errorResponse(R.Id, kErrInvalidRequest, Err);
+    return countedError(R.Id, kErrInvalidRequest, Err);
   }
   return handle(R);
 }
@@ -191,19 +222,19 @@ std::string RequestHandler::handle(const Request &R) {
   try {
     Response = dispatch(R);
   } catch (const DeadlinePassed &) {
-    Response = errorResponse(
+    Response = countedError(
         R.Id, kErrDeadlineExceeded,
         "deadline of " + std::to_string(R.DeadlineMs) +
             " ms passed before the request completed");
   } catch (const support::ArenaBudgetExceeded &E) {
-    Response = errorResponse(R.Id, kErrResourceExhausted, E.what());
+    Response = countedError(R.Id, kErrResourceExhausted, E.what());
   } catch (const std::bad_alloc &) {
-    Response = errorResponse(R.Id, kErrResourceExhausted,
-                             "out of memory serving the request");
+    Response = countedError(R.Id, kErrResourceExhausted,
+                            "out of memory serving the request");
   } catch (const std::exception &E) {
-    Response = errorResponse(R.Id, kErrInternal, E.what());
+    Response = countedError(R.Id, kErrInternal, E.what());
   } catch (...) {
-    Response = errorResponse(R.Id, kErrInternal, "unknown error");
+    Response = countedError(R.Id, kErrInternal, "unknown error");
   }
   // A response is a failure iff it carries "ok":false — cheap to detect
   // structurally since every envelope starts {"id":N,"ok":...
@@ -224,9 +255,41 @@ std::string RequestHandler::dispatch(const Request &R) {
   }
 
   case Op::Shutdown: {
+    if (R.ShutdownMode == "drain") {
+      DrainReq.store(true, std::memory_order_release);
+      if (R.DrainMs > 0)
+        DrainMs.store(static_cast<uint64_t>(R.DrainMs),
+                      std::memory_order_release);
+    }
     Shutdown.store(true, std::memory_order_release);
     ResponseBuilder B(R.Id, R.Operation, "complete");
     B.writer().field("stopping", true);
+    B.writer().field("mode", R.ShutdownMode);
+    return B.finish();
+  }
+
+  case Op::Health: {
+    // Deliberately touches nothing but atomics: a load balancer may
+    // hammer this while the pool is saturated, and the reader thread
+    // answers shed requests from the same counters.
+    ResponseBuilder B(R.Id, R.Operation, "complete");
+    support::JsonWriter &JW = B.writer();
+    bool Draining =
+        Load && Load->Draining.load(std::memory_order_acquire);
+    JW.field("state", Draining ? "draining" : "ok");
+    JW.field("queue_depth",
+             Load ? Load->QueueDepth.load(std::memory_order_relaxed)
+                  : uint64_t(0));
+    JW.field("queue_limit", static_cast<uint64_t>(Opts.MaxQueueDepth));
+    JW.field("inflight_limit",
+             static_cast<uint64_t>(Opts.MaxConnInFlight));
+    JW.field("shed",
+             Load ? Load->ShedQueueFull.load(std::memory_order_relaxed) +
+                        Load->ShedConnCap.load(std::memory_order_relaxed)
+                  : uint64_t(0));
+    JW.field("connections",
+             Load ? Load->ConnectionsOpen.load(std::memory_order_relaxed)
+                  : uint64_t(0));
     return B.finish();
   }
 
@@ -238,6 +301,42 @@ std::string RequestHandler::dispatch(const Request &R) {
     JW.beginObject();
     JW.field("served", requestsServed());
     JW.field("failed", requestsFailed());
+    JW.endObject();
+    JW.key("errors");
+    JW.beginObject();
+    for (unsigned I = 0; I < kNumCountedCodes; ++I)
+      JW.field(kCountedCodes[I],
+               ErrorCounts[I].load(std::memory_order_relaxed));
+    JW.endObject();
+    JW.key("server");
+    JW.beginObject();
+    if (Load) {
+      JW.field("queue_depth",
+               Load->QueueDepth.load(std::memory_order_relaxed));
+      JW.field("peak_queue_depth",
+               Load->PeakQueueDepth.load(std::memory_order_relaxed));
+      JW.field("queue_limit", static_cast<uint64_t>(Opts.MaxQueueDepth));
+      JW.field("inflight_limit",
+               static_cast<uint64_t>(Opts.MaxConnInFlight));
+      JW.field("shed_queue_full",
+               Load->ShedQueueFull.load(std::memory_order_relaxed));
+      JW.field("shed_conn_cap",
+               Load->ShedConnCap.load(std::memory_order_relaxed));
+      JW.field("responses_dropped",
+               Load->ResponsesDropped.load(std::memory_order_relaxed));
+      JW.field("frames_too_large",
+               Load->FramesTooLarge.load(std::memory_order_relaxed));
+      JW.field("connections_open",
+               Load->ConnectionsOpen.load(std::memory_order_relaxed));
+      JW.field("connections_total",
+               Load->ConnectionsTotal.load(std::memory_order_relaxed));
+      JW.field("avg_service_us",
+               Load->AvgServiceUs.load(std::memory_order_relaxed));
+      JW.field("draining",
+               Load->Draining.load(std::memory_order_acquire));
+    } else {
+      JW.field("draining", false);
+    }
     JW.endObject();
     JW.key("shared_cache");
     JW.beginObject();
@@ -257,11 +356,11 @@ std::string RequestHandler::dispatch(const Request &R) {
     std::string ParseErr;
     ir::Program *P = parseIntoArena(Ctx, A, &ParseErr);
     if (!P)
-      return errorResponse(R.Id, kErrInvalidProgram, ParseErr);
+      return countedError(R.Id, kErrInvalidProgram, ParseErr);
     Ctx.checkDeadline();
     layout::DataLayout Orig = layout::originalLayout(*P);
     if (std::optional<std::string> Err = checkFootprintQuota(Ctx, Orig))
-      return errorResponse(R.Id, kErrResourceExhausted, *Err);
+      return countedError(R.Id, kErrResourceExhausted, *Err);
     auto *PP = A.create<pipeline::PadPipeline>(*P, true, &Shared);
     Ctx.checkDeadline();
     pad::PaddingResult Res = R.Operation == Op::PadLite
@@ -277,11 +376,11 @@ std::string RequestHandler::dispatch(const Request &R) {
     std::string ParseErr;
     ir::Program *P = parseIntoArena(Ctx, A, &ParseErr);
     if (!P)
-      return errorResponse(R.Id, kErrInvalidProgram, ParseErr);
+      return countedError(R.Id, kErrInvalidProgram, ParseErr);
     Ctx.checkDeadline();
     layout::DataLayout DL = layout::originalLayout(*P);
     if (std::optional<std::string> Err = checkFootprintQuota(Ctx, DL))
-      return errorResponse(R.Id, kErrResourceExhausted, *Err);
+      return countedError(R.Id, kErrResourceExhausted, *Err);
     auto *PP = A.create<pipeline::PadPipeline>(*P, true, &Shared);
     lint::Linter L(lint::LintOptions{R.Cache});
     lint::LintResult Res = L.run(DL, *PP);
@@ -330,10 +429,10 @@ std::string RequestHandler::dispatch(const Request &R) {
     std::string ParseErr;
     ir::Program *P = parseIntoArena(Ctx, A, &ParseErr);
     if (!P)
-      return errorResponse(R.Id, kErrInvalidProgram, ParseErr);
+      return countedError(R.Id, kErrInvalidProgram, ParseErr);
     layout::DataLayout Orig = layout::originalLayout(*P);
     if (std::optional<std::string> Err = checkFootprintQuota(Ctx, Orig))
-      return errorResponse(R.Id, kErrResourceExhausted, *Err);
+      return countedError(R.Id, kErrResourceExhausted, *Err);
     if (uint64_t MaxAcc = Ctx.accessLimit()) {
       // Probe the trace length before simulating anything, exactly as
       // padtool does: a truncated simulation would report misleading
@@ -343,9 +442,9 @@ std::string RequestHandler::dispatch(const Request &R) {
       exec::TraceRunner Probe(*P, Orig, RO);
       exec::CountSink Count;
       if (Probe.run(Count) == exec::RunStatus::TraceLimitReached)
-        return errorResponse(R.Id, kErrResourceExhausted,
-                             "simulated trace exceeds the limit of " +
-                                 std::to_string(MaxAcc) + " accesses");
+        return countedError(R.Id, kErrResourceExhausted,
+                            "simulated trace exceeds the limit of " +
+                                std::to_string(MaxAcc) + " accesses");
     }
     // No phase-boundary deadline check here: even an already-expired
     // deadline degrades to a partial best-so-far response, because the
@@ -392,5 +491,5 @@ std::string RequestHandler::dispatch(const Request &R) {
     return B.finish(statsToJson(PP->stats()));
   }
   }
-  return errorResponse(R.Id, kErrInternal, "unhandled operation");
+  return countedError(R.Id, kErrInternal, "unhandled operation");
 }

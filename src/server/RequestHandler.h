@@ -62,17 +62,58 @@ struct ServerOptions {
   size_t RequestMemoryBudget = size_t(256) << 20;
   /// Default footprint / trace quotas (request fields override).
   ResourceLimits Limits;
+
+  /// Admission control: cap on requests queued or running across all
+  /// connections. Past it the server sheds with a structured
+  /// `overloaded` error instead of queueing unboundedly. 0 = unlimited.
+  size_t MaxQueueDepth = 512;
+  /// Per-connection in-flight cap, so one pipelining client cannot
+  /// monopolize the pool. Excess requests are shed the same way.
+  /// 0 = unlimited.
+  unsigned MaxConnInFlight = 64;
+  /// Default drain deadline for SIGTERM / `shutdown {"mode":"drain"}`
+  /// when the request does not name one.
+  double DrainDeadlineMs = 5000;
+};
+
+/// Load/robustness counters owned by PaddServer and surfaced through
+/// the stats and health ops. All fields are monotonic counters or
+/// gauges updated with relaxed atomics — observability, not
+/// synchronization.
+struct ServerLoadStats {
+  std::atomic<uint64_t> QueueDepth{0};     ///< Queued + running now.
+  std::atomic<uint64_t> PeakQueueDepth{0};
+  std::atomic<uint64_t> ShedQueueFull{0};  ///< Global-depth sheds.
+  std::atomic<uint64_t> ShedConnCap{0};    ///< Per-connection sheds.
+  std::atomic<uint64_t> ResponsesDropped{0}; ///< Writes to vanished peers.
+  std::atomic<uint64_t> FramesTooLarge{0};
+  std::atomic<uint64_t> ConnectionsOpen{0};
+  std::atomic<uint64_t> ConnectionsTotal{0};
+  /// EWMA of handler service time in microseconds; feeds the
+  /// retry_after_ms hint.
+  std::atomic<uint64_t> AvgServiceUs{0};
+  std::atomic<bool> Draining{false};
 };
 
 class RequestHandler {
 public:
-  /// \p Shared and (if non-null) \p Cancel must outlive the handler.
-  /// \p Cancel is polled by in-flight searches — the server passes its
-  /// stop flag.
+  /// Error codes with a dedicated counter, in taxonomy order.
+  static constexpr const char *kCountedCodes[] = {
+      kErrParse,          kErrInvalidRequest,   kErrInvalidProgram,
+      kErrResourceExhausted, kErrDeadlineExceeded, kErrFrameTooLarge,
+      kErrOverloaded,     kErrInternal,
+  };
+  static constexpr unsigned kNumCountedCodes = 8;
+
+  /// \p Shared and (if non-null) \p Cancel and \p Load must outlive the
+  /// handler. \p Cancel is polled by in-flight searches — the server
+  /// passes its stop flag. \p Load, when provided, is surfaced by the
+  /// stats and health ops.
   RequestHandler(const ServerOptions &Opts,
                  pipeline::SharedAnalysisCache &Shared,
-                 const std::atomic<bool> *Cancel = nullptr)
-      : Opts(Opts), Shared(Shared), Cancel(Cancel) {}
+                 const std::atomic<bool> *Cancel = nullptr,
+                 const ServerLoadStats *Load = nullptr)
+      : Opts(Opts), Shared(Shared), Cancel(Cancel), Load(Load) {}
 
   /// Parses and executes one frame; returns the response line (no
   /// trailing newline). Never throws.
@@ -86,6 +127,16 @@ public:
   bool shutdownRequested() const {
     return Shutdown.load(std::memory_order_acquire);
   }
+  /// True when the shutdown asked for mode=drain rather than an
+  /// immediate stop.
+  bool drainRequested() const {
+    return DrainReq.load(std::memory_order_acquire);
+  }
+  /// The drain_ms the shutdown request named; 0 = use the server
+  /// default.
+  double requestedDrainMs() const {
+    return static_cast<double>(DrainMs.load(std::memory_order_acquire));
+  }
 
   uint64_t requestsServed() const {
     return Served.load(std::memory_order_relaxed);
@@ -94,18 +145,33 @@ public:
     return Failed.load(std::memory_order_relaxed);
   }
 
+  /// Counts one error of \p Code in the per-code taxonomy counters.
+  /// Public because the socket layer produces two codes itself
+  /// (overloaded on shed, frame_too_large) and the taxonomy should
+  /// count them all in one place.
+  void noteError(std::string_view Code);
+  uint64_t errorCount(std::string_view Code) const;
+
   const ServerOptions &options() const { return Opts; }
   pipeline::SharedAnalysisCache &sharedCache() { return Shared; }
 
 private:
   std::string dispatch(const Request &R);
+  /// errorResponse + noteError in one step; every handler-generated
+  /// error goes through here.
+  std::string countedError(int64_t Id, const char *Code,
+                           const std::string &Message);
 
   ServerOptions Opts;
   pipeline::SharedAnalysisCache &Shared;
   const std::atomic<bool> *Cancel;
+  const ServerLoadStats *Load;
   std::atomic<bool> Shutdown{false};
+  std::atomic<bool> DrainReq{false};
+  std::atomic<uint64_t> DrainMs{0};
   std::atomic<uint64_t> Served{0};
   std::atomic<uint64_t> Failed{0};
+  std::atomic<uint64_t> ErrorCounts[kNumCountedCodes] = {};
 };
 
 } // namespace server

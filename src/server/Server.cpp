@@ -6,6 +6,9 @@
 
 #include "server/Server.h"
 
+#include "support/Json.h"
+
+#include <algorithm>
 #include <chrono>
 #include <fcntl.h>
 #include <poll.h>
@@ -16,7 +19,7 @@ using namespace padx::server;
 
 PaddServer::PaddServer(ServerOptions Opts) : Opts(std::move(Opts)) {
   Handler = std::make_unique<RequestHandler>(this->Opts, Shared,
-                                             &Stopping);
+                                             &Stopping, &Load);
 }
 
 PaddServer::~PaddServer() { stop(); }
@@ -32,6 +35,8 @@ bool PaddServer::start(std::string *Error) {
     return false;
   Pool = std::make_unique<ThreadPool>(Opts.Threads);
   Stopping.store(false, std::memory_order_release);
+  AcceptStop.store(false, std::memory_order_release);
+  Load.Draining.store(false, std::memory_order_release);
   Running.store(true, std::memory_order_release);
   Acceptor = std::thread([this] { acceptLoop(); });
   return true;
@@ -54,6 +59,60 @@ void PaddServer::wait(const std::atomic<bool> *ExternalStop) {
     WaitCv.wait_for(L, std::chrono::milliseconds(50));
 }
 
+bool PaddServer::drain(double DeadlineMs) {
+  if (!Running.load(std::memory_order_acquire))
+    return true;
+  if (DeadlineMs <= 0)
+    DeadlineMs = Opts.DrainDeadlineMs;
+
+  // Phase 1: stop taking on new clients. The acceptor exits on
+  // AcceptStop, the socket file disappears, and fresh connects fail
+  // fast with ENOENT/ECONNREFUSED — but every connected client keeps
+  // being served.
+  Load.Draining.store(true, std::memory_order_release);
+  AcceptStop.store(true, std::memory_order_release);
+  if (Acceptor.joinable())
+    Acceptor.join();
+  Listener.close();
+  ::unlink(Opts.SocketPath.c_str());
+
+  using Clock = std::chrono::steady_clock;
+  auto Deadline = Clock::now() + std::chrono::duration<double, std::milli>(
+                                     DeadlineMs);
+  auto anyLive = [&] {
+    std::lock_guard<std::mutex> L(ConnsM);
+    return std::any_of(Conns.begin(), Conns.end(), [](const ConnSlot &S) {
+      return !S.C->Done.load(std::memory_order_acquire);
+    });
+  };
+  bool Clean = true;
+  while (anyLive()) {
+    if (Clock::now() >= Deadline) {
+      Clean = false;
+      break;
+    }
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  }
+
+  if (!Clean) {
+    // Phase 2 (deadline passed): cancel in-flight searches (Stopping is
+    // their cancel token) and shut down the read side of the
+    // stragglers. Their readers see EOF, drain in-flight work — every
+    // queued response still flushes, the write side stays open — and
+    // exit. In-flight work is quota-bounded, so this wait terminates.
+    Stopping.store(true, std::memory_order_release);
+    {
+      std::lock_guard<std::mutex> L(ConnsM);
+      for (ConnSlot &S : Conns)
+        if (!S.C->Done.load(std::memory_order_acquire))
+          S.C->Fd.shutdownRead();
+    }
+    while (anyLive())
+      std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  }
+  return Clean;
+}
+
 void PaddServer::stop() {
   if (!Running.exchange(false, std::memory_order_acq_rel))
     return;
@@ -63,6 +122,8 @@ void PaddServer::stop() {
   // no wake; join it before touching the listener so the descriptor is
   // never closed under a concurrent accept (a data race on the fd slot,
   // and an fd-recycling hazard if the number were reused mid-accept).
+  // After a drain() the acceptor is already joined and the listener
+  // closed; both steps are no-ops then.
   if (Acceptor.joinable())
     Acceptor.join();
   Listener.close();
@@ -95,7 +156,8 @@ void PaddServer::acceptLoop() {
   int Flags = ::fcntl(Listener.get(), F_GETFL, 0);
   if (Flags >= 0)
     ::fcntl(Listener.get(), F_SETFL, Flags | O_NONBLOCK);
-  while (!Stopping.load(std::memory_order_acquire)) {
+  while (!Stopping.load(std::memory_order_acquire) &&
+         !AcceptStop.load(std::memory_order_acquire)) {
     pollfd P{Listener.get(), POLLIN, 0};
     if (::poll(&P, 1, 100) <= 0)
       continue; // Timeout or EINTR: re-check Stopping.
@@ -103,13 +165,16 @@ void PaddServer::acceptLoop() {
     support::FileDescriptor Fd =
         support::acceptConnection(Listener.get(), &Err);
     if (!Fd.valid()) {
-      if (Stopping.load(std::memory_order_acquire))
+      if (Stopping.load(std::memory_order_acquire) ||
+          AcceptStop.load(std::memory_order_acquire))
         break;
       // Transient accept failure (EMFILE under load): back off rather
       // than spinning.
       std::this_thread::sleep_for(std::chrono::milliseconds(10));
       continue;
     }
+    Load.ConnectionsTotal.fetch_add(1, std::memory_order_relaxed);
+    Load.ConnectionsOpen.fetch_add(1, std::memory_order_relaxed);
     auto C = std::make_shared<Connection>();
     C->Fd = std::move(Fd);
     std::thread Reader([this, C] { serveConnection(C); });
@@ -134,9 +199,45 @@ void PaddServer::acceptLoop() {
 void PaddServer::writeResponse(Connection &C, std::string Line) {
   Line += '\n';
   std::lock_guard<std::mutex> L(C.WriteM);
-  // A vanished peer is not an error worth more than dropping the line;
-  // the reader will observe EOF and tear the connection down.
-  support::sendAll(C.Fd.get(), Line, nullptr);
+  // A vanished peer is not an error worth more than dropping the line
+  // (counted for the stats op); the reader will observe EOF and tear
+  // the connection down. sendAll uses MSG_NOSIGNAL, so no SIGPIPE.
+  if (!support::sendAll(C.Fd.get(), Line, nullptr))
+    Load.ResponsesDropped.fetch_add(1, std::memory_order_relaxed);
+}
+
+double PaddServer::retryAfterMsHint() const {
+  // Expected time for the backlog to clear: depth * avg service time /
+  // workers — clamped so clients neither hammer a busy server nor park
+  // for seconds on a hiccup.
+  uint64_t AvgUs = Load.AvgServiceUs.load(std::memory_order_relaxed);
+  if (AvgUs == 0)
+    AvgUs = 20000; // No completions yet: assume a 20 ms op.
+  uint64_t Depth = Load.QueueDepth.load(std::memory_order_relaxed);
+  unsigned Workers = Pool ? Pool->numThreads() : 1;
+  double Ms = static_cast<double>(Depth) * (AvgUs / 1000.0) /
+              std::max(1u, Workers);
+  return std::clamp(Ms, 5.0, 2000.0);
+}
+
+void PaddServer::shedRequest(Connection &C, const std::string &Frame,
+                             bool QueueFull) {
+  (QueueFull ? Load.ShedQueueFull : Load.ShedConnCap)
+      .fetch_add(1, std::memory_order_relaxed);
+  Handler->noteError(kErrOverloaded);
+  // Best-effort id extraction so the client can pair the refusal with
+  // its request; a frame too broken to carry an id gets -1 (and would
+  // have failed parsing anyway).
+  int64_t Id = -1;
+  if (std::optional<support::JsonValue> Doc = support::parseJson(Frame))
+    if (Doc->isObject())
+      Id = Doc->getInt("id", -1);
+  std::string Msg =
+      QueueFull
+          ? "server overloaded: request queue is full"
+          : "server overloaded: per-connection in-flight cap reached";
+  writeResponse(C, errorResponse(Id, kErrOverloaded, Msg,
+                                 retryAfterMsHint()));
 }
 
 void PaddServer::serveConnection(std::shared_ptr<Connection> C) {
@@ -148,14 +249,50 @@ void PaddServer::serveConnection(std::shared_ptr<Connection> C) {
     case support::LineReader::Status::Line: {
       if (Line.empty())
         continue; // Blank keep-alive lines are ignored.
+
+      // Admission control, from the reader thread so a saturated pool
+      // is never between the client and the refusal. Shed, never
+      // block: a blocking reader could neither shed nor notice EOF,
+      // and drain would deadlock behind it.
+      uint64_t Depth = Load.QueueDepth.load(std::memory_order_relaxed);
+      bool QueueFull =
+          Opts.MaxQueueDepth != 0 && Depth >= Opts.MaxQueueDepth;
+      bool ConnFull = false;
+      if (!QueueFull && Opts.MaxConnInFlight != 0) {
+        std::lock_guard<std::mutex> L(C->FlightM);
+        ConnFull = C->InFlight >= Opts.MaxConnInFlight;
+      }
+      if (QueueFull || ConnFull) {
+        shedRequest(*C, Line, QueueFull);
+        continue;
+      }
+
       {
         std::lock_guard<std::mutex> L(C->FlightM);
         ++C->InFlight;
       }
+      uint64_t NewDepth =
+          Load.QueueDepth.fetch_add(1, std::memory_order_relaxed) + 1;
+      uint64_t Peak = Load.PeakQueueDepth.load(std::memory_order_relaxed);
+      while (NewDepth > Peak &&
+             !Load.PeakQueueDepth.compare_exchange_weak(
+                 Peak, NewDepth, std::memory_order_relaxed))
+        ;
       std::string Frame = std::move(Line);
       Line.clear();
       Pool->async([this, C, Frame = std::move(Frame)] {
+        auto T0 = std::chrono::steady_clock::now();
         std::string Response = Handler->handleLine(Frame);
+        auto Us = std::chrono::duration_cast<std::chrono::microseconds>(
+                      std::chrono::steady_clock::now() - T0)
+                      .count();
+        // EWMA (7/8 old + 1/8 new) of service time; racy
+        // read-modify-write is fine for a hint.
+        uint64_t Old = Load.AvgServiceUs.load(std::memory_order_relaxed);
+        uint64_t New = Old == 0 ? static_cast<uint64_t>(Us)
+                                : (Old * 7 + static_cast<uint64_t>(Us)) / 8;
+        Load.AvgServiceUs.store(New, std::memory_order_relaxed);
+        Load.QueueDepth.fetch_sub(1, std::memory_order_relaxed);
         writeResponse(*C, std::move(Response));
         if (Handler->shutdownRequested())
           WaitCv.notify_all();
@@ -170,6 +307,8 @@ void PaddServer::serveConnection(std::shared_ptr<Connection> C) {
     case support::LineReader::Status::FrameTooLarge:
       // Structured refusal, then close: without the frame boundary the
       // rest of the stream cannot be parsed.
+      Load.FramesTooLarge.fetch_add(1, std::memory_order_relaxed);
+      Handler->noteError(kErrFrameTooLarge);
       writeResponse(*C,
                     errorResponse(-1, kErrFrameTooLarge,
                                   "frame exceeds the " +
@@ -181,6 +320,9 @@ void PaddServer::serveConnection(std::shared_ptr<Connection> C) {
     case support::LineReader::Status::Error:
       Open = false;
       break;
+    case support::LineReader::Status::Timeout:
+      // Unreachable: the server reads without a timeout. Keep reading.
+      continue;
     }
   }
 
@@ -191,5 +333,6 @@ void PaddServer::serveConnection(std::shared_ptr<Connection> C) {
     C->FlightCv.wait(L, [&] { return C->InFlight == 0; });
   }
   C->Fd.shutdownBoth();
+  Load.ConnectionsOpen.fetch_sub(1, std::memory_order_relaxed);
   C->Done.store(true, std::memory_order_release);
 }

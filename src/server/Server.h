@@ -31,6 +31,14 @@
 /// server's stop flag is also the cancel token for in-flight searches,
 /// so shutdown sheds long climbs at their next batch boundary.
 ///
+/// Overload and drain (DESIGN.md section 13): admission control sheds
+/// requests past ServerOptions::MaxQueueDepth / MaxConnInFlight with a
+/// structured `overloaded` error carrying a retry_after_ms hint — the
+/// connection always stays open. drain() stops accepting, keeps
+/// serving connected clients until they hang up or the drain deadline
+/// passes, then cancels in-flight searches and force-closes read
+/// sides while still flushing every queued response.
+///
 //===----------------------------------------------------------------------===//
 
 #ifndef PADX_SERVER_SERVER_H
@@ -73,11 +81,26 @@ public:
   /// pool. Idempotent; must not be called from a pool worker.
   void stop();
 
+  /// Graceful drain: stops accepting new connections (the socket file
+  /// is unlinked so fresh connects fail fast), keeps serving the
+  /// connected clients until every connection closes or \p DeadlineMs
+  /// (0 = ServerOptions::DrainDeadlineMs) passes, then cancels
+  /// in-flight searches and shuts down the read side of the stragglers
+  /// — queued responses still flush before the readers exit. Returns
+  /// true when every connection closed inside the deadline. Call
+  /// stop() afterwards for the final teardown; like stop(), must not
+  /// run on a pool worker.
+  bool drain(double DeadlineMs = 0);
+
   bool running() const { return Running.load(std::memory_order_acquire); }
+  bool draining() const {
+    return Load.Draining.load(std::memory_order_acquire);
+  }
 
   RequestHandler &handler() { return *Handler; }
   pipeline::SharedAnalysisCache &sharedCache() { return Shared; }
   const ServerOptions &options() const { return Opts; }
+  const ServerLoadStats &loadStats() const { return Load; }
   unsigned numWorkers() const { return Pool ? Pool->numThreads() : 0; }
 
 private:
@@ -95,11 +118,21 @@ private:
   void acceptLoop();
   void serveConnection(std::shared_ptr<Connection> C);
   void writeResponse(Connection &C, std::string Line);
+  /// Answers a frame that admission control refused: a structured
+  /// `overloaded` error (with the frame's id when it parses) carrying
+  /// the retry_after_ms hint. The connection stays open.
+  void shedRequest(Connection &C, const std::string &Frame,
+                   bool QueueFull);
+  /// Load-derived backoff hint for shed responses.
+  double retryAfterMsHint() const;
 
   ServerOptions Opts;
   pipeline::SharedAnalysisCache Shared;
+  ServerLoadStats Load;
   std::atomic<bool> Stopping{false};
   std::atomic<bool> Running{false};
+  /// Set by drain(): the acceptor exits but readers keep serving.
+  std::atomic<bool> AcceptStop{false};
   std::unique_ptr<RequestHandler> Handler;
   std::unique_ptr<ThreadPool> Pool;
 

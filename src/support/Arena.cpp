@@ -6,12 +6,28 @@
 
 #include "support/Arena.h"
 
+#include "support/FaultInjection.h"
+
 using namespace padx;
 using namespace padx::support;
+
+namespace {
+
+/// Chaos hook: a firing ArenaAlloc site behaves exactly like running
+/// out of budget, which is the failure the daemon must survive.
+void maybeInjectAllocFailure(size_t Requested, size_t Used,
+                             size_t Budget) {
+  if (fault::fire(fault::Site::ArenaAlloc))
+    throw ArenaBudgetExceeded(Requested, Used,
+                              Budget ? Budget : Used + Requested);
+}
+
+} // namespace
 
 void *Arena::allocate(size_t Size, size_t Align) {
   if (Size == 0)
     Size = 1;
+  maybeInjectAllocFailure(Size, Used, Budget);
   checkBudget(Size);
 
   // Dedicated block for oversize requests: bumping them through normal
@@ -59,6 +75,7 @@ void *Arena::allocate(size_t Size, size_t Align) {
 }
 
 void Arena::charge(size_t Bytes) {
+  maybeInjectAllocFailure(Bytes, Used, Budget);
   checkBudget(Bytes);
   Used += Bytes;
 }

@@ -6,9 +6,14 @@
 
 #include "support/Socket.h"
 
+#include "support/FaultInjection.h"
+
+#include <algorithm>
 #include <cerrno>
+#include <chrono>
 #include <cstring>
 
+#include <poll.h>
 #include <sys/socket.h>
 #include <sys/un.h>
 #include <unistd.h>
@@ -51,6 +56,11 @@ void FileDescriptor::close() {
 void FileDescriptor::shutdownBoth() {
   if (Fd >= 0)
     ::shutdown(Fd, SHUT_RDWR);
+}
+
+void FileDescriptor::shutdownRead() {
+  if (Fd >= 0)
+    ::shutdown(Fd, SHUT_RD);
 }
 
 FileDescriptor support::listenUnix(const std::string &Path,
@@ -109,6 +119,12 @@ FileDescriptor support::connectUnix(const std::string &Path,
       *Error = errnoMessage("socket");
     return FileDescriptor();
   }
+  if (fault::fire(fault::Site::ConnectError)) {
+    errno = ECONNREFUSED;
+    if (Error)
+      *Error = errnoMessage("connect") + " (" + Path + ") [injected]";
+    return FileDescriptor();
+  }
   if (::connect(Fd.get(), reinterpret_cast<sockaddr *>(&Addr),
                 sizeof(Addr)) != 0) {
     if (Error)
@@ -122,10 +138,25 @@ bool support::sendAll(int Fd, std::string_view Data,
                       std::string *Error) {
   size_t Sent = 0;
   while (Sent < Data.size()) {
-    ssize_t N = ::send(Fd, Data.data() + Sent, Data.size() - Sent,
-                       MSG_NOSIGNAL);
+    size_t Len = Data.size() - Sent;
+    ssize_t N;
+    if (fault::fire(fault::Site::SendError)) {
+      errno = ECONNRESET;
+      N = -1;
+    } else if (fault::fire(fault::Site::SendEintr)) {
+      errno = EINTR;
+      N = -1;
+    } else {
+      if (std::uint64_t V = fault::value(fault::Site::SendShort, Len))
+        Len = static_cast<size_t>(V);
+      N = ::send(Fd, Data.data() + Sent, Len, MSG_NOSIGNAL);
+    }
     if (N < 0) {
       if (errno == EINTR)
+        continue;
+      // Spurious wakeup on a descriptor with a send timeout set; the
+      // daemon's sockets are plain blocking, so this cannot spin.
+      if (errno == EAGAIN || errno == EWOULDBLOCK)
         continue;
       if (Error)
         *Error = errnoMessage("send");
@@ -137,7 +168,12 @@ bool support::sendAll(int Fd, std::string_view Data,
 }
 
 LineReader::Status LineReader::readLine(std::string &LineOut,
-                                        std::string *Error) {
+                                        std::string *Error,
+                                        int TimeoutMs) {
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point Deadline{};
+  if (TimeoutMs >= 0)
+    Deadline = Clock::now() + std::chrono::milliseconds(TimeoutMs);
   for (;;) {
     size_t NL = Buffer.find('\n');
     if (NL != std::string::npos) {
@@ -160,10 +196,52 @@ LineReader::Status LineReader::readLine(std::string &LineOut,
     if (Buffer.size() > MaxFrameBytes)
       return Status::FrameTooLarge;
 
+    if (TimeoutMs >= 0) {
+      auto Remaining = std::chrono::duration_cast<std::chrono::milliseconds>(
+                           Deadline - Clock::now())
+                           .count();
+      // A spent budget still polls with 0: already-readable data is
+      // drained rather than refused, so TimeoutMs=0 means "take what
+      // is there now without blocking".
+      pollfd P{Fd, POLLIN, 0};
+      int R = ::poll(&P, 1,
+                     static_cast<int>(std::max<long long>(0, Remaining)));
+      if (R == 0)
+        return Status::Timeout;
+      if (R < 0) {
+        if (errno == EINTR)
+          continue;
+        if (Error)
+          *Error = errnoMessage("poll");
+        return Status::Error;
+      }
+      // POLLHUP/POLLERR fall through to read(), which reports EOF or
+      // the real errno.
+    }
+
     char Chunk[4096];
-    ssize_t N = ::read(Fd, Chunk, sizeof(Chunk));
+    size_t Want = sizeof(Chunk);
+    ssize_t N;
+    if (fault::fire(fault::Site::RecvError)) {
+      errno = ECONNRESET;
+      N = -1;
+    } else if (fault::fire(fault::Site::RecvEintr)) {
+      errno = EINTR;
+      N = -1;
+    } else if (fault::fire(fault::Site::RecvEagain)) {
+      errno = EAGAIN;
+      N = -1;
+    } else {
+      if (std::uint64_t V = fault::value(fault::Site::RecvShort, Want))
+        Want = static_cast<size_t>(V);
+      N = ::read(Fd, Chunk, Want);
+    }
     if (N < 0) {
       if (errno == EINTR)
+        continue;
+      // Spurious readiness (or an injected fault): re-poll / re-read.
+      // The daemon's sockets are blocking, so this cannot busy-spin.
+      if (errno == EAGAIN || errno == EWOULDBLOCK)
         continue;
       if (Error)
         *Error = errnoMessage("read");

@@ -65,6 +65,10 @@ public:
   /// on this descriptor (the server's stop path).
   void shutdownBoth();
 
+  /// shutdown(2) the read side only: the blocked reader sees EOF but
+  /// queued responses can still be written (the drain force path).
+  void shutdownRead();
+
 private:
   int Fd = -1;
 };
@@ -98,6 +102,7 @@ public:
     Eof,           ///< Orderly end of stream at a frame boundary.
     FrameTooLarge, ///< Line exceeded the cap; stream unusable.
     Error,         ///< read(2) failed; message in the out-parameter.
+    Timeout,       ///< No complete frame within the caller's timeout.
   };
 
   LineReader(int Fd, size_t MaxFrameBytes)
@@ -106,7 +111,13 @@ public:
   /// Blocks for the next frame. The returned line excludes the
   /// terminating '\n' (and a preceding '\r' if present). A final
   /// unterminated line before EOF is returned as a Line, then Eof.
-  Status readLine(std::string &LineOut, std::string *Error);
+  ///
+  /// With \p TimeoutMs >= 0 the wait for a complete frame is bounded:
+  /// poll(2) gates each read and Timeout is returned once the budget
+  /// is spent (partial data stays buffered; the caller may retry).
+  /// Timeout is never returned when TimeoutMs < 0 (wait forever).
+  Status readLine(std::string &LineOut, std::string *Error,
+                  int TimeoutMs = -1);
 
 private:
   int Fd;

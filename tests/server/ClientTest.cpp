@@ -1,0 +1,317 @@
+//===----------------------------------------------------------------------===//
+//
+// Part of the padx project, under the Apache License v2.0.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Tests for the resilient client library. The happy paths run against
+/// a real PaddServer; the failure paths run against a scripted fake
+/// server (a listener thread playing one misbehavior per test) so each
+/// retry rule is pinned down deterministically: overloaded replies are
+/// rescheduled per retry_after_ms, dropped connections trigger
+/// reconnect-and-resend of everything unanswered, corrupt response
+/// lines poison the connection rather than being treated as answers,
+/// duplicate/unknown response ids are dropped, a silent server trips
+/// the response timeout, and every request ends in exactly one final
+/// outcome.
+///
+//===----------------------------------------------------------------------===//
+
+#include "server/Client.h"
+
+#include "server/Server.h"
+#include "support/Json.h"
+#include "support/Socket.h"
+
+#include "gtest/gtest.h"
+
+#include <unistd.h>
+
+#include <atomic>
+#include <cstdio>
+#include <functional>
+#include <string>
+#include <thread>
+#include <vector>
+
+using namespace padx;
+using namespace padx::server;
+
+namespace {
+
+std::string uniqueSocketPath() {
+  static std::atomic<unsigned> Counter{0};
+  char Buf[96];
+  std::snprintf(Buf, sizeof(Buf), "/tmp/padx_cli_%ld_%u.sock",
+                static_cast<long>(::getpid()), Counter.fetch_add(1));
+  return Buf;
+}
+
+/// A scripted server: accepts exactly \p Sessions connections and runs
+/// \p Session on each, in order. Tests drive precisely that many
+/// connects, so the thread always runs to completion and join() in the
+/// destructor cannot hang.
+struct FakeServer {
+  std::string Path = uniqueSocketPath();
+  support::FileDescriptor Listener;
+  std::thread Thread;
+
+  explicit FakeServer(
+      std::function<void(support::FileDescriptor, int)> Session,
+      int Sessions = 1) {
+    std::string Err;
+    Listener = support::listenUnix(Path, &Err);
+    EXPECT_TRUE(Listener.valid()) << Err;
+    Thread = std::thread([this, Session = std::move(Session), Sessions] {
+      for (int I = 0; I < Sessions; ++I) {
+        std::string AErr;
+        support::FileDescriptor C =
+            support::acceptConnection(Listener.get(), &AErr);
+        if (!C.valid())
+          return;
+        Session(std::move(C), I);
+      }
+    });
+  }
+  ~FakeServer() {
+    if (Thread.joinable())
+      Thread.join();
+    ::unlink(Path.c_str());
+  }
+};
+
+std::string readFrame(int Fd) {
+  support::LineReader Reader(Fd, 1u << 20);
+  std::string Line, Err;
+  if (Reader.readLine(Line, &Err) != support::LineReader::Status::Line)
+    return "";
+  return Line;
+}
+
+void sendLine(int Fd, const std::string &Line) {
+  std::string Err;
+  support::sendAll(Fd, Line + "\n", &Err);
+}
+
+ClientOptions fastOptions(const std::string &Path) {
+  ClientOptions O;
+  O.SocketPath = Path;
+  O.BaseBackoffMs = 1;
+  O.MaxBackoffMs = 10;
+  return O;
+}
+
+} // namespace
+
+TEST(Client, PipelinesAgainstRealServerInInputOrder) {
+  ServerOptions SO;
+  SO.SocketPath = uniqueSocketPath();
+  PaddServer Srv(SO);
+  std::string Err;
+  ASSERT_TRUE(Srv.start(&Err)) << Err;
+
+  std::vector<std::string> Frames;
+  for (int I = 0; I != 8; ++I)
+    Frames.push_back("{\"id\":" + std::to_string(I * 7) +
+                     ",\"op\":\"ping\"}");
+  Client C(fastOptions(SO.SocketPath));
+  std::vector<ClientReply> Replies;
+  EXPECT_TRUE(C.run(Frames, Replies, &Err)) << Err;
+  ASSERT_EQ(Replies.size(), Frames.size());
+  for (size_t I = 0; I != Replies.size(); ++I) {
+    EXPECT_TRUE(Replies[I].Answered);
+    EXPECT_TRUE(Replies[I].Ok);
+    EXPECT_EQ(Replies[I].Id, static_cast<int64_t>(I * 7))
+        << "replies must map back to input order";
+    EXPECT_EQ(Replies[I].Attempts, 1u);
+  }
+  EXPECT_EQ(C.reconnects(), 0u);
+  EXPECT_EQ(C.retries(), 0u);
+  Srv.stop();
+}
+
+TEST(Client, ValidatesIdsBeforeAnyIo) {
+  // No server at this path; validation must fail before connecting.
+  Client C(fastOptions("/tmp/padx_cli_never_bound.sock"));
+  std::vector<ClientReply> Replies;
+  std::string Err;
+
+  EXPECT_FALSE(C.run({"{\"op\":\"ping\"}"}, Replies, &Err));
+  EXPECT_TRUE(Replies.empty());
+  EXPECT_NE(Err.find("id"), std::string::npos);
+
+  EXPECT_FALSE(C.run({"{\"id\":1,\"op\":\"ping\"}",
+                      "{\"id\":1,\"op\":\"ping\"}"},
+                     Replies, &Err));
+  EXPECT_TRUE(Replies.empty());
+  EXPECT_NE(Err.find("duplicate"), std::string::npos);
+
+  EXPECT_FALSE(C.call("not json").has_value());
+  EXPECT_EQ(C.reconnects(), 0u);
+}
+
+TEST(Client, ConnectFailureExhaustsBudgetWithTransportErrors) {
+  ClientOptions O = fastOptions("/tmp/padx_cli_never_bound.sock");
+  O.MaxConnectAttempts = 3;
+  Client C(O);
+  std::vector<ClientReply> Replies;
+  std::string Err;
+  EXPECT_FALSE(C.run({"{\"id\":1,\"op\":\"ping\"}"}, Replies, &Err));
+  ASSERT_EQ(Replies.size(), 1u);
+  EXPECT_FALSE(Replies[0].Answered);
+  EXPECT_NE(Replies[0].TransportError.find("connect"),
+            std::string::npos);
+  EXPECT_FALSE(Err.empty());
+}
+
+TEST(Client, HonorsRetryAfterOnOverloadedThenSucceeds) {
+  FakeServer Srv([](support::FileDescriptor Fd, int) {
+    // First attempt: shed with a hint. Second attempt (same
+    // connection): answer for real.
+    std::string F1 = readFrame(Fd.get());
+    ASSERT_FALSE(F1.empty());
+    sendLine(Fd.get(),
+             "{\"id\":5,\"ok\":false,\"error\":{\"code\":\"overloaded\","
+             "\"message\":\"shed\",\"retry_after_ms\":10}}");
+    std::string F2 = readFrame(Fd.get());
+    EXPECT_EQ(F2, F1) << "the resend must be the identical frame";
+    sendLine(Fd.get(), "{\"id\":5,\"ok\":true,\"result\":{}}");
+    readFrame(Fd.get()); // Until the client hangs up.
+  });
+
+  Client C(fastOptions(Srv.Path));
+  std::optional<ClientReply> R = C.call("{\"id\":5,\"op\":\"ping\"}");
+  ASSERT_TRUE(R.has_value());
+  EXPECT_TRUE(R->Answered);
+  EXPECT_TRUE(R->Ok);
+  EXPECT_EQ(R->Attempts, 2u);
+  EXPECT_EQ(C.overloadedReplies(), 1u);
+  EXPECT_EQ(C.retries(), 1u);
+  EXPECT_EQ(C.reconnects(), 0u) << "overloaded retries reuse the "
+                                   "connection";
+}
+
+TEST(Client, OverloadedIsFinalWhenRetriesDisabled) {
+  FakeServer Srv([](support::FileDescriptor Fd, int) {
+    readFrame(Fd.get());
+    sendLine(Fd.get(),
+             "{\"id\":1,\"ok\":false,\"error\":{\"code\":\"overloaded\","
+             "\"message\":\"shed\",\"retry_after_ms\":10}}");
+    readFrame(Fd.get());
+  });
+
+  ClientOptions O = fastOptions(Srv.Path);
+  O.HonorRetryAfter = false;
+  Client C(O);
+  std::optional<ClientReply> R = C.call("{\"id\":1,\"op\":\"ping\"}");
+  ASSERT_TRUE(R.has_value());
+  EXPECT_TRUE(R->Answered);
+  EXPECT_FALSE(R->Ok) << "the shed is the final answer";
+  EXPECT_EQ(R->Attempts, 1u);
+}
+
+TEST(Client, ReconnectsAndResendsAfterServerDropsConnection) {
+  FakeServer Srv(
+      [](support::FileDescriptor Fd, int Session) {
+        std::string F = readFrame(Fd.get());
+        if (Session == 0)
+          return; // Hang up without answering: the fd closes on return.
+        sendLine(Fd.get(), "{\"id\":3,\"ok\":true,\"result\":{}}");
+        readFrame(Fd.get());
+      },
+      /*Sessions=*/2);
+
+  Client C(fastOptions(Srv.Path));
+  std::optional<ClientReply> R = C.call("{\"id\":3,\"op\":\"ping\"}");
+  ASSERT_TRUE(R.has_value());
+  EXPECT_TRUE(R->Answered);
+  EXPECT_TRUE(R->Ok);
+  EXPECT_EQ(R->Attempts, 2u);
+  EXPECT_GE(C.reconnects(), 1u);
+}
+
+TEST(Client, CorruptResponseLinePoisonsTheConnection) {
+  FakeServer Srv(
+      [](support::FileDescriptor Fd, int Session) {
+        readFrame(Fd.get());
+        if (Session == 0) {
+          // A torn line must never be interpreted as an answer.
+          sendLine(Fd.get(), "{\"id\":7,\"ok\":tr");
+          return;
+        }
+        sendLine(Fd.get(), "{\"id\":7,\"ok\":true,\"result\":{}}");
+        readFrame(Fd.get());
+      },
+      /*Sessions=*/2);
+
+  Client C(fastOptions(Srv.Path));
+  std::optional<ClientReply> R = C.call("{\"id\":7,\"op\":\"ping\"}");
+  ASSERT_TRUE(R.has_value());
+  EXPECT_TRUE(R->Answered);
+  EXPECT_TRUE(R->Ok);
+  EXPECT_GE(C.reconnects(), 1u);
+}
+
+TEST(Client, UnknownAndDuplicateResponseIdsAreDropped) {
+  FakeServer Srv([](support::FileDescriptor Fd, int) {
+    readFrame(Fd.get());
+    // An id the client never sent, then the real answer, then a
+    // duplicate of the real answer.
+    sendLine(Fd.get(), "{\"id\":999,\"ok\":true,\"result\":{}}");
+    sendLine(Fd.get(), "{\"id\":2,\"ok\":true,\"result\":{}}");
+    sendLine(Fd.get(), "{\"id\":2,\"ok\":false,\"result\":{}}");
+    readFrame(Fd.get());
+  });
+
+  Client C(fastOptions(Srv.Path));
+  std::optional<ClientReply> R = C.call("{\"id\":2,\"op\":\"ping\"}");
+  ASSERT_TRUE(R.has_value());
+  EXPECT_TRUE(R->Answered);
+  EXPECT_TRUE(R->Ok) << "the first answer wins; the duplicate is noise";
+  EXPECT_GE(C.unexpectedResponses(), 1u);
+}
+
+TEST(Client, ResponseTimeoutTriggersReconnectAndResend) {
+  FakeServer Srv(
+      [](support::FileDescriptor Fd, int Session) {
+        std::string F = readFrame(Fd.get());
+        if (Session == 0) {
+          // Go silent: never answer. The client's response timeout
+          // must fire; our read unblocks when the client hangs up.
+          readFrame(Fd.get());
+          return;
+        }
+        sendLine(Fd.get(), "{\"id\":4,\"ok\":true,\"result\":{}}");
+        readFrame(Fd.get());
+      },
+      /*Sessions=*/2);
+
+  ClientOptions O = fastOptions(Srv.Path);
+  O.ResponseTimeoutMs = 100;
+  Client C(O);
+  std::optional<ClientReply> R = C.call("{\"id\":4,\"op\":\"ping\"}");
+  ASSERT_TRUE(R.has_value());
+  EXPECT_TRUE(R->Answered);
+  EXPECT_TRUE(R->Ok);
+  EXPECT_GE(C.reconnects(), 1u);
+}
+
+TEST(Client, RetryBudgetExhaustionIsAFinalTransportError) {
+  // Every session drops the connection unanswered; with MaxAttempts=2
+  // the second drop must finalize the request, never loop forever.
+  FakeServer Srv(
+      [](support::FileDescriptor Fd, int) { readFrame(Fd.get()); },
+      /*Sessions=*/2);
+
+  ClientOptions O = fastOptions(Srv.Path);
+  O.MaxAttempts = 2;
+  Client C(O);
+  std::optional<ClientReply> R = C.call("{\"id\":6,\"op\":\"ping\"}");
+  ASSERT_TRUE(R.has_value());
+  EXPECT_FALSE(R->Answered);
+  EXPECT_NE(R->TransportError.find("retry budget exhausted"),
+            std::string::npos)
+      << R->TransportError;
+  EXPECT_EQ(R->Attempts, 2u);
+}

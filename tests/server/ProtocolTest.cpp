@@ -226,3 +226,106 @@ TEST(Protocol, FailureCounterTracksErrorResponses) {
   EXPECT_EQ(F.Handler.requestsServed(), 3u);
   EXPECT_EQ(F.Handler.requestsFailed(), 2u);
 }
+
+TEST(Protocol, HealthReportsStateWithoutLoadStats) {
+  // A handler with no ServerLoadStats attached (tests, benchmarks)
+  // still answers health — with what it knows.
+  HandlerFixture F;
+  support::JsonValue R = F.respond("{\"id\":1,\"op\":\"health\"}");
+  ASSERT_TRUE(R.getBool("ok", false));
+  EXPECT_EQ(R.getString("op", ""), "health");
+  const support::JsonValue *Res = R.find("result");
+  ASSERT_NE(Res, nullptr);
+  EXPECT_EQ(Res->getString("state", ""), "ok");
+}
+
+TEST(Protocol, ShutdownModeParsesAndSetsDrainFlags) {
+  HandlerFixture F;
+  EXPECT_FALSE(F.Handler.drainRequested());
+  support::JsonValue R = F.respond(
+      "{\"id\":1,\"op\":\"shutdown\",\"mode\":\"drain\","
+      "\"drain_ms\":1500}");
+  ASSERT_TRUE(R.getBool("ok", false));
+  const support::JsonValue *Res = R.find("result");
+  ASSERT_NE(Res, nullptr);
+  EXPECT_TRUE(Res->getBool("stopping", false));
+  EXPECT_EQ(Res->getString("mode", ""), "drain");
+  EXPECT_TRUE(F.Handler.shutdownRequested());
+  EXPECT_TRUE(F.Handler.drainRequested());
+  EXPECT_DOUBLE_EQ(F.Handler.requestedDrainMs(), 1500.0);
+}
+
+TEST(Protocol, ShutdownModeNowIsTheDefaultAndDoesNotDrain) {
+  HandlerFixture F;
+  support::JsonValue R = F.respond("{\"id\":1,\"op\":\"shutdown\"}");
+  ASSERT_TRUE(R.getBool("ok", false));
+  const support::JsonValue *Res = R.find("result");
+  ASSERT_NE(Res, nullptr);
+  EXPECT_EQ(Res->getString("mode", ""), "now");
+  EXPECT_TRUE(F.Handler.shutdownRequested());
+  EXPECT_FALSE(F.Handler.drainRequested());
+}
+
+TEST(Protocol, BadShutdownModeAndDrainMsAreInvalidRequests) {
+  HandlerFixture F;
+  for (const char *Bad :
+       {"{\"id\":1,\"op\":\"shutdown\",\"mode\":\"gently\"}",
+        "{\"id\":1,\"op\":\"shutdown\",\"mode\":7}",
+        "{\"id\":1,\"op\":\"shutdown\",\"drain_ms\":-5}"}) {
+    support::JsonValue R = F.respond(Bad);
+    EXPECT_FALSE(R.getBool("ok", true)) << Bad;
+    EXPECT_EQ(errorCode(R), kErrInvalidRequest) << Bad;
+  }
+  EXPECT_FALSE(F.Handler.shutdownRequested())
+      << "a rejected shutdown must not stop the server";
+}
+
+TEST(Protocol, ErrorResponseCarriesRetryAfterOnlyWhenPositive) {
+  std::string With = errorResponse(3, kErrOverloaded, "busy", 25.5);
+  auto Doc = support::parseJson(With);
+  ASSERT_TRUE(Doc.has_value());
+  const support::JsonValue *E = Doc->find("error");
+  ASSERT_NE(E, nullptr);
+  EXPECT_EQ(E->getString("code", ""), kErrOverloaded);
+  EXPECT_DOUBLE_EQ(E->getDouble("retry_after_ms", 0), 25.5);
+
+  std::string Without = errorResponse(3, kErrInternal, "boom");
+  EXPECT_EQ(Without.find("retry_after_ms"), std::string::npos)
+      << "the hint is overload-specific, not boilerplate";
+}
+
+TEST(Protocol, ErrorTaxonomyCountersTrackPerCode) {
+  HandlerFixture F;
+  F.respond("garbage");                        // parse_error
+  F.respond("{\"id\":1,\"op\":\"nope\"}");     // invalid_request
+  F.respond("{\"id\":2,\"op\":\"nope\"}");     // invalid_request
+  F.respond("{\"id\":3,\"op\":\"pad\",\"source\":\"junk\"}");
+  F.Handler.noteError(kErrOverloaded);         // The socket layer's path.
+
+  EXPECT_EQ(F.Handler.errorCount(kErrParse), 1u);
+  EXPECT_EQ(F.Handler.errorCount(kErrInvalidRequest), 2u);
+  EXPECT_EQ(F.Handler.errorCount(kErrInvalidProgram), 1u);
+  EXPECT_EQ(F.Handler.errorCount(kErrOverloaded), 1u);
+  EXPECT_EQ(F.Handler.errorCount(kErrInternal), 0u);
+  EXPECT_EQ(F.Handler.errorCount("unknown_code"), 0u);
+
+  // The same numbers ride the stats op for remote observability.
+  support::JsonValue S = F.respond("{\"id\":9,\"op\":\"stats\"}");
+  const support::JsonValue *Res = S.find("result");
+  ASSERT_NE(Res, nullptr);
+  const support::JsonValue *Errors = Res->find("errors");
+  ASSERT_NE(Errors, nullptr);
+  EXPECT_EQ(Errors->getInt("parse_error", -1), 1);
+  EXPECT_EQ(Errors->getInt("invalid_request", -1), 2);
+  EXPECT_EQ(Errors->getInt("overloaded", -1), 1);
+}
+
+TEST(Protocol, HealthOpRoundTripsThroughOpNames) {
+  EXPECT_EQ(opName(Op::Health), std::string("health"));
+  auto Doc = support::parseJson("{\"id\":1,\"op\":\"health\"}");
+  ASSERT_TRUE(Doc.has_value());
+  Request R;
+  std::string Err;
+  ASSERT_TRUE(parseRequest(*Doc, R, Err)) << Err;
+  EXPECT_EQ(R.Operation, Op::Health);
+}

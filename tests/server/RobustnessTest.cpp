@@ -1,0 +1,362 @@
+//===----------------------------------------------------------------------===//
+//
+// Part of the padx project, under the Apache License v2.0.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Hostile-condition tests for the daemon's socket layer: a client that
+/// vanishes between request and response must not kill the server
+/// (SIGPIPE regression), admission control must shed past the global
+/// queue depth and the per-connection in-flight cap with structured
+/// `overloaded` errors while keeping the connection open, graceful
+/// drain must serve connected clients to completion (and force-close
+/// stragglers only after the deadline, still flushing responses), and
+/// the health/stats ops must expose the load counters behind all of it.
+///
+//===----------------------------------------------------------------------===//
+
+#include "server/Server.h"
+
+#include "support/Json.h"
+#include "support/Socket.h"
+
+#include "gtest/gtest.h"
+
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <atomic>
+#include <cstdio>
+#include <optional>
+#include <string>
+#include <thread>
+#include <vector>
+
+using namespace padx;
+using namespace padx::server;
+
+namespace {
+
+const char *kTinyProgram = "program p\n"
+                           "array A : real[64, 64]\n"
+                           "array B : real[64, 64]\n"
+                           "loop i = 1, 62 {\n"
+                           "  loop j = 1, 62 {\n"
+                           "    A[j, i] = B[j, i] + B[j+1, i+1]\n"
+                           "  }\n"
+                           "}\n";
+
+std::string uniqueSocketPath() {
+  static std::atomic<unsigned> Counter{0};
+  char Buf[96];
+  std::snprintf(Buf, sizeof(Buf), "/tmp/padx_rob_%ld_%u.sock",
+                static_cast<long>(::getpid()), Counter.fetch_add(1));
+  return Buf;
+}
+
+std::string escapeSource(const std::string &S) {
+  std::string Out;
+  for (char C : S) {
+    if (C == '"' || C == '\\')
+      Out += '\\';
+    if (C == '\n') {
+      Out += "\\n";
+      continue;
+    }
+    Out += C;
+  }
+  return Out;
+}
+
+struct ServerFixture {
+  std::string Path = uniqueSocketPath();
+  PaddServer Srv;
+
+  ServerFixture(ServerOptions Opts = {}) : Srv(withPath(std::move(Opts))) {
+    std::string Err;
+    if (!Srv.start(&Err))
+      ADD_FAILURE() << "server start failed: " << Err;
+  }
+  ~ServerFixture() { Srv.stop(); }
+
+  ServerOptions withPath(ServerOptions Opts) {
+    Opts.SocketPath = Path;
+    return Opts;
+  }
+};
+
+struct RawClient {
+  // OwnErr is declared (and therefore constructed) before Fd: the
+  // constructor's initializer list hands &OwnErr to connectUnix, which
+  // assigns into it on failure.
+  std::string OwnErr;
+  std::string LastLine;
+  support::FileDescriptor Fd;
+  support::LineReader Reader;
+
+  explicit RawClient(const std::string &Path)
+      : Fd(support::connectUnix(Path, &OwnErr)),
+        Reader(Fd.get(), 64u << 20) {}
+
+  bool send(const std::string &Line) {
+    return support::sendAll(Fd.get(), Line + "\n", &OwnErr);
+  }
+
+  std::optional<support::JsonValue> recv() {
+    LastLine.clear();
+    if (Reader.readLine(LastLine, &OwnErr) !=
+        support::LineReader::Status::Line)
+      return std::nullopt;
+    return support::parseJson(LastLine);
+  }
+};
+
+std::string errorCode(const support::JsonValue &Doc) {
+  const support::JsonValue *E = Doc.find("error");
+  return E ? E->getString("code", "") : "";
+}
+
+/// A search frame that keeps a worker busy for a while (no deadline,
+/// real budget) — the load generator for shed and drain tests.
+std::string slowFrame(int64_t Id) {
+  return "{\"id\":" + std::to_string(Id) +
+         ",\"op\":\"search\",\"source\":\"" +
+         escapeSource(kTinyProgram) +
+         "\",\"budget\":4096,\"seed\":1,\"emit\":false}";
+}
+
+/// connect() succeeds through the listen backlog before the acceptor
+/// ever runs; a drain started in that window would see zero
+/// connections and finish "clean" while the client's request is still
+/// queued in the kernel. Tests that race a drain against a live client
+/// must first observe the accept.
+void waitForAccept(const PaddServer &Srv, uint64_t Count = 1) {
+  while (Srv.loadStats().ConnectionsTotal.load() < Count)
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+}
+
+/// Joins on every exit path: a failed ASSERT_* returns from the test
+/// body, and destroying a joinable std::thread is std::terminate.
+struct Joiner {
+  std::thread &T;
+  ~Joiner() {
+    if (T.joinable())
+      T.join();
+  }
+};
+
+} // namespace
+
+// The SIGPIPE regression: a client that sends a request and vanishes
+// before the response leaves the daemon writing into a closed socket.
+// Unhandled, the resulting SIGPIPE kills the whole process (this test
+// binary — the failure mode is the test runner dying, not an EXPECT).
+TEST(Robustness, ClientVanishingBeforeResponseDoesNotKillServer) {
+  ServerFixture F;
+  for (int Round = 0; Round != 8; ++Round) {
+    RawClient C(F.Path);
+    ASSERT_TRUE(C.Fd.valid()) << C.OwnErr;
+    ASSERT_TRUE(C.send("{\"id\":1,\"op\":\"pad\",\"source\":\"" +
+                       escapeSource(kTinyProgram) + "\"}"));
+    // Full close immediately: the response will hit a dead peer.
+    C.Fd.close();
+  }
+  // The server must still be alive and serving.
+  RawClient Probe(F.Path);
+  ASSERT_TRUE(Probe.Fd.valid()) << Probe.OwnErr;
+  ASSERT_TRUE(Probe.send("{\"id\":9,\"op\":\"ping\"}"));
+  auto R = Probe.recv();
+  ASSERT_TRUE(R.has_value());
+  EXPECT_TRUE(R->getBool("ok", false));
+}
+
+TEST(Robustness, PerConnectionInFlightCapShedsWithRetryHint) {
+  ServerOptions Opts;
+  Opts.MaxConnInFlight = 1;
+  Opts.Threads = 2;
+  ServerFixture F(Opts);
+  RawClient C(F.Path);
+  ASSERT_TRUE(C.Fd.valid()) << C.OwnErr;
+
+  // One slow request fills the per-connection slot; the pings behind
+  // it in the same burst must be shed, not queued.
+  std::string Burst = slowFrame(0) + "\n";
+  for (int I = 1; I <= 4; ++I)
+    Burst += "{\"id\":" + std::to_string(I) + ",\"op\":\"ping\"}\n";
+  ASSERT_TRUE(support::sendAll(C.Fd.get(), Burst, &C.OwnErr));
+
+  unsigned OkCount = 0, ShedCount = 0;
+  for (int I = 0; I != 5; ++I) {
+    auto R = C.recv();
+    ASSERT_TRUE(R.has_value())
+        << "connection must stay open across sheds";
+    if (R->getBool("ok", false)) {
+      ++OkCount;
+      continue;
+    }
+    ASSERT_EQ(errorCode(*R), kErrOverloaded);
+    const support::JsonValue *E = R->find("error");
+    ASSERT_NE(E, nullptr);
+    EXPECT_GT(E->getDouble("retry_after_ms", 0), 0)
+        << "sheds must carry a backoff hint";
+    ++ShedCount;
+  }
+  EXPECT_EQ(OkCount, 1u) << "only the slow request is admitted";
+  EXPECT_EQ(ShedCount, 4u);
+  EXPECT_EQ(F.Srv.loadStats().ShedConnCap.load(), 4u);
+  EXPECT_EQ(F.Srv.handler().errorCount(kErrOverloaded), 4u);
+}
+
+TEST(Robustness, GlobalQueueDepthCapSheds) {
+  ServerOptions Opts;
+  Opts.MaxQueueDepth = 1;
+  Opts.Threads = 1;
+  ServerFixture F(Opts);
+  RawClient C(F.Path);
+  ASSERT_TRUE(C.Fd.valid()) << C.OwnErr;
+
+  std::string Burst = slowFrame(0) + "\n";
+  for (int I = 1; I <= 3; ++I)
+    Burst += "{\"id\":" + std::to_string(I) + ",\"op\":\"ping\"}\n";
+  ASSERT_TRUE(support::sendAll(C.Fd.get(), Burst, &C.OwnErr));
+
+  unsigned OkCount = 0, ShedCount = 0;
+  for (int I = 0; I != 4; ++I) {
+    auto R = C.recv();
+    ASSERT_TRUE(R.has_value());
+    if (R->getBool("ok", false))
+      ++OkCount;
+    else if (errorCode(*R) == kErrOverloaded)
+      ++ShedCount;
+  }
+  EXPECT_EQ(OkCount, 1u);
+  EXPECT_EQ(ShedCount, 3u);
+  EXPECT_EQ(F.Srv.loadStats().ShedQueueFull.load(), 3u);
+  EXPECT_GE(F.Srv.loadStats().PeakQueueDepth.load(), 1u);
+}
+
+TEST(Robustness, HealthReportsLoadAndDrainState) {
+  ServerFixture F;
+  RawClient C(F.Path);
+  ASSERT_TRUE(C.Fd.valid()) << C.OwnErr;
+  ASSERT_TRUE(C.send("{\"id\":1,\"op\":\"health\"}"));
+  auto R = C.recv();
+  ASSERT_TRUE(R.has_value());
+  ASSERT_TRUE(R->getBool("ok", false));
+  const support::JsonValue *Res = R->find("result");
+  ASSERT_NE(Res, nullptr);
+  EXPECT_EQ(Res->getString("state", ""), "ok");
+  EXPECT_EQ(Res->getInt("queue_limit", -1), 512);
+  EXPECT_EQ(Res->getInt("inflight_limit", -1), 64);
+  EXPECT_EQ(Res->getInt("shed", -1), 0);
+  EXPECT_EQ(Res->getInt("connections", -1), 1);
+
+  // During a drain the same op reports "draining" — connected clients
+  // still get answers while the listener is already gone.
+  std::thread Drainer([&] { F.Srv.drain(/*DeadlineMs=*/10000); });
+  Joiner G{Drainer};
+  while (!F.Srv.draining())
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  ASSERT_TRUE(C.send("{\"id\":2,\"op\":\"health\"}"));
+  auto R2 = C.recv();
+  ASSERT_TRUE(R2.has_value());
+  const support::JsonValue *Res2 = R2->find("result");
+  ASSERT_NE(Res2, nullptr);
+  EXPECT_EQ(Res2->getString("state", ""), "draining");
+  // Hanging up releases the drain before its 10 s deadline.
+  C.Fd.close();
+  Drainer.join();
+  F.Srv.stop();
+}
+
+TEST(Robustness, DrainRefusesNewConnectionsAndReturnsClean) {
+  ServerFixture F;
+  RawClient C(F.Path);
+  ASSERT_TRUE(C.Fd.valid()) << C.OwnErr;
+
+  // In-flight work when the drain starts must complete.
+  ASSERT_TRUE(C.send(slowFrame(1)));
+  waitForAccept(F.Srv);
+  std::thread Drainer([&] { EXPECT_TRUE(F.Srv.drain(10000)); });
+  Joiner G{Drainer};
+  // Draining flips immediately, but the listener disappears only once
+  // the acceptor has joined — wait for the unlink before probing.
+  while (::access(F.Path.c_str(), F_OK) == 0)
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+
+  // The socket file is unlinked: new clients are refused fast.
+  RawClient Late(F.Path);
+  EXPECT_FALSE(Late.Fd.valid());
+
+  // The connected client still gets its (slow) answer.
+  auto R = C.recv();
+  ASSERT_TRUE(R.has_value());
+  EXPECT_TRUE(R->getBool("ok", false));
+  C.Fd.close();
+  Drainer.join();
+  F.Srv.stop();
+  EXPECT_FALSE(F.Srv.running());
+}
+
+TEST(Robustness, DrainDeadlineForcesStragglersButFlushesResponses) {
+  ServerFixture F;
+  RawClient C(F.Path);
+  ASSERT_TRUE(C.Fd.valid()) << C.OwnErr;
+  // An idle client that never hangs up: the drain cannot end cleanly.
+  ASSERT_TRUE(C.send(slowFrame(1)));
+  waitForAccept(F.Srv);
+  bool Clean = F.Srv.drain(/*DeadlineMs=*/50);
+  EXPECT_FALSE(Clean) << "an idle connection must trip the deadline";
+  // The force path shut down our read side but flushed the response.
+  auto R = C.recv();
+  ASSERT_TRUE(R.has_value()) << "queued responses must survive a "
+                                "forced drain";
+  EXPECT_EQ(R->getInt("id", -1), 1);
+  // Then EOF, not a hang.
+  EXPECT_FALSE(C.recv().has_value());
+  F.Srv.stop();
+}
+
+TEST(Robustness, StatsExposeServerLoadAndErrorTaxonomy) {
+  ServerOptions Opts;
+  Opts.MaxConnInFlight = 1;
+  Opts.Threads = 2;
+  ServerFixture F(Opts);
+  RawClient C(F.Path);
+  ASSERT_TRUE(C.Fd.valid()) << C.OwnErr;
+
+  // Produce one shed so the counters are nonzero.
+  std::string Burst = slowFrame(0) + "\n{\"id\":1,\"op\":\"ping\"}\n";
+  ASSERT_TRUE(support::sendAll(C.Fd.get(), Burst, &C.OwnErr));
+  for (int I = 0; I != 2; ++I)
+    ASSERT_TRUE(C.recv().has_value());
+
+  // Query over a second connection: on C the worker that wrote the
+  // search response is still racing its own in-flight decrement, so a
+  // stats frame there can be shed by the cap this test set to 1.
+  RawClient S(F.Path);
+  ASSERT_TRUE(S.Fd.valid()) << S.OwnErr;
+  ASSERT_TRUE(S.send("{\"id\":9,\"op\":\"stats\"}"));
+  auto R = S.recv();
+  ASSERT_TRUE(R.has_value());
+  const support::JsonValue *Res = R->find("result");
+  ASSERT_NE(Res, nullptr) << S.LastLine;
+
+  const support::JsonValue *Server = Res->find("server");
+  ASSERT_NE(Server, nullptr) << "stats must carry the server section";
+  EXPECT_EQ(Server->getInt("inflight_limit", -1), 1);
+  EXPECT_EQ(Server->getInt("queue_limit", -1), 512);
+  EXPECT_EQ(Server->getInt("shed_conn_cap", -1), 1);
+  EXPECT_EQ(Server->getInt("shed_queue_full", -1), 0);
+  EXPECT_EQ(Server->getInt("connections_open", -1), 2);
+  EXPECT_GE(Server->getInt("connections_total", 0), 2);
+  EXPECT_GE(Server->getInt("avg_service_us", -1), 0);
+  EXPECT_FALSE(Server->getBool("draining", true));
+
+  const support::JsonValue *Errors = Res->find("errors");
+  ASSERT_NE(Errors, nullptr) << "stats must carry the error taxonomy";
+  EXPECT_EQ(Errors->getInt("overloaded", -1), 1);
+  EXPECT_EQ(Errors->getInt("parse_error", -1), 0);
+  EXPECT_EQ(Errors->getInt("internal", -1), 0);
+}

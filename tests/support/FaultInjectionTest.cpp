@@ -1,0 +1,151 @@
+//===----------------------------------------------------------------------===//
+//
+// Part of the padx project, under the Apache License v2.0.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Unit tests for the deterministic fault-injection framework: spec
+/// parsing (always compiled), and — in chaos builds only — determinism
+/// of fire decisions across replays, FireFirst unconditional mode,
+/// occurrence/fired accounting, value() ranges, and the disabled-by-
+/// default contract that keeps the rest of the test suite fault-free.
+///
+//===----------------------------------------------------------------------===//
+
+#include "support/FaultInjection.h"
+
+#include "gtest/gtest.h"
+
+#include <algorithm>
+#include <vector>
+
+using namespace padx::support;
+
+TEST(FaultSpec, ParsesProbabilitiesAndCounts) {
+  fault::Config C;
+  std::string Err;
+  ASSERT_TRUE(C.parseSpec(
+      "send_short=0.25,recv_eintr=0.5,arena_alloc=#3", &Err))
+      << Err;
+  EXPECT_DOUBLE_EQ(
+      C.Sites[static_cast<unsigned>(fault::Site::SendShort)].Probability,
+      0.25);
+  EXPECT_DOUBLE_EQ(
+      C.Sites[static_cast<unsigned>(fault::Site::RecvEintr)].Probability,
+      0.5);
+  EXPECT_EQ(
+      C.Sites[static_cast<unsigned>(fault::Site::ArenaAlloc)].FireFirst,
+      3u);
+}
+
+TEST(FaultSpec, WildcardAppliesToEverySite) {
+  fault::Config C;
+  ASSERT_TRUE(C.parseSpec("*=0.1"));
+  for (unsigned I = 0; I < fault::kNumSites; ++I)
+    EXPECT_DOUBLE_EQ(C.Sites[I].Probability, 0.1) << "site " << I;
+}
+
+TEST(FaultSpec, RejectsBadInput) {
+  fault::Config C;
+  std::string Err;
+  EXPECT_FALSE(C.parseSpec("no_such_site=0.5", &Err));
+  EXPECT_NE(Err.find("no_such_site"), std::string::npos);
+  EXPECT_FALSE(C.parseSpec("send_short", &Err));
+  EXPECT_FALSE(C.parseSpec("send_short=1.5", &Err));
+  EXPECT_FALSE(C.parseSpec("send_short=-0.1", &Err));
+  EXPECT_FALSE(C.parseSpec("send_short=#x", &Err));
+  // Empty entries (trailing commas) are tolerated.
+  EXPECT_TRUE(C.parseSpec("send_short=0.5,,", &Err)) << Err;
+}
+
+TEST(FaultSpec, SiteNamesRoundTrip) {
+  for (unsigned I = 0; I < fault::kNumSites; ++I) {
+    fault::Site S = static_cast<fault::Site>(I);
+    fault::Site Back;
+    ASSERT_TRUE(fault::siteFromName(fault::siteName(S), Back))
+        << fault::siteName(S);
+    EXPECT_EQ(static_cast<unsigned>(Back), I);
+  }
+  fault::Site S;
+  EXPECT_FALSE(fault::siteFromName("bogus", S));
+  EXPECT_FALSE(fault::siteFromName("", S));
+}
+
+TEST(FaultInjection, DisabledByDefault) {
+  // The entire rest of the test suite depends on this: hooks compiled
+  // in (or not), nothing fires until someone calls configure().
+  EXPECT_FALSE(fault::enabled());
+  EXPECT_FALSE(fault::fire(fault::Site::SendShort));
+  EXPECT_EQ(fault::value(fault::Site::RecvShort, 100), 0u);
+}
+
+TEST(FaultInjection, FireFirstIsUnconditional) {
+  if (!fault::compiledIn())
+    GTEST_SKIP() << "build without PADX_FAULT_INJECTION";
+  fault::Config C;
+  ASSERT_TRUE(C.parseSpec("send_error=#3"));
+  fault::ScopedFaultConfig Scope(C);
+  EXPECT_TRUE(fault::fire(fault::Site::SendError));
+  EXPECT_TRUE(fault::fire(fault::Site::SendError));
+  EXPECT_TRUE(fault::fire(fault::Site::SendError));
+  EXPECT_FALSE(fault::fire(fault::Site::SendError));
+  EXPECT_EQ(fault::occurrences(fault::Site::SendError), 4u);
+  EXPECT_EQ(fault::fired(fault::Site::SendError), 3u);
+  // Unconfigured sites never fire.
+  EXPECT_FALSE(fault::fire(fault::Site::RecvError));
+}
+
+TEST(FaultInjection, DecisionsAreDeterministicPerSeed) {
+  if (!fault::compiledIn())
+    GTEST_SKIP() << "build without PADX_FAULT_INJECTION";
+  auto Sample = [](std::uint64_t Seed) {
+    fault::Config C;
+    C.Seed = Seed;
+    EXPECT_TRUE(C.parseSpec("recv_short=0.5"));
+    fault::ScopedFaultConfig Scope(C);
+    std::vector<bool> Out;
+    for (int I = 0; I != 256; ++I)
+      Out.push_back(fault::fire(fault::Site::RecvShort));
+    return Out;
+  };
+  std::vector<bool> A = Sample(42), B = Sample(42), Other = Sample(43);
+  EXPECT_EQ(A, B) << "same seed must replay the same decisions";
+  EXPECT_NE(A, Other) << "different seeds must diverge";
+  // At p=0.5 over 256 draws, both outcomes must appear.
+  EXPECT_NE(std::count(A.begin(), A.end(), true), 0);
+  EXPECT_NE(std::count(A.begin(), A.end(), true), 256);
+}
+
+TEST(FaultInjection, ValueStaysInRangeAndZeroWhenCold) {
+  if (!fault::compiledIn())
+    GTEST_SKIP() << "build without PADX_FAULT_INJECTION";
+  fault::Config C;
+  ASSERT_TRUE(C.parseSpec("send_short=#1000"));
+  fault::ScopedFaultConfig Scope(C);
+  for (int I = 0; I != 1000; ++I) {
+    std::uint64_t V = fault::value(fault::Site::SendShort, 7);
+    EXPECT_GE(V, 1u);
+    EXPECT_LE(V, 7u);
+  }
+  // Max == 0 can never fire a value.
+  EXPECT_EQ(fault::value(fault::Site::SendShort, 0), 0u);
+}
+
+TEST(FaultInjection, DisablePreservesCountersForPostMortem) {
+  if (!fault::compiledIn())
+    GTEST_SKIP() << "build without PADX_FAULT_INJECTION";
+  fault::Config C;
+  ASSERT_TRUE(C.parseSpec("recv_eagain=#2"));
+  {
+    fault::ScopedFaultConfig Scope(C);
+    fault::fire(fault::Site::RecvEagain);
+    fault::fire(fault::Site::RecvEagain);
+    fault::fire(fault::Site::RecvEagain);
+  }
+  EXPECT_FALSE(fault::enabled());
+  EXPECT_FALSE(fault::fire(fault::Site::RecvEagain))
+      << "disabled hooks must not fire";
+  EXPECT_EQ(fault::occurrences(fault::Site::RecvEagain), 3u);
+  EXPECT_EQ(fault::fired(fault::Site::RecvEagain), 2u);
+}
