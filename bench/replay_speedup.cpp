@@ -5,24 +5,38 @@
 //===----------------------------------------------------------------------===//
 ///
 /// \file
-/// Measures the record-once / replay-many trace engine against direct
-/// per-candidate tracing on one program: a deterministic sweep of
-/// padding candidates is scored both ways, the per-candidate statistics
-/// are checked for bit-identity, and the wall-clock ratio is reported.
-/// The replay total includes the one-time recording cost, so the number
-/// printed is the end-to-end speedup a search run sees.
+/// Measures the trace engine's two throughput levers on one program: the
+/// record-once / replay-many engine against direct per-candidate tracing
+/// (PR 3), and batched K-way replay against sequential replay (the
+/// MultiTraceReplayer). A deterministic sweep of padding candidates is
+/// scored every way, the per-candidate statistics are checked for
+/// bit-identity across all paths, and the wall-clock ratios are
+/// reported. The sequential replay total is broken down per phase —
+/// recording, remap rebuilds, the probe stream — so BENCH_replay.json
+/// tracks where candidate time actually goes.
 ///
 /// Usage: replay_speedup [--file F.pad | --kernel NAME [--size N]]
 ///                       [--candidates N] [--cache BYTES] [--line BYTES]
-///                       [--assoc K] [--guard X] [--json PATH]
+///                       [--assoc K] [--batch K] [--batch-sweep]
+///                       [--reps N]
+///                       [--guard X] [--guard-batch X] [--json PATH]
 ///
-/// Exit codes: 0 success; 1 usage error, recording declined, or the
-/// measured speedup fell below --guard; 2 replayed statistics diverged
-/// from direct simulation (a correctness bug, never acceptable).
+/// --guard X fails when end-to-end replay speedup over direct tracing
+/// falls below X; --guard-batch X fails when batched candidates/sec
+/// over sequential replay falls below X. The sequential and batched
+/// loops run --reps times (default 3) and the fastest repetition is
+/// reported on each side, so the guarded ratio measures the code, not
+/// scheduler noise on a shared box; the direct walk runs once (its
+/// guard has a wide margin and it dominates bench wall-clock).
+///
+/// Exit codes: 0 success; 1 usage error, recording declined, or a
+/// guard failed; 2 any path's statistics diverged (a correctness bug,
+/// never acceptable).
 ///
 //===----------------------------------------------------------------------===//
 
 #include "bench/BenchCommon.h"
+#include "exec/MultiTraceReplayer.h"
 #include "exec/RecordedTrace.h"
 #include "exec/TraceRunner.h"
 #include "frontend/Parser.h"
@@ -34,6 +48,7 @@
 #include <cstdlib>
 #include <fstream>
 #include <iostream>
+#include <span>
 #include <sstream>
 #include <string>
 #include <vector>
@@ -50,9 +65,14 @@ struct CandidateStats {
   bool operator==(const CandidateStats &RHS) const = default;
 };
 
-CandidateStats statsOf(const sim::CacheSim &Sim) {
-  return {Sim.stats().Accesses, Sim.stats().Misses,
-          Sim.stats().WriteBacks};
+CandidateStats statsOf(const sim::CacheStats &S) {
+  return {S.Accesses, S.Misses, S.WriteBacks};
+}
+
+using Clock = std::chrono::steady_clock;
+
+double secondsSince(Clock::time_point Start) {
+  return std::chrono::duration<double>(Clock::now() - Start).count();
 }
 
 void usage() {
@@ -61,7 +81,9 @@ void usage() {
                "[--size N]]\n"
                "                      [--candidates N] [--cache BYTES] "
                "[--line BYTES]\n"
-               "                      [--assoc K] [--guard X] "
+               "                      [--assoc K] [--batch K] "
+               "[--batch-sweep] [--reps N]\n"
+               "                      [--guard X] [--guard-batch X] "
                "[--json PATH]\n");
   std::exit(1);
 }
@@ -88,6 +110,106 @@ std::vector<search::Candidate> makeCandidates(const ir::Program &P,
   return Out;
 }
 
+/// Reports the first diverging candidate between two stat vectors and
+/// returns true when one exists.
+bool reportDivergence(const char *PathName,
+                      const std::vector<CandidateStats> &Expected,
+                      const std::vector<CandidateStats> &Got) {
+  for (size_t I = 0; I != Expected.size(); ++I)
+    if (!(Expected[I] == Got[I])) {
+      std::fprintf(stderr,
+                   "error: %s candidate %zu diverged: expected "
+                   "%llu/%llu/%llu got %llu/%llu/%llu "
+                   "(accesses/misses/writebacks)\n",
+                   PathName, I,
+                   static_cast<unsigned long long>(Expected[I].Accesses),
+                   static_cast<unsigned long long>(Expected[I].Misses),
+                   static_cast<unsigned long long>(
+                       Expected[I].WriteBacks),
+                   static_cast<unsigned long long>(Got[I].Accesses),
+                   static_cast<unsigned long long>(Got[I].Misses),
+                   static_cast<unsigned long long>(Got[I].WriteBacks));
+      return true;
+    }
+  return false;
+}
+
+/// Scores every candidate through the batched replayer in chunks of
+/// \p Width, returning per-candidate stats and the loop's wall-clock
+/// seconds (materialization included, matching the sequential loop).
+double runBatched(const ir::Program &P, const exec::RecordedTrace &Trace,
+                  const CacheConfig &Cache,
+                  const std::vector<search::Candidate> &Cands,
+                  unsigned Width, unsigned Reps,
+                  std::vector<CandidateStats> &Out) {
+  double Best = 0;
+  for (unsigned Rep = 0; Rep != Reps; ++Rep) {
+    exec::MultiTraceReplayer Batched(Trace, Cache);
+    Out.assign(Cands.size(), {});
+    const auto Start = Clock::now();
+    sim::CacheStats Stats[exec::MultiTraceReplayer::kMaxLanes];
+    std::vector<layout::DataLayout> Layouts;
+    for (size_t Begin = 0; Begin != Cands.size();) {
+      const size_t N = std::min<size_t>(Width, Cands.size() - Begin);
+      Layouts.clear();
+      Layouts.reserve(N);
+      for (size_t I = 0; I != N; ++I)
+        Layouts.push_back(search::materialize(P, Cands[Begin + I]));
+      Batched.replay(Layouts, std::span<sim::CacheStats>(Stats, N));
+      for (size_t I = 0; I != N; ++I)
+        Out[Begin + I] = statsOf(Stats[I]);
+      Begin += N;
+    }
+    const double Secs = secondsSince(Start);
+    if (Rep == 0 || Secs < Best)
+      Best = Secs;
+  }
+  return Best;
+}
+
+/// One full sequential-replay pass with per-phase attribution.
+struct SequentialRun {
+  double MaterializeSecs = 0;
+  double RemapSecs = 0;
+  double ProbeSecs = 0;
+  exec::TraceReplayer::RemapStats Remaps;
+  std::vector<CandidateStats> Stats;
+
+  double total() const {
+    return MaterializeSecs + RemapSecs + ProbeSecs;
+  }
+};
+
+SequentialRun runSequential(const ir::Program &P,
+                            const exec::RecordedTrace &Trace,
+                            const CacheConfig &Cache,
+                            const std::vector<search::Candidate> &Cands) {
+  // prepare() rebuilds the remaps so the replay right after hits the
+  // all-cached path — the split is candidate materialization vs remap
+  // rebuild vs the probe stream.
+  SequentialRun Run;
+  exec::TraceReplayer Replayer(Trace);
+  sim::CacheSim Sim(Cache);
+  Run.Stats.reserve(Cands.size());
+  for (const search::Candidate &C : Cands) {
+    const auto T0 = Clock::now();
+    layout::DataLayout DL = search::materialize(P, C);
+    const auto T1 = Clock::now();
+    Replayer.prepare(DL);
+    const auto T2 = Clock::now();
+    Sim.reset();
+    Replayer.replay(DL, Sim);
+    Run.Stats.push_back(statsOf(Sim.stats()));
+    const auto T3 = Clock::now();
+    Run.MaterializeSecs +=
+        std::chrono::duration<double>(T1 - T0).count();
+    Run.RemapSecs += std::chrono::duration<double>(T2 - T1).count();
+    Run.ProbeSecs += std::chrono::duration<double>(T3 - T2).count();
+  }
+  Run.Remaps = Replayer.remapStats();
+  return Run;
+}
+
 } // namespace
 
 int main(int argc, char **argv) {
@@ -95,7 +217,10 @@ int main(int argc, char **argv) {
   int64_t Size = 0;
   unsigned Candidates = 32;
   CacheConfig Cache = CacheConfig::base16K();
-  double Guard = 0;
+  double Guard = 0, GuardBatch = 0;
+  unsigned BatchK = 16;
+  unsigned Reps = 3;
+  bool BatchSweep = false;
 
   for (int I = 1; I < argc; ++I) {
     std::string Arg = argv[I];
@@ -118,8 +243,16 @@ int main(int argc, char **argv) {
       Cache.LineBytes = std::atoll(Next());
     else if (Arg == "--assoc")
       Cache.Associativity = std::atoi(Next());
+    else if (Arg == "--batch")
+      BatchK = static_cast<unsigned>(std::atoi(Next()));
+    else if (Arg == "--batch-sweep")
+      BatchSweep = true;
+    else if (Arg == "--reps")
+      Reps = static_cast<unsigned>(std::atoi(Next()));
     else if (Arg == "--guard")
       Guard = std::atof(Next());
+    else if (Arg == "--guard-batch")
+      GuardBatch = std::atof(Next());
     else if (Arg == "--json")
       JsonPath = Next();
     else
@@ -127,6 +260,15 @@ int main(int argc, char **argv) {
   }
   if (File.empty() == Kernel.empty() || Candidates == 0)
     usage();
+  if (BatchK < 1 || BatchK > exec::MultiTraceReplayer::kMaxLanes) {
+    std::fprintf(stderr, "error: --batch must be in [1, %u]\n",
+                 exec::MultiTraceReplayer::kMaxLanes);
+    return 1;
+  }
+  if (Reps < 1) {
+    std::fprintf(stderr, "error: --reps must be at least 1\n");
+    return 1;
+  }
   if (!Cache.isValid()) {
     std::fprintf(stderr, "error: invalid cache geometry\n");
     return 1;
@@ -166,21 +308,19 @@ int main(int argc, char **argv) {
   // Direct: a fresh IR walk per candidate, the pre-replay cost model.
   std::vector<CandidateStats> Direct;
   Direct.reserve(Cands.size());
-  auto DirectStart = std::chrono::steady_clock::now();
+  const auto DirectStart = Clock::now();
   for (const search::Candidate &C : Cands) {
     layout::DataLayout DL = search::materialize(*P, C);
     sim::CacheSim Sim(Cache);
     exec::CacheSimSink Sink(Sim);
     exec::TraceRunner Runner(*P, DL);
     Runner.run(Sink);
-    Direct.push_back(statsOf(Sim));
+    Direct.push_back(statsOf(Sim.stats()));
   }
-  auto DirectEnd = std::chrono::steady_clock::now();
-  double DirectSecs =
-      std::chrono::duration<double>(DirectEnd - DirectStart).count();
+  const double DirectSecs = secondsSince(DirectStart);
 
-  // Replay: record once (timed — the search pays it too), then stream.
-  auto ReplayStart = std::chrono::steady_clock::now();
+  // Record once (timed — the search pays it too).
+  const auto RecordStart = Clock::now();
   std::string WhyNot;
   std::unique_ptr<exec::RecordedTrace> Trace =
       exec::RecordedTrace::record(*P, {}, &WhyNot);
@@ -189,40 +329,41 @@ int main(int argc, char **argv) {
                  WhyNot.c_str());
     return 1;
   }
-  exec::TraceReplayer Replayer(*Trace);
-  sim::CacheSim Sim(Cache);
-  std::vector<CandidateStats> Replayed;
-  Replayed.reserve(Cands.size());
-  for (const search::Candidate &C : Cands) {
-    layout::DataLayout DL = search::materialize(*P, C);
-    Sim.reset();
-    Replayer.replay(DL, Sim);
-    Replayed.push_back(statsOf(Sim));
+  const double RecordSecs = secondsSince(RecordStart);
+
+  // Sequential replay, phase-attributed, best of --reps passes (each
+  // pass uses a fresh replayer, so remap counters are per pass).
+  SequentialRun Seq;
+  for (unsigned Rep = 0; Rep != Reps; ++Rep) {
+    SequentialRun Run = runSequential(*P, *Trace, Cache, Cands);
+    if (Rep == 0 || Run.total() < Seq.total())
+      Seq = std::move(Run);
   }
-  auto ReplayEnd = std::chrono::steady_clock::now();
-  double ReplaySecs =
-      std::chrono::duration<double>(ReplayEnd - ReplayStart).count();
+  const double MaterializeSecs = Seq.MaterializeSecs;
+  const double RemapSecs = Seq.RemapSecs;
+  const double ProbeSecs = Seq.ProbeSecs;
+  const double SeqLoopSecs = Seq.total();
+  const double ReplaySecs = RecordSecs + SeqLoopSecs;
+  const exec::TraceReplayer::RemapStats &Remaps = Seq.Remaps;
 
-  for (size_t I = 0; I != Cands.size(); ++I)
-    if (!(Direct[I] == Replayed[I])) {
-      std::fprintf(stderr,
-                   "error: candidate %zu diverged: direct "
-                   "%llu/%llu/%llu vs replay %llu/%llu/%llu "
-                   "(accesses/misses/writebacks)\n",
-                   I,
-                   static_cast<unsigned long long>(Direct[I].Accesses),
-                   static_cast<unsigned long long>(Direct[I].Misses),
-                   static_cast<unsigned long long>(
-                       Direct[I].WriteBacks),
-                   static_cast<unsigned long long>(
-                       Replayed[I].Accesses),
-                   static_cast<unsigned long long>(Replayed[I].Misses),
-                   static_cast<unsigned long long>(
-                       Replayed[I].WriteBacks));
-      return 2;
-    }
+  if (reportDivergence("sequential replay", Direct, Seq.Stats))
+    return 2;
 
-  double Speedup = ReplaySecs > 0 ? DirectSecs / ReplaySecs : 0.0;
+  // Batched replay at the requested width, checked against the same
+  // direct-simulation reference.
+  std::vector<CandidateStats> Batched;
+  const double BatchLoopSecs =
+      runBatched(*P, *Trace, Cache, Cands, BatchK, Reps, Batched);
+  if (reportDivergence("batched replay", Direct, Batched))
+    return 2;
+
+  const double Speedup = ReplaySecs > 0 ? DirectSecs / ReplaySecs : 0.0;
+  const double SeqRate =
+      SeqLoopSecs > 0 ? Cands.size() / SeqLoopSecs : 0.0;
+  const double BatchRate =
+      BatchLoopSecs > 0 ? Cands.size() / BatchLoopSecs : 0.0;
+  const double BatchSpeedup = SeqRate > 0 ? BatchRate / SeqRate : 0.0;
+
   std::printf("replay speedup: %s, %u candidates, %s\n", Name.c_str(),
               Candidates, Cache.describe().c_str());
   std::printf("  trace: %llu accesses in %zu blocks / %zu patterns "
@@ -233,8 +374,38 @@ int main(int argc, char **argv) {
   std::printf("  direct: %.3fs   replay: %.3fs (record included)   "
               "speedup: %.2fx\n",
               DirectSecs, ReplaySecs, Speedup);
-  std::printf("  statistics bit-identical across all %zu candidates\n",
+  std::printf("  phases: record %.3fs | materialize %.3fs | remap "
+              "%.3fs (%llu slot rebuilds) | probe %.3fs\n",
+              RecordSecs, MaterializeSecs, RemapSecs,
+              static_cast<unsigned long long>(Remaps.SlotRebuilds),
+              ProbeSecs);
+  std::printf("  batched (K=%u): %.3fs   %.0f cand/s vs %.0f cand/s "
+              "sequential   batch speedup: %.2fx\n",
+              BatchK, BatchLoopSecs, BatchRate, SeqRate, BatchSpeedup);
+  std::printf("  statistics bit-identical across all %zu candidates "
+              "(direct, sequential, batched)\n",
               Cands.size());
+
+  // The sweep rides on the same reference stats: every width must
+  // match, and the table shows where the lane win flattens out.
+  std::vector<std::pair<unsigned, double>> SweepRates;
+  if (BatchSweep) {
+    std::printf("  batch sweep:\n");
+    std::printf("    K= 1: %8.0f cand/s (sequential replayer)\n",
+                SeqRate);
+    SweepRates.emplace_back(1, SeqRate);
+    for (unsigned K : {2u, 4u, 8u, 16u}) {
+      std::vector<CandidateStats> Stats;
+      const double Secs =
+          runBatched(*P, *Trace, Cache, Cands, K, Reps, Stats);
+      if (reportDivergence("batch-sweep replay", Direct, Stats))
+        return 2;
+      const double Rate = Secs > 0 ? Cands.size() / Secs : 0.0;
+      std::printf("    K=%2u: %8.0f cand/s (%.2fx)\n", K, Rate,
+                  SeqRate > 0 ? Rate / SeqRate : 0.0);
+      SweepRates.emplace_back(K, Rate);
+    }
+  }
 
   if (!JsonPath.empty()) {
     std::ofstream OS(JsonPath);
@@ -249,6 +420,7 @@ int main(int argc, char **argv) {
     J.field("program", Name);
     J.field("cache", Cache.describe());
     J.field("candidates", Candidates);
+    J.field("reps", Reps);
     J.field("trace_accesses", Trace->numAccesses());
     J.field("trace_blocks", static_cast<uint64_t>(Trace->numBlocks()));
     J.field("trace_storage_bytes",
@@ -256,6 +428,35 @@ int main(int argc, char **argv) {
     J.field("direct_seconds", DirectSecs);
     J.field("replay_seconds", ReplaySecs);
     J.field("speedup", Speedup);
+    J.key("phases");
+    J.beginObject();
+    J.field("record_seconds", RecordSecs);
+    J.field("materialize_seconds", MaterializeSecs);
+    J.field("remap_seconds", RemapSecs);
+    J.field("probe_seconds", ProbeSecs);
+    J.field("remap_calls", Remaps.Calls);
+    J.field("remap_slot_rebuilds", Remaps.SlotRebuilds);
+    J.field("remap_ref_delta_rebuilds", Remaps.RefDeltaRebuilds);
+    J.endObject();
+    J.key("batch");
+    J.beginObject();
+    J.field("width", BatchK);
+    J.field("seconds", BatchLoopSecs);
+    J.field("sequential_candidates_per_sec", SeqRate);
+    J.field("candidates_per_sec", BatchRate);
+    J.field("speedup_vs_sequential", BatchSpeedup);
+    if (!SweepRates.empty()) {
+      J.key("sweep");
+      J.beginArray();
+      for (const auto &[K, Rate] : SweepRates) {
+        J.beginObject();
+        J.field("k", K);
+        J.field("candidates_per_sec", Rate);
+        J.endObject();
+      }
+      J.endArray();
+    }
+    J.endObject();
     J.field("stats_identical", true);
     J.endObject();
     OS << '\n';
@@ -265,6 +466,12 @@ int main(int argc, char **argv) {
     std::fprintf(stderr,
                  "error: speedup %.2fx below the %.2fx guard\n",
                  Speedup, Guard);
+    return 1;
+  }
+  if (GuardBatch > 0 && BatchSpeedup < GuardBatch) {
+    std::fprintf(stderr,
+                 "error: batch speedup %.2fx below the %.2fx guard\n",
+                 BatchSpeedup, GuardBatch);
     return 1;
   }
   return 0;

@@ -15,6 +15,7 @@
 /// BENCH_server.json.
 ///
 /// Usage: server_throughput [--clients N] [--requests N] [--op OP]
+///                          [--budget N] [--batch K]
 ///                          [--json PATH] [--guard RATE]
 ///                          [--baseline PATH] [--p99-slack X]
 ///                          [--open-loop RPS] [--queue N] [--inflight N]
@@ -22,6 +23,13 @@
 ///                          [kernel...]
 /// Default kernel set: the Figure 16/17 sweep kernels, round-robined
 /// across requests so repeats hit warm analyses.
+///
+/// --op search exercises the daemon's candidate-search path: --budget
+/// sets the per-request evaluation budget and --batch the replay lanes
+/// per trace pass (0 = auto, omitted = server default). The report and
+/// JSON gain the evaluated-candidate total, the batch width the engine
+/// settled on, and batched candidates/sec — the daemon-side throughput
+/// the K-way MultiTraceReplayer is meant to raise.
 ///
 /// --open-loop RPS switches to overload mode: senders offer requests at
 /// a fixed aggregate rate regardless of completions (the honest way to
@@ -73,6 +81,7 @@ void usage() {
   std::fprintf(stderr,
                "usage: server_throughput [--clients N] [--requests N] "
                "[--op OP]\n"
+               "                         [--budget N] [--batch K]\n"
                "                         [--json PATH] [--guard RATE]\n"
                "                         [--baseline PATH] "
                "[--p99-slack X]\n"
@@ -99,11 +108,15 @@ std::string quantile(std::vector<double> &Sorted, double Q,
 
 /// One closed-loop client: request, wait, record, repeat. Closed loops
 /// measure honest per-request latency — the daemon is never asked for
-/// more concurrency than the client count.
+/// more concurrency than the client count. Search replies additionally
+/// feed the evaluated-candidate tally (result.exact_evaluations) and
+/// the engine's settled batch width, parsed after the latency stamp so
+/// client-side JSON work never inflates the measurement.
 void runClient(const std::string &SocketPath,
                const std::vector<std::string> &Frames, unsigned Requests,
                unsigned Offset, std::vector<double> &LatenciesMs,
-               std::atomic<unsigned> &Errors) {
+               std::atomic<unsigned> &Errors, bool ParseSearch,
+               uint64_t &Candidates, unsigned &BatchWidth) {
   std::string Err;
   support::FileDescriptor Fd = support::connectUnix(SocketPath, &Err);
   if (!Fd.valid()) {
@@ -125,8 +138,20 @@ void runClient(const std::string &SocketPath,
     LatenciesMs.push_back(
         std::chrono::duration<double, std::milli>(Clock::now() - Start)
             .count());
-    if (Line.find("\"ok\":true") == std::string::npos)
+    if (Line.find("\"ok\":true") == std::string::npos) {
       Errors.fetch_add(1);
+    } else if (ParseSearch) {
+      std::optional<support::JsonValue> Doc = support::parseJson(Line);
+      const support::JsonValue *Res =
+          Doc && Doc->isObject() ? Doc->find("result") : nullptr;
+      if (Res && Res->isObject()) {
+        Candidates +=
+            static_cast<uint64_t>(Res->getInt("exact_evaluations", 0));
+        BatchWidth = std::max(
+            BatchWidth,
+            static_cast<unsigned>(Res->getInt("batch_width", 0)));
+      }
+    }
   }
 }
 
@@ -140,6 +165,8 @@ struct OpenLoopClient {
   std::vector<std::atomic<int64_t>> SendNs;
   std::vector<double> AcceptedMs;
   unsigned Accepted = 0;
+  uint64_t Candidates = 0; ///< Search only: sum of exact_evaluations.
+  unsigned BatchWidth = 0; ///< Search only: engine's settled width.
   unsigned Shed = 0;
   unsigned OtherErrors = 0;
   unsigned Unanswered = 0;
@@ -200,6 +227,14 @@ void openLoopReceiver(int Fd, OpenLoopClient &C,
                               C.SendNs[static_cast<size_t>(Id)].load(
                                   std::memory_order_acquire)) /
           1e6);
+      if (const support::JsonValue *Res = Doc->find("result");
+          Res && Res->isObject()) {
+        C.Candidates +=
+            static_cast<uint64_t>(Res->getInt("exact_evaluations", 0));
+        C.BatchWidth = std::max(
+            C.BatchWidth,
+            static_cast<unsigned>(Res->getInt("batch_width", 0)));
+      }
       continue;
     }
     const support::JsonValue *E = Doc->find("error");
@@ -267,10 +302,14 @@ int runOpenLoop(server::PaddServer &Srv,
   Srv.stop();
 
   uint64_t Accepted = 0, Shed = 0, Other = 0, Unanswered = 0;
+  uint64_t Candidates = 0;
+  unsigned BatchWidth = 0;
   bool Dropped = false;
   std::vector<double> AcceptedMs;
   for (const OpenLoopClient &C : Cs) {
     Accepted += C.Accepted;
+    Candidates += C.Candidates;
+    BatchWidth = std::max(BatchWidth, C.BatchWidth);
     Shed += C.Shed;
     Other += C.OtherErrors;
     Unanswered += C.Unanswered;
@@ -320,6 +359,17 @@ int runOpenLoop(server::PaddServer &Srv,
   T.cell("server sheds (queue/conn)");
   T.cell(std::to_string(SrvShedQueue) + "/" +
          std::to_string(SrvShedConn));
+  if (OpName == "search") {
+    T.beginRow();
+    T.cell("candidates evaluated");
+    T.cell(static_cast<int64_t>(Candidates));
+    T.beginRow();
+    T.cell("batch width");
+    T.cell(static_cast<int64_t>(BatchWidth));
+    T.beginRow();
+    T.cell("candidates/sec");
+    T.cell(Secs > 0 ? static_cast<double>(Candidates) / Secs : 0, 1);
+  }
   bench::printTable(T);
 
   if (!JsonPath.empty()) {
@@ -349,6 +399,12 @@ int runOpenLoop(server::PaddServer &Srv,
     J.field("server_shed_conn_cap", SrvShedConn);
     J.field("server_responses_dropped", SrvDropped);
     J.field("shared_cache_hit_rate", Cache.hitRate());
+    if (OpName == "search") {
+      J.field("candidates", Candidates);
+      J.field("batch_width", static_cast<int64_t>(BatchWidth));
+      J.field("candidates_per_second",
+              Secs > 0 ? static_cast<double>(Candidates) / Secs : 0);
+    }
     J.endObject();
     OS << '\n';
     std::printf("\njson summary written to %s\n", JsonPath.c_str());
@@ -421,6 +477,7 @@ int main(int argc, char **argv) {
   double OpenLoopRps = 0;
   double P99LimitMs = 0;
   int64_t Queue = -1, Inflight = -1, MinShed = 0;
+  int64_t Budget = 0, Batch = -1; // search op; <= 0 / < 0 = omit.
   std::vector<std::string> Selected;
 
   for (int I = 1; I < argc; ++I) {
@@ -436,6 +493,10 @@ int main(int argc, char **argv) {
       Requests = static_cast<unsigned>(std::atoi(Next()));
     else if (Arg == "--op")
       OpName = Next();
+    else if (Arg == "--budget")
+      Budget = std::atoll(Next());
+    else if (Arg == "--batch")
+      Batch = std::atoll(Next());
     else if (Arg == "--json")
       JsonPath = Next();
     else if (Arg == "--guard")
@@ -464,7 +525,7 @@ int main(int argc, char **argv) {
       OpenLoopRps < 0 || Queue < -1 || Inflight < -1 || MinShed < 0)
     usage();
   if (OpName != "pad" && OpName != "padlite" && OpName != "lint" &&
-      OpName != "ping") {
+      OpName != "search" && OpName != "ping") {
     std::fprintf(stderr, "error: unsupported op '%s'\n", OpName.c_str());
     return 1;
   }
@@ -490,6 +551,12 @@ int main(int argc, char **argv) {
       JW.field("source", Sources[Kernel]);
       JW.field("filename", Names[Kernel] + ".pad");
       JW.field("emit", false);
+    }
+    if (OpName == "search") {
+      if (Budget > 0)
+        JW.field("budget", Budget);
+      if (Batch >= 0)
+        JW.field("batch", Batch);
     }
     JW.endObject();
     return OS.str() + "\n";
@@ -523,13 +590,17 @@ int main(int argc, char **argv) {
                        P99LimitMs, MinShed);
 
   std::vector<std::vector<double>> PerClient(Clients);
+  std::vector<uint64_t> PerClientCandidates(Clients, 0);
+  std::vector<unsigned> PerClientBatchWidth(Clients, 0);
   std::atomic<unsigned> Errors{0};
+  const bool IsSearch = OpName == "search";
   auto Start = Clock::now();
   std::vector<std::thread> Threads;
   for (unsigned C = 0; C != Clients; ++C)
     Threads.emplace_back([&, C] {
       runClient(Srv.options().SocketPath, Frames, Requests,
-                C * Requests, PerClient[C], Errors);
+                C * Requests, PerClient[C], Errors, IsSearch,
+                PerClientCandidates[C], PerClientBatchWidth[C]);
     });
   for (std::thread &T : Threads)
     T.join();
@@ -546,6 +617,14 @@ int main(int argc, char **argv) {
 
   uint64_t Total = All.size();
   double Rps = Secs > 0 ? static_cast<double>(Total) / Secs : 0;
+  uint64_t Candidates = 0;
+  unsigned BatchWidth = 0;
+  for (unsigned C = 0; C != Clients; ++C) {
+    Candidates += PerClientCandidates[C];
+    BatchWidth = std::max(BatchWidth, PerClientBatchWidth[C]);
+  }
+  double CandPerSec =
+      Secs > 0 ? static_cast<double>(Candidates) / Secs : 0;
   double P50 = 0, P99 = 0;
   quantile(All, 0.50, &P50);
   quantile(All, 0.99, &P99);
@@ -573,6 +652,17 @@ int main(int argc, char **argv) {
   T.beginRow();
   T.cell("shared-cache hit rate");
   T.cell(HitRate, 3);
+  if (IsSearch) {
+    T.beginRow();
+    T.cell("candidates evaluated");
+    T.cell(static_cast<int64_t>(Candidates));
+    T.beginRow();
+    T.cell("batch width");
+    T.cell(static_cast<int64_t>(BatchWidth));
+    T.beginRow();
+    T.cell("candidates/sec");
+    T.cell(CandPerSec, 1);
+  }
   bench::printTable(T);
 
   if (!JsonPath.empty()) {
@@ -596,8 +686,14 @@ int main(int argc, char **argv) {
     J.field("shared_cache_hit_rate", HitRate);
     J.field("shared_cache_hits", S.totalHits());
     J.field("shared_cache_misses", S.totalMisses());
+    if (IsSearch) {
+      J.field("candidates", Candidates);
+      J.field("batch_width", static_cast<int64_t>(BatchWidth));
+      J.field("candidates_per_second", CandPerSec);
+    }
     J.field("errors", static_cast<uint64_t>(Errors.load()));
     J.endObject();
+
     OS << '\n';
     std::printf("\njson summary written to %s\n", JsonPath.c_str());
   }

@@ -3,7 +3,12 @@
 #
 # Part of the padx project, under the Apache License v2.0.
 #
-# CI driver: the tier-1 build + test cycle, the padlint exit-code /
+# CI driver: the tier-1 build + test cycle, a perf-smoke stage guarding
+# sequential replay (vs the direct walk) and 16-lane batched replay
+# (>= 2x sequential, bit-identical stats or exit 2), an LTO build
+# (-DPADX_LTO=ON) that reruns the full suite and the batched guard, a
+# PGO generate/train/use cycle (gated on a toolchain probe) holding the
+# trained build to the same floor, the padlint exit-code /
 # SARIF / crash-robustness stages, a padd daemon stage (4 concurrent
 # paddctl clients over the corpus, streamed-SARIF validation, protocol
 # shutdown, a drain-under-load smoke — SIGTERM mid-sweep, no lost
@@ -41,16 +46,74 @@ cmake -B build -S .
 cmake --build build -j "$JOBS"
 ctest --test-dir build --output-on-failure -j "$JOBS"
 
-echo "== perf smoke: trace replay must not lose to the direct walk =="
-# Bit-identity is covered by the test suite; this guards the *point* of
-# the replay engine — speed. --guard 1.0 only fails if replay is slower
-# than re-walking the program, a deliberately loose bound so CI noise
-# does not flake the build. The JSON artifacts double as the benchmark
-# record for the run.
+echo "== perf smoke: replay + 16-lane batched replay guards =="
+# Bit-identity is covered by the test suite and re-checked by the bench
+# itself (exit 2 on any per-candidate stats divergence between the
+# sequential and batched replayers). The guards watch the *point* of
+# the replay engine — speed: --guard 1.0 only fails if replay is slower
+# than re-walking the program, and --guard-batch 2.0 fails if the
+# 16-lane MultiTraceReplayer falls below 2x sequential replay (the
+# acceptance floor; measured ~4x locally, so the bound has headroom
+# against CI noise — --reps takes the best of 5 for the same reason).
+# The JSON artifact doubles as the benchmark record for the run and is
+# diffable against the checked-in bench/baselines/BENCH_replay.json.
 build/bench/replay_speedup --file tests/fuzz/corpus/jacobi512.pad \
-  --candidates 8 --guard 1.0 --json build/BENCH_replay.json
+  --candidates 32 --batch 16 --reps 5 --guard 1.0 --guard-batch 2.0 \
+  --json build/BENCH_replay.json
 build/bench/search_vs_pad --budget 24 --threads 2 --seed 1 jacobi \
   --json build/BENCH_search.json
+
+echo "== LTO: -DPADX_LTO=ON build + full tests + batched replay guard =="
+# The replay hot loops live in headers and target-attributed functions,
+# but LTO lets the drivers inline across the exec/search/sim library
+# seams; the full suite must stay green under it and the batched replay
+# guard must still hold (a miscompiled probe loop shows up as either a
+# stats divergence, exit 2, or a throughput collapse, exit 1).
+cmake -B build-lto -S . -DPADX_LTO=ON
+cmake --build build-lto -j "$JOBS"
+ctest --test-dir build-lto --output-on-failure -j "$JOBS"
+build-lto/bench/replay_speedup --file tests/fuzz/corpus/jacobi512.pad \
+  --candidates 32 --batch 16 --reps 5 --guard 1.0 --guard-batch 2.0 \
+  --json build/BENCH_replay_lto.json
+
+# PGO needs a toolchain whose -fprofile-generate binaries run and whose
+# -fprofile-use accepts the result; probe with a real program first
+# (some images ship gcc without libgcov, which only fails at link or
+# run time).
+PGO_OK=""
+cat > /tmp/padx_pgo_probe.cc <<'EOF'
+int main() { return 0; }
+EOF
+if c++ -fprofile-generate -o /tmp/padx_pgo_probe /tmp/padx_pgo_probe.cc \
+     2> /dev/null \
+   && (cd /tmp && ./padx_pgo_probe 2> /dev/null) \
+   && c++ -fprofile-use -fprofile-correction -Wno-missing-profile \
+        -o /tmp/padx_pgo_probe /tmp/padx_pgo_probe.cc 2> /dev/null; then
+  PGO_OK=1
+fi
+if [ -n "$PGO_OK" ]; then
+  echo "== PGO: generate -> train on search_vs_pad -> use =="
+  # Two-step profile-guided build sharing one tree (the .gcda files
+  # land next to the objects). Training runs the representative search
+  # workload the CMake preset documents: a real candidate search plus
+  # the batched replay bench. The guarded rerun then holds the trained
+  # build to the same 2x floor as the default build.
+  cmake -B build-pgo -S . -DPADX_PGO=generate
+  cmake --build build-pgo -j "$JOBS" \
+    --target search_vs_pad replay_speedup
+  build-pgo/bench/search_vs_pad --budget 24 --threads 2 --seed 1 \
+    jacobi > /dev/null
+  build-pgo/bench/replay_speedup --file tests/fuzz/corpus/jacobi512.pad \
+    --candidates 32 --batch 16 --reps 1 > /dev/null
+  cmake -B build-pgo -S . -DPADX_PGO=use
+  cmake --build build-pgo -j "$JOBS" \
+    --target search_vs_pad replay_speedup
+  build-pgo/bench/replay_speedup --file tests/fuzz/corpus/jacobi512.pad \
+    --candidates 32 --batch 16 --reps 5 --guard 1.0 --guard-batch 2.0 \
+    --json build/BENCH_replay_pgo.json
+else
+  echo "== PGO: skipped (no working -fprofile-generate/use toolchain) =="
+fi
 
 echo "== pipeline: --stats-json contract + analysis-cache speedup =="
 # The instrumented pass pipeline must report what it ran. Two corpus

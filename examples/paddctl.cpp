@@ -23,6 +23,7 @@
 ///   --cache BYTES --line BYTES --assoc K   cache geometry
 ///   --deadline-ms MS  per-request deadline
 ///   --budget N        search evaluation budget
+///   --batch K         search replay candidates per trace pass (0 = auto)
 ///   --seed S          search seed
 ///   --memory-budget BYTES --max-footprint BYTES --max-accesses N
 ///                     per-request quotas
@@ -67,7 +68,8 @@ void usage() {
       stderr,
       "usage: paddctl --socket PATH [--op OP] [--format FMT]\n"
       "               [--cache BYTES] [--line BYTES] [--assoc K]\n"
-      "               [--deadline-ms MS] [--budget N] [--seed S]\n"
+      "               [--deadline-ms MS] [--budget N] [--batch K]\n"
+      "               [--seed S]\n"
       "               [--memory-budget BYTES] [--max-footprint BYTES]\n"
       "               [--max-accesses N] [--no-emit] [--repeat N]\n"
       "               [--mode now|drain] [--drain-ms MS]\n"
@@ -87,7 +89,7 @@ struct RequestParams {
   std::string Format;
   long long CacheBytes = 0, LineBytes = 0, Assoc = -1;
   double DeadlineMs = 0;
-  long long Budget = 0, Seed = -1;
+  long long Budget = 0, Batch = -1, Seed = -1;
   long long MemoryBudget = 0, MaxFootprint = 0, MaxAccesses = 0;
   bool NoEmit = false;
   std::string ShutdownMode;
@@ -118,6 +120,8 @@ std::string buildRequest(int64_t Id, const RequestParams &P,
     JW.field("deadline_ms", P.DeadlineMs);
   if (P.Budget > 0)
     JW.field("budget", static_cast<int64_t>(P.Budget));
+  if (P.Batch >= 0)
+    JW.field("batch", static_cast<int64_t>(P.Batch));
   if (P.Seed >= 0)
     JW.field("seed", static_cast<int64_t>(P.Seed));
   if (P.MemoryBudget > 0)
@@ -171,6 +175,8 @@ int main(int argc, char **argv) {
       P.DeadlineMs = std::atof(Next());
     else if (Arg == "--budget")
       P.Budget = std::atoll(Next());
+    else if (Arg == "--batch")
+      P.Batch = std::atoll(Next());
     else if (Arg == "--seed")
       P.Seed = std::atoll(Next());
     else if (Arg == "--memory-budget")

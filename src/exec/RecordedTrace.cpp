@@ -463,6 +463,19 @@ TraceReplayer::TraceReplayer(const RecordedTrace &Trace) : T(Trace) {
     for (uint32_t R = T.Patterns[P].RefBegin; R != T.Patterns[P].RefEnd;
          ++R)
       PatternWrites[P] += T.Refs[R].IsWrite;
+  // Counting sort of ref indices by array slot (CSR), so updateRemaps
+  // touches exactly the refs of the slots that went dirty.
+  const size_t NumArrays = T.program().arrays().size();
+  SlotRefBegin.assign(NumArrays + 1, 0);
+  for (const RecordedTrace::Ref &R : T.Refs)
+    ++SlotRefBegin[R.ArrayId + 1];
+  for (size_t Id = 0; Id != NumArrays; ++Id)
+    SlotRefBegin[Id + 1] += SlotRefBegin[Id];
+  SlotRefs.resize(T.Refs.size());
+  std::vector<uint32_t> Fill(SlotRefBegin.begin(),
+                             SlotRefBegin.end() - 1);
+  for (uint32_t R = 0; R != T.Refs.size(); ++R)
+    SlotRefs[Fill[T.Refs[R].ArrayId]++] = R;
 }
 
 void TraceReplayer::updateRemaps(const layout::DataLayout &DL) {
@@ -471,7 +484,7 @@ void TraceReplayer::updateRemaps(const layout::DataLayout &DL) {
   assert(DL.allBasesAssigned() && "layout must be complete");
   const unsigned N = DL.numArrays();
   Slots.resize(N);
-  bool AnyDirty = false;
+  ++Remaps.Calls;
   for (unsigned Id = 0; Id != N; ++Id) {
     SlotRemap &S = Slots[Id];
     const layout::ArrayLayout &L = DL.layout(Id);
@@ -498,23 +511,22 @@ void TraceReplayer::updateRemaps(const layout::DataLayout &DL) {
       S.StrideBytes[K] = Stride;
       Stride *= L.Dims[K];
     }
-    S.Cached = false; // Mark dirty for the delta rebuild below.
-    AnyDirty = true;
-  }
-  if (!AnyDirty)
-    return;
-  for (size_t R = 0; R != T.Refs.size(); ++R) {
-    const RecordedTrace::Ref &Rf = T.Refs[R];
-    const SlotRemap &S = Slots[Rf.ArrayId];
-    if (S.Cached)
-      continue;
-    int64_t Delta = 0;
-    for (uint32_t K = 0; K != Rf.Rank; ++K)
-      Delta += T.Deltas[Rf.DeltaIndex + K] * S.StrideBytes[K];
-    RefDeltaBytes[R] = Delta;
-  }
-  for (SlotRemap &S : Slots)
+    // Rebuild exactly this slot's refs through the CSR index; refs of
+    // slots that stayed clean keep their deltas untouched, so an
+    // intra pad on one array costs that array's refs, not the table.
+    ++Remaps.SlotRebuilds;
+    for (uint32_t I = SlotRefBegin[Id]; I != SlotRefBegin[Id + 1];
+         ++I) {
+      const uint32_t R = SlotRefs[I];
+      const RecordedTrace::Ref &Rf = T.Refs[R];
+      int64_t Delta = 0;
+      for (uint32_t K = 0; K != Rf.Rank; ++K)
+        Delta += T.Deltas[Rf.DeltaIndex + K] * S.StrideBytes[K];
+      RefDeltaBytes[R] = Delta;
+      ++Remaps.RefDeltaRebuilds;
+    }
     S.Cached = true;
+  }
 }
 
 template <typename ProbeFn, typename BlockFn>
@@ -589,16 +601,8 @@ RunStatus TraceReplayer::replay(const layout::DataLayout &DL,
           const int64_t LineAddr = Addr >> LineShift;
           const int64_t Set = LineAddr & SetMask;
           const int64_t Key = ((LineAddr >> SetShift) << 2) | 1;
-          const int64_t P = Lines[Set];
-          if ((P | 2) == (Key | 2)) {
-            if (Write[RefIndex])
-              Lines[Set] = P | 2;
-            ++Hits;
-          } else {
-            WriteBacks += (P >> 1) & 1;
-            Lines[Set] =
-                Key | (static_cast<int64_t>(Write[RefIndex]) << 1);
-          }
+          Hits += sim::CacheSim::probeDirectLane(
+              Lines, Set, Key, Write[RefIndex], WriteBacks);
         },
         PerBlock);
     Sim.addWriteBacks(WriteBacks);

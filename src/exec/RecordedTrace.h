@@ -47,6 +47,7 @@
 namespace padx {
 namespace exec {
 
+class MultiTraceReplayer;
 class TraceRecorder;
 class TraceReplayer;
 
@@ -83,6 +84,7 @@ public:
   uint64_t id() const { return Id; }
 
 private:
+  friend class MultiTraceReplayer;
   friend class TraceRecorder;
   friend class TraceReplayer;
 
@@ -146,6 +148,24 @@ public:
   /// the slow path used by equivalence tests.
   RunStatus replay(const layout::DataLayout &DL, TraceSink &Sink);
 
+  /// Rebuilds the per-slot remaps for \p DL without streaming anything.
+  /// replay() does this implicitly; calling prepare() first lets
+  /// benchmarks attribute remap-rebuild time separately from the probe
+  /// stream (the implicit rebuild inside the following replay then
+  /// takes the all-cached fast path).
+  void prepare(const layout::DataLayout &DL) { updateRemaps(DL); }
+
+  /// Observable remap-cache behaviour, for tests and benchmarks. A slot
+  /// rebuild recomputes one array's per-ref byte deltas; an inter-only
+  /// candidate sequence (bases move, strides do not) must show zero slot
+  /// rebuilds after the first layout.
+  struct RemapStats {
+    uint64_t Calls = 0;        ///< updateRemaps invocations (replays).
+    uint64_t SlotRebuilds = 0; ///< Slots whose strides changed.
+    uint64_t RefDeltaRebuilds = 0; ///< Individual per-ref recomputes.
+  };
+  const RemapStats &remapStats() const { return Remaps; }
+
 private:
   struct SlotRemap {
     int64_t Base = 0;
@@ -162,6 +182,14 @@ private:
 
   const RecordedTrace &T;
   std::vector<SlotRemap> Slots;
+  RemapStats Remaps;
+  /// CSR index from array slot to the trace refs that touch it, so a
+  /// dirty slot rebuilds exactly its own refs instead of the rebuild
+  /// loop scanning the whole ref table: SlotRefs[SlotRefBegin[Id] ..
+  /// SlotRefBegin[Id + 1]) are the indices into RecordedTrace::Refs
+  /// whose ArrayId == Id.
+  std::vector<uint32_t> SlotRefBegin;
+  std::vector<uint32_t> SlotRefs;
   /// Per RecordedTrace::Ref: byte delta per pattern iteration under the
   /// current layout (reused while the slot's strides are unchanged).
   std::vector<int64_t> RefDeltaBytes;

@@ -85,7 +85,9 @@ void PipelineStats::printText(std::ostream &OS) const {
   OS << std::defaultfloat;
 }
 
-void PipelineStats::writeJson(std::ostream &OS) const {
+void PipelineStats::writeJson(
+    std::ostream &OS,
+    const std::function<void(support::JsonWriter &)> &Extra) const {
   support::JsonWriter JW(OS);
   JW.beginObject();
   JW.key("pipeline");
@@ -122,8 +124,10 @@ void PipelineStats::writeJson(std::ostream &OS) const {
     JW.endObject();
   }
   JW.endArray();
-  JW.endObject();
-  JW.endObject();
+  JW.endObject(); // analysis_cache
+  JW.endObject(); // pipeline
+  if (Extra)
+    Extra(JW);
   JW.endObject();
   OS << '\n';
 }

@@ -30,6 +30,7 @@
 #include "pipeline/AnalysisManager.h"
 
 #include <chrono>
+#include <functional>
 #include <ostream>
 #include <string>
 #include <type_traits>
@@ -37,6 +38,9 @@
 #include <vector>
 
 namespace padx {
+namespace support {
+class JsonWriter;
+} // namespace support
 namespace pipeline {
 
 /// Accumulated record of one named pass.
@@ -60,8 +64,14 @@ struct PipelineStats {
   void printText(std::ostream &OS) const;
 
   /// The {"pipeline": ...} document (--stats-json). Emits a complete
-  /// JSON object; callers wrap nothing around it.
-  void writeJson(std::ostream &OS) const;
+  /// JSON object; callers wrap nothing around it. \p Extra, when
+  /// non-null, is invoked after the "pipeline" member with the writer
+  /// positioned at the top level, so callers can append sibling
+  /// sections (padtool adds a "search" object with the batch width) —
+  /// it must emit zero or more complete key/value members.
+  void writeJson(std::ostream &OS,
+                 const std::function<void(support::JsonWriter &)>
+                     &Extra = nullptr) const;
 };
 
 class PadPipeline {

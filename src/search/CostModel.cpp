@@ -12,6 +12,8 @@
 #include "exec/TraceRunner.h"
 #include "pipeline/AnalysisManager.h"
 
+#include <algorithm>
+#include <cassert>
 #include <optional>
 
 using namespace padx;
@@ -19,19 +21,40 @@ using namespace padx::search;
 
 CostModel::~CostModel() = default;
 
+void CostModel::evaluateBatch(std::span<const layout::DataLayout> DLs,
+                              std::span<CostSample> Out) const {
+  assert(DLs.size() == Out.size() && "one sample slot per layout");
+  for (size_t I = 0; I != DLs.size(); ++I)
+    Out[I] = evaluate(DLs[I]);
+}
+
 namespace {
 
+/// Default lane count for batched replay (SimulationCostModel with
+/// replay prepared and no explicit width request). Chosen from
+/// bench/replay_speedup --batch-sweep on the search corpus: 16 lanes
+/// fill the AVX-512 one-zmm probe (one 16-way gather per access) and
+/// measure 3-4x sequential on every corpus program, ahead of 8 lanes
+/// (~2x) at every trace size tested — even 128-access toys still come
+/// out ahead of sequential replay.
+constexpr unsigned kDefaultBatchLanes = 16;
+
 /// Per-thread replay state. The recorded trace is shared read-only; the
-/// replayer (whose stride-delta caches are mutable) and the cache
-/// simulator are per worker. Keyed by the trace's process-unique id so
-/// pool threads that outlive one search re-initialize cleanly for the
-/// next; the shared_ptr keeps the keyed trace alive for as long as the
-/// worker holds it.
+/// replayer (whose stride-delta caches are mutable), its batched
+/// K-lane sibling, and the cache simulator are per worker. Keyed by the
+/// trace's process-unique id so pool threads that outlive one search
+/// re-initialize cleanly for the next; the shared_ptr keeps the keyed
+/// trace alive for as long as the worker holds it.
 struct ReplayWorkerState {
   std::shared_ptr<const exec::RecordedTrace> Trace;
   std::optional<exec::TraceReplayer> Replayer;
   std::optional<sim::CacheSim> Sim;
   CacheConfig SimConfig;
+  /// Keyed separately from the sequential pair above: the two paths
+  /// can interleave on one worker without invalidating each other.
+  std::shared_ptr<const exec::RecordedTrace> BatchTrace;
+  std::optional<exec::MultiTraceReplayer> Batcher;
+  CacheConfig BatchConfig;
 };
 
 thread_local ReplayWorkerState Worker;
@@ -40,6 +63,41 @@ thread_local ReplayWorkerState Worker;
 
 void SimulationCostModel::prepareReplay(const ir::Program &P) {
   Trace = exec::RecordedTrace::record(P);
+}
+
+unsigned SimulationCostModel::batchWidth() const {
+  if (!usingReplay())
+    return 1;
+  unsigned K = RequestedBatch ? RequestedBatch : kDefaultBatchLanes;
+  return std::min(K, exec::MultiTraceReplayer::kMaxLanes);
+}
+
+void SimulationCostModel::evaluateBatch(
+    std::span<const layout::DataLayout> DLs,
+    std::span<CostSample> Out) const {
+  assert(DLs.size() == Out.size() && "one sample slot per layout");
+  const unsigned W = batchWidth();
+  if (W <= 1 || DLs.size() <= 1 ||
+      (!DLs.empty() && &DLs[0].program() != &Trace->program())) {
+    CostModel::evaluateBatch(DLs, Out);
+    return;
+  }
+  if (!Worker.BatchTrace || Worker.BatchTrace->id() != Trace->id() ||
+      Worker.BatchConfig != Cache) {
+    Worker.BatchTrace = Trace;
+    Worker.Batcher.emplace(*Trace, Cache);
+    Worker.BatchConfig = Cache;
+  }
+  sim::CacheStats Stats[exec::MultiTraceReplayer::kMaxLanes];
+  for (size_t Begin = 0; Begin != DLs.size();) {
+    const size_t N = std::min<size_t>(W, DLs.size() - Begin);
+    Worker.Batcher->replay(DLs.subspan(Begin, N),
+                           std::span<sim::CacheStats>(Stats, N));
+    for (size_t I = 0; I != N; ++I)
+      Out[Begin + I] = {static_cast<double>(Stats[I].Misses),
+                        Stats[I].Accesses};
+    Begin += N;
+  }
 }
 
 CostSample SimulationCostModel::evaluate(

@@ -17,12 +17,14 @@
 #ifndef PADX_SEARCH_COSTMODEL_H
 #define PADX_SEARCH_COSTMODEL_H
 
+#include "exec/MultiTraceReplayer.h"
 #include "exec/RecordedTrace.h"
 #include "layout/DataLayout.h"
 #include "machine/CacheConfig.h"
 
 #include <cstdint>
 #include <memory>
+#include <span>
 #include <string>
 
 namespace padx {
@@ -53,6 +55,21 @@ public:
   /// engine invokes it concurrently on distinct layouts.
   virtual CostSample evaluate(const layout::DataLayout &DL) const = 0;
 
+  /// Scores \p DLs into \p Out (same length), Out[i] belonging to
+  /// DLs[i] — the batched entry the search engine fills from its
+  /// candidate queue. The base implementation loops evaluate(); models
+  /// with a cheaper joint path (batched replay) override it. Same
+  /// thread-safety contract as evaluate(), and results must be
+  /// bit-identical to the per-item loop — batching is purely a
+  /// throughput lever.
+  virtual void evaluateBatch(std::span<const layout::DataLayout> DLs,
+                             std::span<CostSample> Out) const;
+
+  /// The batch width evaluateBatch exploits: callers get the best
+  /// throughput handing it chunks of this many layouts. 1 means
+  /// batching buys nothing (the base-class loop).
+  virtual unsigned batchWidth() const { return 1; }
+
   virtual std::string name() const = 0;
 };
 
@@ -77,13 +94,25 @@ public:
   void prepareReplay(ir::Program &&) = delete;
   bool usingReplay() const { return Trace != nullptr; }
 
+  /// Requests \p K lanes of batched replay per trace pass (0 = the
+  /// tuned default, 1 = sequential). The effective width — clamped to
+  /// MultiTraceReplayer::kMaxLanes, and 1 whenever replay is not
+  /// prepared — is what batchWidth() reports. Stats stay bit-identical
+  /// at every width.
+  void setBatchWidth(unsigned K) { RequestedBatch = K; }
+  unsigned batchWidth() const override;
+
   CostSample evaluate(const layout::DataLayout &DL) const override;
+  void evaluateBatch(std::span<const layout::DataLayout> DLs,
+                     std::span<CostSample> Out) const override;
   std::string name() const override { return "simulation"; }
 
 private:
   CacheConfig Cache;
+  unsigned RequestedBatch = 0;
   /// Shared read-only across the thread pool's workers; each worker
-  /// keeps its own TraceReplayer and CacheSim (thread-local).
+  /// keeps its own TraceReplayer, MultiTraceReplayer and CacheSim
+  /// (thread-local).
   std::shared_ptr<const exec::RecordedTrace> Trace;
 };
 

@@ -17,6 +17,7 @@
 #include <exception>
 #include <limits>
 #include <set>
+#include <span>
 #include <sstream>
 
 using namespace padx;
@@ -59,21 +60,42 @@ SearchResult runSearchImpl(const ir::Program &P, const SearchOptions &Opts,
   SimulationCostModel Exact(Opts.Cache);
   if (Opts.UseReplay)
     Exact.prepareReplay(P);
+  Exact.setBatchWidth(Opts.BatchK);
   StaticCostModel Static(Opts.Cache, &PP.analysis());
   ThreadPool Pool(Opts.Threads);
   std::mt19937_64 Rng(Opts.Seed);
 
   const std::vector<Candidate> &Seeds = Gen.seeds();
   SearchResult R(materialize(P, Seeds[Gen.padSeedIndex()]));
+  const unsigned Width = std::max(1u, Exact.batchWidth());
+  R.BatchWidth = Width;
 
   // Exact-scores a batch on the pool; results land by submission index,
-  // so reductions below are thread-count independent.
+  // so reductions below are thread-count independent. The queue is
+  // handed to the model in chunks of its preferred batch width — one
+  // pool task per chunk, one trace pass per chunk when the model
+  // replays batched — and the chunk boundaries depend only on the
+  // submission order, never on thread scheduling, so the determinism
+  // contract is untouched.
   auto evaluateBatch = [&](const std::vector<Candidate> &Batch) {
+    const auto Begin = std::chrono::steady_clock::now();
     std::vector<CostSample> Samples(Batch.size());
-    Pool.parallelFor(Batch.size(), [&](size_t I) {
-      Samples[I] = Exact.evaluate(materialize(P, Batch[I]));
+    const size_t NumChunks = (Batch.size() + Width - 1) / Width;
+    Pool.parallelFor(NumChunks, [&](size_t Chunk) {
+      const size_t First = Chunk * Width;
+      const size_t N = std::min<size_t>(Width, Batch.size() - First);
+      std::vector<layout::DataLayout> Layouts;
+      Layouts.reserve(N);
+      for (size_t I = 0; I != N; ++I)
+        Layouts.push_back(materialize(P, Batch[First + I]));
+      Exact.evaluateBatch(Layouts,
+                          std::span<CostSample>(&Samples[First], N));
     });
     R.ExactEvaluations += static_cast<unsigned>(Batch.size());
+    R.ExactEvalSeconds +=
+        std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                      Begin)
+            .count();
     return Samples;
   };
 

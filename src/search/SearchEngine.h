@@ -81,6 +81,15 @@ struct SearchOptions {
   /// tracing automatically.
   bool UseReplay = true;
 
+  /// Lanes per batched exact-evaluation pass: the replayer streams the
+  /// recorded trace once while scoring this many candidates in
+  /// parallel lanes. 0 = auto (the cost model's tuned default), 1 =
+  /// sequential replay; capped at exec::MultiTraceReplayer::kMaxLanes
+  /// and ignored when replay is off or declined. Results are
+  /// bit-identical at every width — like UseReplay, purely a
+  /// throughput knob (--batch on the tools).
+  unsigned BatchK = 0;
+
   /// Memoize analysis results (reference groups, iteration counts,
   /// static estimates, conflict reports) in the pipeline's
   /// AnalysisManager across candidate evaluations. Results are
@@ -132,6 +141,11 @@ struct SearchResult {
   unsigned ExactEvaluations = 0;
   unsigned Rounds = 0;
   unsigned Restarts = 0;
+  /// Effective lanes per batched exact-evaluation pass (1 = sequential).
+  unsigned BatchWidth = 1;
+  /// Wall-clock seconds spent inside exact-evaluation batches; with
+  /// ExactEvaluations this yields the candidates/sec the tools report.
+  double ExactEvalSeconds = 0;
 
   /// One line per accepted improvement, for --report style output.
   std::vector<std::string> Log;

@@ -169,6 +169,8 @@ bool server::parseRequest(const support::JsonValue &Doc, Request &R,
     return false;
   }
   R.SearchSeed = Doc.getInt("seed", R.SearchSeed);
+  if (!nonNegative(Doc, "batch", R.SearchBatch, Error))
+    return false;
 
   if (R.Operation == Op::Shutdown) {
     if (const support::JsonValue *ModeV = Doc.find("mode")) {

@@ -91,6 +91,7 @@ struct Request {
   // Search knobs (search op only).
   int64_t SearchBudget = 48;
   int64_t SearchSeed = 0;
+  int64_t SearchBatch = 0; ///< Replay lanes per trace pass; 0 = auto.
   bool UseReplay = true;
 
   // Shutdown knobs (shutdown op only). "now" answers and stops

@@ -459,6 +459,7 @@ std::string RequestHandler::dispatch(const Request &R) {
     // comes from serving many requests, not from one climb.
     SO.Threads = 1;
     SO.Seed = static_cast<uint64_t>(R.SearchSeed);
+    SO.BatchK = static_cast<unsigned>(R.SearchBatch);
     SO.UseReplay = R.UseReplay;
     SO.Cancel = Cancel;
     if (Ctx.hasDeadline())
@@ -483,6 +484,7 @@ std::string RequestHandler::dispatch(const Request &R) {
     JW.field("pad_percent", SR.padPercent());
     JW.field("best_percent", SR.bestPercent());
     JW.field("exact_evaluations", SR.ExactEvaluations);
+    JW.field("batch_width", SR.BatchWidth);
     JW.field("rounds", SR.Rounds);
     JW.field("restarts", SR.Restarts);
     if (R.Emit)

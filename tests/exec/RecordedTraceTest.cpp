@@ -360,3 +360,64 @@ loop i = 1, 16 {
   ASSERT_NE(T2, nullptr);
   EXPECT_NE(T->id(), T2->id());
 }
+
+//===----------------------------------------------------------------------===//
+// Remap invalidation granularity
+//===----------------------------------------------------------------------===//
+
+TEST(RecordedTrace, InterOnlyCandidatesSkipRemapRebuilds) {
+  ir::Program P = parseOrDie(R"(program p
+array A : real[32, 32]
+array B : real[32, 32]
+array C : real[32, 32]
+loop i = 1, 32 {
+  loop j = 1, 32 {
+    C[j, i] = A[j, i] + B[i, j]
+  }
+}
+)");
+  auto T = RecordedTrace::record(P);
+  ASSERT_NE(T, nullptr);
+  TraceReplayer Replayer(*T);
+  sim::CacheSim Sim(CacheConfig::base16K());
+
+  // First layout: every slot's deltas are built once.
+  Replayer.replay(layout::originalLayout(P), Sim);
+  const auto &RS = Replayer.remapStats();
+  EXPECT_EQ(RS.Calls, 1u);
+  EXPECT_EQ(RS.SlotRebuilds, 3u);
+  const uint64_t ColdRefRebuilds = RS.RefDeltaRebuilds;
+  EXPECT_GT(ColdRefRebuilds, 0u);
+
+  // An inter-only sequence — bases move, strides never do — must not
+  // rebuild a single slot across any number of candidates.
+  for (int64_t Gap : {32, 64, 96, 128}) {
+    search::Candidate C = search::zeroCandidate(P);
+    for (unsigned A = 0; A != C.GapBytes.size(); ++A)
+      C.GapBytes[A] = Gap * static_cast<int64_t>(A);
+    Sim.reset();
+    Replayer.replay(search::materialize(P, C), Sim);
+  }
+  EXPECT_EQ(RS.Calls, 5u);
+  EXPECT_EQ(RS.SlotRebuilds, 3u) << "inter-only moves rebuilt a slot";
+  EXPECT_EQ(RS.RefDeltaRebuilds, ColdRefRebuilds);
+
+  // Intra-padding exactly one array rebuilds exactly that slot — and
+  // only its own refs: A is read once per iteration (one ref), so the
+  // rebuild touches one ref, not all three in the table.
+  {
+    search::Candidate C = search::zeroCandidate(P);
+    C.DimPads[0][0] = 1; // Pad A's column.
+    Sim.reset();
+    Replayer.replay(search::materialize(P, C), Sim);
+  }
+  EXPECT_EQ(RS.SlotRebuilds, 4u);
+  EXPECT_EQ(RS.RefDeltaRebuilds, ColdRefRebuilds + 1);
+
+  // The replay after the intra candidate reverts to original strides
+  // for A: that slot (alone) rebuilds again.
+  Sim.reset();
+  Replayer.replay(layout::originalLayout(P), Sim);
+  EXPECT_EQ(RS.SlotRebuilds, 5u);
+  EXPECT_EQ(RS.RefDeltaRebuilds, ColdRefRebuilds + 2);
+}

@@ -216,6 +216,33 @@ TEST(SearchEngine, ReplayAndDirectEvaluationAgreeExactly) {
   }
 }
 
+TEST(SearchEngine, BatchWidthDoesNotChangeTheResult) {
+  // --batch K is a throughput knob with the same contract as --replay
+  // and --threads: any width must visit the same candidates and return
+  // bit-identical results. Widths cover sequential, an odd width (the
+  // run-time lane loop), the templated fast path, and auto.
+  for (const char *Name : {"expl", "dgefa"}) {
+    ir::Program P = smallKernel(Name);
+    search::SearchOptions Opts;
+    Opts.EvalBudget = 16;
+    Opts.Seed = 11;
+    Opts.BatchK = 1;
+    search::SearchResult Sequential = search::runSearch(P, Opts);
+    EXPECT_EQ(Sequential.BatchWidth, 1u) << Name;
+    for (unsigned K : {0u, 3u, 8u, 16u}) {
+      Opts.BatchK = K;
+      search::SearchResult Batched = search::runSearch(P, Opts);
+      EXPECT_EQ(Batched.BatchWidth, K == 0 ? 16u : K) << Name;
+      EXPECT_EQ(Sequential.Best, Batched.Best) << Name << " K=" << K;
+      EXPECT_EQ(Sequential.BestMisses, Batched.BestMisses)
+          << Name << " K=" << K;
+      EXPECT_EQ(Sequential.ExactEvaluations, Batched.ExactEvaluations)
+          << Name << " K=" << K;
+      EXPECT_EQ(Sequential.Log, Batched.Log) << Name << " K=" << K;
+    }
+  }
+}
+
 TEST(SearchEngine, NeverWorseThanPadBaseline) {
   for (const char *Name : {"expl", "jacobi", "dgefa", "chol"}) {
     ir::Program P = smallKernel(Name);
