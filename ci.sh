@@ -20,7 +20,14 @@
 # concurrent search / thread-pool code surface on every run. A TSan
 # stage (-DPADX_SANITIZE_THREAD=ON) covers the data races ASan cannot
 # see, gated on a runtime probe of the toolchain; a clang-tidy stage
-# (advisory, see .clang-tidy) runs when the tool is on PATH.
+# runs when the tool is on PATH — enforced (warnings-as-errors) for
+# src/analysis and src/lint, advisory for the rest.
+#
+# Static-prediction gates: the model_accuracy bench guards the lattice
+# predictor's rank fidelity against the simulator (--guard-rank 0.8) on
+# both the default and LTO builds, and the padlint corpus sweep is
+# pinned to the checked-in tests/lint/corpus.baseline (any finding
+# drift fails CI).
 #
 # Both sanitizer builds compile with -DPADX_FAULT_INJECTION=ON and
 # replay the ChaosTest corpus sweep under three fixed fault seeds, so
@@ -63,6 +70,16 @@ build/bench/replay_speedup --file tests/fuzz/corpus/jacobi512.pad \
 build/bench/search_vs_pad --budget 24 --threads 2 --seed 1 jacobi \
   --json build/BENCH_search.json
 
+echo "== model accuracy: lattice predictor vs simulator (rank guard) =="
+# Cross-validates the analytic conflict predictor against the cache
+# simulator over every corpus kernel x 3 geometries x 3 layouts. The
+# guard holds the pooled Spearman rank correlation of predicted vs
+# simulated miss rates at the 0.8 acceptance floor; all numbers are
+# deterministic, so the JSON diffs cleanly against the checked-in
+# bench/baselines/BENCH_model_accuracy.json.
+build/bench/model_accuracy --guard-rank 0.8 \
+  --json build/BENCH_model_accuracy.json > /dev/null
+
 echo "== LTO: -DPADX_LTO=ON build + full tests + batched replay guard =="
 # The replay hot loops live in headers and target-attributed functions,
 # but LTO lets the drivers inline across the exec/search/sim library
@@ -75,6 +92,10 @@ ctest --test-dir build-lto --output-on-failure -j "$JOBS"
 build-lto/bench/replay_speedup --file tests/fuzz/corpus/jacobi512.pad \
   --candidates 32 --batch 16 --reps 5 --guard 1.0 --guard-batch 2.0 \
   --json build/BENCH_replay_lto.json
+# The predictor must stay rank-faithful under LTO too (it is pure
+# arithmetic, so a miscompile shows up as a correlation collapse).
+build-lto/bench/model_accuracy --guard-rank 0.8 \
+  --json build/BENCH_model_accuracy_lto.json > /dev/null
 
 # PGO needs a toolchain whose -fprofile-generate binaries run and whose
 # -fprofile-use accepts the result; probe with a real program first
@@ -178,13 +199,29 @@ if command -v jq > /dev/null 2>&1; then
   test "$(jq -r '.runs[0].tool.driver.name' build/LINT_examples.sarif)" \
     = "padlint"
   test "$(jq '.runs[0].tool.driver.rules | length' \
-    build/LINT_examples.sarif)" -eq 5
+    build/LINT_examples.sarif)" -eq 6
   test "$(jq '.runs[0].results | length' build/LINT_examples.sarif)" -gt 0
   # Every result must reference a registered rule and carry a message
   # and a fingerprint.
   jq -e '.runs[0].results | all(.ruleId != null and
          .message.text != null and
          .partialFingerprints["padlintFingerprint/v1"] != null)' \
+    build/LINT_examples.sarif > /dev/null
+  # Fix-its surface as SARIF `fixes` objects: at least one result over
+  # the examples carries one, and every fix is structurally applicable
+  # (a description, one artifactChange naming an artifact, one
+  # replacement with a real region and inserted text).
+  jq -e '[.runs[0].results[] | select(.fixes != null)] | length > 0' \
+    build/LINT_examples.sarif > /dev/null
+  jq -e '.runs[0].results | all(.fixes == null or
+         (.fixes | all(.description.text != null and
+          (.artifactChanges | length) == 1 and
+          .artifactChanges[0].artifactLocation.uri != null and
+          (.artifactChanges[0].replacements | length) == 1 and
+          .artifactChanges[0].replacements[0].deletedRegion.startLine >= 1
+          and
+          .artifactChanges[0].replacements[0].insertedContent.text
+            != null)))' \
     build/LINT_examples.sarif > /dev/null
 else
   echo "== padlint: SARIF validation skipped (no jq) =="
@@ -201,6 +238,19 @@ for f in tests/fuzz/corpus/*.pad tests/fuzz/crashers/*.pad; do
     exit 1
   fi
 done
+
+echo "== padlint: corpus baseline drift check =="
+# The checked-in tests/lint/corpus.baseline pins every finding over the
+# fuzz corpus by stable fingerprint (rule, program, key — no line
+# numbers). Any new or vanished finding fails here; refresh the file
+# deliberately when a rule change is intended:
+#   build/examples/padlint --write-baseline tests/lint/corpus.baseline \
+#     --fail-on never tests/fuzz/corpus/*.pad
+build/examples/padlint --write-baseline build/LINT_corpus.baseline \
+  --fail-on never tests/fuzz/corpus/*.pad > /dev/null
+diff -u tests/lint/corpus.baseline build/LINT_corpus.baseline || {
+  echo "padlint corpus findings drifted from the checked-in baseline"
+  exit 1; }
 
 echo "== padd: daemon protocol + 4 concurrent clients over the corpus =="
 # Start the daemon on a private socket, hammer it with four concurrent
@@ -387,14 +437,19 @@ else
 fi
 
 if command -v clang-tidy > /dev/null 2>&1; then
-  echo "== clang-tidy: bugprone/performance/concurrency (advisory) =="
   cmake -B build -S . -DCMAKE_EXPORT_COMPILE_COMMANDS=ON > /dev/null
+  echo "== clang-tidy: enforced on src/analysis + src/lint =="
+  # The analysis and lint libraries gate: any new finding under the
+  # .clang-tidy profile is an error (intentional deviations carry a
+  # NOLINT with a justification). The rest of the tree stays advisory
+  # below, so clang-tidy's version-to-version check drift can only
+  # break CI for the two directories this PR holds warning-clean.
+  clang-tidy -p build --quiet --warnings-as-errors='*' \
+    src/analysis/*.cpp src/lint/*.cpp
+  echo "== clang-tidy: bugprone/performance/concurrency (advisory) =="
   # Advisory by configuration (.clang-tidy sets no WarningsAsErrors):
-  # surfaces findings in the log without gating on clang-tidy's
-  # version-to-version check drift. The lint library and driver are the
-  # new code this profile primarily watches.
-  clang-tidy -p build --quiet \
-    src/lint/*.cpp examples/padlint.cpp || true
+  # surfaces findings in the log without gating.
+  clang-tidy -p build --quiet examples/padlint.cpp || true
 else
   echo "== clang-tidy: skipped (not on PATH) =="
 fi

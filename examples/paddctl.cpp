@@ -69,7 +69,7 @@ void usage() {
       "usage: paddctl --socket PATH [--op OP] [--format FMT]\n"
       "               [--cache BYTES] [--line BYTES] [--assoc K]\n"
       "               [--deadline-ms MS] [--budget N] [--batch K]\n"
-      "               [--seed S]\n"
+      "               [--seed S] [--prescreen on|off|auto]\n"
       "               [--memory-budget BYTES] [--max-footprint BYTES]\n"
       "               [--max-accesses N] [--no-emit] [--repeat N]\n"
       "               [--mode now|drain] [--drain-ms MS]\n"
@@ -91,6 +91,7 @@ struct RequestParams {
   double DeadlineMs = 0;
   long long Budget = 0, Batch = -1, Seed = -1;
   long long MemoryBudget = 0, MaxFootprint = 0, MaxAccesses = 0;
+  std::string Prescreen;
   bool NoEmit = false;
   std::string ShutdownMode;
   double DrainMs = 0;
@@ -124,6 +125,8 @@ std::string buildRequest(int64_t Id, const RequestParams &P,
     JW.field("batch", static_cast<int64_t>(P.Batch));
   if (P.Seed >= 0)
     JW.field("seed", static_cast<int64_t>(P.Seed));
+  if (!P.Prescreen.empty())
+    JW.field("prescreen", P.Prescreen);
   if (P.MemoryBudget > 0)
     JW.field("memory_budget", static_cast<int64_t>(P.MemoryBudget));
   if (P.MaxFootprint > 0)
@@ -179,6 +182,8 @@ int main(int argc, char **argv) {
       P.Batch = std::atoll(Next());
     else if (Arg == "--seed")
       P.Seed = std::atoll(Next());
+    else if (Arg == "--prescreen")
+      P.Prescreen = Next();
     else if (Arg == "--memory-budget")
       P.MemoryBudget = std::atoll(Next());
     else if (Arg == "--max-footprint")

@@ -26,6 +26,10 @@
 ///   --deadline SECS search: wall-clock limit; degrades to best-so-far
 ///   --replay on|off search: record-once/replay-many evaluation
 ///                   (default on; off re-walks the IR per candidate)
+///   --prescreen on|off|auto  search: statically rank each round with
+///                   the lattice predictor and replay only the top half
+///                   (default off; auto engages when the predictor can
+///                   analyze the program)
 ///   --analysis-cache on|off  memoize analysis results across passes
 ///                   (default on; off recomputes every query)
 ///   --max-footprint BYTES  resource limit on the layout's byte size
@@ -85,7 +89,8 @@ void usage() {
                "[--budget N] [--threads N]\n"
                "               [--batch K] [--seed S] [--deadline SECS] "
                "[--replay on|off]\n"
-               "               [--analysis-cache on|off]\n"
+               "               [--prescreen on|off|auto] "
+               "[--analysis-cache on|off]\n"
                "               [--max-footprint BYTES] "
                "[--max-accesses N]\n"
                "               [--emit] [--simulate] [--report] "
@@ -220,6 +225,21 @@ int main(int argc, char **argv) {
         SearchOpts.UseReplay = false;
       } else {
         std::fprintf(stderr, "error: --replay takes 'on' or 'off'\n");
+        return ExitUsage;
+      }
+    } else if (Arg == "--prescreen" ||
+               Arg.rfind("--prescreen=", 0) == 0) {
+      std::string V =
+          Arg == "--prescreen" ? std::string(Next()) : Arg.substr(12);
+      if (V == "on") {
+        SearchOpts.Prescreen = search::PrescreenMode::On;
+      } else if (V == "off") {
+        SearchOpts.Prescreen = search::PrescreenMode::Off;
+      } else if (V == "auto") {
+        SearchOpts.Prescreen = search::PrescreenMode::Auto;
+      } else {
+        std::fprintf(stderr,
+                     "error: --prescreen takes 'on', 'off' or 'auto'\n");
         return ExitUsage;
       }
     } else if (Arg == "--analysis-cache" ||
@@ -385,6 +405,10 @@ int main(int argc, char **argv) {
                 "batch width %u\n",
                 SR.ExactEvaluations, SR.Rounds, SR.Restarts,
                 SR.BatchWidth);
+    if (SR.PrescreenActive)
+      std::printf("  prescreen: active, %u candidates kept from the "
+                  "simulator by the lattice predictor\n",
+                  SR.PrescreenSkipped);
     for (const std::string &Line : SR.Log)
       std::printf("  %s\n", Line.c_str());
     std::printf("  outcome: %s%s%s\n",
@@ -457,18 +481,42 @@ int main(int argc, char **argv) {
       // On a search run the stats document gains a "search" sibling so
       // harnesses (server_throughput's padtool mode, ci.sh) can divide
       // exact evaluations by wall time into batched candidates/sec.
-      std::function<void(support::JsonWriter &)> Extra;
-      if (SearchRes)
-        Extra = [&](support::JsonWriter &JW) {
-          JW.key("search");
-          JW.beginObject();
-          JW.field("batch_width", SearchRes->BatchWidth);
-          JW.field("exact_evaluations", SearchRes->ExactEvaluations);
-          JW.field("rounds", SearchRes->Rounds);
-          JW.field("restarts", SearchRes->Restarts);
-          JW.field("outcome", search::outcomeName(SearchRes->Outcome));
-          JW.endObject();
-        };
+      std::function<void(support::JsonWriter &)> Extra =
+          [&](support::JsonWriter &JW) {
+            if (SearchRes) {
+              JW.key("search");
+              JW.beginObject();
+              JW.field("batch_width", SearchRes->BatchWidth);
+              JW.field("exact_evaluations",
+                       SearchRes->ExactEvaluations);
+              JW.field("rounds", SearchRes->Rounds);
+              JW.field("restarts", SearchRes->Restarts);
+              JW.field("outcome",
+                       search::outcomeName(SearchRes->Outcome));
+              JW.field("prescreen_active", SearchRes->PrescreenActive);
+              JW.field("prescreen_skipped",
+                       SearchRes->PrescreenSkipped);
+              JW.field("candidates_generated",
+                       SearchRes->CandidatesGenerated);
+              JW.endObject();
+            }
+            // The predictor's own counters as a headline section —
+            // the same numbers live in the analysis-cache kinds array,
+            // but harnesses watching the new tier shouldn't have to
+            // index into it.
+            const pipeline::AnalysisCounters &LC = PS.Analysis.of(
+                pipeline::AnalysisKind::LatticePrediction);
+            JW.key("lattice_predictor");
+            JW.beginObject();
+            JW.field("hits", static_cast<int64_t>(LC.Hits));
+            JW.field("shared_hits",
+                     static_cast<int64_t>(LC.SharedHits));
+            JW.field("misses", static_cast<int64_t>(LC.Misses));
+            JW.field("invalidated",
+                     static_cast<int64_t>(LC.Invalidated));
+            JW.field("seconds", LC.Seconds);
+            JW.endObject();
+          };
       if (StatsJsonFile == "-") {
         PS.writeJson(std::cout, Extra);
       } else {

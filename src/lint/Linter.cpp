@@ -67,8 +67,11 @@ LintResult Linter::run(const layout::DataLayout &DL,
   const std::vector<analysis::LoopGroup> &Groups = AM.referenceGroups();
   const analysis::ProgramEstimate &Estimate =
       AM.missEstimate(DL, Options.Cache);
+  const analysis::LatticePrediction &Prediction =
+      AM.latticePrediction(DL, Options.Cache);
 
-  LintContext Ctx{DL, Options.Cache, Safety, LinAlg, Groups, Estimate};
+  LintContext Ctx{DL,     Options.Cache, Safety,  LinAlg,
+                  Groups, Estimate,      Prediction};
   for (const Rule *R : allRules())
     PP.run("lint:" + std::string(R->id()),
            [&] { R->check(Ctx, Result.Findings); });

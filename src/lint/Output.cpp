@@ -6,6 +6,7 @@
 
 #include "lint/Output.h"
 
+#include "ir/Printer.h"
 #include "lint/Baseline.h"
 #include "lint/Rule.h"
 #include "support/Diagnostics.h"
@@ -180,6 +181,78 @@ static void writeSarifLocation(support::JsonWriter &J,
   J.endObject();
 }
 
+/// SARIF `fixes`: one artifactChange per applicable fix-it, so SARIF
+/// consumers can apply the repair, not just read about it. An IntraPad
+/// fix rewrites the padded array's declaration line with the grown
+/// dimension; an InterGap fix inserts a spacer declaration before it
+/// (the transformed-source emitter's `array __pad... : real4[N]`
+/// idiom). Both anchor on the declaration's source location —
+/// programmatic IR without one emits no fix object, and the message
+/// still carries the textual suggestion.
+static void writeSarifFixes(support::JsonWriter &J,
+                            const SarifFileResult &File, size_t FI,
+                            const Finding &F) {
+  const ir::Program &P = File.DL->program();
+  const ir::ArrayVariable &V = P.array(F.Fix.ArrayId);
+  const SourceLocation &Loc = V.Loc;
+  if (!Loc.isValid())
+    return;
+
+  std::ostringstream Decl;
+  bool Insertion = F.Fix.K == FixIt::Kind::InterGap;
+  if (Insertion) {
+    Decl << "array __pad_" << V.Name << " : real4["
+         << F.Fix.GapBytes / 4 << "]\n";
+  } else {
+    ir::ArrayVariable Padded = V;
+    Padded.DimSizes[F.Fix.Dim] += F.Fix.PadElems;
+    ir::printArrayDecl(Decl, Padded);
+  }
+  std::string Text = Decl.str();
+  // The rewrite's deleted region already stops before the newline;
+  // keep the insertion newline-free so applying it adds no blank line.
+  if (!Insertion && !Text.empty() && Text.back() == '\n')
+    Text.pop_back();
+
+  J.key("fixes");
+  J.beginArray();
+  J.beginObject();
+  J.key("description");
+  J.beginObject();
+  J.field("text", describeFix(F, *File.DL));
+  J.endObject();
+  J.key("artifactChanges");
+  J.beginArray();
+  J.beginObject();
+  J.key("artifactLocation");
+  J.beginObject();
+  J.field("uri", File.Filename);
+  J.field("index", static_cast<int64_t>(FI));
+  J.endObject();
+  J.key("replacements");
+  J.beginArray();
+  J.beginObject();
+  J.key("deletedRegion");
+  J.beginObject();
+  J.field("startLine", static_cast<int64_t>(Loc.Line));
+  J.field("startColumn", static_cast<int64_t>(1));
+  // An insertion is a zero-length deletion at the line start; a
+  // rewrite omits endColumn and consumes the whole declaration line.
+  if (Insertion)
+    J.field("endColumn", static_cast<int64_t>(1));
+  J.endObject();
+  J.key("insertedContent");
+  J.beginObject();
+  J.field("text", Text);
+  J.endObject();
+  J.endObject();
+  J.endArray();
+  J.endObject();
+  J.endArray();
+  J.endObject();
+  J.endArray();
+}
+
 void lint::writeSarif(std::ostream &OS,
                       const std::vector<SarifFileResult> &Files) {
   const std::vector<const Rule *> &Rules = allRules();
@@ -272,6 +345,8 @@ void lint::writeSarif(std::ostream &OS,
         J.endObject();
         J.endArray();
       }
+      if (F.Fix.isValid())
+        writeSarifFixes(J, File, FI, F);
       J.endObject();
     }
   }

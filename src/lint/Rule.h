@@ -17,6 +17,7 @@
 #ifndef PADX_LINT_RULE_H
 #define PADX_LINT_RULE_H
 
+#include "analysis/LatticePredictor.h"
 #include "analysis/MissEstimate.h"
 #include "analysis/ReferenceGroups.h"
 #include "analysis/Safety.h"
@@ -44,6 +45,9 @@ struct LintContext {
   /// Static miss estimate of this layout; rules derive Error vs Warning
   /// from the predicted impact of the loop a conflict lives in.
   const analysis::ProgramEstimate &Estimate;
+  /// Analytic lattice prediction of this layout; the predicted-
+  /// conflict-volume rule ranks array pairs by it.
+  const analysis::LatticePrediction &Prediction;
 
   const ir::Program &program() const { return DL.program(); }
 };

@@ -8,11 +8,12 @@
 /// The rule catalog (DESIGN.md section 10). Each rule encodes one pad
 /// condition of the paper as an independent diagnostic:
 ///
-///   base-proximity            InterPadLite  (Figure 5, Lite condition)
-///   pathological-leading-dim  LinPad1       (2*L_s divides Col_s)
-///   conflict-pair             InterPad / IntraPad (Expressions (1), (2))
-///   self-interference         LinPad2       (FirstConflict < j*)
-///   unsafe-to-fix             Section 4.1 safety (meta-rule)
+///   base-proximity             InterPadLite  (Figure 5, Lite condition)
+///   pathological-leading-dim   LinPad1       (2*L_s divides Col_s)
+///   conflict-pair              InterPad / IntraPad (Expr. (1), (2))
+///   self-interference          LinPad2       (FirstConflict < j*)
+///   predicted-conflict-volume  associativity-lattice miss prediction
+///   unsafe-to-fix              Section 4.1 safety (meta-rule)
 ///
 /// Fix-its are found by re-checking the rule's own condition on trial
 /// layouts — the smallest pad that clears the condition is the one
@@ -30,6 +31,8 @@
 #include "support/MathExtras.h"
 
 #include <algorithm>
+#include <cmath>
+#include <iomanip>
 #include <set>
 #include <sstream>
 
@@ -486,7 +489,70 @@ private:
 };
 
 //===----------------------------------------------------------------------===//
-// R5: unsafe-to-fix (safety meta-rule)
+// R5: predicted-conflict-volume (associativity-lattice prediction)
+//===----------------------------------------------------------------------===//
+
+class PredictedConflictVolumeRule : public Rule {
+public:
+  std::string_view id() const override {
+    return "predicted-conflict-volume";
+  }
+  std::string_view summary() const override {
+    return "the analytic lattice predictor attributes a concrete "
+           "conflict-miss volume to this array pair";
+  }
+  std::string_view paperCondition() const override {
+    return "associativity-lattice model: constant pair distance within "
+           "one line of the set-mapping lattice C_s*Z, cluster "
+           "overflowing the set";
+  }
+
+  /// Unlike the distance rules above, severity here is quantitative:
+  /// the share of all predicted accesses this pair's conflict volume
+  /// consumes decides Error (>= 25%), Warning (> 2%) or Info.
+  void check(const LintContext &Ctx,
+             std::vector<Finding> &Findings) const override {
+    const ir::Program &P = Ctx.program();
+    double Total = Ctx.Prediction.PredictedAccesses;
+    for (const analysis::PairConflict &Pair : Ctx.Prediction.Pairs) {
+      if (Pair.PredictedConflictMisses <= 0 || Total <= 0)
+        continue;
+      double Share = Pair.PredictedConflictMisses / Total;
+      Finding F;
+      F.RuleId = std::string(id());
+      F.Sev = Share >= 0.25  ? Severity::Error
+              : Share > 0.02 ? Severity::Warning
+                             : Severity::Info;
+      F.ArrayId = Pair.ArrayB;
+      F.Loc = declLoc(P, Pair.ArrayB);
+      if (Pair.ArrayA != Pair.ArrayB)
+        F.RelatedLoc = declLoc(P, Pair.ArrayA);
+      F.Key = "loop " + Pair.LoopVar + ": '" + Pair.NameA + "' ~ '" +
+              Pair.NameB + "'";
+      std::ostringstream OS;
+      OS << "lattice predictor attributes "
+         << llround(Pair.PredictedConflictMisses)
+         << " conflict misses (" << std::fixed << std::setprecision(1)
+         << 100.0 * Share << "% of all predicted accesses) to "
+         << (Pair.ArrayA == Pair.ArrayB
+                 ? "'" + Pair.NameA + "' interfering with itself"
+                 : "'" + Pair.NameA + "' ~ '" + Pair.NameB + "'")
+         << " in loop " << Pair.LoopVar << ": their constant distance "
+         << Pair.DistanceBytes << "B lands "
+         << Pair.LatticeDistanceBytes
+         << "B from the set-mapping lattice, under the "
+         << Ctx.Cache.LineBytes << "B line";
+      F.Message = OS.str();
+      // No fix-it: the distance rules above already propose the pad or
+      // gap that clears the underlying condition — this rule exists to
+      // rank pairs by predicted impact.
+      Findings.push_back(std::move(F));
+    }
+  }
+};
+
+//===----------------------------------------------------------------------===//
+// R6: unsafe-to-fix (safety meta-rule)
 //===----------------------------------------------------------------------===//
 
 class UnsafeToFixRule : public Rule {
@@ -548,9 +614,10 @@ const std::vector<const Rule *> &lint::allRules() {
   static const PathologicalLeadingDimRule R2;
   static const ConflictPairRule R3;
   static const SelfInterferenceRule R4;
-  static const UnsafeToFixRule R5;
-  static const std::vector<const Rule *> Rules = {&R1, &R2, &R3, &R4,
-                                                  &R5};
+  static const PredictedConflictVolumeRule R5;
+  static const UnsafeToFixRule R6;
+  static const std::vector<const Rule *> Rules = {&R1, &R2, &R3,
+                                                  &R4, &R5, &R6};
   return Rules;
 }
 

@@ -54,6 +54,8 @@ const char *pipeline::analysisKindName(AnalysisKind K) {
     return "conflict-report";
   case AnalysisKind::MissEstimate:
     return "miss-estimate";
+  case AnalysisKind::LatticePrediction:
+    return "lattice-prediction";
   }
   return "unknown";
 }
@@ -376,6 +378,38 @@ AnalysisManager::reuse(const layout::DataLayout &DL,
   return *E.Reuse;
 }
 
+const analysis::LatticePrediction &
+AnalysisManager::latticePrediction(const layout::DataLayout &DL,
+                                   const CacheConfig &Cache) {
+  std::lock_guard<std::mutex> L(M);
+  AnalysisCounters &C = counters(AnalysisKind::LatticePrediction);
+  LayoutKey Key = makeKey(DL, Cache);
+  LayoutEntry &E = layoutEntryLocked(Key);
+  if (EnableCache && E.Lattice) {
+    ++C.Hits;
+    return *E.Lattice;
+  }
+  if (EnableCache && Shared) {
+    if (auto P = Shared->getLayout(
+            SharedFP, Key, &SharedAnalysisCache::LayoutSlots::Lattice,
+            static_cast<unsigned>(AnalysisKind::LatticePrediction))) {
+      ++C.SharedHits;
+      E.Lattice = *P;
+      return *E.Lattice;
+    }
+  }
+  const std::vector<analysis::LoopGroup> &G = referenceGroupsLocked();
+  const std::vector<double> &I = iterationCountsLocked();
+  ++C.Misses;
+  ComputeTimer T(C);
+  E.Lattice = analysis::predictConflicts(DL, Cache, G, I);
+  if (EnableCache && Shared)
+    Shared->putLayout(
+        SharedFP, Key, &SharedAnalysisCache::LayoutSlots::Lattice,
+        std::make_shared<const analysis::LatticePrediction>(*E.Lattice));
+  return *E.Lattice;
+}
+
 void AnalysisManager::invalidateLayoutResultsLocked() {
   for (auto &[Key, E] : LayoutCache) {
     if (E.Estimate)
@@ -384,6 +418,8 @@ void AnalysisManager::invalidateLayoutResultsLocked() {
       ++counters(AnalysisKind::ConflictReport).Invalidated;
     if (E.Reuse)
       ++counters(AnalysisKind::Reuse).Invalidated;
+    if (E.Lattice)
+      ++counters(AnalysisKind::LatticePrediction).Invalidated;
   }
   LayoutCache.clear();
 }

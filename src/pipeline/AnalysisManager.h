@@ -64,6 +64,7 @@
 #define PADX_PIPELINE_ANALYSISMANAGER_H
 
 #include "analysis/ConflictReport.h"
+#include "analysis/LatticePredictor.h"
 #include "analysis/MissEstimate.h"
 #include "analysis/ReferenceGroups.h"
 #include "analysis/Reuse.h"
@@ -93,8 +94,9 @@ enum class AnalysisKind : unsigned {
   Reuse,
   ConflictReport,
   MissEstimate,
+  LatticePrediction,
 };
-inline constexpr unsigned kNumAnalysisKinds = 8;
+inline constexpr unsigned kNumAnalysisKinds = 9;
 
 /// Stable lowercase-hyphen name, e.g. "reference-groups" (stats output).
 const char *analysisKindName(AnalysisKind K);
@@ -171,6 +173,12 @@ public:
   /// Reuse classes per loop group, aligned with referenceGroups().
   const std::vector<analysis::GroupReuse> &
   reuse(const layout::DataLayout &DL, const CacheConfig &Cache);
+  /// Analytic conflict prediction from the associativity lattice — the
+  /// simulation-free tier behind search pre-screening and the
+  /// predicted-conflict-volume lint rules.
+  const analysis::LatticePrediction &
+  latticePrediction(const layout::DataLayout &DL,
+                    const CacheConfig &Cache);
   /// @}
 
   /// Drops every layout-keyed result; program-level results stay. Call
@@ -200,6 +208,7 @@ private:
     std::optional<analysis::ProgramEstimate> Estimate;
     std::optional<std::vector<analysis::ConflictEntry>> Severe;
     std::optional<std::vector<analysis::GroupReuse>> Reuse;
+    std::optional<analysis::LatticePrediction> Lattice;
   };
 
   using LayoutKey = std::vector<int64_t>;

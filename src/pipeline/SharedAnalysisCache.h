@@ -42,6 +42,7 @@
 #define PADX_PIPELINE_SHAREDANALYSISCACHE_H
 
 #include "analysis/ConflictReport.h"
+#include "analysis/LatticePredictor.h"
 #include "analysis/MissEstimate.h"
 #include "analysis/ReferenceGroups.h"
 #include "analysis/Reuse.h"
@@ -76,7 +77,7 @@ struct SharedCacheCounters {
 
 struct SharedCacheStats {
   /// Indexed by AnalysisKind (pipeline/AnalysisManager.h).
-  std::array<SharedCacheCounters, 8> Kinds;
+  std::array<SharedCacheCounters, 9> Kinds;
   uint64_t Evicted = 0;
   uint64_t ProgramEntries = 0;
   uint64_t LayoutEntries = 0;
@@ -109,12 +110,13 @@ public:
     Ptr<std::vector<bool>> LinAlg;
     Ptr<double> UniformPct;
   };
-  /// Per-(program, layout, geometry) slots. Same rule: Estimate and
-  /// Severe are strings and numbers only; Reuse is excluded because it
-  /// points back into the loop groups.
+  /// Per-(program, layout, geometry) slots. Same rule: Estimate,
+  /// Severe and Lattice are strings and numbers only; Reuse is excluded
+  /// because it points back into the loop groups.
   struct LayoutSlots {
     Ptr<analysis::ProgramEstimate> Estimate;
     Ptr<std::vector<analysis::ConflictEntry>> Severe;
+    Ptr<analysis::LatticePrediction> Lattice;
   };
 
   explicit SharedAnalysisCache(size_t MaxLayoutEntries = 4096)
@@ -233,7 +235,7 @@ private:
 
   size_t MaxLayoutEntries;
   std::array<Shard, kNumShards> Shards;
-  std::array<AtomicCounters, 8> Counters;
+  std::array<AtomicCounters, 9> Counters;
   std::atomic<uint64_t> Evictions{0};
 };
 

@@ -6,7 +6,7 @@
 
 #include "search/CostModel.h"
 
-#include "analysis/MissEstimate.h"
+#include "analysis/LatticePredictor.h"
 #include "cachesim/CacheSim.h"
 #include "exec/Trace.h"
 #include "exec/TraceRunner.h"
@@ -127,11 +127,12 @@ CostSample SimulationCostModel::evaluate(
 
 CostSample StaticCostModel::evaluate(const layout::DataLayout &DL) const {
   if (AM && &DL.program() == &AM->program()) {
-    const analysis::ProgramEstimate &E = AM->missEstimate(DL, Cache);
+    const analysis::LatticePrediction &E =
+        AM->latticePrediction(DL, Cache);
     return {E.PredictedMisses,
             static_cast<uint64_t>(E.PredictedAccesses)};
   }
-  analysis::ProgramEstimate E = analysis::estimateMisses(DL, Cache);
+  analysis::LatticePrediction E = analysis::predictConflicts(DL, Cache);
   return {E.PredictedMisses,
           static_cast<uint64_t>(E.PredictedAccesses)};
 }

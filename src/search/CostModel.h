@@ -116,10 +116,12 @@ private:
   std::shared_ptr<const exec::RecordedTrace> Trace;
 };
 
-/// The pruner: the paper's simplified cache-miss-equation estimator
-/// (analysis::estimateMisses). Cost = predicted misses. Orders of
-/// magnitude cheaper than simulation and good at ranking, not at
-/// absolute accuracy — which is all pruning needs.
+/// The pruner: the analytic associativity-lattice conflict predictor
+/// (analysis::predictConflicts). Cost = predicted misses — the reuse
+/// floor plus lattice-attributed conflict volume. Orders of magnitude
+/// cheaper than simulation and good at ranking, which is what pruning
+/// and pre-screening need; bench/model_accuracy cross-validates the
+/// ranking against the simulator.
 ///
 /// With an AnalysisManager attached, estimates route through it: the
 /// layout-independent inputs (reference groups, iteration counts) are

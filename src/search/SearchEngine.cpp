@@ -32,6 +32,18 @@ constexpr unsigned kMaxDryRounds = 16;
 
 } // namespace
 
+const char *search::prescreenModeName(PrescreenMode M) {
+  switch (M) {
+  case PrescreenMode::Off:
+    return "off";
+  case PrescreenMode::On:
+    return "on";
+  case PrescreenMode::Auto:
+    return "auto";
+  }
+  return "unknown";
+}
+
 const char *search::outcomeName(SearchOutcome O) {
   switch (O) {
   case SearchOutcome::Completed:
@@ -119,6 +131,23 @@ SearchResult runSearchImpl(const ir::Program &P, const SearchOptions &Opts,
                            : SeedSamples[It - Seeds.begin()].Cost;
   }
 
+  // Two-tier pre-screening: On forces it, Auto engages it when the
+  // lattice predictor can see the program at all (a program of nothing
+  // but indirect references scores 0 accesses statically — ranking by
+  // the predictor would be noise, so Auto falls back to slack pruning).
+  const bool PrescreenOn =
+      Opts.Prescreen == PrescreenMode::On ||
+      (Opts.Prescreen == PrescreenMode::Auto &&
+       Static.evaluate(R.BestLayout).Accesses > 0);
+  R.PrescreenActive = PrescreenOn;
+  if (PrescreenOn) {
+    std::ostringstream OS;
+    OS << "prescreen active (" << prescreenModeName(Opts.Prescreen)
+       << "): replaying top " << Opts.PrescreenKeep
+       << " of each round statically ranked by " << Static.name();
+    R.Log.push_back(OS.str());
+  }
+
   Candidate GlobalBest = Seeds.front();
   double GlobalBestCost = SeedSamples.front().Cost;
   for (size_t I = 1; I != Seeds.size(); ++I)
@@ -184,6 +213,11 @@ SearchResult runSearchImpl(const ir::Program &P, const SearchOptions &Opts,
     }
     try {
     ++R.Rounds;
+    // Pre-screening draws the same candidate pool full search would
+    // (same RNG stream), so the two climbs walk identical trajectories
+    // except where the predictor mis-ranks a round's winner out of the
+    // replayed top — and the stall backfill below recovers even that
+    // when the top fraction finds nothing.
     std::vector<Candidate> Proposed =
         Gen.neighbors(Current, Rng, Opts.NeighborsPerRound);
     R.CandidatesGenerated += static_cast<unsigned>(Proposed.size());
@@ -202,7 +236,48 @@ SearchResult runSearchImpl(const ir::Program &P, const SearchOptions &Opts,
         ++R.DuplicatesSkipped;
     }
 
-    if (Opts.PruneSlack > 0 && Fresh.size() > 1) {
+    std::vector<Candidate> Deferred;
+    std::vector<double> DeferredEst; // ascending: Deferred is ranked
+    // Estimate of the worst candidate the screen kept: deferred
+    // candidates tied with it lost only to the deterministic
+    // tie-break, not to the predictor.
+    double KeptBoundaryEst = -std::numeric_limits<double>::infinity();
+    if (PrescreenOn && Fresh.size() > 1) {
+      // Tier one: rank the whole round by predicted misses and hand
+      // only the top fraction to the simulator. Runs on the generation
+      // thread (the static model's manager is not thread-safe); ties
+      // break toward the lower proposal index, keeping the climb
+      // deterministic. The remainder is deferred, not dropped: a
+      // stalled round replays it below before conceding.
+      std::vector<double> Est(Fresh.size());
+      for (size_t I = 0; I != Fresh.size(); ++I)
+        Est[I] = Static.evaluate(materialize(P, Fresh[I])).Cost;
+      double KeepFrac =
+          std::min(1.0, std::max(0.0, Opts.PrescreenKeep));
+      size_t Keep = std::max<size_t>(
+          1, static_cast<size_t>(Fresh.size() * KeepFrac));
+      if (Keep < Fresh.size()) {
+        std::vector<size_t> Idx(Fresh.size());
+        for (size_t I = 0; I != Idx.size(); ++I)
+          Idx[I] = I;
+        std::stable_sort(Idx.begin(), Idx.end(),
+                         [&](size_t A, size_t B) {
+                           return Est[A] < Est[B];
+                         });
+        std::vector<Candidate> Kept;
+        Kept.reserve(Keep);
+        for (size_t I = 0; I != Keep; ++I)
+          Kept.push_back(std::move(Fresh[Idx[I]]));
+        KeptBoundaryEst = Est[Idx[Keep - 1]];
+        Deferred.reserve(Idx.size() - Keep);
+        DeferredEst.reserve(Idx.size() - Keep);
+        for (size_t I = Keep; I != Idx.size(); ++I) {
+          Deferred.push_back(std::move(Fresh[Idx[I]]));
+          DeferredEst.push_back(Est[Idx[I]]);
+        }
+        Fresh = std::move(Kept);
+      }
+    } else if (Opts.PruneSlack > 0 && Fresh.size() > 1) {
       // Rank by the cheap model first; only simulate candidates the
       // estimator does not consider clearly worse than the incumbent.
       double Incumbent =
@@ -233,17 +308,19 @@ SearchResult runSearchImpl(const ir::Program &P, const SearchOptions &Opts,
       ++Stale;
     } else {
       DryRounds = 0;
-      std::vector<CostSample> Samples = evaluateBatch(Fresh);
-      Budget -= static_cast<unsigned>(Fresh.size());
-
-      size_t RoundBest = 0;
-      for (size_t I = 1; I != Samples.size(); ++I)
-        if (Samples[I].Cost < Samples[RoundBest].Cost)
-          RoundBest = I;
-      if (Samples[RoundBest].Cost < CurrentCost) {
-        Current = Fresh[RoundBest];
+      // Replays a batch and folds its best into the climb state;
+      // returns whether it beat the incumbent.
+      auto Replay = [&](std::vector<Candidate> &Batch) {
+        std::vector<CostSample> Samples = evaluateBatch(Batch);
+        Budget -= static_cast<unsigned>(Batch.size());
+        size_t RoundBest = 0;
+        for (size_t I = 1; I != Samples.size(); ++I)
+          if (Samples[I].Cost < Samples[RoundBest].Cost)
+            RoundBest = I;
+        if (Samples[RoundBest].Cost >= CurrentCost)
+          return false;
+        Current = Batch[RoundBest];
         CurrentCost = Samples[RoundBest].Cost;
-        Stale = 0;
         if (CurrentCost < GlobalBestCost) {
           GlobalBest = Current;
           GlobalBestCost = CurrentCost;
@@ -253,9 +330,43 @@ SearchResult runSearchImpl(const ir::Program &P, const SearchOptions &Opts,
              << ")";
           R.Log.push_back(OS.str());
         }
-      } else {
-        ++Stale;
+        return true;
+      };
+
+      unsigned DeferredCount = static_cast<unsigned>(Deferred.size());
+      unsigned Backfilled = 0;
+      double Incumbent = CurrentCost;
+      bool Improved = Replay(Fresh);
+      if (DeferredCount != 0 && Budget > 0) {
+        if (Improved) {
+          // Bound continuation: even after the top fraction improved,
+          // a deferred candidate is still a credible round winner if
+          // the predictor scored it below the pre-round incumbent
+          // (both are miss counts), or tied it with a candidate the
+          // screen did replay — a tie says the predictor has no
+          // opinion, so the tie-break alone must not cost a win.
+          size_t Take = 0;
+          while (Take != Deferred.size() &&
+                 (DeferredEst[Take] < Incumbent ||
+                  DeferredEst[Take] <= KeptBoundaryEst))
+            ++Take;
+          Deferred.resize(Take);
+        }
+        // Otherwise stall backfill: a round whose predictor-ranked top
+        // found nothing replays the whole skipped remainder before
+        // conceding — the screen defers simulations, never loses one.
+        if (Deferred.size() > Budget)
+          Deferred.resize(Budget);
+        Backfilled = static_cast<unsigned>(Deferred.size());
+        if (!Deferred.empty())
+          Improved = Replay(Deferred) || Improved;
       }
+      R.PrescreenSkipped += DeferredCount - Backfilled;
+      R.PrunedStatic += DeferredCount - Backfilled;
+      if (Improved)
+        Stale = 0;
+      else
+        ++Stale;
     }
 
     if (Stale > Opts.MaxStaleRounds && Budget > 0) {

@@ -39,6 +39,16 @@ class PadPipeline;
 
 namespace search {
 
+/// Two-tier candidate evaluation: statically score every proposed
+/// neighbor with the lattice predictor and replay only the top fraction
+/// through the simulator. Off keeps the classic slack-based pruning;
+/// Auto enables pre-screening whenever the predictor can see the
+/// program (it has analyzable references), falling back to Off
+/// otherwise.
+enum class PrescreenMode { Off, On, Auto };
+
+const char *prescreenModeName(PrescreenMode M);
+
 struct SearchOptions {
   CacheConfig Cache = CacheConfig::base16K();
 
@@ -59,7 +69,16 @@ struct SearchOptions {
 
   /// Prune candidates whose static estimate exceeds the incumbent's by
   /// this factor before paying for simulation. <= 0 disables pruning.
+  /// Ignored while pre-screening is active (the rank cut subsumes it).
   double PruneSlack = 1.10;
+
+  /// Two-tier pre-screened evaluation (--prescreen on the tools). The
+  /// seed candidates are exempt — they always replay, preserving the
+  /// "never worse than PAD" guarantee.
+  PrescreenMode Prescreen = PrescreenMode::Off;
+  /// Fraction of each round's fresh candidates the active pre-screen
+  /// keeps for exact evaluation (at least one survives per round).
+  double PrescreenKeep = 0.5;
 
   /// Wall-clock deadline in seconds (0 = none). The seed evaluations
   /// always run — they carry the "never worse than PAD" guarantee — but
@@ -138,6 +157,11 @@ struct SearchResult {
   unsigned CandidatesGenerated = 0; ///< Proposed, including duplicates.
   unsigned DuplicatesSkipped = 0;
   unsigned PrunedStatic = 0; ///< Skipped on the static model's verdict.
+  /// True when the two-tier pre-screen ran (Prescreen=On, or Auto with
+  /// a predictor-visible program); PrescreenSkipped counts candidates
+  /// it kept away from the simulator (a subset of PrunedStatic).
+  bool PrescreenActive = false;
+  unsigned PrescreenSkipped = 0;
   unsigned ExactEvaluations = 0;
   unsigned Rounds = 0;
   unsigned Restarts = 0;

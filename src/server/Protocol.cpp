@@ -171,6 +171,13 @@ bool server::parseRequest(const support::JsonValue &Doc, Request &R,
   R.SearchSeed = Doc.getInt("seed", R.SearchSeed);
   if (!nonNegative(Doc, "batch", R.SearchBatch, Error))
     return false;
+  R.SearchPrescreen = Doc.getString("prescreen", R.SearchPrescreen);
+  if (R.SearchPrescreen != "off" && R.SearchPrescreen != "on" &&
+      R.SearchPrescreen != "auto") {
+    Error = "unknown prescreen mode '" + R.SearchPrescreen +
+            "' (expected off, on or auto)";
+    return false;
+  }
 
   if (R.Operation == Op::Shutdown) {
     if (const support::JsonValue *ModeV = Doc.find("mode")) {

@@ -93,6 +93,8 @@ struct Request {
   int64_t SearchSeed = 0;
   int64_t SearchBatch = 0; ///< Replay lanes per trace pass; 0 = auto.
   bool UseReplay = true;
+  /// Two-tier pre-screened search: "off" | "on" | "auto".
+  std::string SearchPrescreen = "off";
 
   // Shutdown knobs (shutdown op only). "now" answers and stops
   // immediately; "drain" stops accepting and finishes in-flight work

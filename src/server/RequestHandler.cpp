@@ -346,6 +346,13 @@ std::string RequestHandler::dispatch(const Request &R) {
     JW.field("evicted", S.Evicted);
     JW.field("program_entries", S.ProgramEntries);
     JW.field("layout_entries", S.LayoutEntries);
+    // The lattice predictor's own cross-request numbers, split out so
+    // operators can watch the new tier warm up without diffing kind
+    // indices.
+    const pipeline::SharedCacheCounters &LP = S.Kinds[static_cast<
+        unsigned>(pipeline::AnalysisKind::LatticePrediction)];
+    JW.field("lattice_hits", LP.Hits);
+    JW.field("lattice_misses", LP.Misses);
     JW.endObject();
     return B.finish();
   }
@@ -461,6 +468,11 @@ std::string RequestHandler::dispatch(const Request &R) {
     SO.Seed = static_cast<uint64_t>(R.SearchSeed);
     SO.BatchK = static_cast<unsigned>(R.SearchBatch);
     SO.UseReplay = R.UseReplay;
+    SO.Prescreen = R.SearchPrescreen == "on"
+                       ? search::PrescreenMode::On
+                   : R.SearchPrescreen == "auto"
+                       ? search::PrescreenMode::Auto
+                       : search::PrescreenMode::Off;
     SO.Cancel = Cancel;
     if (Ctx.hasDeadline())
       SO.DeadlineSeconds = std::max(Ctx.remainingSecs(), 1e-6);
@@ -487,6 +499,9 @@ std::string RequestHandler::dispatch(const Request &R) {
     JW.field("batch_width", SR.BatchWidth);
     JW.field("rounds", SR.Rounds);
     JW.field("restarts", SR.Restarts);
+    JW.field("prescreen_active", SR.PrescreenActive);
+    JW.field("prescreen_skipped", SR.PrescreenSkipped);
+    JW.field("candidates_generated", SR.CandidatesGenerated);
     if (R.Emit)
       JW.field("transformed_source",
                layout::transformedSourceToString(SR.BestLayout));

@@ -94,12 +94,13 @@ loop k = 1, 384 {
 
 TEST(LintRegistry, RulesInExecutionOrder) {
   const std::vector<const Rule *> &Rules = allRules();
-  ASSERT_EQ(Rules.size(), 5u);
+  ASSERT_EQ(Rules.size(), 6u);
   EXPECT_EQ(Rules[0]->id(), "base-proximity");
   EXPECT_EQ(Rules[1]->id(), "pathological-leading-dim");
   EXPECT_EQ(Rules[2]->id(), "conflict-pair");
   EXPECT_EQ(Rules[3]->id(), "self-interference");
-  EXPECT_EQ(Rules[4]->id(), "unsafe-to-fix");
+  EXPECT_EQ(Rules[4]->id(), "predicted-conflict-volume");
+  EXPECT_EQ(Rules[5]->id(), "unsafe-to-fix");
   for (const Rule *R : Rules) {
     EXPECT_FALSE(R->summary().empty());
     EXPECT_FALSE(R->paperCondition().empty());

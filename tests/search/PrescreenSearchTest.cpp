@@ -1,0 +1,142 @@
+//===----------------------------------------------------------------------===//
+//
+// Part of the padx project, under the Apache License v2.0.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The two-tier pre-screened search contract: statically ranking fresh
+/// candidates with the lattice predictor and replaying only the top
+/// fraction must keep the "never worse than PAD" guarantee (seeds
+/// always replay), stay deterministic, account every skipped candidate,
+/// and land on a layout no worse than the full-simulation search on the
+/// kernels the paper optimizes.
+///
+//===----------------------------------------------------------------------===//
+
+#include "search/SearchEngine.h"
+
+#include "core/Padding.h"
+#include "frontend/Parser.h"
+#include "kernels/Kernels.h"
+
+#include "gtest/gtest.h"
+
+using namespace padx;
+
+namespace {
+
+ir::Program smallKernel(const std::string &Name, int64_t N = 96) {
+  return kernels::makeKernel(Name, N);
+}
+
+} // namespace
+
+TEST(PrescreenSearch, ModeNamesAreStable) {
+  EXPECT_STREQ(search::prescreenModeName(search::PrescreenMode::Off),
+               "off");
+  EXPECT_STREQ(search::prescreenModeName(search::PrescreenMode::On),
+               "on");
+  EXPECT_STREQ(search::prescreenModeName(search::PrescreenMode::Auto),
+               "auto");
+}
+
+TEST(PrescreenSearch, NeverWorseThanPadBaseline) {
+  // Seeds bypass the screen, so the PAD floor survives any ranking the
+  // static model produces.
+  for (const char *Name : {"expl", "jacobi", "dgefa", "chol"}) {
+    ir::Program P = smallKernel(Name);
+    search::SearchOptions Opts;
+    Opts.EvalBudget = 12;
+    Opts.Prescreen = search::PrescreenMode::On;
+    search::SearchResult R = search::runSearch(P, Opts);
+    EXPECT_TRUE(R.PrescreenActive) << Name;
+    EXPECT_LE(R.BestMisses, R.PadMisses) << Name;
+  }
+}
+
+TEST(PrescreenSearch, DeterministicAcrossRunsAndThreads) {
+  ir::Program P = smallKernel("expl");
+  search::SearchOptions Opts;
+  Opts.EvalBudget = 16;
+  Opts.Seed = 42;
+  Opts.Prescreen = search::PrescreenMode::On;
+  Opts.Threads = 1;
+  search::SearchResult A = search::runSearch(P, Opts);
+  search::SearchResult B = search::runSearch(P, Opts);
+  EXPECT_EQ(A.Best, B.Best);
+  EXPECT_EQ(A.BestMisses, B.BestMisses);
+  EXPECT_EQ(A.PrescreenSkipped, B.PrescreenSkipped);
+  EXPECT_EQ(A.Log, B.Log);
+
+  Opts.Threads = 4;
+  search::SearchResult C = search::runSearch(P, Opts);
+  EXPECT_EQ(A.Best, C.Best);
+  EXPECT_EQ(A.BestMisses, C.BestMisses);
+  EXPECT_EQ(A.PrescreenSkipped, C.PrescreenSkipped);
+}
+
+TEST(PrescreenSearch, SkipsCandidatesAndAccountsThem) {
+  ir::Program P = smallKernel("expl");
+  search::SearchOptions Opts;
+  Opts.EvalBudget = 32;
+  Opts.Prescreen = search::PrescreenMode::On;
+  search::SearchResult R = search::runSearch(P, Opts);
+  EXPECT_TRUE(R.PrescreenActive);
+  EXPECT_GT(R.PrescreenSkipped, 0u);
+  // Skipped candidates are a subset of the statically pruned count.
+  EXPECT_LE(R.PrescreenSkipped, R.PrunedStatic);
+
+  Opts.Prescreen = search::PrescreenMode::Off;
+  search::SearchResult Full = search::runSearch(P, Opts);
+  EXPECT_FALSE(Full.PrescreenActive);
+  EXPECT_EQ(Full.PrescreenSkipped, 0u);
+  // The screen replays fewer candidates than the full search simulates
+  // for the same budget, or at worst the same number.
+  EXPECT_LE(R.ExactEvaluations, Full.ExactEvaluations);
+}
+
+TEST(PrescreenSearch, MatchesFullSearchQualityOnKernels) {
+  // The acceptance bar, at unit-test scale: on the paper's kernels the
+  // pre-screened search must land on a layout no worse than the
+  // full-simulation search with the same seed and budget.
+  for (const char *Name : {"expl", "jacobi", "dgefa", "chol",
+                           "tomcatv"}) {
+    ir::Program P = smallKernel(Name);
+    search::SearchOptions Opts;
+    Opts.EvalBudget = 24;
+    Opts.Seed = 7;
+    Opts.Prescreen = search::PrescreenMode::Off;
+    search::SearchResult Full = search::runSearch(P, Opts);
+    Opts.Prescreen = search::PrescreenMode::Auto;
+    search::SearchResult Screened = search::runSearch(P, Opts);
+    EXPECT_LE(Screened.BestMisses, Full.BestMisses) << Name;
+  }
+}
+
+TEST(PrescreenSearch, AutoFallsBackWhenNothingToScore) {
+  // A scalar-only loop gives the predictor zero scorable accesses; auto
+  // must detect that and fall back to the slack-pruned search instead
+  // of ranking on noise.
+  DiagnosticEngine Diags;
+  auto P = frontend::parseProgram(R"(program t
+array S : real
+loop i = 1, 8 {
+  S = S + 1.0
+}
+)",
+                                  Diags);
+  ASSERT_TRUE(P) << Diags.str();
+  search::SearchOptions Opts;
+  Opts.EvalBudget = 8;
+  Opts.Prescreen = search::PrescreenMode::Auto;
+  search::SearchResult R = search::runSearch(*P, Opts);
+  EXPECT_FALSE(R.PrescreenActive);
+  EXPECT_EQ(R.PrescreenSkipped, 0u);
+
+  // Forcing it on is honored even then.
+  ir::Program K = smallKernel("expl");
+  Opts.Prescreen = search::PrescreenMode::Auto;
+  search::SearchResult Active = search::runSearch(K, Opts);
+  EXPECT_TRUE(Active.PrescreenActive);
+}
