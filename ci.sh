@@ -24,10 +24,16 @@
 # src/analysis and src/lint, advisory for the rest.
 #
 # Static-prediction gates: the model_accuracy bench guards the lattice
-# predictor's rank fidelity against the simulator (--guard-rank 0.8) on
-# both the default and LTO builds, and the padlint corpus sweep is
-# pinned to the checked-in tests/lint/corpus.baseline (any finding
-# drift fails CI).
+# predictor's rank fidelity against the simulator (--guard-rank 0.8,
+# and --guard-rank-l2 0.75 for the per-level L2 extension) on both the
+# default and LTO builds, and the padlint corpus sweep is pinned to the
+# checked-in tests/lint/corpus.baseline (any finding drift fails CI).
+#
+# Multi-level objective gate: bench/multilevel re-runs the L1-only vs
+# weighted-search study on the paper-l2 machine and fails if the
+# weighted search ever regresses the L1-only result's weighted miss
+# cost, or if no kernel still demonstrates the L1-only search leaving
+# outer-level conflict misses the weighted objective recovers.
 #
 # Both sanitizer builds compile with -DPADX_FAULT_INJECTION=ON and
 # replay the ChaosTest corpus sweep under three fixed fault seeds, so
@@ -77,8 +83,20 @@ echo "== model accuracy: lattice predictor vs simulator (rank guard) =="
 # simulated miss rates at the 0.8 acceptance floor; all numbers are
 # deterministic, so the JSON diffs cleanly against the checked-in
 # bench/baselines/BENCH_model_accuracy.json.
-build/bench/model_accuracy --guard-rank 0.8 \
+build/bench/model_accuracy --guard-rank 0.8 --guard-rank-l2 0.75 \
   --json build/BENCH_model_accuracy.json > /dev/null
+
+echo "== multi-level objective: weighted search vs L1-only guard =="
+# Simulates original / PAD / search layouts on the paper-l2 hierarchy
+# (16K/32B L1 + 64K/64B L2, weights l1=1,l2=8). The guard enforces
+# both halves of the multi-level claim: the weighted search never
+# costs more than the L1-only search (structural — it warm-starts
+# from the L1-only winner), and at least one kernel shows the
+# L1-only search leaving L2 conflict misses that the weighted
+# objective strictly recovers. Deterministic; diffable against
+# bench/baselines/BENCH_multilevel.json.
+build/bench/multilevel --guard --json build/BENCH_multilevel.json \
+  > /dev/null
 
 echo "== LTO: -DPADX_LTO=ON build + full tests + batched replay guard =="
 # The replay hot loops live in headers and target-attributed functions,
@@ -94,7 +112,7 @@ build-lto/bench/replay_speedup --file tests/fuzz/corpus/jacobi512.pad \
   --json build/BENCH_replay_lto.json
 # The predictor must stay rank-faithful under LTO too (it is pure
 # arithmetic, so a miscompile shows up as a correlation collapse).
-build-lto/bench/model_accuracy --guard-rank 0.8 \
+build-lto/bench/model_accuracy --guard-rank 0.8 --guard-rank-l2 0.75 \
   --json build/BENCH_model_accuracy_lto.json > /dev/null
 
 # PGO needs a toolchain whose -fprofile-generate binaries run and whose

@@ -5,17 +5,24 @@
 //===----------------------------------------------------------------------===//
 ///
 /// \file
-/// Multilevel scenario (the paper's sketched generalization). Two parts:
+/// Multilevel scenario (the paper's sketched generalization), on the
+/// `paper-l2` machine preset (16K/32B direct-mapped L1 plus a 64K/64B
+/// direct-mapped L2). Three parts:
 ///
-/// 1. JACOBI512 on an L1+L2 machine: its 2MB arrays are a multiple of
-///    both the 16K L1 and the 64K L2 way-span. Padding against L1 alone
-///    moves B by 40 bytes — less than the L2's 64-byte line, so the
-///    severe conflict survives at the direct-mapped L2. Padding against
-///    the whole machine clears both levels. A CacheHierarchy simulation
-///    shows per-level miss rates (L2 rates are relative to the accesses
-///    that reach it, i.e. L1 misses).
+/// 1. JACOBI512: its 2MB arrays are a multiple of both the 16K L1 and
+///    the 64K L2. Padding against L1 alone moves B by 40 bytes — less
+///    than the L2's 64-byte line, so the severe conflict survives at
+///    the direct-mapped L2. Padding against the whole machine clears
+///    both levels. A HierarchyClassifier shows where the misses went:
+///    the L1-only pad leaves (even grows) the L2 *conflict* component,
+///    which the per-level three-Cs breakdown makes visible.
 ///
-/// 2. ERLE64: rank-3 intra-variable padding. Its 32KB plane subarrays
+/// 2. The weighted objective: with `--weights l1=1,l2=8`-style weights
+///    (L2 misses cost a memory round-trip, L1 misses an L2 hit), the
+///    weighted miss cost Σ w_l · misses_l ranks the machine-wide pad
+///    above the L1-only pad — the number the search optimizes.
+///
+/// 3. ERLE64: rank-3 intra-variable padding. Its 32KB plane subarrays
 ///    alias on the L1; one extra column element fixes the sweeps.
 ///
 //===----------------------------------------------------------------------===//
@@ -31,74 +38,84 @@ using namespace padx;
 
 namespace {
 
-/// Feeds a trace into a CacheHierarchy.
-class HierarchySink : public exec::TraceSink {
-public:
-  explicit HierarchySink(sim::CacheHierarchy &H) : H(H) {}
-  void access(int64_t Addr, int32_t Size, bool IsWrite) override {
-    H.access(Addr, Size, IsWrite);
-  }
-
-private:
-  sim::CacheHierarchy &H;
-};
-
-void simulate(const char *Label, const ir::Program &P,
-              const layout::DataLayout &DL, const MachineModel &M) {
-  sim::CacheHierarchy H(M);
-  HierarchySink Sink(H);
+/// Simulates P under DL on the machine and returns the per-level
+/// three-Cs breakdowns.
+sim::HierarchyClassifier classify(const ir::Program &P,
+                                  const layout::DataLayout &DL,
+                                  const MachineModel &M) {
+  sim::HierarchyClassifier C(M);
+  exec::HierarchyClassifierSink Sink(C);
   exec::TraceRunner Runner(P, DL);
   Runner.run(Sink);
-  std::printf("  %-9s L1 miss %6.2f%% (%9llu)   L2 miss %6.2f%% "
-              "(%9llu)\n",
-              Label, 100.0 * H.stats(0).missRate(),
-              static_cast<unsigned long long>(H.stats(0).Misses),
-              100.0 * H.stats(1).missRate(),
-              static_cast<unsigned long long>(H.stats(1).Misses));
+  return C;
+}
+
+double weightedCost(const sim::HierarchyClassifier &C) {
+  double Cost = 0;
+  for (unsigned L = 0; L < C.numLevels(); ++L)
+    Cost += C.machine().Levels[L].Weight *
+            static_cast<double>(C.breakdown(L).misses());
+  return Cost;
+}
+
+void report(const char *Label, const sim::HierarchyClassifier &C) {
+  std::printf("  %-9s", Label);
+  for (unsigned L = 0; L < C.numLevels(); ++L) {
+    const sim::MissBreakdown &B = C.breakdown(L);
+    std::printf("  %s miss %6.2f%% conflict %8llu",
+                C.machine().levelName(L).c_str(), 100.0 * B.missRate(),
+                static_cast<unsigned long long>(B.Conflict));
+  }
+  std::printf("  weighted %.0f\n", weightedCost(C));
 }
 
 } // namespace
 
 int main() {
-  MachineModel M;
-  M.Levels = {CacheConfig{16 * 1024, 32, 1},
-              CacheConfig{64 * 1024, 64, 1}}; // direct-mapped L2
-
-  std::printf("Machine: L1 %s; L2 %s\n\n",
-              M.Levels[0].describe().c_str(),
-              M.Levels[1].describe().c_str());
+  MachineModel M = MachineModel::paperL2();
+  std::printf("Machine (preset paper-l2): %s\n", M.describe().c_str());
+  std::printf("Weights: l1=%g, l2=%g (an L1 miss costs an L2 hit; an "
+              "L2 miss a memory trip)\n\n",
+              M.Levels[0].Weight, M.Levels[1].Weight);
 
   {
     std::printf("JACOBI512: inter-variable conflicts at both levels\n");
     ir::Program P = kernels::makeKernel("jacobi", 512);
-    simulate("original", P, layout::originalLayout(P), M);
+    sim::HierarchyClassifier Orig =
+        classify(P, layout::originalLayout(P), M);
+    report("original", Orig);
 
-    pad::PaddingResult L1Only =
-        pad::applyPadding(P, MachineModel::singleLevel(M.Levels[0]),
-                          pad::PaddingScheme::pad());
-    simulate("pad(L1)", P, L1Only.Layout, M);
+    pad::PaddingResult L1Only = pad::applyPadding(
+        P, MachineModel::singleLevel(M.firstCache()),
+        pad::PaddingScheme::pad());
+    sim::HierarchyClassifier L1Pad = classify(P, L1Only.Layout, M);
+    report("pad(l1)", L1Pad);
 
     pad::PaddingResult Both =
         pad::applyPadding(P, M, pad::PaddingScheme::pad());
-    simulate("pad(all)", P, Both.Layout, M);
+    sim::HierarchyClassifier Machine = classify(P, Both.Layout, M);
+    report("pad(all)", Machine);
 
     unsigned B = *P.findArray("B");
     std::printf("  B's pad: %lld bytes (L1 only) vs %lld bytes (both "
-                "levels; the L2 line is 64B)\n\n",
+                "levels; the L2 line is 64B)\n",
                 static_cast<long long>(L1Only.Layout.layout(B).BaseAddr -
                                        512 * 512 * 8),
                 static_cast<long long>(Both.Layout.layout(B).BaseAddr -
                                        512 * 512 * 8));
+    std::printf("  weighted miss cost: pad(l1) %.0f vs pad(all) %.0f — "
+                "the weighted objective prefers pad(all)\n\n",
+                weightedCost(L1Pad), weightedCost(Machine));
   }
 
   {
     std::printf("ERLE64: rank-3 intra-variable padding (32KB planes "
                 "alias on L1)\n");
     ir::Program P = kernels::makeKernel("erle", 64);
-    simulate("original", P, layout::originalLayout(P), M);
+    report("original", classify(P, layout::originalLayout(P), M));
     pad::PaddingResult R =
         pad::applyPadding(P, M, pad::PaddingScheme::pad());
-    simulate("pad(all)", P, R.Layout, M);
+    report("pad(all)", classify(P, R.Layout, M));
     unsigned X = *P.findArray("X");
     std::printf("  X's padded column/plane: %lld x %lld elements "
                 "(declared 64 x 64)\n",

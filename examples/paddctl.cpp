@@ -21,6 +21,10 @@
 ///                     shutdown (default pad)
 ///   --format FMT      lint report format: text|json|sarif
 ///   --cache BYTES --line BYTES --assoc K   cache geometry
+///   --machine M       multi-level machine preset or spec (sent as the
+///                     request's "machine" field; overrides the cache
+///                     geometry flags)
+///   --weights W       per-level objective weights, e.g. l1=1,l2=8
 ///   --deadline-ms MS  per-request deadline
 ///   --budget N        search evaluation budget
 ///   --batch K         search replay candidates per trace pass (0 = auto)
@@ -68,6 +72,7 @@ void usage() {
       stderr,
       "usage: paddctl --socket PATH [--op OP] [--format FMT]\n"
       "               [--cache BYTES] [--line BYTES] [--assoc K]\n"
+      "               [--machine PRESET|SPEC] [--weights l1=1,...]\n"
       "               [--deadline-ms MS] [--budget N] [--batch K]\n"
       "               [--seed S] [--prescreen on|off|auto]\n"
       "               [--memory-budget BYTES] [--max-footprint BYTES]\n"
@@ -88,6 +93,7 @@ struct RequestParams {
   std::string Op = "pad";
   std::string Format;
   long long CacheBytes = 0, LineBytes = 0, Assoc = -1;
+  std::string Machine, Weights;
   double DeadlineMs = 0;
   long long Budget = 0, Batch = -1, Seed = -1;
   long long MemoryBudget = 0, MaxFootprint = 0, MaxAccesses = 0;
@@ -115,6 +121,10 @@ std::string buildRequest(int64_t Id, const RequestParams &P,
     JW.field("line", static_cast<int64_t>(P.LineBytes));
   if (P.Assoc >= 0)
     JW.field("assoc", static_cast<int64_t>(P.Assoc));
+  if (!P.Machine.empty())
+    JW.field("machine", P.Machine);
+  if (!P.Weights.empty())
+    JW.field("weights", P.Weights);
   if (!P.Format.empty())
     JW.field("format", P.Format);
   if (P.DeadlineMs > 0)
@@ -174,6 +184,10 @@ int main(int argc, char **argv) {
       P.LineBytes = std::atoll(Next());
     else if (Arg == "--assoc")
       P.Assoc = std::atoll(Next());
+    else if (Arg == "--machine")
+      P.Machine = Next();
+    else if (Arg == "--weights")
+      P.Weights = Next();
     else if (Arg == "--deadline-ms")
       P.DeadlineMs = std::atof(Next());
     else if (Arg == "--budget")

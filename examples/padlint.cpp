@@ -17,6 +17,12 @@
 ///   --cache BYTES        cache size in bytes (default 16384)
 ///   --line BYTES         line size in bytes (default 32)
 ///   --assoc K            associativity, 1 = direct mapped (default 1)
+///   --machine M          multi-level machine: a preset (base16k,
+///                        paper-l2, skylake, a64fx) or a spec like
+///                        l1:32k/64/8,l2:1m/64/16; every set-mapped
+///                        level is linted, findings first surfacing at
+///                        an outer level are tagged [rule@l2]
+///   --weights W          per-level objective weights, e.g. l1=1,l2=8
 ///   --format FMT         text | json | sarif (default text)
 ///   --output FILE        write the report to FILE instead of stdout
 ///   --baseline FILE      suppress findings recorded in FILE
@@ -72,6 +78,7 @@ void usage() {
   std::fprintf(
       stderr,
       "usage: padlint [--cache BYTES] [--line BYTES] [--assoc K]\n"
+      "               [--machine PRESET|SPEC] [--weights l1=1,...]\n"
       "               [--format text|json|sarif] [--output FILE]\n"
       "               [--baseline FILE] [--write-baseline FILE]\n"
       "               [--fail-on info|warning|error|never]\n"
@@ -106,6 +113,8 @@ struct LintedFile {
 
 int main(int argc, char **argv) {
   CacheConfig Cache = CacheConfig::base16K();
+  std::string MachineSpec, WeightsSpec;
+  MachineModel Machine;
   std::string Format = "text";
   std::string OutputFile, BaselineFile, WriteBaselineFile;
   std::string FailOn = "warning";
@@ -128,6 +137,10 @@ int main(int argc, char **argv) {
       Cache.LineBytes = std::atoll(Next());
     } else if (Arg == "--assoc") {
       Cache.Associativity = std::atoi(Next());
+    } else if (Arg == "--machine") {
+      MachineSpec = Next();
+    } else if (Arg == "--weights") {
+      WeightsSpec = Next();
     } else if (Arg == "--format") {
       Format = Next();
       if (Format != "text" && Format != "json" && Format != "sarif") {
@@ -178,6 +191,16 @@ int main(int argc, char **argv) {
                          "fits)\n");
     return ExitUsage;
   }
+  {
+    std::string MachineErr;
+    if (!MachineModel::resolveFlags(MachineSpec, WeightsSpec, Cache,
+                                    Machine, &MachineErr)) {
+      std::fprintf(stderr, "error: %s\n", MachineErr.c_str());
+      return ExitUsage;
+    }
+    if (!Machine.Levels.empty())
+      Cache = Machine.firstCache();
+  }
   if (Files.empty()) {
     usage();
     return ExitUsage;
@@ -202,7 +225,10 @@ int main(int argc, char **argv) {
 
   bool AnyInputError = false;
   std::vector<LintedFile> Linted;
-  lint::Linter Linter(lint::LintOptions{Cache});
+  lint::LintOptions LintOpts;
+  LintOpts.Cache = Cache;
+  LintOpts.Machine = Machine; // Empty = single level from Cache.
+  lint::Linter Linter(LintOpts);
   // One pipeline per file (a manager is bound to one program); the
   // snapshots merge so --stats aggregates over the whole invocation.
   pipeline::PipelineStats MergedStats;

@@ -17,6 +17,11 @@
 ///   --cache BYTES   cache size in bytes (default 16384)
 ///   --line BYTES    line size in bytes (default 32)
 ///   --assoc K       associativity, 1 = direct mapped (default 1)
+///   --machine M     multi-level machine: a preset (base16k, paper-l2,
+///                   skylake, a64fx) or a spec like
+///                   l1:32k/64/8,l2:1m/64/16,tlb:64/4k/4; overrides
+///                   --cache/--line/--assoc
+///   --weights W     per-level objective weights, e.g. l1=1,l2=8
 ///   --scheme NAME   pad | padlite | search (default pad)
 ///   --budget N      search: max exact (simulated) evaluations
 ///   --threads N     search: worker threads (0 = hardware)
@@ -85,6 +90,8 @@ void usage() {
   std::fprintf(stderr,
                "usage: padtool [--cache BYTES] [--line BYTES] "
                "[--assoc K]\n"
+               "               [--machine PRESET|SPEC] "
+               "[--weights l1=1,l2=8,...]\n"
                "               [--scheme pad|padlite|search] "
                "[--budget N] [--threads N]\n"
                "               [--batch K] [--seed S] [--deadline SECS] "
@@ -145,6 +152,8 @@ bool validateGeometry(const CacheConfig &Cache, DiagnosticEngine &Diags) {
 
 int main(int argc, char **argv) {
   CacheConfig Cache = CacheConfig::base16K();
+  std::string MachineSpec, WeightsSpec;
+  MachineModel Machine;
   bool Emit = false, Simulate = false, Report = false;
   bool Estimate = false, Stats = false;
   bool AnalysisCache = true;
@@ -171,6 +180,10 @@ int main(int argc, char **argv) {
       Cache.LineBytes = std::atoll(Next());
     } else if (Arg == "--assoc") {
       Cache.Associativity = std::atoi(Next());
+    } else if (Arg == "--machine") {
+      MachineSpec = Next();
+    } else if (Arg == "--weights") {
+      WeightsSpec = Next();
     } else if (Arg == "--scheme") {
       std::string S = Next();
       if (S == "padlite") {
@@ -310,6 +323,19 @@ int main(int argc, char **argv) {
       return ExitUsage;
     }
   }
+  {
+    std::string MachineErr;
+    if (!MachineModel::resolveFlags(MachineSpec, WeightsSpec, Cache,
+                                    Machine, &MachineErr)) {
+      std::fprintf(stderr, "error: %s\n", MachineErr.c_str());
+      return ExitUsage;
+    }
+    if (!Machine.Levels.empty())
+      Cache = Machine.firstCache();
+  }
+  // Multi-level runs print per-level sections; single-level runs (with
+  // or without an explicit --machine) keep the pre-hierarchy output.
+  const bool Multi = !Machine.Levels.empty() && !Machine.isSingleLevel();
   if (File.empty() && Kernel.empty()) {
     usage();
     return ExitUsage;
@@ -377,24 +403,46 @@ int main(int argc, char **argv) {
   const char *SchemeName = Scheme == SchemeKind::Pad       ? "PAD"
                            : Scheme == SchemeKind::PadLite ? "PADLITE"
                                                            : "SEARCH";
-  std::printf("program '%s', cache: %s, scheme: %s\n", P->name().c_str(),
-              Cache.describe().c_str(), SchemeName);
+  std::printf("program '%s', %s: %s, scheme: %s\n", P->name().c_str(),
+              Multi ? "machine" : "cache",
+              Multi ? Machine.describe().c_str()
+                    : Cache.describe().c_str(),
+              SchemeName);
 
   // One instrumented pipeline per run: the scheme below, --estimate and
   // --stats all share its analysis manager.
   pipeline::PadPipeline PP(*P, AnalysisCache);
 
-  if (Report) {
-    layout::DataLayout Orig = layout::originalLayout(*P);
-    std::printf("severe conflicts in the original layout:\n");
-    analysis::printConflictReport(
-        std::cout, analysis::reportConflicts(Orig, Cache));
-  }
+  // On a multi-level machine the conflict report runs once per
+  // set-mapped cache level (TLBs and fully associative levels cannot
+  // conflict by set index).
+  auto ReportConflicts = [&](const layout::DataLayout &DL,
+                             const char *What) {
+    if (!Multi) {
+      std::printf("severe conflicts %s:\n", What);
+      analysis::printConflictReport(
+          std::cout, analysis::reportConflicts(DL, Cache));
+      return;
+    }
+    for (unsigned I = 0; I != Machine.numLevels(); ++I) {
+      const CacheLevel &L = Machine.Levels[I];
+      if (L.IsTlb || L.Geometry.Associativity == 0)
+        continue;
+      std::printf("severe conflicts %s (%s):\n", What,
+                  Machine.levelName(I).c_str());
+      analysis::printConflictReport(
+          std::cout, analysis::reportConflicts(DL, L.Geometry));
+    }
+  };
+
+  if (Report)
+    ReportConflicts(layout::originalLayout(*P), "in the original layout");
 
   std::optional<layout::DataLayout> Final;
   std::optional<search::SearchResult> SearchRes;
   if (Scheme == SchemeKind::Search) {
     SearchOpts.Cache = Cache;
+    SearchOpts.Machine = Machine; // Empty = single level from Cache.
     search::SearchResult &SR =
         SearchRes.emplace(search::runSearch(*P, SearchOpts, PP));
     std::printf("  candidates: %u generated, %u pruned by the static "
@@ -415,15 +463,40 @@ int main(int argc, char **argv) {
                 search::outcomeName(SR.Outcome),
                 SR.OutcomeDetail.empty() ? "" : " — ",
                 SR.OutcomeDetail.c_str());
-    std::printf("  miss rate: original %.2f%%, PAD %.2f%%, search "
-                "%.2f%%\n",
-                SR.originalPercent(), SR.padPercent(),
-                SR.bestPercent());
+    if (Multi) {
+      // BestMisses et al. are weighted costs on a multi-level machine;
+      // the per-level arrays carry the unweighted counts.
+      std::printf("  weighted cost: original %.0f, PAD %.0f, search "
+                  "%.0f\n",
+                  SR.OriginalMisses, SR.PadMisses, SR.BestMisses);
+      for (size_t I = 0; I < SR.LevelNames.size(); ++I)
+        std::printf("    %-6s misses: original %.0f, PAD %.0f, search "
+                    "%.0f\n",
+                    SR.LevelNames[I].c_str(),
+                    I < SR.OriginalLevelMisses.size()
+                        ? SR.OriginalLevelMisses[I]
+                        : 0.0,
+                    I < SR.PadLevelMisses.size() ? SR.PadLevelMisses[I]
+                                                 : 0.0,
+                    I < SR.BestLevelMisses.size() ? SR.BestLevelMisses[I]
+                                                  : 0.0);
+    } else {
+      std::printf("  miss rate: original %.2f%%, PAD %.2f%%, search "
+                  "%.2f%%\n",
+                  SR.originalPercent(), SR.padPercent(),
+                  SR.bestPercent());
+    }
     Final = SR.BestLayout;
   } else {
-    pad::PaddingResult R = Scheme == SchemeKind::PadLite
-                               ? pad::runPadLite(*P, Cache, PP)
-                               : pad::runPad(*P, Cache, PP);
+    pad::PaddingResult R =
+        Multi ? pad::applyPadding(*P, Machine,
+                                  Scheme == SchemeKind::PadLite
+                                      ? pad::PaddingScheme::padLite()
+                                      : pad::PaddingScheme::pad(),
+                                  PP)
+              : (Scheme == SchemeKind::PadLite
+                     ? pad::runPadLite(*P, Cache, PP)
+                     : pad::runPad(*P, Cache, PP));
     const pad::PaddingStats &S = R.Stats;
     std::printf("  arrays: %u global, %u intra-safe, %u intra-padded "
                 "(max +%lld, total +%lld elements)\n",
@@ -439,32 +512,64 @@ int main(int argc, char **argv) {
     Final = std::move(R.Layout);
   }
 
-  if (Report) {
-    std::printf("severe conflicts after padding:\n");
-    analysis::printConflictReport(
-        std::cout, analysis::reportConflicts(*Final, Cache));
-  }
+  if (Report)
+    ReportConflicts(*Final, "after padding");
 
   if (Estimate) {
     // Through the manager: on a PAD run the padded layout's estimate is
     // often a cache hit (the heuristics already asked for it).
-    double Before =
-        PP.analysis()
-            .missEstimate(layout::originalLayout(*P), Cache)
-            .predictedMissRatePercent();
-    double After = PP.analysis()
-                       .missEstimate(*Final, Cache)
-                       .predictedMissRatePercent();
-    std::printf("  predicted miss rate: %.2f%% -> %.2f%% (static "
-                "estimate)\n",
-                Before, After);
+    layout::DataLayout Orig = layout::originalLayout(*P);
+    if (Multi) {
+      for (unsigned I = 0; I != Machine.numLevels(); ++I) {
+        const CacheLevel &L = Machine.Levels[I];
+        if (L.IsTlb)
+          continue;
+        double Before = PP.analysis()
+                            .missEstimate(Orig, L.Geometry)
+                            .predictedMissRatePercent();
+        double After = PP.analysis()
+                           .missEstimate(*Final, L.Geometry)
+                           .predictedMissRatePercent();
+        std::printf("  predicted miss rate (%s): %.2f%% -> %.2f%% "
+                    "(static estimate)\n",
+                    Machine.levelName(I).c_str(), Before, After);
+      }
+    } else {
+      double Before = PP.analysis()
+                          .missEstimate(Orig, Cache)
+                          .predictedMissRatePercent();
+      double After = PP.analysis()
+                         .missEstimate(*Final, Cache)
+                         .predictedMissRatePercent();
+      std::printf("  predicted miss rate: %.2f%% -> %.2f%% (static "
+                  "estimate)\n",
+                  Before, After);
+    }
   }
 
   if (Simulate) {
-    expt::MissResult Before = expt::measureOriginal(*P, Cache);
-    expt::MissResult After = expt::measureMissRate(*P, *Final, Cache);
-    std::printf("  miss rate: %.2f%% -> %.2f%%\n", Before.percent(),
-                After.percent());
+    if (Multi) {
+      expt::HierarchyMissResult Before = expt::measureHierarchy(
+          *P, layout::originalLayout(*P), Machine);
+      expt::HierarchyMissResult After =
+          expt::measureHierarchy(*P, *Final, Machine);
+      std::printf("  weighted cost: %.0f -> %.0f\n",
+                  Before.weightedCost(), After.weightedCost());
+      for (size_t I = 0; I < Before.Levels.size(); ++I)
+        std::printf("    %-6s miss rate: %.2f%% -> %.2f%% "
+                    "(%llu -> %llu misses)\n",
+                    Before.Levels[I].Name.c_str(),
+                    Before.Levels[I].percent(), After.Levels[I].percent(),
+                    static_cast<unsigned long long>(
+                        Before.Levels[I].Misses),
+                    static_cast<unsigned long long>(
+                        After.Levels[I].Misses));
+    } else {
+      expt::MissResult Before = expt::measureOriginal(*P, Cache);
+      expt::MissResult After = expt::measureMissRate(*P, *Final, Cache);
+      std::printf("  miss rate: %.2f%% -> %.2f%%\n", Before.percent(),
+                  After.percent());
+    }
   }
 
   if (Emit) {
@@ -515,7 +620,44 @@ int main(int argc, char **argv) {
             JW.field("invalidated",
                      static_cast<int64_t>(LC.Invalidated));
             JW.field("seconds", LC.Seconds);
+            JW.field("unscored_nests", static_cast<int64_t>(
+                                           PS.Analysis.PredictorUnscored));
             JW.endObject();
+            if (Multi) {
+              // The hierarchy the run targeted, one entry per level, so
+              // harnesses need not re-parse the spec grammar.
+              JW.key("machine");
+              JW.beginObject();
+              JW.field("spec", Machine.spec());
+              JW.field("fingerprint", static_cast<int64_t>(
+                                          Machine.fingerprint()));
+              JW.key("levels");
+              JW.beginArray();
+              for (unsigned I = 0; I != Machine.numLevels(); ++I) {
+                const CacheLevel &L = Machine.Levels[I];
+                JW.beginObject();
+                JW.field("name", Machine.levelName(I));
+                JW.field("size", L.Geometry.SizeBytes);
+                JW.field("line", L.Geometry.LineBytes);
+                JW.field("assoc",
+                         static_cast<int64_t>(L.Geometry.Associativity));
+                JW.field("weight", L.Weight);
+                JW.field("tlb", L.IsTlb);
+                JW.endObject();
+              }
+              JW.endArray();
+              JW.endObject();
+              const pipeline::AnalysisCounters &MC = PS.Analysis.of(
+                  pipeline::AnalysisKind::MachineLatticePrediction);
+              JW.key("machine_lattice_predictor");
+              JW.beginObject();
+              JW.field("hits", static_cast<int64_t>(MC.Hits));
+              JW.field("shared_hits",
+                       static_cast<int64_t>(MC.SharedHits));
+              JW.field("misses", static_cast<int64_t>(MC.Misses));
+              JW.field("seconds", MC.Seconds);
+              JW.endObject();
+            }
           };
       if (StatsJsonFile == "-") {
         PS.writeJson(std::cout, Extra);

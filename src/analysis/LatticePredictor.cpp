@@ -91,8 +91,21 @@ analysis::predictConflicts(const layout::DataLayout &DL,
   for (size_t GI = 0, GE = Groups.size(); GI != GE; ++GI) {
     const LoopGroup &G = Groups[GI];
     double GroupIterations = Iterations[GI];
-    if (GroupIterations == 0)
+    if (GroupIterations == 0) {
+      // Triangular or symbolic bounds: the nest generates traffic the
+      // predictor cannot count. Emit an explicit unscored row instead
+      // of silently dropping it, so a zero total is distinguishable
+      // from "no conflicts".
+      NestPrediction NP;
+      NP.LoopVar = G.Innermost->IndexVar;
+      NP.Unscored = true;
+      for (const RefInstance &GR : G.Refs)
+        if (!P.array(GR.Ref->ArrayId).isScalar())
+          ++NP.RefsPerIteration;
+      ++Total.UnscoredNests;
+      Total.Nests.push_back(std::move(NP));
       continue;
+    }
 
     GroupReuse Reuse = analyzeReuse(DL, G, Ls);
     size_t N = G.Refs.size();
@@ -252,4 +265,36 @@ analysis::predictConflicts(const layout::DataLayout &DL,
     Total.Nests.push_back(std::move(NP));
   }
   return Total;
+}
+
+MachinePrediction
+analysis::predictConflicts(const layout::DataLayout &DL,
+                           const MachineModel &Machine) {
+  std::vector<LoopGroup> Groups = collectLoopGroups(DL.program());
+  return predictConflicts(DL, Machine, Groups,
+                          countGroupIterations(Groups));
+}
+
+MachinePrediction
+analysis::predictConflicts(const layout::DataLayout &DL,
+                           const MachineModel &Machine,
+                           const std::vector<LoopGroup> &Groups,
+                           const std::vector<double> &Iterations) {
+  MachinePrediction MP;
+  MP.Levels.reserve(Machine.numLevels());
+  for (unsigned I = 0; I < Machine.numLevels(); ++I) {
+    const CacheLevel &L = Machine.Levels[I];
+    MachineLevelPrediction LP;
+    LP.Level = Machine.levelName(I);
+    LP.IsTlb = L.IsTlb;
+    LP.Weight = L.Weight;
+    LP.Prediction =
+        predictConflicts(DL, L.Geometry, Groups, Iterations);
+    MP.WeightedMisses += L.Weight * LP.Prediction.PredictedMisses;
+    MP.WeightedConflictMisses +=
+        L.Weight * LP.Prediction.PredictedConflictMisses;
+    MP.UnscoredNests = LP.Prediction.UnscoredNests;
+    MP.Levels.push_back(std::move(LP));
+  }
+  return MP;
 }

@@ -38,7 +38,7 @@
 
 #include "analysis/ReferenceGroups.h"
 #include "layout/DataLayout.h"
-#include "machine/CacheConfig.h"
+#include "machine/MachineModel.h"
 
 #include <cstdint>
 #include <string>
@@ -79,6 +79,13 @@ struct NestPrediction {
   double ConflictMissesPerIteration = 0;
   /// True when some collision cluster overflows its cache set.
   bool Thrashing = false;
+  /// True when the nest could not be scored: its iteration count is not
+  /// a compile-time constant (triangular or symbolic bounds, as in
+  /// DGEFA / CHOL / MULT), so every per-nest number above is zero as
+  /// "no signal", not "no misses". Consumers that rank by predicted
+  /// misses (prescreen auto, model_accuracy) use this to tell the two
+  /// apart.
+  bool Unscored = false;
 };
 
 /// The predictor's result for one (program, geometry, layout) triple.
@@ -92,6 +99,10 @@ struct LatticePrediction {
   /// The conflict component alone — comparable to the simulator's
   /// classified conflict misses (sim::MissBreakdown::Conflict).
   double PredictedConflictMisses = 0;
+  /// Nests with NestPrediction::Unscored set — the "couldn't score"
+  /// count surfaced as predictor_unscored in padtool / paddctl / padd
+  /// stats.
+  unsigned UnscoredNests = 0;
 
   double predictedMissRatePercent() const {
     return PredictedAccesses == 0
@@ -118,6 +129,40 @@ LatticePrediction predictConflicts(const layout::DataLayout &DL,
 /// overload, which forwards here.
 LatticePrediction predictConflicts(const layout::DataLayout &DL,
                                    const CacheConfig &Cache,
+                                   const std::vector<LoopGroup> &Groups,
+                                   const std::vector<double> &Iterations);
+
+/// One machine level's lattice terms.
+struct MachineLevelPrediction {
+  std::string Level; ///< Effective level name ("l1", "l2", "tlb", ...).
+  bool IsTlb = false;
+  double Weight = 1.0;
+  LatticePrediction Prediction;
+};
+
+/// Per-level lattice prediction for a whole machine plus the weighted
+/// aggregate the multi-level search ranks by. Every level is scored
+/// against the full reference stream — outer levels really see only the
+/// filtered misses of the level above, so their absolute terms are an
+/// over-approximation, but the lattice collision structure (which pairs
+/// alias, and where) is what the ranking needs and that is per-level
+/// exact. Value-only, like LatticePrediction.
+struct MachinePrediction {
+  std::vector<MachineLevelPrediction> Levels;
+  /// Sum over levels of Weight * PredictedMisses (resp. the conflict
+  /// component) — the static analogue of the weighted simulation cost.
+  double WeightedMisses = 0;
+  double WeightedConflictMisses = 0;
+  /// Same for every level (unscorability is a property of the nest, not
+  /// the geometry); hoisted for stats plumbing.
+  unsigned UnscoredNests = 0;
+};
+
+/// Per-level predictConflicts over every level of \p Machine.
+MachinePrediction predictConflicts(const layout::DataLayout &DL,
+                                   const MachineModel &Machine);
+MachinePrediction predictConflicts(const layout::DataLayout &DL,
+                                   const MachineModel &Machine,
                                    const std::vector<LoopGroup> &Groups,
                                    const std::vector<double> &Iterations);
 

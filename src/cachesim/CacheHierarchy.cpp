@@ -11,35 +11,86 @@
 using namespace padx;
 using namespace padx::sim;
 
-CacheHierarchy::CacheHierarchy(const MachineModel &Machine) {
-  assert(!Machine.Levels.empty() && "hierarchy needs at least one level");
-  Levels.reserve(Machine.Levels.size());
-  for (const CacheConfig &C : Machine.Levels)
-    Levels.emplace_back(C);
+namespace {
+
+void splitLevels(const MachineModel &Machine,
+                 std::vector<unsigned> &Chain,
+                 std::vector<unsigned> &Tlbs) {
+  for (unsigned I = 0; I < Machine.numLevels(); ++I)
+    (Machine.Levels[I].IsTlb ? Tlbs : Chain).push_back(I);
+  assert(!Chain.empty() && "hierarchy needs at least one cache level");
+}
+
+} // namespace
+
+CacheHierarchy::CacheHierarchy(const MachineModel &Machine)
+    : Machine(Machine) {
+  assert(!Machine.Levels.empty() &&
+         "hierarchy needs at least one level");
+  Sims.reserve(Machine.Levels.size());
+  for (const CacheLevel &L : Machine.Levels)
+    Sims.emplace_back(L.Geometry);
+  splitLevels(Machine, Chain, Tlbs);
 }
 
 void CacheHierarchy::access(int64_t Addr, int64_t Size, bool IsWrite) {
-  // Split at the innermost level's line granularity so per-level
-  // propagation stays line-by-line.
-  int64_t LineBytes = Levels.front().config().LineBytes;
+  // TLB levels translate the whole access: probe once per page spanned,
+  // independent of how the cache chain fares.
+  for (unsigned I : Tlbs) {
+    int64_t PageBytes = Sims[I].config().LineBytes;
+    int64_t First = Addr / PageBytes;
+    int64_t Last = (Addr + Size - 1) / PageBytes;
+    for (int64_t Pg = First; Pg <= Last; ++Pg)
+      Sims[I].accessLine(Pg * PageBytes, IsWrite);
+  }
+
+  // Split at the innermost cache level's line granularity so per-level
+  // propagation stays line-by-line; each deeper level re-derives its
+  // own (longer) line from the address, which is what makes the fill
+  // line-size-aware.
+  int64_t LineBytes = Sims[Chain.front()].config().LineBytes;
   int64_t First = Addr / LineBytes;
   int64_t Last = (Addr + Size - 1) / LineBytes;
   for (int64_t L = First; L <= Last; ++L) {
     int64_t LineAddr = L * LineBytes;
-    bool Hit = false;
-    for (CacheSim &Level : Levels) {
-      if (Level.accessLine(LineAddr, IsWrite)) {
-        Hit = true;
-        break;
-      }
-    }
-    if (!Hit)
-      ++MemoryAccesses;
+    if (!Sims[Chain.front()].accessLine(LineAddr, IsWrite))
+      forwardMiss(LineAddr, IsWrite);
   }
 }
 
 void CacheHierarchy::reset() {
-  for (CacheSim &Level : Levels)
+  for (CacheSim &Level : Sims)
     Level.reset();
   MemoryAccesses = 0;
+}
+
+HierarchyClassifier::HierarchyClassifier(const MachineModel &Machine)
+    : Machine(Machine) {
+  assert(!Machine.Levels.empty() &&
+         "hierarchy needs at least one level");
+  Levels.reserve(Machine.Levels.size());
+  for (const CacheLevel &L : Machine.Levels)
+    Levels.emplace_back(L.Geometry);
+  splitLevels(Machine, Chain, Tlbs);
+}
+
+void HierarchyClassifier::access(int64_t Addr, int64_t Size,
+                                 bool IsWrite) {
+  for (unsigned I : Tlbs)
+    Levels[I].access(Addr, Size, IsWrite);
+
+  int64_t LineBytes = Levels[Chain.front()].target().config().LineBytes;
+  int64_t First = Addr / LineBytes;
+  int64_t Last = (Addr + Size - 1) / LineBytes;
+  for (int64_t L = First; L <= Last; ++L) {
+    int64_t LineAddr = L * LineBytes;
+    for (unsigned I : Chain)
+      if (Levels[I].accessLine(LineAddr, IsWrite))
+        break;
+  }
+}
+
+void HierarchyClassifier::reset() {
+  for (MissClassifier &L : Levels)
+    L.reset();
 }

@@ -9,7 +9,7 @@
 using namespace padx;
 using namespace padx::sim;
 
-void MissClassifier::accessLine(int64_t Addr, bool IsWrite) {
+bool MissClassifier::accessLine(int64_t Addr, bool IsWrite) {
   ++Breakdown.Accesses;
   int64_t Line = Addr / Target.config().LineBytes;
   bool FirstTouch = Touched.insert(Line).second;
@@ -17,7 +17,7 @@ void MissClassifier::accessLine(int64_t Addr, bool IsWrite) {
   bool FullyHit = Fully.accessLine(Addr, IsWrite);
   if (TargetHit) {
     ++Breakdown.Hits;
-    return;
+    return true;
   }
   if (FirstTouch)
     ++Breakdown.Compulsory;
@@ -25,14 +25,17 @@ void MissClassifier::accessLine(int64_t Addr, bool IsWrite) {
     ++Breakdown.Capacity;
   else
     ++Breakdown.Conflict;
+  return false;
 }
 
-void MissClassifier::access(int64_t Addr, int64_t Size, bool IsWrite) {
+bool MissClassifier::access(int64_t Addr, int64_t Size, bool IsWrite) {
   int64_t LineBytes = Target.config().LineBytes;
   int64_t First = Addr / LineBytes;
   int64_t Last = (Addr + Size - 1) / LineBytes;
+  bool AllHit = true;
   for (int64_t L = First; L <= Last; ++L)
-    accessLine(L * LineBytes, IsWrite);
+    AllHit &= accessLine(L * LineBytes, IsWrite);
+  return AllHit;
 }
 
 void MissClassifier::reset() {

@@ -54,8 +54,11 @@ public:
         Fully(CacheConfig{Config.SizeBytes, Config.LineBytes,
                           /*Associativity=*/0}) {}
 
-  void access(int64_t Addr, int64_t Size, bool IsWrite);
-  void accessLine(int64_t Addr, bool IsWrite);
+  /// Returns true when every touched line hit the target cache — the
+  /// hierarchy classifier chains on this to feed only target misses to
+  /// the next level.
+  bool access(int64_t Addr, int64_t Size, bool IsWrite);
+  bool accessLine(int64_t Addr, bool IsWrite);
   void reset();
 
   const MissBreakdown &breakdown() const { return Breakdown; }

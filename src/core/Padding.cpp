@@ -36,11 +36,14 @@ PaddingResult pad::applyPadding(const ir::Program &P,
         return AM.linearAlgebraArrays();
       });
 
-  // Conflict misses cannot occur in a fully-associative level.
+  // Conflict misses cannot occur in a fully-associative level. TLB
+  // levels participate like any other geometry: two arrays whose pages
+  // collide modulo the TLB's way span thrash it exactly as cache lines
+  // do, and the pad conditions only see (size, line, ways).
   std::vector<CacheConfig> Levels;
-  for (const CacheConfig &L : Machine.Levels)
-    if (L.Associativity != 0)
-      Levels.push_back(L);
+  for (const CacheLevel &L : Machine.Levels)
+    if (L.Geometry.Associativity != 0)
+      Levels.push_back(L.Geometry);
 
   if (Scheme.EnableIntra && !Levels.empty())
     PP.run("intra-padding", [&] {

@@ -25,7 +25,7 @@
 #include "core/PaddingScheme.h"
 #include "core/PaddingStats.h"
 #include "layout/DataLayout.h"
-#include "machine/CacheConfig.h"
+#include "machine/MachineModel.h"
 #include "pipeline/PadPipeline.h"
 
 namespace padx {

@@ -618,6 +618,78 @@ RunStatus TraceReplayer::replay(const layout::DataLayout &DL,
 }
 
 RunStatus TraceReplayer::replay(const layout::DataLayout &DL,
+                                sim::CacheHierarchy &H) {
+  updateRemaps(DL);
+  sim::CacheSim &L1 = H.sim(H.firstCacheLevel());
+  // The fast path assumes an element access touches exactly one first-
+  // level line (and, when a TLB is present, one page — pages are never
+  // shorter than cache lines in a valid machine). Wider elements take
+  // the general per-access hierarchy route.
+  bool MaySpan = false;
+  for (const RecordedTrace::Ref &R : T.Refs)
+    MaySpan |= R.ElemSize > L1.config().LineBytes;
+  if (MaySpan) {
+    replayImpl(
+        [&](int64_t Addr, uint32_t RefIndex) {
+          const RecordedTrace::Ref &R = T.Refs[RefIndex];
+          H.access(Addr, R.ElemSize, R.IsWrite);
+        },
+        [](uint32_t, uint64_t) {});
+    return T.recordStatus();
+  }
+  const uint8_t *Write = RefWrite.data();
+  const bool HasTlb = H.hasTlb();
+  uint64_t Hits = 0;
+  auto PerBlock = [&](uint32_t PatternIndex, uint64_t Count) {
+    const RecordedTrace::Pattern &Pat = T.Patterns[PatternIndex];
+    const uint64_t Writes = Count * PatternWrites[PatternIndex];
+    const uint64_t Total = Count * (Pat.RefEnd - Pat.RefBegin);
+    L1.addAccessCounts(Total - Writes, Writes);
+  };
+  if (L1.isDirectMapped()) {
+    // Same register-resident packed probe as the single-level replay;
+    // the downstream walk happens only on the filtered misses, so a
+    // well-padded candidate pays almost nothing for its outer levels.
+    int64_t *Lines = L1.directLines();
+    const int64_t SetMask = L1.directSetMask();
+    const unsigned LineShift = L1.lineShiftLog2();
+    const unsigned SetShift = L1.setShiftLog2();
+    uint64_t WriteBacks = 0;
+    replayImpl(
+        [&](int64_t Addr, uint32_t RefIndex) {
+          if (HasTlb)
+            H.probeTlbs(Addr, Write[RefIndex]);
+          const int64_t LineAddr = Addr >> LineShift;
+          const int64_t Set = LineAddr & SetMask;
+          const int64_t Key = ((LineAddr >> SetShift) << 2) | 1;
+          if (sim::CacheSim::probeDirectLane(Lines, Set, Key,
+                                             Write[RefIndex],
+                                             WriteBacks))
+            ++Hits;
+          else
+            H.forwardMiss(LineAddr << LineShift, Write[RefIndex]);
+        },
+        PerBlock);
+    L1.addWriteBacks(WriteBacks);
+  } else {
+    const unsigned LineShift = L1.lineShiftLog2();
+    replayImpl(
+        [&](int64_t Addr, uint32_t RefIndex) {
+          if (HasTlb)
+            H.probeTlbs(Addr, Write[RefIndex]);
+          if (L1.probeLine(Addr, Write[RefIndex]))
+            ++Hits;
+          else
+            H.forwardMiss((Addr >> LineShift) << LineShift,
+                          Write[RefIndex]);
+        },
+        PerBlock);
+  }
+  L1.addMisses(T.numAccesses() - Hits);
+  return T.recordStatus();
+}
+
+RunStatus TraceReplayer::replay(const layout::DataLayout &DL,
                                TraceSink &Sink) {
   updateRemaps(DL);
   replayImpl(

@@ -148,6 +148,16 @@ public:
   /// the slow path used by equivalence tests.
   RunStatus replay(const layout::DataLayout &DL, TraceSink &Sink);
 
+  /// Replays into a multi-level hierarchy: the first cache level runs
+  /// the same fast inlined probe as the single-level overload (packed
+  /// direct-mapped lane when the geometry allows, bulk-settled stats),
+  /// and only the filtered misses walk the outer levels through
+  /// CacheHierarchy::forwardMiss. TLB levels are probed per access.
+  /// Statistics are bit-identical to streaming the trace through
+  /// CacheHierarchy::access.
+  RunStatus replay(const layout::DataLayout &DL,
+                   sim::CacheHierarchy &H);
+
   /// Rebuilds the per-slot remaps for \p DL without streaming anything.
   /// replay() does this implicitly; calling prepare() first lets
   /// benchmarks attribute remap-rebuild time separately from the probe

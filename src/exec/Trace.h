@@ -14,6 +14,7 @@
 #ifndef PADX_EXEC_TRACE_H
 #define PADX_EXEC_TRACE_H
 
+#include "cachesim/CacheHierarchy.h"
 #include "cachesim/CacheSim.h"
 #include "cachesim/MissClassifier.h"
 
@@ -63,6 +64,31 @@ public:
 
 private:
   sim::MissClassifier &Classifier;
+};
+
+/// Forwards the trace to a multi-level hierarchy simulator.
+class HierarchySink : public TraceSink {
+public:
+  explicit HierarchySink(sim::CacheHierarchy &H) : H(H) {}
+  void access(int64_t Addr, int32_t Size, bool IsWrite) override {
+    H.access(Addr, Size, IsWrite);
+  }
+
+private:
+  sim::CacheHierarchy &H;
+};
+
+/// Forwards the trace to a per-level miss classifier.
+class HierarchyClassifierSink : public TraceSink {
+public:
+  explicit HierarchyClassifierSink(sim::HierarchyClassifier &C)
+      : C(C) {}
+  void access(int64_t Addr, int32_t Size, bool IsWrite) override {
+    C.access(Addr, Size, IsWrite);
+  }
+
+private:
+  sim::HierarchyClassifier &C;
 };
 
 /// Buffers the trace for inspection in tests.

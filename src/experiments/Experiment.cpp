@@ -6,6 +6,7 @@
 
 #include "experiments/Experiment.h"
 
+#include "cachesim/CacheHierarchy.h"
 #include "support/ThreadPool.h"
 
 #include <algorithm>
@@ -31,6 +32,35 @@ sim::MissBreakdown expt::classifyMisses(const ir::Program &P,
   exec::TraceRunner Runner(P, DL);
   Runner.run(Sink);
   return Classifier.breakdown();
+}
+
+HierarchyMissResult expt::measureHierarchy(const ir::Program &P,
+                                           const layout::DataLayout &DL,
+                                           const MachineModel &Machine,
+                                           bool Classify) {
+  sim::CacheHierarchy H(Machine);
+  exec::HierarchySink Sink(H);
+  exec::TraceRunner Runner(P, DL);
+  Runner.run(Sink);
+
+  HierarchyMissResult R;
+  for (unsigned I = 0; I != H.numLevels(); ++I) {
+    LevelMissResult L;
+    L.Name = Machine.levelName(I);
+    L.Accesses = H.stats(I).Accesses;
+    L.Misses = H.stats(I).Misses;
+    L.Weight = Machine.Levels[I].Weight;
+    R.Levels.push_back(std::move(L));
+  }
+  if (Classify) {
+    sim::HierarchyClassifier C(Machine);
+    exec::HierarchyClassifierSink CSink(C);
+    exec::TraceRunner CRunner(P, DL);
+    CRunner.run(CSink);
+    for (unsigned I = 0; I != C.numLevels(); ++I)
+      R.Levels[I].ConflictMisses = C.breakdown(I).Conflict;
+  }
+  return R;
 }
 
 MissResult expt::measureOriginal(const ir::Program &P,

@@ -49,6 +49,45 @@ MissResult measureMissRate(const ir::Program &P,
                            const layout::DataLayout &DL,
                            const CacheConfig &Cache);
 
+/// One level's share of a hierarchy simulation. Accesses at level k+1
+/// are level k's misses (chain semantics), so per-level miss rates are
+/// local, not global.
+struct LevelMissResult {
+  std::string Name;
+  uint64_t Accesses = 0;
+  uint64_t Misses = 0;
+  /// Conflict misses per the level's three-Cs classification; filled
+  /// only when measureHierarchy ran with Classify = true.
+  uint64_t ConflictMisses = 0;
+  double Weight = 1.0;
+
+  double percent() const {
+    return Accesses == 0 ? 0.0
+                         : 100.0 * static_cast<double>(Misses) /
+                               static_cast<double>(Accesses);
+  }
+};
+
+struct HierarchyMissResult {
+  std::vector<LevelMissResult> Levels;
+
+  /// The search's objective: sum over levels of Weight * Misses.
+  double weightedCost() const {
+    double Cost = 0;
+    for (const LevelMissResult &L : Levels)
+      Cost += L.Weight * static_cast<double>(L.Misses);
+    return Cost;
+  }
+};
+
+/// Simulates \p P under \p DL on every level of \p Machine. With
+/// \p Classify, a second trace pass runs the per-level three-Cs
+/// classifier to fill LevelMissResult::ConflictMisses.
+HierarchyMissResult measureHierarchy(const ir::Program &P,
+                                     const layout::DataLayout &DL,
+                                     const MachineModel &Machine,
+                                     bool Classify = false);
+
 /// Simulates and classifies misses (compulsory/capacity/conflict).
 sim::MissBreakdown classifyMisses(const ir::Program &P,
                                   const layout::DataLayout &DL,

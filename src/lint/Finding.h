@@ -73,6 +73,14 @@ struct Finding {
   /// names / rendered references / loop variables — never from line
   /// numbers, so baselines survive unrelated edits.
   std::string Key;
+  /// Cache level the finding was detected at, when linting a
+  /// multi-level machine model ("l2", "l3", ...). Empty on a
+  /// single-level machine — the pre-hierarchy output stays unchanged —
+  /// and for findings already reported at an inner level (the linter
+  /// keeps the innermost level's copy). Not part of the baseline
+  /// fingerprint: a finding is the same defect at whatever level it
+  /// surfaces.
+  std::string Level;
   /// Primary array the finding is about (the one a fix would change).
   unsigned ArrayId = 0;
   FixIt Fix;

@@ -15,6 +15,8 @@
 
 #include <algorithm>
 #include <cassert>
+#include <set>
+#include <utility>
 
 using namespace padx;
 using namespace padx::lint;
@@ -55,26 +57,52 @@ LintResult Linter::run(const layout::DataLayout &DL,
   assert(DL.allBasesAssigned() &&
          "lint needs a layout with assigned base addresses");
   LintResult Result;
-  // A fully associative cache replaces nothing by address conflict;
-  // every rule below reasons modulo the way span, which is meaningless
-  // there.
-  if (Options.Cache.Associativity == 0)
-    return Result;
+  const MachineModel Machine = Options.machine();
+  const bool Single = Machine.isSingleLevel();
 
   pipeline::AnalysisManager &AM = PP.analysis();
   const analysis::SafetyInfo &Safety = AM.safety();
   const std::vector<bool> &LinAlg = AM.linearAlgebraArrays();
   const std::vector<analysis::LoopGroup> &Groups = AM.referenceGroups();
-  const analysis::ProgramEstimate &Estimate =
-      AM.missEstimate(DL, Options.Cache);
-  const analysis::LatticePrediction &Prediction =
-      AM.latticePrediction(DL, Options.Cache);
 
-  LintContext Ctx{DL,     Options.Cache, Safety,  LinAlg,
-                  Groups, Estimate,      Prediction};
-  for (const Rule *R : allRules())
-    PP.run("lint:" + std::string(R->id()),
-           [&] { R->check(Ctx, Result.Findings); });
+  // Every set-mapped cache level is linted innermost-first; a defect
+  // seen at several levels keeps the innermost copy (same rule, same
+  // fingerprint key). TLB levels are skipped — the rules reason in
+  // lines within a way span, which page-granular conflicts need scaled
+  // differently — as are fully associative levels, which replace
+  // nothing by address conflict.
+  std::set<std::pair<std::string, std::string>> Reported;
+  for (unsigned LI = 0; LI != Machine.numLevels(); ++LI) {
+    const CacheLevel &L = Machine.Levels[LI];
+    if (L.IsTlb || L.Geometry.Associativity == 0)
+      continue;
+    const CacheConfig &Cache = L.Geometry;
+    const analysis::ProgramEstimate &Estimate =
+        AM.missEstimate(DL, Cache);
+    const analysis::LatticePrediction &Prediction =
+        AM.latticePrediction(DL, Cache);
+
+    LintContext Ctx{DL,     Cache,    Safety,  LinAlg,
+                    Groups, Estimate, Prediction};
+    std::vector<Finding> LevelFindings;
+    for (const Rule *R : allRules())
+      PP.run("lint:" + std::string(R->id()),
+             [&] { R->check(Ctx, LevelFindings); });
+    // Dedup across levels only: a rule may legitimately report several
+    // findings under one key within a level (one conflict-pair key per
+    // array pair, many reference pairs), so this level's keys join
+    // Reported only after the whole level is filtered.
+    std::vector<std::pair<std::string, std::string>> LevelKeys;
+    for (Finding &F : LevelFindings) {
+      if (Reported.count({F.RuleId, F.Key}))
+        continue;
+      LevelKeys.emplace_back(F.RuleId, F.Key);
+      if (!Single)
+        F.Level = Machine.levelName(LI);
+      Result.Findings.push_back(std::move(F));
+    }
+    Reported.insert(LevelKeys.begin(), LevelKeys.end());
+  }
 
   // Rank most severe first; stable, so each rule's source order is kept.
   std::stable_sort(Result.Findings.begin(), Result.Findings.end(),

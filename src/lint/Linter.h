@@ -23,16 +23,36 @@
 
 #include "layout/DataLayout.h"
 #include "lint/Finding.h"
-#include "machine/CacheConfig.h"
+#include "machine/MachineModel.h"
 #include "pipeline/PadPipeline.h"
 
+#include <utility>
 #include <vector>
 
 namespace padx {
 namespace lint {
 
 struct LintOptions {
+  LintOptions() = default;
+  LintOptions(CacheConfig Cache) : Cache(Cache) {}
+  LintOptions(MachineModel Machine) : Machine(std::move(Machine)) {}
+
   CacheConfig Cache = CacheConfig::base16K();
+
+  /// Machine model to lint against. Empty (the default) means the
+  /// single level \p Cache — the pre-hierarchy behavior, byte-identical
+  /// output. With levels set, every set-mapped cache level is linted
+  /// (TLB and fully-associative levels cannot produce set conflicts the
+  /// rules reason about); a defect found at several levels is reported
+  /// once, at the innermost, and findings first surfacing at an outer
+  /// level carry its name in Finding::Level.
+  MachineModel Machine;
+
+  /// The machine the linter effectively runs on.
+  MachineModel machine() const {
+    return Machine.Levels.empty() ? MachineModel::singleLevel(Cache)
+                                  : Machine;
+  }
 };
 
 struct LintResult {

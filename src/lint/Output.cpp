@@ -36,7 +36,11 @@ std::string lint::renderText(const LintResult &Result,
   for (const Finding &F : Result.Findings) {
     if (F.Suppressed)
       continue;
-    std::string Message = "[" + F.RuleId + "] " + F.Message;
+    // Multi-level lint tags the finding with the level it surfaced at
+    // ("[conflict-pair@l2]"); single-level output is unchanged.
+    std::string Message = "[" + F.RuleId +
+                          (F.Level.empty() ? "" : "@" + F.Level) + "] " +
+                          F.Message;
     switch (F.Sev) {
     case Severity::Error:
       Engine.error(F.Loc, std::move(Message));
@@ -93,6 +97,8 @@ static void writeFinding(support::JsonWriter &J, const Finding &F,
   }
   J.field("message", F.Message);
   J.field("key", F.Key);
+  if (!F.Level.empty())
+    J.field("cacheLevel", F.Level);
   J.field("array", P.array(F.ArrayId).Name);
   J.field("suppressed", F.Suppressed);
   if (F.Fix.isValid()) {
@@ -317,7 +323,8 @@ void lint::writeSarif(std::ostream &OS,
       J.field("level", std::string(sarifLevel(F.Sev)));
       J.key("message");
       J.beginObject();
-      std::string Text = F.Message;
+      std::string Text =
+          (F.Level.empty() ? "" : "[" + F.Level + "] ") + F.Message;
       if (F.Fix.isValid())
         Text += "; fix: " + describeFix(F, *File.DL);
       J.field("text", Text);

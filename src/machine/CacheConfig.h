@@ -16,7 +16,6 @@
 
 #include <cstdint>
 #include <string>
-#include <vector>
 
 namespace padx {
 
@@ -57,18 +56,6 @@ struct CacheConfig {
   static CacheConfig base16K() { return CacheConfig{16 * 1024, 32, 1}; }
 
   bool operator==(const CacheConfig &RHS) const = default;
-};
-
-/// A machine is a list of cache levels, innermost first. The paper notes
-/// the heuristics generalize to multilevel caches by checking the pad
-/// condition against every level; MachineModel is what the multi-level
-/// driver consumes.
-struct MachineModel {
-  std::vector<CacheConfig> Levels;
-
-  static MachineModel singleLevel(CacheConfig Config) {
-    return MachineModel{{Config}};
-  }
 };
 
 } // namespace padx

@@ -11,6 +11,7 @@
 #include "pipeline/SharedAnalysisCache.h"
 
 #include <chrono>
+#include <cstring>
 
 using namespace padx;
 using namespace padx::pipeline;
@@ -56,6 +57,8 @@ const char *pipeline::analysisKindName(AnalysisKind K) {
     return "miss-estimate";
   case AnalysisKind::LatticePrediction:
     return "lattice-prediction";
+  case AnalysisKind::MachineLatticePrediction:
+    return "machine-lattice-prediction";
   }
   return "unknown";
 }
@@ -103,6 +106,7 @@ void AnalysisStats::merge(const AnalysisStats &Other) {
     Kinds[I].Invalidated += Other.Kinds[I].Invalidated;
     Kinds[I].Seconds += Other.Kinds[I].Seconds;
   }
+  PredictorUnscored += Other.PredictorUnscored;
 }
 
 AnalysisManager::AnalysisManager(const ir::Program &P, bool EnableCache)
@@ -276,6 +280,32 @@ AnalysisManager::makeKey(const layout::DataLayout &DL,
   return Key;
 }
 
+AnalysisManager::LayoutKey
+AnalysisManager::makeKey(const layout::DataLayout &DL,
+                         const MachineModel &Machine) {
+  LayoutKey Key;
+  Key.reserve(2 + Machine.numLevels() + 2 * DL.numArrays());
+  // Geometry prefixes of the CacheConfig overload start with a positive
+  // cache size, so -1 keeps the two key families disjoint.
+  Key.push_back(-1);
+  Key.push_back(static_cast<int64_t>(Machine.fingerprint()));
+  for (const CacheLevel &L : Machine.Levels) {
+    // Exact weight bits: the fingerprint is geometry-only, but a cached
+    // MachinePrediction bakes weights into its aggregate.
+    int64_t Bits;
+    static_assert(sizeof(Bits) == sizeof(L.Weight));
+    std::memcpy(&Bits, &L.Weight, sizeof(Bits));
+    Key.push_back(Bits);
+  }
+  for (unsigned Id = 0, E = DL.numArrays(); Id != E; ++Id) {
+    const layout::ArrayLayout &L = DL.layout(Id);
+    Key.push_back(L.BaseAddr);
+    for (int64_t D : L.Dims)
+      Key.push_back(D);
+  }
+  return Key;
+}
+
 AnalysisManager::LayoutEntry &
 AnalysisManager::layoutEntryLocked(const LayoutKey &Key) {
   if (!EnableCache)
@@ -403,11 +433,51 @@ AnalysisManager::latticePrediction(const layout::DataLayout &DL,
   ++C.Misses;
   ComputeTimer T(C);
   E.Lattice = analysis::predictConflicts(DL, Cache, G, I);
+  Stats.PredictorUnscored += E.Lattice->UnscoredNests;
   if (EnableCache && Shared)
     Shared->putLayout(
         SharedFP, Key, &SharedAnalysisCache::LayoutSlots::Lattice,
         std::make_shared<const analysis::LatticePrediction>(*E.Lattice));
   return *E.Lattice;
+}
+
+const analysis::MachinePrediction &
+AnalysisManager::machineLatticePrediction(const layout::DataLayout &DL,
+                                          const MachineModel &Machine) {
+  std::lock_guard<std::mutex> L(M);
+  AnalysisCounters &C = counters(AnalysisKind::MachineLatticePrediction);
+  LayoutKey Key = makeKey(DL, Machine);
+  LayoutEntry &E = layoutEntryLocked(Key);
+  if (EnableCache && E.MachineLattice) {
+    ++C.Hits;
+    return *E.MachineLattice;
+  }
+  if (EnableCache && Shared) {
+    if (auto P = Shared->getLayout(
+            SharedFP, Key,
+            &SharedAnalysisCache::LayoutSlots::MachineLattice,
+            static_cast<unsigned>(
+                AnalysisKind::MachineLatticePrediction))) {
+      ++C.SharedHits;
+      E.MachineLattice = *P;
+      return *E.MachineLattice;
+    }
+  }
+  const std::vector<analysis::LoopGroup> &G = referenceGroupsLocked();
+  const std::vector<double> &I = iterationCountsLocked();
+  ++C.Misses;
+  ComputeTimer T(C);
+  E.MachineLattice = analysis::predictConflicts(DL, Machine, G, I);
+  // Once per machine, not per level: unscorability is a property of the
+  // nest, so every level reports the same count.
+  Stats.PredictorUnscored += E.MachineLattice->UnscoredNests;
+  if (EnableCache && Shared)
+    Shared->putLayout(
+        SharedFP, Key,
+        &SharedAnalysisCache::LayoutSlots::MachineLattice,
+        std::make_shared<const analysis::MachinePrediction>(
+            *E.MachineLattice));
+  return *E.MachineLattice;
 }
 
 void AnalysisManager::invalidateLayoutResultsLocked() {
@@ -420,6 +490,8 @@ void AnalysisManager::invalidateLayoutResultsLocked() {
       ++counters(AnalysisKind::Reuse).Invalidated;
     if (E.Lattice)
       ++counters(AnalysisKind::LatticePrediction).Invalidated;
+    if (E.MachineLattice)
+      ++counters(AnalysisKind::MachineLatticePrediction).Invalidated;
   }
   LayoutCache.clear();
 }

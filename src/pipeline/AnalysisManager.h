@@ -70,7 +70,7 @@
 #include "analysis/Reuse.h"
 #include "analysis/Safety.h"
 #include "layout/DataLayout.h"
-#include "machine/CacheConfig.h"
+#include "machine/MachineModel.h"
 
 #include <array>
 #include <cstdint>
@@ -95,8 +95,9 @@ enum class AnalysisKind : unsigned {
   ConflictReport,
   MissEstimate,
   LatticePrediction,
+  MachineLatticePrediction,
 };
-inline constexpr unsigned kNumAnalysisKinds = 9;
+inline constexpr unsigned kNumAnalysisKinds = 10;
 
 /// Stable lowercase-hyphen name, e.g. "reference-groups" (stats output).
 const char *analysisKindName(AnalysisKind K);
@@ -117,6 +118,11 @@ struct AnalysisCounters {
 
 struct AnalysisStats {
   std::array<AnalysisCounters, kNumAnalysisKinds> Kinds;
+  /// Unscored nests (NestPrediction::Unscored) accumulated over every
+  /// lattice prediction this manager *computed* — cache hits do not
+  /// re-count. Zero predicted misses with a nonzero count here means
+  /// "couldn't score", not "no conflicts".
+  uint64_t PredictorUnscored = 0;
 
   const AnalysisCounters &of(AnalysisKind K) const {
     return Kinds[static_cast<unsigned>(K)];
@@ -179,6 +185,15 @@ public:
   const analysis::LatticePrediction &
   latticePrediction(const layout::DataLayout &DL,
                     const CacheConfig &Cache);
+  /// Per-level lattice prediction for a whole machine — the tenth
+  /// memoized kind, keyed by (layout, hierarchy fingerprint, weights)
+  /// so distinct hierarchies over one layout cache independently and a
+  /// cached entry's weighted aggregate is exactly the caller's. The
+  /// shared (cross-request) cache keys the same way, so daemon requests
+  /// naming the same machine reuse each other's predictions.
+  const analysis::MachinePrediction &
+  machineLatticePrediction(const layout::DataLayout &DL,
+                           const MachineModel &Machine);
   /// @}
 
   /// Drops every layout-keyed result; program-level results stay. Call
@@ -209,11 +224,17 @@ private:
     std::optional<std::vector<analysis::ConflictEntry>> Severe;
     std::optional<std::vector<analysis::GroupReuse>> Reuse;
     std::optional<analysis::LatticePrediction> Lattice;
+    std::optional<analysis::MachinePrediction> MachineLattice;
   };
 
   using LayoutKey = std::vector<int64_t>;
   static LayoutKey makeKey(const layout::DataLayout &DL,
                            const CacheConfig &Cache);
+  /// Machine-keyed variant: a leading discriminator keeps hierarchy
+  /// keys disjoint from the 3-int CacheConfig geometry prefix above
+  /// (cache sizes are positive, the discriminator is not).
+  static LayoutKey makeKey(const layout::DataLayout &DL,
+                           const MachineModel &Machine);
 
   AnalysisCounters &counters(AnalysisKind K) {
     return Stats.Kinds[static_cast<unsigned>(K)];

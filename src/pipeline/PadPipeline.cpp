@@ -68,6 +68,10 @@ void PipelineStats::printText(std::ostream &OS) const {
      << Analysis.totalInvalidated() << " invalidated";
   if (Analysis.totalSharedHits() != 0)
     OS << ", " << Analysis.totalSharedHits() << " shared hits";
+  // Silent-zero audit trail: nests the lattice predictor refused to
+  // score. Printed only when nonzero so pre-hierarchy output is stable.
+  if (Analysis.PredictorUnscored != 0)
+    OS << ", " << Analysis.PredictorUnscored << " unscored nests";
   OS << "\n";
   for (unsigned I = 0; I != kNumAnalysisKinds; ++I) {
     const AnalysisCounters &C = Analysis.Kinds[I];
@@ -109,6 +113,7 @@ void PipelineStats::writeJson(
   JW.field("shared_hits", Analysis.totalSharedHits());
   JW.field("misses", Analysis.totalMisses());
   JW.field("invalidated", Analysis.totalInvalidated());
+  JW.field("predictor_unscored", Analysis.PredictorUnscored);
   JW.key("kinds");
   JW.beginArray();
   for (unsigned I = 0; I != kNumAnalysisKinds; ++I) {

@@ -77,7 +77,7 @@ struct SharedCacheCounters {
 
 struct SharedCacheStats {
   /// Indexed by AnalysisKind (pipeline/AnalysisManager.h).
-  std::array<SharedCacheCounters, 9> Kinds;
+  std::array<SharedCacheCounters, 10> Kinds;
   uint64_t Evicted = 0;
   uint64_t ProgramEntries = 0;
   uint64_t LayoutEntries = 0;
@@ -111,12 +111,16 @@ public:
     Ptr<double> UniformPct;
   };
   /// Per-(program, layout, geometry) slots. Same rule: Estimate,
-  /// Severe and Lattice are strings and numbers only; Reuse is excluded
-  /// because it points back into the loop groups.
+  /// Severe and the lattice predictions are strings and numbers only;
+  /// Reuse is excluded because it points back into the loop groups.
+  /// MachineLattice entries key on the hierarchy fingerprint plus
+  /// weights (AnalysisManager::makeKey's MachineModel overload), so
+  /// they never collide with single-geometry keys.
   struct LayoutSlots {
     Ptr<analysis::ProgramEstimate> Estimate;
     Ptr<std::vector<analysis::ConflictEntry>> Severe;
     Ptr<analysis::LatticePrediction> Lattice;
+    Ptr<analysis::MachinePrediction> MachineLattice;
   };
 
   explicit SharedAnalysisCache(size_t MaxLayoutEntries = 4096)
@@ -235,7 +239,7 @@ private:
 
   size_t MaxLayoutEntries;
   std::array<Shard, kNumShards> Shards;
-  std::array<AtomicCounters, 9> Counters;
+  std::array<AtomicCounters, 10> Counters;
   std::atomic<uint64_t> Evictions{0};
 };
 

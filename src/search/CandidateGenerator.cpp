@@ -26,11 +26,24 @@ namespace {
 /// clamped.
 constexpr int64_t kMaxPadElems = 64;
 
+/// Largest way span among the machine's set-mapped cache levels: the
+/// gap-move ceiling. Fully-associative levels map no sets, and TLB way
+/// spans would blow the footprint for page-granular wins the gap moves
+/// cannot reliably land anyway.
+int64_t gapCeiling(const MachineModel &Machine) {
+  int64_t Max = Machine.firstCache().waySpanBytes();
+  for (const CacheLevel &L : Machine.Levels)
+    if (!L.IsTlb && L.Geometry.Associativity != 0)
+      Max = std::max(Max, L.Geometry.waySpanBytes());
+  return Max;
+}
+
 } // namespace
 
 CandidateGenerator::CandidateGenerator(const ir::Program &P,
                                        const CacheConfig &Cache)
-    : Prog(P), Cache(Cache), Safety(analysis::analyzeSafety(P)),
+    : Prog(P), Cache(Cache), Machine(MachineModel::singleLevel(Cache)),
+      GapCeiling(gapCeiling(Machine)), Safety(analysis::analyzeSafety(P)),
       MaxPadElems(kMaxPadElems) {
   initKnobs();
   initSeeds(pad::runPad(P, Cache).Layout,
@@ -40,13 +53,58 @@ CandidateGenerator::CandidateGenerator(const ir::Program &P,
 CandidateGenerator::CandidateGenerator(const ir::Program &P,
                                        const CacheConfig &Cache,
                                        pipeline::PadPipeline &PP)
-    : Prog(P), Cache(Cache), AM(&PP.analysis()),
+    : Prog(P), Cache(Cache), Machine(MachineModel::singleLevel(Cache)),
+      GapCeiling(gapCeiling(Machine)), AM(&PP.analysis()),
       Safety(PP.analysis().safety()), MaxPadElems(kMaxPadElems) {
   assert(&PP.analysis().program() == &P &&
          "pipeline built over a different program");
   initKnobs();
   initSeeds(pad::runPad(P, Cache, PP).Layout,
             pad::runPadLite(P, Cache, PP).Layout);
+}
+
+CandidateGenerator::CandidateGenerator(const ir::Program &P,
+                                       const MachineModel &Machine)
+    : Prog(P), Cache(Machine.firstCache()), Machine(Machine),
+      GapCeiling(gapCeiling(Machine)), Safety(analysis::analyzeSafety(P)),
+      MaxPadElems(kMaxPadElems) {
+  initKnobs();
+  initSeeds(pad::runPad(P, Cache).Layout,
+            pad::runPadLite(P, Cache).Layout);
+  addMachineSeeds(nullptr);
+}
+
+CandidateGenerator::CandidateGenerator(const ir::Program &P,
+                                       const MachineModel &Machine,
+                                       pipeline::PadPipeline &PP)
+    : Prog(P), Cache(Machine.firstCache()), Machine(Machine),
+      GapCeiling(gapCeiling(Machine)), AM(&PP.analysis()),
+      Safety(PP.analysis().safety()), MaxPadElems(kMaxPadElems) {
+  assert(&PP.analysis().program() == &P &&
+         "pipeline built over a different program");
+  initKnobs();
+  initSeeds(pad::runPad(P, Cache, PP).Layout,
+            pad::runPadLite(P, Cache, PP).Layout);
+  addMachineSeeds(&PP);
+}
+
+void CandidateGenerator::addMachineSeeds(pipeline::PadPipeline *PP) {
+  if (Machine.isSingleLevel())
+    return;
+  pad::PaddingResult R =
+      PP ? pad::applyPadding(Prog, Machine, pad::PaddingScheme::pad(),
+                             *PP)
+         : pad::applyPadding(Prog, Machine, pad::PaddingScheme::pad());
+  Candidate C = project(R.Layout);
+  if (std::find(Seeds.begin(), Seeds.end(), C) == Seeds.end())
+    Seeds.push_back(std::move(C));
+}
+
+void CandidateGenerator::addSeedLayout(const layout::DataLayout &DL) {
+  Candidate C = project(DL);
+  clamp(C);
+  if (std::find(Seeds.begin(), Seeds.end(), C) == Seeds.end())
+    Seeds.push_back(std::move(C));
 }
 
 void CandidateGenerator::initKnobs() {
@@ -78,7 +136,7 @@ void CandidateGenerator::initSeeds(const layout::DataLayout &PadLayout,
 }
 
 void CandidateGenerator::clamp(Candidate &C) const {
-  int64_t MaxGap = Cache.waySpanBytes();
+  int64_t MaxGap = GapCeiling;
   for (unsigned Id = 0; Id != Prog.arrays().size(); ++Id) {
     const ir::ArrayVariable &V = Prog.array(Id);
     bool Paddable = !V.isScalar() && Safety.CanPadIntra[Id];

@@ -21,7 +21,7 @@
 #define PADX_SEARCH_CANDIDATEGENERATOR_H
 
 #include "analysis/Safety.h"
-#include "machine/CacheConfig.h"
+#include "machine/MachineModel.h"
 #include "search/Candidate.h"
 
 #include <random>
@@ -42,6 +42,19 @@ public:
   CandidateGenerator(const ir::Program &P, const CacheConfig &Cache);
   CandidateGenerator(ir::Program &&, const CacheConfig &) = delete;
 
+  /// Machine-model variants: moves and repair run at the first cache
+  /// level's geometry (identical to the CacheConfig constructors on a
+  /// single-level machine), gap moves may reach the largest level's way
+  /// span, and on a multi-level machine the seed set additionally
+  /// carries the multi-level PAD projection (applyPadding over every
+  /// level). The PAD baseline seed stays first either way.
+  CandidateGenerator(const ir::Program &P, const MachineModel &Machine);
+  CandidateGenerator(ir::Program &&, const MachineModel &) = delete;
+  CandidateGenerator(const ir::Program &P, const MachineModel &Machine,
+                     pipeline::PadPipeline &PP);
+  CandidateGenerator(ir::Program &&, const MachineModel &,
+                     pipeline::PadPipeline &) = delete;
+
   /// As above through an instrumented pipeline over the same program:
   /// safety comes from \p PP.analysis(), the heuristic seeds run through
   /// \p PP (their passes show up in its stats), and the greedy repair
@@ -57,6 +70,14 @@ public:
   /// Deterministic seed candidates, deduplicated, PAD's projection
   /// first: the packed original, the paper's PAD and PADLITE layouts.
   const std::vector<Candidate> &seeds() const { return Seeds; }
+
+  /// Appends \p DL as an extra warm-start seed (projected into candidate
+  /// coordinates and clamped to the safety analysis, so an unsafe pad or
+  /// base move in \p DL is dropped rather than proposed). Layouts that
+  /// came out of a previous search over the same program project
+  /// losslessly; the engine then never returns a worse cost than theirs
+  /// (SearchOptions::SeedLayouts).
+  void addSeedLayout(const layout::DataLayout &DL);
 
   /// Index into seeds() of the PAD heuristic's layout — the baseline the
   /// search must never lose to.
@@ -90,8 +111,13 @@ private:
   bool repairWorstConflict(Candidate &C) const;
   void clamp(Candidate &C) const;
 
+  /// Multi-level extra seed, called after initSeeds.
+  void addMachineSeeds(pipeline::PadPipeline *PP);
+
   const ir::Program &Prog;
-  CacheConfig Cache;
+  CacheConfig Cache; ///< First cache level (move granularity).
+  MachineModel Machine;
+  int64_t GapCeiling = 0; ///< Largest cache level's way span.
   /// Memoizing manager when pipeline-constructed, else null.
   pipeline::AnalysisManager *AM = nullptr;
   analysis::SafetyInfo Safety;

@@ -7,6 +7,7 @@
 #include "search/CostModel.h"
 
 #include "analysis/LatticePredictor.h"
+#include "cachesim/CacheHierarchy.h"
 #include "cachesim/CacheSim.h"
 #include "exec/Trace.h"
 #include "exec/TraceRunner.h"
@@ -55,6 +56,12 @@ struct ReplayWorkerState {
   std::shared_ptr<const exec::RecordedTrace> BatchTrace;
   std::optional<exec::MultiTraceReplayer> Batcher;
   CacheConfig BatchConfig;
+  /// Multi-level path: its own trace/replayer pair plus a hierarchy,
+  /// keyed by machine, reset between evaluations.
+  std::shared_ptr<const exec::RecordedTrace> HierTrace;
+  std::optional<exec::TraceReplayer> HierReplayer;
+  std::optional<sim::CacheHierarchy> Hier;
+  MachineModel HierMachine;
 };
 
 thread_local ReplayWorkerState Worker;
@@ -66,7 +73,9 @@ void SimulationCostModel::prepareReplay(const ir::Program &P) {
 }
 
 unsigned SimulationCostModel::batchWidth() const {
-  if (!usingReplay())
+  // The K-lane batcher probes one cache level; hierarchy evaluations
+  // run sequentially per candidate.
+  if (!usingReplay() || !Machine.isSingleLevel())
     return 1;
   unsigned K = RequestedBatch ? RequestedBatch : kDefaultBatchLanes;
   return std::min(K, exec::MultiTraceReplayer::kMaxLanes);
@@ -95,13 +104,53 @@ void SimulationCostModel::evaluateBatch(
                            std::span<sim::CacheStats>(Stats, N));
     for (size_t I = 0; I != N; ++I)
       Out[Begin + I] = {static_cast<double>(Stats[I].Misses),
-                        Stats[I].Accesses};
+                        Stats[I].Accesses,
+                        {static_cast<double>(Stats[I].Misses)}};
     Begin += N;
   }
 }
 
+CostSample SimulationCostModel::evaluateMachine(
+    const layout::DataLayout &DL) const {
+  auto SampleOf = [&](const sim::CacheHierarchy &H) {
+    CostSample S;
+    S.Accesses = H.stats(H.firstCacheLevel()).Accesses;
+    S.LevelMisses.reserve(H.numLevels());
+    for (unsigned I = 0; I != H.numLevels(); ++I) {
+      double Misses = static_cast<double>(H.stats(I).Misses);
+      S.LevelMisses.push_back(Misses);
+      S.Cost += H.level(I).Weight * Misses;
+    }
+    return S;
+  };
+  if (Trace && &DL.program() == &Trace->program()) {
+    if (!Worker.HierTrace || Worker.HierTrace->id() != Trace->id()) {
+      Worker.HierTrace = Trace;
+      Worker.HierReplayer.emplace(*Trace);
+    }
+    if (!Worker.Hier || Worker.HierMachine != Machine) {
+      Worker.Hier.emplace(Machine);
+      Worker.HierMachine = Machine;
+    } else {
+      Worker.Hier->reset();
+    }
+    Worker.HierReplayer->replay(DL, *Worker.Hier);
+    return SampleOf(*Worker.Hier);
+  }
+  sim::CacheHierarchy H(Machine);
+  exec::HierarchySink Sink(H);
+  exec::TraceRunner Runner(DL.program(), DL);
+  Runner.run(Sink);
+  return SampleOf(H);
+}
+
 CostSample SimulationCostModel::evaluate(
     const layout::DataLayout &DL) const {
+  if (!Machine.isSingleLevel())
+    return evaluateMachine(DL);
+  // Weight_l1 is 1.0 for every CacheConfig-constructed model, keeping
+  // this path's cost exactly the miss count.
+  const double W = Machine.Levels.front().Weight;
   if (Trace && &DL.program() == &Trace->program()) {
     if (!Worker.Trace || Worker.Trace->id() != Trace->id()) {
       Worker.Trace = Trace;
@@ -114,25 +163,45 @@ CostSample SimulationCostModel::evaluate(
       Worker.Sim->reset();
     }
     Worker.Replayer->replay(DL, *Worker.Sim);
-    return {static_cast<double>(Worker.Sim->stats().Misses),
-            Worker.Sim->stats().Accesses};
+    double Misses = static_cast<double>(Worker.Sim->stats().Misses);
+    return {W * Misses, Worker.Sim->stats().Accesses, {Misses}};
   }
   sim::CacheSim Sim(Cache);
   exec::CacheSimSink Sink(Sim);
   exec::TraceRunner Runner(DL.program(), DL);
   Runner.run(Sink);
-  return {static_cast<double>(Sim.stats().Misses),
-          Sim.stats().Accesses};
+  double Misses = static_cast<double>(Sim.stats().Misses);
+  return {W * Misses, Sim.stats().Accesses, {Misses}};
 }
 
 CostSample StaticCostModel::evaluate(const layout::DataLayout &DL) const {
+  if (!Machine.isSingleLevel()) {
+    auto SampleOf = [&](const analysis::MachinePrediction &MP) {
+      CostSample S;
+      S.Cost = MP.WeightedMisses;
+      S.LevelMisses.reserve(MP.Levels.size());
+      for (const analysis::MachineLevelPrediction &LP : MP.Levels) {
+        S.LevelMisses.push_back(LP.Prediction.PredictedMisses);
+        if (S.Accesses == 0 && !LP.IsTlb)
+          S.Accesses =
+              static_cast<uint64_t>(LP.Prediction.PredictedAccesses);
+      }
+      return S;
+    };
+    if (AM && &DL.program() == &AM->program())
+      return SampleOf(AM->machineLatticePrediction(DL, Machine));
+    return SampleOf(analysis::predictConflicts(DL, Machine));
+  }
+  const double W = Machine.Levels.front().Weight;
   if (AM && &DL.program() == &AM->program()) {
     const analysis::LatticePrediction &E =
         AM->latticePrediction(DL, Cache);
-    return {E.PredictedMisses,
-            static_cast<uint64_t>(E.PredictedAccesses)};
+    return {W * E.PredictedMisses,
+            static_cast<uint64_t>(E.PredictedAccesses),
+            {E.PredictedMisses}};
   }
   analysis::LatticePrediction E = analysis::predictConflicts(DL, Cache);
-  return {E.PredictedMisses,
-          static_cast<uint64_t>(E.PredictedAccesses)};
+  return {W * E.PredictedMisses,
+          static_cast<uint64_t>(E.PredictedAccesses),
+          {E.PredictedMisses}};
 }

@@ -20,12 +20,13 @@
 #include "exec/MultiTraceReplayer.h"
 #include "exec/RecordedTrace.h"
 #include "layout/DataLayout.h"
-#include "machine/CacheConfig.h"
+#include "machine/MachineModel.h"
 
 #include <cstdint>
 #include <memory>
 #include <span>
 #include <string>
+#include <vector>
 
 namespace padx {
 namespace pipeline {
@@ -34,11 +35,18 @@ class AnalysisManager;
 
 namespace search {
 
-/// Score of one evaluation; Cost is the ranking key (misses, estimated
-/// or simulated). Accesses is 0 when the model does not count them.
+/// Score of one evaluation; Cost is the ranking key — misses (estimated
+/// or simulated) on a single-level machine, the weighted per-level sum
+/// sum_l Weight_l * Misses_l on a multi-level one. Accesses is 0 when
+/// the model does not count them; on a machine model it is the first
+/// cache level's access count. LevelMisses holds the unweighted
+/// per-level miss counts, aligned with MachineModel::Levels; models
+/// constructed from a bare CacheConfig leave it with the single level's
+/// misses.
 struct CostSample {
   double Cost = 0;
   uint64_t Accesses = 0;
+  std::vector<double> LevelMisses;
 
   double missRatePercent() const {
     return Accesses == 0
@@ -83,9 +91,17 @@ public:
 /// tight remap-and-probe loop instead of the walk — with bit-identical
 /// statistics. Programs the recorder declines (indirect subscripts)
 /// keep the direct path transparently.
+/// On a multi-level machine every evaluation replays through a
+/// CacheHierarchy and Cost is the weighted per-level miss sum; a
+/// single-cache-level machine takes the exact pre-hierarchy CacheSim
+/// path (bit-identical misses, Cost = Weight_l1 * Misses, which with
+/// the default weight 1 is just the miss count).
 class SimulationCostModel : public CostModel {
 public:
-  explicit SimulationCostModel(const CacheConfig &Cache) : Cache(Cache) {}
+  explicit SimulationCostModel(const CacheConfig &Cache)
+      : Cache(Cache), Machine(MachineModel::singleLevel(Cache)) {}
+  explicit SimulationCostModel(const MachineModel &Machine)
+      : Cache(Machine.firstCache()), Machine(Machine) {}
 
   /// Records \p P's access stream for replay-based evaluation. \p P
   /// must outlive the model. No-op (direct tracing stays) when the
@@ -108,7 +124,11 @@ public:
   std::string name() const override { return "simulation"; }
 
 private:
-  CacheConfig Cache;
+  /// Hierarchy replay for the multi-level machine path.
+  CostSample evaluateMachine(const layout::DataLayout &DL) const;
+
+  CacheConfig Cache; ///< First cache level; the single-level fast path.
+  MachineModel Machine;
   unsigned RequestedBatch = 0;
   /// Shared read-only across the thread pool's workers; each worker
   /// keeps its own TraceReplayer, MultiTraceReplayer and CacheSim
@@ -130,17 +150,26 @@ private:
 /// manager is not thread-safe, so an attached model loses the base
 /// interface's thread-safety — the search engine only ever calls it from
 /// the single-threaded generation side, never from the pool.
+/// On a multi-level machine the prediction runs per level (the
+/// manager's machine-lattice kind when attached) and Cost is
+/// MachinePrediction::WeightedMisses; a single-cache-level machine
+/// takes the exact pre-hierarchy path.
 class StaticCostModel : public CostModel {
 public:
   explicit StaticCostModel(const CacheConfig &Cache,
                            pipeline::AnalysisManager *AM = nullptr)
-      : Cache(Cache), AM(AM) {}
+      : Cache(Cache), Machine(MachineModel::singleLevel(Cache)),
+        AM(AM) {}
+  explicit StaticCostModel(const MachineModel &Machine,
+                           pipeline::AnalysisManager *AM = nullptr)
+      : Cache(Machine.firstCache()), Machine(Machine), AM(AM) {}
 
   CostSample evaluate(const layout::DataLayout &DL) const override;
   std::string name() const override { return "static-estimate"; }
 
 private:
-  CacheConfig Cache;
+  CacheConfig Cache; ///< First cache level; the single-level fast path.
+  MachineModel Machine;
   /// Optional memoization; used only when it manages DL's program.
   pipeline::AnalysisManager *AM;
 };

@@ -68,12 +68,15 @@ namespace {
 /// stays manager-free.
 SearchResult runSearchImpl(const ir::Program &P, const SearchOptions &Opts,
                            pipeline::PadPipeline &PP) {
-  CandidateGenerator Gen(P, Opts.Cache, PP);
-  SimulationCostModel Exact(Opts.Cache);
+  const MachineModel Machine = Opts.machine();
+  CandidateGenerator Gen(P, Machine, PP);
+  for (const layout::DataLayout &DL : Opts.SeedLayouts)
+    Gen.addSeedLayout(DL);
+  SimulationCostModel Exact(Machine);
   if (Opts.UseReplay)
     Exact.prepareReplay(P);
   Exact.setBatchWidth(Opts.BatchK);
-  StaticCostModel Static(Opts.Cache, &PP.analysis());
+  StaticCostModel Static(Machine, &PP.analysis());
   ThreadPool Pool(Opts.Threads);
   std::mt19937_64 Rng(Opts.Seed);
 
@@ -123,12 +126,20 @@ SearchResult runSearchImpl(const ir::Program &P, const SearchOptions &Opts,
 
   R.Accesses = SeedSamples.front().Accesses;
   R.PadMisses = SeedSamples[Gen.padSeedIndex()].Cost;
+  R.PadLevelMisses = SeedSamples[Gen.padSeedIndex()].LevelMisses;
+  for (unsigned I = 0; I != Machine.numLevels(); ++I)
+    R.LevelNames.push_back(Machine.levelName(I));
   {
     Candidate Zero = zeroCandidate(P);
     auto It = std::find(Seeds.begin(), Seeds.end(), Zero);
-    R.OriginalMisses = It == Seeds.end()
-                           ? R.PadMisses // PAD was a no-op; seeds merged.
-                           : SeedSamples[It - Seeds.begin()].Cost;
+    if (It == Seeds.end()) {
+      // PAD was a no-op; seeds merged.
+      R.OriginalMisses = R.PadMisses;
+      R.OriginalLevelMisses = R.PadLevelMisses;
+    } else {
+      R.OriginalMisses = SeedSamples[It - Seeds.begin()].Cost;
+      R.OriginalLevelMisses = SeedSamples[It - Seeds.begin()].LevelMisses;
+    }
   }
 
   // Two-tier pre-screening: On forces it, Auto engages it when the
@@ -150,10 +161,12 @@ SearchResult runSearchImpl(const ir::Program &P, const SearchOptions &Opts,
 
   Candidate GlobalBest = Seeds.front();
   double GlobalBestCost = SeedSamples.front().Cost;
+  std::vector<double> GlobalBestLevels = SeedSamples.front().LevelMisses;
   for (size_t I = 1; I != Seeds.size(); ++I)
     if (SeedSamples[I].Cost < GlobalBestCost) {
       GlobalBest = Seeds[I];
       GlobalBestCost = SeedSamples[I].Cost;
+      GlobalBestLevels = SeedSamples[I].LevelMisses;
     }
   {
     std::ostringstream OS;
@@ -324,6 +337,7 @@ SearchResult runSearchImpl(const ir::Program &P, const SearchOptions &Opts,
         if (CurrentCost < GlobalBestCost) {
           GlobalBest = Current;
           GlobalBestCost = CurrentCost;
+          GlobalBestLevels = Samples[RoundBest].LevelMisses;
           std::ostringstream OS;
           OS << "round " << R.Rounds << ": improved to "
              << GlobalBestCost << " misses (" << GlobalBest.key()
@@ -384,6 +398,7 @@ SearchResult runSearchImpl(const ir::Program &P, const SearchOptions &Opts,
         if (CurrentCost < GlobalBestCost) {
           GlobalBest = Current;
           GlobalBestCost = CurrentCost;
+          GlobalBestLevels = S.front().LevelMisses;
         }
       }
     }
@@ -398,6 +413,7 @@ SearchResult runSearchImpl(const ir::Program &P, const SearchOptions &Opts,
 
   R.Best = GlobalBest;
   R.BestMisses = GlobalBestCost;
+  R.BestLevelMisses = std::move(GlobalBestLevels);
   R.BestLayout = materialize(P, GlobalBest);
   {
     std::ostringstream OS;

@@ -24,7 +24,7 @@
 #ifndef PADX_SEARCH_SEARCHENGINE_H
 #define PADX_SEARCH_SEARCHENGINE_H
 
-#include "machine/CacheConfig.h"
+#include "machine/MachineModel.h"
 #include "search/Candidate.h"
 
 #include <atomic>
@@ -52,6 +52,19 @@ const char *prescreenModeName(PrescreenMode M);
 struct SearchOptions {
   CacheConfig Cache = CacheConfig::base16K();
 
+  /// Machine model to optimize for. Empty (the default) means the
+  /// single level \p Cache — the pre-hierarchy behavior, bit-identical.
+  /// With levels set, \p Cache is ignored and the climb ranks by the
+  /// weighted per-level miss cost sum_l Weight_l * Misses_l
+  /// (--machine / --weights on the tools).
+  MachineModel Machine;
+
+  /// The machine the search effectively runs on.
+  MachineModel machine() const {
+    return Machine.Levels.empty() ? MachineModel::singleLevel(Cache)
+                                  : Machine;
+  }
+
   /// Maximum exact (simulation) evaluations — the search's time budget.
   /// Raised to the seed count when smaller: the baselines always run.
   unsigned EvalBudget = 48;
@@ -59,6 +72,15 @@ struct SearchOptions {
   unsigned Threads = 1;
   /// RNG seed for neighbor proposals and restart perturbations.
   uint64_t Seed = 0;
+
+  /// Extra warm-start layouts, evaluated alongside the heuristic seeds
+  /// (exempt from pre-screening, like every seed). Each is projected
+  /// into candidate coordinates and clamped to the safety analysis; a
+  /// layout produced by a previous search on the same program projects
+  /// losslessly, so chaining searches — e.g. re-optimizing an L1-only
+  /// result under a multi-level objective — never returns a worse cost
+  /// than the warm start.
+  std::vector<layout::DataLayout> SeedLayouts;
 
   /// Neighbors proposed per hill-climb round.
   unsigned NeighborsPerRound = 8;
@@ -143,11 +165,24 @@ struct SearchResult {
   SearchOutcome Outcome = SearchOutcome::Completed;
   std::string OutcomeDetail;
 
-  /// Exact (simulated) scores, as miss counts and percent miss rates.
+  /// Exact (simulated) scores. On a single-level machine these are miss
+  /// counts; on a multi-level one they are weighted per-level miss
+  /// costs (sum_l Weight_l * Misses_l) — the quantity the climb ranks
+  /// by — with the unweighted per-level counts in the Level* arrays
+  /// below. Accesses counts the first cache level either way.
   double BestMisses = 0;
   uint64_t Accesses = 0;
   double OriginalMisses = 0;
   double PadMisses = 0; ///< The PAD heuristic baseline.
+
+  /// Per-level breakdowns, aligned with each other: level names from
+  /// the machine model and unweighted simulated misses for the best,
+  /// original and PAD layouts. Singleton vectors on a single-level
+  /// machine.
+  std::vector<std::string> LevelNames;
+  std::vector<double> BestLevelMisses;
+  std::vector<double> OriginalLevelMisses;
+  std::vector<double> PadLevelMisses;
 
   double bestPercent() const { return percent(BestMisses); }
   double originalPercent() const { return percent(OriginalMisses); }

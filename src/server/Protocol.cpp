@@ -142,6 +142,35 @@ bool server::parseRequest(const support::JsonValue &Doc, Request &R,
   if (needsSource(R.Operation) && !validGeometry(R.Cache, Error))
     return false;
 
+  // Optional machine hierarchy; overrides cache/line/assoc. Weights may
+  // also be applied to the implicit single-level machine, in which case
+  // the result is pinned into R.Machine so the override survives.
+  if (const support::JsonValue *MV = Doc.find("machine")) {
+    if (!MV->isString()) {
+      Error = "field 'machine' must be a string (preset or spec)";
+      return false;
+    }
+    std::string MErr;
+    if (!MachineModel::parse(MV->asString(), R.Machine, &MErr)) {
+      Error = "bad 'machine': " + MErr;
+      return false;
+    }
+    R.Cache = R.Machine.firstCache();
+  }
+  if (const support::JsonValue *WV = Doc.find("weights")) {
+    if (!WV->isString()) {
+      Error = "field 'weights' must be a string like \"l1=1,l2=8\"";
+      return false;
+    }
+    MachineModel M = R.machine();
+    std::string WErr;
+    if (!M.applyWeights(WV->asString(), &WErr)) {
+      Error = "bad 'weights': " + WErr;
+      return false;
+    }
+    R.Machine = std::move(M);
+  }
+
   R.Format = Doc.getString("format", R.Format);
   if (R.Operation == Op::Lint && R.Format != "text" &&
       R.Format != "json" && R.Format != "sarif") {

@@ -35,7 +35,7 @@
 #ifndef PADX_SERVER_PROTOCOL_H
 #define PADX_SERVER_PROTOCOL_H
 
-#include "machine/CacheConfig.h"
+#include "machine/MachineModel.h"
 #include "support/Json.h"
 
 #include <cstdint>
@@ -80,6 +80,13 @@ struct Request {
   std::string Filename; ///< Report label; default "<request>".
 
   CacheConfig Cache = CacheConfig::base16K();
+  /// Multi-level machine from the optional "machine" request field (a
+  /// preset name or spec string, the --machine grammar); the optional
+  /// "weights" field overrides level weights ("l1=1,l2=8"). Empty —
+  /// the back-compat default — means the single level described by the
+  /// cache/line/assoc fields, and responses keep their pre-hierarchy
+  /// shape. When "machine" is present, cache/line/assoc are ignored.
+  MachineModel Machine;
   std::string Format = "text"; ///< lint: text | json | sarif.
   bool Emit = true;            ///< Include the transformed source.
 
@@ -101,6 +108,13 @@ struct Request {
   // under the drain deadline (DrainMs, 0 = server default).
   std::string ShutdownMode = "now";
   double DrainMs = 0;
+
+  /// The machine the request effectively targets: the parsed "machine"
+  /// field when present, else a single level from cache/line/assoc.
+  MachineModel machine() const {
+    return Machine.Levels.empty() ? MachineModel::singleLevel(Cache)
+                                  : Machine;
+  }
 };
 
 /// Validates \p Doc (one parsed frame) into \p R. On failure returns

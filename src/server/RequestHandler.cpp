@@ -301,6 +301,7 @@ std::string RequestHandler::dispatch(const Request &R) {
     JW.beginObject();
     JW.field("served", requestsServed());
     JW.field("failed", requestsFailed());
+    JW.field("predictor_unscored", predictorUnscored());
     JW.endObject();
     JW.key("errors");
     JW.beginObject();
@@ -353,6 +354,12 @@ std::string RequestHandler::dispatch(const Request &R) {
         unsigned>(pipeline::AnalysisKind::LatticePrediction)];
     JW.field("lattice_hits", LP.Hits);
     JW.field("lattice_misses", LP.Misses);
+    // Hierarchy-keyed predictions (requests naming a multi-level
+    // "machine") warm a separate kind slot.
+    const pipeline::SharedCacheCounters &MP = S.Kinds[static_cast<
+        unsigned>(pipeline::AnalysisKind::MachineLatticePrediction)];
+    JW.field("machine_lattice_hits", MP.Hits);
+    JW.field("machine_lattice_misses", MP.Misses);
     JW.endObject();
     return B.finish();
   }
@@ -370,11 +377,25 @@ std::string RequestHandler::dispatch(const Request &R) {
       return countedError(R.Id, kErrResourceExhausted, *Err);
     auto *PP = A.create<pipeline::PadPipeline>(*P, true, &Shared);
     Ctx.checkDeadline();
-    pad::PaddingResult Res = R.Operation == Op::PadLite
-                                 ? pad::runPadLite(*P, R.Cache, *PP)
-                                 : pad::runPad(*P, R.Cache, *PP);
+    // Single-level machines take the pre-hierarchy drivers so the
+    // response stays byte-identical to the CLI and to older clients.
+    const MachineModel Machine = R.machine();
+    pad::PaddingResult Res =
+        Machine.isSingleLevel()
+            ? (R.Operation == Op::PadLite
+                   ? pad::runPadLite(*P, R.Cache, *PP)
+                   : pad::runPad(*P, R.Cache, *PP))
+            : pad::applyPadding(*P, Machine,
+                                R.Operation == Op::PadLite
+                                    ? pad::PaddingScheme::padLite()
+                                    : pad::PaddingScheme::pad(),
+                                *PP);
     ResponseBuilder B(R.Id, R.Operation, "complete");
+    if (!Machine.isSingleLevel())
+      B.writer().field("machine", Machine.spec());
     writePaddingResult(B.writer(), *P, Res, R.Emit);
+    PredUnscored.fetch_add(PP->analysis().stats().PredictorUnscored,
+                           std::memory_order_relaxed);
     return B.finish(statsToJson(PP->stats()));
   }
 
@@ -389,7 +410,10 @@ std::string RequestHandler::dispatch(const Request &R) {
     if (std::optional<std::string> Err = checkFootprintQuota(Ctx, DL))
       return countedError(R.Id, kErrResourceExhausted, *Err);
     auto *PP = A.create<pipeline::PadPipeline>(*P, true, &Shared);
-    lint::Linter L(lint::LintOptions{R.Cache});
+    lint::LintOptions LO;
+    LO.Cache = R.Cache;
+    LO.Machine = R.Machine;
+    lint::Linter L(LO);
     lint::LintResult Res = L.run(DL, *PP);
     Ctx.checkDeadline();
 
@@ -416,6 +440,8 @@ std::string RequestHandler::dispatch(const Request &R) {
     ResponseBuilder B(R.Id, R.Operation, "complete");
     support::JsonWriter &JW = B.writer();
     JW.field("program", P->name());
+    if (const MachineModel M = R.machine(); !M.isSingleLevel())
+      JW.field("machine", M.spec());
     JW.field("format", R.Format);
     JW.field("findings",
              static_cast<uint64_t>(Res.Findings.size()));
@@ -428,6 +454,8 @@ std::string RequestHandler::dispatch(const Request &R) {
                  ? "none"
                  : lint::severityName(Res.maxSeverity()));
     JW.field("report", Report);
+    PredUnscored.fetch_add(PP->analysis().stats().PredictorUnscored,
+                           std::memory_order_relaxed);
     return B.finish(statsToJson(PP->stats()));
   }
 
@@ -460,6 +488,7 @@ std::string RequestHandler::dispatch(const Request &R) {
 
     search::SearchOptions SO;
     SO.Cache = R.Cache;
+    SO.Machine = R.Machine; // Empty = single level from SO.Cache.
     SO.EvalBudget = static_cast<unsigned>(R.SearchBudget);
     // One worker: the request already runs on a pool thread, and
     // parallelFor must not nest (support/ThreadPool.h). Concurrency
@@ -495,6 +524,29 @@ std::string RequestHandler::dispatch(const Request &R) {
     JW.field("original_percent", SR.originalPercent());
     JW.field("pad_percent", SR.padPercent());
     JW.field("best_percent", SR.bestPercent());
+    // Multi-level machines score by weighted cost; report it with the
+    // unweighted per-level breakdown. Single-level responses keep the
+    // pre-hierarchy shape.
+    if (const MachineModel M = R.machine(); !M.isSingleLevel()) {
+      JW.field("machine", M.spec());
+      JW.field("original_cost", SR.OriginalMisses);
+      JW.field("pad_cost", SR.PadMisses);
+      JW.field("best_cost", SR.BestMisses);
+      JW.key("levels");
+      JW.beginArray();
+      for (size_t I = 0; I < SR.LevelNames.size(); ++I) {
+        JW.beginObject();
+        JW.field("name", SR.LevelNames[I]);
+        if (I < SR.OriginalLevelMisses.size())
+          JW.field("original_misses", SR.OriginalLevelMisses[I]);
+        if (I < SR.PadLevelMisses.size())
+          JW.field("pad_misses", SR.PadLevelMisses[I]);
+        if (I < SR.BestLevelMisses.size())
+          JW.field("best_misses", SR.BestLevelMisses[I]);
+        JW.endObject();
+      }
+      JW.endArray();
+    }
     JW.field("exact_evaluations", SR.ExactEvaluations);
     JW.field("batch_width", SR.BatchWidth);
     JW.field("rounds", SR.Rounds);
@@ -505,6 +557,8 @@ std::string RequestHandler::dispatch(const Request &R) {
     if (R.Emit)
       JW.field("transformed_source",
                layout::transformedSourceToString(SR.BestLayout));
+    PredUnscored.fetch_add(PP->analysis().stats().PredictorUnscored,
+                           std::memory_order_relaxed);
     return B.finish(statsToJson(PP->stats()));
   }
   }

@@ -144,6 +144,12 @@ public:
   uint64_t requestsFailed() const {
     return Failed.load(std::memory_order_relaxed);
   }
+  /// Lattice-predictor nests the daemon could not score (silent-zero
+  /// rows), accumulated across every program-carrying request whose
+  /// pipeline computed a prediction. Surfaced by the stats op.
+  uint64_t predictorUnscored() const {
+    return PredUnscored.load(std::memory_order_relaxed);
+  }
 
   /// Counts one error of \p Code in the per-code taxonomy counters.
   /// Public because the socket layer produces two codes itself
@@ -171,6 +177,7 @@ private:
   std::atomic<uint64_t> DrainMs{0};
   std::atomic<uint64_t> Served{0};
   std::atomic<uint64_t> Failed{0};
+  std::atomic<uint64_t> PredUnscored{0};
   std::atomic<uint64_t> ErrorCounts[kNumCountedCodes] = {};
 };
 

@@ -74,3 +74,59 @@ TEST(CacheHierarchy, StraddlingAccessCountsPerLine) {
   EXPECT_EQ(H.stats(0).Accesses, 2u);
   EXPECT_EQ(H.memoryAccesses(), 2u);
 }
+
+TEST(CacheHierarchy, MostlyInclusiveFill) {
+  // Every inner-level miss allocates in each level it probes on the
+  // way down, so a line that entered L1 is also in L2: evicting it
+  // from L1 (via an L1 set conflict) and re-touching it must hit L2,
+  // never memory.
+  CacheHierarchy H(twoLevel());
+  H.access(0, 8, false);    // cold, fills L1 and L2
+  H.access(1024, 8, false); // evicts line 0 from L1, fills L2
+  H.access(0, 8, false);    // L1 miss, L2 hit (inclusion)
+  EXPECT_EQ(H.stats(1).Misses, 2u); // only the two cold lines
+  EXPECT_EQ(H.memoryAccesses(), 2u);
+}
+
+TEST(HierarchyClassifier, PerLevelThreeCs) {
+  // Two lines that collide in the direct-mapped 1K L1 but live in
+  // distinct sets of the 8K L2: L1 classifies the ping-pong as
+  // conflict misses, while L2 — seeing exactly the lines that missed
+  // L1 — records nothing beyond its two compulsory fills.
+  HierarchyClassifier C(twoLevel());
+  for (int Round = 0; Round < 5; ++Round) {
+    C.access(0, 8, false);
+    C.access(1024, 8, false);
+  }
+  const MissBreakdown &L1 = C.breakdown(0);
+  EXPECT_EQ(L1.Compulsory, 2u);
+  EXPECT_EQ(L1.Conflict, 8u); // everything after the cold fills
+  EXPECT_EQ(L1.Capacity, 0u);
+  const MissBreakdown &L2 = C.breakdown(1);
+  EXPECT_EQ(L2.Accesses, 10u); // the L1 misses, nothing else
+  EXPECT_EQ(L2.Compulsory, 2u);
+  EXPECT_EQ(L2.Conflict, 0u);
+  EXPECT_EQ(L2.Capacity, 0u);
+}
+
+TEST(HierarchyClassifier, OuterLevelConflictsAreLocal) {
+  // The mirror image: lines 0 and 8K share an L2 set (8K cache,
+  // direct-mapped) but distinct L1 sets (1K cache) — with an L1 small
+  // enough that both keep missing it, the ping-pong classifies as L2
+  // conflict misses.
+  MachineModel M{{CacheConfig{64, 32, 1}, CacheConfig{8 * 1024, 32, 1}}};
+  HierarchyClassifier C(M);
+  for (int Round = 0; Round < 5; ++Round) {
+    C.access(0, 8, false);
+    C.access(32, 8, false);       // evicts line 0 from the 2-line L1
+    C.access(8 * 1024, 8, false); // L2-conflicts with line 0
+    C.access(32 + 64, 8, false);  // evicts line 8K's L1 slot
+  }
+  const MissBreakdown &L2 = C.breakdown(1);
+  EXPECT_EQ(L2.Compulsory, 4u);
+  EXPECT_GT(L2.Conflict, 0u);
+  // Lines 0 and 8K alias in L2; the interleaved fillers do not.
+  EXPECT_EQ(C.breakdown(0).Capacity + C.breakdown(0).Conflict +
+                C.breakdown(0).Compulsory,
+            C.breakdown(1).Accesses);
+}

@@ -1,0 +1,190 @@
+//===----------------------------------------------------------------------===//
+//
+// Part of the padx project, under the Apache License v2.0.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Corpus-sweep equivalence: a 1-level MachineModel is a pure
+/// re-spelling of the old single-CacheConfig API, never a behavior
+/// change. For every parseable corpus program and every built-in
+/// kernel, the hierarchy simulator, the lattice predictor, the PAD
+/// heuristics, the linter and the search produce bit-identical stats
+/// and chosen layouts whether the geometry arrives as a CacheConfig or
+/// as MachineModel::singleLevel of the same CacheConfig. This is the
+/// refactor's back-compat contract: every legacy call site (and every
+/// daemon request without a "machine" field) keeps its exact
+/// pre-hierarchy behavior.
+///
+//===----------------------------------------------------------------------===//
+
+#include "analysis/LatticePredictor.h"
+#include "core/Padding.h"
+#include "experiments/Experiment.h"
+#include "frontend/Parser.h"
+#include "kernels/Kernels.h"
+#include "layout/DataLayout.h"
+#include "lint/Linter.h"
+#include "lint/Output.h"
+#include "machine/MachineModel.h"
+#include "search/SearchEngine.h"
+
+#include "gtest/gtest.h"
+
+#include <filesystem>
+#include <fstream>
+#include <optional>
+#include <sstream>
+#include <vector>
+
+using namespace padx;
+
+namespace {
+
+const CacheConfig kCache = CacheConfig::base16K();
+
+std::optional<ir::Program> parseFile(const std::filesystem::path &File) {
+  std::ifstream In(File);
+  std::ostringstream Buf;
+  Buf << In.rdbuf();
+  DiagnosticEngine Diags;
+  return frontend::parseProgram(Buf.str(), Diags);
+}
+
+/// The sweep set: every parseable fuzz-corpus program plus every
+/// registered kernel (same set as the pipeline consistency sweep).
+std::vector<std::pair<std::string, ir::Program>> allPrograms() {
+  std::vector<std::pair<std::string, ir::Program>> Out;
+  std::vector<std::filesystem::path> Files;
+  for (const auto &Entry :
+       std::filesystem::directory_iterator(PADX_CORPUS_DIR))
+    if (Entry.path().extension() == ".pad")
+      Files.push_back(Entry.path());
+  std::sort(Files.begin(), Files.end());
+  EXPECT_FALSE(Files.empty());
+  for (const auto &File : Files)
+    if (std::optional<ir::Program> P = parseFile(File))
+      Out.emplace_back(File.filename().string(), std::move(*P));
+  for (const auto &K : kernels::allKernels())
+    Out.emplace_back(K.Name, kernels::makeKernel(K.Name));
+  return Out;
+}
+
+void expectSameLayout(const layout::DataLayout &A,
+                      const layout::DataLayout &B,
+                      const std::string &Name) {
+  ASSERT_EQ(A.numArrays(), B.numArrays()) << Name;
+  for (unsigned Id = 0; Id != A.numArrays(); ++Id) {
+    EXPECT_EQ(A.layout(Id).BaseAddr, B.layout(Id).BaseAddr)
+        << Name << " array " << Id;
+    EXPECT_EQ(A.layout(Id).Dims, B.layout(Id).Dims)
+        << Name << " array " << Id;
+  }
+}
+
+} // namespace
+
+TEST(SingleLevelEquivalence, HierarchySimMatchesCacheSim) {
+  const MachineModel M = MachineModel::singleLevel(kCache);
+  // Both layouts, classified, over the corpus and the kernel tier.
+  // The NAS/SPEC-tier kernels are excluded for time: their single-level
+  // sim path is already swept corpus-wide by the replay-equivalence
+  // tests, and the hierarchy code they'd exercise is identical.
+  for (auto &[Name, P] : allPrograms()) {
+    const kernels::KernelInfo *K = kernels::findKernel(Name);
+    if (K && K->Tier != kernels::Suite::Kernel)
+      continue;
+    for (const layout::DataLayout &DL :
+         {layout::originalLayout(P), pad::runPad(P, kCache).Layout}) {
+      expt::MissResult Flat = expt::measureMissRate(P, DL, kCache);
+      expt::HierarchyMissResult Hier =
+          expt::measureHierarchy(P, DL, M, /*Classify=*/true);
+      ASSERT_EQ(Hier.Levels.size(), 1u) << Name;
+      EXPECT_EQ(Hier.Levels[0].Accesses, Flat.Accesses) << Name;
+      EXPECT_EQ(Hier.Levels[0].Misses, Flat.Misses) << Name;
+      // The classified conflict component matches the single-cache
+      // three-Cs classifier bit for bit as well.
+      sim::MissBreakdown B = expt::classifyMisses(P, DL, kCache);
+      EXPECT_EQ(Hier.Levels[0].ConflictMisses, B.Conflict) << Name;
+    }
+  }
+}
+
+TEST(SingleLevelEquivalence, PredictorMatchesSingleGeometryPath) {
+  const MachineModel M = MachineModel::singleLevel(kCache);
+  for (auto &[Name, P] : allPrograms()) {
+    const layout::DataLayout DL = layout::originalLayout(P);
+    analysis::LatticePrediction Flat =
+        analysis::predictConflicts(DL, kCache);
+    analysis::MachinePrediction Hier =
+        analysis::predictConflicts(DL, M);
+    ASSERT_EQ(Hier.Levels.size(), 1u) << Name;
+    const analysis::LatticePrediction &L0 = Hier.Levels[0].Prediction;
+    EXPECT_EQ(L0.PredictedAccesses, Flat.PredictedAccesses) << Name;
+    EXPECT_EQ(L0.PredictedMisses, Flat.PredictedMisses) << Name;
+    EXPECT_EQ(L0.PredictedConflictMisses, Flat.PredictedConflictMisses)
+        << Name;
+    EXPECT_EQ(L0.UnscoredNests, Flat.UnscoredNests) << Name;
+    EXPECT_EQ(Hier.UnscoredNests, Flat.UnscoredNests) << Name;
+    // The weighted aggregate of one unit-weight level is the level.
+    EXPECT_EQ(Hier.WeightedMisses, Flat.PredictedMisses) << Name;
+    EXPECT_EQ(Hier.WeightedConflictMisses, Flat.PredictedConflictMisses)
+        << Name;
+  }
+}
+
+TEST(SingleLevelEquivalence, PaddingHeuristicsMatch) {
+  const MachineModel M = MachineModel::singleLevel(kCache);
+  for (auto &[Name, P] : allPrograms()) {
+    expectSameLayout(
+        pad::applyPadding(P, M, pad::PaddingScheme::pad()).Layout,
+        pad::runPad(P, kCache).Layout, Name);
+    expectSameLayout(
+        pad::applyPadding(P, M, pad::PaddingScheme::padLite()).Layout,
+        pad::runPadLite(P, kCache).Layout, Name);
+  }
+}
+
+TEST(SingleLevelEquivalence, LintFindingsMatch) {
+  for (auto &[Name, P] : allPrograms()) {
+    lint::Linter Legacy((lint::LintOptions(kCache)));
+    lint::Linter Single(
+        (lint::LintOptions(MachineModel::singleLevel(kCache))));
+    lint::LintResult A = Legacy.run(P);
+    lint::LintResult B = Single.run(P);
+    const layout::DataLayout DL = layout::originalLayout(P);
+    std::ostringstream OA, OB;
+    lint::writeJson(OA, A, DL, kCache, Name);
+    lint::writeJson(OB, B, DL, kCache, Name);
+    EXPECT_EQ(OA.str(), OB.str()) << Name;
+  }
+}
+
+TEST(SingleLevelEquivalence, SearchIsBitIdentical) {
+  // The search is the most state-heavy consumer (RNG, candidate dedup,
+  // tie-breaks, replay): sweep the kernel tier with a small budget and
+  // require the same layout, the same costs, and the same counters.
+  for (const auto &K : kernels::allKernels()) {
+    if (K.Tier != kernels::Suite::Kernel)
+      continue;
+    ir::Program P = kernels::makeKernel(K.Name);
+    search::SearchOptions Legacy;
+    Legacy.Cache = kCache;
+    Legacy.EvalBudget = 10;
+    search::SearchOptions Single = Legacy;
+    Single.Machine = MachineModel::singleLevel(kCache);
+
+    search::SearchResult A = search::runSearch(P, Legacy);
+    search::SearchResult B = search::runSearch(P, Single);
+    expectSameLayout(A.BestLayout, B.BestLayout, K.Name);
+    EXPECT_EQ(A.BestMisses, B.BestMisses) << K.Name;
+    EXPECT_EQ(A.OriginalMisses, B.OriginalMisses) << K.Name;
+    EXPECT_EQ(A.PadMisses, B.PadMisses) << K.Name;
+    EXPECT_EQ(A.Accesses, B.Accesses) << K.Name;
+    EXPECT_EQ(A.ExactEvaluations, B.ExactEvaluations) << K.Name;
+    EXPECT_EQ(A.CandidatesGenerated, B.CandidatesGenerated) << K.Name;
+    EXPECT_EQ(A.PrunedStatic, B.PrunedStatic) << K.Name;
+    ASSERT_EQ(B.LevelNames.size(), 1u) << K.Name;
+    EXPECT_EQ(A.BestLevelMisses, B.BestLevelMisses) << K.Name;
+  }
+}

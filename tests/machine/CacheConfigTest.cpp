@@ -52,8 +52,3 @@ TEST(CacheConfig, Describe) {
             "2K fully-associative, 32B lines");
 }
 
-TEST(CacheConfig, MachineModelSingleLevel) {
-  MachineModel M = MachineModel::singleLevel(CacheConfig::base16K());
-  ASSERT_EQ(M.Levels.size(), 1u);
-  EXPECT_EQ(M.Levels[0], CacheConfig::base16K());
-}

@@ -1,0 +1,128 @@
+//===----------------------------------------------------------------------===//
+//
+// Part of the padx project, under the Apache License v2.0.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The weighted multi-level objective the search ranks by:
+/// Cost = sum_l Weight_l * Misses_l. Pins its algebra (linearity and
+/// monotonicity in the weights, weights never changing the underlying
+/// per-level counts) and its exactness (the cost model's number equals
+/// the independent hierarchy-experiment path bit for bit).
+///
+//===----------------------------------------------------------------------===//
+
+#include "search/CostModel.h"
+
+#include "core/Padding.h"
+#include "experiments/Experiment.h"
+#include "kernels/Kernels.h"
+#include "layout/DataLayout.h"
+
+#include "gtest/gtest.h"
+
+using namespace padx;
+
+namespace {
+
+MachineModel paperL2WithWeights(double W1, double W2) {
+  MachineModel M = MachineModel::paperL2();
+  M.Levels[0].Weight = W1;
+  M.Levels[1].Weight = W2;
+  return M;
+}
+
+} // namespace
+
+TEST(WeightedObjective, CostIsLinearInLevelWeights) {
+  ir::Program P = kernels::makeKernel("jacobi", 128);
+  const layout::DataLayout DL = layout::originalLayout(P);
+
+  search::SimulationCostModel Flat(paperL2WithWeights(1, 1));
+  search::CostSample S11 = Flat.evaluate(DL);
+  ASSERT_EQ(S11.LevelMisses.size(), 2u);
+  ASSERT_GT(S11.LevelMisses[1], 0.0); // L2 misses exist at 128x128
+
+  search::SimulationCostModel Heavy(paperL2WithWeights(1, 8));
+  search::CostSample S18 = Heavy.evaluate(DL);
+
+  // Weights scale the objective, never the simulation: identical
+  // per-level counts, and the cost delta is exactly the extra weight
+  // times the L2 misses.
+  EXPECT_EQ(S11.LevelMisses, S18.LevelMisses);
+  EXPECT_EQ(S11.Accesses, S18.Accesses);
+  EXPECT_DOUBLE_EQ(S18.Cost - S11.Cost, 7 * S11.LevelMisses[1]);
+  // Monotone: raising any level's weight can only raise the cost.
+  EXPECT_GT(S18.Cost, S11.Cost);
+
+  search::SimulationCostModel L1Heavy(paperL2WithWeights(3, 1));
+  EXPECT_DOUBLE_EQ(L1Heavy.evaluate(DL).Cost - S11.Cost,
+                   2 * S11.LevelMisses[0]);
+}
+
+TEST(WeightedObjective, SingleLevelWeightScalesMissCount) {
+  ir::Program P = kernels::makeKernel("jacobi", 128);
+  const layout::DataLayout DL = layout::originalLayout(P);
+
+  MachineModel Unit = MachineModel::singleLevel(CacheConfig::base16K());
+  MachineModel Double = Unit;
+  Double.Levels[0].Weight = 2.0;
+
+  search::CostSample A = search::SimulationCostModel(Unit).evaluate(DL);
+  search::CostSample B =
+      search::SimulationCostModel(Double).evaluate(DL);
+  EXPECT_DOUBLE_EQ(B.Cost, 2 * A.Cost);
+  EXPECT_EQ(A.LevelMisses, B.LevelMisses);
+}
+
+TEST(WeightedObjective, CostModelMatchesHierarchyExperiment) {
+  ir::Program P = kernels::makeKernel("jacobi", 128);
+  const MachineModel M = paperL2WithWeights(1, 8);
+
+  for (const layout::DataLayout &DL :
+       {layout::originalLayout(P),
+        pad::runPad(P, M.firstCache()).Layout}) {
+    search::CostSample S = search::SimulationCostModel(M).evaluate(DL);
+    expt::HierarchyMissResult H = expt::measureHierarchy(P, DL, M);
+    ASSERT_EQ(S.LevelMisses.size(), H.Levels.size());
+    for (size_t I = 0; I != H.Levels.size(); ++I)
+      EXPECT_EQ(S.LevelMisses[I],
+                static_cast<double>(H.Levels[I].Misses));
+    EXPECT_DOUBLE_EQ(S.Cost, H.weightedCost());
+    EXPECT_EQ(S.Accesses, H.Levels[0].Accesses);
+  }
+}
+
+TEST(WeightedObjective, RankingFollowsTheWeights) {
+  // An L1-tight layout and an everywhere-padded layout trade places as
+  // the L2 weight grows — the check the search relies on to reject
+  // pads that fix L1 at L2's expense. Verified from the measured
+  // per-level counts: whenever the layouts are ordered oppositely at
+  // the two levels, there is a weight below which the L1 winner ranks
+  // first and a weight above which the L2 winner does.
+  ir::Program P = kernels::makeKernel("jacobi", 512);
+  const MachineModel M = MachineModel::paperL2();
+  const layout::DataLayout A = pad::runPad(P, M.firstCache()).Layout;
+  const layout::DataLayout B =
+      pad::applyPadding(P, M, pad::PaddingScheme::pad()).Layout;
+
+  expt::HierarchyMissResult HA = expt::measureHierarchy(P, A, M);
+  expt::HierarchyMissResult HB = expt::measureHierarchy(P, B, M);
+  const double A2 = static_cast<double>(HA.Levels[1].Misses);
+  const double B2 = static_cast<double>(HB.Levels[1].Misses);
+  // The multi-level PAD strictly reduces L2 misses on JACOBI512
+  // (the paper-l2 demo); if this ever stops holding the fixture is
+  // wrong, not the objective.
+  ASSERT_LT(B2, A2);
+
+  auto CostAt = [](const expt::HierarchyMissResult &H, double W2) {
+    return static_cast<double>(H.Levels[0].Misses) +
+           W2 * static_cast<double>(H.Levels[1].Misses);
+  };
+  // With the L2 weight large enough, B must win under the objective.
+  EXPECT_LT(CostAt(HB, 8), CostAt(HA, 8));
+  // And the gap is monotone in the weight: d(CostA - CostB)/dW2 > 0.
+  EXPECT_GT(CostAt(HA, 8) - CostAt(HB, 8),
+            CostAt(HA, 1) - CostAt(HB, 1));
+}

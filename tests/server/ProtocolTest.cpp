@@ -329,3 +329,128 @@ TEST(Protocol, HealthOpRoundTripsThroughOpNames) {
   ASSERT_TRUE(parseRequest(*Doc, R, Err)) << Err;
   EXPECT_EQ(R.Operation, Op::Health);
 }
+
+TEST(Protocol, MachineFieldParsesPresetsAndSpecs) {
+  auto Doc = support::parseJson(
+      "{\"id\":1,\"op\":\"pad\",\"source\":\"\","
+      "\"machine\":\"paper-l2\"}");
+  ASSERT_TRUE(Doc.has_value());
+  Request R;
+  std::string Err;
+  ASSERT_TRUE(parseRequest(*Doc, R, Err)) << Err;
+  ASSERT_EQ(R.machine().numLevels(), 2u);
+  // The legacy geometry mirrors the first cache level so quota and
+  // logging paths that read R.Cache stay coherent.
+  EXPECT_EQ(R.Cache.SizeBytes, R.machine().firstCache().SizeBytes);
+  EXPECT_EQ(R.Cache.LineBytes, R.machine().firstCache().LineBytes);
+
+  auto Spec = support::parseJson(
+      "{\"id\":2,\"op\":\"lint\",\"source\":\"\","
+      "\"machine\":\"l1:32k/64/8,l2:1m/64/16,tlb:64/4k/4\"}");
+  ASSERT_TRUE(Spec.has_value());
+  Request RS;
+  ASSERT_TRUE(parseRequest(*Spec, RS, Err)) << Err;
+  ASSERT_EQ(RS.machine().numLevels(), 3u);
+  EXPECT_TRUE(RS.machine().Levels[2].IsTlb);
+}
+
+TEST(Protocol, MachineAbsentKeepsSingleLevelBackCompat) {
+  auto Doc = support::parseJson(
+      "{\"id\":3,\"op\":\"pad\",\"source\":\"\","
+      "\"cache\":8192,\"line\":64,\"assoc\":2}");
+  ASSERT_TRUE(Doc.has_value());
+  Request R;
+  std::string Err;
+  ASSERT_TRUE(parseRequest(*Doc, R, Err)) << Err;
+  EXPECT_TRUE(R.Machine.Levels.empty()); // legacy single-level paths
+  MachineModel M = R.machine();
+  ASSERT_TRUE(M.isSingleLevel());
+  EXPECT_EQ(M.firstCache().SizeBytes, 8192);
+  EXPECT_EQ(M.firstCache().LineBytes, 64);
+  EXPECT_EQ(M.firstCache().Associativity, 2u);
+}
+
+TEST(Protocol, WeightsApplyWithAndWithoutMachine) {
+  // weights alongside machine: scales the named levels.
+  auto Doc = support::parseJson(
+      "{\"id\":4,\"op\":\"search\",\"source\":\"\","
+      "\"machine\":\"paper-l2\",\"weights\":\"l1=1,l2=8\"}");
+  ASSERT_TRUE(Doc.has_value());
+  Request R;
+  std::string Err;
+  ASSERT_TRUE(parseRequest(*Doc, R, Err)) << Err;
+  ASSERT_EQ(R.machine().numLevels(), 2u);
+  EXPECT_EQ(R.machine().Levels[1].Weight, 8.0);
+
+  // weights without machine: applies to the implied single level.
+  auto Solo = support::parseJson(
+      "{\"id\":5,\"op\":\"search\",\"source\":\"\","
+      "\"weights\":\"l1=3\"}");
+  ASSERT_TRUE(Solo.has_value());
+  Request RW;
+  ASSERT_TRUE(parseRequest(*Solo, RW, Err)) << Err;
+  ASSERT_EQ(RW.machine().numLevels(), 1u);
+  EXPECT_EQ(RW.machine().Levels[0].Weight, 3.0);
+}
+
+TEST(Protocol, BadMachineAndWeightsAreInvalidRequests) {
+  HandlerFixture F;
+  for (const char *Bad :
+       {"{\"id\":1,\"op\":\"pad\",\"source\":\"\",\"machine\":\"no-such-preset\"}",
+        "{\"id\":2,\"op\":\"pad\",\"source\":\"\",\"machine\":42}",
+        "{\"id\":3,\"op\":\"pad\",\"source\":\"\",\"machine\":\"l1:0/32/1\"}",
+        "{\"id\":4,\"op\":\"pad\",\"source\":\"\",\"weights\":\"l9=2\"}",
+        "{\"id\":5,\"op\":\"pad\",\"source\":\"\",\"weights\":42}",
+        "{\"id\":6,\"op\":\"pad\",\"source\":\"\",\"machine\":\"paper-l2\",\"weights\":\"l2=-1\"}"}) {
+    support::JsonValue R = F.respond(Bad);
+    EXPECT_FALSE(R.getBool("ok", true)) << Bad;
+    EXPECT_EQ(errorCode(R), kErrInvalidRequest) << Bad;
+  }
+}
+
+TEST(Protocol, MultiLevelPadCarriesMachineAndPerLevelSearchSections) {
+  HandlerFixture F;
+  support::JsonValue R = F.respond(
+      "{\"id\":7,\"op\":\"pad\",\"machine\":\"paper-l2\",\"source\":" +
+      quoted(kTinyProgram) + "}");
+  ASSERT_TRUE(R.getBool("ok", false));
+  const support::JsonValue *Res = R.find("result");
+  ASSERT_NE(Res, nullptr);
+  EXPECT_EQ(Res->getString("machine", ""), "l1:16k/32/1,l2:64k/64/1");
+
+  support::JsonValue S = F.respond(
+      "{\"id\":8,\"op\":\"search\",\"machine\":\"paper-l2\","
+      "\"weights\":\"l1=1,l2=8\",\"budget\":4,\"source\":" +
+      quoted(kTinyProgram) + "}");
+  ASSERT_TRUE(S.getBool("ok", false));
+  const support::JsonValue *SR = S.find("result");
+  ASSERT_NE(SR, nullptr);
+  EXPECT_EQ(SR->getString("machine", ""), "l1:16k/32/1,l2:64k/64/1");
+  ASSERT_NE(SR->find("levels"), nullptr);
+  ASSERT_NE(SR->find("best_cost"), nullptr);
+
+  // Single-level requests keep the pre-hierarchy response shape: no
+  // machine field, no per-level section.
+  support::JsonValue Legacy = F.respond(
+      "{\"id\":9,\"op\":\"search\",\"budget\":4,\"source\":" +
+      quoted(kTinyProgram) + "}");
+  ASSERT_TRUE(Legacy.getBool("ok", false));
+  const support::JsonValue *LR = Legacy.find("result");
+  ASSERT_NE(LR, nullptr);
+  EXPECT_EQ(LR->find("machine"), nullptr);
+  EXPECT_EQ(LR->find("levels"), nullptr);
+}
+
+TEST(Protocol, StatsOpReportsPredictorUnscored) {
+  HandlerFixture F;
+  support::JsonValue S = F.respond("{\"id\":1,\"op\":\"stats\"}");
+  const support::JsonValue *Res = S.find("result");
+  ASSERT_NE(Res, nullptr);
+  const support::JsonValue *Req = Res->find("requests");
+  ASSERT_NE(Req, nullptr);
+  EXPECT_GE(Req->getInt("predictor_unscored", -1), 0);
+  const support::JsonValue *SC = Res->find("shared_cache");
+  ASSERT_NE(SC, nullptr);
+  EXPECT_GE(SC->getInt("machine_lattice_hits", -1), 0);
+  EXPECT_GE(SC->getInt("machine_lattice_misses", -1), 0);
+}
